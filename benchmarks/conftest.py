@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures:
+it *measures* a representative kernel on a laptop-scale workload with
+pytest-benchmark, *models* the full 512x512 MP-2/SGI numbers through
+the calibrated cost models, writes the regenerated artifact to
+``benchmarks/results/`` and asserts the paper's qualitative shape
+(orderings, crossovers, magnitudes).  EXPERIMENTS.md indexes the
+outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import florida_thunderstorm, hurricane_frederic
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def florida_small():
+    """Reduced-scale Florida thunderstorm sequence for real measurements."""
+    return florida_thunderstorm(size=96, n_frames=5, seed=1995)
+
+
+@pytest.fixture(scope="session")
+def frederic_small():
+    """Reduced-scale Hurricane Frederic stereo sequence."""
+    return hurricane_frederic(size=96, n_frames=2, seed=1979)

@@ -1,0 +1,97 @@
+"""Ablation (Section 3.1) -- X-net vs router for neighborhood traffic.
+
+"Exploiting the X-net bandwidth was important to the successful
+implementation of the SMA algorithm": at Table 1 geometry the template
+accumulation moves gigabytes per image pair, and routing it through the
+1.3 GB/s global router instead of the 23 GB/s mesh would multiply the
+communication time by the published 18x ratio.  This bench quantifies
+the decision at paper scale and verifies the mesh/router equivalence
+of the data (a gather by mesh walk and a gather by router produce the
+same plural values).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, write_csv
+from repro.maspar.machine import GODDARD_MP2, scaled_machine
+from repro.maspar.mapping import HierarchicalMapping
+from repro.maspar.pe_array import PEArray
+from repro.maspar.readout import RasterScanReadout
+from repro.maspar.router import router_gather
+from repro.maspar.xnet import xnet_shift
+
+
+def test_ablation_xnet_vs_router_paper_scale(benchmark, results_dir):
+    mapping = HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+    m = GODDARD_MP2
+
+    def model():
+        rows = []
+        for half, label in [(2, "5x5"), (6, "13x13"), (60, "121x121")]:
+            stats = RasterScanReadout().stats(mapping, half)
+            t_mesh = stats.mesh_bytes / m.xnet_bw
+            t_router = stats.mesh_bytes / m.router_bw
+            rows.append((label, stats.mesh_bytes / 2**20, t_mesh, t_router, t_router / t_mesh))
+        return rows
+
+    rows = benchmark(model)
+    for _, _, t_mesh, t_router, ratio in rows:
+        assert t_router > t_mesh
+        assert abs(ratio - m.xnet_router_ratio) < 1e-9
+
+    table = format_table(
+        rows,
+        headers=["Window", "traffic (MiB)", "X-net (s)", "router (s)", "ratio"],
+        title="Section 3.1 ablation -- neighborhood traffic, mesh vs router",
+        float_format="{:.4f}",
+    )
+    (results_dir / "ablation_communication.txt").write_text(table)
+    write_csv(
+        results_dir / "ablation_communication.csv",
+        rows,
+        headers=["window", "mib", "xnet_s", "router_s", "ratio"],
+    )
+    print("\n" + table)
+
+
+def test_ablation_mesh_and_router_move_same_data(benchmark):
+    """A one-hop gather by mesh walk equals the router gather: the
+    trade is purely bandwidth, never correctness."""
+    pe = PEArray(scaled_machine(16, 16))
+    rng = np.random.default_rng(3)
+    plural = pe.from_array(rng.normal(size=(16, 16)))
+    iy, ix = pe.iproc()
+    src_y = (iy + 1) % 16
+    src_x = (ix + 2) % 16
+
+    def both():
+        with pe.scope():
+            mesh = xnet_shift(plural, -1, -2)  # fetch from (iy+1, ix+2)
+            routed = router_gather(plural, src_y, src_x)
+            return mesh.data.copy(), routed.data.copy()
+
+    mesh_data, routed_data = benchmark(both)
+    np.testing.assert_array_equal(mesh_data, routed_data)
+
+
+def test_ablation_router_cost_dominates_if_used(benchmark, results_dir):
+    """What the hypothesis-matching phase would cost with router-borne
+    template accumulation at paper scale."""
+    mapping = HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+    m = GODDARD_MP2
+    stats = RasterScanReadout().stats(mapping, 60)
+
+    def model():
+        per_hyp_mesh = stats.mesh_bytes / m.xnet_bw + stats.mem_bytes / m.mem_direct_bw
+        per_hyp_router = stats.mesh_bytes / m.router_bw + stats.mem_bytes / m.mem_direct_bw
+        return 169 * per_hyp_mesh, 169 * per_hyp_router
+
+    mesh_total, router_total = benchmark(model)
+    lines = [
+        f"template accumulation over 169 hypotheses:",
+        f"  via X-net : {mesh_total:8.2f} s",
+        f"  via router: {router_total:8.2f} s ({router_total / mesh_total:.1f}x slower)",
+    ]
+    (results_dir / "ablation_router_cost.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+    assert router_total > 5 * mesh_total

@@ -1,0 +1,151 @@
+"""Ablation -- the Section 6 extensions, measured.
+
+Each future-work feature must earn its place: sub-pixel refinement
+lowers RMSE on fractional motion, robust IRLS survives template
+outliers that break least squares, and classified post-processing
+despeckles without blurring layer boundaries.
+"""
+
+import numpy as np
+from scipy import ndimage
+
+from repro.analysis.report import format_table, write_csv
+from repro.core.continuous import estimate_from_samples
+from repro.core.field import MotionField
+from repro.core.matching import prepare_frames, track_dense
+from repro.data.noise import smooth_random_field
+from repro.extensions import (
+    CloudClass,
+    classified_median_filter,
+    classify,
+    refine,
+    robust_estimate_from_samples,
+    vector_median_filter,
+)
+from repro.params import NeighborhoodConfig
+
+
+def test_ablation_subpixel(benchmark, results_dir):
+    """RMSE with and without parabolic refinement on fractional motion."""
+    size = 64
+    base = smooth_random_field(size, seed=5, smoothing=2.0)
+    yy, xx = np.meshgrid(np.arange(size, dtype=float), np.arange(size, dtype=float), indexing="ij")
+    truth = (1.4, -0.3)
+    shifted = ndimage.map_coordinates(
+        base, np.stack([yy + 0.3, xx - 1.4]), order=3, mode="grid-wrap"
+    )
+    cfg = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=0)
+    prep = prepare_frames(base, shifted, cfg)
+
+    def run():
+        integer = track_dense(prep)
+        return integer, refine(prep, integer)
+
+    integer, refined = benchmark.pedantic(run, rounds=1, iterations=1)
+    u_t = np.full((size, size), truth[0])
+    v_t = np.full((size, size), truth[1])
+
+    def rmse(r):
+        e = np.hypot(r.u - u_t, r.v - v_t)[r.valid]
+        return float(np.sqrt((e**2).mean()))
+
+    rows = [("integer search", rmse(integer)), ("sub-pixel refined", rmse(refined))]
+    # a real reduction (the winning-hypothesis scatter bounds the gain;
+    # the pure quantization component shrinks by ~half)
+    assert rows[1][1] < rows[0][1] * 0.95
+    table = format_table(
+        rows,
+        headers=["Estimator", "RMSE (px), truth (1.4, -0.3)"],
+        title="Extension ablation -- sub-pixel refinement",
+        float_format="{:.3f}",
+    )
+    (results_dir / "ablation_subpixel.txt").write_text(table)
+    print("\n" + table)
+
+
+def test_ablation_robust_irls(benchmark, results_dir):
+    """Parameter recovery under corrupted template samples."""
+    rng = np.random.default_rng(8)
+    n = 200
+    p = rng.normal(scale=0.5, size=n)
+    q = rng.normal(scale=0.5, size=n)
+    theta = np.array([0.02, -0.01, 0.015, 0.03, -0.02, 0.01])
+    a_i, b_i, a_j, b_j, a_k, b_k = theta
+    p_after = (p + a_k - a_j * q + b_j * p) / (1 + a_i + b_j)
+    q_after = (q + b_k - b_i * p + a_i * q) / (1 + a_i + b_j)
+    e = 1.0 + p * p
+    g = 1.0 + q * q
+    p_bad = p_after.copy()
+    p_bad[: n // 10] += 5.0  # 10% gross outliers
+
+    def run():
+        ols = estimate_from_samples(p, q, p_bad, q_after, e, g)
+        huber = robust_estimate_from_samples(p, q, p_bad, q_after, e, g, loss="huber")
+        tukey = robust_estimate_from_samples(p, q, p_bad, q_after, e, g, loss="tukey")
+        return ols, huber, tukey
+
+    ols, huber, tukey = benchmark(run)
+    rows = [
+        ("least squares", float(np.linalg.norm(ols.params - theta))),
+        ("Huber IRLS", float(np.linalg.norm(huber.params - theta))),
+        ("Tukey IRLS", float(np.linalg.norm(tukey.params - theta))),
+    ]
+    assert rows[1][1] < rows[0][1]
+    assert rows[2][1] < rows[0][1] / 2
+    table = format_table(
+        rows,
+        headers=["Estimator", "||theta_est - theta_true|| (10% outliers)"],
+        title="Extension ablation -- robust motion-parameter estimation",
+        float_format="{:.4f}",
+    )
+    (results_dir / "ablation_robust.txt").write_text(table)
+    print("\n" + table)
+
+
+def test_ablation_classified_postprocess(benchmark, results_dir):
+    """Plain vs class-aware vector median at a two-deck boundary."""
+    h = w = 32
+    xx = np.arange(w)[None, :].repeat(h, 0)
+    high = xx >= w // 2
+    height = np.where(high, 10.0, 1.0)
+    u = np.where(high, 3.0, 1.0).astype(float)
+    u_clean = u.copy()
+    rng = np.random.default_rng(11)
+    speckles = rng.choice(h * w, size=20, replace=False)
+    u.ravel()[speckles] = -6.0
+    field = MotionField(
+        u=u,
+        v=np.zeros((h, w)),
+        valid=np.ones((h, w), bool),
+        error=np.zeros((h, w)),
+        dt_seconds=100.0,
+    )
+    labels = classify(height)
+
+    def run():
+        plain = vector_median_filter(field, half_width=2)
+        aware = classified_median_filter(field, labels, half_width=2)
+        return plain, aware
+
+    plain, aware = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def stats(f):
+        err = np.abs(f.u - u_clean)
+        boundary = np.abs(xx - w // 2) <= 2
+        return float(err.mean()), float(err[boundary].mean())
+
+    rows = [
+        ("plain vector median",) + stats(plain),
+        ("classified vector median",) + stats(aware),
+    ]
+    # both despeckle; only the classified filter keeps the boundary sharp
+    assert rows[1][2] <= rows[0][2]
+    assert rows[1][1] < np.abs(field.u - u_clean).mean()
+    table = format_table(
+        rows,
+        headers=["Filter", "mean |err| (px)", "boundary |err| (px)"],
+        title="Extension ablation -- class-aware motion post-processing",
+        float_format="{:.3f}",
+    )
+    (results_dir / "ablation_postprocess.txt").write_text(table)
+    print("\n" + table)

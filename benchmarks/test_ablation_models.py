@@ -1,0 +1,88 @@
+"""Ablation -- semi-fluid vs continuous model across motion classes.
+
+The paper's model hierarchy (Section 1-2): rigid translation < locally
+affine < semi-fluid (independent small-patch motion).  This ablation
+tracks three synthetic scenes spanning the hierarchy with both models
+and prints the accuracy matrix; the semi-fluid model must win its home
+regime (multi-layer motion) and tie on translation.
+"""
+
+import numpy as np
+
+from repro import SMAnalyzer
+from repro.analysis.report import format_table, write_csv
+from repro.data.advect import advect
+from repro.data.flow import AffineFlow
+from repro.data.noise import smooth_random_field
+from repro.params import NeighborhoodConfig
+from tests.conftest import translated_pair
+
+SIZE = 72
+
+
+def scenes():
+    """(name, frame0, frame1, u_true, v_true) across the motion hierarchy."""
+    out = []
+    f0, f1 = translated_pair(size=SIZE, dx=2, dy=-1, seed=70)
+    out.append(
+        ("rigid translation", f0, f1, np.full((SIZE, SIZE), 2.0), np.full((SIZE, SIZE), -1.0))
+    )
+
+    base = smooth_random_field(SIZE, seed=71, smoothing=1.5)
+    center = (SIZE - 1) / 2.0
+    flow = AffineFlow(a_i=0.02, b_j=-0.02, u0=1.0, v0=0.5, center=(center, center))
+    u_true, v_true = flow.grid(SIZE, SIZE)
+    out.append(("locally affine", base, advect(base, flow), u_true, v_true))
+
+    stripes = smooth_random_field(SIZE, seed=72, smoothing=1.2)
+    yy = np.arange(SIZE)[:, None].repeat(SIZE, 1)
+    block = (yy // 8) % 2
+    f1s = np.where(
+        block == 0, np.roll(stripes, (0, 1), (0, 1)), np.roll(stripes, (0, 2), (0, 1))
+    )
+    out.append(
+        (
+            "multi-layer stripes",
+            stripes,
+            f1s,
+            np.where(block == 0, 1.0, 2.0).astype(float),
+            np.zeros((SIZE, SIZE)),
+        )
+    )
+    return out
+
+
+def test_ablation_model_matrix(benchmark, results_dir):
+    cfg_sf = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=1, n_st=2, name="semi-fluid")
+    cfg_cont = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=0, name="continuous")
+
+    def run_matrix():
+        rows = []
+        for name, f0, f1, u_true, v_true in scenes():
+            rmse_sf = SMAnalyzer(cfg_sf).track_pair(f0, f1).rmse_against(u_true, v_true)
+            rmse_cont = SMAnalyzer(cfg_cont).track_pair(f0, f1).rmse_against(u_true, v_true)
+            rows.append((name, rmse_sf, rmse_cont))
+        return rows
+
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    by_scene = {name: (sf, cont) for name, sf, cont in rows}
+
+    # translation: both exact
+    assert by_scene["rigid translation"][0] == 0.0
+    assert by_scene["rigid translation"][1] == 0.0
+    # affine: both near the integer-search quantization floor
+    assert by_scene["locally affine"][0] < 1.3
+    assert by_scene["locally affine"][1] < 1.3
+    # multi-layer: semi-fluid clearly better (the paper's design regime)
+    sf, cont = by_scene["multi-layer stripes"]
+    assert sf < cont * 0.8
+
+    table = format_table(
+        rows,
+        headers=["Scene", "Semi-fluid RMSE (px)", "Continuous RMSE (px)"],
+        title="Model ablation -- accuracy across the motion hierarchy",
+        float_format="{:.3f}",
+    )
+    (results_dir / "ablation_models.txt").write_text(table)
+    write_csv(results_dir / "ablation_models.csv", rows, headers=["scene", "semifluid", "continuous"])
+    print("\n" + table)

@@ -1,0 +1,89 @@
+"""Ablation (Section 4.1) -- template-mapping precompute vs naive recompute.
+
+"To avoid recomputing the template mapping (9) for overlapping pixels
+within the template neighborhood, it is more efficient to pre-compute
+the template mapping for all pixels", plus the further optimization of
+computing the error term over the enlarged (2N_zs + 2N_ss + 1)^2
+neighborhood once and window-minimizing.
+
+The naive scheme evaluates the semi-fluid mapping independently for
+every (tracked pixel, hypothesis, template pixel) triple; the
+precompute scheme evaluates each (pixel, displacement) score exactly
+once.  This bench counts both (analytically, at paper scale) and
+measures the real speed difference of the two implementations at
+reduced scale.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.semifluid import compute_score_volume, discriminant_field, semifluid_map_pixel
+from repro.params import FREDERIC_CONFIG, NeighborhoodConfig
+from tests.conftest import translated_pair
+
+
+def operation_counts(config, pixels):
+    """Semi-fluid score evaluations: naive vs Section 4.1 precompute."""
+    naive = (
+        pixels
+        * config.hypotheses_per_pixel
+        * config.template_pixels
+        * config.semifluid_candidates
+    )
+    precomputed = pixels * config.precompute_window**2
+    return naive, precomputed
+
+
+def test_ablation_precompute_counts(benchmark, results_dir):
+    naive, pre = benchmark(operation_counts, FREDERIC_CONFIG, 512 * 512)
+    reduction = naive / pre
+    rows = [
+        ("naive recompute", f"{naive:.3e} score evaluations"),
+        ("Section 4.1 precompute", f"{pre:.3e} score evaluations"),
+        ("reduction", f"{reduction:.0f}x"),
+    ]
+    table = format_table(rows, title="Section 4.1 ablation -- semi-fluid score evaluations (paper scale)")
+    (results_dir / "ablation_precompute.txt").write_text(table)
+    print("\n" + table)
+    # 169 hypotheses x 14641 template pixels x 9 candidates vs 225 scores
+    assert reduction > 10_000
+
+
+def test_ablation_precompute_measured(benchmark, results_dir):
+    """Real timing: the dense precompute vs per-pixel naive evaluation
+    over a small tracked region."""
+    cfg = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=1, n_st=2)
+    f0, f1 = translated_pair(size=48, dx=1, dy=1, seed=44)
+    d0 = discriminant_field(f0, cfg.n_w)
+    d1 = discriminant_field(f1, cfg.n_w)
+
+    volume = benchmark(compute_score_volume, d0, d1, cfg)
+    assert volume.scores.shape[0] == cfg.precompute_window**2
+
+    # spot-check: the precomputed scores induce the same mapping as the
+    # naive per-pixel evaluation
+    from repro.core.semifluid import semifluid_displacements
+
+    dy, dx = semifluid_displacements(volume, 1, 1, cfg.n_ss)
+    for (x, y) in [(20, 20), (24, 18)]:
+        ref = semifluid_map_pixel(d0, d1, x, y, 1, 1, cfg)
+        assert (int(dy[y, x]), int(dx[y, x])) == ref
+
+
+def test_ablation_naive_reference_cost(benchmark):
+    """The naive path, timed on a tiny region -- pytest-benchmark's
+    comparison against the precompute above quantifies the win."""
+    cfg = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=1, n_st=2)
+    f0, f1 = translated_pair(size=48, dx=1, dy=1, seed=44)
+    d0 = discriminant_field(f0, cfg.n_w)
+    d1 = discriminant_field(f1, cfg.n_w)
+
+    def naive_region():
+        out = []
+        for y in range(20, 24):
+            for x in range(20, 24):
+                out.append(semifluid_map_pixel(d0, d1, x, y, 1, 1, cfg))
+        return out
+
+    results = benchmark(naive_region)
+    assert len(results) == 16

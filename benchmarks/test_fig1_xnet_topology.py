@@ -1,0 +1,83 @@
+"""Fig. 1 -- the 128 x 128 PE array with 8-way X-net interconnect.
+
+Regenerates the figure's content operationally: the (iyproc, ixproc)
+plural indexing, the eight-neighbor toroidal connectivity, and the
+X-net-vs-router bandwidth relationship the paper's Section 3.1 builds
+its communication strategy on ("the X-net bandwidth is 18 times higher
+than router communication").
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.maspar.machine import GODDARD_MP2, scaled_machine
+from repro.maspar.pe_array import PEArray
+from repro.maspar.router import mesh_equivalent_seconds, router_gather
+from repro.maspar.xnet import DIRECTIONS, xnet_shift_direction
+
+
+def test_fig1_indexing_and_connectivity(benchmark, results_dir):
+    """Every PE reaches all eight neighbors in one shift, toroidally."""
+    pe = PEArray(scaled_machine(16, 16))
+    iy, ix = pe.iproc()
+    plural = pe.from_array((iy * 16 + ix).astype(float), name="ids")
+
+    def probe_all_directions():
+        results = {}
+        with pe.scope():  # reclaim the shifted temporaries per round
+            for name in DIRECTIONS:
+                results[name] = xnet_shift_direction(plural, name).data.copy()
+        return results
+
+    shifted = benchmark(probe_all_directions)
+    for name, (dy, dx) in DIRECTIONS.items():
+        expected = np.roll(plural.data, shift=(dy, dx), axis=(0, 1))
+        np.testing.assert_array_equal(shifted[name], expected)
+
+    rows = [
+        ("PE grid", f"{GODDARD_MP2.nyproc} x {GODDARD_MP2.nxproc} = {GODDARD_MP2.n_pes} PEs"),
+        ("indexing", "(iyproc, ixproc) predefined plural variables"),
+        ("interconnect", "8-way X-net mesh, toroidal"),
+        ("directions", ", ".join(sorted(DIRECTIONS))),
+    ]
+    table = format_table(rows, title="Fig. 1 (regenerated) -- PE array indexing & X-net")
+    (results_dir / "fig1.txt").write_text(table)
+    print("\n" + table)
+
+
+def test_fig1_xnet_router_ratio(benchmark, results_dir):
+    """The 18x bandwidth ratio, measured through the cost model."""
+    pe = PEArray(scaled_machine(16, 16))
+
+    def measure():
+        return mesh_equivalent_seconds(pe, 1 << 30)
+
+    xnet_s, router_s = benchmark(measure)
+    ratio = router_s / xnet_s
+    assert round(ratio) == 18
+    lines = [
+        f"X-net aggregate bandwidth : 23.0 GB/s -> {xnet_s * 1e3:.3f} ms per GiB",
+        f"Router sustained bandwidth:  1.3 GB/s -> {router_s * 1e3:.3f} ms per GiB",
+        f"ratio: {ratio:.1f}x (paper: 18x)",
+    ]
+    (results_dir / "fig1_bandwidth.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+
+def test_fig1_router_reaches_distant_pes(benchmark):
+    """The router serves arbitrary permutations the mesh would need many
+    hops for -- at its lower bandwidth."""
+    pe = PEArray(scaled_machine(16, 16))
+    iy, ix = pe.iproc()
+    plural = pe.from_array((iy + ix).astype(float))
+    # fetch from the diagonally opposite PE
+    src_y = (pe.machine.nyproc - 1) - iy
+    src_x = (pe.machine.nxproc - 1) - ix
+
+    def gather_opposite():
+        with pe.scope():
+            return router_gather(plural, src_y, src_x).data.copy()
+
+    out = benchmark(gather_opposite)
+    np.testing.assert_array_equal(out, plural.data[src_y, src_x])
+    assert pe.ledger.phases["unattributed"].router_bytes > 0

@@ -1,0 +1,83 @@
+"""Fig. 2 -- the 2-D hierarchical data mapping.
+
+Regenerates the figure's 4 x 4-image-on-2 x 2-PEs layout from
+eqs. (12)-(13), benchmarks the scatter/gather of the paper-scale
+512 x 512 image onto the 128 x 128 grid ("storing 16 pixels per PE"),
+and runs the Section 3.2 ablation: hierarchical vs cut-and-stack
+communication volume for SMA neighborhood fetches.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, write_csv
+from repro.maspar.mapping import CutAndStackMapping, HierarchicalMapping
+
+
+def test_fig2_layout_regeneration(benchmark, results_dir):
+    """The exact Fig. 2 case: M x N = 4 x 4 on nyproc = nxproc = 2."""
+    mapping = HierarchicalMapping(height=4, width=4, nyproc=2, nxproc=2)
+
+    def layout():
+        rows = []
+        for y in range(4):
+            for x in range(4):
+                iy, ix, mem = mapping.to_pe(x, y)
+                rows.append((f"D{y * 4 + x}", f"({x},{y})", f"PE({int(iy)},{int(ix)})", f"L{int(mem)}"))
+        return rows
+
+    rows = benchmark(layout)
+    # each PE holds exactly 4 data elements across 4 layers
+    by_pe: dict[str, int] = {}
+    for _, _, pe_label, _ in rows:
+        by_pe[pe_label] = by_pe.get(pe_label, 0) + 1
+    assert set(by_pe.values()) == {4}
+
+    table = format_table(
+        rows,
+        headers=["Data element", "(x, y)", "Processor", "Layer"],
+        title="Fig. 2 (regenerated) -- hierarchical mapping, 4x4 image on 2x2 PEs",
+    )
+    (results_dir / "fig2.txt").write_text(table)
+    print("\n" + table)
+
+
+def test_fig2_paper_scale_scatter(benchmark):
+    """512 x 512 on 128 x 128: 16 layers; scatter/gather round-trip."""
+    mapping = HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+    assert mapping.layers == 16
+    rng = np.random.default_rng(0)
+    img = rng.normal(size=(512, 512))
+
+    def roundtrip():
+        return mapping.gather(mapping.scatter(img))
+
+    out = benchmark(roundtrip)
+    np.testing.assert_array_equal(out, img)
+
+
+def test_fig2_mapping_ablation(benchmark, results_dir):
+    """Section 3.2: hierarchical mapping minimizes inter-PE transfers
+    for local-neighborhood access; cut-and-stack pays on every offset."""
+    hier = HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+    cas = CutAndStackMapping(height=512, width=512, nyproc=128, nxproc=128)
+
+    def compare():
+        rows = []
+        for n, label in [(2, "5x5 surface patch"), (6, "13x13 z-search"), (60, "121x121 z-template")]:
+            rows.append(
+                (label, hier.boundary_crossings(n), cas.boundary_crossings(n))
+            )
+        return rows
+
+    rows = benchmark(compare)
+    for _, hier_cross, cas_cross in rows:
+        assert hier_cross < cas_cross
+
+    table = format_table(
+        rows,
+        headers=["Window", "Hierarchical off-PE offsets", "Cut-and-stack off-PE offsets"],
+        title="Fig. 2 ablation -- communication volume per pixel window fetch",
+    )
+    (results_dir / "fig2_ablation.txt").write_text(table)
+    write_csv(results_dir / "fig2_ablation.csv", rows, headers=["window", "hierarchical", "cut_and_stack"])
+    print("\n" + table)

@@ -1,0 +1,93 @@
+"""Fig. 3 / Section 4.2 -- snake vs raster-scan neighborhood read-out.
+
+Regenerates the snake read-out path of Fig. 3 and reruns the paper's
+design experiment: modeled read-out time for both schemes at Table 1
+geometry.  The paper's conclusion -- "[the raster-scan] approach was
+found to be faster and was thus incorporated within the implementation"
+-- must hold in the model, and both schemes must deliver identical
+window data.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, write_csv
+from repro.maspar.machine import GODDARD_MP2
+from repro.maspar.mapping import HierarchicalMapping
+from repro.maspar.readout import RasterScanReadout, SnakeReadout
+
+
+def test_fig3_snake_path_regeneration(benchmark, results_dir):
+    path = benchmark(SnakeReadout.snake_path, 2)
+    # boustrophedon: row-major, alternating direction, unit steps
+    assert path[0] == (-2, -2)
+    assert path[4] == (-2, 2)
+    assert path[5] == (-1, 2)  # turn down, reverse direction
+    assert path[-1] in {(2, -2), (2, 2)}
+    for (ay, ax), (by, bx) in zip(path, path[1:]):
+        assert max(abs(by - ay), abs(bx - ax)) == 1
+
+    lines = ["Fig. 3 (regenerated) -- snake read-out order, 5x5 window:"]
+    grid = {}
+    for order, (oy, ox) in enumerate(path):
+        grid[(oy, ox)] = order
+    for oy in range(-2, 3):
+        lines.append(" ".join(f"{grid[(oy, ox)]:3d}" for ox in range(-2, 3)))
+    (results_dir / "fig3.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+
+def test_fig3_scheme_comparison_paper_scale(benchmark, results_dir):
+    """Modeled read-out time at the Table 1 geometry (z-template 121x121,
+    512x512 image on 128x128 PEs)."""
+    mapping = HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+    m = GODDARD_MP2
+
+    def compare():
+        rows = []
+        for half_width, label in [(2, "5x5"), (6, "13x13"), (60, "121x121")]:
+            snake = SnakeReadout().stats(mapping, half_width)
+            raster = RasterScanReadout().stats(mapping, half_width)
+            rows.append(
+                (
+                    label,
+                    snake.seconds(m.xnet_bw, m.mem_direct_bw),
+                    raster.seconds(m.xnet_bw, m.mem_direct_bw),
+                    snake.mesh_shifts,
+                    raster.mesh_shifts,
+                )
+            )
+        return rows
+
+    rows = benchmark(compare)
+    # the paper's conclusion at the template scale that matters
+    big = rows[-1]
+    assert big[2] < big[1]  # raster faster than snake at 121x121
+
+    table = format_table(
+        rows,
+        headers=["Window", "Snake (s)", "Raster (s)", "Snake shifts", "Raster shifts"],
+        title="Section 4.2 (regenerated) -- read-out scheme comparison, paper scale",
+        float_format="{:.5f}",
+    )
+    (results_dir / "fig3_comparison.txt").write_text(table)
+    write_csv(
+        results_dir / "fig3_comparison.csv",
+        rows,
+        headers=["window", "snake_s", "raster_s", "snake_shifts", "raster_shifts"],
+    )
+    print("\n" + table)
+
+
+def test_fig3_schemes_deliver_identical_data(benchmark):
+    mapping = HierarchicalMapping(height=64, width=64, nyproc=8, nxproc=8)
+    rng = np.random.default_rng(1)
+    img = rng.normal(size=(64, 64))
+
+    def both():
+        return (
+            SnakeReadout().run(img, mapping, 3),
+            RasterScanReadout().run(img, mapping, 3),
+        )
+
+    snake, raster = benchmark(both)
+    np.testing.assert_array_equal(snake, raster)

@@ -1,0 +1,62 @@
+"""Pipeline benchmark -- the parallel ASA stage (Section 2.1).
+
+The stereo substrate "has been parallelized for the MasPar MP-2 [12]";
+in the full pipeline its cost is negligible next to hypothesis matching
+(Table 2: the surface stages take seconds against ten hours).  This
+bench measures the real hierarchical ASA on the rendered Frederic pair,
+asserts parallel == sequential disparities, and checks the pipeline
+cost ordering at matched scale.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.maspar.machine import scaled_machine
+from repro.parallel import ParallelASA, ParallelSMA
+from repro.stereo.asa import ASAConfig, estimate_disparity
+
+
+def test_parallel_asa_agreement_and_cost(benchmark, frederic_small, results_dir):
+    pair = frederic_small.stereo_pairs[0]
+    machine = scaled_machine(8, 8)
+    driver = ParallelASA(machine, ASAConfig(levels=3))
+
+    result = benchmark.pedantic(
+        lambda: driver.estimate(pair.left, pair.right), rounds=1, iterations=1
+    )
+    sequential = estimate_disparity(pair.left, pair.right, ASAConfig(levels=3))
+    np.testing.assert_array_equal(result.disparity, sequential.disparity)
+
+    table = format_table(
+        list(result.breakdown()) + [("Total", result.total_seconds)],
+        headers=["Stage", "Modeled MP-2 seconds"],
+        title="Parallel ASA (96x96 on an 8x8 sub-array)",
+        float_format="{:.5f}",
+    )
+    (results_dir / "pipeline_stereo.txt").write_text(table)
+    print("\n" + table)
+
+
+def test_stereo_negligible_next_to_matching(benchmark, frederic_small, results_dir):
+    """The Table 2 structural fact: the stereo stage is invisible in the
+    pair-processing budget."""
+    ds = frederic_small
+    machine = scaled_machine(8, 8)
+    pair = ds.stereo_pairs[0]
+
+    def both():
+        asa = ParallelASA(machine, ASAConfig(levels=3)).estimate(pair.left, pair.right)
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        sma = ParallelSMA(cfg, machine=machine).track_pair(ds.frames[0], ds.frames[1])
+        return asa.total_seconds, sma.total_seconds
+
+    asa_seconds, sma_seconds = benchmark.pedantic(both, rounds=1, iterations=1)
+    ratio = sma_seconds / asa_seconds
+    lines = [
+        f"parallel ASA (stereo)      : {asa_seconds:10.4f} modeled s",
+        f"parallel SMA (motion)      : {sma_seconds:10.4f} modeled s",
+        f"motion / stereo cost ratio : {ratio:10.1f}x",
+    ]
+    (results_dir / "pipeline_ratio.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+    assert ratio > 10

@@ -1,0 +1,102 @@
+"""Section 4.3 -- the PE memory budget and segmentation boundary.
+
+Reproduces the paper's sizing argument: the 23 x 23 search area with 16
+resident pixels needs 67.7 KB/PE for template mappings alone (over the
+64 KB capacity), the Table 1 13 x 13 search fits unsegmented (how
+Table 2 was run, "the template mapping data was not segmented during
+this run"), and segmentation by hypothesis rows restores feasibility
+with Z = 2 ("defining each segment as 2 rows").
+"""
+
+from repro.analysis.report import format_table, write_csv
+from repro.maspar.machine import GODDARD_MP2
+from repro.params import FREDERIC_CONFIG, NeighborhoodConfig
+from repro.parallel import max_feasible_segment_rows, plan, segments_for, template_mapping_bytes
+
+
+def test_sec43_paper_sizing_example(benchmark, results_dir):
+    def sizing():
+        return template_mapping_bytes(search_half_width=11, layers=16)
+
+    bytes_needed = benchmark(sizing)
+    assert bytes_needed == 67712  # exactly the paper's 67.7 KB (decimal)
+    assert bytes_needed > GODDARD_MP2.pe_memory_bytes
+
+    lines = [
+        "Section 4.3 sizing example (regenerated):",
+        "  23 x 23 search area, 2 floats per mapping, 16 pixels per PE",
+        f"  -> {bytes_needed} B = {bytes_needed / 1000:.1f} KB per PE (paper: 67.7 KB)",
+        f"  capacity: {GODDARD_MP2.pe_memory_bytes} B = 64 KiB -> EXCEEDED",
+    ]
+    (results_dir / "sec43_sizing.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+
+def test_sec43_feasibility_boundary(benchmark, results_dir):
+    """Sweep the segment size Z at both search geometries and locate the
+    64 KB feasibility crossover."""
+    cfg23 = NeighborhoodConfig(n_w=2, n_zs=11, n_zt=60, n_ss=1, n_st=2, name="23x23")
+
+    def sweep():
+        rows = []
+        for cfg in (FREDERIC_CONFIG, cfg23):
+            for z in range(1, cfg.search_window + 1):
+                p = plan(cfg, layers=16, segment_rows=z)
+                rows.append(
+                    (
+                        cfg.search_window,
+                        z,
+                        p.total_bytes,
+                        p.fits(GODDARD_MP2.pe_memory_bytes),
+                        segments_for(cfg, z),
+                    )
+                )
+        return rows
+
+    rows = benchmark(sweep)
+    by_cfg: dict[int, list] = {}
+    for search, z, total, fits, segs in rows:
+        by_cfg.setdefault(search, []).append((z, total, fits, segs))
+
+    # Table 1 search (13x13): unsegmented fits (Table 2 was run this way)
+    z13 = by_cfg[13]
+    assert z13[-1][2]  # z = 13 fits
+    # 23x23: unsegmented does NOT fit, Z = 2 does (the paper's choice)
+    z23 = dict((z, fits) for z, _, fits, _ in by_cfg[23])
+    assert not z23[23]
+    assert z23[2]
+
+    max_z = max_feasible_segment_rows(cfg23, 16, GODDARD_MP2)
+    assert 2 <= max_z < 23
+
+    out = [
+        (f"{search}x{search}", z, total, "fits" if fits else "OVER", segs)
+        for search, z, total, fits, segs in rows
+        if z in (1, 2, max_z, search)
+    ]
+    table = format_table(
+        out,
+        headers=["Search", "Z rows", "bytes/PE", "64 KB?", "segments"],
+        title="Section 4.3 (regenerated) -- segment-size feasibility sweep",
+    )
+    (results_dir / "sec43_feasibility.txt").write_text(table)
+    write_csv(
+        results_dir / "sec43_feasibility.csv",
+        rows,
+        headers=["search_window", "z_rows", "bytes_per_pe", "fits", "segments"],
+    )
+    print("\n" + table)
+
+
+def test_sec43_budget_breakdown(benchmark, results_dir):
+    """Per-component budget for the Table 2 (unsegmented Frederic) run."""
+    p = benchmark(plan, FREDERIC_CONFIG, 16)
+    rows = p.rows() + [("TOTAL", p.total_bytes)]
+    assert p.fits(GODDARD_MP2.pe_memory_bytes)
+    table = format_table(
+        rows,
+        headers=["Component", "bytes/PE"],
+        title="Section 4.3 (regenerated) -- unsegmented Frederic budget, 16 layers",
+    )
+    (results_dir / "sec43_budget.txt").write_text(table)
+    print("\n" + table)

@@ -1,0 +1,89 @@
+"""Section 5 -- Hurricane Luis dense-sequence throughput.
+
+"For Hurricane Luis the model F_cont was used with a z-template of
+11 x 11, and z-search of 9 x 9 to process a dense sequence of 490
+frames.  The MP-2 parallel SMA algorithm took approximately 6.0 min per
+pair of images resulting in a speed-up of over 150 when compared to the
+sequential version."
+
+This bench models the full 490-frame campaign (including the MPDA
+streaming that made it feasible -- Section 3.1) and measures real
+multi-pair tracking throughput on the reduced sequence.
+"""
+
+from repro import SMAnalyzer
+from repro.analysis.costmodel import (
+    LUIS_PARALLEL_MINUTES_PER_PAIR,
+    LUIS_SPEEDUP_FLOOR,
+    SGISequentialModel,
+    predict_parallel,
+    speedup,
+)
+from repro.analysis.report import format_table
+from repro.data import hurricane_luis
+from repro.maspar.cost import CostLedger
+from repro.maspar.disk import ParallelDiskArray
+from repro.maspar.machine import GODDARD_MP2
+from repro.params import LUIS_CONFIG
+
+
+def test_luis_modeled_campaign(benchmark, results_dir):
+    def model():
+        per_pair = predict_parallel(LUIS_CONFIG, (512, 512), n_images=2).total_seconds()
+        s = speedup(LUIS_CONFIG, (512, 512))
+        frame_bytes = 512 * 512 * 4
+        disk_seconds = 490 * frame_bytes / GODDARD_MP2.disk_bw
+        return per_pair, s, disk_seconds
+
+    per_pair, s, disk_seconds = benchmark(model)
+    total_hours = (per_pair * 489 + disk_seconds) / 3600.0
+
+    rows = [
+        ("modeled time per pair", f"{per_pair / 60.0:.2f} min (paper ~{LUIS_PARALLEL_MINUTES_PER_PAIR:.0f} min)"),
+        ("modeled speed-up", f"{s:.0f}x (paper > {LUIS_SPEEDUP_FLOOR:.0f}x)"),
+        ("MPDA streaming, 490 frames", f"{disk_seconds:.1f} s"),
+        ("modeled campaign total", f"{total_hours:.1f} h for 489 pairs"),
+    ]
+    table = format_table(rows, title="Section 5 (regenerated) -- Hurricane Luis throughput")
+    (results_dir / "sec5_luis.txt").write_text(table)
+    print("\n" + table)
+
+    assert s > LUIS_SPEEDUP_FLOOR  # "a speed-up of over 150"
+    assert per_pair < 30 * 60  # same order as the paper's 6 min
+    assert disk_seconds < per_pair  # I/O must not dominate compute
+
+
+def test_luis_sequential_would_be_impractical(benchmark):
+    """The motivating claim: 'estimation of dense semi-fluid motion
+    fields is currently impractical on sequential computers'."""
+    sgi = SGISequentialModel.calibrated()
+
+    seq = benchmark(sgi.total_seconds, LUIS_CONFIG, (512, 512))
+    campaign_days = seq * 489 / 86400.0
+    assert campaign_days > 100  # months of SGI time for one storm
+
+
+def test_luis_measured_sequence_throughput(benchmark, results_dir):
+    """Real pairwise tracking throughput on the reduced Luis sequence,
+    streamed through the disk-array model as the paper's run was."""
+    ds = hurricane_luis(size=64, n_frames=4, seed=7)
+    cfg = ds.config.replace(n_zs=2, n_zt=3)
+    analyzer = SMAnalyzer(cfg, pixel_km=ds.pixel_km)
+    disk = ParallelDiskArray(GODDARD_MP2, ledger=CostLedger(GODDARD_MP2))
+    for m, frame in enumerate(ds.frames):
+        disk.write_frame(f"t{m}", frame.surface)
+
+    def run_campaign():
+        fields = []
+        for m in range(ds.n_frames - 1):
+            f0 = disk.read_frame(f"t{m}")
+            f1 = disk.read_frame(f"t{m + 1}")
+            fields.append(analyzer.track_pair(f0, f1, dt_seconds=ds.dt_seconds))
+        return fields
+
+    fields = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    assert len(fields) == 3
+    u, v = ds.truth_uv()
+    for field in fields:
+        assert field.rmse_against(u, v) < 1.0
+    assert disk.bytes_read == 6 * ds.frames[0].surface.nbytes

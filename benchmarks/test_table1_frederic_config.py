@@ -1,0 +1,60 @@
+"""Table 1 -- neighborhood sizes for the Hurricane Frederic sequence.
+
+Regenerates the table from :data:`repro.params.FREDERIC_CONFIG` and
+verifies the paper's derived complexity arithmetic; the benchmarked
+kernel is the configuration validation + derivation itself (it sits on
+every tracking call's critical path).
+"""
+
+from repro.analysis.report import format_table, write_csv
+from repro.params import FREDERIC_CONFIG, PAPER_IMAGE_SIZE, NeighborhoodConfig
+
+PAPER_TABLE1 = [
+    ("Surface-fitting", "N_w = 2", "5 x 5"),
+    ("z-Search area", "N_zs = 6", "13 x 13"),
+    ("z-Template", "N_zT = 60", "121 x 121"),
+    ("Semi-fluid search", "N_ss = 1", "3 x 3"),
+    ("Semi-fluid template", "N_sT = 2", "5 x 5"),
+]
+
+
+def build_config():
+    cfg = NeighborhoodConfig(n_w=2, n_zs=6, n_zt=60, n_ss=1, n_st=2, name="table1")
+    return cfg.table_rows()
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    rows = benchmark(build_config)
+    assert rows == PAPER_TABLE1
+    assert FREDERIC_CONFIG.table_rows() == PAPER_TABLE1
+
+    table = format_table(
+        rows,
+        headers=["Neighborhood Type", "Variable", "Window Size in Pixels"],
+        title=f"Table 1 (regenerated) -- Hurricane Frederic, M x N = "
+        f"{PAPER_IMAGE_SIZE} x {PAPER_IMAGE_SIZE}",
+    )
+    (results_dir / "table1.txt").write_text(table)
+    write_csv(results_dir / "table1.csv", rows, headers=["type", "variable", "window"])
+    print("\n" + table)
+
+
+def test_table1_complexity_arithmetic(benchmark):
+    """Section 3's workload numbers follow from Table 1 exactly."""
+
+    def derive():
+        c = FREDERIC_CONFIG
+        return (
+            c.hypotheses_per_pixel,
+            c.template_pixels,
+            c.semifluid_candidates,
+            c.semifluid_patch_terms,
+            4 * PAPER_IMAGE_SIZE * PAPER_IMAGE_SIZE,
+        )
+
+    hyp, terms, cand, patch, ge = benchmark(derive)
+    assert hyp == 169  # "13 x 13 = 169 Gaussian-eliminations"
+    assert terms == 14641  # "121 x 121 = 14641 error terms"
+    assert cand == 9  # "evaluating 3 x 3 = 9 error terms"
+    assert patch == 25  # "5 x 5 = 25 parameters"
+    assert ge == 1048576  # "4 x 512 x 512 = 1048576 ... Gaussian-eliminations"

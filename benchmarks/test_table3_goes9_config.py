@@ -1,0 +1,50 @@
+"""Table 3 -- neighborhood sizes for the GOES-9 datasets.
+
+Paper: search area 15 x 15 (N_zs = 7), template 15 x 15 (N_zT = 7),
+surface patch 5 x 5 (N_w = 2); continuous model (no semi-fluid rows).
+"""
+
+from repro.analysis.report import format_table, write_csv
+from repro.params import GOES9_CONFIG, LUIS_CONFIG
+
+PAPER_TABLE3 = [
+    ("Surface-fitting", "N_w = 2", "5 x 5"),
+    ("z-Search area", "N_zs = 7", "15 x 15"),
+    ("z-Template", "N_zT = 7", "15 x 15"),
+]
+
+
+def test_table3_regeneration(benchmark, results_dir):
+    rows = benchmark(GOES9_CONFIG.table_rows)
+    assert rows == PAPER_TABLE3
+
+    table = format_table(
+        rows,
+        headers=["Neighborhood Type", "Variable", "Window Size in Pixels"],
+        title="Table 3 (regenerated) -- GOES-9 datasets, M x N = 512 x 512",
+    )
+    (results_dir / "table3.txt").write_text(table)
+    write_csv(results_dir / "table3.csv", rows, headers=["type", "variable", "window"])
+    print("\n" + table)
+
+
+def test_goes9_is_continuous_model(benchmark):
+    """Section 5.2: 'the continuous template mapping of (2) was used
+    rather than the semi-fluid model (9)'."""
+
+    def check():
+        return GOES9_CONFIG.is_semifluid, GOES9_CONFIG.hypotheses_per_pixel
+
+    semifluid, hyp = benchmark(check)
+    assert not semifluid
+    assert hyp == 225
+
+
+def test_luis_windows(benchmark):
+    """Section 5: 'a z-template of 11 x 11, and z-search of 9 x 9'."""
+
+    def derive():
+        return LUIS_CONFIG.template_window, LUIS_CONFIG.search_window
+
+    template, search = benchmark(derive)
+    assert (template, search) == (11, 9)

@@ -1,0 +1,107 @@
+"""Table 4 -- timing analysis for one GOES-9 Florida thunderstorm pair.
+
+Paper (MP-2, 512x512, Table 3 windows, continuous model):
+
+    Surface fit & compute geometric variables      2.4609 s
+    Hypothesis matching                          768.7578 s
+    Total                                        771.218708 s   (12.854 min)
+
+with a sequential projection of 41.357 hours and a run-time gain of 193
+-- "much smaller than the run-time gain of 1025 for the Frederic data
+set because the semi-fluid template mapping ... where the parallel
+implementation was optimized most is not needed".
+"""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    GOES9_PARALLEL_SECONDS,
+    GOES9_SEQUENTIAL_HOURS,
+    GOES9_SPEEDUP,
+    SECONDS_PER_HOUR,
+    SGISequentialModel,
+    speedup,
+    table4_model_rows,
+)
+from repro.analysis.report import format_table, write_csv
+from repro.maspar.machine import scaled_machine
+from repro.params import FREDERIC_CONFIG, GOES9_CONFIG
+from repro.parallel import ParallelSMA
+
+PAPER_ROWS = {
+    "Surface fit & compute geometric variables": 2.4609,
+    "Hypothesis matching": 768.7578,
+}
+
+
+def test_table4_modeled_full_scale(benchmark, results_dir):
+    rows = benchmark(table4_model_rows)
+    modeled = dict(rows)
+    merged_fit = modeled["Surface fit"] + modeled["Compute geometric variables"]
+    matching = modeled["Hypothesis matching"]
+
+    assert matching > 50 * merged_fit  # matching dominates, as in the paper
+    total = merged_fit + matching
+    assert GOES9_PARALLEL_SECONDS / 3 < total < GOES9_PARALLEL_SECONDS * 3
+
+    out_rows = [
+        (
+            "Surface fit & compute geometric variables",
+            PAPER_ROWS["Surface fit & compute geometric variables"],
+            merged_fit,
+        ),
+        ("Hypothesis matching", PAPER_ROWS["Hypothesis matching"], matching),
+        ("Total", sum(PAPER_ROWS.values()), total),
+    ]
+    table = format_table(
+        out_rows,
+        headers=["Subroutine", "Paper (s)", "Modeled (s)"],
+        title="Table 4 (regenerated) -- GOES-9 Florida pair on the MP-2",
+        float_format="{:.4f}",
+    )
+    (results_dir / "table4.txt").write_text(table)
+    write_csv(results_dir / "table4.csv", out_rows, headers=["phase", "paper_s", "modeled_s"])
+    print("\n" + table)
+
+
+def test_table4_speedup_and_ordering(benchmark, results_dir):
+    s_goes9 = benchmark(speedup, GOES9_CONFIG, (512, 512))
+    s_frederic = speedup(FREDERIC_CONFIG, (512, 512))
+    sgi = SGISequentialModel.calibrated()
+    seq_hours = sgi.total_seconds(GOES9_CONFIG, (512, 512)) / SECONDS_PER_HOUR
+
+    lines = [
+        f"sequential projection: paper {GOES9_SEQUENTIAL_HOURS} h, modeled {seq_hours:.3f} h",
+        f"speed-up: paper {GOES9_SPEEDUP:.0f}x, modeled {s_goes9:.0f}x",
+        f"Frederic speed-up exceeds GOES-9 speed-up: {s_frederic:.0f} > {s_goes9:.0f}",
+    ]
+    (results_dir / "table4_speedup.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    assert seq_hours == pytest.approx(GOES9_SEQUENTIAL_HOURS, rel=1e-6)
+    assert 60 < s_goes9 < 1500
+    # the paper's cross-table comparison: 1025 >> 193
+    assert s_frederic > s_goes9
+
+
+def test_table4_measured_reduced_scale(benchmark, florida_small, results_dir):
+    """Real continuous-model run on the reduced Florida workload."""
+    ds = florida_small
+    cfg = ds.config.replace(n_zs=3, n_zt=4)
+    driver = ParallelSMA(cfg, machine=scaled_machine(8, 8), pixel_km=ds.pixel_km)
+
+    result = benchmark.pedantic(
+        lambda: driver.track_pair(ds.frames[0], ds.frames[1]),
+        rounds=1,
+        iterations=1,
+    )
+    breakdown = dict(result.breakdown())
+    assert "Semi-fluid mapping" not in breakdown
+    assert breakdown["Hypothesis matching"] == max(breakdown.values())
+    table = format_table(
+        list(result.breakdown()) + [("Total", result.total_seconds)],
+        headers=["Subroutine", "Modeled MP-2 seconds (reduced scale)"],
+        title="Table 4 (measured run, 96x96 on an 8x8 sub-array)",
+    )
+    (results_dir / "table4_reduced.txt").write_text(table)
+    print("\n" + table)

@@ -1,0 +1,56 @@
+"""GOES-9 Florida thunderstorm: monocular rapid-scan tracking (Section 5.2).
+
+A dense ~1-minute-cadence sequence with no stereo: "the intensity
+images were treated as digital surfaces".  Tracks four consecutive
+pairs with the continuous model (Table 3 windows), renders Fig. 6
+style vector panels, and refines to sub-pixel with the extension.
+
+Run:  python examples/florida_thunderstorm.py
+"""
+
+import numpy as np
+
+from repro import SMAnalyzer
+from repro.analysis.report import ascii_quiver
+from repro.core.matching import prepare_frames, track_dense
+from repro.data import florida_thunderstorm
+from repro.data.noise import cloud_mask
+from repro.extensions import refine
+
+SIZE = 96
+
+
+def main() -> None:
+    print("=== GOES-9 Florida thunderstorm rapid scan ===")
+    ds = florida_thunderstorm(size=SIZE, n_frames=5, seed=1995)
+    config = ds.config.replace(n_zs=3, n_zt=4)  # Table 3 windows, reduced scale
+    analyzer = SMAnalyzer(config, pixel_km=ds.pixel_km)
+    u_true, v_true = ds.truth_uv()
+
+    print(f"{ds.n_frames} frames at {ds.dt_seconds:.0f} s cadence, "
+          f"continuous model ({config.hypotheses_per_pixel} hypotheses/pixel)")
+
+    for m in range(4):
+        frame0 = np.asarray(ds.frames[m].surface, dtype=float)
+        frame1 = np.asarray(ds.frames[m + 1].surface, dtype=float)
+        prepared = prepare_frames(frame0, frame1, config)
+        integer = track_dense(prepared)
+        subpixel = refine(prepared, integer)
+
+        def field_rmse(result):
+            err = np.hypot(result.u - u_true, result.v - v_true)[result.valid]
+            return float(np.sqrt((err**2).mean()))
+
+        print(f"pair {m}->{m + 1}: RMSE {field_rmse(integer):.3f} px integer, "
+              f"{field_rmse(subpixel):.3f} px sub-pixel refined")
+
+    # Fig. 6 style panel for the first pair: arrows over cloudy pixels.
+    field = analyzer.track_pair(ds.frames[0], ds.frames[1])
+    cloudy = cloud_mask(np.asarray(ds.frames[0].surface), coverage=0.5)
+    print("\nFig. 6 style quiver (every 6th pixel, cloudy regions):")
+    print(ascii_quiver(field.u, field.v, mask=field.valid & cloudy, stride=6))
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Hurricane Frederic: the paper's full stereo pipeline (Section 5.1).
+
+GOES-6/GOES-7 stereo pairs -> rectification -> hierarchical ASA
+disparity -> cloud-top height maps -> semi-fluid motion tracking ->
+wind-barb comparison.  Everything the 1979 campaign did, on a synthetic
+hurricane with exact ground truth.
+
+Run:  python examples/hurricane_frederic.py
+"""
+
+import numpy as np
+from scipy import ndimage
+
+from repro import Frame, SMAnalyzer
+from repro.data import barbs_for_dataset, hurricane_frederic, rms_vector_error
+from repro.stereo import ASAConfig, estimate_disparity, rectify_pair, surface_map
+
+SIZE = 96
+
+
+def main() -> None:
+    print("=== Hurricane Frederic stereo pipeline ===")
+    ds = hurricane_frederic(size=SIZE, n_frames=2, seed=1979)
+    geometry = ds.stereo_pairs[0].geometry
+    print(f"baseline geometry : {geometry.parallax_factor:.2f} km disparity per km height")
+    print(f"frame interval    : {ds.dt_seconds / 60:.1f} min, pixels {ds.pixel_km:.1f} km")
+
+    # 1. Stereo analysis per timestep: rectify, then coarse-to-fine ASA.
+    asa_config = ASAConfig(levels=3, coarse_search=4, refine_search=2)
+    heights = []
+    for t, pair in enumerate(ds.stereo_pairs):
+        right_rect, model = rectify_pair(pair.left, pair.right)
+        result = estimate_disparity(pair.left, right_rect, asa_config)
+        z = np.asarray(geometry.height_from_disparity(result.disparity))
+        # regularize stereo noise before differential-geometry tracking
+        z = ndimage.gaussian_filter(z, 2.0)
+        true_z = ds.scenes[t].height_km
+        err = np.abs(z - true_z)[12:-12, 12:-12]
+        print(f"t={t}: rectification shift {model.vertical_shift:+.0f} px, "
+              f"height error {err.mean():.2f} km mean / {np.quantile(err, 0.9):.2f} km p90")
+        heights.append(z)
+
+    # 2. Semi-fluid motion tracking on the estimated surfaces.
+    config = ds.config.replace(n_zs=3, n_zt=4)  # Table 1 windows, reduced scale
+    analyzer = SMAnalyzer(config, pixel_km=ds.pixel_km)
+    field = analyzer.track_pair(
+        Frame(heights[0], intensity=ds.scenes[0].intensity),
+        Frame(heights[1], intensity=ds.scenes[1].intensity),
+        dt_seconds=ds.dt_seconds,
+    )
+
+    # 3. The paper's evaluation: 32 wind barbs at trackable features.
+    barbs = barbs_for_dataset(ds, field.valid, seed=12)
+    estimated = field.sample(barbs.points)
+    rmse = rms_vector_error(estimated, barbs.truth_uv)
+    print(f"\n32 wind barbs, RMSE vs truth: {rmse:.3f} px "
+          "(paper: < 1 px against manual estimates)")
+
+    winds = field.wind_vectors(barbs.points)
+    print("sample barbs (pixel -> speed, direction):")
+    for (x, y), (speed, direction) in list(zip(barbs.points, winds))[:5]:
+        print(f"  ({x:3d},{y:3d}) -> {speed:6.1f} m/s from {direction:5.1f} deg")
+
+    assert rmse < 2.0
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Hurricane Luis: streaming a dense sequence through the disk array.
+
+The paper processed 490 GOES-9 frames at ~1.5-minute cadence -- far
+more data than the 1 GB of PE memory holds -- by exploiting the MPDA's
+30 MB/s sustained throughput (Section 3.1).  This example streams a
+reduced Luis sequence through the :class:`ParallelDiskArray`, tracks
+every consecutive pair with the continuous model (the paper's 11x11
+template / 9x9 search choice), and reports throughput both measured
+(this machine) and modeled (the MP-2 at full 512x512 scale).
+
+Run:  python examples/hurricane_luis_stream.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SMAnalyzer
+from repro.analysis.costmodel import SGISequentialModel, predict_parallel, speedup
+from repro.data import hurricane_luis
+from repro.maspar import CostLedger, GODDARD_MP2, ParallelDiskArray
+from repro.params import LUIS_CONFIG
+
+SIZE = 64
+N_FRAMES = 6
+
+
+def main() -> None:
+    print("=== Hurricane Luis dense-sequence streaming ===")
+    ds = hurricane_luis(size=SIZE, n_frames=N_FRAMES, seed=1995_09)
+    config = ds.config.replace(n_zs=2, n_zt=3)
+    analyzer = SMAnalyzer(config, pixel_km=ds.pixel_km)
+
+    # 1. Ingest the sequence onto the (simulated) parallel disk array.
+    ledger = CostLedger(GODDARD_MP2)
+    disk = ParallelDiskArray(GODDARD_MP2, ledger=ledger)
+    for m, frame in enumerate(ds.frames):
+        disk.write_frame(f"luis-{m:03d}", np.asarray(frame.surface))
+    print(f"ingested {len(disk)} frames ({disk.stored_bytes / 2**20:.1f} MiB) "
+          f"-> modeled MPDA write time {disk.transfer_seconds(disk.bytes_written):.3f} s")
+
+    # 2. Stream pairs off disk and track.
+    u_true, v_true = ds.truth_uv()
+    start = time.perf_counter()
+    fields = []
+    for m in range(N_FRAMES - 1):
+        f0 = disk.read_frame(f"luis-{m:03d}")
+        f1 = disk.read_frame(f"luis-{m + 1:03d}")
+        fields.append(analyzer.track_pair(f0, f1, dt_seconds=ds.dt_seconds))
+    elapsed = time.perf_counter() - start
+    rmses = [f.rmse_against(u_true, v_true) for f in fields]
+    print(f"tracked {len(fields)} pairs in {elapsed:.2f} s "
+          f"({elapsed / len(fields):.2f} s/pair on this machine)")
+    print(f"RMSE vs truth per pair: {', '.join(f'{r:.2f}' for r in rmses)} px")
+
+    # 3. Model the paper's full campaign: 490 frames, 512x512, MP-2.
+    per_pair = predict_parallel(LUIS_CONFIG, (512, 512), n_images=2).total_seconds()
+    s = speedup(LUIS_CONFIG, (512, 512))
+    seq_hours = SGISequentialModel.calibrated().total_seconds(LUIS_CONFIG, (512, 512)) / 3600
+    campaign_hours = per_pair * 489 / 3600
+    print("\nfull-scale model (512x512 on the 16K-PE MP-2):")
+    print(f"  {per_pair / 60:.2f} min per pair (paper: ~6 min)")
+    print(f"  speed-up over the SGI sequential projection: {s:.0f}x (paper: > 150x)")
+    print(f"  sequential would need {seq_hours:.1f} h per pair; "
+          f"the parallel campaign takes ~{campaign_hours:.0f} h for all 489 pairs")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Operational wind products: classification, diagnostics, trajectories.
+
+The meteorological payoff of the SMA algorithm (Section 1: winds "for
+meteorological weather forecasting, analysis, modeling and
+assimilation").  This example runs the tracker over a multi-frame
+hurricane sequence and derives the downstream products:
+
+* per-cloud-class wind statistics (the paper's §6 cloud-classification
+  direction),
+* match-confidence maps from the hypothesis error volume,
+* multi-frame tracer trajectories with view-geometry-corrected speeds
+  (border pixels span ~4 sq-km vs ~1 sq-km at center -- Section 5.1).
+
+Run:  python examples/wind_products.py
+"""
+
+import numpy as np
+
+from repro import SMAnalyzer
+from repro.analysis import integrate, peak_ratio, trajectory_speeds
+from repro.core.matching import prepare_frames
+from repro.data import hurricane_luis, pixel_scale_map, wind_speed_map
+from repro.extensions import CloudClass, class_motion_statistics, classify
+from repro.extensions.subpixel import track_dense_with_volume
+
+SIZE = 80
+N_FRAMES = 5
+
+
+def main() -> None:
+    print("=== SMA wind products ===")
+    ds = hurricane_luis(size=SIZE, n_frames=N_FRAMES, seed=7)
+    cfg = ds.config.replace(n_zs=2, n_zt=3)
+    analyzer = SMAnalyzer(cfg, pixel_km=ds.pixel_km)
+
+    # 1. Track the sequence.
+    fields = analyzer.track_sequence(ds.frames)
+    print(f"tracked {len(fields)} pairs at {ds.dt_seconds:.0f} s cadence")
+
+    # 2. Cloud classification and per-class winds (first pair).
+    # Monocular mode: build a height proxy from intensity for the classes.
+    intensity = np.asarray(ds.frames[0].surface)
+    height_proxy = 12.0 * intensity  # bright tops are high tops
+    labels = classify(height_proxy, intensity)
+    stats = class_motion_statistics(fields[0], labels)
+    print("\nper-class winds (pair 0):")
+    for s in stats:
+        if s.pixels == 0:
+            continue
+        print(f"  {CloudClass(s.label).name:10s}: {s.pixels:5d} px, "
+              f"{s.mean_speed_mps:5.1f} m/s mean "
+              f"(u={s.mean_u:+.2f}, v={s.mean_v:+.2f} px)")
+
+    # 3. Match confidence from the hypothesis error volume.
+    prep = prepare_frames(
+        np.asarray(ds.frames[0].surface, float),
+        np.asarray(ds.frames[1].surface, float),
+        cfg,
+    )
+    result, volume = track_dense_with_volume(prep)
+    ratio = peak_ratio(volume)
+    confident = (ratio < 0.5) & result.valid
+    print(f"\nconfident matches: {100 * confident.sum() / result.valid.sum():.0f}% "
+          "of valid pixels (peak ratio < 0.5)")
+
+    # 4. Tracer trajectories through the sequence.
+    c = SIZE / 2
+    seeds = np.array([[c + 12.0, c], [c, c + 12.0], [c - 12.0, c]])
+    traj = integrate(fields, seeds)
+    speeds = trajectory_speeds(traj, pixel_km=ds.pixel_km)
+    print(f"\ntrajectories over {traj.n_steps} steps:")
+    for i in range(traj.n_points):
+        x0, y0 = traj.positions[0, i]
+        x1, y1 = traj.positions[-1, i]
+        print(f"  tracer {i}: ({x0:.0f},{y0:.0f}) -> ({x1:.1f},{y1:.1f}), "
+              f"path {traj.path_length()[i]:.1f} px, "
+              f"mean {speeds[:, i].mean():.1f} m/s")
+
+    # 5. View-geometry correction: the same displacement is a faster
+    # wind at the image border.
+    scale = pixel_scale_map(SIZE, center_gsd_km=ds.pixel_km)
+    speed_map = wind_speed_map(fields[0].u, fields[0].v, scale, ds.dt_seconds)
+    flat_speed = fields[0].wind_speed()
+    m = fields[0].valid
+    print(f"\nview-geometry correction: flat-scale mean "
+          f"{flat_speed[m].mean():.1f} m/s vs corrected {speed_map[m].mean():.1f} m/s "
+          f"(border pixels span ~{(scale[0, 0] / scale[SIZE // 2, SIZE // 2]) ** 2:.1f}x the area)")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for offline legacy editable installs (no `wheel` package).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` in network-isolated environments.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""``python -m repro`` -- the command-line interface entry point.
+
+Equivalent to the ``repro`` console script (which requires a
+PEP 517-capable install); this path works in any environment where the
+package is importable.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

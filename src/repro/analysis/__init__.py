@@ -1,0 +1,98 @@
+"""Evaluation harness: metrics, timing models, baselines, reporting.
+
+Accuracy metrics and the parallel-vs-sequential identity predicate
+(:mod:`.metrics`), the MP-2 / SGI timing models regenerating Tables 2
+and 4 and Figure 4 (:mod:`.costmodel`), the Horn-Schunck prior-art
+baseline (:mod:`.baselines`) and table/figure renderers
+(:mod:`.report`).
+"""
+
+from .baselines import AVERAGE_KERNEL, HornSchunckResult, horn_schunck, hs_derivatives
+from .diagnostics import (
+    ambiguity_mask,
+    confidence_weights,
+    error_margin,
+    peak_ratio,
+    second_minimum_outside_neighborhood,
+)
+from .trajectories import Trajectory, integrate, sample_bilinear, trajectory_speeds
+from .costmodel import (
+    FREDERIC_FIG4_ESTIMATE_DAYS,
+    FREDERIC_PARALLEL_SECONDS,
+    FREDERIC_SEQUENTIAL_DAYS,
+    FREDERIC_SPEEDUP,
+    GOES9_PARALLEL_SECONDS,
+    GOES9_SEQUENTIAL_HOURS,
+    GOES9_SPEEDUP,
+    LUIS_PARALLEL_MINUTES_PER_PAIR,
+    LUIS_SPEEDUP_FLOOR,
+    TABLE2_PAPER_ROWS,
+    TABLE4_PAPER_ROWS,
+    SGISequentialModel,
+    predict_parallel,
+    speedup,
+    table2_model_rows,
+    table4_model_rows,
+)
+from .metrics import (
+    FieldComparison,
+    angular_error_deg,
+    compare_fields,
+    endpoint_error,
+    fields_identical,
+    rmse,
+)
+from .report import (
+    ascii_quiver,
+    format_table,
+    quiver_panel,
+    to_gray_bytes,
+    write_csv,
+    write_pgm,
+    write_ppm,
+)
+
+__all__ = [
+    "AVERAGE_KERNEL",
+    "ambiguity_mask",
+    "confidence_weights",
+    "error_margin",
+    "peak_ratio",
+    "second_minimum_outside_neighborhood",
+    "Trajectory",
+    "integrate",
+    "sample_bilinear",
+    "trajectory_speeds",
+    "HornSchunckResult",
+    "horn_schunck",
+    "hs_derivatives",
+    "FREDERIC_FIG4_ESTIMATE_DAYS",
+    "FREDERIC_PARALLEL_SECONDS",
+    "FREDERIC_SEQUENTIAL_DAYS",
+    "FREDERIC_SPEEDUP",
+    "GOES9_PARALLEL_SECONDS",
+    "GOES9_SEQUENTIAL_HOURS",
+    "GOES9_SPEEDUP",
+    "LUIS_PARALLEL_MINUTES_PER_PAIR",
+    "LUIS_SPEEDUP_FLOOR",
+    "TABLE2_PAPER_ROWS",
+    "TABLE4_PAPER_ROWS",
+    "SGISequentialModel",
+    "predict_parallel",
+    "speedup",
+    "table2_model_rows",
+    "table4_model_rows",
+    "FieldComparison",
+    "angular_error_deg",
+    "compare_fields",
+    "endpoint_error",
+    "fields_identical",
+    "rmse",
+    "ascii_quiver",
+    "format_table",
+    "quiver_panel",
+    "to_gray_bytes",
+    "write_csv",
+    "write_pgm",
+    "write_ppm",
+]

@@ -1,0 +1,104 @@
+"""Matching diagnostics: confidence and ambiguity of the hypothesis search.
+
+The SMA reports the error-minimizing hypothesis, but operational wind
+production needs to know *how decisively* it won: a flat error surface
+means the template was ambiguous (periodic cloud streets, bland anvil
+tops) and the vector should be down-weighted or rejected.  Standard
+diagnostics from the matching literature, computed from the hypothesis
+error volume that :func:`repro.extensions.subpixel.track_dense_with_volume`
+retains:
+
+* :func:`peak_ratio` -- best error / second-best error outside the
+  winner's immediate neighborhood (near 0 = decisive, near 1 =
+  ambiguous),
+* :func:`error_margin` -- absolute gap to the runner-up,
+* :func:`ambiguity_mask` -- pixels whose ratio exceeds a threshold,
+* :func:`confidence_weights` -- a [0, 1] weight map for downstream
+  fusion (used by the coupled stereo-motion extension's fusion step and
+  by confidence-weighted relaxation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _flatten_volume(volume: np.ndarray) -> np.ndarray:
+    """(side, side, H, W) -> (side*side, H, W) with validation."""
+    volume = np.asarray(volume, dtype=np.float64)
+    if volume.ndim != 4 or volume.shape[0] != volume.shape[1]:
+        raise ValueError(f"expected a (side, side, H, W) error volume, got {volume.shape}")
+    side = volume.shape[0]
+    return volume.reshape(side * side, *volume.shape[2:])
+
+
+def second_minimum_outside_neighborhood(
+    volume: np.ndarray, exclusion_radius: int = 1
+) -> np.ndarray:
+    """Per-pixel runner-up error, excluding the winner's neighborhood.
+
+    The immediate lattice neighbors of the winner share its match (the
+    error surface is smooth), so the informative runner-up is the best
+    error at Chebyshev distance > ``exclusion_radius`` from the argmin.
+    Pixels whose entire volume lies within the exclusion zone get +inf.
+    """
+    if exclusion_radius < 0:
+        raise ValueError("exclusion_radius must be >= 0")
+    vol = np.asarray(volume, dtype=np.float64)
+    flat = _flatten_volume(vol)
+    side = vol.shape[0]
+    best_idx = np.argmin(flat, axis=0)
+    best_iy, best_ix = best_idx // side, best_idx % side
+    iy = np.arange(side)[:, None, None, None]
+    ix = np.arange(side)[None, :, None, None]
+    dist = np.maximum(np.abs(iy - best_iy[None, None]), np.abs(ix - best_ix[None, None]))
+    masked = np.where(dist > exclusion_radius, vol, np.inf)
+    return masked.min(axis=(0, 1))
+
+
+def peak_ratio(volume: np.ndarray, exclusion_radius: int = 1) -> np.ndarray:
+    """Best/runner-up error ratio in [0, 1]; small = decisive match.
+
+    Ratio 0 means a perfect winner against imperfect alternatives;
+    ratio 1 means the runner-up matched equally well (total ambiguity).
+    Pixels with no admissible runner-up get ratio 0 (trivially decisive).
+    """
+    flat = _flatten_volume(np.asarray(volume))
+    best = flat.min(axis=0)
+    second = second_minimum_outside_neighborhood(volume, exclusion_radius)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = best / second
+    ratio = np.where(np.isfinite(second) & (second > 0), ratio, 0.0)
+    return np.clip(ratio, 0.0, 1.0)
+
+
+def error_margin(volume: np.ndarray, exclusion_radius: int = 1) -> np.ndarray:
+    """Absolute runner-up gap (second - best); large = decisive."""
+    flat = _flatten_volume(np.asarray(volume))
+    best = flat.min(axis=0)
+    second = second_minimum_outside_neighborhood(volume, exclusion_radius)
+    margin = second - best
+    return np.where(np.isfinite(margin), margin, np.inf)
+
+
+def ambiguity_mask(
+    volume: np.ndarray, threshold: float = 0.8, exclusion_radius: int = 1
+) -> np.ndarray:
+    """True where the match is ambiguous (peak ratio above threshold)."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    return peak_ratio(volume, exclusion_radius) >= threshold
+
+
+def confidence_weights(
+    volume: np.ndarray, exclusion_radius: int = 1, sharpness: float = 4.0
+) -> np.ndarray:
+    """[0, 1] weights: `(1 - ratio)^sharpness`, 1 = fully trusted.
+
+    A smooth monotone map of the peak ratio suitable for weighted
+    fusion/relaxation; ``sharpness`` controls how quickly trust decays
+    as the runner-up closes in.
+    """
+    if sharpness <= 0:
+        raise ValueError("sharpness must be positive")
+    return (1.0 - peak_ratio(volume, exclusion_radius)) ** sharpness

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+A small operational front-end over the library, mirroring what the
+paper's production pipeline exposed to forecasters:
+
+* ``repro track``     -- run the SMA tracker on a synthetic dataset and
+  save/inspect the motion field,
+* ``repro winds``     -- per-cloud-class wind statistics from a saved
+  field,
+* ``repro machine``   -- the MP-2 description and the modeled Table 2 /
+  Table 4 timing rows,
+* ``repro datasets``  -- list the available paper-analogue datasets and
+  their full-scale parameters.
+
+Every command is a pure function of its arguments (no global state), so
+the test suite drives :func:`main` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis.costmodel import (
+    SGISequentialModel,
+    speedup,
+    table2_model_rows,
+    table4_model_rows,
+)
+from .analysis.report import format_table
+from .core.field import MotionField
+from .core.sma import SMAnalyzer
+from .data.datasets import (
+    PAPER_SCALE,
+    Dataset,
+    florida_thunderstorm,
+    hurricane_frederic,
+    hurricane_luis,
+)
+from .maspar.machine import GODDARD_MP2
+from .params import FREDERIC_CONFIG, GOES9_CONFIG, LUIS_CONFIG
+
+DATASET_FACTORIES = {
+    "frederic": hurricane_frederic,
+    "florida": florida_thunderstorm,
+    "luis": hurricane_luis,
+}
+
+CONFIGS = {
+    "frederic": FREDERIC_CONFIG,
+    "florida": GOES9_CONFIG,
+    "luis": LUIS_CONFIG,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semi-fluid Motion Analysis (IPPS'96 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    track = sub.add_parser("track", help="track a synthetic dataset pair")
+    track.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    track.add_argument("--size", type=int, default=96, help="image side (pixels)")
+    track.add_argument("--seed", type=int, default=0)
+    track.add_argument("--pair", type=int, default=0, help="frame pair index")
+    track.add_argument("--search", type=int, default=3, help="z-search half-width")
+    track.add_argument("--template", type=int, default=4, help="z-template half-width")
+    track.add_argument("--out", type=str, default=None, help="save the field (.npz)")
+    track.add_argument(
+        "--subpixel", action="store_true",
+        help="apply parabolic sub-pixel refinement (extensions.subpixel)",
+    )
+
+    winds = sub.add_parser("winds", help="wind statistics from a saved field")
+    winds.add_argument("field", type=str, help="MotionField .npz path")
+    winds.add_argument("--percentiles", type=str, default="50,90,99")
+
+    machine = sub.add_parser("machine", help="MP-2 description and timing model")
+    machine.add_argument("--tables", action="store_true", help="print modeled Tables 2 & 4")
+
+    sub.add_parser("datasets", help="list datasets and their paper-scale parameters")
+
+    return parser
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    factory = DATASET_FACTORIES[args.dataset]
+    n_frames = max(args.pair + 2, 2)
+    dataset: Dataset = factory(size=args.size, n_frames=n_frames, seed=args.seed)
+    config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
+    analyzer = SMAnalyzer(config, pixel_km=dataset.pixel_km)
+    field = analyzer.track_pair(dataset.frames[args.pair], dataset.frames[args.pair + 1])
+    if args.subpixel:
+        from .core.matching import prepare_frames, track_dense
+        from .extensions.subpixel import refine
+
+        before = dataset.frames[args.pair]
+        after = dataset.frames[args.pair + 1]
+        prepared = prepare_frames(
+            np.asarray(before.surface, dtype=np.float64),
+            np.asarray(after.surface, dtype=np.float64),
+            config,
+            intensity_before=before.intensity,
+            intensity_after=after.intensity,
+        )
+        refined = refine(prepared, track_dense(prepared))
+        field.u[...] = refined.u
+        field.v[...] = refined.v
+    u_true, v_true = dataset.truth_uv()
+    rmse = field.rmse_against(u_true, v_true)
+    mean_u, mean_v = field.mean_displacement()
+    rows = [
+        ("dataset", f"{dataset.name} ({args.size}x{args.size}, pair {args.pair})"),
+        ("model", field.metadata["model"]),
+        ("hypotheses/pixel", config.hypotheses_per_pixel),
+        ("valid pixels", int(field.valid.sum())),
+        ("mean displacement", f"({mean_u:+.2f}, {mean_v:+.2f}) px"),
+        ("RMSE vs truth", f"{rmse:.3f} px"),
+        ("mean wind speed", f"{field.wind_speed()[field.valid].mean():.1f} m/s"),
+    ]
+    print(format_table(rows, title="SMA tracking"))
+    if args.out:
+        field.save(args.out)
+        print(f"saved field to {args.out}")
+    return 0
+
+
+def _cmd_winds(args: argparse.Namespace) -> int:
+    field = MotionField.load(args.field)
+    speed = field.wind_speed()[field.valid]
+    direction = field.wind_direction_deg()[field.valid]
+    try:
+        percentiles = [float(p) for p in args.percentiles.split(",") if p.strip()]
+    except ValueError:
+        print("invalid --percentiles (expected comma-separated numbers)", file=sys.stderr)
+        return 2
+    rows = [
+        ("valid pixels", speed.size),
+        ("mean speed", f"{speed.mean():.1f} m/s"),
+        ("max speed", f"{speed.max():.1f} m/s"),
+        ("circular-mean direction", f"{_circular_mean_deg(direction):.0f} deg"),
+    ]
+    for p in percentiles:
+        rows.append((f"p{p:g} speed", f"{np.percentile(speed, p):.1f} m/s"))
+    print(format_table(rows, title=f"wind field ({args.field})"))
+    return 0
+
+
+def _circular_mean_deg(direction_deg: np.ndarray) -> float:
+    rad = np.radians(direction_deg)
+    return float(np.degrees(np.arctan2(np.sin(rad).mean(), np.cos(rad).mean())) % 360.0)
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    m = GODDARD_MP2
+    rows = [
+        ("PE array", f"{m.nyproc} x {m.nxproc} = {m.n_pes}"),
+        ("clock", f"{m.clock_hz / 1e6:.1f} MHz"),
+        ("PE memory", f"{m.pe_memory_bytes // 1024} KiB"),
+        ("double precision", f"{m.flops_double / 1e9:.1f} GFlops"),
+        ("X-net / router", f"{m.xnet_bw / 2**30:.1f} / {m.router_bw / 2**30:.1f} GiB/s "
+         f"({m.xnet_router_ratio:.0f}x)"),
+    ]
+    print(format_table(rows, title="MasPar MP-2 (NASA Goddard configuration)"))
+    if args.tables:
+        print(format_table(
+            table2_model_rows(),
+            headers=["phase", "modeled seconds"],
+            title="Table 2 model (Hurricane Frederic, 512x512)",
+            float_format="{:.3f}",
+        ))
+        print(f"modeled speed-up: {speedup(FREDERIC_CONFIG, (512, 512)):.0f}x "
+              "(paper: 1025x)\n")
+        print(format_table(
+            table4_model_rows(),
+            headers=["phase", "modeled seconds"],
+            title="Table 4 model (GOES-9 Florida, 512x512)",
+            float_format="{:.3f}",
+        ))
+        print(f"modeled speed-up: {speedup(GOES9_CONFIG, (512, 512)):.0f}x "
+              "(paper: 193x)")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    sgi = SGISequentialModel.calibrated()
+    rows = []
+    for key, factory in sorted(DATASET_FACTORIES.items()):
+        cfg = CONFIGS[key]
+        scale = PAPER_SCALE[cfg.name]
+        seq_h = sgi.total_seconds(cfg, (512, 512)) / 3600.0
+        rows.append(
+            (
+                key,
+                cfg.name,
+                "semi-fluid" if cfg.is_semifluid else "continuous",
+                f"{scale['n_frames']} frames @ {scale['dt_seconds']:.0f} s",
+                f"{seq_h:.1f} h/pair sequential",
+            )
+        )
+    print(format_table(
+        rows,
+        headers=["key", "paper sequence", "model", "paper scale", "SGI projection"],
+        title="paper-analogue datasets",
+    ))
+    return 0
+
+
+COMMANDS = {
+    "track": _cmd_track,
+    "winds": _cmd_winds,
+    "machine": _cmd_machine,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,222 @@
+"""The continuous non-rigid motion model ``F_cont`` (Section 2.2).
+
+Under the local affine transformation of eq. (6),
+
+    x' = x + (a_i x + b_i y + x0)
+    y' = y + (a_j x + b_j y + y0)
+    z' = z + (a_k x + b_k y + z0),
+
+a graph surface ``S(x, y) = (x, y, z(x, y))`` with gradients
+``p = z_x`` and ``q = z_y`` has unnormalized normal ``N = (-p, -q, 1)``.
+Differentiating the deformed surface ``S'(x, y) = (x+u, y+v, z+w)``
+(with ``u, v, w`` the affine displacement components) and keeping terms
+first order in the six motion parameters gives the *predicted* normal
+after motion:
+
+    N'_i ~= -p - a_k + a_j q - b_j p
+    N'_j ~= -q - b_k + b_i p - a_i q
+    N'_k ~= 1 + a_i + b_j
+
+(the rigid translation (x0, y0, z0) drops out -- normals are
+translation invariant -- leaving exactly the six unknowns
+{a_i, b_i, a_j, b_j, a_k, b_k} of the paper).
+
+The *observed* normal after motion ``[n'_i, n'_j, n'_k]`` is measured
+from the quadratic patch fitted at the hypothesized corresponding
+pixel; its gradient form is ``p' = -n'_i / n'_k`` and
+``q' = -n'_j / n'_k``.  Scaling the observation so its k-component
+matches the predicted ``1 + a_i + b_j`` and differencing the i- and
+j-components yields residuals **linear** in the parameters:
+
+    eps_1 = (1/E) [ (p' - p) + a_i p' + a_j q + b_j (p' - p) - a_k ]
+    eps_2 = (1/G) [ (q' - q) + a_i (q' - q) + b_i p + b_j q'  - b_k ]
+
+where ``E = 1 + p^2`` and ``G = 1 + q^2`` are the first-fundamental-
+form coefficients the paper names in eqs. (4)-(5).  (The published
+eqs. (4)-(5) are OCR-corrupted in our source; this derivation
+reconstructs them from the same first-principles small-deformation
+analysis of [8], and has the properties the paper requires: linearity
+in the six parameters -- so the first-order optimality conditions are
+one 6x6 Gaussian elimination -- zero residual under pure translation,
+and 1/E, 1/G fundamental-form weighting.)
+
+The template error of eq. (3),
+
+    eps(x, y; x^, y^) = sum over template pixels of (eps_1^2 + eps_2^2),
+
+is quadratic in the parameters; :func:`solve_accumulated` minimizes it
+from accumulated normal-equation fields.  Because the accumulation is
+a plain box sum over the template window, the dense matcher
+(:mod:`repro.core.matching`) evaluates it for *all* pixels at once
+with uniform filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linalg import gaussian_eliminate
+
+#: Parameter order used throughout: theta = (a_i, b_i, a_j, b_j, a_k, b_k).
+PARAM_NAMES: tuple[str, ...] = ("a_i", "b_i", "a_j", "b_j", "a_k", "b_k")
+
+N_PARAMS = 6
+
+#: Upper-triangle index pairs of the symmetric 6x6 normal matrix, in the
+#: packed order used by the dense field representation (21 entries).
+TRIU_INDICES: tuple[tuple[int, int], ...] = tuple(
+    (i, j) for i in range(N_PARAMS) for j in range(i, N_PARAMS)
+)
+
+N_TRIU = len(TRIU_INDICES)  # 21
+
+#: Packed field layout: 21 H entries + 6 gradient entries + 1 constant.
+N_FIELDS = N_TRIU + N_PARAMS + 1  # 28
+
+
+def predicted_normal(p, q, params):
+    """First-order predicted unnormalized normal after the affine motion.
+
+    Parameters may be scalars or broadcastable arrays; ``params`` has
+    the order of :data:`PARAM_NAMES` on its last axis.
+    """
+    params = np.asarray(params, dtype=np.float64)
+    a_i, b_i, a_j, b_j, a_k, b_k = np.moveaxis(params, -1, 0)
+    n_i = -p - a_k + a_j * q - b_j * p
+    n_j = -q - b_k + b_i * p - a_i * q
+    n_k = 1.0 + a_i + b_j
+    return np.stack(np.broadcast_arrays(n_i, n_j, n_k), axis=-1)
+
+
+def residual_rows(p, q, p_after, q_after):
+    """Design rows and constants of eps_1, eps_2 (unweighted).
+
+    Given before-motion gradients ``(p, q)`` and observed after-motion
+    gradients ``(p_after, q_after)`` -- any broadcastable shapes --
+    returns ``(a1, r1, a2, r2)`` where ``a1``/``a2`` have a trailing
+    axis of length 6 such that ``eps_m = a_m . theta + r_m``.
+    """
+    p, q, p_after, q_after = np.broadcast_arrays(
+        np.asarray(p, dtype=np.float64),
+        np.asarray(q, dtype=np.float64),
+        np.asarray(p_after, dtype=np.float64),
+        np.asarray(q_after, dtype=np.float64),
+    )
+    zero = np.zeros_like(p)
+    minus_one = -np.ones_like(p)
+    dp = p_after - p
+    dq = q_after - q
+    a1 = np.stack([p_after, zero, q, dp, minus_one, zero], axis=-1)
+    a2 = np.stack([dq, p, zero, q_after, zero, minus_one], axis=-1)
+    return a1, dp, a2, dq
+
+
+def pointwise_fields(p, q, p_after, q_after, e, g) -> np.ndarray:
+    """Per-sample normal-equation contributions, packed into 28 fields.
+
+    For each sample the weighted error contribution is
+    ``w1 (a1.theta + r1)^2 + w2 (a2.theta + r2)^2`` with quadratic
+    weights ``w1 = 1/E^2`` and ``w2 = 1/G^2`` (the residuals carry 1/E,
+    1/G).  Expanding gives a 6x6 matrix ``H`` (21 packed upper-triangle
+    entries), a gradient vector ``grad`` (6) and a constant ``c`` (1):
+
+        E(theta) = c + 2 theta . grad + theta^T H theta
+
+    Summing the packed fields over a template window and solving
+    ``H theta = -grad`` minimizes eq. (3) over that window.  Output
+    shape is ``broadcast_shape + (28,)``.
+    """
+    a1, r1, a2, r2 = residual_rows(p, q, p_after, q_after)
+    e = np.asarray(e, dtype=np.float64)
+    g = np.asarray(g, dtype=np.float64)
+    w1 = 1.0 / (e * e)
+    w2 = 1.0 / (g * g)
+    out_shape = a1.shape[:-1]
+    fields = np.empty(out_shape + (N_FIELDS,), dtype=np.float64)
+    for idx, (i, j) in enumerate(TRIU_INDICES):
+        fields[..., idx] = w1 * a1[..., i] * a1[..., j] + w2 * a2[..., i] * a2[..., j]
+    for k in range(N_PARAMS):
+        fields[..., N_TRIU + k] = w1 * r1 * a1[..., k] + w2 * r2 * a2[..., k]
+    fields[..., N_TRIU + N_PARAMS] = w1 * r1 * r1 + w2 * r2 * r2
+    return fields
+
+
+def unpack_fields(fields: np.ndarray):
+    """Unpack summed fields into ``(H, grad, c)``.
+
+    ``fields`` has shape ``(..., 28)``; returns ``H`` of shape
+    ``(..., 6, 6)`` (symmetric), ``grad`` of shape ``(..., 6)`` and
+    ``c`` of shape ``(...,)``.
+    """
+    fields = np.asarray(fields, dtype=np.float64)
+    if fields.shape[-1] != N_FIELDS:
+        raise ValueError(f"expected {N_FIELDS} packed fields, got {fields.shape[-1]}")
+    shape = fields.shape[:-1]
+    h = np.empty(shape + (N_PARAMS, N_PARAMS), dtype=np.float64)
+    for idx, (i, j) in enumerate(TRIU_INDICES):
+        h[..., i, j] = fields[..., idx]
+        h[..., j, i] = fields[..., idx]
+    grad = fields[..., N_TRIU : N_TRIU + N_PARAMS].copy()
+    c = fields[..., N_TRIU + N_PARAMS].copy()
+    return h, grad, c
+
+
+@dataclass(frozen=True)
+class MotionSolution:
+    """Solution of one (batch of) eq. (3) minimization(s).
+
+    ``params`` has shape ``(..., 6)`` in :data:`PARAM_NAMES` order,
+    ``error`` the minimized template error, ``singular`` flags systems
+    whose normal matrix was rank deficient (parameters forced to zero,
+    error evaluated at zero -- the honest fallback for textureless
+    patches).
+    """
+
+    params: np.ndarray
+    error: np.ndarray
+    singular: np.ndarray
+
+
+def solve_accumulated(fields: np.ndarray, ridge: float = 1e-9) -> MotionSolution:
+    """Minimize the accumulated template error (Step 2 of Section 2.2).
+
+    ``fields`` are template-summed packed fields.  A tiny ridge term
+    stabilizes near-degenerate patches without perturbing
+    well-conditioned solutions; set ``ridge=0`` for the strict paper
+    formulation.
+    """
+    h, grad, c = unpack_fields(fields)
+    if ridge:
+        h = h + ridge * np.eye(N_PARAMS)
+    theta, singular = gaussian_eliminate(h, -grad)
+    theta = np.where(singular[..., None], 0.0, theta)
+    # E* = c + theta . grad at the optimum (and = c exactly when theta = 0).
+    error = c + np.einsum("...k,...k->...", theta, grad)
+    # Guard against tiny negative values from roundoff.
+    error = np.maximum(error, 0.0)
+    return MotionSolution(params=theta, error=error, singular=singular)
+
+
+def estimate_from_samples(
+    p, q, p_after, q_after, e, g, ridge: float = 1e-9
+) -> MotionSolution:
+    """Reference single-window estimator from explicit template samples.
+
+    All inputs are 1-D arrays over the template pixels of one tracked
+    pixel/hypothesis pair.  Used to validate the dense field/box-sum
+    path against a direct construction.
+    """
+    fields = pointwise_fields(p, q, p_after, q_after, e, g)
+    return solve_accumulated(fields.sum(axis=0), ridge=ridge)
+
+
+def evaluate_error(fields_sum: np.ndarray, params: np.ndarray) -> np.ndarray:
+    """Evaluate the template error at given parameters (not the minimum)."""
+    h, grad, c = unpack_fields(fields_sum)
+    return (
+        c
+        + 2.0 * np.einsum("...k,...k->...", params, grad)
+        + np.einsum("...i,...ij,...j->...", params, h, params)
+    )

@@ -1,0 +1,142 @@
+"""Batched Gaussian elimination.
+
+The paper leans on dense Gaussian elimination everywhere: "least
+squares surface fitting ... leads to solving a 6 x 6 matrix using the
+Gaussian-elimination method", "169 Gaussian-eliminations are performed
+to solve for the motion parameters", "over one million separate
+Gaussian-eliminations are needed to estimate all of the local surface
+patch parameters".  On a SIMD machine each PE runs the same
+elimination schedule in lockstep on its own system, which is exactly a
+*batched* solve.
+
+:func:`gaussian_eliminate` implements partial-pivot Gaussian
+elimination with back substitution, vectorized over arbitrary leading
+batch dimensions -- the SIMD-lockstep rendering of the paper's kernel.
+Singular (or numerically singular) systems are reported per batch
+element rather than raising, because in the SMA inner loop a flat
+surface patch simply means "no usable normal here" and the caller
+masks the pixel out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Pivot magnitudes below this are treated as singular.
+SINGULAR_TOLERANCE = 1e-12
+
+
+def gaussian_eliminate(
+    matrices: np.ndarray, rhs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve ``A x = b`` for a batch of dense systems by Gaussian elimination.
+
+    Parameters
+    ----------
+    matrices:
+        Array of shape ``(..., n, n)``.
+    rhs:
+        Array of shape ``(..., n)``.
+
+    Returns
+    -------
+    solutions:
+        Array of shape ``(..., n)``; rows flagged singular contain zeros.
+    singular:
+        Boolean array of shape ``(...,)`` -- True where elimination hit a
+        pivot below :data:`SINGULAR_TOLERANCE`.
+
+    Notes
+    -----
+    Partial pivoting is performed in lockstep across the batch: at step
+    ``k`` every system independently selects its own pivot row, which is
+    how a per-PE elimination behaves on a SIMD array (the *schedule* is
+    shared, the *data* is not).
+    """
+    a = np.array(matrices, dtype=np.float64, copy=True)
+    b = np.array(rhs, dtype=np.float64, copy=True)
+    if a.ndim < 2 or a.shape[-1] != a.shape[-2]:
+        raise ValueError(f"matrices must be (..., n, n), got {a.shape}")
+    n = a.shape[-1]
+    if b.shape != a.shape[:-1]:
+        raise ValueError(f"rhs shape {b.shape} does not match matrices {a.shape}")
+
+    batch_shape = a.shape[:-2]
+    a = a.reshape((-1, n, n))
+    b = b.reshape((-1, n))
+    m = a.shape[0]
+    singular = np.zeros(m, dtype=bool)
+    rows = np.arange(m)
+
+    # Forward elimination with per-system partial pivoting.
+    for k in range(n):
+        pivot_rel = np.argmax(np.abs(a[:, k:, k]), axis=1)
+        pivot = k + pivot_rel
+        swap = pivot != k
+        if swap.any():
+            idx = rows[swap]
+            a[idx, k, :], a[idx, pivot[swap], :] = (
+                a[idx, pivot[swap], :].copy(),
+                a[idx, k, :].copy(),
+            )
+            b[idx, k], b[idx, pivot[swap]] = b[idx, pivot[swap]].copy(), b[idx, k].copy()
+        pivots = a[:, k, k]
+        bad = np.abs(pivots) < SINGULAR_TOLERANCE
+        singular |= bad
+        safe = np.where(bad, 1.0, pivots)
+        if k + 1 < n:
+            factors = a[:, k + 1 :, k] / safe[:, None]
+            factors[bad] = 0.0
+            a[:, k + 1 :, :] -= factors[:, :, None] * a[:, k, None, :]
+            b[:, k + 1 :] -= factors * b[:, k, None]
+
+    # Back substitution.
+    x = np.zeros_like(b)
+    for k in range(n - 1, -1, -1):
+        acc = b[:, k] - np.einsum("ij,ij->i", a[:, k, k + 1 :], x[:, k + 1 :])
+        pivots = a[:, k, k]
+        safe = np.where(np.abs(pivots) < SINGULAR_TOLERANCE, 1.0, pivots)
+        x[:, k] = acc / safe
+    x[singular] = 0.0
+
+    return x.reshape(batch_shape + (n,)), singular.reshape(batch_shape)
+
+
+def solve_normal_equations(
+    design: np.ndarray, residual: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares solve ``min ||W (design @ theta + residual)||^2``.
+
+    Forms the normal equations ``(A^T W A) theta = -A^T W r`` and solves
+    them with :func:`gaussian_eliminate` -- the paper's formulation
+    ("differentiating with respect to the six unknown motion parameters
+    and setting the six first partial derivatives to zero ... solved
+    using Gaussian-elimination").
+
+    Parameters
+    ----------
+    design:
+        ``(..., terms, n)`` design matrix A.
+    residual:
+        ``(..., terms)`` constant residual r (the value of each error
+        term at theta = 0).
+    weights:
+        Optional ``(..., terms)`` nonnegative weights W.
+
+    Returns
+    -------
+    theta:
+        ``(..., n)`` minimizer.
+    singular:
+        ``(...,)`` singular-system flags.
+    """
+    a = np.asarray(design, dtype=np.float64)
+    r = np.asarray(residual, dtype=np.float64)
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        aw = a * w[..., None]
+    else:
+        aw = a
+    ata = np.einsum("...ti,...tj->...ij", aw, a)
+    atr = np.einsum("...ti,...t->...i", aw, r)
+    return gaussian_eliminate(ata, -atr)

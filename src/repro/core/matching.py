@@ -1,0 +1,329 @@
+"""Hypothesis search and dense motion-correspondence estimation (Section 2.2).
+
+For every tracked pixel the SMA algorithm evaluates every hypothesis in
+the ``(2N_zs+1)^2`` z-search neighborhood: Step 1 selects the template
+mapping (continuous ``F_cont`` or semi-fluid ``F_semi``), Step 2 solves
+the 6x6 system for the motion parameters and evaluates the template
+error eq. (3); the estimated correspondence is the error-minimizing
+hypothesis (eq. 7).
+
+Two implementations are provided, mirroring the paper's own methodology
+("a sequential (un-optimized) version ... was used to form a baseline
+for comparing the correctness of the parallel algorithm results"):
+
+* :func:`track_pixel` -- the direct, per-pixel reference: explicit
+  template sample lists, one hypothesis at a time.
+
+* :func:`track_dense` -- the optimized dense path: because the template
+  accumulation of eq. (3) is a box sum, the normal-equation fields for
+  *all* pixels are accumulated with uniform filters, and all pixels'
+  6x6 systems are solved as one batched Gaussian elimination per
+  hypothesis.  The semi-fluid mapping uses the Section 4.1 precompute
+  (:func:`repro.core.semifluid.compute_score_volume`).
+
+Both paths produce identical integer displacements and identical motion
+parameters (tested), and tie-breaks are deterministic: among equal
+error minima the smaller displacement wins (Chebyshev magnitude, then
+raster order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import NeighborhoodConfig
+from .continuous import (
+    N_FIELDS,
+    estimate_from_samples,
+    pointwise_fields,
+    solve_accumulated,
+)
+from .semifluid import (
+    ScoreVolume,
+    box_sum,
+    compute_score_volume,
+    discriminant_field,
+    semifluid_displacements,
+    semifluid_map_pixel,
+    shift2d,
+)
+from .surface import SurfaceGeometry, fit_surface
+
+
+@dataclass(frozen=True)
+class DenseMatchResult:
+    """Dense per-pixel correspondence estimates.
+
+    * ``u``, ``v`` -- x- and y-displacement (pixels, t_m -> t_{m+1}),
+    * ``params`` -- winning motion parameters, shape (H, W, 6),
+    * ``error`` -- winning template error, shape (H, W),
+    * ``valid`` -- interior mask (False in the border margin where
+      windows would leave the image),
+    * ``hypotheses_evaluated`` -- the ``(2N_zs+1)^2`` count, for cost
+      accounting.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    params: np.ndarray
+    error: np.ndarray
+    valid: np.ndarray
+    hypotheses_evaluated: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.u.shape
+
+    def displacement_magnitude(self) -> np.ndarray:
+        """Euclidean displacement magnitude per pixel."""
+        return np.hypot(self.u, self.v)
+
+
+def hypothesis_order(n_zs: int) -> list[tuple[int, int]]:
+    """Hypothesis displacements sorted by (Chebyshev magnitude, raster).
+
+    Evaluating hypotheses in this order with a strict-less update makes
+    tie-breaking favor the smallest motion, deterministically, in both
+    the dense and reference paths.
+    """
+    offsets = [
+        (dy, dx)
+        for dy in range(-n_zs, n_zs + 1)
+        for dx in range(-n_zs, n_zs + 1)
+    ]
+    return sorted(offsets, key=lambda o: (max(abs(o[0]), abs(o[1])), o[0], o[1]))
+
+
+def valid_mask(shape: tuple[int, int], config: NeighborhoodConfig) -> np.ndarray:
+    """Interior mask: True where every window stays inside the image."""
+    margin = config.margin()
+    mask = np.zeros(shape, dtype=bool)
+    if shape[0] > 2 * margin and shape[1] > 2 * margin:
+        mask[margin : shape[0] - margin, margin : shape[1] - margin] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class PreparedFrames:
+    """Everything the matcher needs, computed once per frame pair.
+
+    ``geo_before``/``geo_after`` come from the *surface* (z) images;
+    ``volume`` is the semi-fluid score volume from the *intensity*
+    discriminants (None for the continuous model).
+    """
+
+    geo_before: SurfaceGeometry
+    geo_after: SurfaceGeometry
+    volume: ScoreVolume | None
+    config: NeighborhoodConfig
+
+
+def prepare_frames(
+    z_before: np.ndarray,
+    z_after: np.ndarray,
+    config: NeighborhoodConfig,
+    intensity_before: np.ndarray | None = None,
+    intensity_after: np.ndarray | None = None,
+) -> PreparedFrames:
+    """Fit surfaces and (for the semi-fluid model) precompute scores.
+
+    In the monocular case the intensity image *is* the digital surface
+    (Section 2: "treating the intensity data as a digital surface") --
+    pass it as ``z_before``/``z_after`` and omit the intensity pair.
+    """
+    z_before = np.asarray(z_before, dtype=np.float64)
+    z_after = np.asarray(z_after, dtype=np.float64)
+    if z_before.shape != z_after.shape:
+        raise ValueError("frame shapes differ")
+    geo_b = fit_surface(z_before, config.n_w)
+    geo_a = fit_surface(z_after, config.n_w)
+    volume = None
+    if config.is_semifluid:
+        i_b = z_before if intensity_before is None else np.asarray(intensity_before, float)
+        i_a = z_after if intensity_after is None else np.asarray(intensity_after, float)
+        if i_b.shape != z_before.shape or i_a.shape != z_before.shape:
+            raise ValueError("intensity shapes must match surface shapes")
+        d_b = discriminant_field(i_b, config.n_w)
+        d_a = discriminant_field(i_a, config.n_w)
+        volume = compute_score_volume(d_b, d_a, config)
+    return PreparedFrames(geo_before=geo_b, geo_after=geo_a, volume=volume, config=config)
+
+
+def _shifted_geometry_stack(geo: SurfaceGeometry, volume: ScoreVolume) -> np.ndarray:
+    """After-motion gradients shifted by every enlarged-window displacement.
+
+    Returns ``(n_displacements, 2, H, W)`` with ``p'`` and ``q'``
+    pre-shifted so semi-fluid gathers are a ``take_along_axis``.
+    """
+    n = volume.displacements.shape[0]
+    out = np.empty((n, 2) + geo.shape, dtype=np.float64)
+    for k, (dy, dx) in enumerate(volume.displacements):
+        out[k, 0] = shift2d(geo.p, int(dy), int(dx))
+        out[k, 1] = shift2d(geo.q, int(dy), int(dx))
+    return out
+
+
+def hypothesis_fields(
+    prepared: PreparedFrames,
+    hyp_dy: int,
+    hyp_dx: int,
+    shifted_after: np.ndarray | None = None,
+    deltas: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Template-accumulated normal-equation fields for one hypothesis.
+
+    Returns packed fields of shape ``(H, W, 28)``: the per-pixel
+    contributions of :func:`repro.core.continuous.pointwise_fields`
+    box-summed over the z-template window.  For the semi-fluid model the
+    after-motion gradients are gathered through ``F_semi`` first;
+    ``deltas`` may carry the precomputed per-pixel semi-fluid
+    displacements ``(delta_y, delta_x)`` for this hypothesis.
+    """
+    geo_b, geo_a = prepared.geo_before, prepared.geo_after
+    config = prepared.config
+    if prepared.volume is not None and config.n_ss > 0:
+        if deltas is None:
+            deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
+        delta_y, delta_x = deltas
+        if shifted_after is None:
+            shifted_after = _shifted_geometry_stack(geo_a, prepared.volume)
+        reach = prepared.volume.reach
+        side = prepared.volume.side
+        flat = (delta_y + reach) * side + (delta_x + reach)
+        p_a = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
+        q_a = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
+    else:
+        p_a = shift2d(geo_a.p, hyp_dy, hyp_dx)
+        q_a = shift2d(geo_a.q, hyp_dy, hyp_dx)
+    fields = pointwise_fields(geo_b.p, geo_b.q, p_a, q_a, geo_b.e, geo_b.g)
+    accumulated = np.empty_like(fields)
+    for k in range(N_FIELDS):
+        accumulated[..., k] = box_sum(fields[..., k], config.n_zt)
+    return accumulated
+
+
+def track_dense(
+    prepared: PreparedFrames, ridge: float = 1e-9
+) -> DenseMatchResult:
+    """Estimate the dense motion field: all pixels, all hypotheses.
+
+    This is the "track all pixels ... in parallel" computation of the
+    paper, executed as NumPy whole-array operations (the sequential
+    *optimized* rendering; :class:`repro.parallel.parallel_sma.ParallelSMA`
+    runs the same math through the SIMD simulator).
+    """
+    config = prepared.config
+    shape = prepared.geo_before.shape
+    semifluid = prepared.volume is not None and config.n_ss > 0
+    shifted_after = None
+    if semifluid:
+        shifted_after = _shifted_geometry_stack(prepared.geo_after, prepared.volume)
+
+    best_error = np.full(shape, np.inf)
+    best_u = np.zeros(shape, dtype=np.float64)
+    best_v = np.zeros(shape, dtype=np.float64)
+    best_params = np.zeros(shape + (6,), dtype=np.float64)
+
+    order = hypothesis_order(config.n_zs)
+    for hyp_dy, hyp_dx in order:
+        deltas = None
+        if semifluid:
+            deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
+        fields = hypothesis_fields(prepared, hyp_dy, hyp_dx, shifted_after, deltas)
+        solution = solve_accumulated(fields, ridge=ridge)
+        better = solution.error < best_error
+        best_error = np.where(better, solution.error, best_error)
+        if semifluid:
+            # The non-rigid correspondence of the *tracked* pixel is its
+            # own semi-fluid mapping under this hypothesis (eq. 8): the
+            # hypothesis displacement refined by the pixel's F_semi
+            # drift, which restores sub-window accuracy that the relaxed
+            # template mapping would otherwise absorb.
+            best_u = np.where(better, deltas[1].astype(np.float64), best_u)
+            best_v = np.where(better, deltas[0].astype(np.float64), best_v)
+        else:
+            best_u = np.where(better, float(hyp_dx), best_u)
+            best_v = np.where(better, float(hyp_dy), best_v)
+        best_params = np.where(better[..., None], solution.params, best_params)
+
+    return DenseMatchResult(
+        u=best_u,
+        v=best_v,
+        params=best_params,
+        error=best_error,
+        valid=valid_mask(shape, config),
+        hypotheses_evaluated=len(order),
+    )
+
+
+def track_pixel(
+    prepared: PreparedFrames,
+    x: int,
+    y: int,
+    d_before: np.ndarray | None = None,
+    d_after: np.ndarray | None = None,
+    ridge: float = 1e-9,
+) -> tuple[float, float, np.ndarray, float]:
+    """Reference per-pixel tracker (the paper's sequential baseline).
+
+    Returns ``(u, v, params, error)`` for pixel ``(x, y)``.  For the
+    semi-fluid model pass the intensity discriminant fields so the
+    per-pixel :func:`semifluid_map_pixel` can run without the dense
+    precompute.  Wraps toroidally like the dense path; meaningful only
+    for interior pixels.
+    """
+    config = prepared.config
+    geo_b, geo_a = prepared.geo_before, prepared.geo_after
+    h, w = geo_b.shape
+    n_zt = config.n_zt
+    dyy, dxx = np.meshgrid(
+        np.arange(-n_zt, n_zt + 1), np.arange(-n_zt, n_zt + 1), indexing="ij"
+    )
+    ty = (y + dyy) % h
+    tx = (x + dxx) % w
+
+    p_b = geo_b.p[ty, tx].ravel()
+    q_b = geo_b.q[ty, tx].ravel()
+    e_b = geo_b.e[ty, tx].ravel()
+    g_b = geo_b.g[ty, tx].ravel()
+
+    semifluid = config.is_semifluid
+    if semifluid and (d_before is None or d_after is None):
+        raise ValueError("semi-fluid reference tracking needs discriminant fields")
+
+    best = None
+    for hyp_dy, hyp_dx in hypothesis_order(config.n_zs):
+        center_delta = (hyp_dy, hyp_dx)
+        if semifluid:
+            p_a = np.empty_like(p_b)
+            q_a = np.empty_like(q_b)
+            flat_ty = ty.ravel()
+            flat_tx = tx.ravel()
+            for idx in range(flat_ty.size):
+                dy_star, dx_star = semifluid_map_pixel(
+                    d_before,
+                    d_after,
+                    int(flat_tx[idx]),
+                    int(flat_ty[idx]),
+                    hyp_dy,
+                    hyp_dx,
+                    config,
+                )
+                if flat_ty[idx] == y % h and flat_tx[idx] == x % w:
+                    center_delta = (dy_star, dx_star)
+                p_a[idx] = geo_a.p[(flat_ty[idx] + dy_star) % h, (flat_tx[idx] + dx_star) % w]
+                q_a[idx] = geo_a.q[(flat_ty[idx] + dy_star) % h, (flat_tx[idx] + dx_star) % w]
+        else:
+            ay = (ty + hyp_dy) % h
+            ax = (tx + hyp_dx) % w
+            p_a = geo_a.p[ay, ax].ravel()
+            q_a = geo_a.q[ay, ax].ravel()
+        solution = estimate_from_samples(p_b, q_b, p_a, q_a, e_b, g_b, ridge=ridge)
+        err = float(solution.error)
+        if best is None or err < best[3]:
+            # Report the tracked pixel's own (semi-fluid) correspondence.
+            best = (float(center_delta[1]), float(center_delta[0]), solution.params, err)
+    assert best is not None
+    return best

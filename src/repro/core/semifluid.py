@@ -1,0 +1,225 @@
+"""The semi-fluid template mapping ``F_semi`` (Section 2.3).
+
+"The semi-fluid motion paradigm relaxes the local continuity
+constraint for a small surface patch": instead of carrying every
+template pixel to the *same* relative displacement (the continuous
+mapping ``F_cont``), each template pixel is allowed to drift
+independently within a small ``(2N_ss+1)^2`` semi-fluid search window
+around its continuity-predicted location.  The drift is chosen by
+matching the **discriminant of the intensity surface** before and
+after motion, "which measures area of changes of a small intensity
+surface patch" (eq. 10-11).
+
+Concretely, with ``D(x, y, t) = I_xx I_yy - I_xy^2`` the discriminant
+of the quadratic patch fitted to the *intensity* image (the
+second-fundamental-form discriminant -- invariant to intensity offset
+and tilt, sensitive to local shape), the matching score between a
+before-pixel ``(x_a, y_a)`` and an after-candidate ``(x_s, y_s)`` is
+the variance-normalized SSD over the semi-fluid surface-patch
+neighborhood:
+
+    theta(x_a, y_a; x_s, y_s) =
+        sum_patch (D'(x_s+dx, y_s+dy) - D(x_a+dx, y_a+dy))^2
+        / (sum_patch D(x_a+dx, y_a+dy)^2 + eps)
+
+and ``F_semi(x_a, y_a) = argmin theta`` over the search window
+(eq. 9).  With ``N_ss = 0`` the window degenerates to its center and
+``F_semi`` reduces to ``F_cont`` exactly, as the paper notes.
+
+The implementation follows the Section 4.1 optimization: the score is
+precomputed *for every displacement in the enlarged*
+``(2N_zs + 2N_ss + 1)^2`` *displacement window* as a dense per-pixel
+field (each one a box-filtered squared difference of shifted
+discriminant fields), after which the per-hypothesis mapping is a
+windowed argmin -- no score is ever computed twice for overlapping
+templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..params import NeighborhoodConfig
+from .surface import fit_patches
+
+#: Relative floor added to the normalization denominator of theta.
+NORMALIZATION_EPS = 1e-9
+
+
+def shift2d(array: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Toroidal sample shift: ``out[y, x] = array[y + dy, x + dx]``.
+
+    Wraparound values are only ever consumed in the invalid border
+    margin that the matcher masks off.
+    """
+    return np.roll(array, shift=(-dy, -dx), axis=(0, 1))
+
+
+def box_sum(field: np.ndarray, half_width: int) -> np.ndarray:
+    """Sum of ``field`` over the ``(2N+1)^2`` window centered per pixel.
+
+    Out-of-bounds contributions are zero (``mode='constant'``), which
+    only affects the masked border margin.
+    """
+    if half_width == 0:
+        return field.astype(np.float64, copy=True)
+    side = 2 * half_width + 1
+    return ndimage.uniform_filter(
+        field.astype(np.float64), size=side, mode="constant", cval=0.0
+    ) * float(side * side)
+
+
+def discriminant_field(intensity: np.ndarray, n_w: int) -> np.ndarray:
+    """Discriminant ``D = I_xx I_yy - I_xy^2`` of the intensity surface.
+
+    Uses the same quadratic patch fit as the z-surface geometry
+    (Section 2.3: "computed after fitting local surface patches as
+    described in Step 2 of Section 2.2, but using the intensity
+    image").
+    """
+    coeffs = fit_patches(intensity, n_w)
+    return 4.0 * coeffs[..., 3] * coeffs[..., 5] - coeffs[..., 4] ** 2
+
+
+@dataclass(frozen=True)
+class ScoreVolume:
+    """Dense semi-fluid scores over the enlarged displacement window.
+
+    ``scores[k]`` is the per-pixel theta for displacement
+    ``displacements[k]`` (a ``(dy, dx)`` pair); displacements enumerate
+    the ``(2(N_zs + N_ss) + 1)^2`` window in raster order.  ``reach``
+    is ``N_zs + N_ss``.
+    """
+
+    scores: np.ndarray  # (n_displacements, H, W)
+    displacements: np.ndarray  # (n_displacements, 2) as (dy, dx)
+    reach: int
+
+    @property
+    def side(self) -> int:
+        return 2 * self.reach + 1
+
+    def index_of(self, dy: int, dx: int) -> int:
+        """Raster index of displacement ``(dy, dx)``."""
+        if abs(dy) > self.reach or abs(dx) > self.reach:
+            raise ValueError(f"displacement ({dy}, {dx}) outside reach {self.reach}")
+        return (dy + self.reach) * self.side + (dx + self.reach)
+
+
+def compute_score_volume(
+    d_before: np.ndarray, d_after: np.ndarray, config: NeighborhoodConfig
+) -> ScoreVolume:
+    """Precompute theta for every displacement in the enlarged window.
+
+    This is the Section 4.1 precompute: "computing the error term in
+    (10) for all pixels in a (2N_zs + 2N_ss + 1) x (2N_zs + 2N_ss + 1)
+    neighborhood centered around the pixel being tracked, and then
+    applying a (2N_ss + 1) x (2N_ss + 1) window ... and performing the
+    minimization given in (9)".
+    """
+    d_before = np.asarray(d_before, dtype=np.float64)
+    d_after = np.asarray(d_after, dtype=np.float64)
+    if d_before.shape != d_after.shape:
+        raise ValueError("discriminant fields must have identical shapes")
+    reach = config.n_zs + config.n_ss
+    side = 2 * reach + 1
+    norm = box_sum(d_before * d_before, config.n_st) + NORMALIZATION_EPS
+    scores = np.empty((side * side,) + d_before.shape, dtype=np.float64)
+    displacements = np.empty((side * side, 2), dtype=np.int64)
+    k = 0
+    for dy in range(-reach, reach + 1):
+        for dx in range(-reach, reach + 1):
+            diff = shift2d(d_after, dy, dx) - d_before
+            scores[k] = box_sum(diff * diff, config.n_st) / norm
+            displacements[k] = (dy, dx)
+            k += 1
+    return ScoreVolume(scores=scores, displacements=displacements, reach=reach)
+
+
+def semifluid_displacements(
+    volume: ScoreVolume, hyp_dy: int, hyp_dx: int, n_ss: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pixel semi-fluid displacement for one hypothesis (eq. 9).
+
+    For hypothesis displacement ``(hyp_dy, hyp_dx)``, each pixel's
+    mapping is the displacement minimizing theta within the
+    ``(2N_ss+1)^2`` window centered on the hypothesis.  Returns integer
+    arrays ``(delta_y, delta_x)`` of the *absolute* chosen displacement
+    per pixel.  Ties break toward the window center (continuity), then
+    raster order -- deterministically, so the sequential and parallel
+    paths agree bit-for-bit.
+    """
+    if n_ss == 0:
+        shape = volume.scores.shape[1:]
+        return (
+            np.full(shape, hyp_dy, dtype=np.int64),
+            np.full(shape, hyp_dx, dtype=np.int64),
+        )
+    indices = []
+    for sy in range(-n_ss, n_ss + 1):
+        for sx in range(-n_ss, n_ss + 1):
+            indices.append(volume.index_of(hyp_dy + sy, hyp_dx + sx))
+    sub = volume.scores[indices]  # (win^2, H, W)
+    win = 2 * n_ss + 1
+    center = (win * win) // 2
+    # Visit candidates in (|k - center|, k) order with a strict-less
+    # update so exact ties resolve toward the window center (continuity)
+    # and then raster order -- identical to semifluid_map_pixel.
+    order = sorted(range(win * win), key=lambda k: (abs(k - center), k))
+    best_score = np.full(sub.shape[1:], np.inf)
+    best_k = np.zeros(sub.shape[1:], dtype=np.int64)
+    for k in order:
+        better = sub[k] < best_score
+        best_score = np.where(better, sub[k], best_score)
+        best_k = np.where(better, k, best_k)
+    chosen = np.asarray(indices, dtype=np.int64)[best_k]
+    delta = volume.displacements[chosen]
+    return delta[..., 0], delta[..., 1]
+
+
+def semifluid_map_pixel(
+    d_before: np.ndarray,
+    d_after: np.ndarray,
+    x_a: int,
+    y_a: int,
+    base_dy: int,
+    base_dx: int,
+    config: NeighborhoodConfig,
+) -> tuple[int, int]:
+    """Reference per-pixel semi-fluid mapping (no precompute).
+
+    Directly evaluates eq. (10)-(11) for one template pixel and returns
+    the chosen absolute displacement ``(dy*, dx*)``.  Used to validate
+    the dense precompute path.
+    """
+    n_st, n_ss = config.n_st, config.n_ss
+    h, w = d_before.shape
+    dyy, dxx = np.meshgrid(
+        np.arange(-n_st, n_st + 1), np.arange(-n_st, n_st + 1), indexing="ij"
+    )
+    py = (y_a + dyy) % h
+    px = (x_a + dxx) % w
+    ref = d_before[py, px]
+    norm = float((ref * ref).sum()) + NORMALIZATION_EPS
+    best_score = np.inf
+    best = (base_dy, base_dx)
+    best_rank = np.inf
+    win = 2 * n_ss + 1
+    center = (win * win) // 2
+    k = 0
+    for sy in range(-n_ss, n_ss + 1):
+        for sx in range(-n_ss, n_ss + 1):
+            qy = (y_a + base_dy + sy + dyy) % h
+            qx = (x_a + base_dx + sx + dxx) % w
+            cand = d_after[qy, qx]
+            score = float(((cand - ref) ** 2).sum()) / norm
+            rank = abs(k - center)
+            if score < best_score or (score == best_score and rank < best_rank):
+                best_score = score
+                best = (base_dy + sy, base_dx + sx)
+                best_rank = rank
+            k += 1
+    return best

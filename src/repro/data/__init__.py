@@ -1,0 +1,87 @@
+"""Synthetic GOES imagery substrate with exact ground truth.
+
+Replaces the paper's satellite data (see the substitution table in
+DESIGN.md): deterministic cloud textures (:mod:`.noise`,
+:mod:`.clouds`), analytic flow fields (:mod:`.flow`), semi-Lagrangian
+sequence synthesis (:mod:`.advect`), stereo rendering
+(:mod:`.stereo_synth`), the three evaluation datasets
+(:mod:`.datasets`) and reference wind barbs (:mod:`.manual`).
+"""
+
+from .advect import advect, backward_displacement, synthesize_sequence, truth_displacements
+from .clouds import CloudScene, hurricane_scene, layered_deck, multilayer_scene, thunderstorm_scene
+from .datasets import (
+    PAPER_SCALE,
+    Dataset,
+    MultiLayerDataset,
+    florida_thunderstorm,
+    hurricane_frederic,
+    hurricane_luis,
+    multilayer_clouds,
+)
+from .goes import (
+    effective_dt_map,
+    ground_sample_km,
+    pixel_scale_map,
+    scan_time_offsets,
+    slant_range_km,
+    wind_speed_map,
+)
+from .flow import (
+    AffineFlow,
+    ConvergenceCell,
+    Flow,
+    PatchAffineFlow,
+    RankineVortex,
+    ScaledFlow,
+    ShearFlow,
+    SumFlow,
+    UniformFlow,
+)
+from .manual import PAPER_BARB_COUNT, WindBarbs, barbs_for_dataset, rms_vector_error, select_barbs
+from .noise import cloud_mask, smooth_random_field, value_noise
+from .stereo_synth import StereoPair, render_pair
+
+__all__ = [
+    "advect",
+    "backward_displacement",
+    "synthesize_sequence",
+    "truth_displacements",
+    "CloudScene",
+    "hurricane_scene",
+    "layered_deck",
+    "multilayer_scene",
+    "thunderstorm_scene",
+    "PAPER_SCALE",
+    "Dataset",
+    "MultiLayerDataset",
+    "multilayer_clouds",
+    "florida_thunderstorm",
+    "hurricane_frederic",
+    "hurricane_luis",
+    "effective_dt_map",
+    "ground_sample_km",
+    "pixel_scale_map",
+    "scan_time_offsets",
+    "slant_range_km",
+    "wind_speed_map",
+    "AffineFlow",
+    "ConvergenceCell",
+    "Flow",
+    "PatchAffineFlow",
+    "RankineVortex",
+    "ScaledFlow",
+    "ShearFlow",
+    "SumFlow",
+    "UniformFlow",
+    "PAPER_BARB_COUNT",
+    "WindBarbs",
+    "barbs_for_dataset",
+    "rms_vector_error",
+    "select_barbs",
+    "cloud_mask",
+    "smooth_random_field",
+    "value_noise",
+    "StereoPair",
+    "render_pair",
+]

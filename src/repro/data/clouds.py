@@ -1,0 +1,139 @@
+"""Synthetic cloud scenes: coupled intensity and cloud-top height fields.
+
+Substitutes for the paper's GOES scenes (see DESIGN.md).  Each
+generator returns a :class:`CloudScene` -- a visible-channel-like
+intensity image in [0, 1] plus a cloud-top height field in km -- with
+the physical couplings that matter to the SMA algorithm:
+
+* brighter pixels are (statistically) higher cloud tops, so the
+  z-surface and the intensity surface carry correlated structure,
+* multi-layer scenes superimpose decks at distinct heights whose
+  *textures* remain individually identifiable (the paper's motivation
+  for tracking "multi-layered clouds since tracers in each layer are
+  modeled as separate small surface patches"),
+* hurricane scenes have an eye, eyewall and trailing spiral bands;
+  thunderstorm scenes have discrete convective cells on a warm
+  background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .noise import value_noise
+
+
+@dataclass(frozen=True)
+class CloudScene:
+    """One synthetic scene: intensity in [0, 1] and height in km."""
+
+    intensity: np.ndarray
+    height_km: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.intensity.shape != self.height_km.shape:
+            raise ValueError("intensity and height must share a shape")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.intensity.shape
+
+
+def layered_deck(
+    size: int,
+    seed: int,
+    base_height_km: float = 3.0,
+    relief_km: float = 6.0,
+    coverage: float = 0.75,
+) -> CloudScene:
+    """A single broken cloud deck.
+
+    Height = base + relief * intensity over cloudy pixels; clear pixels
+    sit at height ~0 (the paper's surface maps are cloud-top heights,
+    near zero where no cloud is present).
+    """
+    if size < 8:
+        raise ValueError("size must be >= 8")
+    texture = value_noise(size, seed)
+    threshold = np.quantile(texture, 1.0 - min(max(coverage, 0.01), 1.0))
+    cloudy = texture >= threshold
+    intensity = np.where(cloudy, 0.25 + 0.75 * texture, 0.08 * texture)
+    height = np.where(cloudy, base_height_km + relief_km * texture, 0.2 * texture)
+    return CloudScene(intensity=intensity, height_km=height)
+
+
+def hurricane_scene(size: int, seed: int, arms: int = 3) -> CloudScene:
+    """Hurricane: eye, eyewall, and logarithmic spiral rain bands.
+
+    The band pattern modulates a noise texture so patches stay
+    individually trackable; heights peak at the eyewall (~14 km) and
+    fall off outward, with a warm (low) eye.
+    """
+    if size < 16:
+        raise ValueError("size must be >= 16")
+    center = (size - 1) / 2.0
+    yy, xx = np.meshgrid(np.arange(size, dtype=float), np.arange(size, dtype=float), indexing="ij")
+    dx, dy = xx - center, yy - center
+    r = np.hypot(dx, dy) / (size / 2.0)  # 0 at center, ~1 at edge
+    angle = np.arctan2(dy, dx)
+    # Logarithmic spiral bands: intensity ridges where the phase aligns.
+    spiral_phase = arms * angle + 6.0 * np.log(np.maximum(r, 1e-3))
+    bands = 0.5 + 0.5 * np.cos(spiral_phase)
+    envelope = np.exp(-2.0 * (r - 0.25) ** 2) + 0.35 * np.exp(-1.2 * r)
+    eye = 1.0 - np.exp(-((r / 0.07) ** 2))
+    texture = value_noise(size, seed, base_cells=6, octaves=4)
+    intensity = np.clip((0.45 * bands + 0.55) * envelope * eye * (0.6 + 0.4 * texture), 0, 1)
+    height = 14.0 * intensity * (0.8 + 0.2 * texture)
+    return CloudScene(intensity=intensity, height_km=height)
+
+
+def thunderstorm_scene(
+    size: int, seed: int, n_cells: int = 5, cell_radius: float | None = None
+) -> CloudScene:
+    """Afternoon convection: discrete anvil cells on a hazy background."""
+    if size < 16:
+        raise ValueError("size must be >= 16")
+    if n_cells < 1:
+        raise ValueError("need at least one cell")
+    rng = np.random.default_rng(seed)
+    radius = cell_radius if cell_radius is not None else size / 10.0
+    yy, xx = np.meshgrid(np.arange(size, dtype=float), np.arange(size, dtype=float), indexing="ij")
+    intensity = 0.12 * value_noise(size, seed + 1)
+    height = 0.5 * value_noise(size, seed + 2)
+    margin = size * 0.2
+    for k in range(n_cells):
+        cx = rng.uniform(margin, size - margin)
+        cy = rng.uniform(margin, size - margin)
+        strength = rng.uniform(0.6, 1.0)
+        blob = np.exp(-(((xx - cx) ** 2 + (yy - cy) ** 2) / (2.0 * radius**2)))
+        texture = value_noise(size, seed + 10 + k, base_cells=8)
+        intensity = intensity + strength * blob * (0.7 + 0.3 * texture)
+        height = height + 12.0 * strength * blob * (0.8 + 0.2 * texture)
+    return CloudScene(intensity=np.clip(intensity, 0, 1), height_km=height)
+
+
+def multilayer_scene(
+    size: int,
+    seed: int,
+    low_height_km: float = 2.5,
+    high_height_km: float = 10.0,
+    high_coverage: float = 0.4,
+) -> CloudScene:
+    """Two superimposed decks at distinct heights.
+
+    The high deck partially occludes the low one; where both exist the
+    intensity blends but the height reports the *top* (what a satellite
+    sees) -- the configuration that breaks single-layer optical flow
+    and motivates the SMA's per-patch modeling.
+    """
+    low = value_noise(size, seed, base_cells=4)
+    high = value_noise(size, seed + 99, base_cells=6)
+    high_thresh = np.quantile(high, 1.0 - min(max(high_coverage, 0.01), 1.0))
+    high_mask = high >= high_thresh
+    intensity = np.where(high_mask, 0.45 + 0.55 * high, 0.20 + 0.55 * low)
+    height = np.where(
+        high_mask, high_height_km + 2.0 * high, low_height_km + 1.5 * low
+    )
+    return CloudScene(intensity=np.clip(intensity, 0, 1), height_km=height)

@@ -1,0 +1,236 @@
+"""Analytic flow fields with exact ground truth.
+
+The synthetic sequences substitute for the paper's GOES imagery (see
+DESIGN.md); their motion comes from analytic flow fields so every
+tracked pixel has a known true displacement.  The catalogue covers the
+motion classes the paper names:
+
+* :class:`UniformFlow` -- rigid translation (sanity floor),
+* :class:`ShearFlow` / :class:`AffineFlow` -- the locally-affine
+  deformations ``F_cont`` models exactly (eq. 6),
+* :class:`RankineVortex` -- a hurricane: solid-body rotation inside the
+  eyewall radius, decaying circulation outside,
+* :class:`ConvergenceCell` -- divergent outflow of convective storms,
+* :class:`PatchAffineFlow` -- independent small-patch affine motion,
+  the *semi-fluid* regime ("fluid motion of smaller surface patches
+  with some global constraints"),
+* :class:`SumFlow` -- superpositions.
+
+A flow maps pixel coordinates to a per-frame displacement in pixels:
+``u, v = flow(xx, yy)`` with ``+u`` east (+x) and ``+v`` south (+y).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Flow:
+    """Base protocol: callable ``(xx, yy) -> (u, v)`` displacement field."""
+
+    def __call__(self, xx: np.ndarray, yy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def grid(self, height: int, width: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (u, v) arrays over an image grid."""
+        yy, xx = np.meshgrid(
+            np.arange(height, dtype=np.float64),
+            np.arange(width, dtype=np.float64),
+            indexing="ij",
+        )
+        u, v = self(xx, yy)
+        return (
+            np.broadcast_to(np.asarray(u, dtype=np.float64), (height, width)).copy(),
+            np.broadcast_to(np.asarray(v, dtype=np.float64), (height, width)).copy(),
+        )
+
+
+@dataclass(frozen=True)
+class UniformFlow(Flow):
+    """Rigid translation by (u, v) pixels per frame."""
+
+    u: float
+    v: float
+
+    def __call__(self, xx, yy):
+        return (np.full_like(np.asarray(xx, float), self.u),
+                np.full_like(np.asarray(yy, float), self.v))
+
+
+@dataclass(frozen=True)
+class AffineFlow(Flow):
+    """Global affine flow about a center: the eq. (6) motion exactly.
+
+    ``u = a_i (x - cx) + b_i (y - cy) + u0`` and similarly for v with
+    ``(a_j, b_j, v0)``.
+    """
+
+    a_i: float = 0.0
+    b_i: float = 0.0
+    a_j: float = 0.0
+    b_j: float = 0.0
+    u0: float = 0.0
+    v0: float = 0.0
+    center: tuple[float, float] = (0.0, 0.0)
+
+    def __call__(self, xx, yy):
+        dx = np.asarray(xx, float) - self.center[0]
+        dy = np.asarray(yy, float) - self.center[1]
+        return (
+            self.a_i * dx + self.b_i * dy + self.u0,
+            self.a_j * dx + self.b_j * dy + self.v0,
+        )
+
+
+@dataclass(frozen=True)
+class ShearFlow(Flow):
+    """Horizontal shear layer: ``u = u0 + rate * (y - cy)``, ``v = 0``."""
+
+    u0: float
+    rate: float
+    cy: float = 0.0
+
+    def __call__(self, xx, yy):
+        u = self.u0 + self.rate * (np.asarray(yy, float) - self.cy)
+        return u, np.zeros_like(np.asarray(yy, float))
+
+
+@dataclass(frozen=True)
+class RankineVortex(Flow):
+    """Rankine vortex: the standard idealized hurricane wind profile.
+
+    Tangential speed grows linearly to ``peak`` at ``core_radius``
+    (solid-body eyewall) and decays as ``core_radius / r`` outside.
+    Positive ``peak`` rotates counterclockwise in image coordinates
+    (+x east, +y south -> clockwise as seen on a map, like a Southern
+    Hemisphere cyclone; flip the sign for Northern).
+    """
+
+    center: tuple[float, float]
+    peak: float
+    core_radius: float
+
+    def __post_init__(self) -> None:
+        if self.core_radius <= 0:
+            raise ValueError("core_radius must be positive")
+
+    def __call__(self, xx, yy):
+        dx = np.asarray(xx, float) - self.center[0]
+        dy = np.asarray(yy, float) - self.center[1]
+        r = np.hypot(dx, dy)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            speed = np.where(
+                r <= self.core_radius,
+                self.peak * r / self.core_radius,
+                self.peak * self.core_radius / np.maximum(r, 1e-12),
+            )
+            ux = np.where(r > 0, -dy / np.maximum(r, 1e-12), 0.0)
+            uy = np.where(r > 0, dx / np.maximum(r, 1e-12), 0.0)
+        return speed * ux, speed * uy
+
+
+@dataclass(frozen=True)
+class ConvergenceCell(Flow):
+    """Radial outflow (divergence > 0) or inflow of a convective cell.
+
+    Radial speed peaks at ``radius`` and decays with a Gaussian
+    envelope, so distant pixels are unaffected.
+    """
+
+    center: tuple[float, float]
+    peak: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    def __call__(self, xx, yy):
+        dx = np.asarray(xx, float) - self.center[0]
+        dy = np.asarray(yy, float) - self.center[1]
+        r = np.hypot(dx, dy)
+        envelope = (r / self.radius) * np.exp(0.5 * (1.0 - (r / self.radius) ** 2))
+        speed = self.peak * envelope
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ux = np.where(r > 0, dx / np.maximum(r, 1e-12), 0.0)
+            uy = np.where(r > 0, dy / np.maximum(r, 1e-12), 0.0)
+        return speed * ux, speed * uy
+
+
+@dataclass(frozen=True)
+class PatchAffineFlow(Flow):
+    """Independent per-patch affine motion -- the semi-fluid regime.
+
+    The image is divided into a ``cells x cells`` grid; each cell gets
+    its own random affine parameters (drawn once from ``seed``), blended
+    smoothly between cells so displacements stay finite but are *not*
+    globally affine.  ``translation_scale`` bounds the per-patch rigid
+    part and ``deform_scale`` the affine derivatives.
+    """
+
+    size: int
+    cells: int = 4
+    seed: int = 0
+    translation_scale: float = 2.0
+    deform_scale: float = 0.02
+    _tables: tuple = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.cells < 1 or self.size < 2:
+            raise ValueError("need cells >= 1 and size >= 2")
+        rng = np.random.default_rng(self.seed)
+        # Per-cell-node parameters on a (cells+1)^2 lattice, bilinearly
+        # interpolated so the field is continuous but locally affine-ish.
+        nodes = self.cells + 1
+        u0 = rng.uniform(-1, 1, size=(nodes, nodes)) * self.translation_scale
+        v0 = rng.uniform(-1, 1, size=(nodes, nodes)) * self.translation_scale
+        object.__setattr__(self, "_tables", (u0, v0))
+
+    def _bilinear(self, table: np.ndarray, xx: np.ndarray, yy: np.ndarray) -> np.ndarray:
+        scale = self.cells / max(self.size - 1, 1)
+        fx = np.clip(np.asarray(xx, float) * scale, 0, self.cells - 1e-9)
+        fy = np.clip(np.asarray(yy, float) * scale, 0, self.cells - 1e-9)
+        x0 = fx.astype(int)
+        y0 = fy.astype(int)
+        tx = fx - x0
+        ty = fy - y0
+        return (
+            table[y0, x0] * (1 - tx) * (1 - ty)
+            + table[y0, x0 + 1] * tx * (1 - ty)
+            + table[y0 + 1, x0] * (1 - tx) * ty
+            + table[y0 + 1, x0 + 1] * tx * ty
+        )
+
+    def __call__(self, xx, yy):
+        u0, v0 = self._tables
+        return self._bilinear(u0, xx, yy), self._bilinear(v0, xx, yy)
+
+
+@dataclass(frozen=True)
+class SumFlow(Flow):
+    """Pointwise sum of component flows."""
+
+    components: tuple[Flow, ...]
+
+    def __call__(self, xx, yy):
+        u = np.zeros_like(np.asarray(xx, float))
+        v = np.zeros_like(np.asarray(yy, float))
+        for flow in self.components:
+            du, dv = flow(xx, yy)
+            u = u + du
+            v = v + dv
+        return u, v
+
+
+@dataclass(frozen=True)
+class ScaledFlow(Flow):
+    """A flow scaled by a constant factor (e.g. a different frame dt)."""
+
+    base: Flow
+    factor: float
+
+    def __call__(self, xx, yy):
+        u, v = self.base(xx, yy)
+        return u * self.factor, v * self.factor

@@ -1,0 +1,79 @@
+"""Section 6 "future work" features, implemented as extensions.
+
+Robust IRLS motion estimation (:mod:`.robust`), rectangular and
+adaptive template windows (:mod:`.adaptive`), motion-field
+post-processing -- vector median, outlier rejection, relaxation --
+(:mod:`.postprocess`) and multispectral semi-fluid matching
+(:mod:`.multispectral`).
+"""
+
+from .adaptive import (
+    box_sum_rect,
+    select_window_sizes,
+    texture_energy,
+    track_dense_adaptive,
+    track_dense_rect,
+)
+from .classification import (
+    CloudClass,
+    ClassMotion,
+    class_motion_statistics,
+    classified_median_filter,
+    classify,
+    texture_field,
+)
+from .coupled import CoupledResult, CoupledStereoMotion, warp_by_motion
+from .multispectral import compute_multispectral_volume, prepare_multispectral_frames
+from .postprocess import reject_outliers, relax, vector_median_filter
+from .subpixel import (
+    parabolic_offset,
+    refine,
+    refine_continuous,
+    refine_semifluid,
+    track_dense_with_volume,
+)
+from .robust import (
+    HUBER_K,
+    TUKEY_C,
+    RobustSolution,
+    huber_weights,
+    mad_sigma,
+    refine_points,
+    robust_estimate_from_samples,
+    tukey_weights,
+)
+
+__all__ = [
+    "box_sum_rect",
+    "select_window_sizes",
+    "texture_energy",
+    "track_dense_adaptive",
+    "track_dense_rect",
+    "CloudClass",
+    "ClassMotion",
+    "class_motion_statistics",
+    "classified_median_filter",
+    "classify",
+    "texture_field",
+    "CoupledResult",
+    "CoupledStereoMotion",
+    "warp_by_motion",
+    "compute_multispectral_volume",
+    "prepare_multispectral_frames",
+    "reject_outliers",
+    "relax",
+    "vector_median_filter",
+    "parabolic_offset",
+    "refine",
+    "refine_continuous",
+    "refine_semifluid",
+    "track_dense_with_volume",
+    "HUBER_K",
+    "TUKEY_C",
+    "RobustSolution",
+    "huber_weights",
+    "mad_sigma",
+    "refine_points",
+    "robust_estimate_from_samples",
+    "tukey_weights",
+]

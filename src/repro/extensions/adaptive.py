@@ -1,0 +1,162 @@
+"""Rectangular and adaptive template windows (Section 6 future work).
+
+"Although the current implementation uses square template and search
+areas, rectangular areas can also be used and may lead to improved
+motion correspondence results" (Section 2.2), and the conclusions list
+"adaptive hierarchical non-square template and search windows" as
+future work.  This module implements both:
+
+* :func:`box_sum_rect` / :func:`track_dense_rect` -- rectangular
+  ``(2N_y+1) x (2N_x+1)`` z-templates (continuous model), useful when
+  the motion or the cloud structure is anisotropic (e.g. shear bands).
+* :func:`texture_energy` / :func:`select_window_sizes` /
+  :func:`track_dense_adaptive` -- per-pixel template-size selection:
+  each pixel uses the *smallest* template whose local texture energy
+  clears a threshold, so strongly textured pixels get tight (fast,
+  deformation-tolerant) windows and bland pixels get the large windows
+  they need for a well-posed 6x6 system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..core.continuous import N_FIELDS, pointwise_fields, solve_accumulated
+from ..core.matching import DenseMatchResult, PreparedFrames, hypothesis_order, valid_mask
+from ..core.semifluid import shift2d
+
+
+def box_sum_rect(field: np.ndarray, half_y: int, half_x: int) -> np.ndarray:
+    """Box sum over a rectangular ``(2half_y+1) x (2half_x+1)`` window."""
+    if half_y < 0 or half_x < 0:
+        raise ValueError("half-widths must be >= 0")
+    side_y, side_x = 2 * half_y + 1, 2 * half_x + 1
+    out = ndimage.uniform_filter(
+        np.asarray(field, dtype=np.float64), size=(side_y, side_x), mode="constant", cval=0.0
+    )
+    return out * float(side_y * side_x)
+
+
+def _fields_for_hypothesis(prepared: PreparedFrames, hyp_dy: int, hyp_dx: int) -> np.ndarray:
+    """Unaccumulated per-pixel fields for one continuous hypothesis."""
+    geo_b, geo_a = prepared.geo_before, prepared.geo_after
+    p_a = shift2d(geo_a.p, hyp_dy, hyp_dx)
+    q_a = shift2d(geo_a.q, hyp_dy, hyp_dx)
+    return pointwise_fields(geo_b.p, geo_b.q, p_a, q_a, geo_b.e, geo_b.g)
+
+
+def track_dense_rect(
+    prepared: PreparedFrames, half_y: int, half_x: int, ridge: float = 1e-9
+) -> DenseMatchResult:
+    """Dense continuous-model tracking with a rectangular z-template.
+
+    The hypothesis search area stays square (``config.n_zs``); only the
+    template accumulation is rectangular.  Raises for the semi-fluid
+    model (the rectangular extension applies to the template sum).
+    """
+    config = prepared.config
+    if config.is_semifluid:
+        raise ValueError("rectangular templates are implemented for the continuous model")
+    shape = prepared.geo_before.shape
+    best_error = np.full(shape, np.inf)
+    best_u = np.zeros(shape)
+    best_v = np.zeros(shape)
+    best_params = np.zeros(shape + (6,))
+    for hyp_dy, hyp_dx in hypothesis_order(config.n_zs):
+        fields = _fields_for_hypothesis(prepared, hyp_dy, hyp_dx)
+        acc = np.empty_like(fields)
+        for k in range(N_FIELDS):
+            acc[..., k] = box_sum_rect(fields[..., k], half_y, half_x)
+        sol = solve_accumulated(acc, ridge=ridge)
+        better = sol.error < best_error
+        best_error = np.where(better, sol.error, best_error)
+        best_u = np.where(better, float(hyp_dx), best_u)
+        best_v = np.where(better, float(hyp_dy), best_v)
+        best_params = np.where(better[..., None], sol.params, best_params)
+    margin_cfg = config.replace(n_zt=max(half_y, half_x))
+    return DenseMatchResult(
+        u=best_u,
+        v=best_v,
+        params=best_params,
+        error=best_error,
+        valid=valid_mask(shape, margin_cfg),
+        hypotheses_evaluated=config.hypotheses_per_pixel,
+    )
+
+
+def texture_energy(image: np.ndarray, half_width: int) -> np.ndarray:
+    """Local gradient energy: sum of squared central differences.
+
+    The adaptivity criterion: a window is informative when it contains
+    enough gradient structure for the normal-consistency system to be
+    well conditioned.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    gy, gx = np.gradient(image)
+    return box_sum_rect(gx * gx + gy * gy, half_width, half_width)
+
+
+def select_window_sizes(
+    image: np.ndarray, candidate_half_widths: tuple[int, ...], energy_threshold: float
+) -> np.ndarray:
+    """Per-pixel template half-width: smallest candidate clearing the threshold.
+
+    Candidates must be sorted ascending; pixels too bland for every
+    candidate get the largest one.
+    """
+    if not candidate_half_widths:
+        raise ValueError("need at least one candidate window size")
+    if list(candidate_half_widths) != sorted(candidate_half_widths):
+        raise ValueError("candidates must be sorted ascending")
+    choice = np.full(np.asarray(image).shape, candidate_half_widths[-1], dtype=np.int64)
+    decided = np.zeros(choice.shape, dtype=bool)
+    for hw in candidate_half_widths:
+        energy = texture_energy(image, hw)
+        take = (~decided) & (energy >= energy_threshold)
+        choice[take] = hw
+        decided |= take
+    return choice
+
+
+def track_dense_adaptive(
+    prepared: PreparedFrames,
+    candidate_half_widths: tuple[int, ...] = (2, 4, 6),
+    energy_threshold: float = 1.0,
+    ridge: float = 1e-9,
+) -> tuple[DenseMatchResult, np.ndarray]:
+    """Adaptive-template continuous tracking.
+
+    Runs the dense matcher once per candidate template size and, per
+    pixel, keeps the result of the window that
+    :func:`select_window_sizes` assigned to it.  Returns the combined
+    result and the per-pixel window-size map.
+    """
+    config = prepared.config
+    if config.is_semifluid:
+        raise ValueError("adaptive templates are implemented for the continuous model")
+    shape = prepared.geo_before.shape
+    # surface height drives the texture criterion
+    sizes = select_window_sizes(prepared.geo_before.p, candidate_half_widths, energy_threshold)
+
+    u = np.zeros(shape)
+    v = np.zeros(shape)
+    params = np.zeros(shape + (6,))
+    error = np.full(shape, np.inf)
+    for hw in candidate_half_widths:
+        sub = track_dense_rect(prepared, hw, hw, ridge=ridge)
+        take = sizes == hw
+        u[take] = sub.u[take]
+        v[take] = sub.v[take]
+        params[take] = sub.params[take]
+        error[take] = sub.error[take]
+    margin_cfg = config.replace(n_zt=max(candidate_half_widths))
+    result = DenseMatchResult(
+        u=u,
+        v=v,
+        params=params,
+        error=error,
+        valid=valid_mask(shape, margin_cfg),
+        hypotheses_evaluated=config.hypotheses_per_pixel * len(candidate_half_widths),
+    )
+    return result, sizes

@@ -1,0 +1,103 @@
+"""Multispectral semi-fluid matching (Section 6 future work).
+
+"Future work involves ... using multispectral information."  GOES
+imagers carry visible and several infrared channels; cloud tracers that
+are ambiguous in one channel (thin cirrus in the visible, low stratus
+at night) are often distinctive in another.  The extension is natural
+in the SMA's structure: the semi-fluid template mapping minimizes a
+discriminant-matching score, and scores from independent channels
+simply add (each channel normalized by its own patch energy, so no
+channel's dynamic range dominates).
+
+:func:`compute_multispectral_volume` produces a standard
+:class:`~repro.core.semifluid.ScoreVolume`, so the entire downstream
+machinery (dense matcher, parallel driver, segmentation) works
+unchanged -- the composition property the paper's modular design makes
+possible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.matching import PreparedFrames, prepare_frames
+from ..core.semifluid import ScoreVolume, compute_score_volume, discriminant_field
+from ..params import NeighborhoodConfig
+
+
+def compute_multispectral_volume(
+    channels_before: Sequence[np.ndarray],
+    channels_after: Sequence[np.ndarray],
+    config: NeighborhoodConfig,
+    weights: Sequence[float] | None = None,
+) -> ScoreVolume:
+    """Per-channel score volumes summed with optional weights.
+
+    Each channel's discriminant field is computed and scored
+    independently (with its own normalization), then the volumes are
+    combined; the argmin structure of eq. (9) is preserved.
+    """
+    if len(channels_before) != len(channels_after) or not channels_before:
+        raise ValueError("need matching, non-empty channel lists")
+    if weights is None:
+        weights = [1.0] * len(channels_before)
+    if len(weights) != len(channels_before):
+        raise ValueError("one weight per channel")
+    if any(w < 0 for w in weights) or not any(w > 0 for w in weights):
+        raise ValueError("weights must be nonnegative with at least one positive")
+
+    combined: ScoreVolume | None = None
+    for before, after, weight in zip(channels_before, channels_after, weights):
+        before = np.asarray(before, dtype=np.float64)
+        after = np.asarray(after, dtype=np.float64)
+        if before.shape != after.shape:
+            raise ValueError("channel frames must share a shape")
+        if combined is not None and before.shape != combined.scores.shape[1:]:
+            raise ValueError("all channels must share a shape")
+        d_b = discriminant_field(before, config.n_w)
+        d_a = discriminant_field(after, config.n_w)
+        volume = compute_score_volume(d_b, d_a, config)
+        if combined is None:
+            combined = ScoreVolume(
+                scores=weight * volume.scores,
+                displacements=volume.displacements,
+                reach=volume.reach,
+            )
+        else:
+            combined = ScoreVolume(
+                scores=combined.scores + weight * volume.scores,
+                displacements=combined.displacements,
+                reach=combined.reach,
+            )
+    assert combined is not None
+    return combined
+
+
+def prepare_multispectral_frames(
+    z_before: np.ndarray,
+    z_after: np.ndarray,
+    channels_before: Sequence[np.ndarray],
+    channels_after: Sequence[np.ndarray],
+    config: NeighborhoodConfig,
+    weights: Sequence[float] | None = None,
+) -> PreparedFrames:
+    """PreparedFrames whose semi-fluid scores fuse several channels.
+
+    The z-surface (normals path) is unchanged; only the semi-fluid
+    template mapping sees the multispectral evidence.  Requires a
+    semi-fluid configuration (``n_ss > 0``).
+    """
+    if not config.is_semifluid:
+        raise ValueError("multispectral matching extends the semi-fluid model (n_ss > 0)")
+    base = prepare_frames(z_before, z_after, config.replace(n_ss=0))
+    volume = compute_multispectral_volume(
+        channels_before, channels_after, config, weights
+    )
+    return PreparedFrames(
+        geo_before=base.geo_before,
+        geo_after=base.geo_after,
+        volume=volume,
+        config=config,
+    )

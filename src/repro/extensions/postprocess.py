@@ -1,0 +1,153 @@
+"""Motion-field post-processing (Section 6 future work).
+
+"... relaxation labeling or regularization, and post processing the
+motion field."  Three standard passes over a dense
+:class:`~repro.core.field.MotionField`:
+
+* :func:`vector_median_filter` -- the vector-median (L1-optimal in the
+  vector sense) despeckler: each vector is replaced by the window
+  vector minimizing the summed Euclidean distance to its neighbors,
+  which removes isolated mis-matches without averaging across motion
+  boundaries.
+* :func:`reject_outliers` -- flags vectors whose template error or
+  deviation from the local median exceeds thresholds; rejected pixels
+  leave the valid mask (downstream wind products skip them).
+* :func:`relax` -- confidence-weighted Jacobi relaxation: low-error
+  vectors anchor the field while high-error vectors are pulled toward
+  their neighborhood mean, a light-weight rendering of the paper's
+  "relaxation labeling or regularization".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.field import MotionField
+
+
+def _window_stack(field: np.ndarray, half_width: int) -> np.ndarray:
+    """(win^2, H, W) stack of shifted copies (toroidal)."""
+    side = 2 * half_width + 1
+    out = np.empty((side * side,) + field.shape, dtype=np.float64)
+    k = 0
+    for dy in range(-half_width, half_width + 1):
+        for dx in range(-half_width, half_width + 1):
+            out[k] = np.roll(field, shift=(-dy, -dx), axis=(0, 1))
+            k += 1
+    return out
+
+
+def vector_median_filter(field: MotionField, half_width: int = 1) -> MotionField:
+    """Vector-median filter over a ``(2N+1)^2`` window.
+
+    The output vector at each pixel is the *input window vector* (not a
+    componentwise construction) minimizing the sum of Euclidean
+    distances to all window vectors -- edges between coherently moving
+    regions survive because the result is always one of the observed
+    vectors.
+    """
+    if half_width < 1:
+        raise ValueError("half_width must be >= 1")
+    us = _window_stack(field.u, half_width)
+    vs = _window_stack(field.v, half_width)
+    n = us.shape[0]
+    # cost[i] = sum_j ||w_i - w_j||; O(n^2) over the window, vectorized per pair
+    cost = np.zeros_like(us)
+    for j in range(n):
+        cost += np.sqrt((us - us[j]) ** 2 + (vs - vs[j]) ** 2)
+    pick = np.argmin(cost, axis=0)
+    new_u = np.take_along_axis(us, pick[None], axis=0)[0]
+    new_v = np.take_along_axis(vs, pick[None], axis=0)[0]
+    return MotionField(
+        u=new_u,
+        v=new_v,
+        valid=field.valid.copy(),
+        error=field.error.copy(),
+        params=None if field.params is None else field.params.copy(),
+        dt_seconds=field.dt_seconds,
+        pixel_km=field.pixel_km,
+        metadata={**field.metadata, "postprocess": "vector-median"},
+    )
+
+
+def reject_outliers(
+    field: MotionField,
+    error_quantile: float = 0.98,
+    deviation_px: float = 2.0,
+    half_width: int = 1,
+) -> MotionField:
+    """Shrink the valid mask by removing suspect vectors.
+
+    A vector is rejected when its template error lands above the
+    ``error_quantile`` of valid errors, or when it deviates from the
+    componentwise window median by more than ``deviation_px`` pixels.
+    """
+    if not 0.0 < error_quantile <= 1.0:
+        raise ValueError("error_quantile must be in (0, 1]")
+    us = _window_stack(field.u, half_width)
+    vs = _window_stack(field.v, half_width)
+    med_u = np.median(us, axis=0)
+    med_v = np.median(vs, axis=0)
+    deviation = np.hypot(field.u - med_u, field.v - med_v)
+    valid = field.valid.copy()
+    if valid.any():
+        threshold = np.quantile(field.error[valid], error_quantile)
+        valid &= field.error <= threshold
+    valid &= deviation <= deviation_px
+    return MotionField(
+        u=field.u.copy(),
+        v=field.v.copy(),
+        valid=valid,
+        error=field.error.copy(),
+        params=None if field.params is None else field.params.copy(),
+        dt_seconds=field.dt_seconds,
+        pixel_km=field.pixel_km,
+        metadata={**field.metadata, "postprocess": "outlier-rejection"},
+    )
+
+
+def relax(
+    field: MotionField,
+    iterations: int = 10,
+    stiffness: float = 0.5,
+) -> MotionField:
+    """Confidence-weighted Jacobi relaxation of the motion field.
+
+    Per-pixel confidence ``c = 1 / (1 + error / median_error)`` blends
+    each vector with its 8-neighborhood mean:
+    ``w <- c w + (1 - c) * ((1 - s) w + s w_bar)`` -- high-confidence
+    vectors barely move, high-error vectors are regularized toward
+    their neighbors.  ``stiffness`` in (0, 1] scales the pull.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if not 0.0 < stiffness <= 1.0:
+        raise ValueError("stiffness must be in (0, 1]")
+    valid = field.valid
+    med = float(np.median(field.error[valid])) if valid.any() else 1.0
+    med = med if med > 0 else 1.0
+    confidence = 1.0 / (1.0 + field.error / med)
+    u = field.u.copy()
+    v = field.v.copy()
+    kernel_offsets = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+    for _ in range(iterations):
+        u_bar = np.zeros_like(u)
+        v_bar = np.zeros_like(v)
+        for dy, dx in kernel_offsets:
+            u_bar += np.roll(u, shift=(-dy, -dx), axis=(0, 1))
+            v_bar += np.roll(v, shift=(-dy, -dx), axis=(0, 1))
+        u_bar /= len(kernel_offsets)
+        v_bar /= len(kernel_offsets)
+        pull = (1.0 - confidence) * stiffness
+        u = (1.0 - pull) * u + pull * u_bar
+        v = (1.0 - pull) * v + pull * v_bar
+    return MotionField(
+        u=u,
+        v=v,
+        valid=field.valid.copy(),
+        error=field.error.copy(),
+        params=None if field.params is None else field.params.copy(),
+        dt_seconds=field.dt_seconds,
+        pixel_km=field.pixel_km,
+        metadata={**field.metadata, "postprocess": "relaxation"},
+    )

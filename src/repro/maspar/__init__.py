@@ -1,0 +1,70 @@
+"""MasPar MP-2 SIMD machine simulator (the paper's hardware substrate).
+
+Implements the architecture of Section 3 operationally: a PE array with
+plural data and activity masking (:mod:`.pe_array`), X-net mesh and
+global-router communication (:mod:`.xnet`, :mod:`.router`), the 2-D
+hierarchical data mapping of eqs. (12)-(13) (:mod:`.mapping`), per-PE
+memory accounting against the 64 KB limit (:mod:`.memory`), the two
+Section-4.2 neighborhood read-out schemes (:mod:`.readout`), the MPDA
+parallel disk array (:mod:`.disk`), and the operation-count cost model
+that regenerates the paper's timing tables (:mod:`.cost`).
+"""
+
+from .acu import (
+    active_count,
+    broadcast,
+    compact_values,
+    enumerate_active,
+    global_and,
+    global_or,
+    reduce_argmin,
+    scan_add_cols,
+    scan_add_rows,
+)
+from .cost import CostLedger, PhaseCost
+from .disk import ParallelDiskArray
+from .machine import GODDARD_MP2, MachineConfig, scaled_machine
+from .mapping import CutAndStackMapping, HierarchicalMapping, mapping_for
+from .memory import PEMemoryError, PEMemoryTracker
+from .pe_array import PEArray, Plural
+from .readout import DEFAULT_READOUT, RasterScanReadout, ReadoutStats, SnakeReadout, window_stack
+from .router import mesh_equivalent_seconds, router_gather, router_send
+from .xnet import DIRECTIONS, fetch_neighborhood, mesh_distance, xnet_shift, xnet_shift_direction
+
+__all__ = [
+    "active_count",
+    "broadcast",
+    "compact_values",
+    "enumerate_active",
+    "global_and",
+    "global_or",
+    "reduce_argmin",
+    "scan_add_cols",
+    "scan_add_rows",
+    "CostLedger",
+    "PhaseCost",
+    "ParallelDiskArray",
+    "GODDARD_MP2",
+    "MachineConfig",
+    "scaled_machine",
+    "CutAndStackMapping",
+    "HierarchicalMapping",
+    "mapping_for",
+    "PEMemoryError",
+    "PEMemoryTracker",
+    "PEArray",
+    "Plural",
+    "DEFAULT_READOUT",
+    "RasterScanReadout",
+    "ReadoutStats",
+    "SnakeReadout",
+    "window_stack",
+    "mesh_equivalent_seconds",
+    "router_gather",
+    "router_send",
+    "DIRECTIONS",
+    "fetch_neighborhood",
+    "mesh_distance",
+    "xnet_shift",
+    "xnet_shift_direction",
+]

@@ -1,0 +1,148 @@
+"""Array Control Unit global operations (the MPL primitive set).
+
+The MP-2's PEs operate "under the control of an Array Control Unit"
+(Section 3.1); besides broadcasting the instruction stream, the ACU
+provides the global data-parallel primitives every MPL program leans
+on: reductions, prefix scans (``scanAdd``), active-PE enumeration
+(``enumerate``), global boolean tests (``globalor``) and
+singular-to-plural broadcast.
+
+On the real machine these run in O(log n) mesh/steps via tree or
+recursive-doubling schedules; the simulator executes them as NumPy
+operations and charges the ledger the equivalent log-depth
+communication, so SIMD programs built from these primitives carry
+faithful cost models.
+
+All operations respect the current activity mask: inactive PEs
+contribute nothing and (for scans) receive nothing, exactly MPL's
+semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pe_array import PEArray, Plural
+
+
+def _charge_log_steps(pe: PEArray, itemsize: int) -> None:
+    """Charge a recursive-doubling schedule over the PE grid."""
+    n = pe.machine.n_pes
+    steps = int(np.ceil(np.log2(max(n, 2))))
+    pe.ledger.charge_xnet(itemsize * n * steps, shifts=steps)
+    pe.ledger.charge_flops(n * steps)
+
+
+def broadcast(pe: PEArray, value: float, name: str = "broadcast") -> Plural:
+    """Singular-to-plural broadcast: every PE receives ``value``.
+
+    One ACU bus cycle on the real machine; modeled as a single
+    whole-array store.
+    """
+    out = pe.full(float(value), name=name)
+    pe.ledger.charge_memory(out.data.nbytes)
+    return out
+
+
+def global_or(pe: PEArray, plural: Plural) -> bool:
+    """MPL ``globalor``: true when any *active* PE holds a nonzero value."""
+    mask = pe.active
+    mask = mask.reshape(mask.shape + (1,) * (plural.data.ndim - 2))
+    _charge_log_steps(pe, 1)
+    return bool(np.any(plural.data.astype(bool) & np.broadcast_to(mask, plural.data.shape)))
+
+
+def global_and(pe: PEArray, plural: Plural) -> bool:
+    """MPL ``globaland``: true when every active PE holds a nonzero value."""
+    mask = np.broadcast_to(
+        pe.active.reshape(pe.active.shape + (1,) * (plural.data.ndim - 2)),
+        plural.data.shape,
+    )
+    _charge_log_steps(pe, 1)
+    values = plural.data.astype(bool)
+    return bool(np.all(values | ~mask))
+
+
+def enumerate_active(pe: PEArray) -> Plural:
+    """MPL ``enumerate``: rank of each active PE in row-major order.
+
+    Active PEs receive 0, 1, 2, ... in (iyproc, ixproc) raster order;
+    inactive PEs receive -1.  The classic use is compacting sparse
+    results ("which PEs found a match, and where do they write?").
+    """
+    mask = pe.active
+    flat = mask.ravel()
+    ranks = np.cumsum(flat) - 1
+    out = np.where(flat, ranks, -1).reshape(mask.shape).astype(np.int64)
+    _charge_log_steps(pe, 8)
+    return Plural(pe, out, name="enumerate")
+
+
+def active_count(pe: PEArray) -> int:
+    """Number of currently active PEs (an ACU status read)."""
+    _charge_log_steps(pe, 1)
+    return int(pe.active.sum())
+
+
+def scan_add_rows(pe: PEArray, plural: Plural) -> Plural:
+    """Inclusive prefix sum along PE rows (MPL ``scanAdd`` on x).
+
+    Inactive PEs pass their left neighbor's running total through
+    unchanged and contribute zero -- MPL's segmented-scan-free
+    convention.  Only scalar (no inner layers) plurals are supported,
+    matching the register-resident use on the machine.
+    """
+    if plural.inner_shape:
+        raise ValueError("scans operate on scalar plurals (no memory layers)")
+    mask = pe.active
+    contrib = np.where(mask, plural.data, 0.0)
+    out = np.cumsum(contrib, axis=1)
+    _charge_log_steps(pe, plural.data.dtype.itemsize)
+    return Plural(pe, out, name=f"scanAdd({plural.name})")
+
+
+def scan_add_cols(pe: PEArray, plural: Plural) -> Plural:
+    """Inclusive prefix sum along PE columns (MPL ``scanAdd`` on y)."""
+    if plural.inner_shape:
+        raise ValueError("scans operate on scalar plurals (no memory layers)")
+    mask = pe.active
+    contrib = np.where(mask, plural.data, 0.0)
+    out = np.cumsum(contrib, axis=0)
+    _charge_log_steps(pe, plural.data.dtype.itemsize)
+    return Plural(pe, out, name=f"scanAddCol({plural.name})")
+
+
+def reduce_argmin(pe: PEArray, plural: Plural) -> tuple[float, tuple[int, int]]:
+    """Global argmin over active PEs: (value, (iyproc, ixproc)).
+
+    Ties resolve to the lowest raster-order PE, the deterministic
+    convention the hypothesis search relies on.
+    """
+    if plural.inner_shape:
+        raise ValueError("reduce_argmin operates on scalar plurals")
+    mask = pe.active
+    if not mask.any():
+        raise ValueError("no active PEs")
+    masked = np.where(mask, plural.data, np.inf)
+    flat_idx = int(np.argmin(masked))
+    iy, ix = divmod(flat_idx, pe.machine.nxproc)
+    _charge_log_steps(pe, plural.data.dtype.itemsize + 8)
+    return float(masked[iy, ix]), (iy, ix)
+
+
+def compact_values(pe: PEArray, plural: Plural) -> np.ndarray:
+    """Gather active PEs' values into a dense front-end array.
+
+    The enumerate-then-route idiom: each active PE learns its rank and
+    router-sends its value to the staging area.  Returns a 1-D array of
+    the active values in raster order.
+    """
+    if plural.inner_shape:
+        raise ValueError("compact_values operates on scalar plurals")
+    ranks = enumerate_active(pe)
+    mask = pe.active
+    count = int(mask.sum())
+    out = np.empty(count, dtype=plural.data.dtype)
+    out[ranks.data[mask]] = plural.data[mask]
+    pe.ledger.charge_router(plural.data.dtype.itemsize * count, sends=1)
+    return out

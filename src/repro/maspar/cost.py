@@ -1,0 +1,164 @@
+"""Operation-count cost ledger for the SIMD simulator.
+
+The paper's timing tables (Tables 2 and 4) report modeled/measured
+wall-clock seconds per algorithm phase on the MP-2.  The simulator
+regenerates those rows analytically: every SIMD arithmetic operation,
+X-net shift, router transfer, memory access and disk transfer executed
+by :class:`repro.maspar.pe_array.PEArray` (and friends) is charged to a
+:class:`CostLedger`, which converts counts into modeled seconds using
+the published machine rates of :class:`repro.maspar.machine.MachineConfig`.
+
+The ledger is phase-scoped: ``ledger.phase("hypothesis-matching")``
+opens a named accumulation bucket so the Table 2 / Table 4 breakdown
+(surface fit / geometric variables / semi-fluid mapping / hypothesis
+matching) falls directly out of the run.
+
+Because the machine is SIMD, time is charged per *lockstep operation*,
+not per active PE: an elementwise op over one plural layer costs the
+whole array one operation slot even if the activity mask disables most
+PEs -- exactly the MasPar execution model (inactive PEs idle through
+the instruction).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .machine import MachineConfig
+
+
+@dataclass
+class PhaseCost:
+    """Accumulated costs for one named phase."""
+
+    flops: float = 0.0
+    int_ops: float = 0.0
+    mem_bytes: float = 0.0
+    xnet_bytes: float = 0.0
+    xnet_shifts: int = 0
+    router_bytes: float = 0.0
+    router_sends: int = 0
+    disk_bytes: float = 0.0
+    gaussian_eliminations: int = 0
+
+    def merge(self, other: "PhaseCost") -> None:
+        self.flops += other.flops
+        self.int_ops += other.int_ops
+        self.mem_bytes += other.mem_bytes
+        self.xnet_bytes += other.xnet_bytes
+        self.xnet_shifts += other.xnet_shifts
+        self.router_bytes += other.router_bytes
+        self.router_sends += other.router_sends
+        self.disk_bytes += other.disk_bytes
+        self.gaussian_eliminations += other.gaussian_eliminations
+
+
+@dataclass
+class CostLedger:
+    """Phase-scoped accumulator converting operation counts to seconds."""
+
+    machine: MachineConfig
+    phases: dict[str, PhaseCost] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=list)
+
+    DEFAULT_PHASE = "unattributed"
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack[-1] if self._stack else self.DEFAULT_PHASE
+
+    def _bucket(self) -> PhaseCost:
+        return self.phases.setdefault(self.current_phase, PhaseCost())
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scope subsequent charges to the named phase."""
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- charging -----------------------------------------------------------------
+
+    def charge_flops(self, count: float) -> None:
+        """Charge floating-point operations (whole-array lockstep count)."""
+        self._bucket().flops += count
+
+    def charge_int_ops(self, count: float) -> None:
+        """Charge integer/control operations."""
+        self._bucket().int_ops += count
+
+    def charge_memory(self, byte_count: float) -> None:
+        """Charge PE memory traffic (direct plural loads/stores)."""
+        self._bucket().mem_bytes += byte_count
+
+    def charge_xnet(self, byte_count: float, shifts: int = 1) -> None:
+        """Charge an X-net mesh transfer."""
+        bucket = self._bucket()
+        bucket.xnet_bytes += byte_count
+        bucket.xnet_shifts += shifts
+
+    def charge_router(self, byte_count: float, sends: int = 1) -> None:
+        """Charge a global-router transfer."""
+        bucket = self._bucket()
+        bucket.router_bytes += byte_count
+        bucket.router_sends += sends
+
+    def charge_disk(self, byte_count: float) -> None:
+        """Charge MPDA disk traffic."""
+        self._bucket().disk_bytes += byte_count
+
+    def charge_gaussian_elimination(self, systems: int, order: int = 6) -> None:
+        """Charge ``systems`` dense GE solves of the given order.
+
+        A GE solve of an ``n x n`` system with one RHS takes about
+        ``(2/3) n^3 + 2 n^2`` flops; the paper counts "169
+        Gaussian-eliminations" per pixel and "over one million separate
+        Gaussian-eliminations" for the surface fits, so the ledger keeps
+        the solve count as a first-class statistic too.
+        """
+        flops = systems * ((2.0 / 3.0) * order**3 + 2.0 * order**2)
+        bucket = self._bucket()
+        bucket.flops += flops
+        bucket.gaussian_eliminations += systems
+
+    # -- reporting ----------------------------------------------------------------
+
+    def phase_seconds(self, name: str) -> float:
+        """Modeled wall-clock seconds for one phase.
+
+        SIMD compute and communication do not overlap on the MP-2 (the
+        ACU issues one instruction stream), so the phase time is the
+        *sum* of compute time, memory time and communication time.
+        """
+        cost = self.phases.get(name)
+        if cost is None:
+            return 0.0
+        m = self.machine
+        return (
+            cost.flops / m.flops_double
+            + cost.int_ops / m.ips_integer
+            + cost.mem_bytes / m.mem_direct_bw
+            + cost.xnet_bytes / m.xnet_bw
+            + cost.router_bytes / m.router_bw
+            + cost.disk_bytes / m.disk_bw
+        )
+
+    def total_seconds(self) -> float:
+        """Modeled seconds across all phases."""
+        return sum(self.phase_seconds(name) for name in self.phases)
+
+    def breakdown(self) -> list[tuple[str, float]]:
+        """``(phase, seconds)`` rows in insertion order -- a Table 2 shape."""
+        return [(name, self.phase_seconds(name)) for name in self.phases]
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's phases into this one."""
+        for name, cost in other.phases.items():
+            self.phases.setdefault(name, PhaseCost()).merge(cost)
+
+    def reset(self) -> None:
+        self.phases.clear()

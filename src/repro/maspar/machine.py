@@ -1,0 +1,142 @@
+"""MasPar MP-2 machine description.
+
+Section 3.1 of the paper gives the architectural parameters of the
+NASA Goddard MasPar MP-2 (architecturally identical to the DEC MPP
+12000 Sx/Model 200).  :class:`MachineConfig` captures every number the
+paper's design decisions depend on, with the paper's published values
+as defaults:
+
+* 16384 PEs in a 128 x 128 8-way toroidal X-net mesh,
+* 12.5 MHz clock (80 ns cycle), 32-bit RISC PEs with 40 user registers,
+* 64 KB of PE memory (1 GB aggregate) on the Goddard configuration,
+* sustained 6.3 GFlops single / 2.4 GFlops double precision, 68 BIPS,
+* PE memory bandwidth 22.4 GB/s direct plural, 10.6 GB/s indirect,
+* X-net aggregate bandwidth 23.0 GB/s register-to-register,
+* global router sustained 1.3 GB/s (X-net is 18x faster),
+* MasPar Parallel Disk Array (MPDA) sustained > 30 MB/s.
+
+These figures feed the cost model in :mod:`repro.maspar.cost`, which is
+how the timing tables of the paper are regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of a MasPar-class SIMD machine.
+
+    All bandwidths are aggregate (whole-array) figures in bytes/second,
+    matching how Section 3.1 reports them; per-PE rates are derived.
+    """
+
+    nyproc: int = 128
+    nxproc: int = 128
+    clock_hz: float = 12.5e6
+    registers_per_pe: int = 40
+    pe_memory_bytes: int = 64 * KB
+    word_bytes: int = 4
+    #: Sustained double-precision floating-point rate (whole array).
+    flops_double: float = 2.4e9
+    #: Sustained single-precision floating-point rate (whole array).
+    flops_single: float = 6.3e9 * 0.60
+    #: Sustained integer instruction rate (whole array).
+    ips_integer: float = 68e9
+    #: PE memory <-> register bandwidth, direct plural accesses.
+    mem_direct_bw: float = 22.4 * GB
+    #: PE memory <-> register bandwidth, indirect (pointer) accesses.
+    mem_indirect_bw: float = 10.6 * GB
+    #: X-net mesh aggregate register-to-register bandwidth.
+    xnet_bw: float = 23.0 * GB
+    #: Global router sustained bandwidth.
+    router_bw: float = 1.3 * GB
+    #: MPDA parallel disk array sustained throughput.
+    disk_bw: float = 30 * MB
+
+    def __post_init__(self) -> None:
+        if self.nyproc <= 0 or self.nxproc <= 0:
+            raise ValueError("PE grid dimensions must be positive")
+        if self.pe_memory_bytes <= 0:
+            raise ValueError("PE memory must be positive")
+        for name in (
+            "clock_hz",
+            "flops_double",
+            "flops_single",
+            "ips_integer",
+            "mem_direct_bw",
+            "mem_indirect_bw",
+            "xnet_bw",
+            "router_bw",
+            "disk_bw",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def n_pes(self) -> int:
+        """Total number of processor elements."""
+        return self.nyproc * self.nxproc
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Clock cycle time (80 ns on the MP-2)."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Aggregate parallel data memory (1 GB on the Goddard MP-2)."""
+        return self.n_pes * self.pe_memory_bytes
+
+    @property
+    def xnet_router_ratio(self) -> float:
+        """X-net to router bandwidth ratio (the paper quotes 18x)."""
+        return self.xnet_bw / self.router_bw
+
+    def layers_for_image(self, height: int, width: int) -> int:
+        """Pixels stored per PE for an ``height x width`` image.
+
+        Implements ``yvr * xvr`` of eq. (12):  ``ceil(M / nyproc) *
+        ceil(N / nxproc)``.
+        """
+        if height <= 0 or width <= 0:
+            raise ValueError("image dimensions must be positive")
+        yvr = -(-height // self.nyproc)
+        xvr = -(-width // self.nxproc)
+        return yvr * xvr
+
+
+#: The NASA Goddard MP-2 exactly as described in Section 3.1.
+GODDARD_MP2 = MachineConfig()
+
+
+def scaled_machine(nyproc: int, nxproc: int, pe_memory_bytes: int | None = None) -> MachineConfig:
+    """Return an MP-2 with a smaller PE grid but identical *per-PE* rates.
+
+    Useful for tests and reduced-scale simulation: aggregate bandwidths
+    and instruction rates scale with the PE count so that per-PE
+    behaviour (and therefore cost-model *shape*) is preserved.
+    """
+    base = GODDARD_MP2
+    scale = (nyproc * nxproc) / base.n_pes
+    return MachineConfig(
+        nyproc=nyproc,
+        nxproc=nxproc,
+        clock_hz=base.clock_hz,
+        registers_per_pe=base.registers_per_pe,
+        pe_memory_bytes=base.pe_memory_bytes if pe_memory_bytes is None else pe_memory_bytes,
+        word_bytes=base.word_bytes,
+        flops_double=base.flops_double * scale,
+        flops_single=base.flops_single * scale,
+        ips_integer=base.ips_integer * scale,
+        mem_direct_bw=base.mem_direct_bw * scale,
+        mem_indirect_bw=base.mem_indirect_bw * scale,
+        xnet_bw=base.xnet_bw * scale,
+        router_bw=base.router_bw * scale,
+        disk_bw=base.disk_bw,
+    )

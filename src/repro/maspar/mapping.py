@@ -1,0 +1,260 @@
+"""Data mappings from image arrays onto the PE array.
+
+Section 3.2 of the paper describes folding an ``M x N`` image onto the
+``nyproc x nxproc`` PE grid.  Two schemes are implemented:
+
+* :class:`HierarchicalMapping` -- the 2-D *hierarchical* mapping of
+  eqs. (12)-(13), chosen by the paper because neighboring pixels land
+  on neighboring PEs, minimizing X-net transfers for the SMA
+  algorithm's local-neighborhood accesses.  Each PE owns a contiguous
+  ``yvr x xvr`` block of the image; the block is linearized into
+  per-PE memory layers.
+
+* :class:`CutAndStackMapping` -- the alternative the paper rejects:
+  the image is cut into ``nyproc x nxproc`` tiles which are stacked,
+  so pixel ``(x, y)`` lives on PE ``(y mod nyproc, x mod nxproc)``.
+  Spatially adjacent pixels map to adjacent PEs *within* a tile, but
+  accessing a neighborhood that crosses tile boundaries of the layer
+  structure requires transfers proportional to the window size times
+  the layer count.
+
+Both mappings are exact bijections between pixel coordinates and
+``(iyproc, ixproc, mem)`` triples (verified by property-based tests),
+and both can scatter/gather whole NumPy images to/from the plural
+layout used by :class:`repro.maspar.pe_array.PEArray`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class MappingGeometry:
+    """Shared geometry of an image-to-PE-array mapping."""
+
+    height: int  # M (rows, y)
+    width: int  # N (columns, x)
+    nyproc: int
+    nxproc: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.nyproc <= 0 or self.nxproc <= 0:
+            raise ValueError("PE grid dimensions must be positive")
+        if self.height % self.nyproc or self.width % self.nxproc:
+            raise ValueError(
+                "image dimensions must be multiples of the PE grid: "
+                f"{self.height}x{self.width} on {self.nyproc}x{self.nxproc}"
+            )
+
+    @property
+    def yvr(self) -> int:
+        """Vertical virtualization ratio ``M / nyproc`` (rows per PE)."""
+        return self.height // self.nyproc
+
+    @property
+    def xvr(self) -> int:
+        """Horizontal virtualization ratio ``N / nxproc`` (cols per PE)."""
+        return self.width // self.nxproc
+
+    @property
+    def layers(self) -> int:
+        """Memory layers (pixels) per PE: ``yvr * xvr``."""
+        return self.yvr * self.xvr
+
+
+class HierarchicalMapping(MappingGeometry):
+    """2-D hierarchical data mapping of eqs. (12)-(13).
+
+    Forward mapping (eq. 12)::
+
+        iyproc = y div yvr
+        ixproc = x div xvr
+        mem    = (x mod xvr) + xvr * (y mod yvr)
+
+    Inverse mapping (eq. 13)::
+
+        x = ixproc * xvr + (mem mod xvr)
+        y = iyproc * yvr + (mem div xvr)
+    """
+
+    def to_pe(self, x: int | np.ndarray, y: int | np.ndarray):
+        """Map pixel coordinates ``(x, y)`` to ``(iyproc, ixproc, mem)``."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if np.any(x < 0) or np.any(x >= self.width) or np.any(y < 0) or np.any(y >= self.height):
+            raise ValueError("pixel coordinates out of bounds")
+        iyproc = y // self.yvr
+        ixproc = x // self.xvr
+        mem = (x % self.xvr) + self.xvr * (y % self.yvr)
+        return iyproc, ixproc, mem
+
+    def to_pixel(self, iyproc: int | np.ndarray, ixproc: int | np.ndarray, mem: int | np.ndarray):
+        """Inverse of :meth:`to_pe` (eq. 13): returns ``(x, y)``."""
+        iyproc = np.asarray(iyproc)
+        ixproc = np.asarray(ixproc)
+        mem = np.asarray(mem)
+        if (
+            np.any(iyproc < 0)
+            or np.any(iyproc >= self.nyproc)
+            or np.any(ixproc < 0)
+            or np.any(ixproc >= self.nxproc)
+            or np.any(mem < 0)
+            or np.any(mem >= self.layers)
+        ):
+            raise ValueError("PE coordinates out of bounds")
+        x = ixproc * self.xvr + (mem % self.xvr)
+        y = iyproc * self.yvr + (mem // self.xvr)
+        return x, y
+
+    def scatter(self, image: np.ndarray) -> np.ndarray:
+        """Fold an image into plural layout ``(layers, nyproc, nxproc)``.
+
+        Layer ``mem`` of the result holds, at PE ``(iyproc, ixproc)``,
+        the pixel that eq. (13) assigns to that (PE, mem) pair.
+        """
+        image = np.asarray(image)
+        if image.shape[:2] != (self.height, self.width):
+            raise ValueError(
+                f"image shape {image.shape[:2]} does not match mapping "
+                f"{(self.height, self.width)}"
+            )
+        # (nyproc, yvr, nxproc, xvr, ...) -> (yvr, xvr, nyproc, nxproc, ...)
+        tiled = image.reshape((self.nyproc, self.yvr, self.nxproc, self.xvr) + image.shape[2:])
+        plural = np.moveaxis(tiled, (1, 3), (0, 1))
+        return plural.reshape((self.layers, self.nyproc, self.nxproc) + image.shape[2:]).copy()
+
+    def gather(self, plural: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`scatter`: rebuild the image array."""
+        plural = np.asarray(plural)
+        expected = (self.layers, self.nyproc, self.nxproc)
+        if plural.shape[:3] != expected:
+            raise ValueError(f"plural shape {plural.shape[:3]} does not match {expected}")
+        extra = plural.shape[3:]
+        grid = plural.reshape((self.yvr, self.xvr, self.nyproc, self.nxproc) + extra)
+        tiled = np.moveaxis(grid, (0, 1), (1, 3))
+        return tiled.reshape((self.height, self.width) + extra).copy()
+
+    def neighborhood_mesh_shifts(self, half_width: int) -> int:
+        """Mesh shift count to deliver a ``(2N+1)^2`` window to every pixel.
+
+        With the hierarchical mapping a shift of the whole image by one
+        pixel costs one X-net transfer per PE (plus in-PE memory moves,
+        which do not use the mesh).  Fetching all ``(2N+1)^2`` offsets by
+        walking a snake path costs one shift per step, but only steps
+        that cross a PE boundary require the mesh; a displacement of
+        ``d`` pixels crosses ``floor(d / vr)``-ish boundaries.  We count
+        the worst-case mesh transfers for the full window walk, which is
+        the figure the paper's mapping comparison turns on.
+        """
+        if half_width < 0:
+            raise ValueError("half_width must be >= 0")
+        side = 2 * half_width + 1
+        # Snake walk visits side*side positions; each unit step moves the
+        # data plane one pixel.  A one-pixel shift of the folded image
+        # moves one column (or row) of each PE block across PE
+        # boundaries: the mesh carries 1/xvr (or 1/yvr) of the data, but
+        # SIMD lockstep means the *time* cost is one mesh-shift slot per
+        # step regardless.  Total mesh-shift slots:
+        return side * side - 1
+
+    def boundary_crossings(self, half_width: int) -> int:
+        """Number of window offsets whose data lives on a *different* PE.
+
+        For the pixel at local block position the worst case is a corner
+        pixel: offsets reaching beyond the local ``yvr x xvr`` block must
+        cross PE boundaries.  This is the communication *volume* metric
+        used by the Fig. 2 ablation (hierarchical vs cut-and-stack).
+        """
+        if half_width < 0:
+            raise ValueError("half_width must be >= 0")
+        side = 2 * half_width + 1
+        local_y = min(side, self.yvr)
+        local_x = min(side, self.xvr)
+        # Offsets fully resolvable inside the owning PE's block for a
+        # best-placed (central) pixel:
+        return side * side - local_y * local_x
+
+
+class CutAndStackMapping(MappingGeometry):
+    """Cut-and-stack mapping: pixel ``(x, y)`` -> PE ``(y mod nyproc, x mod nxproc)``.
+
+    The image is cut into ``yvr x xvr`` congruent tiles of PE-grid size
+    which are stacked as memory layers; layer index is
+    ``(y div nyproc) * xvr + (x div nxproc)``.
+    """
+
+    def to_pe(self, x: int | np.ndarray, y: int | np.ndarray):
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if np.any(x < 0) or np.any(x >= self.width) or np.any(y < 0) or np.any(y >= self.height):
+            raise ValueError("pixel coordinates out of bounds")
+        iyproc = y % self.nyproc
+        ixproc = x % self.nxproc
+        mem = (y // self.nyproc) * self.xvr + (x // self.nxproc)
+        return iyproc, ixproc, mem
+
+    def to_pixel(self, iyproc: int | np.ndarray, ixproc: int | np.ndarray, mem: int | np.ndarray):
+        iyproc = np.asarray(iyproc)
+        ixproc = np.asarray(ixproc)
+        mem = np.asarray(mem)
+        if (
+            np.any(iyproc < 0)
+            or np.any(iyproc >= self.nyproc)
+            or np.any(ixproc < 0)
+            or np.any(ixproc >= self.nxproc)
+            or np.any(mem < 0)
+            or np.any(mem >= self.layers)
+        ):
+            raise ValueError("PE coordinates out of bounds")
+        x = (mem % self.xvr) * self.nxproc + ixproc
+        y = (mem // self.xvr) * self.nyproc + iyproc
+        return x, y
+
+    def scatter(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        if image.shape[:2] != (self.height, self.width):
+            raise ValueError(
+                f"image shape {image.shape[:2]} does not match mapping "
+                f"{(self.height, self.width)}"
+            )
+        tiled = image.reshape((self.yvr, self.nyproc, self.xvr, self.nxproc) + image.shape[2:])
+        plural = np.moveaxis(tiled, (0, 2), (0, 1))
+        return plural.reshape((self.layers, self.nyproc, self.nxproc) + image.shape[2:]).copy()
+
+    def gather(self, plural: np.ndarray) -> np.ndarray:
+        plural = np.asarray(plural)
+        expected = (self.layers, self.nyproc, self.nxproc)
+        if plural.shape[:3] != expected:
+            raise ValueError(f"plural shape {plural.shape[:3]} does not match {expected}")
+        extra = plural.shape[3:]
+        grid = plural.reshape((self.yvr, self.xvr, self.nyproc, self.nxproc) + extra)
+        tiled = np.moveaxis(grid, (0, 1), (0, 2))
+        return tiled.reshape((self.height, self.width) + extra).copy()
+
+    def boundary_crossings(self, half_width: int) -> int:
+        """Window offsets requiring inter-PE communication.
+
+        Under cut-and-stack every pixel at distance >= 1 lives on a
+        different PE (the 8 mesh neighbors hold the adjacent pixels of
+        the *same* tile), so *every* non-center offset crosses a PE
+        boundary -- and offsets larger than the PE grid pitch even need
+        the router.  This is why the paper rejects cut-and-stack.
+        """
+        if half_width < 0:
+            raise ValueError("half_width must be >= 0")
+        side = 2 * half_width + 1
+        return side * side - 1
+
+
+def mapping_for(machine: MachineConfig, height: int, width: int) -> HierarchicalMapping:
+    """Construct the paper's hierarchical mapping for an image on a machine."""
+    return HierarchicalMapping(
+        height=height, width=width, nyproc=machine.nyproc, nxproc=machine.nxproc
+    )

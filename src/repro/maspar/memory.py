@@ -1,0 +1,99 @@
+"""PE memory accounting.
+
+"One of the bottlenecks while designing the parallel implementation was
+the memory constraint of 64 KB per PE" (Section 4.3).  The simulator
+enforces that constraint through :class:`PEMemoryTracker`: every plural
+allocation made by :class:`repro.maspar.pe_array.PEArray` is charged to
+the ledger, and exceeding capacity raises :class:`PEMemoryError` -- the
+failure mode that forced the paper's template-mapping segmentation
+scheme (reproduced in :mod:`repro.parallel.segmentation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PEMemoryError(MemoryError):
+    """Raised when a plural allocation would exceed PE memory capacity."""
+
+
+@dataclass
+class Allocation:
+    """One live plural allocation (bytes are per-PE)."""
+
+    name: str
+    bytes_per_pe: int
+
+
+@dataclass
+class PEMemoryTracker:
+    """Ledger of per-PE memory usage against a fixed capacity.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Per-PE memory capacity; 64 KB on the Goddard MP-2.
+    """
+
+    capacity_bytes: int
+    _allocations: dict[int, Allocation] = field(default_factory=dict)
+    _next_handle: int = 0
+    peak_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def used_bytes(self) -> int:
+        """Currently allocated bytes per PE."""
+        return sum(a.bytes_per_pe for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining bytes per PE."""
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, bytes_per_pe: int, name: str = "plural") -> int:
+        """Charge an allocation; returns a handle for :meth:`free`.
+
+        Raises
+        ------
+        PEMemoryError
+            If the allocation would exceed the per-PE capacity.  The
+            message reports the shortfall, mirroring the paper's 67.7 KB
+            > 64 KB example.
+        """
+        if bytes_per_pe < 0:
+            raise ValueError("allocation size must be >= 0")
+        new_total = self.used_bytes + bytes_per_pe
+        if new_total > self.capacity_bytes:
+            raise PEMemoryError(
+                f"allocating {bytes_per_pe} B for '{name}' needs "
+                f"{new_total} B/PE but capacity is {self.capacity_bytes} B/PE "
+                f"({new_total - self.capacity_bytes} B over)"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = Allocation(name=name, bytes_per_pe=bytes_per_pe)
+        self.peak_bytes = max(self.peak_bytes, new_total)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release a previously charged allocation."""
+        if handle not in self._allocations:
+            raise KeyError(f"unknown or already-freed allocation handle {handle}")
+        del self._allocations[handle]
+
+    def would_fit(self, bytes_per_pe: int) -> bool:
+        """Whether an allocation of the given size would succeed now."""
+        return bytes_per_pe >= 0 and self.used_bytes + bytes_per_pe <= self.capacity_bytes
+
+    def ledger(self) -> list[tuple[str, int]]:
+        """Live allocations as ``(name, bytes_per_pe)`` rows."""
+        return [(a.name, a.bytes_per_pe) for a in self._allocations.values()]
+
+    def reset(self) -> None:
+        """Drop all allocations (peak watermark is preserved)."""
+        self._allocations.clear()

@@ -1,0 +1,247 @@
+"""Plural (per-PE) data and the SIMD execution model.
+
+The MasPar programming model (MPL) distinguishes *singular* data, held
+once on the Array Control Unit, from *plural* data, replicated one
+value per PE.  :class:`PEArray` is the machine instance: it owns the
+PE-memory ledger, the cost ledger and the current *activity mask* (the
+set of enabled PEs), and manufactures :class:`Plural` values.
+
+A :class:`Plural` wraps a NumPy array whose two leading axes are the
+PE grid ``(nyproc, nxproc)``; any trailing axes model an in-PE array
+(for example the memory layers of a folded image).  Elementwise
+operations are genuine NumPy operations over the whole grid -- the
+natural Python rendering of SIMD lockstep -- and every operation is
+charged to the cost ledger as one whole-array instruction (inactive
+PEs idle through the instruction, exactly as on the real machine).
+
+Masked assignment follows MPL semantics: inside ``with pe.where(cond):``
+an :meth:`PEArray.assign` only updates PEs whose mask bit is set; all
+other PEs keep their previous values.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from .cost import CostLedger
+from .machine import MachineConfig
+from .memory import PEMemoryTracker
+
+
+class Plural:
+    """A per-PE value: shape ``(nyproc, nxproc) + inner_shape``."""
+
+    __slots__ = ("pe", "data", "name", "_handle")
+
+    def __init__(self, pe: "PEArray", data: np.ndarray, name: str = "plural") -> None:
+        if data.shape[:2] != (pe.machine.nyproc, pe.machine.nxproc):
+            raise ValueError(
+                f"plural data shape {data.shape} does not start with the PE grid "
+                f"({pe.machine.nyproc}, {pe.machine.nxproc})"
+            )
+        self.pe = pe
+        self.data = data
+        self.name = name
+        self._handle = pe.memory.allocate(self.bytes_per_pe, name=name)
+        pe._register(self)
+
+    @property
+    def inner_shape(self) -> tuple[int, ...]:
+        """Shape of the in-PE portion (memory layers etc.)."""
+        return self.data.shape[2:]
+
+    @property
+    def elements_per_pe(self) -> int:
+        return int(np.prod(self.inner_shape, dtype=np.int64)) if self.inner_shape else 1
+
+    @property
+    def bytes_per_pe(self) -> int:
+        return self.elements_per_pe * self.data.dtype.itemsize
+
+    def free(self) -> None:
+        """Release this plural's PE memory."""
+        if self._handle is not None:
+            self.pe.memory.free(self._handle)
+            self._handle = None
+
+    # -- arithmetic (charged SIMD ops) -------------------------------------------
+
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, Plural):
+            return other.data
+        return np.asarray(other)
+
+    def _binary(self, other, op, flops_per_element: float = 1.0) -> "Plural":
+        result = op(self.data, self._coerce(other))
+        self.pe.ledger.charge_flops(flops_per_element * result.size)
+        self.pe.ledger.charge_memory(result.nbytes + self.data.nbytes)
+        return Plural(self.pe, result, name=f"{self.name}'")
+
+    def __add__(self, other) -> "Plural":
+        return self._binary(other, np.add)
+
+    def __sub__(self, other) -> "Plural":
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other) -> "Plural":
+        return self._binary(other, np.multiply)
+
+    def __truediv__(self, other) -> "Plural":
+        return self._binary(other, np.divide, flops_per_element=4.0)
+
+    def __radd__(self, other) -> "Plural":
+        return self._binary(other, lambda a, b: b + a)
+
+    def __rsub__(self, other) -> "Plural":
+        return self._binary(other, lambda a, b: b - a)
+
+    def __rmul__(self, other) -> "Plural":
+        return self._binary(other, lambda a, b: b * a)
+
+    def copy(self, name: str | None = None) -> "Plural":
+        self.pe.ledger.charge_memory(2 * self.data.nbytes)
+        return Plural(self.pe, self.data.copy(), name=name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Plural({self.name!r}, inner={self.inner_shape}, dtype={self.data.dtype})"
+
+
+class PEArray:
+    """A SIMD machine instance: PE grid + activity mask + ledgers."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        ledger: CostLedger | None = None,
+        memory: PEMemoryTracker | None = None,
+    ) -> None:
+        self.machine = machine
+        self.ledger = ledger if ledger is not None else CostLedger(machine)
+        self.memory = (
+            memory if memory is not None else PEMemoryTracker(machine.pe_memory_bytes)
+        )
+        self._mask = np.ones((machine.nyproc, machine.nxproc), dtype=bool)
+        self._scopes: list[list[Plural]] = []
+
+    # -- allocation scopes -----------------------------------------------------------
+
+    def _register(self, plural: Plural) -> None:
+        if self._scopes:
+            self._scopes[-1].append(plural)
+
+    @contextmanager
+    def scope(self) -> Iterator[None]:
+        """Free every plural allocated inside the block on exit.
+
+        Iterative plural programs (e.g. the Jacobi loop of the parallel
+        Horn-Schunck) create many short-lived temporaries; a scope
+        reclaims them so the 64 KB PE memory ledger reflects the real
+        machine's register/temporary reuse.  Values that must outlive
+        the block should be allocated outside it (or copied out with
+        :meth:`assign` into a long-lived plural).
+        """
+        frame: list[Plural] = []
+        self._scopes.append(frame)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+            for plural in frame:
+                if plural._handle is not None:
+                    plural.free()
+
+    # -- activity mask -------------------------------------------------------------
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean activity mask over the PE grid (read-only view)."""
+        view = self._mask.view()
+        view.flags.writeable = False
+        return view
+
+    @contextmanager
+    def where(self, condition: np.ndarray | Plural) -> Iterator[None]:
+        """MPL ``if (plural-cond)``: narrow the activity mask in scope."""
+        cond = condition.data if isinstance(condition, Plural) else np.asarray(condition)
+        if cond.shape != self._mask.shape:
+            raise ValueError(
+                f"condition shape {cond.shape} does not match PE grid {self._mask.shape}"
+            )
+        previous = self._mask
+        self._mask = previous & cond.astype(bool)
+        self.ledger.charge_int_ops(self._mask.size)
+        try:
+            yield
+        finally:
+            self._mask = previous
+
+    def assign(self, dst: Plural, src: Plural | np.ndarray | float) -> None:
+        """Masked plural assignment: inactive PEs keep their old values."""
+        value = src.data if isinstance(src, Plural) else np.asarray(src)
+        value = np.broadcast_to(value, dst.data.shape)
+        if self._mask.all():
+            dst.data[...] = value
+        else:
+            mask = self._mask
+            mask = mask.reshape(mask.shape + (1,) * (dst.data.ndim - 2))
+            np.copyto(dst.data, value, where=np.broadcast_to(mask, dst.data.shape))
+        self.ledger.charge_memory(dst.data.nbytes)
+
+    # -- plural constructors --------------------------------------------------------
+
+    def zeros(
+        self,
+        inner: tuple[int, ...] = (),
+        dtype: np.dtype | type = np.float64,
+        name: str = "zeros",
+    ) -> Plural:
+        shape = (self.machine.nyproc, self.machine.nxproc) + tuple(inner)
+        return Plural(self, np.zeros(shape, dtype=dtype), name=name)
+
+    def full(
+        self,
+        value: float,
+        inner: tuple[int, ...] = (),
+        dtype: np.dtype | type = np.float64,
+        name: str = "full",
+    ) -> Plural:
+        shape = (self.machine.nyproc, self.machine.nxproc) + tuple(inner)
+        return Plural(self, np.full(shape, value, dtype=dtype), name=name)
+
+    def from_array(self, data: np.ndarray, name: str = "plural") -> Plural:
+        """Wrap an array already laid out as ``(nyproc, nxproc, ...)``."""
+        return Plural(self, np.asarray(data).copy(), name=name)
+
+    def iproc(self) -> tuple[np.ndarray, np.ndarray]:
+        """The predefined MPL plural variables ``(iyproc, ixproc)`` (Fig. 1)."""
+        iy, ix = np.meshgrid(
+            np.arange(self.machine.nyproc), np.arange(self.machine.nxproc), indexing="ij"
+        )
+        return iy, ix
+
+    # -- reductions (ACU global operations) ------------------------------------------
+
+    def reduce_sum(self, plural: Plural) -> float:
+        """Global sum over active PEs (tree reduction on the real machine)."""
+        mask = self._mask.reshape(self._mask.shape + (1,) * (plural.data.ndim - 2))
+        total = float(np.sum(plural.data, where=np.broadcast_to(mask, plural.data.shape)))
+        n = self.machine.n_pes
+        self.ledger.charge_flops(plural.elements_per_pe * n)
+        self.ledger.charge_xnet(plural.data.dtype.itemsize * n, shifts=int(np.ceil(np.log2(max(n, 2)))))
+        return total
+
+    def reduce_min(self, plural: Plural) -> float:
+        """Global min over active PEs."""
+        mask = self._mask.reshape(self._mask.shape + (1,) * (plural.data.ndim - 2))
+        value = float(
+            np.min(
+                np.where(np.broadcast_to(mask, plural.data.shape), plural.data, np.inf)
+            )
+        )
+        n = self.machine.n_pes
+        self.ledger.charge_flops(plural.elements_per_pe * n)
+        self.ledger.charge_xnet(plural.data.dtype.itemsize * n, shifts=int(np.ceil(np.log2(max(n, 2)))))
+        return value

@@ -1,0 +1,91 @@
+"""Global router communication.
+
+Besides the X-net mesh, MP-2 PEs "can also communicate with each other
+through a multistage circuit-switched interconnection network known as
+the Global Router" (Section 3.1).  The Goddard machine has a
+three-stage crossbar sustaining 1.3 GB/s -- 18x slower than the X-net,
+which is why the paper routes all neighborhood traffic over the mesh
+and reserves the router for arbitrary permutations.
+
+:func:`router_send` implements an arbitrary permutation/gather of
+plural data addressed by target PE coordinates, charged at router
+bandwidth.  It exists so the ablation benchmarks can quantify the
+paper's "exploiting the X-net bandwidth was important" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pe_array import PEArray, Plural
+
+
+def router_send(
+    plural: Plural, dest_iyproc: np.ndarray, dest_ixproc: np.ndarray
+) -> Plural:
+    """Send each PE's value to PE ``(dest_iyproc, dest_ixproc)``.
+
+    ``dest_iyproc`` / ``dest_ixproc`` are integer arrays over the PE
+    grid giving, for each source PE, the destination coordinates.  The
+    destination pattern must be a permutation (circuit-switched routers
+    serialize conflicting deliveries; a conflict raises ``ValueError``
+    rather than silently dropping data).
+
+    Returns a new plural where each destination PE holds the value sent
+    to it; the operation is charged one router transfer of the full
+    plural payload.
+    """
+    pe = plural.pe
+    ny, nx = pe.machine.nyproc, pe.machine.nxproc
+    dy = np.asarray(dest_iyproc)
+    dx = np.asarray(dest_ixproc)
+    if dy.shape != (ny, nx) or dx.shape != (ny, nx):
+        raise ValueError("destination coordinate arrays must match the PE grid shape")
+    if dy.min() < 0 or dy.max() >= ny or dx.min() < 0 or dx.max() >= nx:
+        raise ValueError("destination coordinates out of the PE grid")
+    flat_dest = dy.astype(np.int64) * nx + dx.astype(np.int64)
+    counts = np.bincount(flat_dest.ravel(), minlength=ny * nx)
+    if (counts > 1).any():
+        clashes = int((counts > 1).sum())
+        raise ValueError(f"router destination conflict on {clashes} PEs (not a permutation)")
+    out = np.empty_like(plural.data)
+    out.reshape((ny * nx,) + plural.data.shape[2:])[flat_dest.ravel()] = plural.data.reshape(
+        (ny * nx,) + plural.data.shape[2:]
+    )
+    pe.ledger.charge_router(plural.data.nbytes, sends=1)
+    return Plural(pe, out, name=f"{plural.name}@router")
+
+
+def router_gather(
+    plural: Plural, src_iyproc: np.ndarray, src_ixproc: np.ndarray
+) -> Plural:
+    """Each PE fetches the value held by PE ``(src_iyproc, src_ixproc)``.
+
+    Unlike :func:`router_send`, a gather permits many PEs to read the
+    same source; the router serializes the fanout, so the charged
+    payload is one plural transfer times the worst-case fanout factor
+    (the maximum number of readers of any single source PE).
+    """
+    pe = plural.pe
+    ny, nx = pe.machine.nyproc, pe.machine.nxproc
+    sy = np.asarray(src_iyproc)
+    sx = np.asarray(src_ixproc)
+    if sy.shape != (ny, nx) or sx.shape != (ny, nx):
+        raise ValueError("source coordinate arrays must match the PE grid shape")
+    if sy.min() < 0 or sy.max() >= ny or sx.min() < 0 or sx.max() >= nx:
+        raise ValueError("source coordinates out of the PE grid")
+    out = plural.data[sy, sx]
+    flat_src = sy.astype(np.int64) * nx + sx.astype(np.int64)
+    fanout = int(np.bincount(flat_src.ravel(), minlength=ny * nx).max())
+    pe.ledger.charge_router(plural.data.nbytes * fanout, sends=fanout)
+    return Plural(pe, out.copy(), name=f"{plural.name}@gather")
+
+
+def mesh_equivalent_seconds(pe: PEArray, byte_count: float) -> tuple[float, float]:
+    """Return (xnet_seconds, router_seconds) for moving ``byte_count``.
+
+    Convenience for the Fig. 1 / ablation benches: the ratio of the two
+    is the machine's ``xnet_router_ratio`` (18x on the MP-2).
+    """
+    m = pe.machine
+    return byte_count / m.xnet_bw, byte_count / m.router_bw

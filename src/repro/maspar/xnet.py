@@ -1,0 +1,103 @@
+"""X-net 8-way toroidal mesh communication.
+
+Fig. 1 of the paper shows the MP-2's PE array interconnected by an
+8-way nearest-neighbor *X-net* mesh (with toroidal wraparound, not
+drawn in the figure).  A single X-net operation shifts a plural value
+to the neighbor in one of the eight compass directions; a diagonal
+hop costs one shift just like an axial hop.  Longer displacements are
+chains of unit shifts, so the mesh distance between PEs is the
+Chebyshev (chessboard) distance.
+
+Every shift is charged to the cost ledger at the X-net aggregate
+bandwidth (23.0 GB/s), which is what makes the paper's "X-net is 18x
+faster than the router" trade-off measurable in this simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pe_array import PEArray, Plural
+
+#: Compass-direction unit steps as (dy, dx) on the PE grid.  ``N`` is
+#: decreasing row index, matching image/matrix orientation.
+DIRECTIONS: dict[str, tuple[int, int]] = {
+    "N": (-1, 0),
+    "S": (1, 0),
+    "E": (0, 1),
+    "W": (0, -1),
+    "NE": (-1, 1),
+    "NW": (-1, -1),
+    "SE": (1, 1),
+    "SW": (1, -1),
+}
+
+
+def mesh_distance(dy: int, dx: int) -> int:
+    """Unit X-net shifts needed for a (dy, dx) displacement (Chebyshev)."""
+    return max(abs(int(dy)), abs(int(dx)))
+
+
+def xnet_shift(plural: Plural, dy: int, dx: int) -> Plural:
+    """Shift plural data by ``(dy, dx)`` PE positions (toroidal).
+
+    After the shift, PE ``(r, c)`` holds the value previously owned by
+    PE ``(r - dy, c - dx)`` (mod grid) -- i.e. data moves in the
+    ``(+dy, +dx)`` direction, so a receiving PE "fetches from" its
+    ``(-dy, -dx)`` neighbor.  ``dy = dx = 0`` is a free no-op.
+    """
+    pe = plural.pe
+    steps = mesh_distance(dy, dx)
+    if steps == 0:
+        return plural.copy()
+    shifted = np.roll(plural.data, shift=(dy, dx), axis=(0, 1))
+    pe.ledger.charge_xnet(plural.data.nbytes * steps, shifts=steps)
+    return Plural(pe, shifted, name=f"{plural.name}@({dy},{dx})")
+
+
+def xnet_shift_direction(plural: Plural, direction: str, steps: int = 1) -> Plural:
+    """Shift ``steps`` hops in a named compass direction (MPL ``xnet[N]``)."""
+    if direction not in DIRECTIONS:
+        raise ValueError(f"unknown X-net direction {direction!r}; use one of {sorted(DIRECTIONS)}")
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    dy, dx = DIRECTIONS[direction]
+    return xnet_shift(plural, dy * steps, dx * steps)
+
+
+def fetch_neighborhood(pe: PEArray, plural: Plural, half_width: int) -> np.ndarray:
+    """Deliver the full ``(2N+1)^2`` PE-neighborhood of a plural to every PE.
+
+    Returns an array of shape ``(2N+1, 2N+1, nyproc, nxproc) + inner``
+    where entry ``[wy, wx]`` holds, at each PE, the value owned by the
+    PE at relative offset ``(wy - N, wx - N)``.  Implemented as a snake
+    walk of unit shifts (Fig. 3 read-out order) so the shift count is
+    minimal: ``(2N+1)^2 - 1`` unit mesh shifts.
+    """
+    if half_width < 0:
+        raise ValueError("half_width must be >= 0")
+    side = 2 * half_width + 1
+    out_shape = (side, side) + plural.data.shape
+    out = np.empty(out_shape, dtype=plural.data.dtype)
+    # Walk a snake over window offsets, carrying the data plane along.
+    current = plural.data
+    # Move the plane so PE (r,c) holds the value of PE (r - N, c - N):
+    # offset (-N, -N) corresponds to data rolled by (+N, +N)?  Entry
+    # [wy, wx] must hold the value of the PE at offset (wy - N, wx - N)
+    # relative to the receiver, i.e. roll the data by -(offset).
+    shifts = 0
+    prev = (0, 0)
+    for wy in range(side):
+        xs = range(side) if wy % 2 == 0 else range(side - 1, -1, -1)
+        for wx in xs:
+            oy, ox = wy - half_width, wx - half_width
+            roll = (-oy, -ox)
+            step = mesh_distance(roll[0] - prev[0], roll[1] - prev[1])
+            if step:
+                current = np.roll(plural.data, shift=roll, axis=(0, 1))
+                shifts += step
+            prev = roll
+            out[wy, wx] = current
+    if shifts:
+        pe.ledger.charge_xnet(plural.data.nbytes * shifts, shifts=shifts)
+    return out

@@ -1,0 +1,91 @@
+"""Memory-layer scheduling (Section 4, opening).
+
+"The parallel implementation was designed to track all pixels in the
+mem-th memory layer in parallel and then repeat the process for each
+layer."  Under the 2-D hierarchical mapping, memory layer ``mem``
+holds one pixel per PE -- the pixel at in-block position
+``(mem div xvr, mem mod xvr)`` of every PE's block -- so a layer is an
+``(nyproc, nxproc)`` plane that strides through the image.
+
+These utilities expose that schedule: extracting the per-layer plane
+from an image, writing a computed plane back, and iterating a whole
+image layer by layer.  They are the bridge between whole-image results
+(what the vectorized matcher produces) and the per-layer execution
+order (what the machine actually runs and the cost model reasons
+about), and the round-trip identities are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..maspar.mapping import HierarchicalMapping
+
+
+def layer_plane(image: np.ndarray, mapping: HierarchicalMapping, mem: int) -> np.ndarray:
+    """The (nyproc, nxproc) plane of pixels living in memory layer ``mem``."""
+    if not 0 <= mem < mapping.layers:
+        raise ValueError(f"layer {mem} out of range [0, {mapping.layers})")
+    image = np.asarray(image)
+    if image.shape[:2] != (mapping.height, mapping.width):
+        raise ValueError("image does not match mapping geometry")
+    by, bx = mem // mapping.xvr, mem % mapping.xvr
+    return image[by :: mapping.yvr, bx :: mapping.xvr].copy()
+
+
+def set_layer_plane(
+    image: np.ndarray, mapping: HierarchicalMapping, mem: int, plane: np.ndarray
+) -> None:
+    """Write a computed per-layer plane back into the image (in place)."""
+    if not 0 <= mem < mapping.layers:
+        raise ValueError(f"layer {mem} out of range [0, {mapping.layers})")
+    plane = np.asarray(plane)
+    if plane.shape[:2] != (mapping.nyproc, mapping.nxproc):
+        raise ValueError(
+            f"plane shape {plane.shape[:2]} does not match the PE grid "
+            f"({mapping.nyproc}, {mapping.nxproc})"
+        )
+    by, bx = mem // mapping.xvr, mem % mapping.xvr
+    image[by :: mapping.yvr, bx :: mapping.xvr] = plane
+
+
+def iter_layers(
+    image: np.ndarray, mapping: HierarchicalMapping
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(mem, plane)`` in the machine's execution order."""
+    for mem in range(mapping.layers):
+        yield mem, layer_plane(image, mapping, mem)
+
+
+def layer_pixel_coordinates(
+    mapping: HierarchicalMapping, mem: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Image coordinates (x, y) of every PE's layer-``mem`` pixel.
+
+    Returns (nyproc, nxproc) integer arrays -- the inverse-mapping
+    (eq. 13) evaluated for the whole grid at fixed ``mem``.
+    """
+    if not 0 <= mem < mapping.layers:
+        raise ValueError(f"layer {mem} out of range [0, {mapping.layers})")
+    iy, ix = np.meshgrid(
+        np.arange(mapping.nyproc), np.arange(mapping.nxproc), indexing="ij"
+    )
+    x, y = mapping.to_pixel(iy, ix, np.full_like(iy, mem))
+    return x, y
+
+
+def assemble_from_layers(
+    planes: list[np.ndarray], mapping: HierarchicalMapping
+) -> np.ndarray:
+    """Rebuild a full image from its per-layer planes (inverse of iteration)."""
+    if len(planes) != mapping.layers:
+        raise ValueError(f"expected {mapping.layers} planes, got {len(planes)}")
+    sample = np.asarray(planes[0])
+    image = np.empty(
+        (mapping.height, mapping.width) + sample.shape[2:], dtype=sample.dtype
+    )
+    for mem, plane in enumerate(planes):
+        set_layer_plane(image, mapping, mem, np.asarray(plane))
+    return image

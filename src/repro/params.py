@@ -1,0 +1,228 @@
+"""Neighborhood parameter sets for the SMA algorithm.
+
+The paper parameterizes every stage of the Semi-fluid Motion Analysis
+(SMA) algorithm by half-widths of square pixel neighborhoods.  A
+half-width ``N`` always denotes a ``(2N + 1) x (2N + 1)`` window
+centered on the pixel of interest:
+
+* ``N_w``   -- surface-patch fitting window (quadratic least squares),
+* ``N_zs``  -- z-search (hypothesis) neighborhood in the *after* frame,
+* ``N_zT``  -- z-template neighborhood in the *before* frame,
+* ``N_ss``  -- semi-fluid search neighborhood (per template pixel),
+* ``N_sT``  -- semi-fluid template neighborhood.
+
+Table 1 of the paper gives the values used for the Hurricane Frederic
+stereo sequence and Table 3 the values used for the GOES-9 Florida
+thunderstorm rapid-scan sequence; Section 5 gives the Hurricane Luis
+values in the running text.  :data:`FREDERIC_CONFIG`,
+:data:`GOES9_CONFIG` and :data:`LUIS_CONFIG` reproduce them exactly.
+
+Setting ``N_ss = 0`` collapses the semi-fluid template mapping
+``F_semi`` onto the continuous mapping ``F_cont`` (Section 2.3), which
+is how the continuous model is selected in this implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+def window_size(half_width: int) -> int:
+    """Return the full window side length ``2 * half_width + 1``.
+
+    Raises
+    ------
+    ValueError
+        If ``half_width`` is negative.
+    """
+    if half_width < 0:
+        raise ValueError(f"neighborhood half-width must be >= 0, got {half_width}")
+    return 2 * half_width + 1
+
+
+def window_pixels(half_width: int) -> int:
+    """Return the number of pixels in the square ``(2N+1)^2`` window."""
+    side = window_size(half_width)
+    return side * side
+
+
+@dataclass(frozen=True)
+class NeighborhoodConfig:
+    """Complete neighborhood parameterization of one SMA run.
+
+    Attributes
+    ----------
+    n_w:
+        Surface-patch fitting half-width (paper: ``N_w``; Table 1 row
+        "Surface-fitting", 5x5 -> ``n_w = 2``).
+    n_zs:
+        Hypothesis / z-search half-width (Table 1: 13x13 -> 6).
+    n_zt:
+        z-template half-width (Table 1: 121x121 -> 60).
+    n_ss:
+        Semi-fluid search half-width; 0 selects the continuous model
+        ``F_cont`` (Table 1: 3x3 -> 1).
+    n_st:
+        Semi-fluid template half-width (Table 1: 5x5 -> 2).  The paper
+        chooses ``N_sT = N_w`` ("we have chosen the same size for the
+        fluid-template and surface-patch neighborhood", Section 4.3).
+    name:
+        Human-readable label used in reports.
+    """
+
+    n_w: int
+    n_zs: int
+    n_zt: int
+    n_ss: int = 0
+    n_st: int = 2
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for field in ("n_w", "n_zs", "n_zt", "n_ss", "n_st"):
+            value = getattr(self, field)
+            if not isinstance(value, int):
+                raise TypeError(f"{field} must be an int, got {type(value).__name__}")
+            if value < 0:
+                raise ValueError(f"{field} must be >= 0, got {value}")
+        if self.n_zt < self.n_st:
+            raise ValueError(
+                "the z-template must contain the semi-fluid template: "
+                f"n_zt={self.n_zt} < n_st={self.n_st}"
+            )
+
+    # -- derived window geometry -------------------------------------------------
+
+    @property
+    def surface_window(self) -> int:
+        """Side length of the surface-patch fitting window."""
+        return window_size(self.n_w)
+
+    @property
+    def search_window(self) -> int:
+        """Side length of the z-search (hypothesis) window."""
+        return window_size(self.n_zs)
+
+    @property
+    def template_window(self) -> int:
+        """Side length of the z-template window."""
+        return window_size(self.n_zt)
+
+    @property
+    def semifluid_search_window(self) -> int:
+        """Side length of the semi-fluid search window."""
+        return window_size(self.n_ss)
+
+    @property
+    def semifluid_template_window(self) -> int:
+        """Side length of the semi-fluid template window."""
+        return window_size(self.n_st)
+
+    @property
+    def hypotheses_per_pixel(self) -> int:
+        """Number of motion hypotheses evaluated per tracked pixel.
+
+        Table 1 scale: 13 x 13 = 169 Gaussian eliminations per pixel.
+        """
+        return window_pixels(self.n_zs)
+
+    @property
+    def template_pixels(self) -> int:
+        """Number of error terms per hypothesis (121 x 121 = 14641)."""
+        return window_pixels(self.n_zt)
+
+    @property
+    def semifluid_candidates(self) -> int:
+        """Error terms per semi-fluid template mapping (3 x 3 = 9)."""
+        return window_pixels(self.n_ss)
+
+    @property
+    def semifluid_patch_terms(self) -> int:
+        """Discriminant comparisons per semi-fluid error term (5 x 5 = 25)."""
+        return window_pixels(self.n_st)
+
+    @property
+    def is_semifluid(self) -> bool:
+        """True when the semi-fluid model (``N_ss > 0``) is active."""
+        return self.n_ss > 0
+
+    @property
+    def precompute_window(self) -> int:
+        """Side of the enlarged precompute neighborhood of Section 4.1.
+
+        The optimized implementation first computes the semi-fluid error
+        term for all pixels in a ``(2N_zs + 2N_ss + 1)^2`` neighborhood
+        and then applies a ``(2N_ss + 1)^2`` minimizing window.
+        """
+        return 2 * self.n_zs + 2 * self.n_ss + 1
+
+    def margin(self) -> int:
+        """Pixels of border margin needed so every window stays in-bounds.
+
+        The worst-case reach from a tracked pixel is the template
+        half-width plus the hypothesis displacement plus the semi-fluid
+        search, plus the wider of the surface-fit and semi-fluid-patch
+        half-widths needed to evaluate patches at the farthest sampled
+        pixel.
+        """
+        return self.n_zt + self.n_zs + self.n_ss + max(self.n_w, self.n_st)
+
+    def replace(self, **kwargs: object) -> "NeighborhoodConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """Render the config as (neighborhood type, variable, window) rows.
+
+        Mirrors the layout of Tables 1 and 3 of the paper.
+        """
+        rows = [
+            ("Surface-fitting", f"N_w = {self.n_w}", f"{self.surface_window} x {self.surface_window}"),
+            ("z-Search area", f"N_zs = {self.n_zs}", f"{self.search_window} x {self.search_window}"),
+            ("z-Template", f"N_zT = {self.n_zt}", f"{self.template_window} x {self.template_window}"),
+        ]
+        if self.is_semifluid:
+            rows.append(
+                (
+                    "Semi-fluid search",
+                    f"N_ss = {self.n_ss}",
+                    f"{self.semifluid_search_window} x {self.semifluid_search_window}",
+                )
+            )
+            rows.append(
+                (
+                    "Semi-fluid template",
+                    f"N_sT = {self.n_st}",
+                    f"{self.semifluid_template_window} x {self.semifluid_template_window}",
+                )
+            )
+        return rows
+
+
+#: Table 1 -- Hurricane Frederic stereo time sequence (512 x 512 images).
+#: Surface-fitting 5x5, z-search 13x13, z-template 121x121, semi-fluid
+#: search 3x3, semi-fluid template 5x5.
+FREDERIC_CONFIG = NeighborhoodConfig(
+    n_w=2, n_zs=6, n_zt=60, n_ss=1, n_st=2, name="hurricane-frederic"
+)
+
+#: Table 3 -- GOES-9 Florida thunderstorm rapid scan (512 x 512 images),
+#: continuous model: search 15x15, template 15x15, surface patch 5x5.
+GOES9_CONFIG = NeighborhoodConfig(
+    n_w=2, n_zs=7, n_zt=7, n_ss=0, n_st=2, name="goes9-florida"
+)
+
+#: Section 5 -- Hurricane Luis dense 490-frame sequence, continuous
+#: model with an 11x11 z-template and a 9x9 z-search.
+LUIS_CONFIG = NeighborhoodConfig(
+    n_w=2, n_zs=4, n_zt=5, n_ss=0, n_st=2, name="hurricane-luis"
+)
+
+#: Image geometry used throughout the paper's evaluation.
+PAPER_IMAGE_SIZE = 512
+
+#: A small configuration convenient for tests and examples; exercises the
+#: semi-fluid path with every window >= the minimum meaningful size.
+SMALL_CONFIG = NeighborhoodConfig(
+    n_w=2, n_zs=2, n_zt=3, n_ss=1, n_st=2, name="small-test"
+)

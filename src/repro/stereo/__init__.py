@@ -1,0 +1,47 @@
+"""Automatic Stereo Analysis (ASA) substrate (Section 2.1).
+
+Correlation-based, multiresolution, hierarchical coarse-to-fine
+disparity estimation converting GOES stereo pairs into cloud-top height
+maps: Gaussian pyramids (:mod:`.pyramid`), NCC scan-line matching
+(:mod:`.correlation`), epipolar rectification (:mod:`.rectify`), the
+hierarchical driver (:mod:`.asa`) and the disparity/height geometry
+(:mod:`.geometry`).
+"""
+
+from .asa import ASAConfig, ASAResult, estimate_disparity, surface_map, warp_right_by_disparity
+from .consistency import (
+    ConsistencyResult,
+    check_consistency,
+    cross_checked_disparity,
+    fill_invalid,
+)
+from .correlation import DisparityEstimate, match_scanlines, ncc_score_stack
+from .geometry import EARTH_RADIUS_KM, FREDERIC_GEOMETRY, GEO_ORBIT_RADIUS_KM, StereoGeometry, incidence_angle_rad
+from .pyramid import build_pyramid, downsample, upsample_disparity
+from .rectify import RectificationModel, estimate_vertical_shift, rectify_pair
+
+__all__ = [
+    "ASAConfig",
+    "ASAResult",
+    "estimate_disparity",
+    "surface_map",
+    "warp_right_by_disparity",
+    "ConsistencyResult",
+    "check_consistency",
+    "cross_checked_disparity",
+    "fill_invalid",
+    "DisparityEstimate",
+    "match_scanlines",
+    "ncc_score_stack",
+    "EARTH_RADIUS_KM",
+    "FREDERIC_GEOMETRY",
+    "GEO_ORBIT_RADIUS_KM",
+    "StereoGeometry",
+    "incidence_angle_rad",
+    "build_pyramid",
+    "downsample",
+    "upsample_disparity",
+    "RectificationModel",
+    "estimate_vertical_shift",
+    "rectify_pair",
+]

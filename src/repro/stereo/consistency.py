@@ -1,0 +1,126 @@
+"""Left-right consistency validation of disparity maps.
+
+The classic occlusion/mismatch detector for correlation stereo: match
+left-against-right *and* right-against-left, then flag pixels where the
+two disagree.  For a correct correspondence the disparities are
+opposite -- if the left-referenced disparity at ``x`` is ``d``, the
+right-referenced disparity at ``x + d`` must be ``-d`` -- so
+
+    |d_L(x) + d_R(x + d_L(x))| <= tolerance
+
+holds everywhere except at occlusions (cloud edges hiding lower decks
+from one satellite) and gross mismatches.  Invalidated pixels are
+either masked out of the height product or filled from their valid
+neighbors, the standard post-pass the paper-era operational chains ran
+before handing heights to the tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .asa import ASAConfig, estimate_disparity
+
+
+@dataclass(frozen=True)
+class ConsistencyResult:
+    """Cross-checked disparity: the left-referenced map, the validity
+    mask, and the raw left/right maps for diagnostics."""
+
+    disparity: np.ndarray
+    valid: np.ndarray
+    left_disparity: np.ndarray
+    right_disparity: np.ndarray
+
+    @property
+    def invalid_fraction(self) -> float:
+        return float(1.0 - self.valid.mean())
+
+
+def check_consistency(
+    left_disparity: np.ndarray,
+    right_disparity: np.ndarray,
+    tolerance: float = 1.0,
+) -> np.ndarray:
+    """Boolean mask: True where the two views agree within tolerance.
+
+    ``left_disparity`` is referenced to left-image pixels (a feature at
+    left x sits at right ``x + d_L``); ``right_disparity`` to
+    right-image pixels with the opposite sign convention (a feature at
+    right x sits at left ``x + d_R``).
+    """
+    d_l = np.asarray(left_disparity, dtype=np.float64)
+    d_r = np.asarray(right_disparity, dtype=np.float64)
+    if d_l.shape != d_r.shape:
+        raise ValueError("disparity maps must share a shape")
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    h, w = d_l.shape
+    xx = np.arange(w)[None, :].repeat(h, 0)
+    target = np.clip(np.round(xx + d_l).astype(np.int64), 0, w - 1)
+    yy = np.arange(h)[:, None].repeat(w, 1)
+    residual = np.abs(d_l + d_r[yy, target])
+    in_bounds = (xx + d_l >= 0) & (xx + d_l <= w - 1)
+    return (residual <= tolerance) & in_bounds
+
+
+def fill_invalid(disparity: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Replace invalid pixels with the nearest valid value on their row.
+
+    The row-wise fill is the standard choice for scan-line stereo
+    (disparity is continuous along rows away from occlusions).  Rows
+    with no valid pixel fall back to the global valid median; a map
+    with no valid pixels at all is returned unchanged.
+    """
+    disparity = np.asarray(disparity, dtype=np.float64).copy()
+    valid = np.asarray(valid, dtype=bool)
+    if disparity.shape != valid.shape:
+        raise ValueError("shape mismatch")
+    if not valid.any():
+        return disparity
+    global_fill = float(np.median(disparity[valid]))
+    h, w = disparity.shape
+    cols = np.arange(w)
+    for y in range(h):
+        row_valid = valid[y]
+        if not row_valid.any():
+            disparity[y] = global_fill
+            continue
+        if row_valid.all():
+            continue
+        valid_cols = cols[row_valid]
+        nearest = valid_cols[
+            np.argmin(np.abs(cols[:, None] - valid_cols[None, :]), axis=1)
+        ]
+        invalid = ~row_valid
+        disparity[y, invalid] = disparity[y, nearest[invalid]]
+    return disparity
+
+
+def cross_checked_disparity(
+    left: np.ndarray,
+    right: np.ndarray,
+    config: ASAConfig | None = None,
+    tolerance: float = 1.0,
+    fill: bool = True,
+) -> ConsistencyResult:
+    """Run the ASA both ways and cross-validate.
+
+    The right-referenced pass matches ``right`` against ``left``; with
+    our scan-line convention that is the same estimator with the images
+    swapped (its disparity carries the opposite sign for true
+    correspondences).
+    """
+    config = config or ASAConfig()
+    forward = estimate_disparity(left, right, config).disparity
+    backward = estimate_disparity(right, left, config).disparity
+    valid = check_consistency(forward, backward, tolerance)
+    disparity = fill_invalid(forward, valid) if fill else forward.copy()
+    return ConsistencyResult(
+        disparity=disparity,
+        valid=valid,
+        left_disparity=forward,
+        right_disparity=backward,
+    )

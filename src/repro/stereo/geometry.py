@@ -1,0 +1,116 @@
+"""Geostationary stereo geometry: disparity <-> cloud-top height.
+
+"The estimated disparity or depth maps can be transformed into surface
+maps z(t) of cloud-top heights ... using satellite and sensor geometry
+information" (Section 2.1).  For two geostationary satellites viewing
+the same equatorial target, a cloud at height ``z`` above the ellipsoid
+is displaced horizontally in each view by ``z * tan(zeta_i)``, where
+``zeta_i`` is the local incidence angle (angle of the line of sight
+from the local vertical).  After epipolar rectification the views
+differ along scan lines by the *sum* of the two parallaxes when the
+satellites sit on opposite sides of the target (the Hurricane Frederic
+configuration: GOES-East and GOES-West "subtended an angle of about
+135 degrees ... providing a very large baseline"), so
+
+    disparity_km = z_km * (tan(zeta_1) + tan(zeta_2))
+    disparity_px = disparity_km / pixel_km.
+
+The incidence angle follows from the geostationary orbit geometry: with
+Earth radius ``R_e``, orbit radius ``R_s`` and central angle ``gamma``
+between the sub-satellite point and the target,
+
+    slant     d    = sqrt(R_e^2 + R_s^2 - 2 R_e R_s cos(gamma))
+    sin(zeta)      = R_s sin(gamma) / d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Earth equatorial radius (km).
+EARTH_RADIUS_KM = 6378.137
+#: Geostationary orbit radius from Earth center (km).
+GEO_ORBIT_RADIUS_KM = 42164.0
+
+
+def incidence_angle_rad(central_angle_deg: float) -> float:
+    """Local incidence angle (rad) for a ground target at the given
+    central angle from the sub-satellite point."""
+    if not 0.0 <= central_angle_deg < 81.3:
+        # beyond ~81.3 deg the target is over the geostationary horizon
+        raise ValueError(
+            f"central angle {central_angle_deg} deg is outside the visible disk"
+        )
+    gamma = np.radians(central_angle_deg)
+    slant = np.sqrt(
+        EARTH_RADIUS_KM**2
+        + GEO_ORBIT_RADIUS_KM**2
+        - 2.0 * EARTH_RADIUS_KM * GEO_ORBIT_RADIUS_KM * np.cos(gamma)
+    )
+    sin_zeta = GEO_ORBIT_RADIUS_KM * np.sin(gamma) / slant
+    return float(np.arcsin(np.clip(sin_zeta, 0.0, 1.0)))
+
+
+@dataclass(frozen=True)
+class StereoGeometry:
+    """Two-satellite stereo configuration over a common target.
+
+    Parameters
+    ----------
+    central_angle_1_deg, central_angle_2_deg:
+        Angular offsets (Earth-central) of each satellite's
+        sub-satellite point from the target, on opposite sides.
+    pixel_km:
+        Ground sample distance of the (rectified) imagery.
+    """
+
+    central_angle_1_deg: float
+    central_angle_2_deg: float
+    pixel_km: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pixel_km <= 0:
+            raise ValueError("pixel_km must be positive")
+        incidence_angle_rad(self.central_angle_1_deg)
+        incidence_angle_rad(self.central_angle_2_deg)
+
+    @classmethod
+    def from_baseline(
+        cls, baseline_deg: float, pixel_km: float = 1.0
+    ) -> "StereoGeometry":
+        """Symmetric configuration: target midway between the satellites.
+
+        ``baseline_deg`` is the angle the two satellites subtend at the
+        Earth's center (135 degrees for the Frederic GOES-6/GOES-7 pair).
+        """
+        if not 0.0 < baseline_deg < 162.0:
+            raise ValueError("baseline must be in (0, 162) degrees for a visible target")
+        half = baseline_deg / 2.0
+        return cls(central_angle_1_deg=half, central_angle_2_deg=half, pixel_km=pixel_km)
+
+    @property
+    def parallax_factor(self) -> float:
+        """Disparity in km of ground displacement per km of cloud height."""
+        z1 = incidence_angle_rad(self.central_angle_1_deg)
+        z2 = incidence_angle_rad(self.central_angle_2_deg)
+        return float(np.tan(z1) + np.tan(z2))
+
+    @property
+    def px_per_km(self) -> float:
+        """Disparity in pixels per km of cloud height."""
+        return self.parallax_factor / self.pixel_km
+
+    def disparity_from_height(self, z_km: np.ndarray | float) -> np.ndarray | float:
+        """Rectified scan-line disparity (pixels) for cloud height (km)."""
+        return np.asarray(z_km, dtype=np.float64) * self.px_per_km
+
+    def height_from_disparity(self, d_px: np.ndarray | float) -> np.ndarray | float:
+        """Cloud-top height (km) from rectified disparity (pixels)."""
+        return np.asarray(d_px, dtype=np.float64) / self.px_per_km
+
+
+#: Hurricane Frederic configuration: GOES-6 (East) / GOES-7 (West),
+#: ~135 degree baseline, ~1 km pixels at image center (Section 5.1).
+FREDERIC_GEOMETRY = StereoGeometry.from_baseline(135.0, pixel_km=1.0)

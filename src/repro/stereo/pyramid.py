@@ -1,0 +1,74 @@
+"""Multiresolution image pyramids for the ASA algorithm.
+
+"In the multiresolution approach the ASA uses the coarse disparity
+estimates to warp or transform one view into the other thereby
+successively estimating smaller disparities at finer resolutions of the
+hierarchy ... image matching is done at several different resolutions,
+typically four levels" (Section 2.1).
+
+A pyramid level halves resolution after Gaussian anti-alias filtering;
+disparity maps estimated at a coarse level are upsampled with bilinear
+interpolation and *doubled* (a disparity measured in coarse pixels
+spans twice as many fine pixels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+#: Gaussian sigma used before each 2x decimation (standard anti-alias).
+DECIMATION_SIGMA = 1.0
+
+
+def downsample(image: np.ndarray) -> np.ndarray:
+    """Gaussian-filtered 2x decimation."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"image must be 2-D, got {image.shape}")
+    if min(image.shape) < 2:
+        raise ValueError("image too small to downsample")
+    smoothed = ndimage.gaussian_filter(image, DECIMATION_SIGMA, mode="nearest")
+    return smoothed[::2, ::2].copy()
+
+
+def build_pyramid(image: np.ndarray, levels: int = 4) -> list[np.ndarray]:
+    """Pyramid from fine (index 0) to coarse (index levels-1).
+
+    Raises if the image cannot support the requested depth (each level
+    needs at least 8 pixels per side to carry matchable structure).
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    image = np.asarray(image, dtype=np.float64)
+    pyramid = [image.copy()]
+    for _ in range(levels - 1):
+        if min(pyramid[-1].shape) < 16:
+            raise ValueError(
+                f"image {image.shape} cannot support {levels} pyramid levels"
+            )
+        pyramid.append(downsample(pyramid[-1]))
+    return pyramid
+
+
+def upsample_disparity(disparity: np.ndarray, target_shape: tuple[int, int]) -> np.ndarray:
+    """Upsample a coarse disparity map to a finer level.
+
+    Values are scaled by the resolution ratio so they remain expressed
+    in destination-level pixels.
+    """
+    disparity = np.asarray(disparity, dtype=np.float64)
+    th, tw = target_shape
+    sh, sw = disparity.shape
+    if th < sh or tw < sw:
+        raise ValueError("target shape must be at least the source shape")
+    scale_y = th / sh
+    scale_x = tw / sw
+    yy, xx = np.meshgrid(
+        np.arange(th, dtype=np.float64) / scale_y,
+        np.arange(tw, dtype=np.float64) / scale_x,
+        indexing="ij",
+    )
+    coords = np.stack([np.clip(yy, 0, sh - 1), np.clip(xx, 0, sw - 1)])
+    up = ndimage.map_coordinates(disparity, coords, order=1, mode="nearest")
+    return up * scale_x  # disparity is horizontal: scale by the x ratio

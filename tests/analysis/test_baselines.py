@@ -1,0 +1,84 @@
+"""Tests for the Horn-Schunck baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.baselines import AVERAGE_KERNEL, horn_schunck, hs_derivatives
+from tests.conftest import translated_pair
+
+
+class TestDerivatives:
+    def test_linear_ramp(self):
+        h = w = 16
+        yy, xx = np.meshgrid(np.arange(h, dtype=float), np.arange(w, dtype=float), indexing="ij")
+        f = 2.0 * xx + 3.0 * yy
+        ex, ey, et = hs_derivatives(f, f)
+        inner = (slice(2, -2), slice(2, -2))
+        np.testing.assert_allclose(ex[inner], 2.0, atol=1e-10)
+        np.testing.assert_allclose(ey[inner], 3.0, atol=1e-10)
+        np.testing.assert_allclose(et[inner], 0.0, atol=1e-10)
+
+    def test_temporal_derivative(self):
+        f0 = np.zeros((8, 8))
+        f1 = np.ones((8, 8))
+        _, _, et = hs_derivatives(f0, f1)
+        np.testing.assert_allclose(et, 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hs_derivatives(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestAverageKernel:
+    def test_normalized(self):
+        assert AVERAGE_KERNEL.sum() == pytest.approx(1.0)
+
+    def test_center_excluded(self):
+        assert AVERAGE_KERNEL[1, 1] == 0.0
+
+
+class TestHornSchunck:
+    def test_zero_motion_zero_flow(self):
+        f = translated_pair(size=32, dx=0, dy=0, seed=1)[0]
+        result = horn_schunck(f, f, iterations=50)
+        np.testing.assert_allclose(result.u, 0.0, atol=1e-10)
+        np.testing.assert_allclose(result.v, 0.0, atol=1e-10)
+
+    def test_translation_direction(self):
+        f0, f1 = translated_pair(size=48, dx=1, dy=0, seed=2, smoothing=2.5)
+        result = horn_schunck(f0, f1, alpha=0.5, iterations=300)
+        inner = (slice(10, -10), slice(10, -10))
+        assert result.u[inner].mean() > 0.4
+        assert abs(result.v[inner].mean()) < 0.15
+
+    def test_smoothness_increases_with_alpha(self):
+        f0, f1 = translated_pair(size=48, dx=1, dy=1, seed=3)
+        rough = horn_schunck(f0, f1, alpha=0.2, iterations=100)
+        smooth = horn_schunck(f0, f1, alpha=5.0, iterations=100)
+        assert np.gradient(smooth.u)[0].std() < np.gradient(rough.u)[0].std()
+
+    def test_convergence_history_decreases(self):
+        f0, f1 = translated_pair(size=32, dx=1, dy=0, seed=4)
+        result = horn_schunck(f0, f1, iterations=50)
+        deltas = result.convergence
+        assert deltas[-1] < deltas[0]
+
+    def test_tolerance_early_exit(self):
+        f0, f1 = translated_pair(size=32, dx=1, dy=0, seed=5)
+        result = horn_schunck(f0, f1, iterations=500, tolerance=1e-3)
+        assert result.iterations < 500
+
+    def test_boundary_modes(self):
+        f0, f1 = translated_pair(size=32, dx=1, dy=0, seed=6)
+        wrap = horn_schunck(f0, f1, iterations=20, boundary="wrap")
+        near = horn_schunck(f0, f1, iterations=20, boundary="nearest")
+        assert not np.allclose(wrap.u, near.u)
+
+    def test_validation(self):
+        f = np.zeros((8, 8))
+        with pytest.raises(ValueError):
+            horn_schunck(f, f, alpha=0.0)
+        with pytest.raises(ValueError):
+            horn_schunck(f, f, iterations=0)
+        with pytest.raises(ValueError):
+            horn_schunck(f, f, boundary="reflect")

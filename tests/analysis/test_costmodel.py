@@ -1,0 +1,142 @@
+"""Tests for the Table 2 / Table 4 / Fig. 4 timing models."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    FREDERIC_FIG4_ESTIMATE_DAYS,
+    FREDERIC_SEQUENTIAL_DAYS,
+    GOES9_SEQUENTIAL_HOURS,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SGISequentialModel,
+    predict_parallel,
+    speedup,
+    table2_model_rows,
+    table4_model_rows,
+)
+from repro.maspar.readout import SnakeReadout
+from repro.params import FREDERIC_CONFIG, GOES9_CONFIG, LUIS_CONFIG
+
+
+@pytest.fixture(scope="module")
+def sgi():
+    return SGISequentialModel.calibrated()
+
+
+class TestCalibrationAnchors:
+    """The model must reproduce the paper's three anchors exactly."""
+
+    def test_frederic_total(self, sgi):
+        days = sgi.total_seconds(FREDERIC_CONFIG, (512, 512)) / SECONDS_PER_DAY
+        assert days == pytest.approx(FREDERIC_SEQUENTIAL_DAYS, rel=1e-9)
+
+    def test_frederic_fig4_estimate(self, sgi):
+        days = sgi.fig4_estimate_seconds(FREDERIC_CONFIG, (512, 512)) / SECONDS_PER_DAY
+        assert days == pytest.approx(FREDERIC_FIG4_ESTIMATE_DAYS, rel=1e-9)
+
+    def test_goes9_total(self, sgi):
+        hours = sgi.total_seconds(GOES9_CONFIG, (512, 512)) / SECONDS_PER_HOUR
+        assert hours == pytest.approx(GOES9_SEQUENTIAL_HOURS, rel=1e-9)
+
+    def test_constants_physical(self, sgi):
+        assert sgi.c_ge > 0
+        assert sgi.c_term_semifluid > sgi.c_term_continuous > 0
+        assert sgi.search_gamma > 0
+
+
+class TestFig4Properties:
+    def test_underestimate_property(self, sgi):
+        """The Fig.-4 extrapolation must underestimate the full projection
+        (313 vs 397 days: 'a slight underestimate ... due to the
+        nonlinear scalability factor')."""
+        est = sgi.fig4_estimate_seconds(FREDERIC_CONFIG, (512, 512))
+        full = sgi.total_seconds(FREDERIC_CONFIG, (512, 512))
+        assert est < full
+
+    def test_curve_monotone_superlinear(self, sgi):
+        curve = sgi.fig4_curve()
+        times = [t for _, t in curve]
+        sides = [s for s, _ in curve]
+        assert times == sorted(times)
+        # superlinear growth: doubling the side more than doubles time
+        t11 = dict(curve)[11]
+        t91 = dict(curve)[91]
+        assert t91 / t11 > (91 / 11)
+
+    def test_per_pixel_at_121_template(self, sgi):
+        """~0.61 s per correspondence at the paper's template size."""
+        t = sgi.per_pixel_correspondence_seconds(60, semifluid=True)
+        assert t == pytest.approx(
+            FREDERIC_FIG4_ESTIMATE_DAYS * SECONDS_PER_DAY / (262144 * 169), rel=1e-9
+        )
+
+    def test_continuous_cheaper_than_semifluid(self, sgi):
+        assert sgi.per_pixel_correspondence_seconds(7, False) < (
+            sgi.per_pixel_correspondence_seconds(7, True)
+        )
+
+    def test_curve_validates_sides(self, sgi):
+        with pytest.raises(ValueError):
+            sgi.fig4_curve(template_sides=(10,))
+
+
+class TestParallelModel:
+    def test_table2_phase_ordering(self):
+        """Hypothesis matching >> semi-fluid mapping >> surface fit >
+        geometric variables -- the Table 2 ordering."""
+        rows = dict(table2_model_rows())
+        assert (
+            rows["Hypothesis matching"]
+            > rows["Semi-fluid mapping"]
+            > rows["Surface fit"]
+            > rows["Compute geometric variables"]
+        )
+
+    def test_table2_matching_dominates_overwhelmingly(self):
+        rows = dict(table2_model_rows())
+        others = sum(v for k, v in rows.items() if k != "Hypothesis matching")
+        assert rows["Hypothesis matching"] > 100 * others
+
+    def test_table2_same_order_of_magnitude_as_paper(self):
+        total = sum(v for _, v in table2_model_rows())
+        assert 33472.56 / 3 < total < 33472.56 * 3
+
+    def test_table4_total_same_order(self):
+        total = sum(v for _, v in table4_model_rows())
+        assert 771.2 / 3 < total < 771.2 * 3
+
+    def test_table4_no_semifluid_phase(self):
+        assert "Semi-fluid mapping" not in dict(table4_model_rows())
+
+    def test_shape_must_fold(self):
+        with pytest.raises(ValueError):
+            predict_parallel(FREDERIC_CONFIG, (500, 500))
+
+    def test_readout_choice_affects_cost(self):
+        raster = predict_parallel(FREDERIC_CONFIG, (512, 512)).total_seconds()
+        snake = predict_parallel(
+            FREDERIC_CONFIG, (512, 512), readout=SnakeReadout()
+        ).total_seconds()
+        assert snake > raster  # Section 4.2's conclusion
+
+
+class TestSpeedups:
+    def test_frederic_speedup_magnitude(self):
+        """Paper: 1025x ('over three orders of magnitude')."""
+        s = speedup(FREDERIC_CONFIG, (512, 512))
+        assert 300 < s < 5000
+
+    def test_goes9_speedup_magnitude(self):
+        """Paper: 193x."""
+        s = speedup(GOES9_CONFIG, (512, 512))
+        assert 60 < s < 1000
+
+    def test_frederic_exceeds_goes9(self):
+        """The paper's explanation: 'this run-time gain is much smaller
+        ... because the semi-fluid template mapping ... where the
+        parallel implementation was optimized most is not needed'."""
+        assert speedup(FREDERIC_CONFIG, (512, 512)) > speedup(GOES9_CONFIG, (512, 512))
+
+    def test_luis_speedup_floor(self):
+        """Paper: 'a speed-up of over 150'."""
+        assert speedup(LUIS_CONFIG, (512, 512)) > 150

@@ -1,0 +1,117 @@
+"""Tests for matching diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import (
+    ambiguity_mask,
+    confidence_weights,
+    error_margin,
+    peak_ratio,
+    second_minimum_outside_neighborhood,
+)
+from repro.core.matching import prepare_frames
+from repro.extensions.subpixel import track_dense_with_volume
+from repro.params import NeighborhoodConfig
+from tests.conftest import translated_pair
+
+
+def synthetic_volume(side=5, h=4, w=4, best=0.1, second=1.0, winner=(2, 2), runner=(0, 0)):
+    vol = np.full((side, side, h, w), 5.0)
+    vol[winner[0], winner[1]] = best
+    vol[runner[0], runner[1]] = second
+    return vol
+
+
+class TestSecondMinimum:
+    def test_excludes_winner_neighborhood(self):
+        vol = synthetic_volume()
+        # a decoy adjacent to the winner must be ignored
+        vol[2, 3] = 0.2
+        second = second_minimum_outside_neighborhood(vol, exclusion_radius=1)
+        np.testing.assert_allclose(second, 1.0)
+
+    def test_radius_zero_admits_neighbors(self):
+        vol = synthetic_volume()
+        vol[2, 3] = 0.2
+        second = second_minimum_outside_neighborhood(vol, exclusion_radius=0)
+        np.testing.assert_allclose(second, 0.2)
+
+    def test_everything_excluded_gives_inf(self):
+        vol = synthetic_volume(side=3, winner=(1, 1), runner=(0, 0), second=5.0)
+        second = second_minimum_outside_neighborhood(vol, exclusion_radius=2)
+        assert np.isinf(second).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            second_minimum_outside_neighborhood(np.zeros((3, 4, 2, 2)))
+        with pytest.raises(ValueError):
+            second_minimum_outside_neighborhood(np.zeros((3, 3, 2, 2)), exclusion_radius=-1)
+
+
+class TestPeakRatio:
+    def test_decisive_match(self):
+        vol = synthetic_volume(best=0.0, second=1.0)
+        np.testing.assert_allclose(peak_ratio(vol), 0.0)
+
+    def test_ambiguous_match(self):
+        vol = synthetic_volume(best=1.0, second=1.0)
+        np.testing.assert_allclose(peak_ratio(vol), 1.0)
+
+    def test_intermediate(self):
+        vol = synthetic_volume(best=0.5, second=1.0)
+        np.testing.assert_allclose(peak_ratio(vol), 0.5)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        vol = np.abs(rng.normal(size=(5, 5, 6, 6)))
+        ratio = peak_ratio(vol)
+        assert (ratio >= 0).all() and (ratio <= 1).all()
+
+
+class TestMarginAndMask:
+    def test_margin(self):
+        vol = synthetic_volume(best=0.25, second=1.0)
+        np.testing.assert_allclose(error_margin(vol), 0.75)
+
+    def test_ambiguity_mask(self):
+        vol = synthetic_volume(best=0.9, second=1.0)
+        assert ambiguity_mask(vol, threshold=0.8).all()
+        assert not ambiguity_mask(vol, threshold=0.95).any()
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ambiguity_mask(synthetic_volume(), threshold=0.0)
+
+
+class TestConfidence:
+    def test_range_and_monotonicity(self):
+        decisive = synthetic_volume(best=0.0, second=1.0)
+        ambiguous = synthetic_volume(best=0.99, second=1.0)
+        w_good = confidence_weights(decisive)
+        w_bad = confidence_weights(ambiguous)
+        assert (w_good == 1.0).all()
+        assert (w_bad < 0.01).all()
+
+    def test_sharpness_validated(self):
+        with pytest.raises(ValueError):
+            confidence_weights(synthetic_volume(), sharpness=0.0)
+
+
+class TestOnRealTracking:
+    def test_textured_translation_is_confident(self):
+        cfg = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=0)
+        f0, f1 = translated_pair(size=48, dx=1, dy=1, seed=17)
+        prep = prepare_frames(f0, f1, cfg)
+        result, volume = track_dense_with_volume(prep)
+        ratio = peak_ratio(volume)
+        assert np.median(ratio[result.valid]) < 0.3
+
+    def test_textureless_is_ambiguous(self):
+        cfg = NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=0)
+        flat = np.zeros((48, 48))
+        prep = prepare_frames(flat, flat, cfg)
+        result, volume = track_dense_with_volume(prep)
+        ratio = peak_ratio(volume)
+        # degenerate surface: every hypothesis ties at ~0 error
+        assert np.median(ratio[result.valid]) > 0.9 or (volume.max() < 1e-12)

@@ -1,0 +1,108 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    angular_error_deg,
+    compare_fields,
+    endpoint_error,
+    fields_identical,
+    rmse,
+)
+
+
+class TestEndpointError:
+    def test_zero(self):
+        u = np.ones((4, 4))
+        assert (endpoint_error(u, u, u, u) == 0).all()
+
+    def test_pythagoras(self):
+        err = endpoint_error(np.array([3.0]), np.array([4.0]), np.array([0.0]), np.array([0.0]))
+        assert err[0] == pytest.approx(5.0)
+
+
+class TestRMSE:
+    def test_value(self):
+        u_est = np.array([[1.0, 0.0]])
+        zeros = np.zeros((1, 2))
+        assert rmse(u_est, zeros, zeros, zeros) == pytest.approx(np.sqrt(0.5))
+
+    def test_masked(self):
+        u_est = np.array([[10.0, 0.0]])
+        zeros = np.zeros((1, 2))
+        mask = np.array([[False, True]])
+        assert rmse(u_est, zeros, zeros, zeros, mask) == 0.0
+
+    def test_empty_mask_raises(self):
+        z = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            rmse(z, z, z, z, np.zeros((2, 2), bool))
+
+    def test_mask_shape_checked(self):
+        z = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            rmse(z, z, z, z, np.zeros((3, 3), bool))
+
+
+class TestAngularError:
+    def test_zero_for_identical(self):
+        u = np.array([1.0, -2.0, 0.0])
+        v = np.array([0.5, 1.0, 0.0])
+        np.testing.assert_allclose(angular_error_deg(u, v, u, v), 0.0, atol=1e-6)
+
+    def test_orthogonal_unit_flows(self):
+        """(1,0) vs (0,1): angle between (1,0,1) and (0,1,1) = 60 deg."""
+        err = angular_error_deg(np.array([1.0]), np.array([0.0]), np.array([0.0]), np.array([1.0]))
+        assert err[0] == pytest.approx(60.0)
+
+    def test_small_flows_deweighted(self):
+        """The same directional disagreement matters less at tiny speeds."""
+        big = angular_error_deg(np.array([2.0]), np.array([0.0]), np.array([0.0]), np.array([2.0]))
+        small = angular_error_deg(np.array([0.1]), np.array([0.0]), np.array([0.0]), np.array([0.1]))
+        assert small[0] < big[0]
+
+
+class TestCompareFields:
+    def test_summary_fields(self):
+        rng = np.random.default_rng(0)
+        u_ref = rng.normal(size=(10, 10))
+        v_ref = rng.normal(size=(10, 10))
+        u_est = u_ref + 0.1
+        comp = compare_fields(u_est, v_ref, u_ref, v_ref)
+        assert comp.rmse_px == pytest.approx(0.1)
+        assert comp.mean_endpoint_px == pytest.approx(0.1)
+        assert comp.max_endpoint_px == pytest.approx(0.1)
+        assert comp.pixels == 100
+
+    def test_rows(self):
+        z = np.zeros((4, 4))
+        comp = compare_fields(z, z, z, z)
+        labels = [r[0] for r in comp.rows()]
+        assert "RMSE (px)" in labels
+
+    def test_empty_raises(self):
+        z = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            compare_fields(z, z, z, z, np.zeros((2, 2), bool))
+
+
+class TestFieldsIdentical:
+    def test_exact(self):
+        u = np.random.default_rng(1).normal(size=(5, 5))
+        assert fields_identical(u, u, u.copy(), u.copy())
+
+    def test_detects_difference(self):
+        u = np.zeros((5, 5))
+        w = u.copy()
+        w[2, 2] = 1e-9
+        assert not fields_identical(u, u, w, u)
+        assert fields_identical(u, u, w, u, atol=1e-8)
+
+    def test_mask_restricts(self):
+        u = np.zeros((5, 5))
+        w = u.copy()
+        w[0, 0] = 5.0
+        mask = np.ones((5, 5), bool)
+        mask[0, 0] = False
+        assert fields_identical(u, u, w, u, mask=mask)

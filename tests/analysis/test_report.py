@@ -1,0 +1,122 @@
+"""Tests for report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    ascii_quiver,
+    format_table,
+    quiver_panel,
+    to_gray_bytes,
+    write_csv,
+    write_pgm,
+    write_ppm,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            [["Surface fit", 2.503216], ["Hypothesis matching", 33403.162992]],
+            headers=["Subroutine", "Time (sec)"],
+            title="Table 2",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Subroutine" in lines[2]
+        assert "33403.2" in out or "33403" in out
+
+    def test_empty(self):
+        assert format_table([], title="x") == "x\n"
+
+    def test_ragged_rows_padded(self):
+        out = format_table([["a"], ["b", "c"]])
+        assert "c" in out
+
+    def test_float_format(self):
+        out = format_table([[1.23456789]], float_format="{:.2f}")
+        assert "1.23" in out
+
+
+class TestCSV:
+    def test_write_and_readback(self, tmp_path):
+        path = tmp_path / "out" / "series.csv"
+        write_csv(path, [[11, 0.005], [121, 0.61]], headers=["side", "seconds"])
+        text = path.read_text()
+        assert text.splitlines()[0] == "side,seconds"
+        assert "121,0.61" in text
+
+
+class TestImages:
+    def test_gray_normalization(self):
+        img = np.array([[0.0, 1.0], [2.0, 4.0]])
+        g = to_gray_bytes(img)
+        assert g.dtype == np.uint8
+        assert g[0, 0] == 0 and g[1, 1] == 255
+
+    def test_constant_image(self):
+        g = to_gray_bytes(np.full((3, 3), 7.0))
+        assert (g == 0).all()
+
+    def test_pgm_roundtrip_header(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        write_pgm(path, np.random.default_rng(0).random((6, 9)))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n9 6\n255\n")
+        assert len(raw) == len(b"P5\n9 6\n255\n") + 54
+
+    def test_pgm_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((3, 3, 3)))
+
+    def test_ppm(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        rgb = np.zeros((4, 5, 3), dtype=np.uint8)
+        write_ppm(path, rgb)
+        assert path.read_bytes().startswith(b"P6\n5 4\n255\n")
+
+    def test_ppm_rejects_gray(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((3, 3)))
+
+
+class TestAsciiQuiver:
+    def test_arrows_follow_direction(self):
+        h = w = 8
+        out = ascii_quiver(np.full((h, w), 1.0), np.zeros((h, w)), stride=4)
+        assert "→" in out
+        out_up = ascii_quiver(np.zeros((h, w)), np.full((h, w), -1.0), stride=4)
+        assert "↑" in out_up
+
+    def test_small_flow_dot(self):
+        out = ascii_quiver(np.full((4, 4), 0.01), np.zeros((4, 4)), stride=2)
+        assert "." in out and "→" not in out
+
+    def test_mask_blanks(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        out = ascii_quiver(np.ones((4, 4)), np.zeros((4, 4)), mask=mask, stride=2)
+        assert "→" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_quiver(np.zeros((4, 4)), np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            ascii_quiver(np.zeros((4, 4)), np.zeros((4, 4)), stride=0)
+
+
+class TestQuiverPanel:
+    def test_panel_shape_and_marks(self):
+        h = w = 40
+        intensity = np.linspace(0, 1, h * w).reshape(h, w)
+        u = np.full((h, w), 2.0)
+        v = np.zeros((h, w))
+        mask = np.zeros((h, w), dtype=bool)
+        mask[10:-10, 10:-10] = True
+        panel = quiver_panel(intensity, u, v, mask, stride=10)
+        assert panel.shape == (h, w, 3)
+        # some pixels must be pure red (vector rays)
+        red = (panel[..., 0] == 255) & (panel[..., 1] == 60)
+        assert red.any()
+        # and some yellow crosses
+        yellow = (panel[..., 0] == 255) & (panel[..., 1] == 220)
+        assert yellow.any()

@@ -1,0 +1,195 @@
+"""Tests for the continuous motion model (eps_1/eps_2, 6x6 solve)."""
+
+import numpy as np
+import pytest
+
+from repro.core.continuous import (
+    N_FIELDS,
+    N_PARAMS,
+    N_TRIU,
+    PARAM_NAMES,
+    estimate_from_samples,
+    evaluate_error,
+    pointwise_fields,
+    predicted_normal,
+    residual_rows,
+    solve_accumulated,
+    unpack_fields,
+)
+
+
+class TestPredictedNormal:
+    def test_zero_params_is_static_normal(self):
+        n = predicted_normal(0.3, -0.2, np.zeros(6))
+        np.testing.assert_allclose(n, [-0.3, 0.2, 1.0])
+
+    def test_pure_translation_invariance(self):
+        """x0, y0, z0 do not appear: translation cannot change a normal."""
+        n0 = predicted_normal(0.5, 0.1, np.zeros(6))
+        # The parameter vector has no translation entries at all, so the
+        # check is that the six entries are the only degrees of freedom.
+        assert n0.shape == (3,)
+
+    def test_uniform_dilation_k_component(self):
+        """a_i = b_j = s gives N'_k = 1 + 2s (area growth to first order)."""
+        params = np.array([0.1, 0.0, 0.0, 0.1, 0.0, 0.0])
+        n = predicted_normal(0.0, 0.0, params)
+        assert n[2] == pytest.approx(1.2)
+
+    def test_vertical_shear_tilts_normal(self):
+        """a_k tilts the i-component: z' = z + a_k x."""
+        params = np.array([0.0, 0.0, 0.0, 0.0, 0.25, 0.0])
+        n = predicted_normal(0.0, 0.0, params)
+        np.testing.assert_allclose(n, [-0.25, 0.0, 1.0])
+
+    def test_matches_exact_transform_to_first_order(self):
+        """Compare against the exact deformed-surface normal."""
+        rng = np.random.default_rng(0)
+        p, q = 0.4, -0.3
+        eps = 1e-4
+        params = rng.normal(size=6) * eps
+        a_i, b_i, a_j, b_j, a_k, b_k = params
+        # exact: N' = S'_u x S'_v
+        su = np.array([1 + a_i, a_j, p + a_k])
+        sv = np.array([b_i, 1 + b_j, q + b_k])
+        exact = np.cross(su, sv)
+        approx = predicted_normal(p, q, params)
+        np.testing.assert_allclose(approx, exact, atol=1e-7)
+
+
+class TestResidualRows:
+    def test_zero_residual_for_identical_gradients(self):
+        a1, r1, a2, r2 = residual_rows(0.3, 0.1, 0.3, 0.1)
+        assert r1 == pytest.approx(0.0)
+        assert r2 == pytest.approx(0.0)
+
+    def test_linearity_structure(self):
+        a1, r1, a2, r2 = residual_rows(0.2, -0.1, 0.5, 0.3)
+        # eps1 coefficient on a_k is -1, on b_k is 0
+        assert a1[4] == -1.0 and a1[5] == 0.0
+        # eps2 coefficient on b_k is -1, on a_k is 0
+        assert a2[5] == -1.0 and a2[4] == 0.0
+
+    def test_broadcasting(self):
+        p = np.zeros((4, 5))
+        a1, r1, a2, r2 = residual_rows(p, p, p + 0.1, p)
+        assert a1.shape == (4, 5, 6)
+        assert r1.shape == (4, 5)
+        np.testing.assert_allclose(r1, 0.1)
+
+
+class TestPointwiseFields:
+    def test_packed_layout(self):
+        fields = pointwise_fields(0.1, 0.2, 0.3, 0.4, 1.01, 1.04)
+        assert fields.shape == (N_FIELDS,)
+        assert N_FIELDS == N_TRIU + N_PARAMS + 1 == 28
+
+    def test_unpack_roundtrip_symmetry(self):
+        rng = np.random.default_rng(1)
+        fields = pointwise_fields(
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4)),
+            1.0 + rng.random((3, 4)),
+            1.0 + rng.random((3, 4)),
+        )
+        h, grad, c = unpack_fields(fields)
+        assert h.shape == (3, 4, 6, 6)
+        np.testing.assert_array_equal(h, np.swapaxes(h, -1, -2))
+        assert (c >= 0).all()
+
+    def test_constant_term_is_weighted_residual_energy(self):
+        p, q, pa, qa = 0.0, 0.0, 0.2, -0.1
+        e = g = 1.0
+        fields = pointwise_fields(p, q, pa, qa, e, g)
+        # w1 r1^2 + w2 r2^2 = 0.2^2 + 0.1^2
+        assert fields[-1] == pytest.approx(0.05)
+
+    def test_unpack_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            unpack_fields(np.zeros(27))
+
+
+class TestSolveAccumulated:
+    def _samples(self, rng, n=200):
+        p = rng.normal(scale=0.5, size=n)
+        q = rng.normal(scale=0.5, size=n)
+        e = 1.0 + p * p
+        g = 1.0 + q * q
+        return p, q, e, g
+
+    def test_recovers_known_parameters(self):
+        """Generate observed after-gradients exactly consistent with a
+        known parameter vector and check recovery."""
+        rng = np.random.default_rng(2)
+        p, q, e, g = self._samples(rng)
+        theta = np.array([0.02, -0.01, 0.015, 0.03, -0.02, 0.01])
+        a_i, b_i, a_j, b_j, a_k, b_k = theta
+        # invert the residual equations for p', q' given theta:
+        # eps1 = 0: p'(1 + a_i + b_j) = p + a_k - a_j q + b_j p
+        p_after = (p + a_k - a_j * q + b_j * p) / (1 + a_i + b_j)
+        q_after = (q + b_k - b_i * p + a_i * q) / (1 + a_i + b_j)
+        sol = estimate_from_samples(p, q, p_after, q_after, e, g, ridge=0.0)
+        assert not sol.singular
+        np.testing.assert_allclose(sol.params, theta, atol=1e-9)
+        assert sol.error == pytest.approx(0.0, abs=1e-15)
+
+    def test_zero_motion_zero_error(self):
+        rng = np.random.default_rng(3)
+        p, q, e, g = self._samples(rng)
+        sol = estimate_from_samples(p, q, p, q, e, g)
+        np.testing.assert_allclose(sol.params, 0.0, atol=1e-6)
+        assert sol.error == pytest.approx(0.0, abs=1e-12)
+
+    def test_flat_patch_is_singular_without_ridge(self):
+        n = 50
+        p = np.zeros(n)
+        q = np.zeros(n)
+        sol = estimate_from_samples(p, q, p, q, np.ones(n), np.ones(n), ridge=0.0)
+        assert sol.singular
+        np.testing.assert_array_equal(sol.params, 0.0)
+
+    def test_ridge_stabilizes_flat_patch(self):
+        n = 50
+        p = np.zeros(n)
+        q = np.zeros(n)
+        sol = estimate_from_samples(p, q, p, q, np.ones(n), np.ones(n), ridge=1e-9)
+        assert not sol.singular
+        np.testing.assert_allclose(sol.params, 0.0, atol=1e-9)
+
+    def test_error_nonnegative(self):
+        rng = np.random.default_rng(4)
+        p, q, e, g = self._samples(rng)
+        pa = p + rng.normal(scale=0.1, size=p.size)
+        qa = q + rng.normal(scale=0.1, size=q.size)
+        sol = estimate_from_samples(p, q, pa, qa, e, g)
+        assert sol.error >= 0.0
+
+    def test_minimum_beats_any_other_parameters(self):
+        rng = np.random.default_rng(5)
+        p, q, e, g = self._samples(rng)
+        pa = p + rng.normal(scale=0.1, size=p.size)
+        qa = q + rng.normal(scale=0.1, size=q.size)
+        fields = pointwise_fields(p, q, pa, qa, e, g).sum(axis=0)
+        sol = solve_accumulated(fields, ridge=0.0)
+        for _ in range(10):
+            other = sol.params + rng.normal(scale=0.01, size=6)
+            assert evaluate_error(fields, other) >= sol.error - 1e-9
+
+    def test_batched_solve(self):
+        rng = np.random.default_rng(6)
+        fields = np.zeros((4, 4, N_FIELDS))
+        for i in range(4):
+            for j in range(4):
+                p, q, e, g = self._samples(rng, n=80)
+                pa = p + rng.normal(scale=0.05, size=80)
+                qa = q + rng.normal(scale=0.05, size=80)
+                fields[i, j] = pointwise_fields(p, q, pa, qa, e, g).sum(axis=0)
+        sol = solve_accumulated(fields)
+        assert sol.params.shape == (4, 4, 6)
+        assert sol.error.shape == (4, 4)
+        assert (sol.error >= 0).all()
+
+    def test_param_names(self):
+        assert PARAM_NAMES == ("a_i", "b_i", "a_j", "b_j", "a_k", "b_k")

@@ -1,0 +1,161 @@
+"""Tests for the MotionField container."""
+
+import numpy as np
+import pytest
+
+from repro.core.field import MotionField
+
+
+def make_field(h=20, w=24, u=2.0, v=-1.0, dt=450.0, pixel_km=1.0):
+    valid = np.zeros((h, w), dtype=bool)
+    valid[4:-4, 4:-4] = True
+    return MotionField(
+        u=np.full((h, w), u),
+        v=np.full((h, w), v),
+        valid=valid,
+        error=np.zeros((h, w)),
+        params=np.zeros((h, w, 6)),
+        dt_seconds=dt,
+        pixel_km=pixel_km,
+    )
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MotionField(
+                u=np.zeros((4, 4)),
+                v=np.zeros((4, 5)),
+                valid=np.ones((4, 4), bool),
+                error=np.zeros((4, 4)),
+            )
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            make_field(dt=0.0)
+
+    def test_bad_pixel_km_rejected(self):
+        with pytest.raises(ValueError):
+            make_field(pixel_km=-1.0)
+
+    def test_params_shape_checked(self):
+        with pytest.raises(ValueError):
+            MotionField(
+                u=np.zeros((4, 4)),
+                v=np.zeros((4, 4)),
+                valid=np.ones((4, 4), bool),
+                error=np.zeros((4, 4)),
+                params=np.zeros((5, 5, 6)),
+            )
+
+
+class TestSampling:
+    def test_sample_returns_uv(self):
+        field = make_field()
+        out = field.sample(np.array([[10, 10], [12, 8]]))
+        np.testing.assert_array_equal(out, [[2.0, -1.0], [2.0, -1.0]])
+
+    def test_sample_rejects_out_of_image(self):
+        field = make_field()
+        with pytest.raises(ValueError):
+            field.sample(np.array([[100, 2]]))
+
+    def test_sample_rejects_invalid_margin(self):
+        field = make_field()
+        with pytest.raises(ValueError, match="border margin"):
+            field.sample(np.array([[0, 0]]))
+
+    def test_sample_rejects_bad_shape(self):
+        field = make_field()
+        with pytest.raises(ValueError):
+            field.sample(np.array([1, 2, 3]))
+
+
+class TestWind:
+    def test_speed(self):
+        # |(3, 4)| = 5 px * 1 km * 1000 m / 500 s = 10 m/s
+        field = make_field(u=3.0, v=4.0, dt=500.0, pixel_km=1.0)
+        np.testing.assert_allclose(field.wind_speed(), 10.0)
+
+    def test_speed_scales_with_pixel_km(self):
+        f1 = make_field(u=1.0, v=0.0, dt=100.0, pixel_km=1.0)
+        f4 = make_field(u=1.0, v=0.0, dt=100.0, pixel_km=4.0)
+        np.testing.assert_allclose(f4.wind_speed(), 4.0 * f1.wind_speed())
+
+    def test_direction_eastward_motion_is_westerly(self):
+        """Motion toward +x (east) means wind FROM the west = 270 deg."""
+        field = make_field(u=1.0, v=0.0)
+        np.testing.assert_allclose(field.wind_direction_deg(), 270.0)
+
+    def test_direction_southward_motion_is_northerly(self):
+        """Motion toward +y (south in image coords) = wind from north = 0."""
+        field = make_field(u=0.0, v=1.0)
+        np.testing.assert_allclose(field.wind_direction_deg(), 0.0)
+
+    def test_wind_vectors_at_points(self):
+        field = make_field(u=0.0, v=-2.0, dt=1000.0, pixel_km=1.0)
+        out = field.wind_vectors(np.array([[10, 10]]))
+        assert out[0, 0] == pytest.approx(2.0)  # 2 px * 1000 m / 1000 s
+        assert out[0, 1] == pytest.approx(180.0)  # northward motion: from south
+
+
+class TestStats:
+    def test_rmse_zero_against_self(self):
+        field = make_field()
+        assert field.rmse_against(field.u, field.v) == 0.0
+
+    def test_rmse_value(self):
+        field = make_field(u=1.0, v=0.0)
+        ref_u = np.zeros(field.shape)
+        ref_v = np.zeros(field.shape)
+        assert field.rmse_against(ref_u, ref_v) == pytest.approx(1.0)
+
+    def test_rmse_shape_check(self):
+        field = make_field()
+        with pytest.raises(ValueError):
+            field.rmse_against(np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_mean_displacement(self):
+        field = make_field(u=2.0, v=-1.0)
+        assert field.mean_displacement() == (2.0, -1.0)
+
+
+class TestSubsample:
+    def test_stride(self):
+        field = make_field()
+        points, vectors = field.subsample(stride=4)
+        assert points.shape[0] > 0
+        assert (points % 4 == 0).all()
+        np.testing.assert_array_equal(vectors[0], [2.0, -1.0])
+
+    def test_mask_restricts(self):
+        field = make_field()
+        mask = np.zeros(field.shape, dtype=bool)
+        points, _ = field.subsample(stride=1, mask=mask)
+        assert points.shape[0] == 0
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            make_field().subsample(stride=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        field = make_field()
+        path = str(tmp_path / "field.npz")
+        field.save(path)
+        loaded = MotionField.load(path)
+        np.testing.assert_array_equal(loaded.u, field.u)
+        np.testing.assert_array_equal(loaded.v, field.v)
+        np.testing.assert_array_equal(loaded.valid, field.valid)
+        np.testing.assert_array_equal(loaded.params, field.params)
+        assert loaded.dt_seconds == field.dt_seconds
+        assert loaded.pixel_km == field.pixel_km
+
+    def test_roundtrip_without_params(self, tmp_path):
+        field = make_field()
+        field.params = None
+        path = str(tmp_path / "field2.npz")
+        field.save(path)
+        loaded = MotionField.load(path)
+        assert loaded.params is None

@@ -1,0 +1,163 @@
+"""Tests for the semi-fluid template mapping F_semi."""
+
+import numpy as np
+import pytest
+
+from repro.core.semifluid import (
+    box_sum,
+    compute_score_volume,
+    discriminant_field,
+    semifluid_displacements,
+    semifluid_map_pixel,
+    shift2d,
+)
+from repro.params import NeighborhoodConfig
+from tests.conftest import translated_pair
+
+
+@pytest.fixture(scope="module")
+def sf_config():
+    return NeighborhoodConfig(n_w=2, n_zs=2, n_zt=3, n_ss=1, n_st=2)
+
+
+class TestShift2d:
+    def test_semantics(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        s = shift2d(a, 1, 2)
+        assert s[0, 0] == a[1, 2]
+        assert s[1, 1] == a[2, 3]
+
+    def test_inverse(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(6, 7))
+        np.testing.assert_array_equal(shift2d(shift2d(a, 2, -3), -2, 3), a)
+
+    def test_zero_is_identity(self):
+        a = np.arange(6, dtype=float).reshape(2, 3)
+        np.testing.assert_array_equal(shift2d(a, 0, 0), a)
+
+
+class TestBoxSum:
+    def test_matches_manual_sum(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(12, 13))
+        got = box_sum(a, 2)
+        assert got[6, 6] == pytest.approx(a[4:9, 4:9].sum())
+
+    def test_zero_width_is_identity(self):
+        a = np.arange(9, dtype=float).reshape(3, 3)
+        np.testing.assert_array_equal(box_sum(a, 0), a)
+
+    def test_constant_field(self):
+        got = box_sum(np.ones((11, 11)), 1)
+        assert got[5, 5] == pytest.approx(9.0)
+
+    def test_border_uses_zero_padding(self):
+        got = box_sum(np.ones((9, 9)), 1)
+        assert got[0, 0] == pytest.approx(4.0)  # only the in-bounds quadrant
+
+
+class TestDiscriminantField:
+    def test_zero_for_planes(self):
+        h = w = 14
+        yy, xx = np.meshgrid(np.arange(h, dtype=float), np.arange(w, dtype=float), indexing="ij")
+        d = discriminant_field(3.0 + 0.5 * xx - 0.2 * yy, 2)
+        np.testing.assert_allclose(d[3:-3, 3:-3], 0.0, atol=1e-10)
+
+    def test_translation_covariance(self):
+        """The discriminant of a shifted image is the shifted discriminant."""
+        f0, f1 = translated_pair(size=40, dx=3, dy=2, seed=5)
+        d0 = discriminant_field(f0, 2)
+        d1 = discriminant_field(f1, 2)
+        inner = (slice(8, -8), slice(8, -8))
+        # f0 pixel (x, y) lands at (x+3, y+2) in f1, so d1 sampled at the
+        # shifted location reproduces d0.
+        np.testing.assert_allclose(shift2d(d1, 2, 3)[inner], d0[inner], atol=1e-10)
+
+
+class TestScoreVolume:
+    def test_shape_and_displacements(self, sf_config):
+        rng = np.random.default_rng(2)
+        d0 = rng.normal(size=(20, 20))
+        d1 = rng.normal(size=(20, 20))
+        vol = compute_score_volume(d0, d1, sf_config)
+        reach = sf_config.n_zs + sf_config.n_ss
+        assert vol.reach == reach
+        assert vol.scores.shape == ((2 * reach + 1) ** 2, 20, 20)
+        assert vol.displacements.shape == ((2 * reach + 1) ** 2, 2)
+
+    def test_index_of(self, sf_config):
+        rng = np.random.default_rng(3)
+        d = rng.normal(size=(16, 16))
+        vol = compute_score_volume(d, d, sf_config)
+        for k, (dy, dx) in enumerate(vol.displacements):
+            assert vol.index_of(int(dy), int(dx)) == k
+        with pytest.raises(ValueError):
+            vol.index_of(vol.reach + 1, 0)
+
+    def test_zero_displacement_scores_zero_on_identical_frames(self, sf_config):
+        rng = np.random.default_rng(4)
+        d = rng.normal(size=(18, 18))
+        vol = compute_score_volume(d, d, sf_config)
+        k = vol.index_of(0, 0)
+        np.testing.assert_allclose(vol.scores[k], 0.0, atol=1e-12)
+
+    def test_true_shift_scores_minimal(self, sf_config):
+        f0, f1 = translated_pair(size=36, dx=2, dy=1, seed=6)
+        d0 = discriminant_field(f0, 2)
+        d1 = discriminant_field(f1, 2)
+        vol = compute_score_volume(d0, d1, sf_config)
+        k_true = vol.index_of(1, 2)
+        inner = (slice(10, -10), slice(10, -10))
+        for k in range(vol.scores.shape[0]):
+            if k == k_true:
+                continue
+            # true displacement must beat every other on average
+            assert vol.scores[k_true][inner].mean() < vol.scores[k][inner].mean()
+
+    def test_shape_mismatch_rejected(self, sf_config):
+        with pytest.raises(ValueError):
+            compute_score_volume(np.zeros((4, 4)), np.zeros((5, 5)), sf_config)
+
+
+class TestSemifluidDisplacements:
+    def test_nss_zero_returns_hypothesis(self, sf_config):
+        rng = np.random.default_rng(5)
+        d = rng.normal(size=(14, 14))
+        vol = compute_score_volume(d, d, sf_config)
+        dy, dx = semifluid_displacements(vol, 2, -1, 0)
+        assert (dy == 2).all() and (dx == -1).all()
+
+    def test_recovers_true_shift_from_neighbor_hypothesis(self, sf_config):
+        """With truth (dy, dx) = (1, 2), hypothesis (0, 1) is within N_ss=1
+        of the truth, so F_semi should drift to the true displacement."""
+        f0, f1 = translated_pair(size=36, dx=2, dy=1, seed=6)
+        d0 = discriminant_field(f0, 2)
+        d1 = discriminant_field(f1, 2)
+        vol = compute_score_volume(d0, d1, sf_config)
+        dy, dx = semifluid_displacements(vol, 0, 1, sf_config.n_ss)
+        inner = (slice(10, -10), slice(10, -10))
+        assert (dy[inner] == 1).mean() > 0.95
+        assert (dx[inner] == 2).mean() > 0.95
+
+    def test_matches_per_pixel_reference(self, sf_config):
+        f0, f1 = translated_pair(size=30, dx=1, dy=-1, seed=8)
+        d0 = discriminant_field(f0, 2)
+        d1 = discriminant_field(f1, 2)
+        vol = compute_score_volume(d0, d1, sf_config)
+        dy, dx = semifluid_displacements(vol, 1, 0, sf_config.n_ss)
+        for (x, y) in [(12, 12), (15, 10), (10, 16)]:
+            ref_dy, ref_dx = semifluid_map_pixel(d0, d1, x, y, 1, 0, sf_config)
+            assert (dy[y, x], dx[y, x]) == (ref_dy, ref_dx)
+
+    def test_tie_break_prefers_center(self, sf_config):
+        """On constant discriminants every candidate ties: the mapping must
+        fall back to the hypothesis displacement (continuity)."""
+        d = np.zeros((16, 16))
+        vol = compute_score_volume(d, d, sf_config)
+        dy, dx = semifluid_displacements(vol, 1, -2, sf_config.n_ss)
+        assert (dy == 1).all() and (dx == -2).all()
+
+    def test_reference_tie_break_matches(self, sf_config):
+        d = np.zeros((16, 16))
+        assert semifluid_map_pixel(d, d, 8, 8, 1, -2, sf_config) == (1, -2)

@@ -1,0 +1,155 @@
+"""Tests for quadratic surface-patch fitting and differential geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.surface import (
+    N_COEFFS,
+    design_matrix,
+    fit_patches,
+    fit_patches_reference,
+    fit_surface,
+    gaussian_eliminations_required,
+    geometry_from_coefficients,
+    savgol_kernels,
+)
+
+
+class TestDesignMatrix:
+    def test_shape(self):
+        assert design_matrix(2).shape == (25, 6)
+
+    def test_basis_columns(self):
+        phi = design_matrix(1)
+        # rows in raster order over dy, dx in {-1, 0, 1}
+        # center row (dy=0, dx=0) is [1, 0, 0, 0, 0, 0]
+        np.testing.assert_array_equal(phi[4], [1, 0, 0, 0, 0, 0])
+        # corner (dy=-1, dx=-1): [1, -1, -1, 1, 1, 1]
+        np.testing.assert_array_equal(phi[0], [1, -1, -1, 1, 1, 1])
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            design_matrix(0)
+
+    def test_cached(self):
+        assert design_matrix(2) is design_matrix(2)
+
+
+class TestSavgolKernels:
+    def test_shape(self):
+        assert savgol_kernels(2).shape == (6, 5, 5)
+
+    def test_mean_kernel_sums_to_one(self):
+        """The c0 kernel is an unbiased estimator of the patch value."""
+        assert savgol_kernels(2)[0].sum() == pytest.approx(1.0)
+
+    def test_derivative_kernels_kill_constants(self):
+        kernels = savgol_kernels(2)
+        for k in range(1, N_COEFFS):
+            assert kernels[k].sum() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestFitPatches:
+    def test_exact_on_quadratic(self, quadratic_surface):
+        z, truth = quadratic_surface
+        coeffs = fit_patches(z, 2)
+        interior = (slice(3, -3), slice(3, -3))
+        np.testing.assert_allclose(coeffs[..., 1][interior], truth["zx"][interior], atol=1e-10)
+        np.testing.assert_allclose(coeffs[..., 2][interior], truth["zy"][interior], atol=1e-10)
+        np.testing.assert_allclose(2 * coeffs[..., 3][interior], truth["zxx"][interior], atol=1e-10)
+        np.testing.assert_allclose(coeffs[..., 4][interior], truth["zxy"][interior], atol=1e-10)
+        np.testing.assert_allclose(2 * coeffs[..., 5][interior], truth["zyy"][interior], atol=1e-10)
+
+    def test_center_coefficient_reproduces_value(self, quadratic_surface):
+        z, _ = quadratic_surface
+        coeffs = fit_patches(z, 2)
+        interior = (slice(3, -3), slice(3, -3))
+        np.testing.assert_allclose(coeffs[..., 0][interior], z[interior], atol=1e-10)
+
+    def test_matches_reference_path(self):
+        rng = np.random.default_rng(7)
+        z = rng.normal(size=(16, 18))
+        fast = fit_patches(z, 2)
+        ref = fit_patches_reference(z, 2)
+        np.testing.assert_allclose(fast, ref, atol=1e-10)
+
+    def test_matches_reference_path_n3(self):
+        rng = np.random.default_rng(8)
+        z = rng.normal(size=(20, 20))
+        np.testing.assert_allclose(fit_patches(z, 3), fit_patches_reference(z, 3), atol=1e-10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            fit_patches(np.zeros((4, 4, 2)), 2)
+
+    def test_constant_image(self):
+        coeffs = fit_patches(np.full((12, 12), 5.0), 2)
+        np.testing.assert_allclose(coeffs[..., 0], 5.0, atol=1e-10)
+        np.testing.assert_allclose(coeffs[..., 1:], 0.0, atol=1e-10)
+
+
+class TestGeometry:
+    def test_flat_surface_normal_is_up(self):
+        geo = fit_surface(np.full((12, 12), 3.0), 2)
+        np.testing.assert_allclose(geo.normal_i, 0.0, atol=1e-12)
+        np.testing.assert_allclose(geo.normal_j, 0.0, atol=1e-12)
+        np.testing.assert_allclose(geo.normal_k, 1.0, atol=1e-12)
+        np.testing.assert_allclose(geo.e, 1.0)
+        np.testing.assert_allclose(geo.g, 1.0)
+        np.testing.assert_allclose(geo.discriminant, 0.0, atol=1e-12)
+
+    def test_unit_normals(self, quadratic_surface):
+        z, _ = quadratic_surface
+        geo = fit_surface(z, 2)
+        norm = geo.normal_i**2 + geo.normal_j**2 + geo.normal_k**2
+        np.testing.assert_allclose(norm, 1.0, atol=1e-12)
+
+    def test_tilted_plane_normal(self):
+        h, w = 14, 14
+        yy, xx = np.meshgrid(np.arange(h, dtype=float), np.arange(w, dtype=float), indexing="ij")
+        geo = fit_surface(2.0 * xx, 2)
+        interior = (slice(3, -3), slice(3, -3))
+        expected = -2.0 / np.sqrt(5.0)
+        np.testing.assert_allclose(geo.normal_i[interior], expected, atol=1e-10)
+        np.testing.assert_allclose(geo.normal_j[interior], 0.0, atol=1e-10)
+        np.testing.assert_allclose(geo.e[interior], 5.0, atol=1e-10)
+        np.testing.assert_allclose(geo.g[interior], 1.0, atol=1e-10)
+
+    def test_discriminant_signs(self):
+        """Elliptic (bowl) patches have D > 0, hyperbolic (saddle) D < 0."""
+        h = w = 16
+        yy, xx = np.meshgrid(np.arange(h, dtype=float), np.arange(w, dtype=float), indexing="ij")
+        cx, cy = (w - 1) / 2, (h - 1) / 2
+        bowl = (xx - cx) ** 2 + (yy - cy) ** 2
+        saddle = (xx - cx) ** 2 - (yy - cy) ** 2
+        interior = (slice(3, -3), slice(3, -3))
+        assert (fit_surface(bowl, 2).discriminant[interior] > 0).all()
+        assert (fit_surface(saddle, 2).discriminant[interior] < 0).all()
+
+    def test_discriminant_value_on_quadratic(self, quadratic_surface):
+        z, truth = quadratic_surface
+        geo = fit_surface(z, 2)
+        interior = (slice(3, -3), slice(3, -3))
+        expected = truth["zxx"] * truth["zyy"] - truth["zxy"] ** 2
+        np.testing.assert_allclose(geo.discriminant[interior], expected[interior], atol=1e-10)
+
+    def test_geometry_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            geometry_from_coefficients(np.zeros((4, 4, 5)))
+
+    def test_normals_method_stacks(self, quadratic_surface):
+        z, _ = quadratic_surface
+        geo = fit_surface(z, 2)
+        stacked = geo.normals()
+        assert stacked.shape == z.shape + (3,)
+        np.testing.assert_array_equal(stacked[..., 0], geo.normal_i)
+
+
+class TestOperationCounts:
+    def test_paper_count(self):
+        """Section 3: '4 x 512 x 512 = 1048576 separate Gaussian-eliminations'."""
+        assert gaussian_eliminations_required(512, 512, 4) == 1048576
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            gaussian_eliminations_required(0, 512)

@@ -1,0 +1,84 @@
+"""Tests for semi-Lagrangian advection."""
+
+import numpy as np
+import pytest
+
+from repro.data.advect import advect, backward_displacement, synthesize_sequence, truth_displacements
+from repro.data.flow import RankineVortex, UniformFlow
+from repro.data.noise import smooth_random_field
+
+
+class TestBackwardDisplacement:
+    def test_uniform_flow_exact(self):
+        bu, bv = backward_displacement(UniformFlow(2.0, -1.0), 16, 16)
+        np.testing.assert_allclose(bu, 2.0)
+        np.testing.assert_allclose(bv, -1.0)
+
+    def test_fixed_point_property(self):
+        """b(x') must satisfy b = d(x' - b) for a smooth flow."""
+        flow = RankineVortex(center=(16.0, 16.0), peak=1.5, core_radius=8.0)
+        h = w = 32
+        bu, bv = backward_displacement(flow, h, w, iterations=30)
+        yy, xx = np.meshgrid(np.arange(h, dtype=float), np.arange(w, dtype=float), indexing="ij")
+        du, dv = flow(xx - bu, yy - bv)
+        np.testing.assert_allclose(bu, du, atol=1e-6)
+        np.testing.assert_allclose(bv, dv, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backward_displacement(UniformFlow(0, 0), 8, 8, iterations=0)
+
+
+class TestAdvect:
+    def test_integer_translation_exact(self):
+        frame = smooth_random_field(48, seed=0)
+        out = advect(frame, UniformFlow(3.0, 0.0), order=1)
+        # pixel (x, y) moves to (x+3, y): out[:, 3:] == frame[:, :-3]
+        np.testing.assert_allclose(out[:, 8:-8], np.roll(frame, 3, axis=1)[:, 8:-8], atol=1e-10)
+
+    def test_zero_flow_identity(self):
+        frame = smooth_random_field(32, seed=1)
+        np.testing.assert_allclose(advect(frame, UniformFlow(0.0, 0.0)), frame, atol=1e-10)
+
+    def test_mass_roughly_conserved_for_rotation(self):
+        """A vortex rearranges but barely creates/destroys intensity."""
+        frame = smooth_random_field(64, seed=2, smoothing=3.0)
+        flow = RankineVortex(center=(32.0, 32.0), peak=1.0, core_radius=12.0)
+        out = advect(frame, flow)
+        assert abs(out.mean() - frame.mean()) < 0.02
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            advect(np.zeros((4, 4, 2)), UniformFlow(0, 0))
+
+
+class TestSynthesizeSequence:
+    def test_length(self):
+        frames = synthesize_sequence(smooth_random_field(32, seed=3), UniformFlow(1, 0), 5)
+        assert len(frames) == 5
+
+    def test_first_is_copy(self):
+        initial = smooth_random_field(32, seed=4)
+        frames = synthesize_sequence(initial, UniformFlow(1, 0), 2)
+        frames[0][0, 0] = 99.0
+        assert initial[0, 0] != 99.0
+
+    def test_steady_flow_composes(self):
+        """Two steps of d equal one step of 2d for a uniform flow."""
+        initial = smooth_random_field(48, seed=5, smoothing=2.0)
+        two_steps = synthesize_sequence(initial, UniformFlow(1.0, 0.0), 3)[-1]
+        one_big = advect(initial, UniformFlow(2.0, 0.0))
+        inner = (slice(10, -10), slice(10, -10))
+        np.testing.assert_allclose(two_steps[inner], one_big[inner], atol=5e-2)
+
+    def test_needs_positive_frames(self):
+        with pytest.raises(ValueError):
+            synthesize_sequence(np.zeros((8, 8)), UniformFlow(0, 0), 0)
+
+
+class TestTruth:
+    def test_truth_matches_flow(self):
+        flow = UniformFlow(1.5, -0.5)
+        u, v = truth_displacements(flow, 8, 10)
+        assert u.shape == (8, 10)
+        assert (u == 1.5).all() and (v == -0.5).all()

@@ -1,0 +1,100 @@
+"""Tests for the synthetic cloud scene generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.clouds import (
+    CloudScene,
+    hurricane_scene,
+    layered_deck,
+    multilayer_scene,
+    thunderstorm_scene,
+)
+
+
+class TestCloudScene:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CloudScene(intensity=np.zeros((4, 4)), height_km=np.zeros((5, 5)))
+
+    def test_shape(self):
+        scene = CloudScene(np.zeros((6, 8)), np.zeros((6, 8)))
+        assert scene.shape == (6, 8)
+
+
+class TestLayeredDeck:
+    def test_deterministic(self):
+        a = layered_deck(48, seed=1)
+        b = layered_deck(48, seed=1)
+        np.testing.assert_array_equal(a.intensity, b.intensity)
+        np.testing.assert_array_equal(a.height_km, b.height_km)
+
+    def test_cloudy_pixels_above_base(self):
+        scene = layered_deck(48, seed=2, base_height_km=3.0)
+        assert (scene.height_km >= 3.0).mean() > 0.5  # most cloud pixels
+
+    def test_clear_pixels_low(self):
+        scene = layered_deck(48, seed=3, coverage=0.5)
+        assert scene.height_km.min() < 0.5
+
+    def test_intensity_height_correlated(self):
+        scene = layered_deck(64, seed=4)
+        corr = np.corrcoef(scene.intensity.ravel(), scene.height_km.ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            layered_deck(4, seed=0)
+
+
+class TestHurricaneScene:
+    def test_eye_is_dark_and_low(self):
+        scene = hurricane_scene(96, seed=5)
+        c = 96 // 2
+        eye = scene.intensity[c - 1 : c + 2, c - 1 : c + 2]
+        assert eye.mean() < 0.2
+        assert scene.height_km[c, c] < 2.0
+
+    def test_eyewall_is_high(self):
+        scene = hurricane_scene(96, seed=5)
+        assert scene.height_km.max() > 8.0
+
+    def test_intensity_bounded(self):
+        scene = hurricane_scene(64, seed=6)
+        assert scene.intensity.min() >= 0.0
+        assert scene.intensity.max() <= 1.0
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            hurricane_scene(8, seed=0)
+
+
+class TestThunderstormScene:
+    def test_cells_create_peaks(self):
+        scene = thunderstorm_scene(80, seed=7, n_cells=4)
+        assert scene.height_km.max() > 6.0
+        assert np.quantile(scene.height_km, 0.2) < 1.5  # background low
+
+    def test_more_cells_more_cloud(self):
+        few = thunderstorm_scene(80, seed=8, n_cells=1)
+        many = thunderstorm_scene(80, seed=8, n_cells=8)
+        assert many.intensity.mean() > few.intensity.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thunderstorm_scene(80, seed=0, n_cells=0)
+
+
+class TestMultilayerScene:
+    def test_bimodal_heights(self):
+        scene = multilayer_scene(96, seed=9, low_height_km=2.5, high_height_km=10.0)
+        heights = scene.height_km.ravel()
+        low_frac = ((heights > 1.5) & (heights < 5.0)).mean()
+        high_frac = (heights > 9.0).mean()
+        assert low_frac > 0.2
+        assert high_frac > 0.2
+
+    def test_high_coverage_parameter(self):
+        sparse = multilayer_scene(96, seed=10, high_coverage=0.2)
+        dense = multilayer_scene(96, seed=10, high_coverage=0.8)
+        assert (dense.height_km > 9.0).mean() > (sparse.height_km > 9.0).mean()

@@ -1,0 +1,113 @@
+"""Tests for the three paper-analogue datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    PAPER_SCALE,
+    florida_thunderstorm,
+    hurricane_frederic,
+    hurricane_luis,
+)
+
+
+class TestPaperScale:
+    def test_frederic(self):
+        spec = PAPER_SCALE["hurricane-frederic"]
+        assert spec == {"size": 512, "n_frames": 4, "dt_seconds": 450.0}
+
+    def test_florida(self):
+        spec = PAPER_SCALE["goes9-florida"]
+        assert spec["n_frames"] == 49
+        assert spec["dt_seconds"] == 60.0
+
+    def test_luis(self):
+        spec = PAPER_SCALE["hurricane-luis"]
+        assert spec["n_frames"] == 490
+
+
+class TestFrederic:
+    def test_structure(self, frederic_dataset):
+        ds = frederic_dataset
+        assert ds.name == "hurricane-frederic"
+        assert ds.n_frames == 2
+        assert len(ds.stereo_pairs) == 2
+        assert len(ds.scenes) == 2
+        assert ds.config.is_semifluid
+
+    def test_frames_carry_surface_and_intensity(self, frederic_dataset):
+        frame = frederic_dataset.frames[0]
+        assert frame.intensity is not None
+        assert frame.surface.shape == frame.intensity.shape
+
+    def test_timestamps(self, frederic_dataset):
+        assert frederic_dataset.frames[1].time_seconds == 450.0
+
+    def test_scene_advected_consistently(self, frederic_dataset):
+        """Frame 1 must be frame 0 advected: interior intensity matches."""
+        from repro.data.advect import advect
+        ds = frederic_dataset
+        expected = advect(ds.scenes[0].intensity, ds.flow)
+        np.testing.assert_allclose(ds.scenes[1].intensity, expected, atol=1e-12)
+
+    def test_truth_is_vortex(self, frederic_dataset):
+        u, v = frederic_dataset.truth_uv()
+        c = frederic_dataset.shape[0] // 2
+        # near the center displacement is tiny, far away tangential
+        assert np.hypot(u[c, c], v[c, c]) < 0.2
+
+    def test_geometry_scaled_with_size(self):
+        small = hurricane_frederic(size=64, n_frames=2, seed=1)
+        assert small.pixel_km == pytest.approx(1024.0 / 64)
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            hurricane_frederic(size=64, n_frames=1)
+
+    def test_deterministic(self):
+        a = hurricane_frederic(size=64, n_frames=2, seed=5)
+        b = hurricane_frederic(size=64, n_frames=2, seed=5)
+        np.testing.assert_array_equal(a.frames[1].surface, b.frames[1].surface)
+        np.testing.assert_array_equal(a.stereo_pairs[0].right, b.stereo_pairs[0].right)
+
+
+class TestFlorida:
+    def test_structure(self, florida_dataset):
+        ds = florida_dataset
+        assert ds.name == "goes9-florida"
+        assert not ds.config.is_semifluid
+        assert ds.dt_seconds == 60.0
+        assert not ds.stereo_pairs  # monocular
+
+    def test_monocular_frames(self, florida_dataset):
+        assert florida_dataset.frames[0].intensity is None
+
+    def test_flow_has_drift_and_outflow(self, florida_dataset):
+        u, v = florida_dataset.truth_uv()
+        # mean drift ~ (1, 0.5)
+        assert u.mean() == pytest.approx(1.0, abs=0.3)
+        assert v.mean() == pytest.approx(0.5, abs=0.3)
+        # divergence: u varies spatially
+        assert u.std() > 0.05
+
+    def test_deterministic(self):
+        a = florida_thunderstorm(size=64, n_frames=2, seed=2)
+        b = florida_thunderstorm(size=64, n_frames=2, seed=2)
+        np.testing.assert_array_equal(a.frames[1].surface, b.frames[1].surface)
+
+
+class TestLuis:
+    def test_structure(self, luis_dataset):
+        ds = luis_dataset
+        assert ds.name == "hurricane-luis"
+        assert ds.dt_seconds == 90.0
+        assert ds.config.template_window == 11
+        assert ds.config.search_window == 9
+
+    def test_long_sequence_supported(self):
+        ds = hurricane_luis(size=48, n_frames=12, seed=3)
+        assert ds.n_frames == 12
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            hurricane_luis(size=48, n_frames=1)

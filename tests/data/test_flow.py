@@ -1,0 +1,156 @@
+"""Tests for the analytic flow fields."""
+
+import numpy as np
+import pytest
+
+from repro.data.flow import (
+    AffineFlow,
+    ConvergenceCell,
+    PatchAffineFlow,
+    RankineVortex,
+    ScaledFlow,
+    ShearFlow,
+    SumFlow,
+    UniformFlow,
+)
+
+
+class TestUniformFlow:
+    def test_constant(self):
+        u, v = UniformFlow(2.0, -1.0).grid(8, 10)
+        assert (u == 2.0).all() and (v == -1.0).all()
+        assert u.shape == (8, 10)
+
+
+class TestAffineFlow:
+    def test_center_fixed_point(self):
+        flow = AffineFlow(a_i=0.1, b_j=0.1, center=(5.0, 5.0))
+        u, v = flow(5.0, 5.0)
+        assert u == 0.0 and v == 0.0
+
+    def test_linear_growth(self):
+        flow = AffineFlow(a_i=0.1, center=(0.0, 0.0))
+        u, _ = flow(10.0, 0.0)
+        assert u == pytest.approx(1.0)
+
+    def test_translation_part(self):
+        flow = AffineFlow(u0=3.0, v0=-2.0)
+        u, v = flow(7.0, 4.0)
+        assert (u, v) == (3.0, -2.0)
+
+
+class TestShearFlow:
+    def test_profile(self):
+        flow = ShearFlow(u0=1.0, rate=0.5, cy=2.0)
+        u, v = flow(np.zeros(3), np.array([0.0, 2.0, 4.0]))
+        np.testing.assert_allclose(u, [0.0, 1.0, 2.0])
+        np.testing.assert_allclose(v, 0.0)
+
+
+class TestRankineVortex:
+    def test_center_is_stationary(self):
+        flow = RankineVortex(center=(10.0, 10.0), peak=2.0, core_radius=4.0)
+        u, v = flow(10.0, 10.0)
+        assert u == 0.0 and v == 0.0
+
+    def test_peak_at_core_radius(self):
+        flow = RankineVortex(center=(0.0, 0.0), peak=2.0, core_radius=4.0)
+        u, v = flow(4.0, 0.0)
+        assert np.hypot(u, v) == pytest.approx(2.0)
+
+    def test_solid_body_inside(self):
+        flow = RankineVortex(center=(0.0, 0.0), peak=2.0, core_radius=4.0)
+        u, v = flow(2.0, 0.0)
+        assert np.hypot(u, v) == pytest.approx(1.0)
+
+    def test_decay_outside(self):
+        flow = RankineVortex(center=(0.0, 0.0), peak=2.0, core_radius=4.0)
+        u, v = flow(8.0, 0.0)
+        assert np.hypot(u, v) == pytest.approx(1.0)
+
+    def test_tangential(self):
+        """Velocity is perpendicular to the radius everywhere."""
+        flow = RankineVortex(center=(0.0, 0.0), peak=2.0, core_radius=4.0)
+        xs = np.array([3.0, -2.0, 5.0])
+        ys = np.array([1.0, 4.0, -2.0])
+        u, v = flow(xs, ys)
+        dots = u * xs + v * ys
+        np.testing.assert_allclose(dots, 0.0, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankineVortex(center=(0, 0), peak=1.0, core_radius=0.0)
+
+
+class TestConvergenceCell:
+    def test_radial(self):
+        flow = ConvergenceCell(center=(0.0, 0.0), peak=1.0, radius=3.0)
+        u, v = flow(np.array([4.0]), np.array([0.0]))
+        assert v[0] == pytest.approx(0.0)
+        assert u[0] > 0  # outflow
+
+    def test_peak_at_radius(self):
+        flow = ConvergenceCell(center=(0.0, 0.0), peak=1.5, radius=3.0)
+        u, _ = flow(3.0, 0.0)
+        assert u == pytest.approx(1.5)
+
+    def test_decays_far_away(self):
+        flow = ConvergenceCell(center=(0.0, 0.0), peak=1.0, radius=3.0)
+        u, v = flow(30.0, 0.0)
+        assert np.hypot(u, v) < 1e-8
+
+    def test_center_stationary(self):
+        flow = ConvergenceCell(center=(5.0, 5.0), peak=1.0, radius=3.0)
+        u, v = flow(5.0, 5.0)
+        assert u == 0.0 and v == 0.0
+
+
+class TestPatchAffineFlow:
+    def test_deterministic(self):
+        a = PatchAffineFlow(size=32, cells=3, seed=7)
+        b = PatchAffineFlow(size=32, cells=3, seed=7)
+        ua, va = a.grid(32, 32)
+        ub, vb = b.grid(32, 32)
+        np.testing.assert_array_equal(ua, ub)
+        np.testing.assert_array_equal(va, vb)
+
+    def test_bounded_by_translation_scale(self):
+        flow = PatchAffineFlow(size=32, cells=4, seed=1, translation_scale=1.5)
+        u, v = flow.grid(32, 32)
+        assert np.abs(u).max() <= 1.5 + 1e-12
+        assert np.abs(v).max() <= 1.5 + 1e-12
+
+    def test_not_globally_affine(self):
+        """The per-patch field must deviate from any single affine fit."""
+        flow = PatchAffineFlow(size=32, cells=4, seed=3, translation_scale=2.0)
+        u, _ = flow.grid(32, 32)
+        yy, xx = np.meshgrid(np.arange(32, dtype=float), np.arange(32, dtype=float), indexing="ij")
+        a = np.column_stack([np.ones(32 * 32), xx.ravel(), yy.ravel()])
+        coeffs, *_ = np.linalg.lstsq(a, u.ravel(), rcond=None)
+        residual = u.ravel() - a @ coeffs
+        assert np.abs(residual).max() > 0.1
+
+    def test_continuous_between_cells(self):
+        flow = PatchAffineFlow(size=64, cells=4, seed=5)
+        u, v = flow.grid(64, 64)
+        assert np.abs(np.diff(u, axis=1)).max() < 0.5  # no jumps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatchAffineFlow(size=1, cells=2, seed=0)
+
+
+class TestComposition:
+    def test_sum_flow(self):
+        flow = SumFlow((UniformFlow(1.0, 0.0), UniformFlow(0.5, -1.0)))
+        u, v = flow(0.0, 0.0)
+        assert (u, v) == (1.5, -1.0)
+
+    def test_scaled_flow(self):
+        flow = ScaledFlow(UniformFlow(2.0, -4.0), 0.5)
+        u, v = flow(3.0, 3.0)
+        assert (u, v) == (1.0, -2.0)
+
+    def test_grid_broadcasts_scalars(self):
+        u, v = UniformFlow(1.0, 2.0).grid(4, 6)
+        assert u.shape == v.shape == (4, 6)

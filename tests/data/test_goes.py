@@ -1,0 +1,107 @@
+"""Tests for the GOES viewing-geometry utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.goes import (
+    effective_dt_map,
+    ground_sample_km,
+    pixel_scale_map,
+    scan_time_offsets,
+    slant_range_km,
+    wind_speed_map,
+)
+
+
+class TestSlantRange:
+    def test_nadir_is_orbit_height(self):
+        # 42164 - 6378 = 35786 km above the sub-satellite point
+        assert slant_range_km(0.0) == pytest.approx(35786.0, abs=1.0)
+
+    def test_grows_with_angle(self):
+        assert slant_range_km(60.0) > slant_range_km(30.0) > slant_range_km(0.0)
+
+
+class TestGroundSample:
+    def test_nadir_about_one_km(self):
+        """The GOES visible channel's famous ~1 km nadir pixel."""
+        assert ground_sample_km(0.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_monotone_growth(self):
+        samples = [ground_sample_km(a) for a in (0, 20, 40, 60)]
+        assert samples == sorted(samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ground_sample_km(0.0, ifov_urad=0.0)
+
+
+class TestPixelScaleMap:
+    def test_center_value(self):
+        scale = pixel_scale_map(129, center_gsd_km=1.0)
+        assert scale[64, 64] == pytest.approx(1.0, abs=0.01)
+
+    def test_paper_border_statement(self):
+        """'Pixels in the center ... span approximately 1 sq-km whereas
+        pixels near the borders span approximately 4 sq-km' -- border
+        pixel *area* about 4x the center."""
+        scale = pixel_scale_map(129, center_gsd_km=1.0, edge_central_angle_deg=60.0)
+        center_area = scale[64, 64] ** 2
+        corner_area = scale[0, 0] ** 2
+        assert 2.5 < corner_area / center_area < 8.0
+
+    def test_radially_symmetric(self):
+        scale = pixel_scale_map(65)
+        np.testing.assert_allclose(scale, scale.T, atol=1e-9)
+        np.testing.assert_allclose(scale, scale[::-1, ::-1], atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pixel_scale_map(1)
+        with pytest.raises(ValueError):
+            pixel_scale_map(16, center_gsd_km=0.0)
+        with pytest.raises(ValueError):
+            pixel_scale_map(16, edge_central_angle_deg=90.0)
+
+
+class TestWindSpeedMap:
+    def test_uniform_scale_matches_field_formula(self):
+        h = w = 8
+        u = np.full((h, w), 3.0)
+        v = np.full((h, w), 4.0)
+        scale = np.ones((h, w))
+        speed = wind_speed_map(u, v, scale, dt_seconds=500.0)
+        np.testing.assert_allclose(speed, 10.0)
+
+    def test_border_pixels_mean_faster_wind(self):
+        """The same pixel displacement at the border is a faster wind."""
+        scale = pixel_scale_map(65)
+        u = np.ones((65, 65))
+        v = np.zeros((65, 65))
+        speed = wind_speed_map(u, v, scale, dt_seconds=60.0)
+        assert speed[0, 0] > speed[32, 32]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wind_speed_map(np.ones((4, 4)), np.ones((4, 4)), np.ones((5, 5)), 60.0)
+        with pytest.raises(ValueError):
+            wind_speed_map(np.ones((4, 4)), np.ones((4, 4)), np.ones((4, 4)), 0.0)
+
+
+class TestScanTiming:
+    def test_line_offsets(self):
+        offsets = scan_time_offsets(512)
+        assert offsets[0] == 0.0
+        assert offsets[-1] == pytest.approx(511 * 0.073)
+        # a 512-line sector spans ~37 s top to bottom
+        assert 30.0 < offsets[-1] < 45.0
+
+    def test_effective_dt_uniform_for_matched_schedules(self):
+        dt = effective_dt_map((64, 64), 450.0)
+        np.testing.assert_array_equal(dt, 450.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_time_offsets(0)
+        with pytest.raises(ValueError):
+            effective_dt_map((8, 8), 0.0)

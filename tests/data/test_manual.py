@@ -1,0 +1,97 @@
+"""Tests for the synthetic wind-barb reference tracers."""
+
+import numpy as np
+import pytest
+
+from repro.data.flow import UniformFlow
+from repro.data.manual import (
+    PAPER_BARB_COUNT,
+    WindBarbs,
+    barbs_for_dataset,
+    rms_vector_error,
+    select_barbs,
+)
+
+
+@pytest.fixture()
+def valid_mask():
+    mask = np.zeros((64, 64), dtype=bool)
+    mask[16:-16, 16:-16] = True
+    return mask
+
+
+class TestSelectBarbs:
+    def test_paper_count(self, valid_mask):
+        barbs = select_barbs(UniformFlow(1.0, 0.0), valid_mask)
+        assert barbs.count == PAPER_BARB_COUNT == 32
+
+    def test_points_inside_valid(self, valid_mask):
+        barbs = select_barbs(UniformFlow(1.0, 0.0), valid_mask, seed=1)
+        assert valid_mask[barbs.points[:, 1], barbs.points[:, 0]].all()
+
+    def test_truth_attached(self, valid_mask):
+        barbs = select_barbs(UniformFlow(2.0, -1.0), valid_mask, seed=2)
+        np.testing.assert_allclose(barbs.truth_uv[:, 0], 2.0)
+        np.testing.assert_allclose(barbs.truth_uv[:, 1], -1.0)
+
+    def test_prefers_bright_pixels(self, valid_mask):
+        intensity = np.zeros((64, 64))
+        intensity[20:30, 20:30] = 1.0  # the only "cloudy" patch
+        barbs = select_barbs(UniformFlow(0, 0), valid_mask, intensity=intensity, count=10, seed=3)
+        bright = intensity[barbs.points[:, 1], barbs.points[:, 0]]
+        assert (bright == 1.0).mean() > 0.8
+
+    def test_deterministic(self, valid_mask):
+        a = select_barbs(UniformFlow(1, 0), valid_mask, seed=4)
+        b = select_barbs(UniformFlow(1, 0), valid_mask, seed=4)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_too_few_valid_pixels(self):
+        tiny = np.zeros((8, 8), dtype=bool)
+        tiny[4, 4] = True
+        with pytest.raises(ValueError):
+            select_barbs(UniformFlow(0, 0), tiny, count=32)
+
+    def test_intensity_shape_checked(self, valid_mask):
+        with pytest.raises(ValueError):
+            select_barbs(UniformFlow(0, 0), valid_mask, intensity=np.zeros((4, 4)))
+
+
+class TestWindBarbs:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            WindBarbs(points=np.zeros((3, 2)), truth_uv=np.zeros((4, 2)))
+
+
+class TestRMSVectorError:
+    def test_zero_for_identical(self):
+        uv = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert rms_vector_error(uv, uv) == 0.0
+
+    def test_known_value(self):
+        est = np.array([[1.0, 0.0]])
+        ref = np.array([[0.0, 0.0]])
+        assert rms_vector_error(est, ref) == pytest.approx(1.0)
+
+    def test_mean_over_points(self):
+        est = np.array([[1.0, 0.0], [0.0, 0.0]])
+        ref = np.zeros((2, 2))
+        assert rms_vector_error(est, ref) == pytest.approx(np.sqrt(0.5))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rms_vector_error(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestBarbsForDataset:
+    def test_florida(self, florida_dataset):
+        valid = np.zeros(florida_dataset.shape, dtype=bool)
+        valid[20:-20, 20:-20] = True
+        barbs = barbs_for_dataset(florida_dataset, valid, count=16, seed=1)
+        assert barbs.count == 16
+        # truth must equal the dataset flow at the chosen points
+        u, v = florida_dataset.flow(
+            barbs.points[:, 0].astype(float), barbs.points[:, 1].astype(float)
+        )
+        np.testing.assert_allclose(barbs.truth_uv[:, 0], u)
+        np.testing.assert_allclose(barbs.truth_uv[:, 1], v)

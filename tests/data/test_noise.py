@@ -1,0 +1,87 @@
+"""Tests for the deterministic noise generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.noise import cloud_mask, smooth_random_field, value_noise
+
+
+class TestValueNoise:
+    def test_shape_and_range(self):
+        field = value_noise(64, seed=0)
+        assert field.shape == (64, 64)
+        assert field.min() == pytest.approx(0.0)
+        assert field.max() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(value_noise(32, seed=5), value_noise(32, seed=5))
+
+    def test_seed_changes_field(self):
+        a = value_noise(32, seed=1)
+        b = value_noise(32, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_octaves_add_detail(self):
+        """More octaves raise high-frequency energy."""
+        coarse = value_noise(64, seed=3, octaves=1)
+        fine = value_noise(64, seed=3, octaves=4)
+
+        def hf_energy(f):
+            gy, gx = np.gradient(f)
+            return float(np.mean(gx * gx + gy * gy))
+
+        assert hf_energy(fine) > hf_energy(coarse)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            value_noise(1, seed=0)
+        with pytest.raises(ValueError):
+            value_noise(32, seed=0, persistence=0.0)
+        with pytest.raises(ValueError):
+            value_noise(32, seed=0, octaves=0)
+
+    def test_cells_capped_at_size(self):
+        field = value_noise(16, seed=0, base_cells=8, octaves=5)
+        assert field.shape == (16, 16)
+
+
+class TestSmoothRandomField:
+    def test_unit_variance(self):
+        field = smooth_random_field(128, seed=0, smoothing=2.0)
+        assert field.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            smooth_random_field(32, seed=9), smooth_random_field(32, seed=9)
+        )
+
+    def test_smoothing_reduces_gradients(self):
+        rough = smooth_random_field(64, seed=1, smoothing=0.5)
+        smooth = smooth_random_field(64, seed=1, smoothing=3.0)
+        assert np.abs(np.gradient(smooth)[0]).mean() < np.abs(np.gradient(rough)[0]).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smooth_random_field(1, seed=0)
+        with pytest.raises(ValueError):
+            smooth_random_field(32, seed=0, smoothing=-1)
+
+
+class TestCloudMask:
+    def test_coverage_fraction(self):
+        field = value_noise(64, seed=4)
+        mask = cloud_mask(field, coverage=0.3)
+        assert mask.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_full_coverage(self):
+        field = value_noise(32, seed=4)
+        assert cloud_mask(field, coverage=1.0).all()
+
+    def test_selects_brightest(self):
+        field = value_noise(64, seed=4)
+        mask = cloud_mask(field, coverage=0.25)
+        assert field[mask].min() >= field[~mask].max() - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cloud_mask(np.zeros((4, 4)), coverage=0.0)

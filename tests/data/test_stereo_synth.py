@@ -1,0 +1,64 @@
+"""Tests for synthetic stereo rendering."""
+
+import numpy as np
+import pytest
+
+from repro.data.clouds import layered_deck
+from repro.data.stereo_synth import render_pair
+from repro.stereo.correlation import match_scanlines
+from repro.stereo.geometry import StereoGeometry
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return StereoGeometry.from_baseline(135.0, pixel_km=2048.0 / 96)
+
+
+class TestRenderPair:
+    def test_flat_scene_identical_views(self, geometry):
+        from repro.data.clouds import CloudScene
+        from repro.data.noise import smooth_random_field
+        intensity = smooth_random_field(48, seed=0)
+        scene = CloudScene(intensity=intensity, height_km=np.zeros((48, 48)))
+        pair = render_pair(scene, geometry)
+        np.testing.assert_allclose(pair.right, pair.left, atol=1e-10)
+        np.testing.assert_array_equal(pair.true_disparity, 0.0)
+
+    def test_disparity_matches_geometry(self, geometry):
+        scene = layered_deck(64, seed=1)
+        pair = render_pair(scene, geometry)
+        np.testing.assert_allclose(
+            pair.true_disparity, geometry.disparity_from_height(scene.height_km)
+        )
+
+    def test_rendered_parallax_is_recoverable(self, geometry):
+        """The NCC matcher must see the rendered disparity."""
+        from repro.data.clouds import CloudScene
+        from repro.data.noise import smooth_random_field
+        # uniform 2-km cloud sheet: constant disparity
+        intensity = smooth_random_field(64, seed=2, smoothing=1.5)
+        z = np.full((64, 64), 2.0)
+        scene = CloudScene(intensity=intensity, height_km=z)
+        pair = render_pair(scene, geometry)
+        d_true = float(geometry.disparity_from_height(2.0))
+        est = match_scanlines(pair.left, pair.right, (-6, 6), 3)
+        inner = est.disparity[12:-12, 12:-12]
+        assert abs(inner.mean() - d_true) < 0.5
+
+    def test_vertical_shift_applied(self, geometry):
+        scene = layered_deck(48, seed=3)
+        aligned = render_pair(scene, geometry)
+        shifted = render_pair(scene, geometry, vertical_shift=2.0)
+        assert not np.allclose(aligned.right, shifted.right)
+
+    def test_noise_injection_deterministic(self, geometry):
+        scene = layered_deck(48, seed=4)
+        a = render_pair(scene, geometry, noise_sigma=0.02, seed=9)
+        b = render_pair(scene, geometry, noise_sigma=0.02, seed=9)
+        np.testing.assert_array_equal(a.left, b.left)
+        assert not np.array_equal(a.left, scene.intensity)
+
+    def test_left_is_scene_intensity_when_clean(self, geometry):
+        scene = layered_deck(48, seed=5)
+        pair = render_pair(scene, geometry)
+        np.testing.assert_array_equal(pair.left, scene.intensity)

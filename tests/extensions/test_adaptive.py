@@ -1,0 +1,101 @@
+"""Tests for rectangular and adaptive template windows."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import prepare_frames, track_dense
+from repro.extensions.adaptive import (
+    box_sum_rect,
+    select_window_sizes,
+    texture_energy,
+    track_dense_adaptive,
+    track_dense_rect,
+)
+from repro.params import NeighborhoodConfig
+from tests.conftest import translated_pair
+
+
+class TestBoxSumRect:
+    def test_matches_manual(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(12, 14))
+        got = box_sum_rect(a, 1, 2)
+        assert got[6, 7] == pytest.approx(a[5:8, 5:10].sum())
+
+    def test_square_case_matches_box_sum(self):
+        from repro.core.semifluid import box_sum
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(box_sum_rect(a, 2, 2), box_sum(a, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            box_sum_rect(np.zeros((4, 4)), -1, 0)
+
+
+class TestTrackDenseRect:
+    def test_square_rect_equals_standard(self, prepared_continuous):
+        std = track_dense(prepared_continuous)
+        cfg = prepared_continuous.config
+        rect = track_dense_rect(prepared_continuous, cfg.n_zt, cfg.n_zt)
+        inner = std.valid & rect.valid
+        np.testing.assert_array_equal(std.u[inner], rect.u[inner])
+        np.testing.assert_array_equal(std.v[inner], rect.v[inner])
+
+    def test_anisotropic_window_tracks_translation(self, prepared_continuous):
+        rect = track_dense_rect(prepared_continuous, 2, 5)
+        assert (rect.u[rect.valid] == 2.0).all()
+        assert (rect.v[rect.valid] == -1.0).all()
+
+    def test_rejects_semifluid(self, prepared_semifluid):
+        with pytest.raises(ValueError):
+            track_dense_rect(prepared_semifluid, 2, 2)
+
+
+class TestTextureEnergy:
+    def test_flat_is_zero(self):
+        energy = texture_energy(np.full((16, 16), 3.0), 2)
+        np.testing.assert_allclose(energy, 0.0, atol=1e-20)
+
+    def test_textured_region_higher(self):
+        img = np.zeros((32, 32))
+        rng = np.random.default_rng(2)
+        img[8:24, 8:24] = rng.normal(size=(16, 16))
+        energy = texture_energy(img, 2)
+        assert energy[16, 16] > energy[2, 2] + 1.0
+
+
+class TestSelectWindowSizes:
+    def test_textured_pixels_get_small_windows(self):
+        img = np.zeros((32, 32))
+        rng = np.random.default_rng(3)
+        img[8:24, 8:24] = rng.normal(size=(16, 16)) * 3.0
+        sizes = select_window_sizes(img, (2, 5), energy_threshold=1.0)
+        assert sizes[16, 16] == 2
+        assert sizes[2, 2] == 5  # bland corner falls back to the largest
+
+    def test_candidates_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            select_window_sizes(np.zeros((8, 8)), (5, 2), 1.0)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            select_window_sizes(np.zeros((8, 8)), (), 1.0)
+
+
+class TestTrackDenseAdaptive:
+    def test_translation_recovered(self, prepared_continuous):
+        result, sizes = track_dense_adaptive(
+            prepared_continuous, (2, 3), energy_threshold=0.01
+        )
+        assert (result.u[result.valid] == 2.0).all()
+        assert (result.v[result.valid] == -1.0).all()
+        assert set(np.unique(sizes)).issubset({2, 3})
+
+    def test_rejects_semifluid(self, prepared_semifluid):
+        with pytest.raises(ValueError):
+            track_dense_adaptive(prepared_semifluid)
+
+    def test_hypothesis_count_scales(self, prepared_continuous):
+        result, _ = track_dense_adaptive(prepared_continuous, (2, 3), 0.01)
+        assert result.hypotheses_evaluated == 2 * 25

@@ -1,0 +1,118 @@
+"""Tests for cloud classification and class-aware post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.core.field import MotionField
+from repro.extensions.classification import (
+    CloudClass,
+    class_motion_statistics,
+    classified_median_filter,
+    classify,
+    texture_field,
+)
+
+
+@pytest.fixture()
+def layered_field():
+    """Two-deck motion field: low cloud (u=1) and high cloud (u=3)."""
+    h = w = 24
+    xx = np.arange(w)[None, :].repeat(h, 0)
+    high = xx >= w // 2
+    height = np.where(high, 10.0, 1.0)
+    u = np.where(high, 3.0, 1.0).astype(float)
+    field = MotionField(
+        u=u,
+        v=np.zeros((h, w)),
+        valid=np.ones((h, w), bool),
+        error=np.zeros((h, w)),
+        dt_seconds=100.0,
+        pixel_km=1.0,
+    )
+    return field, height, high
+
+
+class TestClassify:
+    def test_etage_boundaries(self):
+        height = np.array([[0.0, 1.0, 4.0, 9.0]])
+        labels = classify(height)
+        assert labels[0, 0] == CloudClass.CLEAR
+        assert labels[0, 1] == CloudClass.LOW_CLOUD
+        assert labels[0, 2] == CloudClass.MID_CLOUD
+        assert labels[0, 3] == CloudClass.HIGH_CLOUD
+
+    def test_intensity_vetoes_clear(self):
+        """A bright pixel with near-zero height is not clear sky (thin
+        low cloud over a cold surface) under the intensity cue."""
+        height = np.array([[0.1]])
+        bright = np.array([[0.9]])
+        assert classify(height, bright)[0, 0] == CloudClass.LOW_CLOUD
+        dark = np.array([[0.05]])
+        assert classify(height, dark)[0, 0] == CloudClass.CLEAR
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            classify(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_realistic_scene(self, frederic_dataset):
+        scene = frederic_dataset.scenes[0]
+        labels = classify(scene.height_km, scene.intensity)
+        counts = np.bincount(labels.ravel(), minlength=4)
+        assert counts.sum() == labels.size
+        assert counts[CloudClass.HIGH_CLOUD] > 0  # the eyewall
+
+
+class TestClassStatistics:
+    def test_per_class_means(self, layered_field):
+        field, height, high = layered_field
+        labels = classify(height)
+        stats = {s.label: s for s in class_motion_statistics(field, labels)}
+        assert stats[CloudClass.LOW_CLOUD].mean_u == pytest.approx(1.0)
+        assert stats[CloudClass.HIGH_CLOUD].mean_u == pytest.approx(3.0)
+        assert stats[CloudClass.CLEAR].pixels == 0
+
+    def test_speed_units(self, layered_field):
+        field, height, _ = layered_field
+        labels = classify(height)
+        stats = {s.label: s for s in class_motion_statistics(field, labels)}
+        # u = 1 px * 1 km / 100 s = 10 m/s
+        assert stats[CloudClass.LOW_CLOUD].mean_speed_mps == pytest.approx(10.0)
+
+    def test_shape_mismatch(self, layered_field):
+        field, _, _ = layered_field
+        with pytest.raises(ValueError):
+            class_motion_statistics(field, np.zeros((3, 3)))
+
+
+class TestClassifiedMedian:
+    def test_preserves_interclass_boundary(self, layered_field):
+        """The class-aware median must not blur the two decks together
+        -- the failure mode of the plain vector median at layer edges."""
+        field, height, high = layered_field
+        labels = classify(height)
+        cleaned = classified_median_filter(field, labels, half_width=2)
+        np.testing.assert_array_equal(cleaned.u[~high], 1.0)
+        np.testing.assert_array_equal(cleaned.u[high], 3.0)
+
+    def test_removes_intra_class_speckle(self, layered_field):
+        field, height, high = layered_field
+        field.u[5, 5] = -9.0  # speckle inside the low deck
+        labels = classify(height)
+        cleaned = classified_median_filter(field, labels, half_width=1)
+        assert cleaned.u[5, 5] == 1.0
+
+    def test_validation(self, layered_field):
+        field, height, _ = layered_field
+        with pytest.raises(ValueError):
+            classified_median_filter(field, classify(height), half_width=0)
+        with pytest.raises(ValueError):
+            classified_median_filter(field, np.zeros((3, 3)))
+
+
+class TestTextureField:
+    def test_flat_zero(self):
+        np.testing.assert_allclose(texture_field(np.full((12, 12), 2.0)), 0.0, atol=1e-20)
+
+    def test_textured_positive(self):
+        rng = np.random.default_rng(0)
+        assert texture_field(rng.normal(size=(12, 12))).mean() > 0

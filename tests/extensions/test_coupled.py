@@ -1,0 +1,103 @@
+"""Tests for coupled stereo-motion refinement."""
+
+import numpy as np
+import pytest
+
+from repro.data import hurricane_frederic, render_pair
+from repro.extensions.coupled import CoupledStereoMotion, warp_by_motion
+from repro.params import NeighborhoodConfig
+from repro.stereo.asa import ASAConfig
+
+
+@pytest.fixture(scope="module")
+def noisy_frederic():
+    """Frederic sequence with sensor noise so stereo errors are
+    temporally uncorrelated -- the regime coupling exploits."""
+    ds = hurricane_frederic(size=96, n_frames=2, seed=21)
+    pairs = [
+        render_pair(scene, ds.stereo_pairs[0].geometry, noise_sigma=0.08, seed=50 + i)
+        for i, scene in enumerate(ds.scenes)
+    ]
+    return ds, pairs
+
+
+class TestWarpByMotion:
+    def test_zero_motion_identity(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(16, 16))
+        out = warp_by_motion(z, np.zeros((16, 16)), np.zeros((16, 16)))
+        np.testing.assert_allclose(out, z, atol=1e-12)
+
+    def test_integer_translation(self):
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(20, 20))
+        u = np.full((20, 20), 2.0)
+        v = np.zeros((20, 20))
+        out = warp_by_motion(z, u, v)
+        np.testing.assert_allclose(out[:, 4:-2], z[:, 2:-4], atol=1e-10)
+
+
+class TestCoupledRefinement:
+    def test_coupling_reduces_height_error(self, noisy_frederic):
+        """Fused heights must beat the independent estimates on a scene
+        with temporally uncorrelated stereo noise."""
+        ds, pairs = noisy_frederic
+        cfg = ds.config.replace(n_zs=3, n_zt=4)
+        coupler = CoupledStereoMotion(
+            geometry=pairs[0].geometry,
+            motion_config=cfg,
+            asa_config=ASAConfig(levels=3),
+            fusion_weight=0.5,
+        )
+        independent = CoupledStereoMotion(
+            geometry=pairs[0].geometry,
+            motion_config=cfg,
+            asa_config=ASAConfig(levels=3),
+            fusion_weight=0.0,
+        )
+        coupled = coupler.run(
+            pairs[0].left, pairs[0].right, pairs[1].left, pairs[1].right, iterations=1
+        )
+        baseline = independent.run(
+            pairs[0].left, pairs[0].right, pairs[1].left, pairs[1].right, iterations=1
+        )
+        inner = (slice(14, -14), slice(14, -14))
+
+        def err(z, truth):
+            return float(np.abs(z - truth)[inner].mean())
+
+        truth_0 = ds.scenes[0].height_km
+        truth_1 = ds.scenes[1].height_km
+        # the independent run smooths too; compare like-for-like
+        e_coupled = err(coupled.height_0, truth_0) + err(coupled.height_1, truth_1)
+        e_indep = err(baseline.height_0, truth_0) + err(baseline.height_1, truth_1)
+        assert e_coupled < e_indep
+        # the gain comes from the uncorrelated-noise component: it must
+        # be a real (few percent) reduction, not a rounding artifact
+        assert e_coupled < e_indep * 0.99
+
+    def test_history_recorded(self, noisy_frederic):
+        ds, pairs = noisy_frederic
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        coupler = CoupledStereoMotion(
+            geometry=pairs[0].geometry, motion_config=cfg, asa_config=ASAConfig(levels=3)
+        )
+        out = coupler.run(
+            pairs[0].left, pairs[0].right, pairs[1].left, pairs[1].right, iterations=2
+        )
+        assert out.iterations == 2
+        assert len(out.history) == 2
+        assert out.motion.shape == pairs[0].left.shape
+
+    def test_validation(self, noisy_frederic):
+        ds, pairs = noisy_frederic
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        with pytest.raises(ValueError):
+            CoupledStereoMotion(
+                geometry=pairs[0].geometry, motion_config=cfg, fusion_weight=1.0
+            )
+        coupler = CoupledStereoMotion(geometry=pairs[0].geometry, motion_config=cfg)
+        with pytest.raises(ValueError):
+            coupler.run(
+                pairs[0].left, pairs[0].right, pairs[1].left, pairs[1].right, iterations=0
+            )

@@ -1,0 +1,107 @@
+"""Tests for motion-field post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.core.field import MotionField
+from repro.extensions.postprocess import reject_outliers, relax, vector_median_filter
+
+
+def field_with_speckle(h=24, w=24, u=2.0, v=-1.0, speckles=((10, 10), (15, 18))):
+    uu = np.full((h, w), u)
+    vv = np.full((h, w), v)
+    error = np.zeros((h, w))
+    for (y, x) in speckles:
+        uu[y, x] = -5.0
+        vv[y, x] = 5.0
+        error[y, x] = 100.0
+    valid = np.zeros((h, w), dtype=bool)
+    valid[4:-4, 4:-4] = True
+    return MotionField(u=uu, v=vv, valid=valid, error=error, dt_seconds=60.0)
+
+
+class TestVectorMedian:
+    def test_removes_speckles(self):
+        field = field_with_speckle()
+        cleaned = vector_median_filter(field, half_width=1)
+        assert cleaned.u[10, 10] == 2.0
+        assert cleaned.v[15, 18] == -1.0
+
+    def test_preserves_constant_field(self):
+        field = field_with_speckle(speckles=())
+        cleaned = vector_median_filter(field)
+        np.testing.assert_array_equal(cleaned.u, field.u)
+        np.testing.assert_array_equal(cleaned.v, field.v)
+
+    def test_preserves_motion_boundary(self):
+        """Unlike averaging, the vector median keeps a sharp edge sharp."""
+        h = w = 20
+        u = np.where(np.arange(w)[None, :] < 10, 0.0, 4.0).repeat(h, 0).reshape(h, w)
+        field = MotionField(
+            u=u, v=np.zeros((h, w)),
+            valid=np.ones((h, w), bool), error=np.zeros((h, w)), dt_seconds=1.0,
+        )
+        cleaned = vector_median_filter(field)
+        assert set(np.unique(cleaned.u)) <= {0.0, 4.0}  # no blended values
+
+    def test_output_vectors_are_observed_vectors(self):
+        rng = np.random.default_rng(0)
+        h = w = 12
+        field = MotionField(
+            u=rng.integers(-3, 4, (h, w)).astype(float),
+            v=rng.integers(-3, 4, (h, w)).astype(float),
+            valid=np.ones((h, w), bool), error=np.zeros((h, w)), dt_seconds=1.0,
+        )
+        cleaned = vector_median_filter(field)
+        observed = set(zip(field.u.ravel(), field.v.ravel()))
+        for uu, vv in zip(cleaned.u.ravel(), cleaned.v.ravel()):
+            assert (uu, vv) in observed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vector_median_filter(field_with_speckle(), half_width=0)
+
+    def test_metadata_tagged(self):
+        cleaned = vector_median_filter(field_with_speckle())
+        assert cleaned.metadata["postprocess"] == "vector-median"
+
+
+class TestRejectOutliers:
+    def test_speckles_invalidated(self):
+        field = field_with_speckle()
+        out = reject_outliers(field, deviation_px=2.0)
+        assert not out.valid[10, 10]
+        assert not out.valid[15, 18]
+
+    def test_good_pixels_kept(self):
+        field = field_with_speckle()
+        out = reject_outliers(field)
+        assert out.valid[8, 8]
+
+    def test_vectors_unchanged(self):
+        field = field_with_speckle()
+        out = reject_outliers(field)
+        np.testing.assert_array_equal(out.u, field.u)
+
+    def test_quantile_validated(self):
+        with pytest.raises(ValueError):
+            reject_outliers(field_with_speckle(), error_quantile=0.0)
+
+
+class TestRelax:
+    def test_pulls_high_error_vector_toward_neighbors(self):
+        field = field_with_speckle(speckles=((12, 12),))
+        relaxed = relax(field, iterations=20, stiffness=0.8)
+        assert abs(relaxed.u[12, 12] - 2.0) < abs(field.u[12, 12] - 2.0)
+
+    def test_low_error_vectors_stable(self):
+        field = field_with_speckle(speckles=())
+        relaxed = relax(field, iterations=10)
+        np.testing.assert_allclose(relaxed.u, field.u, atol=1e-9)
+
+    def test_validation(self):
+        field = field_with_speckle()
+        with pytest.raises(ValueError):
+            relax(field, iterations=0)
+        with pytest.raises(ValueError):
+            relax(field, stiffness=0.0)

@@ -1,0 +1,121 @@
+"""Tests for robust IRLS motion estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.continuous import estimate_from_samples
+from repro.core.matching import prepare_frames
+from repro.extensions.robust import (
+    huber_weights,
+    mad_sigma,
+    refine_points,
+    robust_estimate_from_samples,
+    tukey_weights,
+)
+
+
+def clean_samples(rng, n=150):
+    p = rng.normal(scale=0.5, size=n)
+    q = rng.normal(scale=0.5, size=n)
+    theta = np.array([0.02, -0.01, 0.015, 0.03, -0.02, 0.01])
+    a_i, b_i, a_j, b_j, a_k, b_k = theta
+    p_after = (p + a_k - a_j * q + b_j * p) / (1 + a_i + b_j)
+    q_after = (q + b_k - b_i * p + a_i * q) / (1 + a_i + b_j)
+    e = 1.0 + p * p
+    g = 1.0 + q * q
+    return p, q, p_after, q_after, e, g, theta
+
+
+class TestWeights:
+    def test_huber_unit_inside(self):
+        r = np.array([0.01, -0.01, 0.005, 0.0, 0.008, -0.003])
+        w = huber_weights(r)
+        assert (w <= 1.0).all() and w.max() == 1.0
+
+    def test_huber_downweights_outliers(self):
+        r = np.array([0.01] * 20 + [10.0])
+        w = huber_weights(r)
+        assert w[-1] < 0.1
+        assert w[0] == 1.0
+
+    def test_tukey_zeroes_gross_outliers(self):
+        r = np.array([0.01] * 20 + [100.0])
+        w = tukey_weights(r)
+        assert w[-1] == 0.0
+
+    def test_zero_scale_returns_ones(self):
+        w = huber_weights(np.zeros(10))
+        np.testing.assert_array_equal(w, 1.0)
+
+    def test_mad_sigma(self):
+        rng = np.random.default_rng(0)
+        r = rng.normal(scale=2.0, size=100_000)
+        assert mad_sigma(r) == pytest.approx(2.0, rel=0.02)
+
+
+class TestRobustEstimate:
+    def test_matches_ols_on_clean_data(self):
+        rng = np.random.default_rng(1)
+        p, q, pa, qa, e, g, theta = clean_samples(rng)
+        robust = robust_estimate_from_samples(p, q, pa, qa, e, g, iterations=3)
+        np.testing.assert_allclose(robust.params, theta, atol=1e-8)
+
+    def test_resists_outliers_better_than_ols(self):
+        rng = np.random.default_rng(2)
+        p, q, pa, qa, e, g, theta = clean_samples(rng)
+        # corrupt 10% of the after-gradients grossly
+        n_bad = len(p) // 10
+        pa_bad = pa.copy()
+        pa_bad[:n_bad] += 5.0
+        ols = estimate_from_samples(p, q, pa_bad, qa, e, g)
+        robust = robust_estimate_from_samples(p, q, pa_bad, qa, e, g, loss="tukey")
+        err_ols = np.linalg.norm(ols.params - theta)
+        err_rob = np.linalg.norm(robust.params - theta)
+        assert err_rob < err_ols / 2
+
+    def test_final_weights_expose_outliers(self):
+        rng = np.random.default_rng(3)
+        p, q, pa, qa, e, g, _ = clean_samples(rng)
+        pa_bad = pa.copy()
+        pa_bad[0] += 5.0
+        robust = robust_estimate_from_samples(p, q, pa_bad, qa, e, g, loss="tukey")
+        # residual family eps1 row 0 corresponds to weight index 0
+        assert robust.weights[0] < 0.5
+
+    def test_unknown_loss(self):
+        with pytest.raises(ValueError):
+            robust_estimate_from_samples(
+                np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3), np.ones(3), np.ones(3),
+                loss="l1",
+            )
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            robust_estimate_from_samples(
+                np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3), np.ones(3), np.ones(3),
+                iterations=0,
+            )
+
+    def test_flat_patch_singular(self):
+        n = 30
+        z = np.zeros(n)
+        sol = robust_estimate_from_samples(z, z, z, z, np.ones(n), np.ones(n), ridge=0.0)
+        assert sol.singular
+        np.testing.assert_array_equal(sol.params, 0.0)
+
+
+class TestRefinePoints:
+    def test_refines_translation(self, translation_frames, small_continuous_config):
+        f0, f1 = translation_frames
+        prep = prepare_frames(f0, f1, small_continuous_config)
+        points = np.array([[20, 20], [30, 25]])
+        uv, params = refine_points(prep, points)
+        np.testing.assert_array_equal(uv[:, 0], 2.0)
+        np.testing.assert_array_equal(uv[:, 1], -1.0)
+        assert params.shape == (2, 6)
+
+    def test_semifluid_needs_discriminants(self, translation_frames, small_semifluid_config):
+        f0, f1 = translation_frames
+        prep = prepare_frames(f0, f1, small_semifluid_config)
+        with pytest.raises(ValueError):
+            refine_points(prep, np.array([[20, 20]]))

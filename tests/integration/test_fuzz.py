@@ -1,0 +1,64 @@
+"""Configuration fuzzing: the pipeline must stay finite and consistent
+across the whole (bounded) configuration space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SMAnalyzer
+from repro.core.matching import prepare_frames, track_dense
+from repro.params import NeighborhoodConfig
+from tests.conftest import translated_pair
+
+
+@st.composite
+def trackable_configs(draw):
+    """Configurations whose margin fits a 56-pixel frame."""
+    n_w = draw(st.integers(min_value=1, max_value=3))
+    n_zs = draw(st.integers(min_value=0, max_value=3))
+    n_ss = draw(st.integers(min_value=0, max_value=1))
+    n_st = draw(st.integers(min_value=1, max_value=3))
+    n_zt = draw(st.integers(min_value=max(2, n_st), max_value=5))
+    return NeighborhoodConfig(n_w=n_w, n_zs=n_zs, n_zt=n_zt, n_ss=n_ss, n_st=n_st)
+
+
+class TestConfigurationFuzz:
+    @given(trackable_configs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_tracking_always_finite(self, config, seed):
+        f0, f1 = translated_pair(size=56, dx=1, dy=0, seed=seed % 1000)
+        field = SMAnalyzer(config).track_pair(f0, f1)
+        assert np.isfinite(field.u).all()
+        assert np.isfinite(field.v).all()
+        if field.valid.any():
+            assert np.isfinite(field.error[field.valid]).all()
+            assert (np.abs(field.u[field.valid]) <= config.n_zs + config.n_ss).all()
+            assert (np.abs(field.v[field.valid]) <= config.n_zs + config.n_ss).all()
+
+    @given(trackable_configs())
+    @settings(max_examples=8, deadline=None)
+    def test_translation_within_search_found(self, config):
+        """Whenever the truth is representable, it is found exactly."""
+        d = min(config.n_zs, 2)
+        f0, f1 = translated_pair(size=56, dx=d, dy=0, seed=77)
+        field = SMAnalyzer(config).track_pair(f0, f1)
+        if field.valid.any():
+            assert (field.u[field.valid] == float(d)).mean() > 0.95
+
+    @given(trackable_configs(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_dense_reference_agreement_fuzz(self, config, seed):
+        """Dense/per-pixel agreement across the configuration space."""
+        from repro.core.matching import track_pixel
+        from repro.core.semifluid import discriminant_field
+
+        f0, f1 = translated_pair(size=56, dx=1, dy=-1, seed=seed)
+        prep = prepare_frames(f0, f1, config)
+        dense = track_dense(prep)
+        d0 = discriminant_field(f0, config.n_w) if config.is_semifluid else None
+        d1 = discriminant_field(f1, config.n_w) if config.is_semifluid else None
+        x = y = 28
+        u, v, params, err = track_pixel(prep, x, y, d0, d1)
+        assert (u, v) == (dense.u[y, x], dense.v[y, x])
+        np.testing.assert_allclose(params, dense.params[y, x], atol=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for the ACU global operations (MPL primitive set)."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.acu import (
+    active_count,
+    broadcast,
+    compact_values,
+    enumerate_active,
+    global_and,
+    global_or,
+    reduce_argmin,
+    scan_add_cols,
+    scan_add_rows,
+)
+from repro.maspar.machine import scaled_machine
+from repro.maspar.pe_array import PEArray
+
+
+@pytest.fixture()
+def pe():
+    return PEArray(scaled_machine(4, 4))
+
+
+@pytest.fixture()
+def indexed(pe):
+    return pe.from_array(np.arange(16, dtype=float).reshape(4, 4))
+
+
+class TestBroadcast:
+    def test_value_everywhere(self, pe):
+        out = broadcast(pe, 7.5)
+        assert (out.data == 7.5).all()
+
+
+class TestGlobalBooleans:
+    def test_global_or(self, pe):
+        zeros = pe.zeros()
+        assert not global_or(pe, zeros)
+        one = pe.zeros()
+        one.data[2, 3] = 1.0
+        assert global_or(pe, one)
+
+    def test_global_or_respects_mask(self, pe):
+        flag = pe.zeros()
+        flag.data[0, 0] = 1.0
+        iy, _ = pe.iproc()
+        with pe.where(iy > 0):
+            assert not global_or(pe, flag)
+
+    def test_global_and(self, pe):
+        ones = pe.full(1.0)
+        assert global_and(pe, ones)
+        ones.data[1, 1] = 0.0
+        assert not global_and(pe, ones)
+
+    def test_global_and_only_over_active(self, pe):
+        mixed = pe.full(1.0)
+        mixed.data[0, 0] = 0.0
+        iy, ix = pe.iproc()
+        with pe.where((iy > 0) | (ix > 0)):
+            assert global_and(pe, mixed)
+
+
+class TestEnumerate:
+    def test_all_active_raster_order(self, pe):
+        ranks = enumerate_active(pe)
+        np.testing.assert_array_equal(ranks.data.ravel(), np.arange(16))
+
+    def test_masked_enumeration(self, pe):
+        iy, ix = pe.iproc()
+        with pe.where(ix == 0):
+            ranks = enumerate_active(pe)
+        np.testing.assert_array_equal(ranks.data[:, 0], [0, 1, 2, 3])
+        assert (ranks.data[:, 1:] == -1).all()
+
+    def test_active_count(self, pe):
+        assert active_count(pe) == 16
+        iy, _ = pe.iproc()
+        with pe.where(iy < 2):
+            assert active_count(pe) == 8
+
+
+class TestScans:
+    def test_row_scan_full(self, pe, indexed):
+        out = scan_add_rows(pe, indexed)
+        np.testing.assert_array_equal(out.data, np.cumsum(indexed.data, axis=1))
+
+    def test_col_scan_full(self, pe, indexed):
+        out = scan_add_cols(pe, indexed)
+        np.testing.assert_array_equal(out.data, np.cumsum(indexed.data, axis=0))
+
+    def test_masked_scan_skips_inactive(self, pe):
+        ones = pe.full(1.0)
+        _, ix = pe.iproc()
+        with pe.where(ix % 2 == 0):
+            out = scan_add_rows(pe, ones)
+        # inactive columns contribute 0 but pass the total through
+        np.testing.assert_array_equal(out.data[0], [1, 1, 2, 2])
+
+    def test_scan_rejects_layered(self, pe):
+        layered = pe.zeros(inner=(2,))
+        with pytest.raises(ValueError):
+            scan_add_rows(pe, layered)
+
+    def test_scan_charges_communication(self, pe, indexed):
+        before = pe.ledger.phases.get("unattributed")
+        base = before.xnet_shifts if before else 0
+        scan_add_rows(pe, indexed)
+        assert pe.ledger.phases["unattributed"].xnet_shifts > base
+
+
+class TestReduceArgmin:
+    def test_finds_minimum(self, pe, indexed):
+        value, (iy, ix) = reduce_argmin(pe, indexed)
+        assert value == 0.0 and (iy, ix) == (0, 0)
+
+    def test_masked(self, pe, indexed):
+        iy_grid, _ = pe.iproc()
+        with pe.where(iy_grid == 2):
+            value, (iy, ix) = reduce_argmin(pe, indexed)
+        assert value == 8.0 and (iy, ix) == (2, 0)
+
+    def test_tie_break_raster(self, pe):
+        flat = pe.full(3.0)
+        _, (iy, ix) = reduce_argmin(pe, flat)
+        assert (iy, ix) == (0, 0)
+
+    def test_no_active_raises(self, pe, indexed):
+        with pe.where(np.zeros((4, 4), bool)):
+            with pytest.raises(ValueError):
+                reduce_argmin(pe, indexed)
+
+
+class TestCompact:
+    def test_raster_order_values(self, pe, indexed):
+        iy, _ = pe.iproc()
+        with pe.where(iy == 1):
+            out = compact_values(pe, indexed)
+        np.testing.assert_array_equal(out, [4, 5, 6, 7])
+
+    def test_all_active(self, pe, indexed):
+        out = compact_values(pe, indexed)
+        np.testing.assert_array_equal(out, np.arange(16))
+
+    def test_router_charged(self, pe, indexed):
+        compact_values(pe, indexed)
+        assert pe.ledger.phases["unattributed"].router_bytes > 0

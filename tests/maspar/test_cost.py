@@ -1,0 +1,126 @@
+"""Tests for the cost ledger."""
+
+import pytest
+
+from repro.maspar.cost import CostLedger, PhaseCost
+from repro.maspar.machine import GODDARD_MP2, scaled_machine
+
+
+@pytest.fixture()
+def ledger():
+    return CostLedger(GODDARD_MP2)
+
+
+class TestPhaseScoping:
+    def test_default_phase(self, ledger):
+        ledger.charge_flops(100)
+        assert CostLedger.DEFAULT_PHASE in ledger.phases
+
+    def test_named_phase(self, ledger):
+        with ledger.phase("Surface fit"):
+            ledger.charge_flops(2.4e9)
+        assert ledger.phase_seconds("Surface fit") == pytest.approx(1.0)
+        assert ledger.phase_seconds("other") == 0.0
+
+    def test_nested_phases(self, ledger):
+        with ledger.phase("outer"):
+            ledger.charge_flops(2.4e9)
+            with ledger.phase("inner"):
+                ledger.charge_flops(4.8e9)
+        assert ledger.phase_seconds("outer") == pytest.approx(1.0)
+        assert ledger.phase_seconds("inner") == pytest.approx(2.0)
+
+    def test_phase_restored_after_exception(self, ledger):
+        with pytest.raises(RuntimeError):
+            with ledger.phase("x"):
+                raise RuntimeError
+        assert ledger.current_phase == CostLedger.DEFAULT_PHASE
+
+
+class TestConversion:
+    def test_flops_to_seconds(self, ledger):
+        with ledger.phase("p"):
+            ledger.charge_flops(2.4e9 * 3)
+        assert ledger.phase_seconds("p") == pytest.approx(3.0)
+
+    def test_xnet_vs_router_ratio(self, ledger):
+        """The 18x X-net advantage must show in modeled time."""
+        with ledger.phase("xnet"):
+            ledger.charge_xnet(1e9)
+        with ledger.phase("router"):
+            ledger.charge_router(1e9)
+        ratio = ledger.phase_seconds("router") / ledger.phase_seconds("xnet")
+        assert ratio == pytest.approx(GODDARD_MP2.xnet_router_ratio)
+
+    def test_components_add(self, ledger):
+        with ledger.phase("p"):
+            ledger.charge_flops(2.4e9)  # 1 s
+            ledger.charge_xnet(GODDARD_MP2.xnet_bw)  # 1 s
+            ledger.charge_disk(GODDARD_MP2.disk_bw)  # 1 s
+        assert ledger.phase_seconds("p") == pytest.approx(3.0)
+
+    def test_total_sums_phases(self, ledger):
+        with ledger.phase("a"):
+            ledger.charge_flops(2.4e9)
+        with ledger.phase("b"):
+            ledger.charge_flops(4.8e9)
+        assert ledger.total_seconds() == pytest.approx(3.0)
+
+    def test_gaussian_elimination_flops(self, ledger):
+        with ledger.phase("ge"):
+            ledger.charge_gaussian_elimination(1, order=6)
+        cost = ledger.phases["ge"]
+        assert cost.gaussian_eliminations == 1
+        assert cost.flops == pytest.approx((2 / 3) * 216 + 2 * 36)
+
+    def test_paper_ge_count(self, ledger):
+        """1 M surface-fit GEs are cheap on the whole array."""
+        with ledger.phase("fit"):
+            ledger.charge_gaussian_elimination(1048576, order=6)
+        assert ledger.phase_seconds("fit") < 1.0
+
+
+class TestBreakdownAndMerge:
+    def test_breakdown_order(self, ledger):
+        with ledger.phase("first"):
+            ledger.charge_flops(1)
+        with ledger.phase("second"):
+            ledger.charge_flops(1)
+        assert [name for name, _ in ledger.breakdown()] == ["first", "second"]
+
+    def test_merge(self):
+        a = CostLedger(GODDARD_MP2)
+        b = CostLedger(GODDARD_MP2)
+        with a.phase("p"):
+            a.charge_flops(100)
+        with b.phase("p"):
+            b.charge_flops(200)
+        with b.phase("q"):
+            b.charge_xnet(50)
+        a.merge(b)
+        assert a.phases["p"].flops == 300
+        assert a.phases["q"].xnet_bytes == 50
+
+    def test_reset(self, ledger):
+        ledger.charge_flops(10)
+        ledger.reset()
+        assert ledger.total_seconds() == 0.0
+
+    def test_phasecost_merge(self):
+        a = PhaseCost(flops=1, xnet_shifts=2)
+        b = PhaseCost(flops=3, router_sends=1)
+        a.merge(b)
+        assert a.flops == 4 and a.xnet_shifts == 2 and a.router_sends == 1
+
+
+class TestScaledMachineTiming:
+    def test_smaller_machine_is_slower(self):
+        """Same work on fewer PEs takes proportionally longer."""
+        big = CostLedger(GODDARD_MP2)
+        small = CostLedger(scaled_machine(8, 8))
+        for ledger in (big, small):
+            with ledger.phase("w"):
+                ledger.charge_flops(1e9)
+        assert small.phase_seconds("w") / big.phase_seconds("w") == pytest.approx(
+            GODDARD_MP2.n_pes / 64
+        )

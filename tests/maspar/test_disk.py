@@ -1,0 +1,85 @@
+"""Tests for the MPDA parallel disk array model."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.cost import CostLedger
+from repro.maspar.disk import ParallelDiskArray
+from repro.maspar.machine import GODDARD_MP2
+
+
+@pytest.fixture()
+def disk():
+    return ParallelDiskArray(GODDARD_MP2, ledger=CostLedger(GODDARD_MP2))
+
+
+class TestFrameStore:
+    def test_write_read_roundtrip(self, disk):
+        frame = np.arange(64, dtype=np.float32).reshape(8, 8)
+        disk.write_frame("t0", frame)
+        out = disk.read_frame("t0")
+        np.testing.assert_array_equal(out, frame)
+
+    def test_read_returns_copy(self, disk):
+        frame = np.zeros((4, 4))
+        disk.write_frame("a", frame)
+        out = disk.read_frame("a")
+        out[0, 0] = 9.0
+        assert disk.read_frame("a")[0, 0] == 0.0
+
+    def test_write_detached_from_source(self, disk):
+        frame = np.zeros((4, 4))
+        disk.write_frame("a", frame)
+        frame[0, 0] = 5.0
+        assert disk.read_frame("a")[0, 0] == 0.0
+
+    def test_missing_frame(self, disk):
+        with pytest.raises(KeyError):
+            disk.read_frame("nope")
+
+    def test_contains_len(self, disk):
+        disk.write_frame("x", np.zeros((2, 2)))
+        assert "x" in disk and "y" not in disk
+        assert len(disk) == 1
+
+    def test_byte_counters(self, disk):
+        frame = np.zeros((8, 8), dtype=np.float64)
+        disk.write_frame("a", frame)
+        disk.read_frame("a")
+        disk.read_frame("a")
+        assert disk.bytes_written == frame.nbytes
+        assert disk.bytes_read == 2 * frame.nbytes
+        assert disk.stored_bytes == frame.nbytes
+
+
+class TestCostModel:
+    def test_transfer_seconds(self, disk):
+        assert disk.transfer_seconds(GODDARD_MP2.disk_bw) == pytest.approx(1.0)
+
+    def test_negative_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.transfer_seconds(-1)
+
+    def test_ledger_charged(self, disk):
+        frame = np.zeros((64, 64))
+        disk.write_frame("a", frame)
+        disk.read_frame("a")
+        cost = disk.ledger.phases["unattributed"]
+        assert cost.disk_bytes == 2 * frame.nbytes
+
+    def test_luis_sequence_streaming_time(self, disk):
+        """490 frames of 512x512 float32 stream in minutes, not hours --
+        the throughput that made the Luis run feasible (Section 3.1)."""
+        frame_bytes = 512 * 512 * 4
+        total = 490 * frame_bytes
+        seconds = disk.transfer_seconds(total)
+        assert seconds < 300.0  # well under the compute time per pair
+
+
+class TestStripes:
+    def test_stripe_layout_conserves_bytes(self, disk):
+        frame = np.zeros((10, 10), dtype=np.float32)  # 400 B over 8 stripes
+        layout = disk.stripe_layout(frame)
+        assert len(layout) == 8
+        assert sum(layout) == frame.nbytes
+        assert max(layout) - min(layout) <= 1

@@ -1,0 +1,97 @@
+"""Tests for the MP-2 machine description (Section 3.1 figures)."""
+
+import pytest
+
+from repro.maspar.machine import GB, GODDARD_MP2, KB, MachineConfig, scaled_machine
+
+
+class TestGoddardMP2:
+    def test_pe_count(self):
+        """'maximally configured with 16384 processors ... 128 x 128'."""
+        assert GODDARD_MP2.n_pes == 16384
+        assert GODDARD_MP2.nyproc == GODDARD_MP2.nxproc == 128
+
+    def test_clock(self):
+        """'an 80 ns clock cycle (12.5 MHz)'."""
+        assert GODDARD_MP2.clock_hz == 12.5e6
+        assert GODDARD_MP2.cycle_seconds == pytest.approx(80e-9)
+
+    def test_pe_memory(self):
+        """'64 KB per PE for an aggregate total of one gigabyte'."""
+        assert GODDARD_MP2.pe_memory_bytes == 64 * KB
+        assert GODDARD_MP2.total_memory_bytes == 1 * GB
+
+    def test_registers(self):
+        """'40 user accessible ... 32-bit registers'."""
+        assert GODDARD_MP2.registers_per_pe == 40
+
+    def test_xnet_router_ratio(self):
+        """'the X-net bandwidth is 18 times higher than router communication'."""
+        assert GODDARD_MP2.xnet_router_ratio == pytest.approx(23.0 / 1.3, rel=1e-12)
+        assert round(GODDARD_MP2.xnet_router_ratio) == 18
+
+    def test_memory_bandwidths(self):
+        """'22.4 GB/s for direct plural ... 10.6 GB/s for indirect'."""
+        assert GODDARD_MP2.mem_direct_bw == pytest.approx(22.4 * GB)
+        assert GODDARD_MP2.mem_indirect_bw == pytest.approx(10.6 * GB)
+
+    def test_flops(self):
+        """'2.4 GFlops for double precision', 60% of 6.3 GFlops single."""
+        assert GODDARD_MP2.flops_double == pytest.approx(2.4e9)
+        assert GODDARD_MP2.flops_single == pytest.approx(0.6 * 6.3e9)
+
+    def test_integer_rate(self):
+        """'68 billion integer instructions per second'."""
+        assert GODDARD_MP2.ips_integer == pytest.approx(68e9)
+
+    def test_disk(self):
+        """MPDA 'sustained performance of over 30 MB/s'."""
+        assert GODDARD_MP2.disk_bw == pytest.approx(30 * 1024 * 1024)
+
+
+class TestLayout:
+    def test_layers_for_paper_image(self):
+        """'to map a 512 x 512 image onto a 128 x 128 PE array would
+        require storing 16 pixels per PE'."""
+        assert GODDARD_MP2.layers_for_image(512, 512) == 16
+
+    def test_layers_for_small_image(self):
+        assert GODDARD_MP2.layers_for_image(128, 128) == 1
+
+    def test_layers_round_up(self):
+        assert GODDARD_MP2.layers_for_image(129, 128) == 2
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            GODDARD_MP2.layers_for_image(0, 512)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_grid(self):
+        with pytest.raises(ValueError):
+            MachineConfig(nyproc=0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            MachineConfig(xnet_bw=0)
+
+
+class TestScaledMachine:
+    def test_per_pe_rates_preserved(self):
+        small = scaled_machine(8, 8)
+        full = GODDARD_MP2
+        ratio = small.n_pes / full.n_pes
+        assert small.flops_double == pytest.approx(full.flops_double * ratio)
+        assert small.xnet_bw == pytest.approx(full.xnet_bw * ratio)
+        assert small.router_bw == pytest.approx(full.router_bw * ratio)
+        assert small.pe_memory_bytes == full.pe_memory_bytes
+        assert small.clock_hz == full.clock_hz
+
+    def test_xnet_router_ratio_invariant(self):
+        assert scaled_machine(4, 4).xnet_router_ratio == pytest.approx(
+            GODDARD_MP2.xnet_router_ratio
+        )
+
+    def test_memory_override(self):
+        small = scaled_machine(8, 8, pe_memory_bytes=1024)
+        assert small.pe_memory_bytes == 1024

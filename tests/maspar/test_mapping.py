@@ -1,0 +1,178 @@
+"""Tests for the 2-D hierarchical and cut-and-stack data mappings."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.machine import GODDARD_MP2
+from repro.maspar.mapping import CutAndStackMapping, HierarchicalMapping, mapping_for
+
+
+@pytest.fixture()
+def fig2_mapping():
+    """The Fig. 2 case: M x N = 4 x 4 on nyproc = nxproc = 2."""
+    return HierarchicalMapping(height=4, width=4, nyproc=2, nxproc=2)
+
+
+@pytest.fixture()
+def paper_mapping():
+    """512 x 512 on the full 128 x 128 grid."""
+    return HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+
+
+class TestGeometry:
+    def test_virtualization_ratios(self, paper_mapping):
+        assert paper_mapping.yvr == 4
+        assert paper_mapping.xvr == 4
+        assert paper_mapping.layers == 16
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            HierarchicalMapping(height=10, width=8, nyproc=4, nxproc=4)
+
+    def test_mapping_for(self):
+        m = mapping_for(GODDARD_MP2, 512, 512)
+        assert (m.nyproc, m.nxproc) == (128, 128)
+
+
+class TestEquation12:
+    def test_forward_formula(self, fig2_mapping):
+        """Eq. (12) on the Fig. 2 example: pixel (x=3, y=2)."""
+        iy, ix, mem = fig2_mapping.to_pe(3, 2)
+        assert (iy, ix) == (1, 1)
+        assert mem == (3 % 2) + 2 * (2 % 2)  # = 1
+
+    def test_inverse_formula(self, fig2_mapping):
+        x, y = fig2_mapping.to_pixel(1, 1, 1)
+        assert (x, y) == (3, 2)
+
+    def test_bijection_exhaustive(self, fig2_mapping):
+        seen = set()
+        for y in range(4):
+            for x in range(4):
+                triple = tuple(int(v) for v in fig2_mapping.to_pe(x, y))
+                assert triple not in seen
+                seen.add(triple)
+                bx, by = fig2_mapping.to_pixel(*triple)
+                assert (int(bx), int(by)) == (x, y)
+        assert len(seen) == 16
+
+    def test_vectorized(self, paper_mapping):
+        xs = np.arange(0, 512, 37)
+        ys = (xs * 3 + 11) % 512
+        iy, ix, mem = paper_mapping.to_pe(xs, ys)
+        bx, by = paper_mapping.to_pixel(iy, ix, mem)
+        np.testing.assert_array_equal(bx, xs)
+        np.testing.assert_array_equal(by, ys)
+
+    def test_out_of_bounds_rejected(self, fig2_mapping):
+        with pytest.raises(ValueError):
+            fig2_mapping.to_pe(4, 0)
+        with pytest.raises(ValueError):
+            fig2_mapping.to_pixel(0, 0, 4)
+
+    def test_neighboring_pixels_on_neighboring_pes(self, paper_mapping):
+        """The property the paper chose the mapping for: adjacent pixels
+        are either co-resident or on mesh-adjacent PEs."""
+        for (x, y) in [(3, 3), (4, 4), (100, 255), (511, 0)]:
+            iy0, ix0, _ = paper_mapping.to_pe(x, y)
+            for dx, dy in ((1, 0), (0, 1)):
+                nx_, ny_ = x + dx, y + dy
+                if nx_ >= 512 or ny_ >= 512:
+                    continue
+                iy1, ix1, _ = paper_mapping.to_pe(nx_, ny_)
+                assert abs(int(iy1) - int(iy0)) <= 1
+                assert abs(int(ix1) - int(ix0)) <= 1
+
+
+class TestScatterGather:
+    def test_roundtrip_hierarchical(self, paper_mapping):
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=(512, 512))
+        plural = paper_mapping.scatter(img)
+        assert plural.shape == (16, 128, 128)
+        np.testing.assert_array_equal(paper_mapping.gather(plural), img)
+
+    def test_scatter_places_by_formula(self, fig2_mapping):
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        plural = fig2_mapping.scatter(img)
+        for y in range(4):
+            for x in range(4):
+                iy, ix, mem = fig2_mapping.to_pe(x, y)
+                assert plural[int(mem), int(iy), int(ix)] == img[y, x]
+
+    def test_roundtrip_with_extra_axes(self, fig2_mapping):
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=(4, 4, 3))
+        np.testing.assert_array_equal(
+            fig2_mapping.gather(fig2_mapping.scatter(img)), img
+        )
+
+    def test_scatter_shape_checked(self, fig2_mapping):
+        with pytest.raises(ValueError):
+            fig2_mapping.scatter(np.zeros((5, 4)))
+
+    def test_gather_shape_checked(self, fig2_mapping):
+        with pytest.raises(ValueError):
+            fig2_mapping.gather(np.zeros((3, 2, 2)))
+
+
+class TestCutAndStack:
+    def test_bijection(self):
+        m = CutAndStackMapping(height=8, width=8, nyproc=4, nxproc=4)
+        seen = set()
+        for y in range(8):
+            for x in range(8):
+                triple = tuple(int(v) for v in m.to_pe(x, y))
+                assert triple not in seen
+                seen.add(triple)
+                bx, by = m.to_pixel(*triple)
+                assert (int(bx), int(by)) == (x, y)
+
+    def test_adjacent_pixels_on_different_pes(self):
+        """Under cut-and-stack every non-coincident pixel pair within a
+        tile lives on different PEs."""
+        m = CutAndStackMapping(height=8, width=8, nyproc=4, nxproc=4)
+        iy0, ix0, _ = m.to_pe(1, 1)
+        iy1, ix1, _ = m.to_pe(2, 1)
+        assert (int(iy0), int(ix0)) != (int(iy1), int(ix1))
+
+    def test_roundtrip_scatter(self):
+        m = CutAndStackMapping(height=8, width=12, nyproc=4, nxproc=4)
+        rng = np.random.default_rng(2)
+        img = rng.normal(size=(8, 12))
+        plural = m.scatter(img)
+        assert plural.shape == (6, 4, 4)
+        np.testing.assert_array_equal(m.gather(plural), img)
+
+    def test_scatter_places_by_formula(self):
+        m = CutAndStackMapping(height=4, width=4, nyproc=2, nxproc=2)
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        plural = m.scatter(img)
+        for y in range(4):
+            for x in range(4):
+                iy, ix, mem = m.to_pe(x, y)
+                assert plural[int(mem), int(iy), int(ix)] == img[y, x]
+
+
+class TestCommunicationComparison:
+    """Section 3.2: the hierarchical mapping 'reduces the total number of
+    mesh transfers needed to fetch all pixels within a local
+    neighborhood' relative to cut-and-stack."""
+
+    def test_hierarchical_fewer_crossings(self, paper_mapping):
+        cas = CutAndStackMapping(height=512, width=512, nyproc=128, nxproc=128)
+        for n in (1, 2, 6, 60):
+            assert paper_mapping.boundary_crossings(n) < cas.boundary_crossings(n)
+
+    def test_cut_and_stack_everything_crosses(self):
+        cas = CutAndStackMapping(height=512, width=512, nyproc=128, nxproc=128)
+        assert cas.boundary_crossings(1) == 8
+        assert cas.boundary_crossings(6) == 168
+
+    def test_hierarchical_local_window_free(self, paper_mapping):
+        """A window smaller than the per-PE block needs no mesh data for
+        a well-placed pixel."""
+        assert paper_mapping.boundary_crossings(1) == 9 - 9  # 3x3 inside 4x4 block
+
+    def test_snake_shift_count(self, paper_mapping):
+        assert paper_mapping.neighborhood_mesh_shifts(6) == 13 * 13 - 1

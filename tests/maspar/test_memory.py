@@ -1,0 +1,97 @@
+"""Tests for PE memory accounting."""
+
+import pytest
+
+from repro.maspar.memory import PEMemoryError, PEMemoryTracker
+
+
+class TestAllocation:
+    def test_basic_allocate_free(self):
+        tracker = PEMemoryTracker(1000)
+        h = tracker.allocate(400, "a")
+        assert tracker.used_bytes == 400
+        assert tracker.free_bytes == 600
+        tracker.free(h)
+        assert tracker.used_bytes == 0
+
+    def test_exact_fit_allowed(self):
+        tracker = PEMemoryTracker(100)
+        tracker.allocate(100)
+        assert tracker.free_bytes == 0
+
+    def test_over_capacity_raises(self):
+        tracker = PEMemoryTracker(64 * 1024)
+        with pytest.raises(PEMemoryError, match="over"):
+            tracker.allocate(67712, "template mappings")  # the paper's 67.7 KB case
+
+    def test_cumulative_overflow(self):
+        tracker = PEMemoryTracker(100)
+        tracker.allocate(60)
+        with pytest.raises(PEMemoryError):
+            tracker.allocate(50)
+
+    def test_failed_allocation_charges_nothing(self):
+        tracker = PEMemoryTracker(100)
+        with pytest.raises(PEMemoryError):
+            tracker.allocate(200)
+        assert tracker.used_bytes == 0
+
+    def test_zero_allocation_ok(self):
+        tracker = PEMemoryTracker(10)
+        tracker.allocate(0)
+        assert tracker.used_bytes == 0
+
+    def test_negative_rejected(self):
+        tracker = PEMemoryTracker(10)
+        with pytest.raises(ValueError):
+            tracker.allocate(-1)
+
+    def test_double_free_rejected(self):
+        tracker = PEMemoryTracker(100)
+        h = tracker.allocate(10)
+        tracker.free(h)
+        with pytest.raises(KeyError):
+            tracker.free(h)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PEMemoryTracker(0)
+
+
+class TestBookkeeping:
+    def test_peak_watermark(self):
+        tracker = PEMemoryTracker(1000)
+        a = tracker.allocate(600)
+        tracker.free(a)
+        tracker.allocate(100)
+        assert tracker.peak_bytes == 600
+
+    def test_would_fit(self):
+        tracker = PEMemoryTracker(100)
+        tracker.allocate(60)
+        assert tracker.would_fit(40)
+        assert not tracker.would_fit(41)
+        assert not tracker.would_fit(-1)
+
+    def test_ledger_rows(self):
+        tracker = PEMemoryTracker(1000)
+        tracker.allocate(10, "images")
+        tracker.allocate(20, "geometry")
+        assert ("images", 10) in tracker.ledger()
+        assert ("geometry", 20) in tracker.ledger()
+
+    def test_reset_keeps_peak(self):
+        tracker = PEMemoryTracker(1000)
+        tracker.allocate(500)
+        tracker.reset()
+        assert tracker.used_bytes == 0
+        assert tracker.peak_bytes == 500
+
+    def test_conservation(self):
+        """used == sum of live allocations at every step."""
+        tracker = PEMemoryTracker(10_000)
+        handles = [tracker.allocate(i * 10, f"x{i}") for i in range(1, 11)]
+        assert tracker.used_bytes == sum(i * 10 for i in range(1, 11))
+        for h in handles[::2]:
+            tracker.free(h)
+        assert tracker.used_bytes == sum(a for _, a in tracker.ledger())

@@ -1,0 +1,181 @@
+"""Tests for plural data and the SIMD execution model."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.machine import scaled_machine
+from repro.maspar.memory import PEMemoryError
+from repro.maspar.pe_array import PEArray
+
+
+@pytest.fixture()
+def pe():
+    return PEArray(scaled_machine(4, 4))
+
+
+class TestPluralConstruction:
+    def test_zeros(self, pe):
+        p = pe.zeros()
+        assert p.data.shape == (4, 4)
+        assert p.elements_per_pe == 1
+        assert p.bytes_per_pe == 8
+
+    def test_layered(self, pe):
+        p = pe.zeros(inner=(16,))
+        assert p.data.shape == (4, 4, 16)
+        assert p.bytes_per_pe == 16 * 8
+
+    def test_full(self, pe):
+        p = pe.full(3.5)
+        assert (p.data == 3.5).all()
+
+    def test_from_array_copies(self, pe):
+        src = np.ones((4, 4))
+        p = pe.from_array(src)
+        src[0, 0] = 99.0
+        assert p.data[0, 0] == 1.0
+
+    def test_shape_validated(self, pe):
+        with pytest.raises(ValueError):
+            pe.from_array(np.zeros((3, 4)))
+
+    def test_allocation_charged(self, pe):
+        before = pe.memory.used_bytes
+        pe.zeros(inner=(8,), dtype=np.float32)
+        assert pe.memory.used_bytes == before + 8 * 4
+
+    def test_free_releases(self, pe):
+        p = pe.zeros(inner=(100,))
+        used = pe.memory.used_bytes
+        p.free()
+        assert pe.memory.used_bytes < used
+
+    def test_memory_exhaustion(self):
+        pe = PEArray(scaled_machine(2, 2, pe_memory_bytes=64))
+        pe.zeros(inner=(8,))  # 64 bytes
+        with pytest.raises(PEMemoryError):
+            pe.zeros()
+
+
+class TestArithmetic:
+    def test_add(self, pe):
+        a = pe.full(2.0)
+        b = pe.full(3.0)
+        assert ((a + b).data == 5.0).all()
+
+    def test_scalar_ops(self, pe):
+        a = pe.full(2.0)
+        assert ((a * 4.0).data == 8.0).all()
+        assert ((10.0 - a).data == 8.0).all()
+        assert ((a / 2.0).data == 1.0).all()
+
+    def test_flops_charged(self, pe):
+        a = pe.full(1.0)
+        before = pe.ledger.phases.get("unattributed")
+        base = before.flops if before else 0.0
+        _ = a + a
+        assert pe.ledger.phases["unattributed"].flops == base + 16
+
+    def test_iproc(self, pe):
+        iy, ix = pe.iproc()
+        assert iy[2, 3] == 2 and ix[2, 3] == 3
+
+
+class TestActivityMask:
+    def test_where_masks_assign(self, pe):
+        dst = pe.zeros()
+        src = pe.full(7.0)
+        iy, _ = pe.iproc()
+        with pe.where(iy < 2):
+            pe.assign(dst, src)
+        assert (dst.data[:2] == 7.0).all()
+        assert (dst.data[2:] == 0.0).all()
+
+    def test_nested_where_intersects(self, pe):
+        dst = pe.zeros()
+        iy, ix = pe.iproc()
+        with pe.where(iy < 2):
+            with pe.where(ix < 2):
+                pe.assign(dst, 1.0)
+        assert dst.data[:2, :2].sum() == 4.0
+        assert dst.data.sum() == 4.0
+
+    def test_mask_restored(self, pe):
+        iy, _ = pe.iproc()
+        with pe.where(iy == 0):
+            pass
+        assert pe.active.all()
+
+    def test_where_shape_checked(self, pe):
+        with pytest.raises(ValueError):
+            with pe.where(np.ones((2, 2), bool)):
+                pass
+
+    def test_masked_assign_layered(self, pe):
+        dst = pe.zeros(inner=(3,))
+        iy, _ = pe.iproc()
+        with pe.where(iy == 1):
+            pe.assign(dst, 5.0)
+        assert (dst.data[1] == 5.0).all()
+        assert dst.data[0].sum() == 0.0
+
+    def test_active_readonly(self, pe):
+        with pytest.raises(ValueError):
+            pe.active[0, 0] = False
+
+
+class TestReductions:
+    def test_reduce_sum_all_active(self, pe):
+        p = pe.full(2.0)
+        assert pe.reduce_sum(p) == pytest.approx(32.0)
+
+    def test_reduce_sum_masked(self, pe):
+        p = pe.full(1.0)
+        iy, _ = pe.iproc()
+        with pe.where(iy == 0):
+            assert pe.reduce_sum(p) == pytest.approx(4.0)
+
+    def test_reduce_min(self, pe):
+        p = pe.from_array(np.arange(16, dtype=float).reshape(4, 4))
+        assert pe.reduce_min(p) == 0.0
+
+    def test_reduce_min_masked(self, pe):
+        p = pe.from_array(np.arange(16, dtype=float).reshape(4, 4))
+        iy, _ = pe.iproc()
+        with pe.where(iy == 3):
+            assert pe.reduce_min(p) == 12.0
+
+
+class TestScopes:
+    def test_scope_frees_temporaries(self, pe):
+        base = pe.memory.used_bytes
+        with pe.scope():
+            a = pe.full(1.0)
+            b = a + a
+            _ = b * 2.0
+        assert pe.memory.used_bytes == base
+
+    def test_outer_values_survive(self, pe):
+        keep = pe.zeros()
+        with pe.scope():
+            tmp = pe.full(3.0)
+            pe.assign(keep, tmp)
+        assert (keep.data == 3.0).all()
+        assert keep._handle is not None
+
+    def test_nested_scopes(self, pe):
+        base = pe.memory.used_bytes
+        with pe.scope():
+            pe.full(1.0)
+            with pe.scope():
+                pe.full(2.0)
+            inner_freed = pe.memory.used_bytes
+            assert inner_freed == base + 8
+        assert pe.memory.used_bytes == base
+
+    def test_explicit_free_inside_scope_ok(self, pe):
+        with pe.scope():
+            a = pe.full(1.0)
+            a.free()
+        # double-free must not happen on scope exit
+        assert pe.memory.used_bytes == 0

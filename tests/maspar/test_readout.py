@@ -1,0 +1,129 @@
+"""Tests for the Section 4.2 neighborhood read-out schemes."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.cost import CostLedger
+from repro.maspar.machine import GODDARD_MP2, scaled_machine
+from repro.maspar.mapping import HierarchicalMapping
+from repro.maspar.readout import (
+    DEFAULT_READOUT,
+    RasterScanReadout,
+    SnakeReadout,
+    window_stack,
+)
+
+
+@pytest.fixture()
+def mapping():
+    return HierarchicalMapping(height=16, width=16, nyproc=4, nxproc=4)
+
+
+@pytest.fixture()
+def paper_mapping():
+    return HierarchicalMapping(height=512, width=512, nyproc=128, nxproc=128)
+
+
+class TestWindowStack:
+    def test_contents(self):
+        img = np.arange(20, dtype=float).reshape(4, 5)
+        out = window_stack(img, 1)
+        assert out.shape == (3, 3, 4, 5)
+        # offset (0, 0) is the image itself
+        np.testing.assert_array_equal(out[1, 1], img)
+        # offset (-1, -1): value of the upper-left neighbor
+        assert out[0, 0][2, 2] == img[1, 1]
+        # offset (+1, +1)
+        assert out[2, 2][1, 1] == img[2, 2]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            window_stack(np.zeros((4, 4)), -1)
+
+
+class TestSnakePath:
+    def test_length(self):
+        path = SnakeReadout.snake_path(2)
+        assert len(path) == 25
+
+    def test_unit_steps(self):
+        """Consecutive snake offsets differ by one 8-way mesh hop."""
+        path = SnakeReadout.snake_path(3)
+        for (ay, ax), (by, bx) in zip(path, path[1:]):
+            assert max(abs(by - ay), abs(bx - ax)) == 1
+
+    def test_covers_window(self):
+        path = SnakeReadout.snake_path(2)
+        assert set(path) == {(dy, dx) for dy in range(-2, 3) for dx in range(-2, 3)}
+
+
+class TestSchemeEquivalence:
+    """Both read-out schemes must deliver identical data (they differ
+    only in communication pattern)."""
+
+    def test_same_windows(self, mapping):
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=(16, 16))
+        snake = SnakeReadout().run(img, mapping, 2)
+        raster = RasterScanReadout().run(img, mapping, 2)
+        np.testing.assert_array_equal(snake, raster)
+
+    def test_shape_validated(self, mapping):
+        with pytest.raises(ValueError):
+            SnakeReadout().run(np.zeros((8, 8)), mapping, 1)
+
+
+class TestCosts:
+    def test_snake_shift_count(self, mapping):
+        stats = SnakeReadout().stats(mapping, 2)
+        # 5x5 window: 24 unit steps along the snake plus the N diagonal
+        # hops positioning the plane at the (-N, -N) corner.
+        assert stats.mesh_shifts == 24 + 2
+
+    def test_raster_bounding_box(self, paper_mapping):
+        """Table 1 scale: receiving block position (0, 0) with N = 60 on
+        yvr = 4 spans PE rows floor(-60/4)..floor(60/4) -> 31 PEs."""
+        bby, bbx = RasterScanReadout.pe_bounding_box(paper_mapping, 60, 0, 0)
+        assert (bby, bbx) == (31, 31)
+
+    def test_raster_small_window_stays_local(self, paper_mapping):
+        """A 5x5 window on a 4x4 block touches at most 3 PE rows."""
+        bby, bbx = RasterScanReadout.pe_bounding_box(paper_mapping, 2, 2, 2)
+        assert bby <= 3 and bbx <= 3
+
+    def test_raster_faster_at_paper_scale(self, paper_mapping):
+        """Section 4.2: 'this approach was found to be faster and was
+        thus incorporated within the implementation'."""
+        m = GODDARD_MP2
+        snake = SnakeReadout().stats(paper_mapping, 60)
+        raster = RasterScanReadout().stats(paper_mapping, 60)
+        t_snake = snake.seconds(m.xnet_bw, m.mem_direct_bw)
+        t_raster = raster.seconds(m.xnet_bw, m.mem_direct_bw)
+        assert t_raster < t_snake
+
+    def test_default_is_raster(self):
+        assert isinstance(DEFAULT_READOUT, RasterScanReadout)
+
+    def test_costs_charged_to_ledger(self, mapping):
+        machine = scaled_machine(4, 4)
+        ledger = CostLedger(machine)
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=(16, 16))
+        with ledger.phase("readout"):
+            RasterScanReadout().run(img, mapping, 2, ledger)
+        cost = ledger.phases["readout"]
+        assert cost.xnet_shifts > 0
+        assert cost.xnet_bytes > 0
+        assert cost.mem_bytes > 0
+
+    def test_single_layer_mapping_needs_mesh(self):
+        """With one pixel per PE every window fetch crosses PEs."""
+        mapping = HierarchicalMapping(height=8, width=8, nyproc=8, nxproc=8)
+        stats = RasterScanReadout().stats(mapping, 1)
+        assert stats.mesh_shifts > 0
+
+    def test_stats_scale_with_window(self, mapping):
+        small = RasterScanReadout().stats(mapping, 1)
+        large = RasterScanReadout().stats(mapping, 4)
+        assert large.mesh_bytes > small.mesh_bytes
+        assert large.mem_bytes > small.mem_bytes

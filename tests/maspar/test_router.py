@@ -1,0 +1,79 @@
+"""Tests for global-router communication."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.machine import scaled_machine
+from repro.maspar.pe_array import PEArray
+from repro.maspar.router import mesh_equivalent_seconds, router_gather, router_send
+
+
+@pytest.fixture()
+def pe():
+    return PEArray(scaled_machine(4, 4))
+
+
+@pytest.fixture()
+def indexed(pe):
+    return pe.from_array(np.arange(16, dtype=float).reshape(4, 4))
+
+
+class TestRouterSend:
+    def test_transpose_permutation(self, pe, indexed):
+        iy, ix = pe.iproc()
+        out = router_send(indexed, ix, iy)  # send to transposed position
+        np.testing.assert_array_equal(out.data, indexed.data.T)
+
+    def test_identity_permutation(self, pe, indexed):
+        iy, ix = pe.iproc()
+        out = router_send(indexed, iy, ix)
+        np.testing.assert_array_equal(out.data, indexed.data)
+
+    def test_conflict_detected(self, pe, indexed):
+        dest = np.zeros((4, 4), dtype=int)
+        with pytest.raises(ValueError, match="conflict"):
+            router_send(indexed, dest, dest)
+
+    def test_out_of_grid_rejected(self, pe, indexed):
+        iy, ix = pe.iproc()
+        with pytest.raises(ValueError):
+            router_send(indexed, iy + 10, ix)
+
+    def test_shape_checked(self, pe, indexed):
+        with pytest.raises(ValueError):
+            router_send(indexed, np.zeros((2, 2), int), np.zeros((2, 2), int))
+
+    def test_router_cost_charged(self, pe, indexed):
+        iy, ix = pe.iproc()
+        router_send(indexed, ix, iy)
+        cost = pe.ledger.phases["unattributed"]
+        assert cost.router_sends == 1
+        assert cost.router_bytes == indexed.data.nbytes
+
+
+class TestRouterGather:
+    def test_gather_semantics(self, pe, indexed):
+        iy, ix = pe.iproc()
+        out = router_gather(indexed, ix, iy)
+        np.testing.assert_array_equal(out.data, indexed.data[ix, iy])
+
+    def test_broadcast_fanout_charged(self, pe, indexed):
+        src_y = np.zeros((4, 4), dtype=int)
+        src_x = np.zeros((4, 4), dtype=int)
+        out = router_gather(indexed, src_y, src_x)
+        assert (out.data == indexed.data[0, 0]).all()
+        # all 16 PEs read PE (0,0): fanout 16
+        assert pe.ledger.phases["unattributed"].router_sends == 16
+
+    def test_out_of_grid_rejected(self, pe, indexed):
+        bad = np.full((4, 4), -1)
+        with pytest.raises(ValueError):
+            router_gather(indexed, bad, bad)
+
+
+class TestBandwidthComparison:
+    def test_mesh_equivalent_ratio(self, pe):
+        """The paper's 18x figure, measurable through the cost model."""
+        xnet_s, router_s = mesh_equivalent_seconds(pe, 1e9)
+        assert router_s / xnet_s == pytest.approx(pe.machine.xnet_router_ratio)
+        assert round(router_s / xnet_s) == 18

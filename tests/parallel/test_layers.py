@@ -1,0 +1,97 @@
+"""Tests for memory-layer scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.mapping import HierarchicalMapping
+from repro.parallel.layers import (
+    assemble_from_layers,
+    iter_layers,
+    layer_pixel_coordinates,
+    layer_plane,
+    set_layer_plane,
+)
+
+
+@pytest.fixture()
+def mapping():
+    return HierarchicalMapping(height=8, width=8, nyproc=4, nxproc=4)
+
+
+@pytest.fixture()
+def image():
+    return np.arange(64, dtype=float).reshape(8, 8)
+
+
+class TestLayerPlane:
+    def test_plane_shape(self, mapping, image):
+        plane = layer_plane(image, mapping, 0)
+        assert plane.shape == (4, 4)
+
+    def test_plane_contents_match_inverse_mapping(self, mapping, image):
+        for mem in range(mapping.layers):
+            plane = layer_plane(image, mapping, mem)
+            x, y = layer_pixel_coordinates(mapping, mem)
+            np.testing.assert_array_equal(plane, image[y, x])
+
+    def test_layer_out_of_range(self, mapping, image):
+        with pytest.raises(ValueError):
+            layer_plane(image, mapping, mapping.layers)
+
+    def test_shape_mismatch(self, mapping):
+        with pytest.raises(ValueError):
+            layer_plane(np.zeros((4, 4)), mapping, 0)
+
+
+class TestSetLayerPlane:
+    def test_roundtrip(self, mapping, image):
+        out = np.zeros_like(image)
+        for mem in range(mapping.layers):
+            set_layer_plane(out, mapping, mem, layer_plane(image, mapping, mem))
+        np.testing.assert_array_equal(out, image)
+
+    def test_plane_shape_checked(self, mapping, image):
+        with pytest.raises(ValueError):
+            set_layer_plane(image, mapping, 0, np.zeros((2, 2)))
+
+
+class TestIteration:
+    def test_iter_layers_order_and_count(self, mapping, image):
+        layers = list(iter_layers(image, mapping))
+        assert [mem for mem, _ in layers] == list(range(mapping.layers))
+
+    def test_layers_partition_image(self, mapping, image):
+        """Every pixel appears in exactly one layer plane."""
+        collected = np.concatenate(
+            [plane.ravel() for _, plane in iter_layers(image, mapping)]
+        )
+        assert sorted(collected.tolist()) == sorted(image.ravel().tolist())
+
+    def test_assemble_from_layers(self, mapping, image):
+        planes = [plane for _, plane in iter_layers(image, mapping)]
+        np.testing.assert_array_equal(assemble_from_layers(planes, mapping), image)
+
+    def test_assemble_validates_count(self, mapping):
+        with pytest.raises(ValueError):
+            assemble_from_layers([np.zeros((4, 4))], mapping)
+
+
+class TestCoordinates:
+    def test_coordinates_in_bounds(self, mapping):
+        for mem in range(mapping.layers):
+            x, y = layer_pixel_coordinates(mapping, mem)
+            assert (x >= 0).all() and (x < 8).all()
+            assert (y >= 0).all() and (y < 8).all()
+
+    def test_each_pixel_exactly_once(self, mapping):
+        seen = set()
+        for mem in range(mapping.layers):
+            x, y = layer_pixel_coordinates(mapping, mem)
+            for xi, yi in zip(x.ravel(), y.ravel()):
+                assert (xi, yi) not in seen
+                seen.add((int(xi), int(yi)))
+        assert len(seen) == 64
+
+    def test_out_of_range(self, mapping):
+        with pytest.raises(ValueError):
+            layer_pixel_coordinates(mapping, -1)

@@ -1,0 +1,111 @@
+"""Tests for the Section 4.3 PE memory budget."""
+
+import pytest
+
+from repro.maspar.machine import GODDARD_MP2, scaled_machine
+from repro.params import FREDERIC_CONFIG, NeighborhoodConfig
+from repro.parallel.memory_plan import (
+    max_feasible_segment_rows,
+    plan,
+    segments_for,
+    template_mapping_bytes,
+)
+
+
+class TestPaperExample:
+    def test_67_7_kb_example_exact(self):
+        """'storing just two floating pointing numbers for each
+        precomputed template mapping for a relatively small search area
+        of 23 x 23 and with 16 pixel elements stored per PE would still
+        require 67.7 KB per PE'."""
+        bytes_needed = template_mapping_bytes(search_half_width=11, layers=16)
+        assert bytes_needed == 67712  # 67.7 KB decimal
+        assert bytes_needed > GODDARD_MP2.pe_memory_bytes
+
+    def test_frederic_unsegmented_fits(self):
+        """Table 2 was produced unsegmented (Z = 2 N_zs + 1): the 13x13
+        search with 16 layers fits in 64 KB."""
+        p = plan(FREDERIC_CONFIG, layers=16)
+        assert p.segment_rows == 13
+        assert p.fits(GODDARD_MP2.pe_memory_bytes)
+
+    def test_23x23_search_needs_segmentation(self):
+        cfg = NeighborhoodConfig(n_w=2, n_zs=11, n_zt=60, n_ss=1, n_st=2)
+        full = plan(cfg, layers=16)
+        assert not full.fits(GODDARD_MP2.pe_memory_bytes)
+        z = max_feasible_segment_rows(cfg, 16, GODDARD_MP2)
+        assert 1 <= z < cfg.search_window
+        assert plan(cfg, 16, z).fits(GODDARD_MP2.pe_memory_bytes)
+
+    def test_paper_segment_definition(self):
+        """'Defining each segment as 2 rows of the (2N_zs+1) x (2N_zs+1)
+        pixel hypothesis neighborhood' -- Z = 2 must always be feasible
+        for the paper's configurations."""
+        cfg = NeighborhoodConfig(n_w=2, n_zs=11, n_zt=60, n_ss=1, n_st=2)
+        assert plan(cfg, 16, 2).fits(GODDARD_MP2.pe_memory_bytes)
+
+
+class TestTemplateMappingBytes:
+    def test_scales_linearly_in_rows(self):
+        full = template_mapping_bytes(6, 16)
+        per_row = template_mapping_bytes(6, 16, rows=1)
+        assert full == 13 * per_row
+
+    def test_scales_linearly_in_layers(self):
+        assert template_mapping_bytes(6, 32) == 2 * template_mapping_bytes(6, 16)
+
+    def test_rows_validated(self):
+        with pytest.raises(ValueError):
+            template_mapping_bytes(6, 16, rows=14)
+        with pytest.raises(ValueError):
+            template_mapping_bytes(6, 16, rows=0)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            template_mapping_bytes(-1, 16)
+
+
+class TestPlan:
+    def test_total_is_sum_of_rows(self):
+        p = plan(FREDERIC_CONFIG, layers=16)
+        assert p.total_bytes == sum(b for _, b in p.rows())
+
+    def test_scratch_constant(self):
+        """The 288-byte constant of the paper's formula."""
+        p = plan(FREDERIC_CONFIG, layers=16)
+        assert p.scratch_bytes == 288
+
+    def test_segment_rows_validated(self):
+        with pytest.raises(ValueError):
+            plan(FREDERIC_CONFIG, layers=16, segment_rows=99)
+
+    def test_layers_validated(self):
+        with pytest.raises(ValueError):
+            plan(FREDERIC_CONFIG, layers=0)
+
+    def test_smaller_segment_less_memory(self):
+        big = plan(FREDERIC_CONFIG, 16, 13)
+        small = plan(FREDERIC_CONFIG, 16, 1)
+        assert small.total_bytes < big.total_bytes
+
+
+class TestFeasibility:
+    def test_max_feasible_is_maximal(self):
+        cfg = NeighborhoodConfig(n_w=2, n_zs=11, n_zt=60, n_ss=1, n_st=2)
+        z = max_feasible_segment_rows(cfg, 16, GODDARD_MP2)
+        assert plan(cfg, 16, z).fits(GODDARD_MP2.pe_memory_bytes)
+        if z < cfg.search_window:
+            assert not plan(cfg, 16, z + 1).fits(GODDARD_MP2.pe_memory_bytes)
+
+    def test_infeasible_returns_zero(self):
+        tiny = scaled_machine(4, 4, pe_memory_bytes=64)
+        assert max_feasible_segment_rows(FREDERIC_CONFIG, 16, tiny) == 0
+
+    def test_segments_for(self):
+        assert segments_for(FREDERIC_CONFIG, 13) == 1
+        assert segments_for(FREDERIC_CONFIG, 2) == 7
+        assert segments_for(FREDERIC_CONFIG, 1) == 13
+
+    def test_segments_for_validated(self):
+        with pytest.raises(ValueError):
+            segments_for(FREDERIC_CONFIG, 0)

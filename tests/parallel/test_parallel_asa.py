@@ -1,0 +1,103 @@
+"""Tests for the parallel ASA (the stereo substrate as a parallel program)."""
+
+import numpy as np
+import pytest
+
+from repro.maspar.machine import scaled_machine
+from repro.maspar.readout import SnakeReadout
+from repro.parallel.parallel_asa import (
+    PHASE_CORRELATION,
+    PHASE_PYRAMID,
+    PHASE_WARP,
+    ParallelASA,
+)
+from repro.stereo.asa import ASAConfig, estimate_disparity
+
+
+@pytest.fixture(scope="module")
+def stereo_pair(frederic_dataset):
+    return frederic_dataset.stereo_pairs[0]
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(8, 8)
+
+
+class TestAgreement:
+    def test_matches_sequential_exactly(self, stereo_pair, machine):
+        """The paper's validation methodology applied to the stereo step."""
+        config = ASAConfig(levels=3)
+        parallel = ParallelASA(machine, config).estimate(stereo_pair.left, stereo_pair.right)
+        sequential = estimate_disparity(stereo_pair.left, stereo_pair.right, config)
+        np.testing.assert_array_equal(parallel.disparity, sequential.disparity)
+
+    def test_surface_map(self, stereo_pair, machine, frederic_dataset):
+        config = ASAConfig(levels=3)
+        z, result = ParallelASA(machine, config).surface_map(
+            stereo_pair.left, stereo_pair.right, stereo_pair.geometry
+        )
+        assert z.shape == stereo_pair.left.shape
+        err = np.abs(z - frederic_dataset.scenes[0].height_km)[12:-12, 12:-12]
+        assert err.mean() < 1.5
+
+
+class TestCostModel:
+    def test_phases_present(self, stereo_pair, machine):
+        result = ParallelASA(machine, ASAConfig(levels=3)).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        names = [name for name, _ in result.breakdown()]
+        assert names == [PHASE_PYRAMID, PHASE_CORRELATION, PHASE_WARP]
+        assert result.total_seconds > 0
+
+    def test_correlation_dominates(self, stereo_pair, machine):
+        """NCC over all candidates is the expensive stage."""
+        result = ParallelASA(machine, ASAConfig(levels=3)).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        phases = dict(result.breakdown())
+        assert phases[PHASE_CORRELATION] > phases[PHASE_PYRAMID]
+        assert phases[PHASE_CORRELATION] > phases[PHASE_WARP]
+
+    def test_stereo_cheap_vs_motion(self, stereo_pair, machine, frederic_dataset):
+        """The paper's pipeline shape: stereo costs seconds, hypothesis
+        matching costs hours -- their ratio at matched scale must be
+        large."""
+        from repro.parallel import ParallelSMA
+
+        asa = ParallelASA(machine, ASAConfig(levels=3)).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        cfg = frederic_dataset.config.replace(n_zs=2, n_zt=3)
+        sma = ParallelSMA(cfg, machine=machine).track_pair(
+            frederic_dataset.frames[0], frederic_dataset.frames[1]
+        )
+        assert sma.total_seconds > 10 * asa.total_seconds
+
+    def test_readout_scheme_matters(self, stereo_pair, machine):
+        raster = ParallelASA(machine, ASAConfig(levels=3)).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        snake = ParallelASA(machine, ASAConfig(levels=3), readout=SnakeReadout()).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        np.testing.assert_array_equal(raster.disparity, snake.disparity)
+        assert snake.total_seconds != raster.total_seconds
+
+    def test_more_levels_more_pyramid_cost(self, stereo_pair, machine):
+        shallow = ParallelASA(machine, ASAConfig(levels=1, coarse_search=6)).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        deep = ParallelASA(machine, ASAConfig(levels=3)).estimate(
+            stereo_pair.left, stereo_pair.right
+        )
+        assert PHASE_PYRAMID not in dict(shallow.breakdown())
+        assert dict(deep.breakdown())[PHASE_PYRAMID] > 0
+
+
+class TestValidation:
+    def test_shape_mismatch(self, machine):
+        driver = ParallelASA(machine)
+        with pytest.raises(ValueError):
+            driver.estimate(np.zeros((32, 32)), np.zeros((32, 33)))

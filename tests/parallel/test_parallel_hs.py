@@ -1,0 +1,89 @@
+"""Tests for the parallel Horn-Schunck baseline (ref. [2])."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.baselines import horn_schunck
+from repro.maspar.machine import scaled_machine
+from repro.parallel.parallel_hs import parallel_horn_schunck
+from tests.conftest import translated_pair
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return translated_pair(size=32, dx=1, dy=0, seed=20, smoothing=2.0)
+
+
+class TestAgreementWithSequential:
+    def test_exact_match_wrap_boundary(self, frames):
+        f0, f1 = frames
+        machine = scaled_machine(32, 32)
+        seq = horn_schunck(f0, f1, alpha=1.0, iterations=30, boundary="wrap")
+        par = parallel_horn_schunck(f0, f1, machine=machine, alpha=1.0, iterations=30)
+        np.testing.assert_allclose(par.u, seq.u, atol=1e-12)
+        np.testing.assert_allclose(par.v, seq.v, atol=1e-12)
+
+    def test_different_alpha(self, frames):
+        f0, f1 = frames
+        machine = scaled_machine(32, 32)
+        seq = horn_schunck(f0, f1, alpha=5.0, iterations=10, boundary="wrap")
+        par = parallel_horn_schunck(f0, f1, machine=machine, alpha=5.0, iterations=10)
+        np.testing.assert_allclose(par.u, seq.u, atol=1e-12)
+
+
+class TestFlowQuality:
+    def test_recovers_translation_direction(self, frames):
+        f0, f1 = frames
+        machine = scaled_machine(32, 32)
+        par = parallel_horn_schunck(f0, f1, machine=machine, alpha=0.5, iterations=200)
+        inner = (slice(6, -6), slice(6, -6))
+        # HS underestimates magnitude but the direction must be right
+        assert par.u[inner].mean() > 0.3
+        assert abs(par.v[inner].mean()) < 0.2
+
+
+class TestMachineModel:
+    def test_cost_phases(self, frames):
+        f0, f1 = frames
+        machine = scaled_machine(32, 32)
+        par = parallel_horn_schunck(f0, f1, machine=machine, iterations=5)
+        phases = dict(par.ledger.breakdown())
+        assert "derivatives" in phases and "jacobi iteration" in phases
+        assert phases["jacobi iteration"] > phases["derivatives"]
+
+    def test_xnet_shifts_counted(self, frames):
+        f0, f1 = frames
+        machine = scaled_machine(32, 32)
+        par = parallel_horn_schunck(f0, f1, machine=machine, iterations=5)
+        cost = par.ledger.phases["jacobi iteration"]
+        # 16 unit shifts per iteration (8 per component average)
+        assert cost.xnet_shifts == 5 * 16
+
+    def test_memory_does_not_grow_with_iterations(self, frames):
+        """The scope mechanism must reclaim per-iteration temporaries."""
+        f0, f1 = frames
+        machine = scaled_machine(32, 32)
+        # would exhaust 64 KB without scoped frees at ~45 temporaries/iter
+        par = parallel_horn_schunck(f0, f1, machine=machine, iterations=300)
+        assert par.iterations == 300
+
+
+class TestValidation:
+    def test_shape_must_match_grid(self):
+        machine = scaled_machine(16, 16)
+        with pytest.raises(ValueError, match="PE grid"):
+            parallel_horn_schunck(np.zeros((32, 32)), np.zeros((32, 32)), machine=machine)
+
+    def test_frame_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            parallel_horn_schunck(np.zeros((16, 16)), np.zeros((16, 17)))
+
+    def test_bad_alpha(self):
+        img = np.zeros((16, 16))
+        with pytest.raises(ValueError):
+            parallel_horn_schunck(img, img, machine=scaled_machine(16, 16), alpha=0.0)
+
+    def test_bad_iterations(self):
+        img = np.zeros((16, 16))
+        with pytest.raises(ValueError):
+            parallel_horn_schunck(img, img, machine=scaled_machine(16, 16), iterations=0)

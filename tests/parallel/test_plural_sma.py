@@ -1,0 +1,76 @@
+"""Tests for the MPL-style plural SMA program."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import prepare_frames, track_dense
+from repro.maspar.machine import scaled_machine
+from repro.params import NeighborhoodConfig
+from repro.parallel.plural_sma import plural_track_continuous
+from tests.conftest import translated_pair
+
+
+@pytest.fixture(scope="module")
+def small_frames():
+    return translated_pair(size=32, dx=1, dy=-1, seed=91)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return NeighborhoodConfig(n_w=2, n_zs=1, n_zt=2, n_ss=0)
+
+
+class TestAgreementWithVectorized:
+    def test_matches_track_dense_on_interior(self, small_frames, config):
+        """The machine-level program and the vectorized matcher are the
+        same algorithm: identical winners and errors on valid pixels."""
+        f0, f1 = small_frames
+        plural = plural_track_continuous(f0, f1, config, machine=scaled_machine(32, 32))
+        dense = track_dense(prepare_frames(f0, f1, config))
+        mask = plural.valid
+        np.testing.assert_array_equal(plural.u[mask], dense.u[mask])
+        np.testing.assert_array_equal(plural.v[mask], dense.v[mask])
+        np.testing.assert_allclose(plural.error[mask], dense.error[mask], atol=1e-9)
+
+    def test_recovers_translation(self, small_frames, config):
+        f0, f1 = small_frames
+        out = plural_track_continuous(f0, f1, config, machine=scaled_machine(32, 32))
+        assert (out.u[out.valid] == 1.0).all()
+        assert (out.v[out.valid] == -1.0).all()
+
+
+class TestCostStructure:
+    def test_phases(self, small_frames, config):
+        f0, f1 = small_frames
+        out = plural_track_continuous(f0, f1, config, machine=scaled_machine(32, 32))
+        phases = dict(out.ledger.breakdown())
+        assert "Surface fit" in phases
+        assert "Hypothesis matching" in phases
+        assert phases["Hypothesis matching"] > phases["Surface fit"]
+
+    def test_mesh_traffic_counted(self, small_frames, config):
+        f0, f1 = small_frames
+        out = plural_track_continuous(f0, f1, config, machine=scaled_machine(32, 32))
+        matching = out.ledger.phases["Hypothesis matching"]
+        # 9 hypotheses x (shift walk + 28 template-window walks)
+        assert matching.xnet_shifts > 9 * 28
+        assert matching.gaussian_eliminations == 9 * 32 * 32
+
+
+class TestValidation:
+    def test_rejects_semifluid(self, small_frames):
+        f0, f1 = small_frames
+        cfg = NeighborhoodConfig(n_w=2, n_zs=1, n_zt=2, n_ss=1, n_st=2)
+        with pytest.raises(ValueError):
+            plural_track_continuous(f0, f1, cfg, machine=scaled_machine(32, 32))
+
+    def test_rejects_grid_mismatch(self, small_frames, config):
+        f0, f1 = small_frames
+        with pytest.raises(ValueError, match="PE grid"):
+            plural_track_continuous(f0, f1, config, machine=scaled_machine(16, 16))
+
+    def test_rejects_shape_mismatch(self, config):
+        with pytest.raises(ValueError):
+            plural_track_continuous(
+                np.zeros((32, 32)), np.zeros((32, 31)), config, machine=scaled_machine(32, 32)
+            )

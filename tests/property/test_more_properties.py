@@ -1,0 +1,187 @@
+"""Additional property-based tests: stereo, flows, fields, diagnostics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diagnostics import peak_ratio
+from repro.analysis.trajectories import sample_bilinear
+from repro.core.field import MotionField
+from repro.data.flow import AffineFlow, RankineVortex, ScaledFlow, SumFlow, UniformFlow
+from repro.stereo.correlation import ncc_score_stack
+from repro.stereo.geometry import StereoGeometry
+from repro.stereo.pyramid import upsample_disparity
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestStereoProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15)
+    def test_ncc_bounded(self, seed, template):
+        rng = np.random.default_rng(seed)
+        left = rng.normal(size=(20, 20))
+        right = rng.normal(size=(20, 20))
+        scores = ncc_score_stack(left, right, np.arange(-2, 3), template)
+        assert (scores <= 1.0 + 1e-9).all()
+        assert (scores >= -1.0 - 1e-9).all()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15)
+    def test_ncc_self_match_is_one(self, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.normal(size=(20, 20))
+        scores = ncc_score_stack(img, img, np.array([0]), 2)
+        inner = scores[0][4:-4, 4:-4]
+        np.testing.assert_allclose(inner, 1.0, atol=1e-9)
+
+    @given(
+        st.floats(min_value=10.0, max_value=150.0),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.floats(min_value=0.0, max_value=15.0),
+    )
+    def test_geometry_roundtrip(self, baseline, pixel_km, z):
+        geo = StereoGeometry.from_baseline(baseline, pixel_km=pixel_km)
+        d = geo.disparity_from_height(z)
+        assert abs(float(geo.height_from_disparity(d)) - z) < 1e-9
+
+    @given(st.floats(min_value=-4.0, max_value=4.0))
+    def test_upsample_scales_disparity(self, value):
+        coarse = np.full((6, 6), value)
+        fine = upsample_disparity(coarse, (12, 12))
+        np.testing.assert_allclose(fine, 2.0 * value, atol=1e-9)
+
+
+class TestFlowProperties:
+    @given(finite_floats, finite_floats, finite_floats, finite_floats)
+    def test_sum_flow_is_additive(self, u1, v1, u2, v2):
+        combo = SumFlow((UniformFlow(u1, v1), UniformFlow(u2, v2)))
+        u, v = combo(5.0, 7.0)
+        assert u == u1 + u2 and v == v1 + v2
+
+    @given(finite_floats, st.floats(min_value=-2.0, max_value=2.0))
+    def test_scaled_flow_scales(self, base_u, factor):
+        flow = ScaledFlow(UniformFlow(base_u, 0.0), factor)
+        u, _ = flow(0.0, 0.0)
+        np.testing.assert_allclose(u, base_u * factor, atol=1e-12)
+
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=2.0, max_value=10.0),
+        st.floats(min_value=0.1, max_value=40.0),
+    )
+    def test_vortex_speed_profile(self, peak, core, radius):
+        flow = RankineVortex(center=(0.0, 0.0), peak=peak, core_radius=core)
+        u, v = flow(radius, 0.0)
+        speed = float(np.hypot(u, v))
+        assert speed <= peak + 1e-9
+        if radius <= core:
+            np.testing.assert_allclose(speed, peak * radius / core, atol=1e-9)
+        else:
+            np.testing.assert_allclose(speed, peak * core / radius, atol=1e-9)
+
+    @given(finite_floats, finite_floats)
+    def test_affine_flow_center_fixed(self, a_i, b_j):
+        flow = AffineFlow(a_i=a_i, b_j=b_j, center=(3.0, 4.0))
+        u, v = flow(3.0, 4.0)
+        assert u == 0.0 and v == 0.0
+
+
+class TestFieldProperties:
+    @given(
+        st.floats(min_value=-4.0, max_value=4.0),
+        st.floats(min_value=-4.0, max_value=4.0),
+        st.floats(min_value=10.0, max_value=1000.0),
+        st.floats(min_value=0.2, max_value=10.0),
+    )
+    def test_wind_speed_formula(self, u, v, dt, pixel_km):
+        h = w = 12
+        field = MotionField(
+            u=np.full((h, w), u),
+            v=np.full((h, w), v),
+            valid=np.ones((h, w), bool),
+            error=np.zeros((h, w)),
+            dt_seconds=dt,
+            pixel_km=pixel_km,
+        )
+        expected = np.hypot(u, v) * pixel_km * 1000.0 / dt
+        np.testing.assert_allclose(field.wind_speed(), expected, atol=1e-9)
+
+    @given(
+        st.floats(min_value=-4.0, max_value=4.0),
+        st.floats(min_value=-4.0, max_value=4.0),
+    )
+    def test_direction_range(self, u, v):
+        h = w = 8
+        field = MotionField(
+            u=np.full((h, w), u),
+            v=np.full((h, w), v),
+            valid=np.ones((h, w), bool),
+            error=np.zeros((h, w)),
+            dt_seconds=60.0,
+        )
+        d = field.wind_direction_deg()
+        assert ((d >= 0) & (d < 360)).all()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15)
+    def test_save_load_roundtrip(self, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        h = w = 10
+        field = MotionField(
+            u=rng.normal(size=(h, w)),
+            v=rng.normal(size=(h, w)),
+            valid=rng.random((h, w)) > 0.5,
+            error=np.abs(rng.normal(size=(h, w))),
+            dt_seconds=float(rng.uniform(1, 1000)),
+            pixel_km=float(rng.uniform(0.1, 10)),
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = str(Path(tmp) / "f.npz")
+            field.save(path)
+            loaded = MotionField.load(path)
+        np.testing.assert_array_equal(loaded.u, field.u)
+        np.testing.assert_array_equal(loaded.valid, field.valid)
+        assert loaded.dt_seconds == field.dt_seconds
+
+
+class TestInterpolationProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=7.0),
+        st.floats(min_value=0.0, max_value=7.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20)
+    def test_bilinear_within_hull(self, x, y, seed):
+        rng = np.random.default_rng(seed)
+        f = rng.normal(size=(8, 8))
+        out = float(sample_bilinear(f, np.array([x]), np.array([y]))[0])
+        x0, y0 = int(np.floor(x)), int(np.floor(y))
+        corners = f[y0 : y0 + 2, x0 : x0 + 2]
+        assert corners.min() - 1e-9 <= out <= corners.max() + 1e-9
+
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    def test_bilinear_constant_field(self, value):
+        f = np.full((6, 6), value)
+        out = sample_bilinear(f, np.array([2.3]), np.array([4.7]))
+        np.testing.assert_allclose(out, value, atol=1e-12)
+
+
+class TestDiagnosticsProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15)
+    def test_peak_ratio_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        vol = np.abs(rng.normal(size=(5, 5, 4, 4))) + 1e-6
+        ratio = peak_ratio(vol)
+        assert (ratio >= 0).all() and (ratio <= 1).all()
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_peak_ratio_exact_construction(self, r):
+        vol = np.full((5, 5, 3, 3), 10.0)
+        vol[2, 2] = r
+        vol[0, 0] = 1.0
+        np.testing.assert_allclose(peak_ratio(vol), r, atol=1e-12)

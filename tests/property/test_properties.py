@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.continuous import pointwise_fields, solve_accumulated, unpack_fields
+from repro.core.linalg import gaussian_eliminate
+from repro.core.semifluid import box_sum, shift2d
+from repro.core.surface import fit_patches
+from repro.maspar.mapping import CutAndStackMapping, HierarchicalMapping
+from repro.maspar.memory import PEMemoryError, PEMemoryTracker
+from repro.maspar.xnet import mesh_distance
+from repro.params import NeighborhoodConfig, window_pixels, window_size
+
+# -- strategies ---------------------------------------------------------------------
+
+grid_dims = st.sampled_from([(4, 4), (8, 4), (4, 8), (2, 16)])
+small_ints = st.integers(min_value=0, max_value=8)
+
+
+@st.composite
+def mapping_geometries(draw):
+    nyproc, nxproc = draw(grid_dims)
+    yvr = draw(st.integers(min_value=1, max_value=4))
+    xvr = draw(st.integers(min_value=1, max_value=4))
+    return nyproc * yvr, nxproc * xvr, nyproc, nxproc
+
+
+@st.composite
+def valid_configs(draw):
+    n_st = draw(st.integers(min_value=0, max_value=3))
+    return NeighborhoodConfig(
+        n_w=draw(st.integers(min_value=1, max_value=3)),
+        n_zs=draw(st.integers(min_value=0, max_value=4)),
+        n_zt=draw(st.integers(min_value=n_st, max_value=6)),
+        n_ss=draw(st.integers(min_value=0, max_value=2)),
+        n_st=n_st,
+    )
+
+
+# -- window arithmetic ---------------------------------------------------------------
+
+
+class TestWindowProperties:
+    @given(small_ints)
+    def test_window_size_odd(self, n):
+        assert window_size(n) % 2 == 1
+
+    @given(small_ints)
+    def test_window_pixels_is_square(self, n):
+        assert window_pixels(n) == window_size(n) ** 2
+
+    @given(valid_configs())
+    def test_margin_dominates_every_window(self, cfg):
+        m = cfg.margin()
+        assert m >= cfg.n_zt and m >= cfg.n_zs and m >= cfg.n_ss
+
+    @given(valid_configs())
+    def test_precompute_window_covers_search_plus_drift(self, cfg):
+        assert cfg.precompute_window == cfg.search_window + 2 * cfg.n_ss
+
+
+# -- mapping bijectivity (eq. 12-13) ---------------------------------------------------
+
+
+class TestMappingProperties:
+    @given(mapping_geometries(), st.randoms(use_true_random=False))
+    @settings(max_examples=30)
+    def test_hierarchical_bijection(self, geom, rnd):
+        h, w, ny, nx = geom
+        m = HierarchicalMapping(height=h, width=w, nyproc=ny, nxproc=nx)
+        for _ in range(10):
+            x = rnd.randrange(w)
+            y = rnd.randrange(h)
+            iy, ix, mem = m.to_pe(x, y)
+            bx, by = m.to_pixel(iy, ix, mem)
+            assert (int(bx), int(by)) == (x, y)
+
+    @given(mapping_geometries(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_scatter_gather_roundtrip(self, geom, seed):
+        h, w, ny, nx = geom
+        m = HierarchicalMapping(height=h, width=w, nyproc=ny, nxproc=nx)
+        img = np.random.default_rng(seed).normal(size=(h, w))
+        np.testing.assert_array_equal(m.gather(m.scatter(img)), img)
+
+    @given(mapping_geometries(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_cut_and_stack_roundtrip(self, geom, seed):
+        h, w, ny, nx = geom
+        m = CutAndStackMapping(height=h, width=w, nyproc=ny, nxproc=nx)
+        img = np.random.default_rng(seed).normal(size=(h, w))
+        np.testing.assert_array_equal(m.gather(m.scatter(img)), img)
+
+    @given(mapping_geometries())
+    @settings(max_examples=20)
+    def test_mem_layers_complete(self, geom):
+        """Every (iy, ix, mem) triple maps to a distinct in-bounds pixel."""
+        h, w, ny, nx = geom
+        m = HierarchicalMapping(height=h, width=w, nyproc=ny, nxproc=nx)
+        seen = set()
+        for mem in range(m.layers):
+            for iy in range(ny):
+                for ix in range(nx):
+                    x, y = m.to_pixel(iy, ix, mem)
+                    assert 0 <= int(x) < w and 0 <= int(y) < h
+                    seen.add((int(x), int(y)))
+        assert len(seen) == h * w
+
+
+# -- shift algebra ---------------------------------------------------------------------
+
+
+class TestShiftProperties:
+    @given(
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_shift_inverse(self, dy, dx, seed):
+        a = np.random.default_rng(seed).normal(size=(9, 11))
+        np.testing.assert_array_equal(shift2d(shift2d(a, dy, dx), -dy, -dx), a)
+
+    @given(
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+    )
+    @settings(max_examples=30)
+    def test_shift_composition(self, ay, ax, by, bx):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(8, 8))
+        np.testing.assert_array_equal(
+            shift2d(shift2d(a, ay, ax), by, bx), shift2d(a, ay + by, ax + bx)
+        )
+
+    @given(st.integers(min_value=-9, max_value=9), st.integers(min_value=-9, max_value=9))
+    def test_mesh_distance_is_metric(self, dy, dx):
+        assert mesh_distance(dy, dx) == mesh_distance(-dy, -dx)
+        assert mesh_distance(dy, dx) >= 0
+        assert (mesh_distance(dy, dx) == 0) == (dy == 0 and dx == 0)
+
+    @given(
+        st.integers(min_value=-4, max_value=4),
+        st.integers(min_value=-4, max_value=4),
+        st.integers(min_value=-4, max_value=4),
+        st.integers(min_value=-4, max_value=4),
+    )
+    def test_mesh_distance_triangle(self, ay, ax, by, bx):
+        assert mesh_distance(ay + by, ax + bx) <= mesh_distance(ay, ax) + mesh_distance(by, bx)
+
+
+# -- box sums ---------------------------------------------------------------------------
+
+
+class TestBoxSumProperties:
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_linearity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(12, 12))
+        b = rng.normal(size=(12, 12))
+        np.testing.assert_allclose(
+            box_sum(a + b, n), box_sum(a, n) + box_sum(b, n), atol=1e-9
+        )
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_nonnegative_preserved(self, n):
+        rng = np.random.default_rng(1)
+        a = np.abs(rng.normal(size=(10, 10)))
+        assert (box_sum(a, n) >= -1e-12).all()
+
+
+# -- surface fit exactness --------------------------------------------------------------
+
+
+class TestSurfaceFitProperties:
+    @given(
+        st.tuples(*[st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)] * 6),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25)
+    def test_exact_on_arbitrary_quadratics(self, coeffs, n_w):
+        c0, c1, c2, c3, c4, c5 = coeffs
+        h = w = 16
+        yy, xx = np.meshgrid(np.arange(h, dtype=float), np.arange(w, dtype=float), indexing="ij")
+        z = c0 + c1 * xx + c2 * yy + c3 * xx * xx + c4 * xx * yy + c5 * yy * yy
+        fit = fit_patches(z, n_w)
+        m = n_w + 1
+        interior = (slice(m, -m), slice(m, -m))
+        scale = 1.0 + max(abs(v) for v in coeffs) * (h * w)
+        np.testing.assert_allclose(
+            fit[..., 1][interior], (c1 + 2 * c3 * xx + c4 * yy)[interior], atol=1e-7 * scale
+        )
+        np.testing.assert_allclose(
+            fit[..., 2][interior], (c2 + c4 * xx + 2 * c5 * yy)[interior], atol=1e-7 * scale
+        )
+
+
+# -- motion solve invariants --------------------------------------------------------------
+
+
+class TestMotionSolveProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_error_nonnegative_and_below_zero_params_error(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        p = rng.normal(scale=0.5, size=n)
+        q = rng.normal(scale=0.5, size=n)
+        pa = p + rng.normal(scale=0.2, size=n)
+        qa = q + rng.normal(scale=0.2, size=n)
+        fields = pointwise_fields(p, q, pa, qa, 1 + p * p, 1 + q * q).sum(axis=0)
+        sol = solve_accumulated(fields, ridge=0.0)
+        _, _, c = unpack_fields(fields)
+        assert sol.error >= 0.0
+        assert sol.error <= c + 1e-9  # the minimum beats theta = 0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_ge_solves_what_it_claims(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(4, 5, 5)) + np.eye(5) * 2.0
+        b = rng.normal(size=(4, 5))
+        x, singular = gaussian_eliminate(a, b)
+        for i in range(4):
+            if not singular[i]:
+                np.testing.assert_allclose(a[i] @ x[i], b[i], atol=1e-7)
+
+
+# -- memory ledger conservation --------------------------------------------------------------
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_ledger_conservation(self, sizes):
+        tracker = PEMemoryTracker(100_000)
+        handles = []
+        total = 0
+        for s in sizes:
+            handles.append(tracker.allocate(s))
+            total += s
+            assert tracker.used_bytes == total
+            assert tracker.peak_bytes >= tracker.used_bytes
+        for h, s in zip(handles, sizes):
+            tracker.free(h)
+            total -= s
+            assert tracker.used_bytes == total
+
+    @given(st.integers(min_value=1, max_value=1000), st.integers(min_value=0, max_value=2000))
+    def test_capacity_never_exceeded(self, capacity, request_size):
+        tracker = PEMemoryTracker(capacity)
+        try:
+            tracker.allocate(request_size)
+        except PEMemoryError:
+            pass
+        assert tracker.used_bytes <= capacity

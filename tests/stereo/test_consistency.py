@@ -1,0 +1,121 @@
+"""Tests for left-right consistency validation."""
+
+import numpy as np
+import pytest
+
+from repro.data import render_pair
+from repro.data.clouds import layered_deck
+from repro.stereo.asa import ASAConfig
+from repro.stereo.consistency import (
+    check_consistency,
+    cross_checked_disparity,
+    fill_invalid,
+)
+from repro.stereo.geometry import StereoGeometry
+
+
+class TestCheckConsistency:
+    def test_perfectly_consistent(self):
+        d_l = np.full((6, 10), 2.0)
+        d_r = np.full((6, 10), -2.0)
+        assert check_consistency(d_l, d_r)[:, :-3].all()
+
+    def test_disagreement_flagged(self):
+        d_l = np.full((6, 10), 2.0)
+        d_r = np.full((6, 10), -2.0)
+        d_r[3, 6] = 5.0  # the pixel left (3, 4) maps to
+        valid = check_consistency(d_l, d_r, tolerance=1.0)
+        assert not valid[3, 4]
+        assert valid[2, 4]
+
+    def test_tolerance(self):
+        d_l = np.full((4, 8), 1.0)
+        d_r = np.full((4, 8), -1.6)
+        assert not check_consistency(d_l, d_r, tolerance=0.5).any()
+        assert check_consistency(d_l, d_r, tolerance=1.0)[:, :-2].all()
+
+    def test_out_of_bounds_invalid(self):
+        d_l = np.full((4, 8), 20.0)  # points far outside the image
+        d_r = np.zeros((4, 8))
+        assert not check_consistency(d_l, d_r).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            check_consistency(np.zeros((4, 4)), np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            check_consistency(np.zeros((4, 4)), np.zeros((4, 4)), tolerance=-1)
+
+
+class TestFillInvalid:
+    def test_no_invalid_is_identity(self):
+        d = np.random.default_rng(0).normal(size=(5, 7))
+        out = fill_invalid(d, np.ones((5, 7), bool))
+        np.testing.assert_array_equal(out, d)
+
+    def test_nearest_row_fill(self):
+        d = np.array([[1.0, 9.0, 3.0, 3.0]])
+        valid = np.array([[True, False, True, True]])
+        out = fill_invalid(d, valid)
+        assert out[0, 1] in (1.0, 3.0)  # nearest valid neighbor
+        assert out[0, 0] == 1.0
+
+    def test_empty_row_uses_global_median(self):
+        d = np.array([[5.0, 5.0], [9.0, 9.0]])
+        valid = np.array([[True, True], [False, False]])
+        out = fill_invalid(d, valid)
+        np.testing.assert_array_equal(out[1], 5.0)
+
+    def test_all_invalid_unchanged(self):
+        d = np.ones((3, 3))
+        out = fill_invalid(d, np.zeros((3, 3), bool))
+        np.testing.assert_array_equal(out, d)
+
+    def test_input_not_mutated(self):
+        d = np.array([[1.0, 2.0]])
+        valid = np.array([[True, False]])
+        fill_invalid(d, valid)
+        assert d[0, 1] == 2.0
+
+
+class TestCrossChecked:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        geo = StereoGeometry.from_baseline(135.0, pixel_km=2048.0 / 96)
+        scene = layered_deck(96, seed=10, base_height_km=3.0, relief_km=5.0)
+        return render_pair(scene, geo), scene
+
+    def test_mostly_consistent_on_clean_pair(self, pair):
+        stereo, _ = pair
+        result = cross_checked_disparity(
+            stereo.left, stereo.right, ASAConfig(levels=3), tolerance=1.5
+        )
+        inner = result.valid[12:-12, 12:-12]
+        assert inner.mean() > 0.7
+
+    def test_cross_check_improves_accuracy(self, pair):
+        """Dropping (and filling) the inconsistent pixels must not hurt,
+        and typically helps, the disparity error."""
+        stereo, _ = pair
+        result = cross_checked_disparity(
+            stereo.left, stereo.right, ASAConfig(levels=3), tolerance=1.5
+        )
+        inner = (slice(12, -12), slice(12, -12))
+        raw_err = np.abs(result.left_disparity - stereo.true_disparity)[inner]
+        filled_err = np.abs(result.disparity - stereo.true_disparity)[inner]
+        assert filled_err.mean() <= raw_err.mean() * 1.05
+        # the flagged pixels are genuinely the worse ones
+        bad = ~result.valid[inner]
+        if bad.any() and (~bad).any():
+            assert raw_err[bad].mean() > raw_err[~bad].mean()
+
+    def test_no_fill_option(self, pair):
+        stereo, _ = pair
+        result = cross_checked_disparity(
+            stereo.left, stereo.right, ASAConfig(levels=3), fill=False
+        )
+        np.testing.assert_array_equal(result.disparity, result.left_disparity)
+
+    def test_invalid_fraction(self, pair):
+        stereo, _ = pair
+        result = cross_checked_disparity(stereo.left, stereo.right, ASAConfig(levels=3))
+        assert 0.0 <= result.invalid_fraction <= 1.0

@@ -1,0 +1,98 @@
+"""Tests for NCC scan-line matching."""
+
+import numpy as np
+import pytest
+
+from repro.data.noise import smooth_random_field
+from repro.stereo.correlation import match_scanlines, ncc_score_stack
+
+
+def shifted_pair(size=48, d=3, seed=0):
+    """Left image and a right image displaced by integer disparity d."""
+    base = smooth_random_field(size + 2 * abs(d) + 8, seed=seed, smoothing=1.5)
+    pad = abs(d) + 4
+    left = base[pad:-pad, pad:-pad].copy()
+    right = base[pad:-pad, pad + d : size + pad + d].copy()
+    # right[y, x] = base[.., pad + d + x] = left[y, x + d]: a feature at
+    # left column x appears at right column x - d -> disparity = -d under
+    # our convention right(x + disp) ~ left(x). So truth disp = -d.
+    return left, right
+
+
+class TestNCCStack:
+    def test_shape(self):
+        left, right = shifted_pair()
+        scores = ncc_score_stack(left, right, np.arange(-4, 5), 3)
+        assert scores.shape == (9, 48, 48)
+
+    def test_perfect_match_scores_one(self):
+        left, right = shifted_pair(d=0)
+        scores = ncc_score_stack(left, right, np.array([0]), 3)
+        inner = scores[0][8:-8, 8:-8]
+        np.testing.assert_allclose(inner, 1.0, atol=1e-10)
+
+    def test_scores_bounded(self):
+        left, right = shifted_pair(d=2)
+        scores = ncc_score_stack(left, right, np.arange(-3, 4), 3)
+        assert (scores <= 1.0 + 1e-9).all() and (scores >= -1.0 - 1e-9).all()
+
+    def test_flat_window_scores_zero(self):
+        left = np.zeros((20, 20))
+        right = np.zeros((20, 20))
+        scores = ncc_score_stack(left, right, np.array([0]), 2)
+        np.testing.assert_array_equal(scores[0], 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ncc_score_stack(np.zeros((4, 4)), np.zeros((5, 5)), np.array([0]), 1)
+
+
+class TestMatchScanlines:
+    def test_recovers_integer_disparity(self):
+        left, right = shifted_pair(d=3, seed=1)
+        est = match_scanlines(left, right, (-5, 5), template_half_width=3, subpixel=False)
+        inner = est.disparity[10:-10, 10:-10]
+        assert (inner == -3.0).mean() > 0.95
+
+    def test_recovers_negative_disparity(self):
+        left, right = shifted_pair(d=-2, seed=2)
+        est = match_scanlines(left, right, (-4, 4), template_half_width=3, subpixel=False)
+        inner = est.disparity[10:-10, 10:-10]
+        assert (inner == 2.0).mean() > 0.95
+
+    def test_confidence_high_on_valid_match(self):
+        left, right = shifted_pair(d=1, seed=3)
+        est = match_scanlines(left, right, (-3, 3), template_half_width=3)
+        assert est.confidence[10:-10, 10:-10].mean() > 0.9
+
+    def test_subpixel_stays_within_half_pixel(self):
+        left, right = shifted_pair(d=2, seed=4)
+        integer = match_scanlines(left, right, (-4, 4), 3, subpixel=False)
+        subpix = match_scanlines(left, right, (-4, 4), 3, subpixel=True)
+        diff = np.abs(subpix.disparity - integer.disparity)
+        assert (diff <= 0.5 + 1e-12).all()
+
+    def test_subpixel_beats_integer_on_fractional_shift(self):
+        """Render a 0.5-px shift and check the sub-pixel estimate is closer."""
+        from scipy import ndimage
+        base = smooth_random_field(64, seed=5, smoothing=2.0)
+        left = base
+        yy, xx = np.meshgrid(np.arange(64, dtype=float), np.arange(64, dtype=float), indexing="ij")
+        right = ndimage.map_coordinates(base, np.stack([yy, xx - 0.5]), order=3, mode="nearest")
+        # right(x + d) = left(x) with d = +0.5
+        est = match_scanlines(left, right, (-2, 2), 3, subpixel=True)
+        inner = est.disparity[10:-10, 10:-10]
+        assert abs(inner.mean() - 0.5) < 0.2
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            match_scanlines(np.zeros((8, 8)), np.zeros((8, 8)), (3, -3))
+
+    def test_boundary_peak_stays_integer(self):
+        """A peak at the search boundary must not be refined."""
+        left, right = shifted_pair(d=3, seed=6)
+        est = match_scanlines(left, right, (-3, 0), 3, subpixel=True)
+        # truth -3 is at the boundary of the range
+        inner = est.disparity[10:-10, 10:-10]
+        boundary = inner == -3.0
+        assert boundary.mean() > 0.5

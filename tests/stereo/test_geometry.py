@@ -1,0 +1,85 @@
+"""Tests for geostationary stereo geometry."""
+
+import numpy as np
+import pytest
+
+from repro.stereo.geometry import (
+    FREDERIC_GEOMETRY,
+    StereoGeometry,
+    incidence_angle_rad,
+)
+
+
+class TestIncidenceAngle:
+    def test_nadir_is_zero(self):
+        assert incidence_angle_rad(0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_central_angle(self):
+        angles = [incidence_angle_rad(a) for a in (5, 20, 40, 60, 80)]
+        assert all(b > a for a, b in zip(angles, angles[1:]))
+
+    def test_exceeds_central_angle(self):
+        """From geostationary height the line of sight is always more
+        oblique than the central angle itself."""
+        for a in (10.0, 30.0, 60.0):
+            assert incidence_angle_rad(a) > np.radians(a)
+
+    def test_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            incidence_angle_rad(85.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            incidence_angle_rad(-1.0)
+
+
+class TestStereoGeometry:
+    def test_from_baseline_symmetric(self):
+        geo = StereoGeometry.from_baseline(90.0)
+        assert geo.central_angle_1_deg == geo.central_angle_2_deg == 45.0
+
+    def test_frederic_baseline(self):
+        """Section 5.1: GOES-6/7 'subtended an angle of about 135 deg'."""
+        assert FREDERIC_GEOMETRY.central_angle_1_deg == 67.5
+        assert FREDERIC_GEOMETRY.pixel_km == 1.0
+
+    def test_parallax_factor_positive_and_large(self):
+        """A 135-degree baseline is a *very* large baseline: several km of
+        disparity per km of height."""
+        assert FREDERIC_GEOMETRY.parallax_factor > 4.0
+
+    def test_larger_baseline_more_parallax(self):
+        small = StereoGeometry.from_baseline(30.0)
+        large = StereoGeometry.from_baseline(120.0)
+        assert large.parallax_factor > small.parallax_factor
+
+    def test_roundtrip_height_disparity(self):
+        geo = StereoGeometry.from_baseline(60.0, pixel_km=4.0)
+        z = np.array([0.0, 5.0, 12.0])
+        d = geo.disparity_from_height(z)
+        np.testing.assert_allclose(geo.height_from_disparity(d), z, atol=1e-12)
+
+    def test_disparity_scales_inverse_pixel_size(self):
+        fine = StereoGeometry.from_baseline(60.0, pixel_km=1.0)
+        coarse = StereoGeometry.from_baseline(60.0, pixel_km=4.0)
+        assert fine.disparity_from_height(10.0) == pytest.approx(
+            4.0 * coarse.disparity_from_height(10.0)
+        )
+
+    def test_zero_height_zero_disparity(self):
+        assert FREDERIC_GEOMETRY.disparity_from_height(0.0) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            StereoGeometry.from_baseline(0.0)
+        with pytest.raises(ValueError):
+            StereoGeometry.from_baseline(170.0)
+
+    def test_invalid_pixel_km(self):
+        with pytest.raises(ValueError):
+            StereoGeometry(central_angle_1_deg=40, central_angle_2_deg=40, pixel_km=0)
+
+    def test_asymmetric_configuration(self):
+        geo = StereoGeometry(central_angle_1_deg=30.0, central_angle_2_deg=60.0)
+        expected = np.tan(incidence_angle_rad(30.0)) + np.tan(incidence_angle_rad(60.0))
+        assert geo.parallax_factor == pytest.approx(expected)

@@ -1,0 +1,79 @@
+"""Tests for the multiresolution pyramid."""
+
+import numpy as np
+import pytest
+
+from repro.stereo.pyramid import build_pyramid, downsample, upsample_disparity
+
+
+class TestDownsample:
+    def test_halves_dimensions(self):
+        out = downsample(np.zeros((32, 48)))
+        assert out.shape == (16, 24)
+
+    def test_odd_dimensions(self):
+        out = downsample(np.zeros((33, 47)))
+        assert out.shape == (17, 24)
+
+    def test_preserves_mean_roughly(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((64, 64))
+        out = downsample(img)
+        assert abs(out.mean() - img.mean()) < 0.05
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            downsample(np.zeros((4, 4, 4)))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            downsample(np.zeros((1, 8)))
+
+
+class TestBuildPyramid:
+    def test_four_levels_paper_default(self):
+        """'image matching is done at ... typically four levels'."""
+        pyr = build_pyramid(np.zeros((128, 128)), 4)
+        assert len(pyr) == 4
+        assert pyr[0].shape == (128, 128)
+        assert pyr[3].shape == (16, 16)
+
+    def test_single_level(self):
+        pyr = build_pyramid(np.ones((16, 16)), 1)
+        assert len(pyr) == 1
+
+    def test_too_deep_rejected(self):
+        with pytest.raises(ValueError):
+            build_pyramid(np.zeros((32, 32)), 6)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            build_pyramid(np.zeros((32, 32)), 0)
+
+    def test_base_level_copies(self):
+        img = np.zeros((16, 16))
+        pyr = build_pyramid(img, 1)
+        pyr[0][0, 0] = 9.0
+        assert img[0, 0] == 0.0
+
+
+class TestUpsampleDisparity:
+    def test_shape(self):
+        out = upsample_disparity(np.zeros((8, 8)), (16, 16))
+        assert out.shape == (16, 16)
+
+    def test_values_scaled_by_resolution_ratio(self):
+        """A disparity of 3 coarse pixels is 6 fine pixels."""
+        coarse = np.full((8, 8), 3.0)
+        fine = upsample_disparity(coarse, (16, 16))
+        np.testing.assert_allclose(fine, 6.0)
+
+    def test_gradient_preserved(self):
+        coarse = np.tile(np.arange(8, dtype=float), (8, 1))
+        fine = upsample_disparity(coarse, (16, 16))
+        # columns should still increase monotonically
+        assert (np.diff(fine[4]) >= 0).all()
+
+    def test_rejects_shrinking(self):
+        with pytest.raises(ValueError):
+            upsample_disparity(np.zeros((8, 8)), (4, 4))

@@ -1,0 +1,66 @@
+"""Tests for epipolar rectification."""
+
+import numpy as np
+import pytest
+
+from repro.data.noise import smooth_random_field
+from repro.stereo.rectify import RectificationModel, estimate_vertical_shift, rectify_pair
+
+
+class TestEstimateVerticalShift:
+    def test_zero_for_identical(self):
+        img = smooth_random_field(48, seed=0)
+        assert estimate_vertical_shift(img, img) == 0
+
+    def test_detects_integer_shift(self):
+        base = smooth_random_field(64, seed=1)
+        left = base[8:-8]
+        right = base[5:-11]  # right[y] = left[y - 3]: alignment needs +3
+        shift = estimate_vertical_shift(left, right, max_shift=6)
+        assert shift == 3
+
+    def test_detects_opposite_shift(self):
+        base = smooth_random_field(64, seed=2)
+        left = base[8:-8]
+        right = base[11:-5]  # right[y] = left[y + 3]: alignment needs -3
+        shift = estimate_vertical_shift(left, right, max_shift=6)
+        assert shift == -3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_vertical_shift(np.zeros((8, 8)), np.zeros((9, 8)))
+
+    def test_max_shift_validated(self):
+        img = np.zeros((16, 16))
+        with pytest.raises(ValueError):
+            estimate_vertical_shift(img, img, max_shift=8)
+
+
+class TestRectificationModel:
+    def test_identity_model(self):
+        img = smooth_random_field(32, seed=3)
+        out = RectificationModel().apply(img)
+        np.testing.assert_allclose(out, img, atol=1e-12)
+
+    def test_vertical_shift_applied(self):
+        img = smooth_random_field(40, seed=4)
+        model = RectificationModel(vertical_shift=2.0)
+        out = model.apply(img)
+        np.testing.assert_allclose(out[5:-5], img[7:-3], atol=1e-6)
+
+
+class TestRectifyPair:
+    def test_restores_row_alignment(self):
+        base = smooth_random_field(64, seed=5)
+        left = base[8:-8]
+        right = base[5:-11]  # 3 rows misaligned
+        rectified, model = rectify_pair(left, right, max_shift=6)
+        assert model.vertical_shift == 3.0
+        inner = (slice(8, -8), slice(8, -8))
+        np.testing.assert_allclose(rectified[inner], left[inner], atol=1e-3)
+
+    def test_already_aligned_noop(self):
+        img = smooth_random_field(48, seed=6)
+        rectified, model = rectify_pair(img, img)
+        assert model.vertical_shift == 0.0
+        np.testing.assert_allclose(rectified, img, atol=1e-12)

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _circular_mean_deg, main
+from repro.core.field import MotionField
+
+
+class TestTrack:
+    def test_florida_track(self, capsys):
+        rc = main(["track", "florida", "--size", "64", "--search", "2", "--template", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "goes9-florida" in out
+        assert "RMSE vs truth" in out
+
+    def test_save_and_winds_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "field.npz")
+        rc = main([
+            "track", "luis", "--size", "64", "--search", "2", "--template", "3",
+            "--out", path,
+        ])
+        assert rc == 0
+        rc = main(["winds", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean speed" in out
+
+    def test_frederic_semifluid(self, capsys):
+        rc = main(["track", "frederic", "--size", "64", "--search", "2", "--template", "3"])
+        assert rc == 0
+        assert "semi-fluid" in capsys.readouterr().out
+
+
+class TestWinds:
+    def test_missing_file(self, capsys):
+        rc = main(["winds", "/nonexistent/field.npz"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_percentiles(self, tmp_path, capsys):
+        h = w = 16
+        field = MotionField(
+            u=np.ones((h, w)),
+            v=np.zeros((h, w)),
+            valid=np.ones((h, w), bool),
+            error=np.zeros((h, w)),
+            dt_seconds=60.0,
+        )
+        path = str(tmp_path / "f.npz")
+        field.save(path)
+        rc = main(["winds", path, "--percentiles", "abc"])
+        assert rc == 2
+
+    def test_circular_mean(self):
+        # directions straddling north: 350 and 10 average to north
+        # (0/360), never to 180
+        d = _circular_mean_deg(np.array([350.0, 10.0]))
+        assert min(d, 360.0 - d) < 1e-6
+
+
+class TestMachine:
+    def test_machine_summary(self, capsys):
+        rc = main(["machine"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "128 x 128 = 16384" in out
+        assert "18x" in out
+
+    def test_machine_tables(self, capsys):
+        rc = main(["machine", "--tables"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2 model" in out
+        assert "Hypothesis matching" in out
+        assert "paper: 1025x" in out
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hurricane-frederic" in out
+        assert "490 frames" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestSubpixelFlag:
+    def test_track_with_subpixel(self, capsys):
+        rc = main([
+            "track", "florida", "--size", "64", "--search", "2", "--template", "3",
+            "--subpixel",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RMSE vs truth" in out
+
+    def test_subpixel_improves_rmse(self, capsys):
+        import re
+
+        def rmse_of(args):
+            assert main(args) == 0
+            out = capsys.readouterr().out
+            return float(re.search(r"RMSE vs truth\s+([0-9.]+)", out).group(1))
+
+        base = ["track", "florida", "--size", "64", "--search", "2", "--template", "3"]
+        assert rmse_of(base + ["--subpixel"]) <= rmse_of(base)

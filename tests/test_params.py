@@ -1,0 +1,152 @@
+"""Tests for the neighborhood parameterization (Tables 1 and 3)."""
+
+import pytest
+
+from repro.params import (
+    FREDERIC_CONFIG,
+    GOES9_CONFIG,
+    LUIS_CONFIG,
+    PAPER_IMAGE_SIZE,
+    NeighborhoodConfig,
+    window_pixels,
+    window_size,
+)
+
+
+class TestWindowArithmetic:
+    def test_window_size_zero(self):
+        assert window_size(0) == 1
+
+    def test_window_size_general(self):
+        assert window_size(6) == 13
+        assert window_size(60) == 121
+
+    def test_window_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            window_size(-1)
+
+    def test_window_pixels(self):
+        assert window_pixels(6) == 169
+        assert window_pixels(60) == 14641
+        assert window_pixels(1) == 9
+        assert window_pixels(2) == 25
+
+
+class TestTable1Frederic:
+    """Table 1: the Hurricane Frederic neighborhood sizes."""
+
+    def test_surface_fitting_window(self):
+        assert FREDERIC_CONFIG.n_w == 2
+        assert FREDERIC_CONFIG.surface_window == 5
+
+    def test_z_search_window(self):
+        assert FREDERIC_CONFIG.n_zs == 6
+        assert FREDERIC_CONFIG.search_window == 13
+
+    def test_z_template_window(self):
+        assert FREDERIC_CONFIG.n_zt == 60
+        assert FREDERIC_CONFIG.template_window == 121
+
+    def test_semifluid_windows(self):
+        assert FREDERIC_CONFIG.semifluid_search_window == 3
+        assert FREDERIC_CONFIG.semifluid_template_window == 5
+
+    def test_is_semifluid(self):
+        assert FREDERIC_CONFIG.is_semifluid
+
+    def test_paper_complexity_arithmetic(self):
+        """Section 3: 169 GEs per pixel, 14641 error terms, 9 semi-fluid
+        error terms of 25 comparisons each."""
+        assert FREDERIC_CONFIG.hypotheses_per_pixel == 169
+        assert FREDERIC_CONFIG.template_pixels == 14641
+        assert FREDERIC_CONFIG.semifluid_candidates == 9
+        assert FREDERIC_CONFIG.semifluid_patch_terms == 25
+
+    def test_paper_image_size(self):
+        assert PAPER_IMAGE_SIZE == 512
+
+
+class TestTable3GOES9:
+    """Table 3: the GOES-9 Florida thunderstorm neighborhood sizes."""
+
+    def test_search_window(self):
+        assert GOES9_CONFIG.search_window == 15
+
+    def test_template_window(self):
+        assert GOES9_CONFIG.template_window == 15
+
+    def test_surface_patch_window(self):
+        assert GOES9_CONFIG.surface_window == 5
+
+    def test_continuous_model(self):
+        assert not GOES9_CONFIG.is_semifluid
+        assert GOES9_CONFIG.hypotheses_per_pixel == 225
+
+
+class TestLuisConfig:
+    """Section 5: Hurricane Luis 11x11 template, 9x9 search."""
+
+    def test_windows(self):
+        assert LUIS_CONFIG.template_window == 11
+        assert LUIS_CONFIG.search_window == 9
+
+    def test_continuous(self):
+        assert not LUIS_CONFIG.is_semifluid
+
+
+class TestValidation:
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborhoodConfig(n_w=2, n_zs=-1, n_zt=3)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            NeighborhoodConfig(n_w=2.0, n_zs=1, n_zt=3)
+
+    def test_template_must_contain_semifluid_template(self):
+        with pytest.raises(ValueError):
+            NeighborhoodConfig(n_w=2, n_zs=1, n_zt=1, n_st=2)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FREDERIC_CONFIG.n_w = 3  # type: ignore[misc]
+
+    def test_replace(self):
+        cfg = FREDERIC_CONFIG.replace(n_zs=2)
+        assert cfg.n_zs == 2
+        assert cfg.n_zt == FREDERIC_CONFIG.n_zt
+        assert FREDERIC_CONFIG.n_zs == 6  # original untouched
+
+
+class TestDerivedGeometry:
+    def test_precompute_window(self):
+        # Section 4.1: (2 N_zs + 2 N_ss + 1)
+        assert FREDERIC_CONFIG.precompute_window == 2 * 6 + 2 * 1 + 1
+
+    def test_margin_covers_all_windows(self):
+        cfg = NeighborhoodConfig(n_w=2, n_zs=3, n_zt=5, n_ss=1, n_st=2)
+        assert cfg.margin() == 5 + 3 + 1 + 2
+
+    def test_margin_uses_wider_patch(self):
+        cfg = NeighborhoodConfig(n_w=1, n_zs=3, n_zt=5, n_ss=1, n_st=4)
+        assert cfg.margin() == 5 + 3 + 1 + 4
+
+    def test_semifluid_zero_reduces_windows(self):
+        cfg = NeighborhoodConfig(n_w=2, n_zs=3, n_zt=5, n_ss=0)
+        assert cfg.semifluid_search_window == 1
+        assert cfg.semifluid_candidates == 1
+
+
+class TestTableRows:
+    def test_frederic_rows_include_semifluid(self):
+        rows = FREDERIC_CONFIG.table_rows()
+        names = [r[0] for r in rows]
+        assert "Semi-fluid search" in names
+        assert "Semi-fluid template" in names
+        assert ("z-Template", "N_zT = 60", "121 x 121") in rows
+
+    def test_goes9_rows_exclude_semifluid(self):
+        rows = GOES9_CONFIG.table_rows()
+        names = [r[0] for r in rows]
+        assert "Semi-fluid search" not in names
+        assert len(rows) == 3
