@@ -10,7 +10,9 @@ paper's production pipeline exposed to forecasters:
 * ``repro machine``   -- the MP-2 description and the modeled Table 2 /
   Table 4 timing rows,
 * ``repro datasets``  -- list the available paper-analogue datasets and
-  their full-scale parameters.
+  their full-scale parameters,
+* ``repro stream``    -- fault-tolerant streaming of a whole frame
+  sequence with optional fault injection and checkpoint/resume.
 
 Every command is a pure function of its arguments (no global state), so
 the test suite drives :func:`main` directly.
@@ -87,7 +89,110 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list datasets and their paper-scale parameters")
 
+    stream = sub.add_parser(
+        "stream", help="fault-tolerant streaming over a whole frame sequence"
+    )
+    stream.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    stream.add_argument("--size", type=int, default=64, help="image side (pixels)")
+    stream.add_argument("--frames", type=int, default=8, help="sequence length")
+    stream.add_argument("--seed", type=int, default=0, help="dataset seed")
+    stream.add_argument("--search", type=int, default=2, help="z-search half-width")
+    stream.add_argument("--template", type=int, default=3, help="z-template half-width")
+    stream.add_argument(
+        "--inject-faults", type=str, default=None, metavar="SPEC",
+        help="comma-separated fault spec, e.g. "
+        "'corrupt:7:nan-speckle,read:3,write:2,mem:10,deadrows:12:2' "
+        "or 'random' for a seeded random plan",
+    )
+    stream.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for frame corruption and 'random' fault plans",
+    )
+    stream.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="checkpoint file (.npz), written after every pair",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint if it matches this run",
+    )
+    stream.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="process at most N pairs this invocation (for resume tests)",
+    )
+    stream.add_argument(
+        "--hs-iterations", type=int, default=60,
+        help="Horn-Schunck fallback iteration cap",
+    )
+    stream.add_argument("--out", type=str, default=None, help="save the mean field (.npz)")
+    stream.add_argument(
+        "--report", type=str, default=None, metavar="PATH",
+        help="write the structured RunReport as JSON",
+    )
+
     return parser
+
+
+def _parse_fault_spec(spec: str, seed: int, n_frames: int):
+    """Build a :class:`FaultPlan` from the ``--inject-faults`` mini-language.
+
+    Tokens (comma-separated):
+
+    * ``corrupt:FRAME[:MODE]`` -- corrupt one frame (default nan-speckle),
+    * ``read:FRAME[:COUNT]``   -- COUNT transient read failures (default 1),
+    * ``write:FRAME[:COUNT]``  -- COUNT transient write failures (default 1),
+    * ``mem:PAIR``             -- PE-memory squeeze while processing PAIR,
+    * ``deadrows:PAIR:N``      -- N PE rows die before PAIR,
+    * ``random[:RATE]``        -- seeded random plan at the given rate.
+    """
+    from .reliability import CORRUPTION_MODES, FaultPlan
+
+    corrupt: dict[int, str] = {}
+    reads: dict[int, int] = {}
+    writes: dict[int, int] = {}
+    mem: list[int] = []
+    dead: dict[int, int] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        kind = parts[0]
+        try:
+            if kind == "random":
+                rate = float(parts[1]) if len(parts) > 1 else 0.1
+                return FaultPlan.random(
+                    seed, n_frames,
+                    corrupt_rate=rate, read_failure_rate=rate, memory_fault_rate=rate,
+                )
+            if kind == "corrupt":
+                mode = parts[2] if len(parts) > 2 else "nan-speckle"
+                if mode not in CORRUPTION_MODES:
+                    raise ValueError(
+                        f"unknown corruption mode {mode!r} "
+                        f"(choose from {', '.join(CORRUPTION_MODES)})"
+                    )
+                corrupt[int(parts[1])] = mode
+            elif kind == "read":
+                reads[int(parts[1])] = int(parts[2]) if len(parts) > 2 else 1
+            elif kind == "write":
+                writes[int(parts[1])] = int(parts[2]) if len(parts) > 2 else 1
+            elif kind == "mem":
+                mem.append(int(parts[1]))
+            elif kind == "deadrows":
+                dead[int(parts[1])] = int(parts[2])
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except IndexError:
+            raise ValueError(f"malformed fault token {token!r}") from None
+    return FaultPlan(
+        seed=seed,
+        corrupt_frames=corrupt,
+        read_failures=reads,
+        write_failures=writes,
+        pe_memory_faults=tuple(sorted(mem)),
+        dead_pe_rows=dead,
+    )
 
 
 def _cmd_track(args: argparse.Namespace) -> int:
@@ -213,11 +318,66 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .reliability import StreamingRunner
+
+    factory = DATASET_FACTORIES[args.dataset]
+    dataset: Dataset = factory(size=args.size, n_frames=args.frames, seed=args.seed)
+    config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
+    plan = None
+    if args.inject_faults:
+        plan = _parse_fault_spec(args.inject_faults, args.fault_seed, args.frames)
+    runner = StreamingRunner(
+        config,
+        fault_plan=plan,
+        checkpoint_path=args.checkpoint,
+        hs_iterations=args.hs_iterations,
+        pixel_km=dataset.pixel_km,
+    )
+    result = runner.run(dataset.frames, resume=args.resume, stop_after=args.stop_after)
+
+    rows = [
+        ("dataset", f"{dataset.name} ({args.size}x{args.size}, {args.frames} frames)"),
+        ("status", "completed" if result.completed else
+         f"stopped after {result.pairs_done}/{result.n_pairs} pairs"),
+        ("resumed from checkpoint", "yes" if result.resumed else "no"),
+    ]
+    if plan is not None:
+        rows.append(("injected faults", str(sum(1 for _ in plan.describe()))))
+    rows.extend(result.report.summary_rows())
+    rows.append(("modeled seconds (total)", f"{result.ledger.total_seconds():.3f}"))
+    print(format_table(rows, title="fault-tolerant streaming"))
+
+    if result.report.events:
+        event_rows = [
+            (str(e.pair), e.kind, e.action, e.detail) for e in result.report.events
+        ]
+        print(format_table(
+            event_rows,
+            headers=["pair", "fault", "action", "detail"],
+            title="fault log",
+        ))
+
+    if args.report:
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(args.report, result.report.to_json())
+        print(f"saved run report to {args.report}")
+    if args.out:
+        if result.field is None:
+            print("no field to save (run stopped before the first pair)", file=sys.stderr)
+            return 1
+        result.field.save(args.out)
+        print(f"saved mean field to {args.out}")
+    return 0
+
+
 COMMANDS = {
     "track": _cmd_track,
     "winds": _cmd_winds,
     "machine": _cmd_machine,
     "datasets": _cmd_datasets,
+    "stream": _cmd_stream,
 }
 
 

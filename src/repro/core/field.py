@@ -16,9 +16,12 @@ serialization.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..ioutil import atomic_savez
 
 
 @dataclass
@@ -159,7 +162,12 @@ class MotionField:
         return points, vectors
 
     def save(self, path: str) -> None:
-        """Serialize to a compressed .npz archive."""
+        """Serialize to a compressed .npz archive.
+
+        The write is atomic (temp file in the target directory, then
+        rename), so an interrupted save never leaves a truncated field
+        where a previous good one was.
+        """
         arrays = {
             "u": self.u,
             "v": self.v,
@@ -170,7 +178,9 @@ class MotionField:
         }
         if self.params is not None:
             arrays["params"] = self.params
-        np.savez_compressed(path, **arrays)
+        if self.metadata:
+            arrays["metadata_json"] = np.array(json.dumps(self.metadata))
+        atomic_savez(path, **arrays)
 
     @classmethod
     def load(cls, path: str) -> "MotionField":
@@ -184,4 +194,9 @@ class MotionField:
                 params=data["params"] if "params" in data else None,
                 dt_seconds=float(data["dt_seconds"]),
                 pixel_km=float(data["pixel_km"]),
+                metadata=(
+                    json.loads(str(data["metadata_json"]))
+                    if "metadata_json" in data
+                    else {}
+                ),
             )

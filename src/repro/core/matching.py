@@ -135,8 +135,16 @@ def prepare_frames(
     """
     z_before = np.asarray(z_before, dtype=np.float64)
     z_after = np.asarray(z_after, dtype=np.float64)
+    for label, z in (("before", z_before), ("after", z_after)):
+        if z.ndim != 2 or z.size == 0:
+            raise ValueError(f"{label} frame must be a non-empty 2-D image, got shape {z.shape}")
+        if not np.isfinite(z).all():
+            raise ValueError(
+                f"{label} frame contains non-finite values (NaN or Inf); garbage "
+                "pixels would silently poison the windowed 6x6 normal equations"
+            )
     if z_before.shape != z_after.shape:
-        raise ValueError("frame shapes differ")
+        raise ValueError(f"frame shapes differ: {z_before.shape} vs {z_after.shape}")
     geo_b = fit_surface(z_before, config.n_w)
     geo_a = fit_surface(z_after, config.n_w)
     volume = None
@@ -145,6 +153,8 @@ def prepare_frames(
         i_a = z_after if intensity_after is None else np.asarray(intensity_after, float)
         if i_b.shape != z_before.shape or i_a.shape != z_before.shape:
             raise ValueError("intensity shapes must match surface shapes")
+        if not (np.isfinite(i_b).all() and np.isfinite(i_a).all()):
+            raise ValueError("intensity contains non-finite values (NaN or Inf)")
         d_b = discriminant_field(i_b, config.n_w)
         d_a = discriminant_field(i_a, config.n_w)
         volume = compute_score_volume(d_b, d_a, config)

@@ -57,8 +57,20 @@ class Frame:
         s = np.asarray(self.surface)
         if s.ndim != 2:
             raise ValueError(f"surface must be 2-D, got shape {s.shape}")
-        if self.intensity is not None and np.asarray(self.intensity).shape != s.shape:
-            raise ValueError("intensity shape must match surface shape")
+        if s.size == 0:
+            raise ValueError("surface is empty")
+        if not np.issubdtype(s.dtype, np.number) or np.issubdtype(s.dtype, np.complexfloating):
+            raise ValueError(f"surface must be real-numeric, got dtype {s.dtype}")
+        if not np.isfinite(s.astype(np.float64, copy=False)).all():
+            raise ValueError("surface contains non-finite values (NaN or Inf)")
+        if self.intensity is not None:
+            i = np.asarray(self.intensity)
+            if i.shape != s.shape:
+                raise ValueError("intensity shape must match surface shape")
+            if not np.issubdtype(i.dtype, np.number) or np.issubdtype(i.dtype, np.complexfloating):
+                raise ValueError(f"intensity must be real-numeric, got dtype {i.dtype}")
+            if not np.isfinite(i.astype(np.float64, copy=False)).all():
+                raise ValueError("intensity contains non-finite values (NaN or Inf)")
 
     @property
     def shape(self) -> tuple[int, int]:

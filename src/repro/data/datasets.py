@@ -40,6 +40,48 @@ PAPER_SCALE: dict[str, dict[str, float | int]] = {
     "hurricane-luis": {"size": 512, "n_frames": 490, "dt_seconds": 90.0},
 }
 
+#: Disk-array key of frame ``m`` in a staged streaming sequence.
+FRAME_KEY_FORMAT = "frame-{:05d}"
+
+
+def frame_key(index: int, channel: str | None = None) -> str:
+    """MPDA key of frame ``index`` (optionally a named channel of it)."""
+    if index < 0:
+        raise ValueError("frame index must be >= 0")
+    key = FRAME_KEY_FORMAT.format(index)
+    return key if channel is None else f"{key}:{channel}"
+
+
+def frame_index(key: str) -> int | None:
+    """Inverse of :func:`frame_key`; ``None`` for foreign keys."""
+    base = key.split(":", 1)[0]
+    prefix = "frame-"
+    if not base.startswith(prefix) or not base[len(prefix):].isdigit():
+        return None
+    return int(base[len(prefix):])
+
+
+def stage_frames(frames, disk) -> list[str]:
+    """Write a sequence's surfaces (and intensities) to a disk array.
+
+    This is the ingest half of the paper's Hurricane Luis workload: the
+    PE memory holds only a few frames, so the full sequence lives on
+    the MPDA and streams through.  Returns the surface keys in frame
+    order.  ``disk`` is anything with ``write_frame`` (a
+    :class:`~repro.maspar.disk.ParallelDiskArray` or the reliability
+    subsystem's fault-injecting wrapper).
+    """
+    keys: list[str] = []
+    for m, frame in enumerate(frames):
+        key = frame_key(m)
+        disk.write_frame(key, np.asarray(frame.surface, dtype=np.float64))
+        if frame.intensity is not None:
+            disk.write_frame(
+                frame_key(m, "intensity"), np.asarray(frame.intensity, dtype=np.float64)
+            )
+        keys.append(key)
+    return keys
+
 
 @dataclass
 class Dataset:

@@ -1,0 +1,58 @@
+"""Atomic file-write helpers.
+
+A 490-frame streaming run checkpoints after every frame pair; a crash
+mid-save must never leave a truncated archive where the previous good
+checkpoint used to be.  :func:`atomic_savez` therefore writes to a
+temporary file in the *same directory* as the target (so the final
+rename is a same-filesystem ``os.replace``, which POSIX guarantees to
+be atomic) and only then moves it into place.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+
+import numpy as np
+
+
+def atomic_savez(path: str, compressed: bool = True, **arrays) -> str:
+    """``np.savez(_compressed)`` that never leaves a partial file.
+
+    Mirrors numpy's convention of appending ``.npz`` when the target
+    path lacks the suffix; returns the final path written.
+    """
+    final = str(path)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-", suffix=".npz", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if compressed:
+                np.savez_compressed(handle, **arrays)
+            else:
+                np.savez(handle, **arrays)
+        os.replace(tmp, final)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return final
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Write a text file atomically (same temp-then-replace dance)."""
+    final = str(path)
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-", suffix=".txt", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(tmp, final)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return final

@@ -22,6 +22,7 @@ the instruction).
 
 from __future__ import annotations
 
+import dataclasses
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -42,6 +43,10 @@ class PhaseCost:
     router_sends: int = 0
     disk_bytes: float = 0.0
     gaussian_eliminations: int = 0
+    #: Modeled wall-clock stalls not tied to an operation count (retry
+    #: backoff while a failed MPDA read is re-issued, degraded-mode
+    #: re-planning) -- added to the phase time as-is.
+    stall_seconds: float = 0.0
 
     def merge(self, other: "PhaseCost") -> None:
         self.flops += other.flops
@@ -53,6 +58,7 @@ class PhaseCost:
         self.router_sends += other.router_sends
         self.disk_bytes += other.disk_bytes
         self.gaussian_eliminations += other.gaussian_eliminations
+        self.stall_seconds += other.stall_seconds
 
 
 @dataclass
@@ -111,6 +117,18 @@ class CostLedger:
         """Charge MPDA disk traffic."""
         self._bucket().disk_bytes += byte_count
 
+    def charge_stall(self, seconds: float) -> None:
+        """Charge a modeled wall-clock stall (e.g. retry backoff).
+
+        Fault recovery is not an operation count: a failed disk read
+        that is retried after a backoff costs the run real time at no
+        extra flops.  Charging it here makes recovery show up in the
+        Table 2 / Table 4 style timing rows instead of vanishing.
+        """
+        if seconds < 0:
+            raise ValueError("stall seconds must be >= 0")
+        self._bucket().stall_seconds += seconds
+
     def charge_gaussian_elimination(self, systems: int, order: int = 6) -> None:
         """Charge ``systems`` dense GE solves of the given order.
 
@@ -145,6 +163,7 @@ class CostLedger:
             + cost.xnet_bytes / m.xnet_bw
             + cost.router_bytes / m.router_bw
             + cost.disk_bytes / m.disk_bw
+            + cost.stall_seconds
         )
 
     def total_seconds(self) -> float:
@@ -162,3 +181,13 @@ class CostLedger:
 
     def reset(self) -> None:
         self.phases.clear()
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state of all phase buckets (for checkpoints)."""
+        return {name: dataclasses.asdict(cost) for name, cost in self.phases.items()}
+
+    def restore(self, state: dict) -> None:
+        """Replace the phase buckets with a :meth:`snapshot` payload."""
+        self.phases = {name: PhaseCost(**fields) for name, fields in state.items()}

@@ -24,6 +24,22 @@ from .cost import CostLedger
 from .machine import MachineConfig
 
 
+class DiskError(OSError):
+    """Base class for modeled MPDA failures."""
+
+    def __init__(self, key: str, message: str) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class DiskReadError(DiskError):
+    """A (possibly transient) failure reading a striped frame."""
+
+
+class DiskWriteError(DiskError):
+    """A (possibly transient) failure writing a striped frame."""
+
+
 @dataclass
 class ParallelDiskArray:
     """Striped frame store with sustained-throughput accounting."""
@@ -58,6 +74,10 @@ class ParallelDiskArray:
 
     def __len__(self) -> int:
         return len(self._frames)
+
+    def keys(self) -> list[str]:
+        """Stored frame keys in insertion order."""
+        return list(self._frames)
 
     @property
     def stored_bytes(self) -> int:

@@ -15,7 +15,33 @@ from dataclasses import dataclass, field
 
 
 class PEMemoryError(MemoryError):
-    """Raised when a plural allocation would exceed PE memory capacity."""
+    """Raised when a plural allocation would exceed PE memory capacity.
+
+    Carries the sizing that failed so recovery code (the reliability
+    subsystem's degradation ladder) can re-plan instead of guessing:
+    ``requested_bytes``, ``capacity_bytes`` and ``in_use_bytes`` are
+    per-PE figures, ``None`` when the raiser did not know them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_bytes: int | None = None,
+        capacity_bytes: int | None = None,
+        in_use_bytes: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.capacity_bytes = capacity_bytes
+        self.in_use_bytes = in_use_bytes
+
+    @property
+    def shortfall_bytes(self) -> int | None:
+        """How far over capacity the allocation went (bytes/PE)."""
+        if None in (self.requested_bytes, self.capacity_bytes, self.in_use_bytes):
+            return None
+        return self.in_use_bytes + self.requested_bytes - self.capacity_bytes
 
 
 @dataclass
@@ -72,7 +98,10 @@ class PEMemoryTracker:
             raise PEMemoryError(
                 f"allocating {bytes_per_pe} B for '{name}' needs "
                 f"{new_total} B/PE but capacity is {self.capacity_bytes} B/PE "
-                f"({new_total - self.capacity_bytes} B over)"
+                f"({new_total - self.capacity_bytes} B over)",
+                requested_bytes=bytes_per_pe,
+                capacity_bytes=self.capacity_bytes,
+                in_use_bytes=self.used_bytes,
             )
         handle = self._next_handle
         self._next_handle += 1

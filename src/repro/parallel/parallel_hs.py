@@ -66,6 +66,7 @@ def parallel_horn_schunck(
     machine: MachineConfig | None = None,
     alpha: float = 1.0,
     iterations: int = 100,
+    tolerance: float = 0.0,
 ) -> ParallelHSResult:
     """Horn-Schunck executed on the PE array, one pixel per PE.
 
@@ -73,6 +74,10 @@ def parallel_horn_schunck(
     :func:`repro.maspar.machine.scaled_machine` to fit); derivative
     stencils are computed up front (they are data-independent of the
     iteration) and the Jacobi loop runs entirely in plural operations.
+    ``tolerance`` enables the same mean-update early exit as the
+    sequential baseline (0 disables), bounding the cost when the flow
+    converges quickly -- the regime the reliability subsystem's
+    degraded mode relies on.
     """
     f0 = np.asarray(frame0, dtype=np.float64)
     f1 = np.asarray(frame1, dtype=np.float64)
@@ -82,6 +87,8 @@ def parallel_horn_schunck(
         raise ValueError("alpha must be positive")
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
     if machine is None:
         machine = scaled_machine(*f0.shape)
     if f0.shape != (machine.nyproc, machine.nxproc):
@@ -104,17 +111,23 @@ def parallel_horn_schunck(
     u = pe.zeros(name="u")
     v = pe.zeros(name="v")
 
+    done = 0
     with ledger.phase("jacobi iteration"):
-        for _ in range(iterations):
+        for done in range(1, iterations + 1):
             with pe.scope():
                 u_bar = _plural_average(pe, u)
                 v_bar = _plural_average(pe, v)
                 common = (ex * u_bar + ey * v_bar + et) * inv_denom
                 new_u = u_bar - ex * common
                 new_v = v_bar - ey * common
+                delta = float(
+                    np.mean(np.hypot(new_u.data - u.data, new_v.data - v.data))
+                )
                 pe.assign(u, new_u)
                 pe.assign(v, new_v)
+            if tolerance > 0 and delta < tolerance:
+                break
 
     return ParallelHSResult(
-        u=u.data.copy(), v=v.data.copy(), iterations=iterations, ledger=ledger
+        u=u.data.copy(), v=v.data.copy(), iterations=done, ledger=ledger
     )

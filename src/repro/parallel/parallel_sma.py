@@ -45,7 +45,7 @@ from ..core.sma import Frame
 from ..maspar.cost import CostLedger
 from ..maspar.machine import MachineConfig, scaled_machine
 from ..maspar.mapping import HierarchicalMapping, mapping_for
-from ..maspar.memory import PEMemoryTracker
+from ..maspar.memory import PEMemoryError, PEMemoryTracker
 from ..maspar.readout import DEFAULT_READOUT, RasterScanReadout, SnakeReadout
 from ..params import NeighborhoodConfig
 from .memory_plan import max_feasible_segment_rows, plan
@@ -233,9 +233,13 @@ class ParallelSMA:
         if segment_rows is None:
             segment_rows = max_feasible_segment_rows(self.config, mapping.layers, machine)
             if segment_rows == 0:
-                raise MemoryError(
+                smallest = plan(self.config, mapping.layers, segment_rows=1)
+                raise PEMemoryError(
                     "no feasible template-mapping segment size: fold the image "
-                    "onto more PEs or reduce the search window"
+                    "onto more PEs or reduce the search window",
+                    requested_bytes=smallest.total_bytes,
+                    capacity_bytes=machine.pe_memory_bytes,
+                    in_use_bytes=0,
                 )
 
         # Fold the image through the hierarchical mapping (and back) so

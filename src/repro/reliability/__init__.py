@@ -1,0 +1,59 @@
+"""Fault tolerance for long-sequence streaming SMA runs.
+
+The paper's operational workload streams 490 GOES-9 frames through the
+MPDA; this subsystem makes that survivable: seeded fault injection
+(:mod:`.faults`, :mod:`.injection`), ingest-boundary validation
+(:mod:`.validation`), ledger-charged retry (:mod:`.retry`), atomic
+checkpoint/resume (:mod:`.checkpoint`), a graceful-degradation ladder
+(:mod:`.degrade`), structured run reporting (:mod:`.report`) and the
+streaming driver tying them together (:mod:`.stream`).
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    StreamState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .degrade import DegradationLadder, LadderStep, RungResult
+from .faults import CORRUPTION_MODES, FaultPlan, corrupt_frame, corruption_seed
+from .injection import FaultyDiskArray
+from .report import RUNG_NAMES, FaultEvent, PairOutcome, RunReport
+from .retry import PHASE_RECOVERY, RetryPolicy
+from .stream import PHASE_STREAMING, StreamingRunner, StreamResult
+from .validation import (
+    DEFAULT_MAX_ABS,
+    FrameValidationError,
+    is_valid_frame,
+    validate_frame,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "StreamState",
+    "load_checkpoint",
+    "save_checkpoint",
+    "DegradationLadder",
+    "LadderStep",
+    "RungResult",
+    "CORRUPTION_MODES",
+    "FaultPlan",
+    "corrupt_frame",
+    "corruption_seed",
+    "FaultyDiskArray",
+    "RUNG_NAMES",
+    "FaultEvent",
+    "PairOutcome",
+    "RunReport",
+    "PHASE_RECOVERY",
+    "RetryPolicy",
+    "PHASE_STREAMING",
+    "StreamingRunner",
+    "StreamResult",
+    "DEFAULT_MAX_ABS",
+    "FrameValidationError",
+    "is_valid_frame",
+    "validate_frame",
+]

@@ -1,0 +1,196 @@
+"""Seeded, deterministic fault plans for streaming SMA runs.
+
+Real satellite ingest treats dropped and garbled frames as routine;
+reproducing that operationally requires *injecting* such faults on
+demand, deterministically, so that a failure observed once can be
+replayed exactly.  A :class:`FaultPlan` is a frozen description of
+every fault a run will encounter:
+
+* **frame corruption** -- NaN speckle, truncation or bit-noise applied
+  to a frame as it is read back from the disk array (a bad stripe:
+  the stored data is fine, the read is not),
+* **transient disk read/write failures** -- the first ``k`` accesses
+  of a frame raise :class:`~repro.maspar.disk.DiskReadError` /
+  :class:`~repro.maspar.disk.DiskWriteError` and then succeed,
+  modeling a retried MPDA channel glitch,
+* **PE-memory squeezes** -- at a given frame pair the per-PE memory
+  available to the planned template-mapping segment shrinks, forcing
+  the :class:`~repro.maspar.memory.PEMemoryError` re-planning path,
+* **dead PE rows** -- from a given pair onward, rows of the PE array
+  are marked dead and the image must be refolded onto a smaller grid.
+
+All randomness is derived from ``(seed, frame index)`` pairs, never
+from shared mutable state, so the same plan produces bit-identical
+faults whether a run is uninterrupted or checkpointed and resumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+#: Supported frame-corruption modes.
+CORRUPTION_MODES = ("nan-speckle", "truncate", "bit-noise")
+
+
+def corruption_seed(seed: int, index: int) -> int:
+    """Deterministic per-frame RNG seed (stateless, resume-safe)."""
+    return (seed * 1_000_003 + index * 7919 + 17) % (2**63)
+
+
+def corrupt_frame(frame: np.ndarray, mode: str, seed: int) -> np.ndarray:
+    """Apply one corruption mode to a copy of ``frame``.
+
+    * ``nan-speckle`` -- ~1% of pixels (at least one) become NaN,
+    * ``truncate``    -- the lower half of the frame is lost (short
+      read), changing the array shape,
+    * ``bit-noise``   -- high-order mantissa/exponent bits of ~1% of
+      pixels flip, producing absurd magnitudes (and possibly Inf/NaN).
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(f"unknown corruption mode {mode!r} (choose from {CORRUPTION_MODES})")
+    rng = np.random.default_rng(seed)
+    out = np.array(frame, dtype=np.float64, copy=True)
+    if mode == "truncate":
+        return out[: max(1, out.shape[0] // 2), :]
+    n_bad = max(1, out.size // 100)
+    flat = out.reshape(-1)
+    idx = rng.choice(out.size, size=n_bad, replace=False)
+    if mode == "nan-speckle":
+        flat[idx] = np.nan
+    else:  # bit-noise
+        bits = flat.view(np.uint64)
+        flips = rng.integers(40, 63, size=n_bad, dtype=np.uint64)
+        bits[idx] = bits[idx] ^ (np.uint64(1) << flips)
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic schedule of injected faults for one streaming run.
+
+    Attributes
+    ----------
+    seed:
+        Root seed for all derived randomness (corruption patterns).
+    corrupt_frames:
+        ``frame index -> corruption mode`` (persistent: every read of
+        that frame is corrupted the same way).
+    read_failures / write_failures:
+        ``frame index -> number of transient failures`` before the
+        access succeeds.
+    pe_memory_faults:
+        Pair indices at which the PE memory is squeezed just below the
+        planned segment budget.
+    dead_pe_rows:
+        ``pair index -> number of PE rows that die at that pair`` (and
+        stay dead for the rest of the run).
+    """
+
+    seed: int = 0
+    corrupt_frames: Mapping[int, str] = field(default_factory=dict)
+    read_failures: Mapping[int, int] = field(default_factory=dict)
+    write_failures: Mapping[int, int] = field(default_factory=dict)
+    pe_memory_faults: tuple[int, ...] = ()
+    dead_pe_rows: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for index, mode in self.corrupt_frames.items():
+            if mode not in CORRUPTION_MODES:
+                raise ValueError(f"frame {index}: unknown corruption mode {mode!r}")
+        for name in ("read_failures", "write_failures"):
+            for index, count in getattr(self, name).items():
+                if count < 1:
+                    raise ValueError(f"{name}[{index}] must be >= 1, got {count}")
+        for pair, rows in self.dead_pe_rows.items():
+            if rows < 1:
+                raise ValueError(f"dead_pe_rows[{pair}] must be >= 1, got {rows}")
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.corrupt_frames
+            or self.read_failures
+            or self.write_failures
+            or self.pe_memory_faults
+            or self.dead_pe_rows
+        )
+
+    def corruption_for(self, index: int) -> str | None:
+        return self.corrupt_frames.get(index)
+
+    def corruption_seed(self, index: int) -> int:
+        return corruption_seed(self.seed, index)
+
+    def dead_rows_at(self, pair: int) -> int:
+        """Total PE rows dead once pair ``pair`` is reached (cumulative)."""
+        return sum(rows for p, rows in self.dead_pe_rows.items() if p <= pair)
+
+    def fingerprint(self) -> str:
+        """Stable digest guarding checkpoint/plan consistency on resume."""
+        payload = json.dumps(
+            {
+                "seed": self.seed,
+                "corrupt": sorted((int(k), v) for k, v in self.corrupt_frames.items()),
+                "read": sorted((int(k), int(v)) for k, v in self.read_failures.items()),
+                "write": sorted((int(k), int(v)) for k, v in self.write_failures.items()),
+                "mem": sorted(int(p) for p in self.pe_memory_faults),
+                "dead": sorted((int(k), int(v)) for k, v in self.dead_pe_rows.items()),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # -- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_frames: int,
+        corrupt_rate: float = 0.05,
+        read_failure_rate: float = 0.05,
+        memory_fault_rate: float = 0.05,
+    ) -> "FaultPlan":
+        """A deterministic random plan: same seed, same faults, always."""
+        if n_frames < 2:
+            raise ValueError("need at least two frames")
+        rng = np.random.default_rng(seed)
+        corrupt: dict[int, str] = {}
+        reads: dict[int, int] = {}
+        mem: list[int] = []
+        for index in range(n_frames):
+            if rng.random() < corrupt_rate:
+                corrupt[index] = CORRUPTION_MODES[int(rng.integers(len(CORRUPTION_MODES)))]
+            if rng.random() < read_failure_rate:
+                reads[index] = int(rng.integers(1, 3))
+        for pair in range(n_frames - 1):
+            if rng.random() < memory_fault_rate:
+                mem.append(pair)
+        return cls(
+            seed=seed,
+            corrupt_frames=corrupt,
+            read_failures=reads,
+            pe_memory_faults=tuple(mem),
+        )
+
+    def describe(self) -> list[tuple[str, str]]:
+        """Human-readable (fault, target) rows for reporting."""
+        rows: list[tuple[str, str]] = []
+        for index, mode in sorted(self.corrupt_frames.items()):
+            rows.append(("corrupt-frame", f"frame {index} ({mode})"))
+        for index, count in sorted(self.read_failures.items()):
+            rows.append(("disk-read-failure", f"frame {index} (x{count} transient)"))
+        for index, count in sorted(self.write_failures.items()):
+            rows.append(("disk-write-failure", f"frame {index} (x{count} transient)"))
+        for pair in sorted(self.pe_memory_faults):
+            rows.append(("pe-memory-squeeze", f"pair {pair}"))
+        for pair, rows_dead in sorted(self.dead_pe_rows.items()):
+            rows.append(("dead-pe-rows", f"{rows_dead} row(s) from pair {pair}"))
+        return rows

@@ -1,0 +1,119 @@
+"""Fault-injecting wrapper around the MPDA model.
+
+:class:`FaultyDiskArray` fronts a real
+:class:`~repro.maspar.disk.ParallelDiskArray` and consults a
+:class:`~repro.reliability.faults.FaultPlan`:
+
+* the first ``k`` reads/writes of a scheduled frame raise
+  :class:`~repro.maspar.disk.DiskReadError` /
+  :class:`~repro.maspar.disk.DiskWriteError` (transient channel
+  faults -- a retry succeeds),
+* reads of a corrupted frame return deterministically garbled data
+  (persistent media fault -- a retry returns the same garbage),
+* everything else passes straight through, including the cost-ledger
+  accounting of the wrapped array.
+
+The remaining-failure budgets are the only mutable fault state; they
+can be snapshotted into a checkpoint and restored so a resumed run
+sees exactly the faults an uninterrupted run would have seen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.datasets import frame_index
+from ..maspar.disk import DiskReadError, DiskWriteError, ParallelDiskArray
+from .faults import FaultPlan, corrupt_frame
+
+
+class FaultyDiskArray:
+    """A :class:`ParallelDiskArray` that fails on schedule.
+
+    Parameters
+    ----------
+    inner:
+        The real frame store (keeps its own ledger accounting).
+    plan:
+        The fault schedule.
+    index_of:
+        Maps a disk key to the frame index the plan speaks of;
+        defaults to parsing the ``frame-00012`` convention of
+        :func:`repro.data.datasets.frame_key`.  Keys that do not map
+        (``None``) are never faulted.
+    """
+
+    def __init__(
+        self,
+        inner: ParallelDiskArray,
+        plan: FaultPlan,
+        index_of: Callable[[str], int | None] = frame_index,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.index_of = index_of
+        self._reads_left = dict(plan.read_failures)
+        self._writes_left = dict(plan.write_failures)
+        #: (kind, key) log of every fault actually triggered.
+        self.triggered: list[tuple[str, str]] = []
+
+    # -- faulted operations ----------------------------------------------------------
+
+    def write_frame(self, key: str, frame: np.ndarray) -> None:
+        index = self.index_of(key)
+        if index is not None and self._writes_left.get(index, 0) > 0:
+            self._writes_left[index] -= 1
+            self.triggered.append(("disk-write-error", key))
+            raise DiskWriteError(key, f"transient MPDA write failure on {key!r} (injected)")
+        self.inner.write_frame(key, frame)
+
+    def read_frame(self, key: str) -> np.ndarray:
+        index = self.index_of(key)
+        if index is not None and self._reads_left.get(index, 0) > 0:
+            self._reads_left[index] -= 1
+            self.triggered.append(("disk-read-error", key))
+            raise DiskReadError(key, f"transient MPDA read failure on {key!r} (injected)")
+        frame = self.inner.read_frame(key)
+        mode = self.plan.corruption_for(index) if index is not None else None
+        if mode is not None:
+            self.triggered.append(("corrupt-frame", key))
+            frame = corrupt_frame(frame, mode, self.plan.corruption_seed(index))
+        return frame
+
+    # -- fault-state checkpointing ---------------------------------------------------
+
+    def fault_state(self) -> dict:
+        """JSON-serializable remaining-failure budgets."""
+        return {
+            "reads_left": {str(k): v for k, v in self._reads_left.items()},
+            "writes_left": {str(k): v for k, v in self._writes_left.items()},
+        }
+
+    def restore_fault_state(self, state: dict) -> None:
+        """Resume with the budgets an interrupted run left behind."""
+        self._reads_left = {int(k): int(v) for k, v in state.get("reads_left", {}).items()}
+        self._writes_left = {int(k): int(v) for k, v in state.get("writes_left", {}).items()}
+
+    # -- passthrough -----------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def keys(self) -> list[str]:
+        return self.inner.keys()
+
+    @property
+    def ledger(self):
+        return self.inner.ledger
+
+    @ledger.setter
+    def ledger(self, value) -> None:
+        self.inner.ledger = value
+
+    def transfer_seconds(self, byte_count: int) -> float:
+        return self.inner.transfer_seconds(byte_count)

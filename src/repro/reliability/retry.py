@@ -1,0 +1,65 @@
+"""Bounded retry-with-backoff, charged to the cost ledger.
+
+A transient MPDA fault costs the run wall-clock time, not operations:
+the channel is re-armed, the read re-issued.  :class:`RetryPolicy`
+bounds the attempts and models the backoff; the modeled seconds are
+charged to the :class:`~repro.maspar.cost.CostLedger` under the
+``"Fault recovery"`` phase so recovery appears in the Table 2 / 4
+style timing rows next to the compute phases it delayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..maspar.cost import CostLedger
+
+#: Ledger phase that accumulates all recovery overhead.
+PHASE_RECOVERY = "Fault recovery"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry bounds.
+
+    ``max_attempts`` counts the first try: 3 means one try plus two
+    retries.  Backoff for retry ``k`` (1-based) is ``backoff_seconds *
+    backoff_factor**(k-1)``, jittered by ``+/- jitter`` fraction when
+    an RNG is supplied (the jitter draw is what makes the runner's RNG
+    state part of a checkpoint).
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0 or self.backoff_factor < 1 or not 0 <= self.jitter < 1:
+            raise ValueError("invalid backoff parameters")
+
+    def backoff_for(self, retry: int, rng: np.random.Generator | None = None) -> float:
+        """Modeled seconds to wait before 1-based retry number ``retry``."""
+        if retry < 1:
+            raise ValueError("retry number is 1-based")
+        base = self.backoff_seconds * self.backoff_factor ** (retry - 1)
+        if rng is not None and self.jitter > 0:
+            base *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return base
+
+    def charge_backoff(
+        self,
+        retry: int,
+        ledger: CostLedger | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Compute, charge (under ``Fault recovery``) and return a backoff."""
+        seconds = self.backoff_for(retry, rng)
+        if ledger is not None:
+            with ledger.phase(PHASE_RECOVERY):
+                ledger.charge_stall(seconds)
+        return seconds

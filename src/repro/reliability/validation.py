@@ -1,0 +1,93 @@
+"""Frame validation for the streaming path.
+
+Every frame that crosses the disk boundary is checked before it can
+reach the 6x6 solves: shape, dtype, finiteness and dynamic range.  A
+frame that fails validation is *detected* at the boundary (and retried
+or degraded around) instead of propagating garbage into the motion
+estimates -- the distinction between a bad pixel and a bad wind field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FrameValidationError(ValueError):
+    """A frame failed an ingest-boundary check.
+
+    ``reason`` is a stable machine-readable tag (``shape``, ``dtype``,
+    ``non-finite``, ``dynamic-range``, ``empty``) used by the run
+    report; the message carries the human detail.
+    """
+
+    def __init__(self, message: str, *, reason: str, name: str = "frame") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.name = name
+
+
+#: Magnitudes beyond this are treated as corruption (bit-noise makes
+#: float64 pixels explode to ~1e300; real GOES radiances never do).
+DEFAULT_MAX_ABS = 1e12
+
+
+def validate_frame(
+    array: np.ndarray,
+    expected_shape: tuple[int, int] | None = None,
+    name: str = "frame",
+    max_abs: float = DEFAULT_MAX_ABS,
+) -> np.ndarray:
+    """Validate one frame; returns it unchanged or raises.
+
+    Raises
+    ------
+    FrameValidationError
+        With a tagged ``reason`` describing the first failed check.
+    """
+    arr = np.asarray(array)
+    if not np.issubdtype(arr.dtype, np.number) or np.issubdtype(arr.dtype, np.complexfloating):
+        raise FrameValidationError(
+            f"{name}: dtype {arr.dtype} is not real-numeric", reason="dtype", name=name
+        )
+    if arr.ndim != 2:
+        raise FrameValidationError(
+            f"{name}: expected a 2-D image, got shape {arr.shape}", reason="shape", name=name
+        )
+    if arr.size == 0:
+        raise FrameValidationError(f"{name}: empty image", reason="empty", name=name)
+    if expected_shape is not None and tuple(arr.shape) != tuple(expected_shape):
+        raise FrameValidationError(
+            f"{name}: shape {arr.shape} != expected {tuple(expected_shape)} "
+            "(truncated or mis-striped read)",
+            reason="shape",
+            name=name,
+        )
+    as_float = arr.astype(np.float64, copy=False)
+    finite = np.isfinite(as_float)
+    if not finite.all():
+        n_bad = int((~finite).sum())
+        raise FrameValidationError(
+            f"{name}: {n_bad} non-finite pixel(s)", reason="non-finite", name=name
+        )
+    peak = float(np.abs(as_float).max())
+    if peak > max_abs:
+        raise FrameValidationError(
+            f"{name}: |pixel| up to {peak:.3g} exceeds the plausible dynamic "
+            f"range ({max_abs:.3g})",
+            reason="dynamic-range",
+            name=name,
+        )
+    return array
+
+
+def is_valid_frame(
+    array: np.ndarray,
+    expected_shape: tuple[int, int] | None = None,
+    max_abs: float = DEFAULT_MAX_ABS,
+) -> bool:
+    """Boolean form of :func:`validate_frame`."""
+    try:
+        validate_frame(array, expected_shape=expected_shape, max_abs=max_abs)
+    except FrameValidationError:
+        return False
+    return True

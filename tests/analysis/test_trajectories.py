@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.trajectories import (
-    Trajectory,
     integrate,
     sample_bilinear,
     trajectory_speeds,

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 from scipy import ndimage
 
-from repro import Frame, NeighborhoodConfig, SMAnalyzer
+from repro import NeighborhoodConfig, SMAnalyzer
 from repro.core.matching import prepare_frames
 from repro.data import florida_thunderstorm, hurricane_frederic, hurricane_luis
 

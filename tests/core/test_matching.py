@@ -15,7 +15,6 @@ from repro.data.advect import advect
 from repro.data.flow import AffineFlow
 from repro.data.noise import smooth_random_field
 from repro.params import NeighborhoodConfig
-from tests.conftest import translated_pair
 
 
 class TestHypothesisOrder:
@@ -130,7 +129,6 @@ class TestSemifluidTracking:
         prep = prepare_frames(f0, f1, cfg_sf0)
         # degenerate window: force the F_semi gather to the hypothesis
         from repro.core.matching import hypothesis_fields
-        from repro.core.continuous import solve_accumulated
         fields_sf = hypothesis_fields(prep, -1, 2, deltas=(
             np.full(f0.shape, -1, dtype=np.int64), np.full(f0.shape, 2, dtype=np.int64)))
         prep_c = prepare_frames(f0, f1, cfg_cont)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import Frame, SMAnalyzer
-from repro.params import FREDERIC_CONFIG, NeighborhoodConfig
+from repro.params import FREDERIC_CONFIG
 from tests.conftest import translated_pair
 
 

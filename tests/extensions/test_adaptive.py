@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.matching import prepare_frames, track_dense
+from repro.core.matching import track_dense
 from repro.extensions.adaptive import (
     box_sum_rect,
     select_window_sizes,
@@ -11,8 +11,6 @@ from repro.extensions.adaptive import (
     track_dense_adaptive,
     track_dense_rect,
 )
-from repro.params import NeighborhoodConfig
-from tests.conftest import translated_pair
 
 
 class TestBoxSumRect:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.data import hurricane_frederic, render_pair
 from repro.extensions.coupled import CoupledStereoMotion, warp_by_motion
-from repro.params import NeighborhoodConfig
 from repro.stereo.asa import ASAConfig
 
 

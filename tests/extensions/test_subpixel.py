@@ -33,7 +33,9 @@ class TestParabolicOffset:
 
     def test_known_vertex(self):
         # parabola (x - 0.25)^2 sampled at -1, 0, 1
-        e = lambda x: (x - 0.25) ** 2
+        def e(x):
+            return (x - 0.25) ** 2
+
         off = parabolic_offset(e(-1), e(0), e(1))
         assert off == pytest.approx(0.25)
 

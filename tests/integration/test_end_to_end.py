@@ -1,7 +1,6 @@
 """Integration tests: complete pipelines across modules."""
 
 import numpy as np
-import pytest
 
 from repro import SMAnalyzer
 from repro.analysis.metrics import compare_fields

@@ -2,7 +2,6 @@
 across the whole (bounded) configuration space."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,75 @@
+"""Checkpoint persistence: atomic, versioned, faithful."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    CheckpointError,
+    RunReport,
+    StreamState,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+@pytest.fixture()
+def state():
+    s = StreamState.fresh("cfg|16x16|4|no-faults", n_pairs=4, shape=(16, 16))
+    s.pairs_done = 2
+    s.sum_u += 1.5
+    s.sum_v -= 0.5
+    s.has_last = True
+    s.last_u += 2.0
+    s.ledger_state = {"Disk streaming": {"seconds": 1.0, "flops": 0, "comm_bytes": 0,
+                                         "disk_bytes": 0, "stall_seconds": 0.25}}
+    s.fault_state = {"reads_left": {"3": 1}, "writes_left": {}}
+    s.report = RunReport()
+    s.report.record_event(1, "pe-memory", "squeeze", "replanned")
+    s.report.record_outcome(0, rung=0, segment_rows=5, seconds=0.4)
+    return s
+
+
+class TestRoundtrip:
+    def test_everything_survives(self, tmp_path, state):
+        path = save_checkpoint(str(tmp_path / "ck"), state)
+        assert path.endswith(".npz")
+        loaded = load_checkpoint(path)
+        assert loaded.fingerprint == state.fingerprint
+        assert loaded.n_pairs == 4
+        assert loaded.pairs_done == 2
+        assert loaded.has_last
+        np.testing.assert_array_equal(loaded.sum_u, state.sum_u)
+        np.testing.assert_array_equal(loaded.sum_v, state.sum_v)
+        np.testing.assert_array_equal(loaded.last_u, state.last_u)
+        assert loaded.ledger_state == state.ledger_state
+        assert loaded.fault_state == state.fault_state
+        assert loaded.report.to_json() == state.report.to_json()
+
+    def test_overwrite_is_atomic_no_temp_left(self, tmp_path, state):
+        path = save_checkpoint(str(tmp_path / "ck"), state)
+        state.pairs_done = 3
+        save_checkpoint(path, state)
+        assert load_checkpoint(path).pairs_done == 3
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert not leftovers
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.npz"))
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_version_mismatch(self, tmp_path, state, monkeypatch):
+        import repro.reliability.checkpoint as ck
+
+        monkeypatch.setattr(ck, "CHECKPOINT_VERSION", 999)
+        path = save_checkpoint(str(tmp_path / "ck"), state)
+        monkeypatch.undo()
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)

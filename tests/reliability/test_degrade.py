@@ -1,0 +1,80 @@
+"""The graceful-degradation ladder, rung by rung."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.maspar.machine import scaled_machine
+from repro.parallel.memory_plan import plan
+from repro.reliability.degrade import DegradationLadder
+from tests.conftest import translated_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return translated_pair(size=32, dx=1, dy=0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(8, 8)
+
+
+@pytest.fixture(scope="module")
+def ladder(small_continuous_config):
+    return DegradationLadder(small_continuous_config, hs_iterations=20)
+
+
+class TestRungs:
+    def test_rung0_healthy(self, ladder, pair, machine):
+        result, steps = ladder.track_pair(pair[0], pair[1], machine, planned_rows=4)
+        assert result.rung == 0
+        assert not steps
+        assert result.segment_rows == 4
+
+    def test_rung1_replans_on_squeeze(self, ladder, pair, machine, small_continuous_config):
+        layers = machine.layers_for_image(*pair[0].shape)
+        planned = 4
+        budget = plan(small_continuous_config, layers, planned).total_bytes
+        squeezed = dataclasses.replace(machine, pe_memory_bytes=budget - 1)
+        result, steps = ladder.track_pair(pair[0], pair[1], squeezed, planned_rows=planned)
+        assert result.rung == 1
+        assert result.segment_rows is not None and result.segment_rows < planned
+        assert steps and steps[0].kind == "pe-memory"
+
+    def test_rung1_result_identical_to_rung0(
+        self, ladder, pair, machine, small_continuous_config
+    ):
+        """Segmentation is result-identical, so re-planning loses nothing."""
+        healthy, _ = ladder.track_pair(pair[0], pair[1], machine, planned_rows=4)
+        layers = machine.layers_for_image(*pair[0].shape)
+        budget = plan(small_continuous_config, layers, 4).total_bytes
+        squeezed = dataclasses.replace(machine, pe_memory_bytes=budget - 1)
+        degraded, _ = ladder.track_pair(pair[0], pair[1], squeezed, planned_rows=4)
+        np.testing.assert_array_equal(healthy.u, degraded.u)
+        np.testing.assert_array_equal(healthy.v, degraded.v)
+
+    def test_rung2_horn_schunck_when_no_segment_fits(
+        self, ladder, pair, machine, small_continuous_config
+    ):
+        layers = machine.layers_for_image(*pair[0].shape)
+        smallest = plan(small_continuous_config, layers, 1).total_bytes
+        starved = dataclasses.replace(machine, pe_memory_bytes=smallest - 1)
+        result, steps = ladder.track_pair(pair[0], pair[1], starved, planned_rows=4)
+        assert result.rung == 2
+        assert result.u.shape == pair[0].shape
+        assert [s.kind for s in steps] == ["pe-memory", "pe-memory"]
+
+    def test_rung3_interpolate_with_prior(self):
+        last_u = np.full((8, 8), 1.25)
+        last_v = np.full((8, 8), -0.5)
+        result = DegradationLadder.interpolate((8, 8), last_u, last_v, None)
+        assert result.rung == 3
+        np.testing.assert_array_equal(result.u, last_u)
+        np.testing.assert_array_equal(result.v, last_v)
+
+    def test_rung3_zero_fill_without_prior(self):
+        result = DegradationLadder.interpolate((8, 8), None, None, None)
+        assert result.rung == 3
+        assert not result.u.any() and not result.v.any()

@@ -1,0 +1,104 @@
+"""Seeded fault plans: same seed, same faults, always."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import CORRUPTION_MODES, FaultPlan, corrupt_frame, corruption_seed
+
+
+class TestCorruptFrame:
+    @pytest.fixture(scope="class")
+    def frame(self):
+        return np.random.default_rng(0).normal(size=(32, 32))
+
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_deterministic(self, frame, mode):
+        a = corrupt_frame(frame, mode, seed=123)
+        b = corrupt_frame(frame, mode, seed=123)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("mode", ["nan-speckle", "bit-noise"])
+    def test_seed_changes_result(self, frame, mode):
+        # truncation is excluded: dropping the tail rows is the whole
+        # fault, so it is deliberately seed-independent
+        a = corrupt_frame(frame, mode, seed=1)
+        b = corrupt_frame(frame, mode, seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_input_not_mutated(self, frame, mode):
+        original = frame.copy()
+        corrupt_frame(frame, mode, seed=5)
+        np.testing.assert_array_equal(frame, original)
+
+    def test_nan_speckle_introduces_nans(self, frame):
+        out = corrupt_frame(frame, "nan-speckle", seed=9)
+        assert np.isnan(out).any()
+
+    def test_truncate_changes_shape(self, frame):
+        out = corrupt_frame(frame, "truncate", seed=9)
+        assert out.shape[0] < frame.shape[0]
+
+    def test_bit_noise_keeps_shape(self, frame):
+        out = corrupt_frame(frame, "bit-noise", seed=9)
+        assert out.shape == frame.shape
+        assert not np.array_equal(out, frame)
+
+    def test_unknown_mode_rejected(self, frame):
+        with pytest.raises(ValueError):
+            corrupt_frame(frame, "gamma-ray", seed=0)
+
+    def test_corruption_seed_depends_on_frame_index(self):
+        assert corruption_seed(7, 3) != corruption_seed(7, 4)
+        assert corruption_seed(7, 3) == corruption_seed(7, 3)
+
+
+class TestFaultPlan:
+    def test_validation_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, corrupt_frames={1: "nope"})
+
+    def test_validation_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, read_failures={2: 0})
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, dead_pe_rows={2: 0})
+
+    def test_is_empty(self):
+        assert FaultPlan(seed=0).is_empty
+        assert not FaultPlan(seed=0, pe_memory_faults=(1,)).is_empty
+
+    def test_dead_rows_cumulative(self):
+        plan = FaultPlan(seed=0, dead_pe_rows={2: 4, 5: 3})
+        assert plan.dead_rows_at(1) == 0
+        assert plan.dead_rows_at(2) == 4
+        assert plan.dead_rows_at(5) == 7
+        assert plan.dead_rows_at(99) == 7
+
+    def test_fingerprint_is_order_independent_and_stable(self):
+        a = FaultPlan(seed=1, corrupt_frames={3: "truncate", 1: "bit-noise"})
+        b = FaultPlan(seed=1, corrupt_frames={1: "bit-noise", 3: "truncate"})
+        assert a.fingerprint() == b.fingerprint()
+        c = FaultPlan(seed=2, corrupt_frames={1: "bit-noise", 3: "truncate"})
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_random_plan_deterministic(self):
+        a = FaultPlan.random(11, 50)
+        b = FaultPlan.random(11, 50)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_random_plan_varies_with_seed(self):
+        assert FaultPlan.random(1, 200) != FaultPlan.random(2, 200)
+
+    def test_describe_lists_every_fault(self):
+        plan = FaultPlan(
+            seed=0,
+            corrupt_frames={2: "nan-speckle"},
+            read_failures={4: 1},
+            write_failures={0: 2},
+            pe_memory_faults=(3,),
+            dead_pe_rows={5: 2},
+        )
+        kinds = [kind for kind, _ in plan.describe()]
+        assert len(kinds) == 5

@@ -1,0 +1,84 @@
+"""FaultyDiskArray: deterministic fault delivery at the MPDA boundary."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import frame_key
+from repro.maspar.disk import DiskReadError, DiskWriteError, ParallelDiskArray
+from repro.maspar.machine import scaled_machine
+from repro.reliability import FaultPlan, FaultyDiskArray, corrupt_frame
+
+
+@pytest.fixture()
+def inner():
+    return ParallelDiskArray(machine=scaled_machine(8, 8))
+
+
+@pytest.fixture()
+def frame():
+    return np.random.default_rng(3).normal(size=(32, 32))
+
+
+class TestTransientFailures:
+    def test_read_fails_then_recovers(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=0, read_failures={4: 2}))
+        disk.write_frame(frame_key(4), frame)
+        for _ in range(2):
+            with pytest.raises(DiskReadError):
+                disk.read_frame(frame_key(4))
+        np.testing.assert_array_equal(disk.read_frame(frame_key(4)), frame)
+
+    def test_write_fails_then_recovers(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=0, write_failures={1: 1}))
+        with pytest.raises(DiskWriteError):
+            disk.write_frame(frame_key(1), frame)
+        disk.write_frame(frame_key(1), frame)
+        assert frame_key(1) in disk
+
+    def test_unrelated_frames_unaffected(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=0, read_failures={4: 1}))
+        disk.write_frame(frame_key(0), frame)
+        np.testing.assert_array_equal(disk.read_frame(frame_key(0)), frame)
+
+
+class TestCorruption:
+    def test_corrupted_read_matches_corrupt_frame(self, inner, frame):
+        plan = FaultPlan(seed=42, corrupt_frames={2: "nan-speckle"})
+        disk = FaultyDiskArray(inner, plan)
+        disk.write_frame(frame_key(2), frame)
+        got = disk.read_frame(frame_key(2))
+        expected = corrupt_frame(frame, "nan-speckle", plan.corruption_seed(2))
+        np.testing.assert_array_equal(got, expected)
+
+    def test_corruption_repeatable_across_reads(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=42, corrupt_frames={2: "bit-noise"}))
+        disk.write_frame(frame_key(2), frame)
+        np.testing.assert_array_equal(disk.read_frame(frame_key(2)), disk.read_frame(frame_key(2)))
+
+    def test_stored_copy_stays_clean(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=42, corrupt_frames={2: "nan-speckle"}))
+        disk.write_frame(frame_key(2), frame)
+        disk.read_frame(frame_key(2))
+        np.testing.assert_array_equal(inner.read_frame(frame_key(2)), frame)
+
+
+class TestFaultState:
+    def test_roundtrip_preserves_budgets(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=0, read_failures={4: 2}))
+        disk.write_frame(frame_key(4), frame)
+        with pytest.raises(DiskReadError):
+            disk.read_frame(frame_key(4))
+        state = disk.fault_state()
+
+        fresh = FaultyDiskArray(inner, FaultPlan(seed=0, read_failures={4: 2}))
+        fresh.restore_fault_state(state)
+        with pytest.raises(DiskReadError):
+            fresh.read_frame(frame_key(4))
+        np.testing.assert_array_equal(fresh.read_frame(frame_key(4)), frame)
+
+    def test_triggered_log_records_faults(self, inner, frame):
+        disk = FaultyDiskArray(inner, FaultPlan(seed=0, read_failures={4: 1}))
+        disk.write_frame(frame_key(4), frame)
+        with pytest.raises(DiskReadError):
+            disk.read_frame(frame_key(4))
+        assert any(kind == "disk-read-error" for kind, _ in disk.triggered)

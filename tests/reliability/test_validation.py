@@ -1,0 +1,55 @@
+"""Frame validation at the disk-read boundary."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import FrameValidationError, is_valid_frame, validate_frame
+
+
+class TestValidateFrame:
+    def test_clean_frame_passes(self):
+        frame = np.random.default_rng(0).normal(size=(16, 16))
+        out = validate_frame(frame, expected_shape=(16, 16))
+        assert out.dtype == np.float64
+
+    def test_wrong_shape(self):
+        with pytest.raises(FrameValidationError) as err:
+            validate_frame(np.zeros((8, 16)), expected_shape=(16, 16))
+        assert err.value.reason == "shape"
+
+    def test_wrong_ndim(self):
+        with pytest.raises(FrameValidationError) as err:
+            validate_frame(np.zeros(16))
+        assert err.value.reason == "shape"
+
+    def test_empty(self):
+        with pytest.raises(FrameValidationError) as err:
+            validate_frame(np.zeros((0, 4)))
+        assert err.value.reason == "empty"
+
+    def test_bad_dtype(self):
+        with pytest.raises(FrameValidationError) as err:
+            validate_frame(np.zeros((4, 4), dtype=complex))
+        assert err.value.reason == "dtype"
+
+    def test_non_finite(self):
+        frame = np.ones((8, 8))
+        frame[3, 3] = np.nan
+        with pytest.raises(FrameValidationError) as err:
+            validate_frame(frame)
+        assert err.value.reason == "non-finite"
+
+    def test_dynamic_range(self):
+        frame = np.ones((8, 8))
+        frame[0, 0] = 1e30
+        with pytest.raises(FrameValidationError) as err:
+            validate_frame(frame)
+        assert err.value.reason == "dynamic-range"
+
+    def test_name_lands_in_message(self):
+        with pytest.raises(FrameValidationError, match="frame-00012"):
+            validate_frame(np.zeros(4), name="frame-00012")
+
+    def test_is_valid_frame(self):
+        assert is_valid_frame(np.ones((4, 4)))
+        assert not is_valid_frame(np.full((4, 4), np.inf))

@@ -117,3 +117,79 @@ class TestSubpixelFlag:
 
         base = ["track", "florida", "--size", "64", "--search", "2", "--template", "3"]
         assert rmse_of(base + ["--subpixel"]) <= rmse_of(base)
+
+
+class TestStream:
+    def test_clean_stream(self, capsys):
+        rc = main(["stream", "luis", "--size", "64", "--frames", "6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "pairs via sma" in out
+
+    def test_stream_with_faults_and_report(self, tmp_path, capsys):
+        import json
+
+        report = str(tmp_path / "report.json")
+        rc = main([
+            "stream", "luis", "--size", "64", "--frames", "6",
+            "--inject-faults", "read:2,mem:1", "--report", report,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault log" in out
+        payload = json.loads((tmp_path / "report.json").read_text())
+        kinds = {e["kind"] for e in payload["events"]}
+        assert "disk-read-error" in kinds
+        assert "pe-memory" in kinds
+
+    def test_stream_checkpoint_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        out_field = str(tmp_path / "field.npz")
+        rc = main([
+            "stream", "luis", "--size", "64", "--frames", "6",
+            "--checkpoint", ck, "--stop-after", "2",
+        ])
+        assert rc == 0
+        assert "stopped after 2/5 pairs" in capsys.readouterr().out
+        rc = main([
+            "stream", "luis", "--size", "64", "--frames", "6",
+            "--checkpoint", ck, "--resume", "--out", out_field,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert any(
+            line.startswith("resumed from checkpoint") and "yes" in line
+            for line in out.splitlines()
+        )
+        loaded = MotionField.load(out_field)
+        assert loaded.metadata["pairs"] == 5
+
+    def test_bad_fault_spec(self, capsys):
+        rc = main([
+            "stream", "luis", "--size", "64", "--frames", "4",
+            "--inject-faults", "corrupt:1:gamma-ray",
+        ])
+        assert rc == 2
+        assert "corruption mode" in capsys.readouterr().err
+
+    def test_random_fault_spec_parses(self):
+        from repro.cli import _parse_fault_spec
+
+        plan = _parse_fault_spec("random:0.5", seed=3, n_frames=30)
+        assert plan == _parse_fault_spec("random:0.5", seed=3, n_frames=30)
+        assert not plan.is_empty
+
+    def test_full_spec_parses(self):
+        from repro.cli import _parse_fault_spec
+
+        plan = _parse_fault_spec(
+            "corrupt:7:nan-speckle,read:3,write:2:2,mem:10,deadrows:12:2",
+            seed=0, n_frames=20,
+        )
+        assert plan.corrupt_frames == {7: "nan-speckle"}
+        assert plan.read_failures == {3: 1}
+        assert plan.write_failures == {2: 2}
+        assert plan.pe_memory_faults == (10,)
+        assert plan.dead_pe_rows == {12: 2}

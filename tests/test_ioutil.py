@@ -1,0 +1,57 @@
+"""Atomic save helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.field import MotionField
+from repro.ioutil import atomic_savez, atomic_write_text
+
+
+class TestAtomicSavez:
+    def test_appends_npz_suffix(self, tmp_path):
+        final = atomic_savez(str(tmp_path / "out"), a=np.arange(3))
+        assert final.endswith("out.npz")
+        with np.load(final) as data:
+            np.testing.assert_array_equal(data["a"], np.arange(3))
+
+    def test_overwrite_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "out.npz")
+        atomic_savez(path, a=np.zeros(2))
+        atomic_savez(path, a=np.ones(2))
+        with np.load(path) as data:
+            np.testing.assert_array_equal(data["a"], np.ones(2))
+        assert [p.name for p in tmp_path.iterdir()] == ["out.npz"]
+
+    def test_failure_cleans_up_temp(self, tmp_path):
+        class Unpicklable:
+            pass
+
+        with pytest.raises(Exception):
+            # object arrays need pickling, which savez refuses by default
+            atomic_savez(
+                str(tmp_path / "bad.npz"),
+                a=np.array([Unpicklable()], dtype=object),
+            )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_motionfield_save_is_atomic(self, tmp_path):
+        field = MotionField(
+            u=np.ones((4, 4)),
+            v=np.zeros((4, 4)),
+            valid=np.ones((4, 4), bool),
+            error=np.zeros((4, 4)),
+            dt_seconds=60.0,
+        )
+        path = str(tmp_path / "field.npz")
+        field.save(path)
+        loaded = MotionField.load(path)
+        np.testing.assert_array_equal(loaded.u, field.u)
+        assert [p.name for p in tmp_path.iterdir()] == ["field.npz"]
+
+
+class TestAtomicWriteText:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "report.json")
+        atomic_write_text(path, '{"ok": true}')
+        assert (tmp_path / "report.json").read_text() == '{"ok": true}'
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]
