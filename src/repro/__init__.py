@@ -22,7 +22,7 @@ Quick start::
     print(field.mean_displacement())
 """
 
-from .core import Frame, MotionField, SMAnalyzer
+from .core import Frame, FramePreparationCache, MotionField, SMAnalyzer
 from .params import (
     FREDERIC_CONFIG,
     GOES9_CONFIG,
@@ -38,6 +38,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Frame",
+    "FramePreparationCache",
     "MotionField",
     "SMAnalyzer",
     "FREDERIC_CONFIG",

@@ -79,6 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--subpixel", action="store_true",
         help="apply parabolic sub-pixel refinement (extensions.subpixel)",
     )
+    track.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the sequence's pairs over N processes "
+        "(bit-identical to the sequential path)",
+    )
 
     winds = sub.add_parser("winds", help="wind statistics from a saved field")
     winds.add_argument("field", type=str, help="MotionField .npz path")
@@ -123,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--hs-iterations", type=int, default=60,
         help="Horn-Schunck fallback iteration cap",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard independent pairs over N processes (incompatible "
+        "with --inject-faults; bit-identical to the sequential path)",
     )
     stream.add_argument("--out", type=str, default=None, help="save the mean field (.npz)")
     stream.add_argument(
@@ -201,7 +211,12 @@ def _cmd_track(args: argparse.Namespace) -> int:
     dataset: Dataset = factory(size=args.size, n_frames=n_frames, seed=args.seed)
     config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
     analyzer = SMAnalyzer(config, pixel_km=dataset.pixel_km)
-    field = analyzer.track_pair(dataset.frames[args.pair], dataset.frames[args.pair + 1])
+    if args.workers is not None and args.workers > 1:
+        # Sequence driver: all pairs sharded over the pool, bit-identical
+        # to the direct call; report the requested pair.
+        field = analyzer.track_sequence(dataset.frames, workers=args.workers)[args.pair]
+    else:
+        field = analyzer.track_pair(dataset.frames[args.pair], dataset.frames[args.pair + 1])
     if args.subpixel:
         from .core.matching import prepare_frames, track_dense
         from .extensions.subpixel import refine
@@ -259,7 +274,10 @@ def _cmd_winds(args: argparse.Namespace) -> int:
 
 
 def _circular_mean_deg(direction_deg: np.ndarray) -> float:
-    rad = np.radians(direction_deg)
+    """Circular mean over moving pixels; calm pixels carry NaN direction."""
+    rad = np.radians(direction_deg[np.isfinite(direction_deg)])
+    if rad.size == 0:
+        return float("nan")
     return float(np.degrees(np.arctan2(np.sin(rad).mean(), np.cos(rad).mean())) % 360.0)
 
 
@@ -333,6 +351,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         hs_iterations=args.hs_iterations,
         pixel_km=dataset.pixel_km,
+        workers=args.workers,
     )
     result = runner.run(dataset.frames, resume=args.resume, stop_after=args.stop_after)
 

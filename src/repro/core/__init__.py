@@ -29,6 +29,13 @@ from .matching import (
     track_pixel,
     valid_mask,
 )
+from .prep import (
+    CacheStats,
+    FramePreparation,
+    FramePreparationCache,
+    frame_fingerprint,
+    prepare_frame,
+)
 from .semifluid import (
     ScoreVolume,
     box_sum,
@@ -66,6 +73,11 @@ __all__ = [
     "track_dense",
     "track_pixel",
     "valid_mask",
+    "CacheStats",
+    "FramePreparation",
+    "FramePreparationCache",
+    "frame_fingerprint",
+    "prepare_frame",
     "ScoreVolume",
     "box_sum",
     "compute_score_volume",

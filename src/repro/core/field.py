@@ -102,21 +102,32 @@ class MotionField:
         """Meteorological wind direction (degrees, direction wind blows FROM).
 
         0 = from north, 90 = from east; image +y is south.
+
+        **Calm convention**: a pixel with zero displacement has no
+        direction of travel -- ``arctan2(0, 0)`` would fabricate a
+        "from-south" 180 degrees -- so calm pixels report NaN.  Callers
+        aggregating directions (e.g. circular means) must filter NaN.
         """
         # Motion vector (u, v) in image coords: +u east, +v south.
         east = self.u
         north = -self.v
         to_deg = np.degrees(np.arctan2(east, north))  # direction of travel
-        return (to_deg + 180.0) % 360.0
+        direction = (to_deg + 180.0) % 360.0
+        return np.where((east == 0.0) & (north == 0.0), np.nan, direction)
 
     def wind_vectors(self, points: np.ndarray) -> np.ndarray:
-        """(speed m/s, direction deg) at tracer points, shape (n, 2)."""
+        """(speed m/s, direction deg) at tracer points, shape (n, 2).
+
+        Calm points (zero displacement) report speed 0 and direction
+        NaN -- see :meth:`wind_direction_deg` for the convention.
+        """
         disp = self.sample(points)
         meters = np.hypot(disp[:, 0], disp[:, 1]) * self.pixel_km * 1000.0
         speed = meters / self.dt_seconds
         east = disp[:, 0]
         north = -disp[:, 1]
         direction = (np.degrees(np.arctan2(east, north)) + 180.0) % 360.0
+        direction = np.where((east == 0.0) & (north == 0.0), np.nan, direction)
         return np.stack([speed, direction], axis=-1)
 
     # -- statistics ---------------------------------------------------------------

@@ -27,7 +27,7 @@ SINGULAR_TOLERANCE = 1e-12
 
 
 def gaussian_eliminate(
-    matrices: np.ndarray, rhs: np.ndarray
+    matrices: np.ndarray, rhs: np.ndarray, *, prefer_native: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
     """Solve ``A x = b`` for a batch of dense systems by Gaussian elimination.
 
@@ -37,6 +37,14 @@ def gaussian_eliminate(
         Array of shape ``(..., n, n)``.
     rhs:
         Array of shape ``(..., n)``.
+    prefer_native:
+        When True (the default) and the compiled kernel in
+        :mod:`repro.native` is available, dispatch to it.  The kernel is
+        bit-identical to the NumPy path (it performs the same IEEE-754
+        operations in the same order and is cross-checked on load), just
+        free of per-operation temporaries.  Pass False to pin the NumPy
+        reference path -- benchmarks use this to time the pre-native
+        behaviour honestly.
 
     Returns
     -------
@@ -60,6 +68,12 @@ def gaussian_eliminate(
     n = a.shape[-1]
     if b.shape != a.shape[:-1]:
         raise ValueError(f"rhs shape {b.shape} does not match matrices {a.shape}")
+
+    if prefer_native:
+        from ..native import native_available, native_gauss_eliminate
+
+        if native_available():
+            return native_gauss_eliminate(a, b)
 
     batch_shape = a.shape[:-2]
     a = a.reshape((-1, n, n))

@@ -17,9 +17,23 @@ for comparing the correctness of the parallel algorithm results"):
 * :func:`track_dense` -- the optimized dense path: because the template
   accumulation of eq. (3) is a box sum, the normal-equation fields for
   *all* pixels are accumulated with uniform filters, and all pixels'
-  6x6 systems are solved as one batched Gaussian elimination per
-  hypothesis.  The semi-fluid mapping uses the Section 4.1 precompute
+  6x6 systems are solved by batched Gaussian elimination.  The
+  semi-fluid mapping uses the Section 4.1 precompute
   (:func:`repro.core.semifluid.compute_score_volume`).
+
+:func:`track_dense` offers two engines producing **bit-identical**
+results (tested):
+
+* ``engine="batched"`` (default) -- the hypothesis axis is stacked too:
+  the per-hypothesis normal-equation fields of a whole chunk of the
+  ``(2N_zs+1)^2`` search window are built with one broadcast
+  :func:`~repro.core.continuous.pointwise_fields` call, box-summed with
+  one separable uniform filter sweep over the stack (internally a
+  shared cumulative sliding sum per axis) and solved with ONE batched
+  :func:`~repro.core.linalg.gaussian_eliminate` call -- the whole-search
+  SIMD rendering, minus per-hypothesis Python dispatch.
+* ``engine="serial"`` -- one hypothesis at a time, kept as the
+  validation baseline and the pre-optimization benchmark reference.
 
 Both paths produce identical integer displacements and identical motion
 parameters (tested), and tie-breaks are deterministic: among equal
@@ -33,6 +47,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from scipy import ndimage
+
 from ..params import NeighborhoodConfig
 from .continuous import (
     N_FIELDS,
@@ -40,16 +56,25 @@ from .continuous import (
     pointwise_fields,
     solve_accumulated,
 )
+from .prep import FramePreparationCache, prepare_frame
 from .semifluid import (
     ScoreVolume,
     box_sum,
     compute_score_volume,
-    discriminant_field,
     semifluid_displacements,
     semifluid_map_pixel,
     shift2d,
 )
-from .surface import SurfaceGeometry, fit_surface
+from .surface import SurfaceGeometry
+
+#: Soft cap on the stacked per-hypothesis field bytes held live by the
+#: batched engine; chunks the ``(2N_zs+1)^2`` search when exceeded.
+#: Small on purpose: the per-hypothesis working set (28 packed fields,
+#: their box sums, the unpacked 6x6 systems) must stay cache-resident --
+#: profiling shows monolithic stacks run several times SLOWER than
+#: one-or-two-hypothesis chunks because every stage becomes a strided
+#: sweep over main memory.
+DEFAULT_BATCH_BYTES = 2**20
 
 
 @dataclass(frozen=True)
@@ -126,12 +151,21 @@ def prepare_frames(
     config: NeighborhoodConfig,
     intensity_before: np.ndarray | None = None,
     intensity_after: np.ndarray | None = None,
+    cache: FramePreparationCache | None = None,
 ) -> PreparedFrames:
     """Fit surfaces and (for the semi-fluid model) precompute scores.
 
     In the monocular case the intensity image *is* the digital surface
     (Section 2: "treating the intensity data as a digital surface") --
     pass it as ``z_before``/``z_after`` and omit the intensity pair.
+
+    ``cache`` optionally reuses the per-frame half of the work (surface
+    fit + discriminant field) across pairs of a sequence: frame ``m``
+    is both the ``after`` frame of pair ``m-1`` and the ``before``
+    frame of pair ``m``, so a sequence driver that passes the same
+    cache fits each frame exactly once.  Cached and uncached results
+    are bit-identical.  The semi-fluid score volume couples both
+    frames of the pair and is always computed here, per pair.
     """
     z_before = np.asarray(z_before, dtype=np.float64)
     z_after = np.asarray(z_after, dtype=np.float64)
@@ -145,20 +179,25 @@ def prepare_frames(
             )
     if z_before.shape != z_after.shape:
         raise ValueError(f"frame shapes differ: {z_before.shape} vs {z_after.shape}")
-    geo_b = fit_surface(z_before, config.n_w)
-    geo_a = fit_surface(z_after, config.n_w)
-    volume = None
+    i_b = i_a = None
     if config.is_semifluid:
         i_b = z_before if intensity_before is None else np.asarray(intensity_before, float)
         i_a = z_after if intensity_after is None else np.asarray(intensity_after, float)
-        if i_b.shape != z_before.shape or i_a.shape != z_before.shape:
+        if i_b.shape != z_before.shape or i_a.shape != z_after.shape:
             raise ValueError("intensity shapes must match surface shapes")
         if not (np.isfinite(i_b).all() and np.isfinite(i_a).all()):
             raise ValueError("intensity contains non-finite values (NaN or Inf)")
-        d_b = discriminant_field(i_b, config.n_w)
-        d_a = discriminant_field(i_a, config.n_w)
-        volume = compute_score_volume(d_b, d_a, config)
-    return PreparedFrames(geo_before=geo_b, geo_after=geo_a, volume=volume, config=config)
+    lookup = cache.get if cache is not None else prepare_frame
+    # Pass None when the intensity IS the surface (monocular) so the
+    # content fingerprint hashes each frame's pixels exactly once.
+    prep_b = lookup(z_before, None if intensity_before is None else i_b, config)
+    prep_a = lookup(z_after, None if intensity_after is None else i_a, config)
+    volume = None
+    if config.is_semifluid:
+        volume = compute_score_volume(prep_b.discriminant, prep_a.discriminant, config)
+    return PreparedFrames(
+        geo_before=prep_b.geometry, geo_after=prep_a.geometry, volume=volume, config=config
+    )
 
 
 def _shifted_geometry_stack(geo: SurfaceGeometry, volume: ScoreVolume) -> np.ndarray:
@@ -215,7 +254,10 @@ def hypothesis_fields(
 
 
 def track_dense(
-    prepared: PreparedFrames, ridge: float = 1e-9
+    prepared: PreparedFrames,
+    ridge: float = 1e-9,
+    engine: str = "batched",
+    batch_bytes: int = DEFAULT_BATCH_BYTES,
 ) -> DenseMatchResult:
     """Estimate the dense motion field: all pixels, all hypotheses.
 
@@ -223,7 +265,24 @@ def track_dense(
     paper, executed as NumPy whole-array operations (the sequential
     *optimized* rendering; :class:`repro.parallel.parallel_sma.ParallelSMA`
     runs the same math through the SIMD simulator).
+
+    ``engine`` selects ``"batched"`` (default: hypotheses stacked and
+    solved together, see the module docstring) or ``"serial"`` (one
+    hypothesis per iteration, the validation baseline).  The two are
+    bit-identical in ``u``, ``v``, ``params`` and ``error``.
+    ``batch_bytes`` caps the live hypothesis-stack memory of the
+    batched engine; the search window is chunked when it would exceed
+    the cap, which changes speed, never results.
     """
+    if engine == "serial":
+        return _track_dense_serial(prepared, ridge)
+    if engine != "batched":
+        raise ValueError(f"unknown engine {engine!r} (choose 'batched' or 'serial')")
+    return _track_dense_batched(prepared, ridge, batch_bytes)
+
+
+def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchResult:
+    """One hypothesis at a time (the pre-batching reference loop)."""
     config = prepared.config
     shape = prepared.geo_before.shape
     semifluid = prepared.volume is not None and config.n_ss > 0
@@ -257,6 +316,101 @@ def track_dense(
             best_u = np.where(better, float(hyp_dx), best_u)
             best_v = np.where(better, float(hyp_dy), best_v)
         best_params = np.where(better[..., None], solution.params, best_params)
+
+    return DenseMatchResult(
+        u=best_u,
+        v=best_v,
+        params=best_params,
+        error=best_error,
+        valid=valid_mask(shape, config),
+        hypotheses_evaluated=len(order),
+    )
+
+
+def _box_sum_stack(fields: np.ndarray, half_width: int) -> np.ndarray:
+    """Box sum over the image axes of a ``(n, H, W, 28)`` stack.
+
+    One separable uniform-filter sweep (a cumulative sliding sum per
+    axis in the scipy implementation) shared by every hypothesis and
+    every packed field -- arithmetic per (n, k) slice identical to
+    :func:`repro.core.semifluid.box_sum` on that slice, hence
+    bit-identical to the serial engine.
+    """
+    if half_width == 0:
+        return fields.astype(np.float64, copy=True)
+    side = 2 * half_width + 1
+    return ndimage.uniform_filter(
+        fields.astype(np.float64), size=(1, side, side, 1), mode="constant", cval=0.0
+    ) * float(side * side)
+
+
+def _track_dense_batched(
+    prepared: PreparedFrames, ridge: float, batch_bytes: int
+) -> DenseMatchResult:
+    """All hypotheses stacked: one field build, one box-sum sweep, one
+    batched Gaussian elimination per chunk of the search window."""
+    config = prepared.config
+    geo_b, geo_a = prepared.geo_before, prepared.geo_after
+    shape = geo_b.shape
+    semifluid = prepared.volume is not None and config.n_ss > 0
+    shifted_after = None
+    if semifluid:
+        shifted_after = _shifted_geometry_stack(geo_a, prepared.volume)
+
+    best_error = np.full(shape, np.inf)
+    best_u = np.zeros(shape, dtype=np.float64)
+    best_v = np.zeros(shape, dtype=np.float64)
+    best_params = np.zeros(shape + (6,), dtype=np.float64)
+
+    order = hypothesis_order(config.n_zs)
+    bytes_per_hypothesis = shape[0] * shape[1] * N_FIELDS * 8
+    chunk_size = max(1, int(batch_bytes) // max(bytes_per_hypothesis, 1))
+
+    for start in range(0, len(order), chunk_size):
+        chunk = order[start : start + chunk_size]
+        n = len(chunk)
+        p_a = np.empty((n,) + shape, dtype=np.float64)
+        q_a = np.empty((n,) + shape, dtype=np.float64)
+        delta_y = delta_x = None
+        if semifluid:
+            delta_y = np.empty((n,) + shape, dtype=np.int64)
+            delta_x = np.empty((n,) + shape, dtype=np.int64)
+            reach = prepared.volume.reach
+            side = prepared.volume.side
+            for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+                dy_k, dx_k = semifluid_displacements(
+                    prepared.volume, hyp_dy, hyp_dx, config.n_ss
+                )
+                delta_y[k], delta_x[k] = dy_k, dx_k
+                flat = (dy_k + reach) * side + (dx_k + reach)
+                p_a[k] = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
+                q_a[k] = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
+        else:
+            for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+                p_a[k] = shift2d(geo_a.p, hyp_dy, hyp_dx)
+                q_a[k] = shift2d(geo_a.q, hyp_dy, hyp_dx)
+
+        fields = pointwise_fields(
+            geo_b.p[None], geo_b.q[None], p_a, q_a, geo_b.e[None], geo_b.g[None]
+        )
+        accumulated = _box_sum_stack(fields, config.n_zt)
+        del fields
+        solution = solve_accumulated(accumulated, ridge=ridge)
+        del accumulated
+
+        # Merge in hypothesis order with a strict-less update: identical
+        # tie-breaking (Chebyshev magnitude, then raster) to the serial
+        # engine, regardless of chunking.
+        for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+            better = solution.error[k] < best_error
+            best_error = np.where(better, solution.error[k], best_error)
+            if semifluid:
+                best_u = np.where(better, delta_x[k].astype(np.float64), best_u)
+                best_v = np.where(better, delta_y[k].astype(np.float64), best_v)
+            else:
+                best_u = np.where(better, float(hyp_dx), best_u)
+                best_v = np.where(better, float(hyp_dy), best_v)
+            best_params = np.where(better[..., None], solution.params[k], best_params)
 
     return DenseMatchResult(
         u=best_u,

@@ -28,6 +28,7 @@ Example
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -36,6 +37,7 @@ import numpy as np
 from ..params import NeighborhoodConfig
 from .field import MotionField
 from .matching import PreparedFrames, prepare_frames, track_dense, valid_mask
+from .prep import FramePreparationCache
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,12 @@ class Frame:
     ``intensity`` optionally carries a separate intensity image for the
     semi-fluid discriminant (stereo mode); when None, ``surface`` is
     used.  ``time_seconds`` is the acquisition time.
+
+    Inputs are canonicalized to float64 ``ndarray`` exactly once, here:
+    every later consumer (validation, fitting, fingerprinting) sees the
+    same stored arrays, so the finiteness scan runs once per frame
+    instead of once per access, and list/integer inputs cannot leak
+    past construction.
     """
 
     surface: np.ndarray
@@ -55,26 +63,30 @@ class Frame:
 
     def __post_init__(self) -> None:
         s = np.asarray(self.surface)
+        if not np.issubdtype(s.dtype, np.number) or np.issubdtype(s.dtype, np.complexfloating):
+            raise ValueError(f"surface must be real-numeric, got dtype {s.dtype}")
+        s = s.astype(np.float64, copy=False)
         if s.ndim != 2:
             raise ValueError(f"surface must be 2-D, got shape {s.shape}")
         if s.size == 0:
             raise ValueError("surface is empty")
-        if not np.issubdtype(s.dtype, np.number) or np.issubdtype(s.dtype, np.complexfloating):
-            raise ValueError(f"surface must be real-numeric, got dtype {s.dtype}")
-        if not np.isfinite(s.astype(np.float64, copy=False)).all():
+        if not np.isfinite(s).all():
             raise ValueError("surface contains non-finite values (NaN or Inf)")
+        object.__setattr__(self, "surface", s)
         if self.intensity is not None:
             i = np.asarray(self.intensity)
-            if i.shape != s.shape:
-                raise ValueError("intensity shape must match surface shape")
             if not np.issubdtype(i.dtype, np.number) or np.issubdtype(i.dtype, np.complexfloating):
                 raise ValueError(f"intensity must be real-numeric, got dtype {i.dtype}")
-            if not np.isfinite(i.astype(np.float64, copy=False)).all():
+            i = i.astype(np.float64, copy=False)
+            if i.shape != s.shape:
+                raise ValueError("intensity shape must match surface shape")
+            if not np.isfinite(i).all():
                 raise ValueError("intensity contains non-finite values (NaN or Inf)")
+            object.__setattr__(self, "intensity", i)
 
     @property
     def shape(self) -> tuple[int, int]:
-        return np.asarray(self.surface).shape
+        return self.surface.shape
 
 
 class SMAnalyzer:
@@ -105,8 +117,19 @@ class SMAnalyzer:
 
     # -- single pair ---------------------------------------------------------------
 
-    def prepare(self, before: Frame, after: Frame) -> PreparedFrames:
-        """Surface fits + semi-fluid precompute for one frame pair."""
+    def prepare(
+        self,
+        before: Frame,
+        after: Frame,
+        cache: FramePreparationCache | None = None,
+    ) -> PreparedFrames:
+        """Surface fits + semi-fluid precompute for one frame pair.
+
+        :class:`Frame` already canonicalized and finite-checked the
+        arrays in ``__post_init__``, so no re-validation happens here.
+        ``cache`` optionally shares the per-frame half of the work
+        across the pairs of a sequence (bit-identical either way).
+        """
         if before.shape != after.shape:
             raise ValueError("frame shapes differ")
         min_side = 2 * self.config.margin() + 1
@@ -115,19 +138,13 @@ class SMAnalyzer:
                 f"image {before.shape} too small for config "
                 f"{self.config.name!r} (needs at least {min_side} pixels per side)"
             )
-        for label, frame in (("before", before), ("after", after)):
-            if not np.isfinite(np.asarray(frame.surface, dtype=np.float64)).all():
-                raise ValueError(f"{label} surface contains non-finite values")
-            if frame.intensity is not None and not np.isfinite(
-                np.asarray(frame.intensity, dtype=np.float64)
-            ).all():
-                raise ValueError(f"{label} intensity contains non-finite values")
         return prepare_frames(
-            np.asarray(before.surface, dtype=np.float64),
-            np.asarray(after.surface, dtype=np.float64),
+            before.surface,
+            after.surface,
             self.config,
             intensity_before=before.intensity,
             intensity_after=after.intensity,
+            cache=cache,
         )
 
     def track_pair(
@@ -135,20 +152,43 @@ class SMAnalyzer:
         before: Frame | np.ndarray,
         after: Frame | np.ndarray,
         dt_seconds: float | None = None,
+        cache: FramePreparationCache | None = None,
     ) -> MotionField:
         """Dense motion field between two frames.
 
         Arrays are accepted directly for the monocular case.  ``dt`` is
-        taken from the frame timestamps unless given explicitly.
+        taken from the frame timestamps unless given explicitly.  When
+        the timestamps are equal or reversed a placeholder of 1 s is
+        substituted so pixel displacements stay usable, but the
+        substitution is *loud*: a :class:`RuntimeWarning` is emitted and
+        ``metadata["dt_substituted"]`` records the rejected interval, so
+        derived wind speeds are never silently wrong.
         """
         before = before if isinstance(before, Frame) else Frame(np.asarray(before))
         after = after if isinstance(after, Frame) else Frame(np.asarray(after))
+        substituted_dt: float | None = None
         if dt_seconds is None:
             dt_seconds = after.time_seconds - before.time_seconds
             if dt_seconds <= 0:
+                substituted_dt = float(dt_seconds)
                 dt_seconds = 1.0
-        prepared = self.prepare(before, after)
+                warnings.warn(
+                    f"frame timestamps are not increasing (dt = {substituted_dt} s); "
+                    "substituting dt = 1 s -- derived wind speeds are in "
+                    "pixels/frame, not physical units",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        prepared = self.prepare(before, after, cache=cache)
         result = track_dense(prepared, ridge=self.ridge)
+        metadata = {
+            "model": "semi-fluid" if self.config.is_semifluid else "continuous",
+            "config": self.config.name,
+            "hypotheses": result.hypotheses_evaluated,
+        }
+        if substituted_dt is not None:
+            metadata["dt_substituted"] = True
+            metadata["dt_rejected_seconds"] = substituted_dt
         return MotionField(
             u=result.u,
             v=result.v,
@@ -157,26 +197,42 @@ class SMAnalyzer:
             params=result.params,
             dt_seconds=float(dt_seconds),
             pixel_km=self.pixel_km,
-            metadata={
-                "model": "semi-fluid" if self.config.is_semifluid else "continuous",
-                "config": self.config.name,
-                "hypotheses": result.hypotheses_evaluated,
-            },
+            metadata=metadata,
         )
 
     # -- sequences ------------------------------------------------------------------
 
-    def track_sequence(self, frames: Sequence[Frame] | Iterable[np.ndarray]) -> list[MotionField]:
+    def track_sequence(
+        self,
+        frames: Sequence[Frame] | Iterable[np.ndarray],
+        workers: int | None = None,
+        reuse_preparations: bool = True,
+    ) -> list[MotionField]:
         """Motion fields for every consecutive pair of a sequence.
 
         This is the paper's T-timestep driver: T frames yield T-1
         fields (Hurricane Luis: 490 frames processed pairwise).
+
+        ``reuse_preparations`` shares the per-frame surface fit and
+        discriminant between the two pairs each interior frame belongs
+        to, halving the sequence's surface-fit Gaussian eliminations;
+        results are bit-identical with and without it.  ``workers > 1``
+        shards the independent pairs over a process pool (each worker
+        holds its own preparation cache); outputs are returned in pair
+        order and are bit-identical to the sequential run.
         """
         frame_list = [f if isinstance(f, Frame) else Frame(np.asarray(f)) for f in frames]
         if len(frame_list) < 2:
             raise ValueError("a sequence needs at least two frames")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if workers is not None and workers > 1:
+            from ..parallel.pairs import track_pairs_in_pool
+
+            return track_pairs_in_pool(self, frame_list, workers)
+        cache = FramePreparationCache(max_frames=4) if reuse_preparations else None
         return [
-            self.track_pair(frame_list[m], frame_list[m + 1])
+            self.track_pair(frame_list[m], frame_list[m + 1], cache=cache)
             for m in range(len(frame_list) - 1)
         ]
 

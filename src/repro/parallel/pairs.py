@@ -1,0 +1,133 @@
+"""Process-pool sharding of a sequence's independent frame pairs.
+
+The pairwise estimates of a T-frame sequence are mutually independent --
+pair ``m`` reads frames ``m`` and ``m+1`` and nothing else -- so they
+shard perfectly.  This module is the multi-core analogue of the paper's
+observation that the MasPar keeps all PEs busy because every pixel (and
+every pair) runs the same schedule on private data.
+
+Workers are plain ``multiprocessing`` pool processes.  Each worker holds
+its own :class:`~repro.core.prep.FramePreparationCache`, so a worker that
+receives adjacent pairs still fits shared frames once.  Because the
+per-pair computation is a pure function of the two frames, the pool
+returns fields bit-identical to the sequential path, in pair order,
+regardless of worker count or scheduling.
+
+Top-level functions only: pool workers import this module by name, so
+the task callables must be picklable module attributes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.field import MotionField
+    from ..core.sma import Frame, SMAnalyzer
+
+#: Per-worker state, populated by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the loaded native kernel) when present."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _init_pair_worker(config, pixel_km: float, ridge: float) -> None:
+    from ..core.prep import FramePreparationCache
+    from ..core.sma import SMAnalyzer
+
+    _WORKER_STATE["analyzer"] = SMAnalyzer(config, pixel_km=pixel_km, ridge=ridge)
+    _WORKER_STATE["cache"] = FramePreparationCache(max_frames=4)
+
+
+def _track_pair_task(task: tuple) -> tuple:
+    index, before, after = task
+    field = _WORKER_STATE["analyzer"].track_pair(
+        before, after, cache=_WORKER_STATE["cache"]
+    )
+    return index, field
+
+
+def track_pairs_in_pool(
+    analyzer: "SMAnalyzer", frame_list: Sequence["Frame"], workers: int
+) -> list["MotionField"]:
+    """All consecutive-pair fields of ``frame_list``, computed in a pool.
+
+    Returns the same list :meth:`SMAnalyzer.track_sequence` would build
+    sequentially -- same order, bit-identical contents.
+    """
+    tasks = [
+        (m, frame_list[m], frame_list[m + 1]) for m in range(len(frame_list) - 1)
+    ]
+    results: list = [None] * len(tasks)
+    ctx = _pool_context()
+    with ctx.Pool(
+        processes=min(workers, len(tasks)),
+        initializer=_init_pair_worker,
+        initargs=(analyzer.config, analyzer.pixel_km, analyzer.ridge),
+    ) as pool:
+        for index, field in pool.imap_unordered(_track_pair_task, tasks):
+            results[index] = field
+    return results
+
+
+def _init_ladder_worker(config, hs_iterations: int) -> None:
+    from ..core.prep import FramePreparationCache
+    from ..reliability.degrade import DegradationLadder
+
+    _WORKER_STATE["ladder"] = DegradationLadder(config, hs_iterations=hs_iterations)
+    _WORKER_STATE["prep_cache"] = FramePreparationCache(max_frames=4)
+
+
+def _ladder_pair_task(task: tuple) -> tuple:
+    (index, before, after, machine, planned, dt, int_b, int_a, fit_images) = task
+    result, steps = _WORKER_STATE["ladder"].track_pair(
+        before,
+        after,
+        machine,
+        planned,
+        dt_seconds=dt,
+        intensity_before=int_b,
+        intensity_after=int_a,
+        prep_cache=_WORKER_STATE["prep_cache"],
+        fit_images=fit_images,
+    )
+    return index, result, steps
+
+
+class LadderPool:
+    """Pool of :class:`~repro.reliability.degrade.DegradationLadder` workers.
+
+    Used by the streaming runner's ``workers`` mode: the main process
+    keeps doing everything order-sensitive (disk fetches, ledger
+    charges, report events, checkpoints) while the pure per-pair
+    computation runs in the pool.  Results are merged strictly in pair
+    order, so the run's field, ledger and report are bit-identical to
+    the sequential path.
+    """
+
+    def __init__(self, config, hs_iterations: int, workers: int) -> None:
+        self._pool = _pool_context().Pool(
+            processes=workers,
+            initializer=_init_ladder_worker,
+            initargs=(config, hs_iterations),
+        )
+
+    def submit(self, task: tuple):
+        """Dispatch one `_ladder_pair_task` tuple; returns an AsyncResult."""
+        return self._pool.apply_async(_ladder_pair_task, (task,))
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "LadderPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._pool.terminate()
+        self._pool.join()

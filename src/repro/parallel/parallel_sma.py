@@ -27,6 +27,7 @@ the same result as the sequential implementation").
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,7 @@ from ..core.matching import (
     prepare_frames,
     valid_mask,
 )
+from ..core.prep import FramePreparationCache
 from ..core.semifluid import semifluid_displacements
 from ..core.sma import Frame
 from ..maspar.cost import CostLedger
@@ -204,16 +206,37 @@ class ParallelSMA:
         before: Frame | np.ndarray,
         after: Frame | np.ndarray,
         dt_seconds: float | None = None,
+        prep_cache: FramePreparationCache | None = None,
+        fit_images: int | None = None,
     ) -> ParallelResult:
-        """Run the full parallel algorithm on one frame pair."""
+        """Run the full parallel algorithm on one frame pair.
+
+        ``prep_cache`` shares per-frame surface fits / discriminants
+        across the pairs of a sequence (bit-identical results).
+        ``fit_images`` overrides how many image surface fits the ledger
+        charges for this pair; sequence drivers pass the *positional*
+        count (full price for pair 0, only the newly arrived frame for
+        later pairs) so accounting reflects the reuse yet stays
+        independent of cache warmth -- a resumed run must reproduce the
+        uninterrupted ledger exactly.
+        """
         before = before if isinstance(before, Frame) else Frame(np.asarray(before))
         after = after if isinstance(after, Frame) else Frame(np.asarray(after))
         if before.shape != after.shape:
             raise ValueError("frame shapes differ")
+        substituted_dt: float | None = None
         if dt_seconds is None:
             dt_seconds = after.time_seconds - before.time_seconds
             if dt_seconds <= 0:
+                substituted_dt = float(dt_seconds)
                 dt_seconds = 1.0
+                warnings.warn(
+                    f"frame timestamps are not increasing (dt = {substituted_dt} s); "
+                    "substituting dt = 1 s -- derived wind speeds are in "
+                    "pixels/frame, not physical units",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
         shape = before.shape
         machine = self._resolve_machine(shape)
@@ -252,6 +275,12 @@ class ParallelSMA:
 
         # Phase 1-2: surface fits + geometric variables.
         n_images = 4 if self.config.is_semifluid or before.intensity is not None else 2
+        if fit_images is not None:
+            if not 0 <= fit_images <= n_images:
+                raise ValueError(
+                    f"fit_images must be in [0, {n_images}], got {fit_images}"
+                )
+            n_images = fit_images
         self._charge_surface_fit(ledger, mapping, n_images)
         self._charge_geometry(ledger, mapping)
         prepared: PreparedFrames = prepare_frames(
@@ -260,6 +289,7 @@ class ParallelSMA:
             self.config,
             intensity_before=before.intensity,
             intensity_after=after.intensity,
+            cache=prep_cache,
         )
 
         # Phase 3: semi-fluid template-mapping precompute.
@@ -291,6 +321,15 @@ class ParallelSMA:
         )
         state = search.run(shape, segment_rows)
 
+        metadata = {
+            "model": "semi-fluid" if self.config.is_semifluid else "continuous",
+            "config": self.config.name,
+            "machine": f"{machine.nyproc}x{machine.nxproc}",
+            "segment_rows": segment_rows,
+        }
+        if substituted_dt is not None:
+            metadata["dt_substituted"] = True
+            metadata["dt_rejected_seconds"] = substituted_dt
         field = MotionField(
             u=state.u,
             v=state.v,
@@ -299,12 +338,7 @@ class ParallelSMA:
             params=state.params,
             dt_seconds=float(dt_seconds),
             pixel_km=self.pixel_km,
-            metadata={
-                "model": "semi-fluid" if self.config.is_semifluid else "continuous",
-                "config": self.config.name,
-                "machine": f"{machine.nyproc}x{machine.nxproc}",
-                "segment_rows": segment_rows,
-            },
+            metadata=metadata,
         )
         return ParallelResult(
             field=field,

@@ -91,12 +91,16 @@ class DegradationLadder:
         rung: int,
         intensity_before: np.ndarray | None = None,
         intensity_after: np.ndarray | None = None,
+        prep_cache=None,
+        fit_images: int | None = None,
     ) -> RungResult:
         driver = ParallelSMA(self.config, machine=machine, segment_rows=segment_rows)
         result = driver.track_pair(
             Frame(before, intensity=intensity_before),
             Frame(after, intensity=intensity_after),
             dt_seconds=dt_seconds,
+            prep_cache=prep_cache,
+            fit_images=fit_images,
         )
         return RungResult(
             u=result.field.u,
@@ -172,6 +176,8 @@ class DegradationLadder:
         last_u: np.ndarray | None = None,
         last_v: np.ndarray | None = None,
         last_error: np.ndarray | None = None,
+        prep_cache=None,
+        fit_images: int | None = None,
     ) -> tuple[RungResult, list[LadderStep]]:
         """Produce a field for one pair, degrading as needed.
 
@@ -179,6 +185,9 @@ class DegradationLadder:
         failed on the way down.  ``machine`` may be memory-squeezed or
         grid-reduced by the caller's fault handling; ``planned_rows``
         is the segment size the healthy plan called for.
+        ``prep_cache``/``fit_images`` forward to
+        :meth:`ParallelSMA.track_pair` (per-frame preparation reuse and
+        positional surface-fit accounting).
         """
         shape = np.asarray(before).shape
         steps: list[LadderStep] = []
@@ -188,6 +197,7 @@ class DegradationLadder:
                 self._sma(
                     before, after, machine, planned_rows, dt_seconds, rung=0,
                     intensity_before=intensity_before, intensity_after=intensity_after,
+                    prep_cache=prep_cache, fit_images=fit_images,
                 ),
                 steps,
             )
@@ -206,6 +216,7 @@ class DegradationLadder:
                     self._sma(
                         before, after, machine, feasible, dt_seconds, rung=1,
                         intensity_before=intensity_before, intensity_after=intensity_after,
+                        prep_cache=prep_cache, fit_images=fit_images,
                     ),
                     steps,
                 )

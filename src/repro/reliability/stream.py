@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.field import MotionField
 from ..core.matching import valid_mask
+from ..core.prep import FramePreparationCache
 from ..core.sma import Frame
 from ..data.datasets import frame_key
 from ..maspar.cost import CostLedger
@@ -77,6 +78,16 @@ class StreamingRunner:
         Optional injected-fault schedule (None streams cleanly).
     checkpoint_path:
         Where to persist run state after every pair (None disables).
+    workers:
+        Shard independent pairs over a process pool (``> 1``).  The
+        main process still performs every order-sensitive step (disk
+        fetches, ledger charges, report events, checkpoints), so the
+        run's field, ledger and report stay bit-identical to the
+        sequential path.  Incompatible with ``fault_plan``: injected
+        faults thread state (retry RNG, fault counters, prior fields)
+        between consecutive pairs, which a pool cannot honor.  In
+        workers mode checkpoints land at wave boundaries (every
+        ``workers`` pairs) instead of after every pair.
     """
 
     def __init__(
@@ -88,13 +99,22 @@ class StreamingRunner:
         checkpoint_path: str | None = None,
         hs_iterations: int = 60,
         pixel_km: float = 1.0,
+        workers: int | None = None,
     ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if workers is not None and workers > 1 and fault_plan is not None:
+            raise ValueError(
+                "workers cannot be combined with fault injection: fault "
+                "handling threads state between consecutive pairs"
+            )
         self.config = config
         self.machine = machine
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.checkpoint_path = checkpoint_path
         self.pixel_km = pixel_km
+        self.workers = workers
         self.ladder = DegradationLadder(config, hs_iterations=hs_iterations)
 
     # -- helpers --------------------------------------------------------------------
@@ -218,6 +238,147 @@ class StreamingRunner:
             )
         return reduced
 
+    def _fetch_pair(self, disk, pair, shape, ledger, rng, report, has_intensity):
+        """Both frames of a pair (+ intensity channels) off the disk, in order."""
+        before = self._fetch(disk, pair, shape, ledger, rng, report, pair)
+        after = self._fetch(disk, pair + 1, shape, ledger, rng, report, pair)
+        int_before = int_after = None
+        if has_intensity and before is not None and after is not None:
+            int_before = self._fetch(
+                disk, pair, shape, ledger, rng, report, pair, channel="intensity"
+            )
+            int_after = self._fetch(
+                disk, pair + 1, shape, ledger, rng, report, pair, channel="intensity"
+            )
+            if int_before is None or int_after is None:
+                before = after = None  # the semi-fluid model needs both channels
+        return before, after, int_before, int_after
+
+    def _fit_images_for_pair(self, pair: int, int_before) -> int | None:
+        """Positional surface-fit charge for the ledger.
+
+        Pair 0 pays full price (both frames); later pairs pay for the
+        newly arrived frame only, because the preparation cache already
+        holds the shared frame's fit.  Keyed on the pair *index*, not on
+        cache warmth, so a resumed run (which restarts with a cold
+        cache) reproduces the uninterrupted run's ledger exactly.
+        """
+        if pair == 0:
+            return None
+        full = 4 if self.config.is_semifluid or int_before is not None else 2
+        return full // 2
+
+    @staticmethod
+    def _absorb(pair, result, state, ledger, report) -> None:
+        """Merge one pair's result into the running state, in pair order."""
+        state.sum_u += result.u
+        state.sum_v += result.v
+        state.sum_error += result.error
+        state.last_u = np.array(result.u, dtype=np.float64, copy=True)
+        state.last_v = np.array(result.v, dtype=np.float64, copy=True)
+        state.last_error = np.array(result.error, dtype=np.float64, copy=True)
+        state.has_last = True
+        if result.ledger is not None:
+            ledger.merge(result.ledger)
+        report.record_outcome(pair, result.rung, result.segment_rows, result.seconds)
+        state.pairs_done = pair + 1
+
+    @staticmethod
+    def _save_checkpoint(checkpoint_file, state, ledger, report, rng, disk) -> None:
+        state.report = report
+        state.ledger_state = ledger.snapshot()
+        state.rng_state = rng.bit_generator.state
+        if isinstance(disk, FaultyDiskArray):
+            state.fault_state = disk.fault_state()
+        save_checkpoint(checkpoint_file, state)
+
+    def _run_pool(
+        self,
+        frame_list,
+        state,
+        n_pairs,
+        shape,
+        dts,
+        machine,
+        disk,
+        ledger,
+        rng,
+        report,
+        stop_after,
+        checkpoint_file,
+    ) -> None:
+        """Workers mode: shard pairs over a pool, wave by wave.
+
+        Only runs without a fault plan (enforced at construction), so
+        every pair is independent: the machine is healthy, retries never
+        fire, and the interpolation rung's prior-field dependence is
+        unreachable for frames that staged successfully.  The main
+        process fetches frames and merges results strictly in pair
+        order, so ledger charges and report rows land exactly as the
+        sequential path would place them.  Checkpoints are written at
+        wave boundaries -- at those points the ledger matches the
+        sequential run's checkpoint bit for bit, which keeps resume
+        (sequential or pooled) bit-identical.
+        """
+        from ..parallel.pairs import LadderPool
+
+        processed = 0
+        n_procs = min(self.workers, max(1, n_pairs - state.pairs_done))
+        with LadderPool(self.config, self.ladder.hs_iterations, n_procs) as pool:
+            pair = state.pairs_done
+            while pair < n_pairs:
+                remaining = n_pairs - pair
+                if stop_after is not None:
+                    remaining = min(remaining, stop_after - processed)
+                if remaining <= 0:
+                    break
+                wave = min(self.workers, remaining)
+
+                pending = []
+                for p in range(pair, pair + wave):
+                    machine_p = self._machine_for_pair(p, shape, machine, report)
+                    layers = machine_p.layers_for_image(*shape)
+                    planned = max(
+                        1, max_feasible_segment_rows(self.config, layers, machine_p)
+                    )
+                    has_intensity = frame_list[p].intensity is not None
+                    before, after, int_before, int_after = self._fetch_pair(
+                        disk, p, shape, ledger, rng, report, has_intensity
+                    )
+                    if before is None or after is None:
+                        pending.append((p, None))
+                        continue
+                    task = (
+                        p, before, after, machine_p, planned, dts[p],
+                        int_before, int_after,
+                        self._fit_images_for_pair(p, int_before),
+                    )
+                    pending.append((p, pool.submit(task)))
+
+                for p, handle in pending:
+                    if handle is None:
+                        result = DegradationLadder.interpolate(
+                            shape, None, None, None
+                        )
+                        report.record_event(
+                            p, "frame-unusable",
+                            "frame pair unrecoverable after retries", "interpolated",
+                        )
+                    else:
+                        _, result, steps = handle.get()
+                        for step in steps:
+                            report.record_event(
+                                p, step.kind, step.detail, RUNG_NAMES[result.rung]
+                            )
+                    self._absorb(p, result, state, ledger, report)
+                    processed += 1
+
+                if checkpoint_file:
+                    self._save_checkpoint(
+                        checkpoint_file, state, ledger, report, rng, disk
+                    )
+                pair += wave
+
     # -- the run --------------------------------------------------------------------
 
     def run(
@@ -276,82 +437,75 @@ class StreamingRunner:
         if resumed and isinstance(disk, FaultyDiskArray) and state.fault_state:
             disk.restore_fault_state(state.fault_state)
 
-        processed_this_call = 0
-        for pair in range(state.pairs_done, n_pairs):
-            if stop_after is not None and processed_this_call >= stop_after:
-                break
-            machine_p = self._machine_for_pair(pair, shape, machine, report)
+        prep_cache = FramePreparationCache(max_frames=4)
+        if self.workers is not None and self.workers > 1:
+            self._run_pool(
+                frame_list, state, n_pairs, shape, dts, machine, disk,
+                ledger, rng, report, stop_after, checkpoint_file,
+            )
+        else:
+            processed_this_call = 0
+            for pair in range(state.pairs_done, n_pairs):
+                if stop_after is not None and processed_this_call >= stop_after:
+                    break
+                machine_p = self._machine_for_pair(pair, shape, machine, report)
 
-            layers = machine_p.layers_for_image(*shape)
-            planned = max(1, max_feasible_segment_rows(self.config, layers, machine_p))
+                layers = machine_p.layers_for_image(*shape)
+                planned = max(
+                    1, max_feasible_segment_rows(self.config, layers, machine_p)
+                )
 
-            machine_run = machine_p
-            if self.fault_plan and pair in self.fault_plan.pe_memory_faults:
-                budget = memory_plan(self.config, layers, planned).total_bytes
-                squeezed = min(machine_p.pe_memory_bytes, budget - 1)
-                machine_run = dataclasses.replace(machine_p, pe_memory_bytes=squeezed)
-
-            has_intensity = frame_list[pair].intensity is not None
-            before = self._fetch(disk, pair, shape, ledger, rng, report, pair)
-            after = self._fetch(disk, pair + 1, shape, ledger, rng, report, pair)
-            int_before = int_after = None
-            if has_intensity and before is not None and after is not None:
-                int_before = self._fetch(
-                    disk, pair, shape, ledger, rng, report, pair, channel="intensity"
-                )
-                int_after = self._fetch(
-                    disk, pair + 1, shape, ledger, rng, report, pair, channel="intensity"
-                )
-                if int_before is None or int_after is None:
-                    before = after = None  # the semi-fluid model needs both channels
-
-            last_u = state.last_u if state.has_last else None
-            last_v = state.last_v if state.has_last else None
-            last_err = state.last_error if state.has_last else None
-            if before is None or after is None:
-                result = DegradationLadder.interpolate(shape, last_u, last_v, last_err)
-                report.record_event(
-                    pair, "frame-unusable",
-                    "frame pair unrecoverable after retries", "interpolated",
-                )
-            else:
-                result, steps = self.ladder.track_pair(
-                    before,
-                    after,
-                    machine_run,
-                    planned,
-                    dt_seconds=dts[pair],
-                    intensity_before=int_before,
-                    intensity_after=int_after,
-                    last_u=last_u,
-                    last_v=last_v,
-                    last_error=last_err,
-                )
-                for step in steps:
-                    report.record_event(
-                        pair, step.kind, step.detail, RUNG_NAMES[result.rung]
+                machine_run = machine_p
+                if self.fault_plan and pair in self.fault_plan.pe_memory_faults:
+                    budget = memory_plan(self.config, layers, planned).total_bytes
+                    squeezed = min(machine_p.pe_memory_bytes, budget - 1)
+                    machine_run = dataclasses.replace(
+                        machine_p, pe_memory_bytes=squeezed
                     )
 
-            state.sum_u += result.u
-            state.sum_v += result.v
-            state.sum_error += result.error
-            state.last_u = np.array(result.u, dtype=np.float64, copy=True)
-            state.last_v = np.array(result.v, dtype=np.float64, copy=True)
-            state.last_error = np.array(result.error, dtype=np.float64, copy=True)
-            state.has_last = True
-            if result.ledger is not None:
-                ledger.merge(result.ledger)
-            report.record_outcome(pair, result.rung, result.segment_rows, result.seconds)
-            state.pairs_done = pair + 1
-            processed_this_call += 1
+                has_intensity = frame_list[pair].intensity is not None
+                before, after, int_before, int_after = self._fetch_pair(
+                    disk, pair, shape, ledger, rng, report, has_intensity
+                )
 
-            if checkpoint_file:
-                state.report = report
-                state.ledger_state = ledger.snapshot()
-                state.rng_state = rng.bit_generator.state
-                if isinstance(disk, FaultyDiskArray):
-                    state.fault_state = disk.fault_state()
-                save_checkpoint(checkpoint_file, state)
+                last_u = state.last_u if state.has_last else None
+                last_v = state.last_v if state.has_last else None
+                last_err = state.last_error if state.has_last else None
+                if before is None or after is None:
+                    result = DegradationLadder.interpolate(
+                        shape, last_u, last_v, last_err
+                    )
+                    report.record_event(
+                        pair, "frame-unusable",
+                        "frame pair unrecoverable after retries", "interpolated",
+                    )
+                else:
+                    result, steps = self.ladder.track_pair(
+                        before,
+                        after,
+                        machine_run,
+                        planned,
+                        dt_seconds=dts[pair],
+                        intensity_before=int_before,
+                        intensity_after=int_after,
+                        last_u=last_u,
+                        last_v=last_v,
+                        last_error=last_err,
+                        prep_cache=prep_cache,
+                        fit_images=self._fit_images_for_pair(pair, int_before),
+                    )
+                    for step in steps:
+                        report.record_event(
+                            pair, step.kind, step.detail, RUNG_NAMES[result.rung]
+                        )
+
+                self._absorb(pair, result, state, ledger, report)
+                processed_this_call += 1
+
+                if checkpoint_file:
+                    self._save_checkpoint(
+                        checkpoint_file, state, ledger, report, rng, disk
+                    )
 
         field = None
         if state.pairs_done > 0:

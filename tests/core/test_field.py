@@ -98,6 +98,26 @@ class TestWind:
         assert out[0, 0] == pytest.approx(2.0)  # 2 px * 1000 m / 1000 s
         assert out[0, 1] == pytest.approx(180.0)  # northward motion: from south
 
+    def test_calm_pixels_have_nan_direction(self):
+        """Zero displacement has no direction of travel: NaN, not 180."""
+        field = make_field(u=0.0, v=0.0)
+        assert np.isnan(field.wind_direction_deg()).all()
+
+    def test_calm_direction_nan_only_where_calm(self):
+        field = make_field(u=1.0, v=0.0)
+        field.u[5, 5] = 0.0
+        direction = field.wind_direction_deg()
+        assert np.isnan(direction[5, 5])
+        moving = np.ones_like(direction, dtype=bool)
+        moving[5, 5] = False
+        np.testing.assert_allclose(direction[moving], 270.0)
+
+    def test_calm_wind_vectors(self):
+        field = make_field(u=0.0, v=0.0, dt=100.0)
+        out = field.wind_vectors(np.array([[10, 10]]))
+        assert out[0, 0] == 0.0
+        assert np.isnan(out[0, 1])
+
 
 class TestStats:
     def test_rmse_zero_against_self(self):

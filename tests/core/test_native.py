@@ -1,0 +1,102 @@
+"""Native Gaussian-elimination kernel: strict bit-identity with NumPy.
+
+The native path is an *optimization*, never a semantic change: every
+test here demands bit-pattern equality (including negative zeros, NaN
+placement and singular flags) between the C kernel and the NumPy
+reference it shadows.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.linalg import gaussian_eliminate
+from repro.native import native_available, native_gauss_eliminate, native_status
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason=f"native kernel unavailable: {native_status()}"
+)
+
+
+def _adversarial_batch(m: int = 256, n: int = 6, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, n, n)) * np.exp(rng.normal(scale=5.0, size=(m, 1, 1)))
+    b = rng.normal(size=(m, n))
+    a[0] = 0.0
+    a[1, 2] = a[1, 3]  # rank deficient
+    a[2, 1, 1] = np.nan
+    a[3, 0, 0] = np.inf
+    a[4, :, 0] = 0.0  # pivot failure in the first column
+    a[5] *= 1e-300  # near-denormal pivots
+    a[6] *= 1e300  # huge dynamic range
+    return a, b
+
+
+@needs_native
+class TestBitIdentity:
+    def test_random_batch(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(512, 6, 6))
+        b = rng.normal(size=(512, 6))
+        x_np, s_np = gaussian_eliminate(a, b, prefer_native=False)
+        x_c, s_c = native_gauss_eliminate(a, b)
+        assert x_np.tobytes() == x_c.tobytes()  # bit-pattern, signs of zero included
+        np.testing.assert_array_equal(s_np, s_c)
+
+    def test_adversarial_batch(self):
+        a, b = _adversarial_batch()
+        with np.errstate(all="ignore"):
+            x_np, s_np = gaussian_eliminate(a, b, prefer_native=False)
+            x_c, s_c = native_gauss_eliminate(a, b)
+        assert x_np.tobytes() == x_c.tobytes()
+        np.testing.assert_array_equal(s_np, s_c)
+
+    def test_various_orders(self):
+        rng = np.random.default_rng(23)
+        for n in (1, 2, 3, 5, 6, 9, 12, 20, 33):
+            a = rng.normal(size=(32, n, n))
+            b = rng.normal(size=(32, n))
+            x_np, _ = gaussian_eliminate(a, b, prefer_native=False)
+            x_c, _ = native_gauss_eliminate(a, b)
+            assert x_np.tobytes() == x_c.tobytes(), f"order {n} mismatch"
+
+    def test_empty_batch(self):
+        x, s = native_gauss_eliminate(
+            np.zeros((0, 6, 6)), np.zeros((0, 6))
+        )
+        assert x.shape == (0, 6) and s.shape == (0,)
+
+    def test_dispatch_uses_native_by_default(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(8, 6, 6))
+        b = rng.normal(size=(8, 6))
+        via_dispatch = gaussian_eliminate(a, b)
+        direct = native_gauss_eliminate(a, b)
+        assert via_dispatch[0].tobytes() == direct[0].tobytes()
+
+
+def test_env_opt_out_falls_back_to_numpy():
+    """REPRO_NATIVE=0 must disable the kernel without changing results."""
+    code = (
+        "import numpy as np\n"
+        "from repro.native import native_available, native_status\n"
+        "from repro.core.linalg import gaussian_eliminate\n"
+        "assert not native_available(), native_status()\n"
+        "assert 'REPRO_NATIVE' in native_status()\n"
+        "rng = np.random.default_rng(2)\n"
+        "x, s = gaussian_eliminate(rng.normal(size=(4, 6, 6)), rng.normal(size=(4, 6)))\n"
+        "print(x.sum())\n"
+    )
+    env = dict(os.environ, REPRO_NATIVE="0")
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,118 @@
+"""Frame-preparation cache: fingerprints, LRU behavior, bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matching import prepare_frames, track_dense
+from repro.core.prep import (
+    FramePreparationCache,
+    frame_fingerprint,
+    prepare_frame,
+)
+
+from ..conftest import translated_pair
+
+
+def _frames(n: int, size: int = 24, seed: int = 5) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(size, size))
+    return [np.roll(base, t, axis=1) + 0.01 * t for t in range(n)]
+
+
+class TestFingerprint:
+    def test_deterministic(self, small_continuous_config):
+        f = _frames(1)[0]
+        assert frame_fingerprint(f, None, small_continuous_config) == frame_fingerprint(
+            f.copy(), None, small_continuous_config
+        )
+
+    def test_content_sensitivity(self, small_continuous_config):
+        f = _frames(1)[0]
+        g = f.copy()
+        g[3, 7] += 1e-12
+        assert frame_fingerprint(f, None, small_continuous_config) != frame_fingerprint(
+            g, None, small_continuous_config
+        )
+
+    def test_config_sensitivity(self, small_continuous_config, small_semifluid_config):
+        f = _frames(1)[0]
+        assert frame_fingerprint(f, None, small_continuous_config) != frame_fingerprint(
+            f, None, small_semifluid_config
+        )
+
+    def test_intensity_channel_distinguished(self, small_semifluid_config):
+        f, i = _frames(2)
+        with_i = frame_fingerprint(f, i, small_semifluid_config)
+        without = frame_fingerprint(f, None, small_semifluid_config)
+        assert with_i != without
+
+
+class TestCache:
+    def test_hit_returns_same_object(self, small_continuous_config):
+        cache = FramePreparationCache()
+        f = _frames(1)[0]
+        first = cache.get(f, None, small_continuous_config)
+        second = cache.get(f.copy(), None, small_continuous_config)
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_cached_equals_direct(self, small_semifluid_config):
+        cache = FramePreparationCache()
+        f = _frames(1)[0]
+        cached = cache.get(f, None, small_semifluid_config)
+        direct = prepare_frame(f, None, small_semifluid_config)
+        np.testing.assert_array_equal(cached.geometry.p, direct.geometry.p)
+        np.testing.assert_array_equal(cached.geometry.q, direct.geometry.q)
+        np.testing.assert_array_equal(cached.discriminant, direct.discriminant)
+
+    def test_lru_eviction(self, small_continuous_config):
+        cache = FramePreparationCache(max_frames=2)
+        frames = _frames(3)
+        for f in frames:
+            cache.get(f, None, small_continuous_config)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # oldest entry was evicted: re-fetching it is a miss
+        cache.get(frames[0], None, small_continuous_config)
+        assert cache.stats.misses == 4
+
+    def test_max_frames_validated(self):
+        with pytest.raises(ValueError, match="max_frames"):
+            FramePreparationCache(max_frames=0)
+
+    def test_clear(self, small_continuous_config):
+        cache = FramePreparationCache()
+        cache.get(_frames(1)[0], None, small_continuous_config)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPrepareFramesWithCache:
+    @pytest.mark.parametrize("config_name", ["continuous", "semifluid"])
+    def test_bit_identical_with_and_without_cache(
+        self, config_name, small_continuous_config, small_semifluid_config
+    ):
+        config = (
+            small_continuous_config
+            if config_name == "continuous"
+            else small_semifluid_config
+        )
+        f0, f1 = translated_pair(size=32, dx=1, dy=1, seed=9)
+        plain = track_dense(prepare_frames(f0, f1, config))
+        cached = track_dense(prepare_frames(f0, f1, config, cache=FramePreparationCache()))
+        np.testing.assert_array_equal(plain.u, cached.u)
+        np.testing.assert_array_equal(plain.v, cached.v)
+        np.testing.assert_array_equal(plain.error, cached.error)
+        np.testing.assert_array_equal(plain.params, cached.params)
+
+    def test_sequence_fits_each_frame_once(self, small_continuous_config):
+        cache = FramePreparationCache(max_frames=4)
+        frames = _frames(4, size=32)
+        for m in range(3):
+            prepare_frames(frames[m], frames[m + 1], small_continuous_config, cache=cache)
+        # 6 lookups (2 per pair), 4 distinct frames -> 2 hits
+        assert cache.stats.lookups == 6
+        assert cache.stats.misses == 4
+        assert cache.stats.hits == 2

@@ -20,6 +20,34 @@ class TestFrame:
     def test_shape(self):
         assert Frame(np.zeros((6, 8))).shape == (6, 8)
 
+    def test_canonicalizes_to_float64(self):
+        """Inputs are converted exactly once, at construction."""
+        frame = Frame(np.arange(16, dtype=np.int32).reshape(4, 4))
+        assert isinstance(frame.surface, np.ndarray)
+        assert frame.surface.dtype == np.float64
+
+    def test_canonicalizes_intensity(self):
+        frame = Frame(
+            np.zeros((4, 4), dtype=np.float32),
+            intensity=np.ones((4, 4), dtype=np.int16),
+        )
+        assert frame.surface.dtype == np.float64
+        assert frame.intensity.dtype == np.float64
+
+    def test_rejects_nested_list_of_wrong_rank(self):
+        with pytest.raises(ValueError):
+            Frame(np.asarray([1.0, 2.0, 3.0]))
+
+    def test_rejects_complex(self):
+        with pytest.raises(ValueError, match="real-numeric"):
+            Frame(np.zeros((4, 4), dtype=np.complex128))
+
+    def test_rejects_non_finite_at_construction(self):
+        bad = np.zeros((4, 4))
+        bad[1, 2] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            Frame(bad)
+
 
 class TestSMAnalyzer:
     def test_rejects_bad_pixel_km(self, small_continuous_config):
@@ -76,6 +104,47 @@ class TestSMAnalyzer:
         mask = analyzer.valid_region((64, 64))
         margin = small_continuous_config.margin()
         assert mask[margin, margin] and not mask[0, 0]
+
+
+class TestDtSubstitution:
+    def test_non_increasing_timestamps_warn_and_record(
+        self, small_continuous_config, translation_frames
+    ):
+        f0, f1 = translation_frames
+        analyzer = SMAnalyzer(small_continuous_config)
+        with pytest.warns(RuntimeWarning, match="not increasing"):
+            field = analyzer.track_pair(
+                Frame(f0, time_seconds=100.0), Frame(f1, time_seconds=40.0)
+            )
+        assert field.dt_seconds == 1.0
+        assert field.metadata["dt_substituted"] is True
+        assert field.metadata["dt_rejected_seconds"] == -60.0
+
+    def test_equal_timestamps_warn(self, small_continuous_config, translation_frames):
+        f0, f1 = translation_frames
+        with pytest.warns(RuntimeWarning):
+            field = SMAnalyzer(small_continuous_config).track_pair(f0, f1)
+        assert field.metadata["dt_rejected_seconds"] == 0.0
+
+    def test_good_timestamps_stay_silent(self, small_continuous_config, translation_frames):
+        f0, f1 = translation_frames
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            field = SMAnalyzer(small_continuous_config).track_pair(
+                Frame(f0, time_seconds=0.0), Frame(f1, time_seconds=90.0)
+            )
+        assert "dt_substituted" not in field.metadata
+
+    def test_explicit_dt_never_warns(self, small_continuous_config, translation_frames):
+        f0, f1 = translation_frames
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            field = SMAnalyzer(small_continuous_config).track_pair(f0, f1, dt_seconds=7.5)
+        assert field.dt_seconds == 7.5
 
 
 class TestOperationCounts:
