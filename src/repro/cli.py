@@ -12,7 +12,13 @@ paper's production pipeline exposed to forecasters:
 * ``repro datasets``  -- list the available paper-analogue datasets and
   their full-scale parameters,
 * ``repro stream``    -- fault-tolerant streaming of a whole frame
-  sequence with optional fault injection and checkpoint/resume.
+  sequence with optional fault injection and checkpoint/resume,
+* ``repro profile``   -- trace one pair end to end and print the
+  per-phase modeled (MasPar) vs measured (host) timing profile.
+
+``repro track`` and ``repro stream`` accept ``--trace out.json`` /
+``--metrics out.json`` to export a Chrome-trace (Perfetto-loadable)
+span timeline and the metrics registry.
 
 Every command is a pure function of its arguments (no global state), so
 the test suite drives :func:`main` directly.
@@ -84,6 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard the sequence's pairs over N processes "
         "(bit-identical to the sequential path)",
     )
+    _add_obs_arguments(track)
 
     winds = sub.add_parser("winds", help="wind statistics from a saved field")
     winds.add_argument("field", type=str, help="MotionField .npz path")
@@ -137,10 +144,62 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--out", type=str, default=None, help="save the mean field (.npz)")
     stream.add_argument(
         "--report", type=str, default=None, metavar="PATH",
-        help="write the structured RunReport as JSON",
+        help="write the structured RunReport (with per-pair timing and "
+        "the cost-ledger breakdown) as JSON",
     )
+    _add_obs_arguments(stream)
+
+    profile = sub.add_parser(
+        "profile", help="modeled vs measured per-phase profile of one pair"
+    )
+    profile.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    profile.add_argument("--size", type=int, default=64, help="image side (pixels)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--search", type=int, default=2, help="z-search half-width")
+    profile.add_argument("--template", type=int, default=3, help="z-template half-width")
+    _add_obs_arguments(profile)
 
     return parser
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write a Chrome-trace JSON of the run (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", type=str, default=None, metavar="PATH",
+        help="write the metrics registry as JSON",
+    )
+
+
+def _arm_observability(args: argparse.Namespace) -> None:
+    """Enable tracing (and scope the metrics) when export flags are set."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        from .obs import METRICS, TRACER, enable_tracing
+
+        TRACER.reset()
+        METRICS.reset()
+        if args.trace:
+            enable_tracing(True)
+
+
+def _write_obs_outputs(args: argparse.Namespace) -> None:
+    """Export the trace/metrics files requested on the command line."""
+    if getattr(args, "trace", None):
+        from .obs import TRACER, write_chrome_trace
+
+        write_chrome_trace(args.trace, TRACER.drain())
+        print(f"saved Chrome trace to {args.trace}")
+    if getattr(args, "metrics", None):
+        from .ioutil import atomic_write_text
+        from .obs import METRICS
+
+        atomic_write_text(args.metrics, METRICS.to_json())
+        print(f"saved metrics to {args.metrics}")
+    from .obs import enable_tracing
+
+    enable_tracing(False)
 
 
 def _parse_fault_spec(spec: str, seed: int, n_frames: int):
@@ -206,8 +265,14 @@ def _parse_fault_spec(spec: str, seed: int, n_frames: int):
 
 
 def _cmd_track(args: argparse.Namespace) -> int:
+    _arm_observability(args)
     factory = DATASET_FACTORIES[args.dataset]
     n_frames = max(args.pair + 2, 2)
+    if args.workers is not None and args.workers > 1:
+        # Give the pool at least one pair per worker (frames are
+        # generated deterministically per index, so the requested
+        # pair's field is unaffected).
+        n_frames = max(n_frames, args.workers + 1)
     dataset: Dataset = factory(size=args.size, n_frames=n_frames, seed=args.seed)
     config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
     analyzer = SMAnalyzer(config, pixel_km=dataset.pixel_km)
@@ -249,6 +314,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
     if args.out:
         field.save(args.out)
         print(f"saved field to {args.out}")
+    _write_obs_outputs(args)
     return 0
 
 
@@ -339,6 +405,7 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .reliability import StreamingRunner
 
+    _arm_observability(args)
     factory = DATASET_FACTORIES[args.dataset]
     dataset: Dataset = factory(size=args.size, n_frames=args.frames, seed=args.seed)
     config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
@@ -365,6 +432,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         rows.append(("injected faults", str(sum(1 for _ in plan.describe()))))
     rows.extend(result.report.summary_rows())
     rows.append(("modeled seconds (total)", f"{result.ledger.total_seconds():.3f}"))
+    rows.append(("Gaussian eliminations", str(result.ledger.gaussian_eliminations())))
     print(format_table(rows, title="fault-tolerant streaming"))
 
     if result.report.events:
@@ -378,9 +446,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         ))
 
     if args.report:
+        import json
+
         from .ioutil import atomic_write_text
 
-        atomic_write_text(args.report, result.report.to_json())
+        payload = json.loads(result.report.to_json(include_timing=True))
+        payload["cost"] = {
+            "breakdown": [
+                {"phase": name, "modeled_seconds": secs, "gaussian_eliminations": ge}
+                for name, secs, ge in result.ledger.breakdown(with_counts=True)
+            ],
+            "total_modeled_seconds": result.ledger.total_seconds(),
+            "total_gaussian_eliminations": result.ledger.gaussian_eliminations(),
+        }
+        atomic_write_text(args.report, json.dumps(payload))
         print(f"saved run report to {args.report}")
     if args.out:
         if result.field is None:
@@ -388,6 +467,50 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             return 1
         result.field.save(args.out)
         print(f"saved mean field to {args.out}")
+    _write_obs_outputs(args)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import (
+        METRICS,
+        TRACER,
+        enable_tracing,
+        modeled_vs_measured_rows,
+        span_summary_rows,
+    )
+    from .parallel.parallel_sma import ParallelSMA
+
+    factory = DATASET_FACTORIES[args.dataset]
+    dataset: Dataset = factory(size=args.size, n_frames=2, seed=args.seed)
+    config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
+    TRACER.reset()
+    METRICS.reset()
+    enable_tracing(True)
+    driver = ParallelSMA(config, pixel_km=dataset.pixel_km)
+    result = driver.track_pair(dataset.frames[0], dataset.frames[1])
+
+    events = TRACER.events()
+    phase_rows = [
+        (label, f"{modeled:.3f}", f"{measured:.3f}")
+        for label, modeled, measured in modeled_vs_measured_rows(result.ledger, events)
+    ]
+    print(format_table(
+        phase_rows,
+        headers=["phase", "modeled s (MasPar)", "measured s (host)"],
+        title=f"profile: {dataset.name} ({args.size}x{args.size}, pair 0)",
+    ))
+    span_rows = [
+        (name, str(count), f"{total:.3f}", f"{mean_ms:.2f}")
+        for name, count, total, mean_ms in span_summary_rows(events)
+    ]
+    print(format_table(
+        span_rows, headers=["span", "count", "total s", "mean ms"], title="spans"
+    ))
+    text = METRICS.render_text()
+    if text:
+        print(text)
+    _write_obs_outputs(args)
     return 0
 
 
@@ -397,6 +520,7 @@ COMMANDS = {
     "machine": _cmd_machine,
     "datasets": _cmd_datasets,
     "stream": _cmd_stream,
+    "profile": _cmd_profile,
 }
 
 

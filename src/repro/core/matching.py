@@ -49,6 +49,8 @@ import numpy as np
 
 from scipy import ndimage
 
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
 from ..params import NeighborhoodConfig
 from .continuous import (
     N_FIELDS,
@@ -190,11 +192,15 @@ def prepare_frames(
     lookup = cache.get if cache is not None else prepare_frame
     # Pass None when the intensity IS the surface (monocular) so the
     # content fingerprint hashes each frame's pixels exactly once.
-    prep_b = lookup(z_before, None if intensity_before is None else i_b, config)
-    prep_a = lookup(z_after, None if intensity_after is None else i_a, config)
-    volume = None
-    if config.is_semifluid:
-        volume = compute_score_volume(prep_b.discriminant, prep_a.discriminant, config)
+    with TRACER.span("prepare_frames", semifluid=config.is_semifluid, cached=cache is not None):
+        prep_b = lookup(z_before, None if intensity_before is None else i_b, config)
+        prep_a = lookup(z_after, None if intensity_after is None else i_a, config)
+        volume = None
+        if config.is_semifluid:
+            with TRACER.span("score_volume"):
+                volume = compute_score_volume(
+                    prep_b.discriminant, prep_a.discriminant, config
+                )
     return PreparedFrames(
         geo_before=prep_b.geometry, geo_after=prep_a.geometry, volume=volume, config=config
     )
@@ -275,10 +281,12 @@ def track_dense(
     the cap, which changes speed, never results.
     """
     if engine == "serial":
-        return _track_dense_serial(prepared, ridge)
+        with TRACER.span("hypothesis_search", engine="serial"):
+            return _track_dense_serial(prepared, ridge)
     if engine != "batched":
         raise ValueError(f"unknown engine {engine!r} (choose 'batched' or 'serial')")
-    return _track_dense_batched(prepared, ridge, batch_bytes)
+    with TRACER.span("hypothesis_search", engine="batched"):
+        return _track_dense_batched(prepared, ridge, batch_bytes)
 
 
 def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchResult:
@@ -365,52 +373,59 @@ def _track_dense_batched(
     order = hypothesis_order(config.n_zs)
     bytes_per_hypothesis = shape[0] * shape[1] * N_FIELDS * 8
     chunk_size = max(1, int(batch_bytes) // max(bytes_per_hypothesis, 1))
+    METRICS.inc("hypotheses.evaluated", len(order))
 
     for start in range(0, len(order), chunk_size):
         chunk = order[start : start + chunk_size]
         n = len(chunk)
-        p_a = np.empty((n,) + shape, dtype=np.float64)
-        q_a = np.empty((n,) + shape, dtype=np.float64)
-        delta_y = delta_x = None
-        if semifluid:
-            delta_y = np.empty((n,) + shape, dtype=np.int64)
-            delta_x = np.empty((n,) + shape, dtype=np.int64)
-            reach = prepared.volume.reach
-            side = prepared.volume.side
-            for k, (hyp_dy, hyp_dx) in enumerate(chunk):
-                dy_k, dx_k = semifluid_displacements(
-                    prepared.volume, hyp_dy, hyp_dx, config.n_ss
-                )
-                delta_y[k], delta_x[k] = dy_k, dx_k
-                flat = (dy_k + reach) * side + (dx_k + reach)
-                p_a[k] = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
-                q_a[k] = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
-        else:
-            for k, (hyp_dy, hyp_dx) in enumerate(chunk):
-                p_a[k] = shift2d(geo_a.p, hyp_dy, hyp_dx)
-                q_a[k] = shift2d(geo_a.q, hyp_dy, hyp_dx)
-
-        fields = pointwise_fields(
-            geo_b.p[None], geo_b.q[None], p_a, q_a, geo_b.e[None], geo_b.g[None]
-        )
-        accumulated = _box_sum_stack(fields, config.n_zt)
-        del fields
-        solution = solve_accumulated(accumulated, ridge=ridge)
-        del accumulated
-
-        # Merge in hypothesis order with a strict-less update: identical
-        # tie-breaking (Chebyshev magnitude, then raster) to the serial
-        # engine, regardless of chunking.
-        for k, (hyp_dy, hyp_dx) in enumerate(chunk):
-            better = solution.error[k] < best_error
-            best_error = np.where(better, solution.error[k], best_error)
+        METRICS.inc("batched_engine.chunks")
+        chunk_span = TRACER.span("hypothesis_chunk", start=start, size=n)
+        chunk_span.__enter__()
+        try:
+            p_a = np.empty((n,) + shape, dtype=np.float64)
+            q_a = np.empty((n,) + shape, dtype=np.float64)
+            delta_y = delta_x = None
             if semifluid:
-                best_u = np.where(better, delta_x[k].astype(np.float64), best_u)
-                best_v = np.where(better, delta_y[k].astype(np.float64), best_v)
+                delta_y = np.empty((n,) + shape, dtype=np.int64)
+                delta_x = np.empty((n,) + shape, dtype=np.int64)
+                reach = prepared.volume.reach
+                side = prepared.volume.side
+                for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+                    dy_k, dx_k = semifluid_displacements(
+                        prepared.volume, hyp_dy, hyp_dx, config.n_ss
+                    )
+                    delta_y[k], delta_x[k] = dy_k, dx_k
+                    flat = (dy_k + reach) * side + (dx_k + reach)
+                    p_a[k] = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
+                    q_a[k] = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
             else:
-                best_u = np.where(better, float(hyp_dx), best_u)
-                best_v = np.where(better, float(hyp_dy), best_v)
-            best_params = np.where(better[..., None], solution.params[k], best_params)
+                for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+                    p_a[k] = shift2d(geo_a.p, hyp_dy, hyp_dx)
+                    q_a[k] = shift2d(geo_a.q, hyp_dy, hyp_dx)
+
+            fields = pointwise_fields(
+                geo_b.p[None], geo_b.q[None], p_a, q_a, geo_b.e[None], geo_b.g[None]
+            )
+            accumulated = _box_sum_stack(fields, config.n_zt)
+            del fields
+            solution = solve_accumulated(accumulated, ridge=ridge)
+            del accumulated
+
+            # Merge in hypothesis order with a strict-less update: identical
+            # tie-breaking (Chebyshev magnitude, then raster) to the serial
+            # engine, regardless of chunking.
+            for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+                better = solution.error[k] < best_error
+                best_error = np.where(better, solution.error[k], best_error)
+                if semifluid:
+                    best_u = np.where(better, delta_x[k].astype(np.float64), best_u)
+                    best_v = np.where(better, delta_y[k].astype(np.float64), best_v)
+                else:
+                    best_u = np.where(better, float(hyp_dx), best_u)
+                    best_v = np.where(better, float(hyp_dy), best_v)
+                best_params = np.where(better[..., None], solution.params[k], best_params)
+        finally:
+            chunk_span.__exit__(None, None, None)
 
     return DenseMatchResult(
         u=best_u,

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
 from ..params import NeighborhoodConfig
 from .semifluid import discriminant_field
 from .surface import SurfaceGeometry, fit_surface
@@ -98,11 +100,12 @@ def prepare_frame(
     mode, or None for the continuous model.
     """
     surface = np.asarray(surface, dtype=np.float64)
-    geometry = fit_surface(surface, config.n_w)
-    discriminant = None
-    if config.is_semifluid:
-        source = surface if intensity is None else np.asarray(intensity, dtype=np.float64)
-        discriminant = discriminant_field(source, config.n_w)
+    with TRACER.span("surface_fit", semifluid=config.is_semifluid):
+        geometry = fit_surface(surface, config.n_w)
+        discriminant = None
+        if config.is_semifluid:
+            source = surface if intensity is None else np.asarray(intensity, dtype=np.float64)
+            discriminant = discriminant_field(source, config.n_w)
     if fingerprint is None:
         fingerprint = frame_fingerprint(surface, intensity, config)
     return FramePreparation(
@@ -158,13 +161,16 @@ class FramePreparationCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            METRICS.inc("prep_cache.hit")
             return entry
         self.stats.misses += 1
+        METRICS.inc("prep_cache.miss")
         entry = prepare_frame(surface, intensity, config, fingerprint=key)
         self._entries[key] = entry
         while len(self._entries) > self.max_frames:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            METRICS.inc("prep_cache.eviction")
         return entry
 
     def clear(self) -> None:

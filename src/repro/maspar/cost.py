@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..obs.tracing import TRACER
 from .machine import MachineConfig
 
 
@@ -80,12 +81,23 @@ class CostLedger:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Scope subsequent charges to the named phase."""
+        """Scope subsequent charges to the named phase.
+
+        When the global tracer is enabled each phase context also emits
+        a ``phase:<name>`` span carrying the modeled-second and
+        operation-count deltas charged inside it -- the ledger's phase
+        boundaries become lanes in the exported trace for free.
+        """
+        span = TRACER.span("phase:" + name, ledger=self) if TRACER.enabled else None
+        if span is not None:
+            span.__enter__()
         self._stack.append(name)
         try:
             yield
         finally:
             self._stack.pop()
+            if span is not None:
+                span.__exit__(None, None, None)
 
     # -- charging -----------------------------------------------------------------
 
@@ -170,8 +182,37 @@ class CostLedger:
         """Modeled seconds across all phases."""
         return sum(self.phase_seconds(name) for name in self.phases)
 
-    def breakdown(self) -> list[tuple[str, float]]:
-        """``(phase, seconds)`` rows in insertion order -- a Table 2 shape."""
+    def gaussian_eliminations(self, name: str | None = None) -> int:
+        """GE solve count for one phase, or the whole run when ``name`` is None.
+
+        The paper headlines this statistic ("over one million separate
+        Gaussian-eliminations"), so the ledger reports it first-class
+        alongside the modeled seconds.
+        """
+        if name is not None:
+            cost = self.phases.get(name)
+            return cost.gaussian_eliminations if cost is not None else 0
+        return sum(cost.gaussian_eliminations for cost in self.phases.values())
+
+    def totals(self) -> PhaseCost:
+        """All phase buckets merged into one (for span delta accounting)."""
+        total = PhaseCost()
+        for cost in self.phases.values():
+            total.merge(cost)
+        return total
+
+    def breakdown(self, with_counts: bool = False) -> list:
+        """``(phase, seconds)`` rows in insertion order -- a Table 2 shape.
+
+        ``with_counts=True`` extends each row to ``(phase, seconds,
+        gaussian_eliminations)`` so reports can carry the paper's
+        headline solve counts next to the timing.
+        """
+        if with_counts:
+            return [
+                (name, self.phase_seconds(name), self.phases[name].gaussian_eliminations)
+                for name in self.phases
+            ]
         return [(name, self.phase_seconds(name)) for name in self.phases]
 
     def merge(self, other: "CostLedger") -> None:

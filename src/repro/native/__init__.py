@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
+import logging
 import os
 import subprocess
 import tempfile
@@ -41,11 +42,17 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
+
 __all__ = [
     "native_available",
     "native_gauss_eliminate",
     "native_status",
 ]
+
+_LOG = get_logger("native")
 
 _HERE = Path(__file__).resolve().parent
 _SOURCE = _HERE / "gauss.c"
@@ -145,9 +152,12 @@ def _load() -> tuple[ctypes.CDLL | None, str | None]:
         return _state
     if os.environ.get("REPRO_NATIVE", "1") == "0":
         _state = (None, "disabled by REPRO_NATIVE=0")
+        METRICS.set_gauge("native.available", 0)
+        log_event(_LOG, logging.INFO, "native.disabled", reason="REPRO_NATIVE=0")
         return _state
     try:
-        lib = ctypes.CDLL(str(_compile()))
+        with TRACER.span("native.build"):
+            lib = ctypes.CDLL(str(_compile()))
         lib.gauss_eliminate.restype = ctypes.c_int
         lib.gauss_eliminate.argtypes = [
             ctypes.POINTER(ctypes.c_double),
@@ -157,11 +167,19 @@ def _load() -> tuple[ctypes.CDLL | None, str | None]:
             ctypes.c_ssize_t,
             ctypes.c_ssize_t,
         ]
-        _self_check(lib)
+        with TRACER.span("native.self_check"):
+            _self_check(lib)
     except Exception as exc:  # any failure means "no native, NumPy fallback"
         _state = (None, f"{type(exc).__name__}: {exc}")
+        METRICS.set_gauge("native.available", 0)
+        log_event(
+            _LOG, logging.WARNING, "native.unavailable",
+            reason=f"{type(exc).__name__}: {exc}",
+        )
         return _state
     _state = (lib, None)
+    METRICS.set_gauge("native.available", 1)
+    log_event(_LOG, logging.INFO, "native.loaded", source=_SOURCE.name)
     return _state
 
 

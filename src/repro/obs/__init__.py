@@ -1,0 +1,96 @@
+"""Observability: tracing spans, metrics, exporters, structured logging.
+
+A zero-dependency subsystem (stdlib only; nothing here imports the
+rest of ``repro``) that ties the repo's two notions of time together:
+
+* **modeled** MasPar seconds, produced by the
+  :class:`~repro.maspar.cost.CostLedger` in the spirit of the paper's
+  Tables 2 and 4, and
+* **measured** host wall-clock, recorded by hierarchical
+  :mod:`~repro.obs.tracing` spans around the real NumPy/C work.
+
+Entry points:
+
+* ``TRACER.span("hypothesis_search", pair=i, ledger=ledger)`` -- a
+  nestable, thread/fork-safe span; no-op (and essentially free) until
+  :func:`enable_tracing` is called,
+* ``METRICS.inc("prep_cache.hit")`` -- always-on counters, gauges and
+  histograms (:mod:`~repro.obs.metrics`),
+* :func:`~repro.obs.export.write_chrome_trace` /
+  :func:`~repro.obs.export.modeled_vs_measured_rows` -- the Chrome
+  trace / Perfetto JSON exporter and the ``repro profile`` tables,
+* :func:`~repro.obs.log.get_logger` / :func:`~repro.obs.log.log_event`
+  -- structured logging with the ``REPRO_LOG`` level knob,
+* :func:`worker_init` / :func:`worker_payload` / :func:`absorb_payload`
+  -- the fork-pool protocol: a worker resets inherited state, records
+  its own spans and metrics, ships them back per task, and the parent
+  merges them into one trace with per-worker lanes.
+
+See ``docs/observability.md`` for the span/metric name tables and how
+to open a trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_trace,
+    load_chrome_trace,
+    modeled_vs_measured_rows,
+    span_summary_rows,
+    write_chrome_trace,
+)
+from .log import get_logger, log_event
+from .metrics import METRICS, MetricsRegistry
+from .tracing import NOOP_SPAN, TRACER, Span, Tracer, enable_tracing, tracing_enabled
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "absorb_payload",
+    "chrome_trace",
+    "enable_tracing",
+    "get_logger",
+    "load_chrome_trace",
+    "log_event",
+    "modeled_vs_measured_rows",
+    "span_summary_rows",
+    "tracing_enabled",
+    "worker_init",
+    "worker_payload",
+    "write_chrome_trace",
+]
+
+
+def worker_init(tracing: bool) -> None:
+    """Reset observability state in a freshly started pool worker.
+
+    Called from pool initializers: drops any spans/metrics inherited
+    through ``fork`` (they belong to the parent and would otherwise be
+    shipped back twice) and arms tracing to match the parent.
+    """
+    TRACER.reset()
+    TRACER.enable(tracing)
+    METRICS.reset()
+
+
+def worker_payload() -> dict | None:
+    """Everything a worker recorded since the last task, or None.
+
+    Returns ``{"spans": [...], "metrics": {...}}`` when tracing is on;
+    None (nothing to ship, nothing to pickle) when it is off.
+    """
+    if not TRACER.enabled:
+        return None
+    return {"spans": TRACER.drain(), "metrics": METRICS.drain()}
+
+
+def absorb_payload(payload: dict | None) -> None:
+    """Merge a worker's :func:`worker_payload` into the parent's state."""
+    if not payload:
+        return
+    TRACER.absorb(payload.get("spans", []))
+    METRICS.merge_snapshot(payload.get("metrics", {}))

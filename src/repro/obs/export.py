@@ -1,0 +1,155 @@
+"""Trace and metrics exporters.
+
+Two consumers, two formats:
+
+* **Chrome trace format** (:func:`chrome_trace` / :func:`write_chrome_trace`)
+  -- the ``traceEvents`` JSON that ``chrome://tracing`` and Perfetto
+  (https://ui.perfetto.dev) load directly.  Every span becomes one
+  complete ("X") event; worker processes appear as separate lanes with
+  human-readable process-name metadata.
+
+* **Profile tables** (:func:`modeled_vs_measured_rows`,
+  :func:`span_summary_rows`) -- the terminal rendering behind
+  ``repro profile``: the paper's Table 2 / Table 4 phase rows with the
+  modeled MasPar seconds and the *measured* host wall seconds side by
+  side, plus a per-span-name aggregate.
+
+The modeled/measured pairing is by construction: the instrumented
+pipeline wraps the host work that *realizes* each modeled phase in a
+span with a stable name (``surface_fit``, ``score_volume``,
+``hypothesis_search``, ``stream.fetch``, ``retry.backoff``), and
+:data:`PROFILE_PHASE_MAP` groups ledger phases with those span names.
+Phase-name strings are duplicated here deliberately -- importing the
+phase constants would couple the exporter to every pipeline layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..ioutil import atomic_write_text
+
+#: (row label, ledger phase names, span names) -- the modeled/measured pairing.
+PROFILE_PHASE_MAP: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = (
+    (
+        "Surface fit + geometry",
+        ("Surface fit", "Compute geometric variables"),
+        ("surface_fit",),
+    ),
+    ("Semi-fluid mapping", ("Semi-fluid mapping",), ("score_volume",)),
+    ("Hypothesis matching", ("Hypothesis matching",), ("hypothesis_search",)),
+    ("Disk streaming", ("Disk streaming",), ("stream.stage", "stream.fetch")),
+    ("Fault recovery", ("Fault recovery",), ("retry.backoff",)),
+)
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Convert drained tracer events into a Chrome-trace-format object.
+
+    Each event dict (see :meth:`repro.obs.tracing.Tracer.drain`) maps to
+    one ``ph: "X"`` complete event; process-name metadata events label
+    each pid lane (``repro`` for the exporting process -- the parent --
+    and ``worker <pid>`` for the rest).
+    """
+    trace_events = []
+    pids: list[int] = []
+    for e in events:
+        if e["pid"] not in pids:
+            pids.append(e["pid"])
+        args = {k: v for k, v in e["args"].items()}
+        args["depth"] = e["depth"]
+        trace_events.append(
+            {
+                "name": e["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": e["ts_us"],
+                "dur": e["dur_us"],
+                "pid": e["pid"],
+                "tid": e["tid"],
+                "args": args,
+            }
+        )
+    main_pid = os.getpid()
+    for pid in pids:
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro" if pid == main_pid else f"worker {pid}"},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: list[dict]) -> str:
+    """Atomically write a Chrome-trace JSON file; returns the path."""
+    atomic_write_text(path, json.dumps(chrome_trace(events)))
+    return path
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Parse a trace file back (validation helper for tests and CI)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if "traceEvents" not in payload or not isinstance(payload["traceEvents"], list):
+        raise ValueError(f"{path!r} is not a Chrome-trace-format file")
+    return payload
+
+
+def _wall_seconds_by_name(events: list[dict]) -> dict[str, tuple[int, float]]:
+    """``name -> (count, total wall seconds)`` over finished spans."""
+    acc: dict[str, tuple[int, float]] = {}
+    for e in events:
+        count, total = acc.get(e["name"], (0, 0.0))
+        acc[e["name"]] = (count + 1, total + e["dur_us"] / 1e6)
+    return acc
+
+
+def modeled_vs_measured_rows(ledger, events: list[dict]) -> list[tuple[str, float, float]]:
+    """Per-phase ``(label, modeled seconds, measured seconds)`` rows.
+
+    ``ledger`` supplies the modeled MasPar seconds per phase; the spans
+    supply measured host wall seconds via :data:`PROFILE_PHASE_MAP`.
+    Ledger phases outside the map get their own rows (measured NaN is
+    avoided -- unmatched entries report 0.0 measured), and a final
+    total row sums both columns.
+    """
+    by_name = _wall_seconds_by_name(events)
+    phase_seconds = dict(ledger.breakdown())
+    rows: list[tuple[str, float, float]] = []
+    mapped_phases: set[str] = set()
+    for label, phases, span_names in PROFILE_PHASE_MAP:
+        modeled = sum(phase_seconds.get(p, 0.0) for p in phases)
+        present = [p for p in phases if p in phase_seconds]
+        measured = sum(by_name.get(s, (0, 0.0))[1] for s in span_names)
+        if not present and measured == 0.0:
+            continue
+        mapped_phases.update(present)
+        rows.append((label, modeled, measured))
+    for name, seconds in phase_seconds.items():
+        if name not in mapped_phases:
+            rows.append((name, seconds, 0.0))
+    rows.append(
+        (
+            "Total",
+            sum(r[1] for r in rows),
+            sum(by_name.get(s, (0, 0.0))[1]
+                for _, _, names in PROFILE_PHASE_MAP for s in names),
+        )
+    )
+    return rows
+
+
+def span_summary_rows(events: list[dict]) -> list[tuple[str, int, float, float]]:
+    """``(name, count, total seconds, mean milliseconds)`` per span name,
+    sorted by total wall descending."""
+    rows = [
+        (name, count, total, total / count * 1e3)
+        for name, (count, total) in _wall_seconds_by_name(events).items()
+    ]
+    rows.sort(key=lambda r: -r[2])
+    return rows

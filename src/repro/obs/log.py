@@ -1,0 +1,61 @@
+"""Structured logging for the pipeline (``REPRO_LOG`` env knob).
+
+Replaces ad-hoc prints and silent failure paths with one ``repro``
+logger hierarchy on top of :mod:`logging`:
+
+* the root ``repro`` logger is configured once, lazily, with a stderr
+  handler and the level named by the ``REPRO_LOG`` environment variable
+  (``DEBUG``/``INFO``/``WARNING``/``ERROR``; default ``WARNING``),
+* :func:`log_event` emits *structured* records -- a stable event tag
+  followed by ``key=value`` fields -- so log lines are greppable and
+  machine-parseable without a JSON dependency,
+* libraries embedding ``repro`` can attach their own handlers to the
+  ``repro`` logger before first use; the lazy config then backs off.
+
+The user-facing ``RuntimeWarning`` on dt substitution stays a warning
+(it is a documented API contract); everything operational -- fault
+events, degradation steps, retry backoffs, native-kernel build
+outcomes -- goes through here.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_ROOT_NAME = "repro"
+
+
+def _configure_root() -> logging.Logger:
+    root = logging.getLogger(_ROOT_NAME)
+    if getattr(root, "_repro_configured", False):
+        return root
+    if not root.handlers:  # respect handlers an embedder installed first
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s :: %(message)s")
+        )
+        root.addHandler(handler)
+        root.propagate = False
+    level_name = os.environ.get("REPRO_LOG", "WARNING").upper()
+    root.setLevel(getattr(logging, level_name, logging.WARNING))
+    root._repro_configured = True
+    return root
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a ``repro.<name>`` child."""
+    _configure_root()
+    return logging.getLogger(_ROOT_NAME if not name else f"{_ROOT_NAME}.{name}")
+
+
+def format_fields(**fields) -> str:
+    """Render keyword fields as a stable ``key=value`` suffix."""
+    return " ".join(f"{k}={v!r}" for k, v in fields.items())
+
+
+def log_event(logger: logging.Logger, level: int, event: str, **fields) -> None:
+    """Emit one structured record: ``<event> key=value key=value ...``."""
+    if logger.isEnabledFor(level):
+        logger.log(level, "%s %s", event, format_fields(**fields))

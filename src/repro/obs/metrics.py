@@ -1,0 +1,147 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Aggregate "how often / how much" companions to the per-interval spans
+of :mod:`repro.obs.tracing`: cache hit rates, batched-engine chunk
+counts, degradation-ladder steps, retry backoffs.  Metrics are always
+on -- an increment is a dict update under a lock, cheap enough for
+every hot path in this codebase (events fire per frame / per chunk,
+never per pixel) -- and are only materialized when someone asks for a
+:meth:`~MetricsRegistry.snapshot`.
+
+Names are dotted strings (``prep_cache.hit``, ``batched_engine.chunks``);
+the stable set used by the pipeline is tabulated in
+``docs/observability.md``.  Histograms keep count/sum/min/max (enough
+for means and extremes without storing samples).
+
+Fork-pool workers run with a freshly reset registry (see
+:func:`repro.obs.worker_init`), serialize their counts with
+:meth:`~MetricsRegistry.drain` and the parent folds them back in with
+:meth:`~MetricsRegistry.merge_snapshot` -- every event is counted
+exactly once, attributed to the run, regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    # -- recording ------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to the latest observed value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        value = float(value)
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._histograms[name] = {
+                    "count": 1.0, "sum": value, "min": value, "max": value,
+                }
+            else:
+                h["count"] += 1.0
+                h["sum"] += value
+                h["min"] = min(h["min"], value)
+                h["max"] = max(h["max"], value)
+
+    # -- reading --------------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: ``{"counters": .., "gauges": .., "histograms": ..}``.
+
+        Histogram entries gain a derived ``mean``.  Keys are sorted so
+        two identical registries serialize identically.
+        """
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            histograms = {
+                name: {**h, "mean": h["sum"] / h["count"] if h["count"] else 0.0}
+                for name, h in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Stable one-metric-per-line text dump (for terminals and tests)."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name} = {value:g}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"gauge     {name} = {value:g}")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"histogram {name} = count {h['count']:g}, mean {h['mean']:.6g}, "
+                f"min {h['min']:.6g}, max {h['max']:.6g}"
+            )
+        return "\n".join(lines)
+
+    # -- merging / lifecycle --------------------------------------------------------
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last writer wins, which is what a parent absorbing a
+        worker's final state wants).
+        """
+        if not snap:
+            return
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in snap.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, h in snap.get("histograms", {}).items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    self._histograms[name] = {
+                        "count": h["count"], "sum": h["sum"],
+                        "min": h["min"], "max": h["max"],
+                    }
+                else:
+                    mine["count"] += h["count"]
+                    mine["sum"] += h["sum"]
+                    mine["min"] = min(mine["min"], h["min"])
+                    mine["max"] = max(mine["max"], h["max"])
+
+    def drain(self) -> dict:
+        """Snapshot then clear -- what a pool worker ships back per task."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every instrumented module talks to.
+METRICS = MetricsRegistry()

@@ -1,0 +1,208 @@
+"""Hierarchical wall-clock tracing spans for the SMA pipeline.
+
+The paper's contribution is a timing argument: Tables 2 and 4 attribute
+MP-2 seconds to algorithm phases.  The repo's :class:`~repro.maspar.cost.CostLedger`
+regenerates that *modeled* accounting; this module adds the *measured*
+half -- hierarchical spans recording host wall-clock around the real
+NumPy/C work, so modeled MasPar seconds and measured host seconds can
+be printed side by side (see :mod:`repro.obs.export`).
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Tracing is disabled by default;
+   :meth:`Tracer.span` then returns a shared no-op context manager
+   without allocating anything.  The hot paths stay bit-identical and
+   effectively free (tested: < 5 % bound on ``track_dense``).
+2. **Nestable.**  Spans carry a ``depth`` and a per-thread stack, so a
+   ``prepare_frames`` span encloses its ``surface_fit`` child in the
+   exported trace.
+3. **Thread- and fork-safe.**  The span stack is thread-local; the
+   finished-span list is lock-protected; a forked worker that inherits
+   the tracer resets itself on first use (pid guard) so parent spans
+   are never re-exported from a child.  Workers serialize their spans
+   with :meth:`Tracer.drain` and the parent re-absorbs them with
+   :meth:`Tracer.absorb`, preserving the worker's pid/tid lanes.
+4. **Ledger deltas.**  A span opened with ``ledger=`` snapshots the
+   :class:`~repro.maspar.cost.CostLedger` totals on entry and attaches
+   the deltas (modeled seconds, flops, X-net/router/disk bytes,
+   Gaussian eliminations) on exit -- one span ties a measured host
+   interval to the modeled MasPar work performed inside it.
+
+Timestamps are ``time.perf_counter()`` microseconds relative to the
+tracer epoch.  On Linux ``perf_counter`` is CLOCK_MONOTONIC, which is
+system-wide, and forked workers inherit the epoch -- so worker spans
+land on the same timeline as the parent's in the exported trace.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span: measures wall-clock and optional ledger deltas."""
+
+    __slots__ = ("_tracer", "name", "args", "_ledger", "_t0", "_led_seconds", "_led_totals")
+
+    def __init__(self, tracer: "Tracer", name: str, ledger, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._ledger = ledger
+        self._t0 = 0.0
+        self._led_seconds = 0.0
+        self._led_totals = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach extra attributes to the span (exported under ``args``)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack().append(self)
+        if self._ledger is not None:
+            self._led_seconds = self._ledger.total_seconds()
+            self._led_totals = self._ledger.totals()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter()
+        if self._ledger is not None:
+            before = self._led_totals
+            after = self._ledger.totals()
+            self.args["modeled_seconds"] = self._ledger.total_seconds() - self._led_seconds
+            self.args["flops"] = after.flops - before.flops
+            self.args["xnet_bytes"] = after.xnet_bytes - before.xnet_bytes
+            self.args["router_bytes"] = after.router_bytes - before.router_bytes
+            self.args["disk_bytes"] = after.disk_bytes - before.disk_bytes
+            self.args["gaussian_eliminations"] = (
+                after.gaussian_eliminations - before.gaussian_eliminations
+            )
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(self, self._t0, t1, len(stack))
+        return False
+
+
+class Tracer:
+    """Collects finished spans; one process-wide instance (:data:`TRACER`).
+
+    ``enabled`` gates everything: while False, :meth:`span` hands back
+    the shared :data:`NOOP_SPAN` and no state is touched.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._local = threading.local()
+        self._pid = os.getpid()
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle -------------------------------------------------------------
+
+    def span(self, name: str, ledger=None, **attrs):
+        """Open a span; use as a context manager.
+
+        ``ledger`` optionally attaches a :class:`~repro.maspar.cost.CostLedger`
+        whose charge deltas over the span are exported with it.  Extra
+        keyword arguments become span attributes.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if os.getpid() != self._pid:
+            self._reset_for_process()
+        return Span(self, name, ledger, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span, t0: float, t1: float, depth: int) -> None:
+        event = {
+            "name": span.name,
+            "ts_us": (t0 - self._epoch) * 1e6,
+            "dur_us": (t1 - t0) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "depth": depth,
+            "args": span.args,
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def _reset_for_process(self) -> None:
+        """First span in a forked child: drop inherited parent state."""
+        with self._lock:
+            self._events = []
+        self._local = threading.local()
+        self._pid = os.getpid()
+
+    # -- control --------------------------------------------------------------------
+
+    def enable(self, on: bool = True) -> None:
+        self.enabled = on
+
+    def reset(self) -> None:
+        """Clear all recorded spans (does not change ``enabled``)."""
+        with self._lock:
+            self._events = []
+        self._local = threading.local()
+        self._pid = os.getpid()
+
+    # -- collection -----------------------------------------------------------------
+
+    def drain(self) -> list[dict]:
+        """Pop and return every finished span as a plain (picklable) dict."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def events(self) -> list[dict]:
+        """A snapshot of the finished spans, without clearing them."""
+        with self._lock:
+            return list(self._events)
+
+    def absorb(self, events: list[dict]) -> None:
+        """Merge spans drained from another process (worker lanes kept)."""
+        if not events:
+            return
+        with self._lock:
+            self._events.extend(events)
+
+
+#: The process-wide tracer every instrumented module talks to.
+TRACER = Tracer()
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn the global tracer on (or off)."""
+    TRACER.enable(on)
+
+
+def tracing_enabled() -> bool:
+    return TRACER.enabled

@@ -20,7 +20,11 @@ the task callables must be picklable module attributes.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import TYPE_CHECKING, Sequence
+
+from ..obs import absorb_payload, worker_init, worker_payload
+from ..obs.tracing import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.field import MotionField
@@ -36,20 +40,22 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def _init_pair_worker(config, pixel_km: float, ridge: float) -> None:
+def _init_pair_worker(config, pixel_km: float, ridge: float, tracing: bool = False) -> None:
     from ..core.prep import FramePreparationCache
     from ..core.sma import SMAnalyzer
 
+    worker_init(tracing)
     _WORKER_STATE["analyzer"] = SMAnalyzer(config, pixel_km=pixel_km, ridge=ridge)
     _WORKER_STATE["cache"] = FramePreparationCache(max_frames=4)
 
 
 def _track_pair_task(task: tuple) -> tuple:
     index, before, after = task
-    field = _WORKER_STATE["analyzer"].track_pair(
-        before, after, cache=_WORKER_STATE["cache"]
-    )
-    return index, field
+    with TRACER.span("pair", pair=index):
+        field = _WORKER_STATE["analyzer"].track_pair(
+            before, after, cache=_WORKER_STATE["cache"]
+        )
+    return index, field, worker_payload()
 
 
 def track_pairs_in_pool(
@@ -68,35 +74,40 @@ def track_pairs_in_pool(
     with ctx.Pool(
         processes=min(workers, len(tasks)),
         initializer=_init_pair_worker,
-        initargs=(analyzer.config, analyzer.pixel_km, analyzer.ridge),
+        initargs=(analyzer.config, analyzer.pixel_km, analyzer.ridge, TRACER.enabled),
     ) as pool:
-        for index, field in pool.imap_unordered(_track_pair_task, tasks):
+        for index, field, payload in pool.imap_unordered(_track_pair_task, tasks):
             results[index] = field
+            absorb_payload(payload)
     return results
 
 
-def _init_ladder_worker(config, hs_iterations: int) -> None:
+def _init_ladder_worker(config, hs_iterations: int, tracing: bool = False) -> None:
     from ..core.prep import FramePreparationCache
     from ..reliability.degrade import DegradationLadder
 
+    worker_init(tracing)
     _WORKER_STATE["ladder"] = DegradationLadder(config, hs_iterations=hs_iterations)
     _WORKER_STATE["prep_cache"] = FramePreparationCache(max_frames=4)
 
 
 def _ladder_pair_task(task: tuple) -> tuple:
     (index, before, after, machine, planned, dt, int_b, int_a, fit_images) = task
-    result, steps = _WORKER_STATE["ladder"].track_pair(
-        before,
-        after,
-        machine,
-        planned,
-        dt_seconds=dt,
-        intensity_before=int_b,
-        intensity_after=int_a,
-        prep_cache=_WORKER_STATE["prep_cache"],
-        fit_images=fit_images,
-    )
-    return index, result, steps
+    t0 = time.perf_counter()
+    with TRACER.span("pair", pair=index):
+        result, steps = _WORKER_STATE["ladder"].track_pair(
+            before,
+            after,
+            machine,
+            planned,
+            dt_seconds=dt,
+            intensity_before=int_b,
+            intensity_after=int_a,
+            prep_cache=_WORKER_STATE["prep_cache"],
+            fit_images=fit_images,
+        )
+    wall = time.perf_counter() - t0
+    return index, result, steps, wall, worker_payload()
 
 
 class LadderPool:
@@ -114,7 +125,7 @@ class LadderPool:
         self._pool = _pool_context().Pool(
             processes=workers,
             initializer=_init_ladder_worker,
-            initargs=(config, hs_iterations),
+            initargs=(config, hs_iterations, TRACER.enabled),
         )
 
     def submit(self, task: tuple):

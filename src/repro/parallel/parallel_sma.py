@@ -49,6 +49,7 @@ from ..maspar.machine import MachineConfig, scaled_machine
 from ..maspar.mapping import HierarchicalMapping, mapping_for
 from ..maspar.memory import PEMemoryError, PEMemoryTracker
 from ..maspar.readout import DEFAULT_READOUT, RasterScanReadout, SnakeReadout
+from ..obs.tracing import TRACER
 from ..params import NeighborhoodConfig
 from .memory_plan import max_feasible_segment_rows, plan
 from .segmentation import SegmentedSearch
@@ -319,7 +320,10 @@ class ParallelSMA:
         search = SegmentedSearch(
             self.config, evaluate, memory=memory, layers=mapping.layers
         )
-        state = search.run(shape, segment_rows)
+        with TRACER.span(
+            "hypothesis_search", ledger=ledger, segment_rows=segment_rows
+        ):
+            state = search.run(shape, segment_rows)
 
         metadata = {
             "model": "semi-fluid" if self.config.is_semifluid else "continuous",

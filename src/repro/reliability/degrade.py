@@ -19,6 +19,7 @@ land in the timing rows.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,10 +28,21 @@ from ..core.sma import Frame
 from ..maspar.cost import CostLedger
 from ..maspar.machine import MachineConfig, scaled_machine
 from ..maspar.memory import PEMemoryError
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import METRICS
 from ..params import NeighborhoodConfig
 from ..parallel.memory_plan import max_feasible_segment_rows
 from ..parallel.parallel_hs import parallel_horn_schunck
 from ..parallel.parallel_sma import ParallelSMA
+
+_LOG = get_logger("degrade")
+
+
+def _record_step(steps: list, rung: int, kind: str, detail: str) -> None:
+    """Append a ladder step, counting and logging the rung failure."""
+    steps.append(LadderStep(rung=rung, kind=kind, detail=detail))
+    METRICS.inc("degrade.ladder_step")
+    log_event(_LOG, logging.WARNING, "degrade.step", rung=rung, kind=kind, detail=detail)
 
 
 @dataclass
@@ -206,7 +218,7 @@ class DegradationLadder:
             detail = f"planned Z={planned_rows} infeasible"
             if over is not None:
                 detail += f" ({over} B/PE over)"
-            steps.append(LadderStep(rung=0, kind="pe-memory", detail=detail))
+            _record_step(steps, rung=0, kind="pe-memory", detail=detail)
 
         layers = machine.layers_for_image(*shape)
         feasible = max_feasible_segment_rows(self.config, layers, machine)
@@ -221,17 +233,17 @@ class DegradationLadder:
                     steps,
                 )
             except PEMemoryError as exc:
-                steps.append(
-                    LadderStep(rung=1, kind="pe-memory", detail=f"re-planned Z={feasible}: {exc}")
+                _record_step(
+                    steps, rung=1, kind="pe-memory", detail=f"re-planned Z={feasible}: {exc}"
                 )
         else:
-            steps.append(
-                LadderStep(rung=1, kind="pe-memory", detail="no feasible segment size at all")
+            _record_step(
+                steps, rung=1, kind="pe-memory", detail="no feasible segment size at all"
             )
 
         try:
             return self._horn_schunck(before, after, shape), steps
         except (ValueError, MemoryError) as exc:
-            steps.append(LadderStep(rung=2, kind="horn-schunck", detail=str(exc)))
+            _record_step(steps, rung=2, kind="horn-schunck", detail=str(exc))
 
         return self.interpolate(shape, last_u, last_v, last_error), steps

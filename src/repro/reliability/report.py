@@ -12,8 +12,14 @@ shown.
 from __future__ import annotations
 
 import json
+import time
 from collections import Counter
 from dataclasses import asdict, dataclass, field
+
+#: Keys dropped by ``to_json(include_timing=False)`` -- the default --
+#: so existing report consumers (and byte-equality resume tests) see
+#: exactly the pre-timing schema.
+_TIMING_KEYS = ("timestamp", "wall_seconds")
 
 #: Degradation-ladder rung names, by rung index.
 RUNG_NAMES = ("sma", "sma-replanned", "horn-schunck", "interpolated")
@@ -36,6 +42,8 @@ class FaultEvent:
     detail: str
     action: str
     frame: int | None = None
+    #: Monotonic host clock at recording time (None on legacy payloads).
+    timestamp: float | None = None
 
 
 @dataclass
@@ -47,6 +55,11 @@ class PairOutcome:
     rung: int
     segment_rows: int | None = None
     seconds: float = 0.0
+    #: Monotonic host clock at recording time (None on legacy payloads).
+    timestamp: float | None = None
+    #: Measured host wall-clock seconds spent producing the pair, when
+    #: the driver timed it (modeled MasPar time lives in ``seconds``).
+    wall_seconds: float | None = None
 
 
 @dataclass
@@ -61,7 +74,10 @@ class RunReport:
     def record_event(
         self, pair: int, kind: str, detail: str, action: str, frame: int | None = None
     ) -> FaultEvent:
-        event = FaultEvent(pair=pair, kind=kind, detail=detail, action=action, frame=frame)
+        event = FaultEvent(
+            pair=pair, kind=kind, detail=detail, action=action, frame=frame,
+            timestamp=time.monotonic(),
+        )
         self.events.append(event)
         return event
 
@@ -71,6 +87,7 @@ class RunReport:
         rung: int,
         segment_rows: int | None = None,
         seconds: float = 0.0,
+        wall_seconds: float | None = None,
     ) -> PairOutcome:
         outcome = PairOutcome(
             pair=pair,
@@ -78,6 +95,8 @@ class RunReport:
             rung=rung,
             segment_rows=segment_rows,
             seconds=seconds,
+            timestamp=time.monotonic(),
+            wall_seconds=wall_seconds,
         )
         self.outcomes.append(outcome)
         return outcome
@@ -102,11 +121,27 @@ class RunReport:
 
     # -- serialization ---------------------------------------------------------------
 
-    def to_json(self) -> str:
+    def to_json(self, include_timing: bool = False) -> str:
+        """Serialize; the default drops timing keys for the stable schema.
+
+        Timing (monotonic timestamps, measured wall seconds) is host
+        state, not run state: two bit-identical runs record different
+        clocks.  Checkpoints therefore persist the timing-free form, and
+        consumers that want per-pair durations opt in with
+        ``include_timing=True``.
+        """
+
+        def row(obj) -> dict:
+            d = asdict(obj)
+            if not include_timing:
+                for key in _TIMING_KEYS:
+                    d.pop(key, None)
+            return d
+
         return json.dumps(
             {
-                "events": [asdict(e) for e in self.events],
-                "outcomes": [asdict(o) for o in self.outcomes],
+                "events": [row(e) for e in self.events],
+                "outcomes": [row(o) for o in self.outcomes],
             }
         )
 
@@ -133,4 +168,7 @@ class RunReport:
         recovery = sum(o.seconds for o in self.outcomes if o.rung > 0)
         rows.append(("degraded pairs", str(len(self.degraded_pairs))))
         rows.append(("modeled seconds in degraded pairs", f"{recovery:.3f}"))
+        walls = [o.wall_seconds for o in self.outcomes if o.wall_seconds is not None]
+        if walls:
+            rows.append(("measured wall seconds (timed pairs)", f"{sum(walls):.3f}"))
         return rows

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..maspar.cost import CostLedger
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
 
 #: Ledger phase that accumulates all recovery overhead.
 PHASE_RECOVERY = "Fault recovery"
@@ -59,7 +61,10 @@ class RetryPolicy:
     ) -> float:
         """Compute, charge (under ``Fault recovery``) and return a backoff."""
         seconds = self.backoff_for(retry, rng)
+        METRICS.inc("retry.backoffs")
+        METRICS.observe("retry.backoff_seconds", seconds)
         if ledger is not None:
-            with ledger.phase(PHASE_RECOVERY):
-                ledger.charge_stall(seconds)
+            with TRACER.span("retry.backoff", retry=retry, ledger=ledger):
+                with ledger.phase(PHASE_RECOVERY):
+                    ledger.charge_stall(seconds)
         return seconds

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from ..data.datasets import frame_key
 from ..maspar.cost import CostLedger
 from ..maspar.disk import DiskError, DiskWriteError, ParallelDiskArray
 from ..maspar.machine import MachineConfig
+from ..obs import absorb_payload
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
 from ..params import NeighborhoodConfig
 from ..parallel.memory_plan import max_feasible_segment_rows, plan as memory_plan
 from ..parallel.parallel_sma import machine_for_image
@@ -180,6 +184,14 @@ class StreamingRunner:
     ) -> np.ndarray | None:
         """One frame off the disk: read, validate, retry; None if unrecoverable."""
         key = frame_key(frame_idx, channel)
+        with TRACER.span("stream.fetch", frame=frame_idx, channel=channel or "surface"):
+            return self._fetch_inner(
+                disk, key, frame_idx, expected_shape, ledger, rng, report, pair
+            )
+
+    def _fetch_inner(
+        self, disk, key, frame_idx, expected_shape, ledger, rng, report, pair
+    ) -> np.ndarray | None:
         for attempt in range(1, self.retry.max_attempts + 1):
             last = attempt == self.retry.max_attempts
             try:
@@ -269,7 +281,7 @@ class StreamingRunner:
         return full // 2
 
     @staticmethod
-    def _absorb(pair, result, state, ledger, report) -> None:
+    def _absorb(pair, result, state, ledger, report, wall_seconds=None) -> None:
         """Merge one pair's result into the running state, in pair order."""
         state.sum_u += result.u
         state.sum_v += result.v
@@ -280,7 +292,10 @@ class StreamingRunner:
         state.has_last = True
         if result.ledger is not None:
             ledger.merge(result.ledger)
-        report.record_outcome(pair, result.rung, result.segment_rows, result.seconds)
+        report.record_outcome(
+            pair, result.rung, result.segment_rows, result.seconds,
+            wall_seconds=wall_seconds,
+        )
         state.pairs_done = pair + 1
 
     @staticmethod
@@ -290,7 +305,9 @@ class StreamingRunner:
         state.rng_state = rng.bit_generator.state
         if isinstance(disk, FaultyDiskArray):
             state.fault_state = disk.fault_state()
-        save_checkpoint(checkpoint_file, state)
+        with TRACER.span("checkpoint.write", pairs_done=state.pairs_done):
+            save_checkpoint(checkpoint_file, state)
+        METRICS.inc("checkpoint.writes")
 
     def _run_pool(
         self,
@@ -356,6 +373,7 @@ class StreamingRunner:
                     pending.append((p, pool.submit(task)))
 
                 for p, handle in pending:
+                    wall = None
                     if handle is None:
                         result = DegradationLadder.interpolate(
                             shape, None, None, None
@@ -365,12 +383,13 @@ class StreamingRunner:
                             "frame pair unrecoverable after retries", "interpolated",
                         )
                     else:
-                        _, result, steps = handle.get()
+                        _, result, steps, wall, payload = handle.get()
+                        absorb_payload(payload)
                         for step in steps:
                             report.record_event(
                                 p, step.kind, step.detail, RUNG_NAMES[result.rung]
                             )
-                    self._absorb(p, result, state, ledger, report)
+                    self._absorb(p, result, state, ledger, report, wall_seconds=wall)
                     processed += 1
 
                 if checkpoint_file:
@@ -431,8 +450,9 @@ class StreamingRunner:
 
         inner = ParallelDiskArray(machine, ledger=None if resumed else ledger)
         disk = FaultyDiskArray(inner, self.fault_plan) if self.fault_plan else inner
-        with ledger.phase(PHASE_STREAMING):
-            self._stage(frame_list, disk, ledger, rng, report, quiet=resumed)
+        with TRACER.span("stream.stage", frames=len(frame_list), ledger=ledger):
+            with ledger.phase(PHASE_STREAMING):
+                self._stage(frame_list, disk, ledger, rng, report, quiet=resumed)
         inner.ledger = ledger
         if resumed and isinstance(disk, FaultyDiskArray) and state.fault_state:
             disk.restore_fault_state(state.fault_state)
@@ -464,42 +484,51 @@ class StreamingRunner:
                     )
 
                 has_intensity = frame_list[pair].intensity is not None
-                before, after, int_before, int_after = self._fetch_pair(
-                    disk, pair, shape, ledger, rng, report, has_intensity
-                )
+                pair_span = TRACER.span("stream.pair", pair=pair, ledger=ledger)
+                pair_span.__enter__()
+                t0 = time.perf_counter()
+                try:
+                    before, after, int_before, int_after = self._fetch_pair(
+                        disk, pair, shape, ledger, rng, report, has_intensity
+                    )
 
-                last_u = state.last_u if state.has_last else None
-                last_v = state.last_v if state.has_last else None
-                last_err = state.last_error if state.has_last else None
-                if before is None or after is None:
-                    result = DegradationLadder.interpolate(
-                        shape, last_u, last_v, last_err
-                    )
-                    report.record_event(
-                        pair, "frame-unusable",
-                        "frame pair unrecoverable after retries", "interpolated",
-                    )
-                else:
-                    result, steps = self.ladder.track_pair(
-                        before,
-                        after,
-                        machine_run,
-                        planned,
-                        dt_seconds=dts[pair],
-                        intensity_before=int_before,
-                        intensity_after=int_after,
-                        last_u=last_u,
-                        last_v=last_v,
-                        last_error=last_err,
-                        prep_cache=prep_cache,
-                        fit_images=self._fit_images_for_pair(pair, int_before),
-                    )
-                    for step in steps:
-                        report.record_event(
-                            pair, step.kind, step.detail, RUNG_NAMES[result.rung]
+                    last_u = state.last_u if state.has_last else None
+                    last_v = state.last_v if state.has_last else None
+                    last_err = state.last_error if state.has_last else None
+                    if before is None or after is None:
+                        result = DegradationLadder.interpolate(
+                            shape, last_u, last_v, last_err
                         )
+                        report.record_event(
+                            pair, "frame-unusable",
+                            "frame pair unrecoverable after retries", "interpolated",
+                        )
+                    else:
+                        result, steps = self.ladder.track_pair(
+                            before,
+                            after,
+                            machine_run,
+                            planned,
+                            dt_seconds=dts[pair],
+                            intensity_before=int_before,
+                            intensity_after=int_after,
+                            last_u=last_u,
+                            last_v=last_v,
+                            last_error=last_err,
+                            prep_cache=prep_cache,
+                            fit_images=self._fit_images_for_pair(pair, int_before),
+                        )
+                        for step in steps:
+                            report.record_event(
+                                pair, step.kind, step.detail, RUNG_NAMES[result.rung]
+                            )
+                finally:
+                    pair_span.__exit__(None, None, None)
 
-                self._absorb(pair, result, state, ledger, report)
+                self._absorb(
+                    pair, result, state, ledger, report,
+                    wall_seconds=time.perf_counter() - t0,
+                )
                 processed_this_call += 1
 
                 if checkpoint_file:

@@ -124,3 +124,65 @@ class TestScaledMachineTiming:
         assert small.phase_seconds("w") / big.phase_seconds("w") == pytest.approx(
             GODDARD_MP2.n_pes / 64
         )
+
+
+class TestGaussianEliminationStatistic:
+    def test_per_phase_and_total_counts(self, ledger):
+        with ledger.phase("Surface fit"):
+            ledger.charge_gaussian_elimination(1000, order=6)
+        with ledger.phase("Hypothesis matching"):
+            ledger.charge_gaussian_elimination(169)
+        assert ledger.gaussian_eliminations("Surface fit") == 1000
+        assert ledger.gaussian_eliminations("Hypothesis matching") == 169
+        assert ledger.gaussian_eliminations() == 1169
+        assert ledger.gaussian_eliminations("missing") == 0
+
+    def test_breakdown_with_counts(self, ledger):
+        with ledger.phase("fit"):
+            ledger.charge_gaussian_elimination(42)
+        rows = ledger.breakdown(with_counts=True)
+        assert rows == [("fit", pytest.approx(ledger.phase_seconds("fit")), 42)]
+        # the default shape is unchanged
+        assert ledger.breakdown() == [("fit", pytest.approx(ledger.phase_seconds("fit")))]
+
+    def test_snapshot_round_trips_counts(self, ledger):
+        with ledger.phase("fit"):
+            ledger.charge_gaussian_elimination(7)
+        restored = CostLedger(GODDARD_MP2)
+        restored.restore(ledger.snapshot())
+        assert restored.gaussian_eliminations("fit") == 7
+
+    def test_totals_merges_all_phases(self, ledger):
+        with ledger.phase("a"):
+            ledger.charge_gaussian_elimination(1)
+            ledger.charge_xnet(10)
+        with ledger.phase("b"):
+            ledger.charge_gaussian_elimination(2)
+        total = ledger.totals()
+        assert total.gaussian_eliminations == 3
+        assert total.xnet_bytes == 10
+
+
+class TestPhaseSpans:
+    def test_phase_emits_span_when_tracing(self, ledger):
+        from repro.obs.tracing import TRACER, enable_tracing
+
+        TRACER.reset()
+        enable_tracing(True)
+        try:
+            with ledger.phase("Surface fit"):
+                ledger.charge_gaussian_elimination(100)
+        finally:
+            enable_tracing(False)
+        events = TRACER.drain()
+        (event,) = [e for e in events if e["name"] == "phase:Surface fit"]
+        assert event["args"]["gaussian_eliminations"] == 100
+        assert event["args"]["modeled_seconds"] > 0
+
+    def test_phase_emits_nothing_when_off(self, ledger):
+        from repro.obs.tracing import TRACER
+
+        TRACER.reset()
+        with ledger.phase("quiet"):
+            ledger.charge_flops(1)
+        assert TRACER.events() == []

@@ -1,0 +1,99 @@
+"""Tests for the trace exporters and profile tables (repro.obs.export)."""
+
+import json
+import os
+
+import pytest
+
+from repro.maspar.cost import CostLedger
+from repro.maspar.machine import GODDARD_MP2
+from repro.obs.export import (
+    chrome_trace,
+    load_chrome_trace,
+    modeled_vs_measured_rows,
+    span_summary_rows,
+    write_chrome_trace,
+)
+
+
+def _event(name, ts=0.0, dur=1000.0, pid=None, args=None):
+    return {
+        "name": name, "ts_us": ts, "dur_us": dur,
+        "pid": pid if pid is not None else os.getpid(),
+        "tid": 1, "depth": 0, "args": dict(args or {}),
+    }
+
+
+class TestChromeTrace:
+    def test_complete_events(self):
+        trace = chrome_trace([_event("surface_fit", ts=10.0, dur=250.0)])
+        (x,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert x["name"] == "surface_fit"
+        assert x["cat"] == "repro"
+        assert x["ts"] == 10.0 and x["dur"] == 250.0
+        assert x["args"]["depth"] == 0
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_process_name_metadata(self):
+        me = os.getpid()
+        trace = chrome_trace([_event("a", pid=me), _event("b", pid=me + 1)])
+        meta = {e["pid"]: e["args"]["name"]
+                for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert meta[me] == "repro"
+        assert meta[me + 1] == f"worker {me + 1}"
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, [_event("pair", args={"pair": 3})])
+        payload = load_chrome_trace(path)
+        # valid JSON on disk, Chrome-trace shaped, args preserved
+        assert json.load(open(path)) == payload
+        (x,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert x["args"]["pair"] == 3
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"spans": []}))
+        with pytest.raises(ValueError, match="Chrome-trace"):
+            load_chrome_trace(str(path))
+
+
+class TestProfileTables:
+    def test_modeled_vs_measured_pairing(self):
+        ledger = CostLedger(GODDARD_MP2)
+        with ledger.phase("Surface fit"):
+            ledger.charge_flops(2.4e9)  # 1 modeled second
+        with ledger.phase("Hypothesis matching"):
+            ledger.charge_flops(4.8e9)  # 2 modeled seconds
+        events = [
+            _event("surface_fit", dur=5e5),  # 0.5 measured seconds
+            _event("hypothesis_search", dur=2e6),  # 2.0 measured seconds
+        ]
+        rows = dict(
+            (label, (modeled, measured))
+            for label, modeled, measured in modeled_vs_measured_rows(ledger, events)
+        )
+        assert rows["Surface fit + geometry"][0] == pytest.approx(1.0)
+        assert rows["Surface fit + geometry"][1] == pytest.approx(0.5)
+        assert rows["Hypothesis matching"] == (pytest.approx(2.0), pytest.approx(2.0))
+        assert rows["Total"][0] == pytest.approx(3.0)
+        assert rows["Total"][1] == pytest.approx(2.5)
+
+    def test_unmapped_ledger_phase_gets_own_row(self):
+        ledger = CostLedger(GODDARD_MP2)
+        with ledger.phase("Exotic phase"):
+            ledger.charge_flops(2.4e9)
+        labels = [r[0] for r in modeled_vs_measured_rows(ledger, [])]
+        assert "Exotic phase" in labels
+
+    def test_span_summary_sorted_by_total(self):
+        events = [
+            _event("fast", dur=1e3),
+            _event("slow", dur=1e6),
+            _event("slow", dur=1e6),
+        ]
+        rows = span_summary_rows(events)
+        assert rows[0][0] == "slow"
+        assert rows[0][1] == 2  # count
+        assert rows[0][2] == pytest.approx(2.0)  # total seconds
+        assert rows[0][3] == pytest.approx(1000.0)  # mean ms

@@ -1,0 +1,106 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self, registry):
+        registry.inc("prep_cache.hit")
+        registry.inc("prep_cache.hit")
+        assert registry.counter("prep_cache.hit") == 2
+
+    def test_inc_with_value(self, registry):
+        registry.inc("hypotheses.evaluated", 169)
+        assert registry.counter("hypotheses.evaluated") == 169
+
+    def test_unknown_counter_reads_zero(self, registry):
+        assert registry.counter("never.touched") == 0.0
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_writer_wins(self, registry):
+        registry.set_gauge("native.available", 0)
+        registry.set_gauge("native.available", 1)
+        assert registry.snapshot()["gauges"]["native.available"] == 1.0
+
+    def test_histogram_statistics(self, registry):
+        for v in (0.05, 0.10, 0.15):
+            registry.observe("retry.backoff_seconds", v)
+        h = registry.snapshot()["histograms"]["retry.backoff_seconds"]
+        assert h["count"] == 3
+        assert h["sum"] == pytest.approx(0.30)
+        assert h["min"] == pytest.approx(0.05)
+        assert h["max"] == pytest.approx(0.15)
+        assert h["mean"] == pytest.approx(0.10)
+
+
+class TestSnapshotStability:
+    def test_snapshot_keys_sorted(self, registry):
+        registry.inc("zeta")
+        registry.inc("alpha")
+        assert list(registry.snapshot()["counters"]) == ["alpha", "zeta"]
+
+    def test_to_json_round_trips(self, registry):
+        registry.inc("a", 2)
+        registry.set_gauge("g", 3.5)
+        payload = json.loads(registry.to_json())
+        assert payload["counters"]["a"] == 2
+        assert payload["gauges"]["g"] == 3.5
+
+    def test_render_text_stable(self, registry):
+        registry.inc("b")
+        registry.inc("a")
+        registry.observe("h", 1.0)
+        text = registry.render_text()
+        assert text.splitlines()[0] == "counter   a = 1"
+        assert "histogram h = count 1" in text
+        assert text == registry.render_text()
+
+
+class TestMergeAndDrain:
+    def test_merge_accumulates_counters_and_histograms(self, registry):
+        other = MetricsRegistry()
+        registry.inc("c", 1)
+        registry.observe("h", 1.0)
+        other.inc("c", 2)
+        other.observe("h", 3.0)
+        registry.merge_snapshot(other.snapshot())
+        assert registry.counter("c") == 3
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == 2 and h["max"] == 3.0
+
+    def test_merge_gauge_takes_incoming(self, registry):
+        other = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        other.set_gauge("g", 2.0)
+        registry.merge_snapshot(other.snapshot())
+        assert registry.snapshot()["gauges"]["g"] == 2.0
+
+    def test_merge_empty_is_noop(self, registry):
+        registry.inc("c")
+        registry.merge_snapshot({})
+        assert registry.counter("c") == 1
+
+    def test_drain_clears(self, registry):
+        registry.inc("c")
+        snap = registry.drain()
+        assert snap["counters"]["c"] == 1
+        assert registry.counter("c") == 0.0
+
+    def test_drain_merge_equals_direct_count(self, registry):
+        """A worker draining into a parent counts every event once."""
+        worker = MetricsRegistry()
+        for _ in range(5):
+            worker.inc("ev")
+        registry.merge_snapshot(worker.drain())
+        registry.merge_snapshot(worker.drain())  # second drain is empty
+        assert registry.counter("ev") == 5

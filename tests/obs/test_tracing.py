@@ -1,0 +1,171 @@
+"""Tests for the tracing spans (repro.obs.tracing)."""
+
+import os
+
+import pytest
+
+from repro.maspar.cost import CostLedger
+from repro.maspar.machine import GODDARD_MP2
+from repro.obs.tracing import NOOP_SPAN, TRACER, Tracer, enable_tracing, tracing_enabled
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enable(True)
+    return t
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    """Leave the process-wide tracer off and empty around every test."""
+    TRACER.reset()
+    TRACER.enable(False)
+    yield
+    TRACER.reset()
+    TRACER.enable(False)
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_noop(self):
+        t = Tracer()
+        assert t.span("anything") is NOOP_SPAN
+        assert t.span("other", pair=3) is NOOP_SPAN
+
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        assert t.events() == []
+
+    def test_noop_span_api(self):
+        with NOOP_SPAN as s:
+            assert s.set(foo=1) is NOOP_SPAN
+
+    def test_global_toggle(self):
+        assert not tracing_enabled()
+        enable_tracing(True)
+        assert tracing_enabled()
+        enable_tracing(False)
+        assert not tracing_enabled()
+
+
+class TestRecording:
+    def test_one_span(self, tracer):
+        with tracer.span("work", pair=7):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["args"]["pair"] == 7
+        assert event["pid"] == os.getpid()
+        assert event["dur_us"] >= 0.0
+        assert event["depth"] == 0
+
+    def test_nesting_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        # the child closes first and nests inside the parent's interval
+        assert by_name["inner"]["ts_us"] >= by_name["outer"]["ts_us"]
+
+    def test_set_attaches_attributes(self, tracer):
+        with tracer.span("s") as span:
+            span.set(rows=4)
+        (event,) = tracer.events()
+        assert event["args"]["rows"] == 4
+
+    def test_span_records_on_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert [e["name"] for e in tracer.events()] == ["failing"]
+
+
+class TestLedgerDeltas:
+    def test_deltas_attached(self, tracer):
+        ledger = CostLedger(GODDARD_MP2)
+        with ledger.phase("p"):
+            with tracer.span("solve", ledger=ledger):
+                ledger.charge_gaussian_elimination(10, order=6)
+                ledger.charge_xnet(1024)
+        (event,) = tracer.events()
+        assert event["args"]["gaussian_eliminations"] == 10
+        assert event["args"]["xnet_bytes"] == 1024
+        assert event["args"]["modeled_seconds"] > 0.0
+
+    def test_deltas_exclude_prior_charges(self, tracer):
+        ledger = CostLedger(GODDARD_MP2)
+        with ledger.phase("p"):
+            ledger.charge_gaussian_elimination(5)
+            with tracer.span("solve", ledger=ledger):
+                ledger.charge_gaussian_elimination(3)
+        (event,) = tracer.events()
+        assert event["args"]["gaussian_eliminations"] == 3
+
+
+class TestDrainAbsorb:
+    def test_drain_empties(self, tracer):
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert [e["name"] for e in drained] == ["a"]
+        assert tracer.events() == []
+
+    def test_absorb_merges_foreign_events(self, tracer):
+        with tracer.span("local"):
+            pass
+        foreign = [{
+            "name": "remote", "ts_us": 1.0, "dur_us": 2.0,
+            "pid": 99999, "tid": 1, "depth": 0, "args": {},
+        }]
+        tracer.absorb(foreign)
+        names = {e["name"] for e in tracer.events()}
+        assert names == {"local", "remote"}
+
+    def test_absorb_empty_is_noop(self, tracer):
+        tracer.absorb([])
+        assert tracer.events() == []
+
+
+class TestForkSafety:
+    def test_pid_guard_resets_inherited_events(self, tracer):
+        with tracer.span("parent-span"):
+            pass
+        assert len(tracer.events()) == 1
+        # simulate being a forked child: pretend the recorded pid is stale
+        tracer._pid = tracer._pid - 1
+        with tracer.span("child-span"):
+            pass
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["child-span"]
+
+    def test_worker_protocol_round_trip(self):
+        from repro.obs import absorb_payload, worker_init, worker_payload
+        from repro.obs.metrics import METRICS
+
+        worker_init(True)
+        try:
+            with TRACER.span("pair", pair=0):
+                METRICS.inc("prep_cache.hit")
+            payload = worker_payload()
+            assert payload is not None
+            assert TRACER.events() == []  # drained into the payload
+
+            TRACER.reset()
+            METRICS.reset()
+            absorb_payload(payload)
+            assert [e["name"] for e in TRACER.events()] == ["pair"]
+            assert METRICS.counter("prep_cache.hit") == 1
+        finally:
+            TRACER.enable(False)
+            TRACER.reset()
+            METRICS.reset()
+
+    def test_worker_payload_none_when_off(self):
+        from repro.obs import worker_init, worker_payload
+
+        worker_init(False)
+        assert worker_payload() is None
