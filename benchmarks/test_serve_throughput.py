@@ -1,0 +1,101 @@
+"""Serving throughput: the content-addressed cache and lossless drain.
+
+Drives a real :class:`repro.serve.http.ServeApp` (worker threads, job
+queue, result cache -- everything behind the HTTP surface) through two
+phases over the same job set:
+
+* **cold** -- every job computes its field (one GE-heavy SMA solve per
+  job),
+* **warm** -- identical resubmissions are served from the
+  content-addressed result cache without touching the solver.
+
+The warm phase must sustain at least **5x** the cold jobs/sec: the
+cache turns a dense-matching workload into an index lookup plus an
+``.npz`` read, so anything less means the serving layer is adding
+overhead comparable to the computation it is meant to avoid.
+
+The second test exercises the drain contract behind SIGTERM: a server
+draining mid-burst finishes **every accepted job** -- zero lost, zero
+failed -- before the process exits.
+
+Results land in ``benchmarks/results/serve_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.serve.http import ServeApp
+from repro.serve.jobs import JobRequest
+
+SIZE = 48
+N_JOBS = 6
+DRAIN_TIMEOUT = 300.0
+
+
+def _submit_burst(app: ServeApp, n_jobs: int = N_JOBS) -> list[str]:
+    ids = []
+    for seed in range(n_jobs):
+        job, _ = app.queue.submit(JobRequest(dataset="florida", size=SIZE, seed=seed))
+        ids.append(job.id)
+    return ids
+
+
+def _timed_phase(app: ServeApp) -> tuple[float, list[str]]:
+    start = time.perf_counter()
+    ids = _submit_burst(app)
+    assert app.queue.wait_idle(timeout=DRAIN_TIMEOUT)
+    return time.perf_counter() - start, ids
+
+
+def test_warm_cache_throughput(tmp_path, results_dir):
+    app = ServeApp(str(tmp_path / "state"), workers=2).start()
+    try:
+        cold_seconds, cold_ids = _timed_phase(app)
+        warm_seconds, warm_ids = _timed_phase(app)
+    finally:
+        app.drain(timeout=DRAIN_TIMEOUT)
+
+    for job_id in cold_ids:
+        assert app.queue.get(job_id).state == "done"
+        assert app.queue.get(job_id).cache_hit is False
+    for job_id in warm_ids:
+        assert app.queue.get(job_id).state == "done"
+        assert app.queue.get(job_id).cache_hit is True
+
+    cold_rate = N_JOBS / cold_seconds
+    warm_rate = N_JOBS / warm_seconds
+    speedup = warm_rate / cold_rate
+    record = {
+        "size": SIZE,
+        "jobs": N_JOBS,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_jobs_per_second": cold_rate,
+        "warm_jobs_per_second": warm_rate,
+        "speedup": speedup,
+    }
+    (results_dir / "serve_throughput.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(
+        f"\nserve throughput: cold {cold_rate:.2f} jobs/s, "
+        f"warm {warm_rate:.2f} jobs/s ({speedup:.1f}x)"
+    )
+    assert speedup >= 5.0
+
+
+def test_drain_loses_zero_accepted_jobs(tmp_path):
+    """The SIGTERM contract: drain mid-burst, every accepted job finishes."""
+    app = ServeApp(str(tmp_path / "state"), workers=2).start()
+    ids = _submit_burst(app)
+    drained = app.drain(timeout=DRAIN_TIMEOUT)
+
+    assert drained is True
+    counts = app.queue.counts()
+    assert counts["pending"] == 0 and counts["running"] == 0
+    assert counts["failed"] == 0
+    assert counts["done"] == len(ids)
+    for job_id in ids:
+        assert app.queue.get(job_id).state == "done"

@@ -34,7 +34,7 @@ from .params import (
     window_size,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Frame",

@@ -13,6 +13,9 @@ paper's production pipeline exposed to forecasters:
   their full-scale parameters,
 * ``repro stream``    -- fault-tolerant streaming of a whole frame
   sequence with optional fault injection and checkpoint/resume,
+* ``repro serve``     -- the production serving layer: durable job
+  queue, content-addressed result cache, and the HTTP wind-product API
+  (see ``docs/serving.md``),
 * ``repro profile``   -- trace one pair end to end and print the
   per-phase modeled (MasPar) vs measured (host) timing profile.
 
@@ -148,6 +151,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "the cost-ledger breakdown) as JSON",
     )
     _add_obs_arguments(stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP serving: durable job queue, content-addressed result "
+        "cache, wind-product API",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8641)
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="serving worker threads (fault injection is refused in "
+        "serve mode; use 'repro stream --inject-faults' instead)",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int, default=None, metavar="N",
+        help="shard sequence jobs' pairs over N processes "
+        "(the PR-2 fork pool; bit-identical to sequential)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="max pending jobs before submissions get a 429 backpressure "
+        "response",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024, metavar="BYTES",
+        help="result-cache byte budget (LRU eviction beyond it)",
+    )
+    serve.add_argument(
+        "--state-dir", type=str, default=".repro-serve", metavar="DIR",
+        help="durable state: queue journal + result-cache artifacts "
+        "(a restarted server resumes pending jobs from here)",
+    )
+    _add_obs_arguments(serve)
 
     profile = sub.add_parser(
         "profile", help="modeled vs measured per-phase profile of one pair"
@@ -471,6 +507,48 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve import ServeApp, make_server
+
+    _arm_observability(args)
+    app = ServeApp(
+        state_dir=args.state_dir,
+        workers=args.workers,
+        pool_workers=args.pool_workers,
+        queue_depth=args.queue_depth,
+        cache_bytes=args.cache_bytes,
+    )
+    app.start()
+    server = make_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(workers={args.workers}, queue depth={args.queue_depth})")
+
+    def _drain_and_stop(signum, frame) -> None:
+        # Runs off the main thread so serve_forever can wind down; drain
+        # finishes every accepted job before the listener closes.
+        def _worker() -> None:
+            app.drain()
+            server.shutdown()
+
+        threading.Thread(target=_worker, name="serve-drain", daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain_and_stop)
+    signal.signal(signal.SIGINT, _drain_and_stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    counts = app.queue.counts()
+    print(f"drained: {counts['done']} done, {counts['failed']} failed, "
+          f"{counts['pending']} pending")
+    _write_obs_outputs(args)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .obs import (
         METRICS,
@@ -520,6 +598,7 @@ COMMANDS = {
     "machine": _cmd_machine,
     "datasets": _cmd_datasets,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "profile": _cmd_profile,
 }
 

@@ -30,6 +30,7 @@ pair by :func:`repro.core.matching.prepare_frames` as before.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -136,18 +137,30 @@ class FramePreparationCache:
     ``max_frames`` bounds resident preparations; the streaming access
     pattern (pair ``m`` touches frames ``m`` and ``m+1``) only ever
     needs two, so the small default never evicts a live entry.
+
+    Thread-safe: the serving layer shares one cache across worker
+    threads, so every mutation of the LRU map and the stats runs under
+    a lock.  The preparation itself is computed *outside* the lock --
+    it is a pure function of the frame content, so two threads racing
+    on the same cold key at worst duplicate work, never corrupt state
+    or diverge in results (the first insert wins; both threads return
+    preparations with identical contents).
     """
 
     max_frames: int = 8
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_frames < 1:
             raise ValueError("max_frames must be >= 1")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(
         self,
@@ -157,21 +170,30 @@ class FramePreparationCache:
     ) -> FramePreparation:
         """The frame's preparation, computed on first sight of its content."""
         key = frame_fingerprint(surface, intensity, config)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            METRICS.inc("prep_cache.hit")
-            return entry
-        self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                METRICS.inc("prep_cache.hit")
+                return entry
+            self.stats.misses += 1
         METRICS.inc("prep_cache.miss")
         entry = prepare_frame(surface, intensity, config, fingerprint=key)
-        self._entries[key] = entry
-        while len(self._entries) > self.max_frames:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            METRICS.inc("prep_cache.eviction")
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Another thread computed the same content concurrently;
+                # keep its entry resident and return it (identical data).
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            while len(self._entries) > self.max_frames:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                METRICS.inc("prep_cache.eviction")
         return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

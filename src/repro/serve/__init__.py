@@ -1,0 +1,48 @@
+"""Production serving layer: job queue, result cache, HTTP wind-product API.
+
+The ROADMAP's north star is a system that serves wind products to heavy
+traffic, but the rest of the repo runs one-shot CLI invocations.  This
+package is the missing operational layer -- stdlib-only, in the spirit
+of real-time deployments of this algorithm family (embedded PIV
+pipelines, operational cloud-motion forecasting):
+
+* :mod:`repro.serve.jobs`    -- the validated job request model and its
+  canonical dedup fingerprint,
+* :mod:`repro.serve.queue`   -- a durable priority job queue with
+  request deduplication, bounded depth (explicit backpressure), and
+  atomic on-disk persistence so a restarted server resumes pending work,
+* :mod:`repro.serve.cache`   -- a content-addressed result cache keyed
+  on frame fingerprints + SMA parameters (LRU under a byte budget,
+  atomic ``.npz`` artifacts), so identical requests never recompute,
+* :mod:`repro.serve.workers` -- a worker pool executing jobs under the
+  PR-1 degradation ladder (a poisoned request degrades or fails alone;
+  the server survives) with the PR-2 preparation cache and fork-pool
+  pair sharding for sequence jobs,
+* :mod:`repro.serve.http`    -- the HTTP API (``POST /v1/jobs``,
+  ``GET /v1/jobs/{id}``, ``GET /v1/products/{id}``, ``GET /healthz``,
+  ``GET /metrics``) wired to :mod:`repro.obs`, plus graceful drain.
+
+``repro serve`` is the CLI entry point; see ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, result_key
+from .http import ServeApp, make_server
+from .jobs import Job, JobRequest, JobValidationError, ServeLimits
+from .queue import JobQueue, QueueFullError
+from .workers import WorkerPool
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobValidationError",
+    "QueueFullError",
+    "ResultCache",
+    "ServeApp",
+    "ServeLimits",
+    "WorkerPool",
+    "make_server",
+    "result_key",
+]

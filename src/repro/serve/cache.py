@@ -1,0 +1,178 @@
+"""Content-addressed result cache for served wind products.
+
+Keys are **content** addresses, not request addresses: a digest of the
+frame fingerprints (:func:`repro.core.prep.frame_fingerprint` -- raw
+pixel bytes plus the fit window) together with every SMA parameter
+that shapes the product (search/template widths, model selection, dt,
+ground sample distance, job kind).  Two requests that resolve to the
+same frames and parameters share one entry even if their request
+payloads differ, and any parameter change misses -- the cached field
+IS the field the computation would produce.
+
+Artifacts are ``MotionField`` ``.npz`` archives written through
+:func:`repro.ioutil.atomic_savez` (a crash never leaves a truncated
+artifact), and the LRU index is itself persisted atomically so a
+restarted server keeps its warm cache.  Eviction is by byte budget:
+least-recently-used entries fall off until the artifact bytes fit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+from ..core.field import MotionField
+from ..core.prep import frame_fingerprint
+from ..core.sma import Frame
+from ..ioutil import atomic_write_text
+from ..obs.metrics import METRICS
+from ..params import NeighborhoodConfig
+
+#: On-disk schema version for the persisted cache index.
+INDEX_VERSION = 1
+
+
+def result_key(
+    frames: Sequence[Frame],
+    config: NeighborhoodConfig,
+    pixel_km: float,
+    kind: str = "pair",
+) -> str:
+    """Content address of one product: frame fingerprints + SMA params.
+
+    The per-frame fingerprint already covers the pixel bytes and the
+    fit half-width ``n_w``; the remaining dimensions of the product --
+    the search/template neighborhoods, the semi-fluid windows, the
+    frame timestamps (they set dt, hence wind speeds), the ground
+    sample distance and the product kind -- are digested alongside.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    c = config
+    h.update(
+        f"kind={kind};cfg={c.name};zs={c.n_zs};zt={c.n_zt};"
+        f"ss={c.n_ss};st={c.n_st};pixel_km={pixel_km!r};".encode()
+    )
+    for frame in frames:
+        h.update(frame_fingerprint(frame.surface, frame.intensity, config).encode())
+        h.update(f"@t={frame.time_seconds!r};".encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """LRU cache of motion-field artifacts under a byte budget."""
+
+    def __init__(self, root: str, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = root
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        #: key -> artifact size in bytes, insertion order == LRU order.
+        self._index: OrderedDict[str, int] = OrderedDict()
+        os.makedirs(root, exist_ok=True)
+        self._restore()
+
+    # -- lookup/store -----------------------------------------------------------------
+
+    def get(self, key: str, record: bool = True) -> MotionField | None:
+        """The cached field, or None; a hit refreshes LRU recency.
+
+        ``record=False`` skips the hit/miss metrics -- product-read
+        lookups use it so the ``serve.cache.*`` counters measure only
+        whether *job executions* were spared recomputation.
+        """
+        with self._lock:
+            size = self._index.get(key)
+            path = self._artifact_path(key)
+            if size is None or not os.path.exists(path):
+                if size is not None:
+                    # Artifact vanished underneath the index (operator
+                    # cleanup); drop the stale entry rather than 500.
+                    del self._index[key]
+                    self._persist_index()
+                if record:
+                    METRICS.inc("serve.cache.miss")
+                return None
+            self._index.move_to_end(key)
+            self._persist_index()
+        if record:
+            METRICS.inc("serve.cache.hit")
+        return MotionField.load(path)
+
+    def put(self, key: str, field: MotionField) -> str:
+        """Store one product; evicts LRU entries over the byte budget."""
+        path = self._artifact_path(key)
+        field.save(path)
+        size = os.path.getsize(path)
+        with self._lock:
+            self._index[key] = size
+            self._index.move_to_end(key)
+            while self.total_bytes_locked() > self.max_bytes and len(self._index) > 1:
+                old_key, _ = self._index.popitem(last=False)
+                self._remove_artifact(old_key)
+                METRICS.inc("serve.cache.evictions")
+            self._persist_index()
+            METRICS.set_gauge("serve.cache.bytes", float(self.total_bytes_locked()))
+            METRICS.set_gauge("serve.cache.entries", float(len(self._index)))
+        return path
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self.total_bytes_locked()
+
+    def total_bytes_locked(self) -> int:
+        return sum(self._index.values())
+
+    def artifact_path(self, key: str) -> str | None:
+        """Path of a cached artifact, or None if not resident."""
+        with self._lock:
+            if key not in self._index:
+                return None
+        return self._artifact_path(key)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def _artifact_path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.npz")
+
+    def _persist_index(self) -> None:
+        payload = {
+            "version": INDEX_VERSION,
+            "max_bytes": self.max_bytes,
+            "entries": [[key, size] for key, size in self._index.items()],
+        }
+        atomic_write_text(self._index_path(), json.dumps(payload, sort_keys=True))
+
+    def _restore(self) -> None:
+        path = self._index_path()
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != INDEX_VERSION:
+            return  # incompatible index: start cold, artifacts get rewritten
+        for key, size in payload.get("entries", []):
+            if os.path.exists(self._artifact_path(key)):
+                self._index[key] = int(size)
+        METRICS.set_gauge("serve.cache.entries", float(len(self._index)))
+
+    def _remove_artifact(self, key: str) -> None:
+        try:
+            os.unlink(self._artifact_path(key))
+        except OSError:
+            pass

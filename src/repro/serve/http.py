@@ -1,0 +1,357 @@
+"""HTTP wind-product API and the server application object.
+
+Routes (all JSON unless noted):
+
+* ``POST /v1/jobs``            -- submit a job; 202 accepted (or the
+  deduplicated existing job), 400 invalid request, 429 queue full
+  (with ``Retry-After``), 503 draining,
+* ``GET /v1/jobs/{id}``        -- job status,
+* ``GET /v1/products/{id}``    -- the wind product (speed/direction
+  statistics plus a Fig. 5-style barb summary); 202 while the job is
+  still in flight, 404 unknown, 410 failed,
+* ``GET /v1/products/{id}/field`` -- the raw ``MotionField`` artifact
+  as ``.npz`` bytes (what the field would be if computed locally --
+  bit-identical to ``track_dense``),
+* ``GET /healthz``             -- liveness + queue depth + drain state,
+* ``GET /metrics``             -- the :mod:`repro.obs` metrics registry
+  plus the server-wide cost ledger (modeled seconds, GE solve counts).
+
+:class:`ServeApp` owns the queue, result cache, worker pool, shared
+preparation cache and the serving :class:`~repro.maspar.cost.CostLedger`;
+:func:`make_server` binds it to a :class:`ThreadingHTTPServer`.
+Graceful drain: stop admitting, finish every accepted job, persist
+state, then shut the listener down -- SIGTERM loses nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..core.field import MotionField
+from ..core.prep import FramePreparationCache
+from ..maspar.cost import CostLedger
+from ..maspar.machine import GODDARD_MP2
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import METRICS
+from .cache import ResultCache
+from .jobs import Job, JobRequest, JobValidationError, ServeLimits
+from .queue import JobQueue, QueueFullError
+from .workers import WorkerPool
+
+_LOG = get_logger("serve.http")
+
+#: Ledger phase charged with serve-side stalls (none today; reserved).
+PHASE_SERVING = "Serving"
+
+
+class ServeApp:
+    """Everything behind the HTTP surface, usable without HTTP too.
+
+    Tests and benchmarks drive :meth:`submit_payload` / :meth:`drain`
+    directly; the CLI wraps it in :func:`make_server`.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        workers: int = 2,
+        pool_workers: int | None = None,
+        queue_depth: int = 64,
+        cache_bytes: int = 256 * 1024 * 1024,
+        limits: ServeLimits | None = None,
+        hs_iterations: int = 60,
+    ) -> None:
+        os.makedirs(state_dir, exist_ok=True)
+        self.state_dir = state_dir
+        self.limits = limits or ServeLimits()
+        self.pool_workers = pool_workers
+        self.hs_iterations = hs_iterations
+        self.queue = JobQueue(
+            max_depth=queue_depth,
+            state_path=os.path.join(state_dir, "queue.json"),
+        )
+        self.cache = ResultCache(
+            os.path.join(state_dir, "cache"), max_bytes=cache_bytes
+        )
+        self.prep_cache = FramePreparationCache(max_frames=16)
+        self.ledger = CostLedger(GODDARD_MP2)
+        self._ledger_lock = threading.Lock()
+        self.pool = WorkerPool(self, workers=workers)
+        self.draining = False
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "ServeApp":
+        if not self._started:
+            self.pool.start()
+            self._started = True
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting, finish every accepted job, persist, stop workers.
+
+        Returns True when the queue fully drained (zero accepted jobs
+        lost); False only if ``timeout`` expired first.
+        """
+        self.draining = True
+        METRICS.set_gauge("serve.draining", 1.0)
+        drained = self.queue.wait_idle(timeout=timeout)
+        self.pool.stop()
+        if self.queue.state_path:
+            self.queue.save()
+        log_event(
+            _LOG, logging.INFO, "serve.drained",
+            drained=drained, counts=self.queue.counts(),
+        )
+        return drained
+
+    # -- ledger -----------------------------------------------------------------------
+
+    def merge_ledger(self, ledger: CostLedger) -> None:
+        """Fold one job's modeled costs into the serving-session ledger."""
+        with self._ledger_lock:
+            self.ledger.merge(ledger)
+
+    def publish_ledger_gauges(self) -> None:
+        with self._ledger_lock:
+            METRICS.set_gauge(
+                "serve.ledger.gaussian_eliminations",
+                float(self.ledger.gaussian_eliminations()),
+            )
+            METRICS.set_gauge(
+                "serve.ledger.modeled_seconds", self.ledger.total_seconds()
+            )
+
+    # -- request handling (transport-independent) -------------------------------------
+
+    def submit_payload(self, payload: dict) -> tuple[Job, bool]:
+        """Validate and queue one JSON job payload.
+
+        Raises :class:`JobValidationError` (400), :class:`QueueFullError`
+        (429) or :class:`RuntimeError` while draining (503).
+        """
+        if self.draining:
+            raise RuntimeError("server is draining; not accepting jobs")
+        priority = payload.get("priority", 0) if isinstance(payload, dict) else 0
+        if not isinstance(priority, int):
+            raise JobValidationError("priority must be an integer")
+        request = JobRequest.from_payload(payload, limits=self.limits)
+        return self.queue.submit(request, priority=priority)
+
+    def job_payload(self, job_id: str) -> dict | None:
+        job = self.queue.get(job_id)
+        return None if job is None else job.to_dict()
+
+    def product_payload(self, job_id: str) -> tuple[int, dict]:
+        """(HTTP status, body) for the wind-product route."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if job.state == "failed":
+            return 410, {"error": f"job failed: {job.error}", "state": job.state}
+        if job.state != "done" or job.result_key is None:
+            return 202, {"state": job.state, "id": job.id}
+        field = self.cache.get(job.result_key, record=False)
+        if field is None:
+            return 410, {"error": "result evicted from cache; resubmit the job"}
+        return 200, _wind_product(job, field)
+
+    def field_bytes(self, job_id: str) -> tuple[int, bytes | dict]:
+        """(HTTP status, npz bytes | error body) for the raw-field route."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if job.state != "done" or job.result_key is None:
+            return 202, {"state": job.state, "id": job.id}
+        path = self.cache.artifact_path(job.result_key)
+        if path is None or not os.path.exists(path):
+            return 410, {"error": "result evicted from cache; resubmit the job"}
+        with open(path, "rb") as handle:
+            return 200, handle.read()
+
+    def health_payload(self) -> dict:
+        counts = self.queue.counts()
+        return {
+            "status": "draining" if self.draining else "ok",
+            "queue_depth": counts["pending"],
+            "in_flight": counts["running"],
+            "jobs_done": counts["done"],
+            "jobs_failed": counts["failed"],
+            "cache_entries": len(self.cache),
+            "cache_bytes": self.cache.total_bytes(),
+        }
+
+    def metrics_payload(self) -> dict:
+        with self._ledger_lock:
+            ledger = {
+                "modeled_seconds": self.ledger.total_seconds(),
+                "gaussian_eliminations": self.ledger.gaussian_eliminations(),
+                "breakdown": [
+                    {"phase": name, "modeled_seconds": secs, "gaussian_eliminations": ge}
+                    for name, secs, ge in self.ledger.breakdown(with_counts=True)
+                ],
+            }
+        payload = METRICS.snapshot()
+        payload["ledger"] = ledger
+        return payload
+
+
+def _wind_product(job: Job, field: MotionField, barb_stride: int = 8) -> dict:
+    """The JSON wind product: Section 5 statistics + Fig. 5-style barbs."""
+    speed = field.wind_speed()[field.valid]
+    direction = field.wind_direction_deg()[field.valid]
+    finite_dir = direction[np.isfinite(direction)]
+    if finite_dir.size:
+        rad = np.radians(finite_dir)
+        circ_mean = float(
+            np.degrees(np.arctan2(np.sin(rad).mean(), np.cos(rad).mean())) % 360.0
+        )
+    else:
+        circ_mean = None
+    points, vectors = field.subsample(stride=barb_stride)
+    barbs = []
+    for (x, y), (u, v) in zip(points[:128], vectors[:128]):
+        meters = float(np.hypot(u, v)) * field.pixel_km * 1000.0
+        east, north = float(u), float(-v)
+        if east == 0.0 and north == 0.0:
+            bearing = None
+        else:
+            bearing = float((np.degrees(np.arctan2(east, north)) + 180.0) % 360.0)
+        barbs.append(
+            {
+                "x": int(x),
+                "y": int(y),
+                "speed_ms": meters / field.dt_seconds,
+                "direction_deg": bearing,
+            }
+        )
+    mean_u, mean_v = field.mean_displacement()
+    return {
+        "id": job.id,
+        "state": job.state,
+        "cache_hit": job.cache_hit,
+        "rung": job.rung,
+        "shape": list(field.shape),
+        "dt_seconds": field.dt_seconds,
+        "pixel_km": field.pixel_km,
+        "valid_pixels": int(field.valid.sum()),
+        "mean_displacement_px": [mean_u, mean_v],
+        "wind": {
+            "mean_speed_ms": float(speed.mean()),
+            "max_speed_ms": float(speed.max()),
+            "p50_speed_ms": float(np.percentile(speed, 50)),
+            "p90_speed_ms": float(np.percentile(speed, 90)),
+            "p99_speed_ms": float(np.percentile(speed, 99)),
+            "circular_mean_direction_deg": circ_mean,
+        },
+        "barbs": barbs,
+        "metadata": field.metadata,
+    }
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto a :class:`ServeApp` (set by subclassing)."""
+
+    app: ServeApp = None  # type: ignore[assignment]
+    server_version = "repro-serve"
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log_event(
+            _LOG, logging.DEBUG, "serve.http",
+            client=self.client_address[0], line=format % args,
+        )
+
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, payload: bytes, content_type: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # -- routes -----------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._send_json(404, {"error": f"no such route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._send_json(400, {"error": "request body must be valid JSON"})
+            return
+        try:
+            job, created = self.app.submit_payload(payload)
+        except JobValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except QueueFullError as exc:
+            self._send_json(
+                429,
+                {
+                    "error": str(exc),
+                    "retry_after_seconds": exc.retry_after_seconds,
+                },
+                headers={"Retry-After": f"{exc.retry_after_seconds:g}"},
+            )
+            return
+        except RuntimeError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        self._send_json(
+            202, {"id": job.id, "state": job.state, "deduplicated": not created}
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.app.health_payload())
+        elif path == "/metrics":
+            self._send_json(200, self.app.metrics_payload())
+        elif path.startswith("/v1/jobs/"):
+            payload = self.app.job_payload(path.rsplit("/", 1)[1])
+            if payload is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, payload)
+        elif path.startswith("/v1/products/") and path.endswith("/field"):
+            job_id = path[len("/v1/products/") : -len("/field")]
+            status, body = self.app.field_bytes(job_id)
+            if status == 200:
+                self._send_bytes(body, "application/octet-stream")
+            else:
+                self._send_json(status, body)
+        elif path.startswith("/v1/products/"):
+            status, body = self.app.product_payload(path.rsplit("/", 1)[1])
+            self._send_json(status, body)
+        else:
+            self._send_json(404, {"error": f"no such route {path!r}"})
+
+
+def make_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A :class:`ThreadingHTTPServer` bound to ``app`` (port 0 = ephemeral)."""
+    handler = type("BoundServeHandler", (ServeHandler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,280 @@
+"""Durable priority job queue with dedup and explicit backpressure.
+
+The admission contract, in order of evaluation on submit:
+
+1. **Deduplication** -- a request whose fingerprint matches a job that
+   is still pending or running returns that job instead of queuing a
+   duplicate (the in-flight analogue of the result cache; completed
+   jobs do *not* dedupe, so a re-request flows through the
+   content-addressed result cache and is served without recomputation).
+2. **Backpressure** -- when ``max_depth`` jobs are already pending the
+   submit raises :class:`QueueFullError`; the HTTP layer turns that
+   into a 429 with a ``Retry-After`` hint.  The queue never grows
+   unboundedly and never silently drops an accepted job.
+
+Ordering is strict: higher ``priority`` first, FIFO (submission order)
+within a priority.  The schedule is a pure function of the submit
+history, which is what makes the persistence round-trip testable
+bit-for-bit.
+
+Durability: every accepting mutation is persisted through
+:func:`repro.ioutil.atomic_write_text` (same temp-then-rename dance as
+the PR-1 checkpoints), so a killed server restarts with every accepted
+job intact -- jobs that were mid-run come back ``pending`` and are
+simply re-executed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import threading
+import time
+
+from ..ioutil import atomic_write_text
+from ..obs.metrics import METRICS
+from .jobs import Job, JobRequest
+
+#: On-disk schema version for the persisted queue state.
+STATE_VERSION = 1
+
+
+class QueueFullError(RuntimeError):
+    """Raised when the queue is at capacity; carries a retry hint."""
+
+    def __init__(self, depth: int, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(
+            f"job queue is full ({depth} pending); retry after "
+            f"{retry_after_seconds:g} s"
+        )
+        self.depth = depth
+        self.retry_after_seconds = retry_after_seconds
+
+
+class JobQueue:
+    """Bounded, deduplicating, persistent priority queue of :class:`Job`.
+
+    Thread-safe: submits arrive from HTTP handler threads while worker
+    threads claim, so every mutation runs under one condition variable.
+    """
+
+    def __init__(self, max_depth: int = 64, state_path: str | None = None) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.state_path = state_path
+        self._cond = threading.Condition()
+        self._jobs: dict[str, Job] = {}
+        #: (-priority, seq, job_id) min-heap -> highest priority, FIFO within.
+        self._heap: list[tuple[int, int, str]] = []
+        self._active_by_fingerprint: dict[str, str] = {}
+        self._seq = 0
+        self._closed = False
+        if state_path and os.path.exists(state_path):
+            self._restore(state_path)
+
+    # -- submission -------------------------------------------------------------------
+
+    def submit(self, request: JobRequest, priority: int = 0) -> tuple[Job, bool]:
+        """Queue a request; returns ``(job, created)``.
+
+        ``created`` is False when the request deduplicated onto an
+        existing pending/running job.
+        """
+        fingerprint = request.fingerprint()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed (server draining)")
+            active_id = self._active_by_fingerprint.get(fingerprint)
+            if active_id is not None:
+                METRICS.inc("serve.queue.deduplicated")
+                return self._jobs[active_id], False
+            if self._pending_count() >= self.max_depth:
+                METRICS.inc("serve.queue.rejected")
+                raise QueueFullError(self._pending_count())
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:06d}",
+                request=request,
+                priority=int(priority),
+                seq=self._seq,
+                submitted_at=time.time(),
+            )
+            self._jobs[job.id] = job
+            self._active_by_fingerprint[fingerprint] = job.id
+            heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+            METRICS.inc("serve.queue.submitted")
+            self._publish_gauges()
+            self._persist()
+            self._cond.notify()
+            return job, True
+
+    # -- worker side ------------------------------------------------------------------
+
+    def claim(self, timeout: float | None = None) -> Job | None:
+        """Pop the highest-priority pending job; block up to ``timeout``.
+
+        Returns None on timeout or when the queue has been closed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                job = self._pop_pending()
+                if job is not None:
+                    job.state = "running"
+                    job.started_at = time.time()
+                    job.queue_wait_seconds = max(0.0, job.started_at - job.submitted_at)
+                    METRICS.observe("serve.queue.wait_seconds", job.queue_wait_seconds)
+                    self._publish_gauges()
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+    def complete(self, job_id: str, **fields) -> Job:
+        """Mark a job done; ``fields`` update the result bookkeeping."""
+        return self._finish(job_id, "done", fields)
+
+    def fail(self, job_id: str, error: str) -> Job:
+        """Mark a job failed with its error string (server survives)."""
+        return self._finish(job_id, "failed", {"error": error})
+
+    def _finish(self, job_id: str, state: str, fields: dict) -> Job:
+        with self._cond:
+            job = self._jobs[job_id]
+            job.state = state
+            job.finished_at = time.time()
+            if job.started_at is not None:
+                job.wall_seconds = max(0.0, job.finished_at - job.started_at)
+            for name, value in fields.items():
+                setattr(job, name, value)
+            self._active_by_fingerprint.pop(job.request.fingerprint(), None)
+            self._publish_gauges()
+            self._persist()
+            self._cond.notify_all()
+            return job
+
+    # -- introspection ----------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Pending jobs (the backpressure quantity)."""
+        with self._cond:
+            return self._pending_count()
+
+    def in_flight(self) -> int:
+        with self._cond:
+            return sum(1 for j in self._jobs.values() if j.state == "running")
+
+    def outstanding(self) -> int:
+        """Accepted but not finished (pending + running) -- the drain gate."""
+        with self._cond:
+            return sum(
+                1 for j in self._jobs.values() if j.state in ("pending", "running")
+            )
+
+    def counts(self) -> dict[str, int]:
+        with self._cond:
+            counts = dict.fromkeys(("pending", "running", "done", "failed"), 0)
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is pending or running; True on success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while any(
+                j.state in ("pending", "running") for j in self._jobs.values()
+            ):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        """Refuse further submissions and wake blocked claimers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- persistence ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-ready queue state (deterministic for identical histories)."""
+        with self._cond:
+            return self._state_locked()
+
+    def _state_locked(self) -> dict:
+        return {
+            "version": STATE_VERSION,
+            "seq": self._seq,
+            "max_depth": self.max_depth,
+            "jobs": [self._jobs[job_id].to_dict() for job_id in sorted(self._jobs)],
+        }
+
+    def save(self, path: str | None = None) -> str:
+        """Persist atomically; returns the path written."""
+        target = path or self.state_path
+        if target is None:
+            raise ValueError("no state path configured")
+        atomic_write_text(target, json.dumps(self.to_state(), sort_keys=True))
+        return target
+
+    def _persist(self) -> None:
+        # Called with the lock held; atomic_write_text keeps the old
+        # state intact if the process dies mid-write.
+        if self.state_path is not None:
+            atomic_write_text(
+                self.state_path, json.dumps(self._state_locked(), sort_keys=True)
+            )
+
+    def _restore(self, path: str) -> None:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"unsupported queue state version {payload.get('version')!r}"
+            )
+        self._seq = int(payload["seq"])
+        for record in payload["jobs"]:
+            job = Job.from_dict(record)
+            self._jobs[job.id] = job
+            if job.state == "pending":
+                heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+                self._active_by_fingerprint[job.request.fingerprint()] = job.id
+        METRICS.inc("serve.queue.restored_jobs", float(len(self._jobs)))
+        self._publish_gauges()
+
+    # -- internals --------------------------------------------------------------------
+
+    def _pending_count(self) -> int:
+        return sum(1 for j in self._jobs.values() if j.state == "pending")
+
+    def _pop_pending(self) -> Job | None:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.get(job_id)
+            if job is not None and job.state == "pending":
+                return job
+        return None
+
+    def _publish_gauges(self) -> None:
+        METRICS.set_gauge("serve.queue.depth", float(self._pending_count()))
+        METRICS.set_gauge(
+            "serve.jobs.in_flight",
+            float(sum(1 for j in self._jobs.values() if j.state == "running")),
+        )

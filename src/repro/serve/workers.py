@@ -1,0 +1,237 @@
+"""Serving worker pool: claims jobs, computes or cache-serves products.
+
+Each worker is a thread in the server process.  The execution path
+reuses the operational machinery of earlier layers rather than
+reimplementing it:
+
+* frames resolve deterministically from the dataset factories (the
+  request is a pure description of content, so the result cache can be
+  content-addressed),
+* per-frame surface fits go through the shared, thread-safe
+  :class:`~repro.core.prep.FramePreparationCache` -- concurrent jobs
+  over the same sequence fit each frame once,
+* pair jobs run under the PR-1
+  :class:`~repro.reliability.degrade.DegradationLadder`: a request that
+  cannot run at the planned segment size degrades (re-plan ->
+  Horn-Schunck -> interpolation) instead of killing the worker,
+* sequence jobs shard their independent pairs over the PR-2 fork pool
+  (:func:`~repro.parallel.pairs.track_pairs_in_pool`) when the server
+  is configured with ``pool_workers > 1`` -- bit-identical to the
+  sequential path,
+* every computed pair's :class:`~repro.maspar.cost.CostLedger` merges
+  into the server-wide ledger, so ``GET /metrics`` reports modeled
+  MasPar seconds and first-class Gaussian-elimination counts for the
+  whole serving session.  Cache hits merge nothing -- the absence of
+  new GE solves is the observable proof that no recomputation happened.
+
+A job that raises anything else is marked ``failed`` with its error
+string; the worker logs it and moves on.  The server never dies on a
+poisoned request.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+import numpy as np
+
+from ..core.field import MotionField
+from ..core.matching import valid_mask
+from ..core.sma import SMAnalyzer
+from ..data.datasets import Dataset
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
+from ..parallel.memory_plan import max_feasible_segment_rows
+from ..parallel.parallel_sma import machine_for_image
+from ..reliability.degrade import DegradationLadder
+from .cache import result_key
+from .jobs import Job
+
+_LOG = get_logger("serve")
+
+
+def _dataset_for(job: Job) -> Dataset:
+    from ..data.datasets import florida_thunderstorm, hurricane_frederic, hurricane_luis
+
+    factories = {
+        "florida": florida_thunderstorm,
+        "frederic": hurricane_frederic,
+        "luis": hurricane_luis,
+    }
+    request = job.request
+    return factories[request.dataset](
+        size=request.size, n_frames=request.frames, seed=request.seed
+    )
+
+
+class WorkerPool:
+    """Thread pool that drains the job queue through the app's caches."""
+
+    def __init__(self, app, workers: int = 2, poll_seconds: float = 0.2) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.app = app
+        self.workers = workers
+        self.poll_seconds = poll_seconds
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._paused = threading.Event()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.app.queue.close()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def pause(self) -> None:
+        """Stop claiming new jobs (running jobs finish); for tests/drain."""
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused.is_set()
+
+    # -- the worker loop --------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self._paused.is_set():
+                self._stop.wait(self.poll_seconds)
+                continue
+            job = self.app.queue.claim(timeout=self.poll_seconds)
+            if job is None:
+                continue
+            try:
+                self.execute(job)
+            except Exception as exc:  # noqa: BLE001 -- the server must survive
+                self.app.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+                METRICS.inc("serve.jobs.failed")
+                log_event(
+                    _LOG, logging.ERROR, "serve.job_failed", job=job.id, error=str(exc)
+                )
+
+    # -- job execution ----------------------------------------------------------------
+
+    def execute(self, job: Job) -> None:
+        """Resolve one job: result cache first, compute on miss."""
+        with TRACER.span("serve.job", job=job.id, kind=job.request.kind):
+            dataset = _dataset_for(job)
+            request = job.request
+            config = dataset.config.replace(n_zs=request.search, n_zt=request.template)
+            if request.kind == "pair":
+                frames = dataset.frames[request.pair : request.pair + 2]
+            else:
+                frames = list(dataset.frames)
+            key = result_key(frames, config, dataset.pixel_km, kind=request.kind)
+
+            cached = self.app.cache.get(key)
+            if cached is not None:
+                self.app.queue.complete(
+                    job.id, cache_hit=True, result_key=key,
+                    metadata={"model": cached.metadata.get("model")},
+                )
+                METRICS.inc("serve.jobs.completed")
+                log_event(_LOG, logging.INFO, "serve.cache_hit", job=job.id, key=key)
+                return
+
+            if request.kind == "pair":
+                field, rung = self._compute_pair(frames, config, dataset.pixel_km)
+            else:
+                field, rung = self._compute_sequence(frames, config, dataset.pixel_km)
+            self.app.cache.put(key, field)
+            self.app.publish_ledger_gauges()
+            self.app.queue.complete(
+                job.id, cache_hit=False, result_key=key, rung=rung,
+                metadata={"model": field.metadata.get("model")},
+            )
+            METRICS.inc("serve.jobs.completed")
+            log_event(_LOG, logging.INFO, "serve.computed", job=job.id, key=key)
+
+    def _compute_pair(self, frames, config, pixel_km) -> tuple[MotionField, int]:
+        """One frame pair under the degradation ladder (bit-identical to
+        ``track_dense`` on the healthy rung 0)."""
+        before, after = frames
+        shape = before.shape
+        machine = machine_for_image(shape)
+        layers = machine.layers_for_image(*shape)
+        planned = max(1, max_feasible_segment_rows(config, layers, machine))
+        dt = after.time_seconds - before.time_seconds
+        if dt <= 0:
+            dt = 1.0
+        ladder = DegradationLadder(config, hs_iterations=self.app.hs_iterations)
+        result, steps = ladder.track_pair(
+            before.surface,
+            after.surface,
+            machine,
+            planned,
+            dt_seconds=dt,
+            intensity_before=before.intensity,
+            intensity_after=after.intensity,
+            prep_cache=self.app.prep_cache,
+        )
+        if steps:
+            METRICS.inc("serve.jobs.degraded")
+        if result.ledger is not None:
+            self.app.merge_ledger(result.ledger)
+        field = MotionField(
+            u=result.u,
+            v=result.v,
+            valid=valid_mask(shape, config),
+            error=result.error,
+            dt_seconds=float(dt),
+            pixel_km=pixel_km,
+            metadata={
+                "model": "semi-fluid" if config.is_semifluid else "continuous",
+                "config": config.name,
+                "rung": result.rung,
+            },
+        )
+        return field, result.rung
+
+    def _compute_sequence(self, frames, config, pixel_km) -> tuple[MotionField, int]:
+        """Mean field over all pairs; fork-pool sharded when configured."""
+        analyzer = SMAnalyzer(config, pixel_km=pixel_km)
+        fields = analyzer.track_sequence(frames, workers=self.app.pool_workers)
+        shape = frames[0].shape
+        n = len(fields)
+        sum_u = np.zeros(shape, dtype=np.float64)
+        sum_v = np.zeros(shape, dtype=np.float64)
+        sum_error = np.zeros(shape, dtype=np.float64)
+        for f in fields:
+            sum_u += f.u
+            sum_v += f.v
+            sum_error += f.error
+        dts = []
+        for m in range(n):
+            dt = frames[m + 1].time_seconds - frames[m].time_seconds
+            dts.append(dt if dt > 0 else 1.0)
+        field = MotionField(
+            u=sum_u / n,
+            v=sum_v / n,
+            valid=valid_mask(shape, config),
+            error=sum_error / n,
+            dt_seconds=float(np.mean(dts)),
+            pixel_km=pixel_km,
+            metadata={
+                "model": "semi-fluid" if config.is_semifluid else "continuous",
+                "config": config.name,
+                "pairs": n,
+            },
+        )
+        return field, 0

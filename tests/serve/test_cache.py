@@ -1,0 +1,122 @@
+"""Content-addressed result cache: keying, LRU byte budget, durability."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.field import MotionField
+from repro.core.sma import Frame
+from repro.data.datasets import florida_thunderstorm
+from repro.serve.cache import ResultCache, result_key
+
+
+def _field(value: float = 1.0, side: int = 24) -> MotionField:
+    rng = np.random.default_rng(int(value * 10))
+    return MotionField(
+        u=rng.normal(size=(side, side)),
+        v=rng.normal(size=(side, side)),
+        valid=np.ones((side, side), bool),
+        error=np.zeros((side, side)),
+        dt_seconds=60.0,
+    )
+
+
+class TestResultKey:
+    def test_content_addressed_not_request_addressed(self):
+        ds = florida_thunderstorm(size=48, n_frames=3, seed=9)
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        # Same frame content via two separate factory calls -> same key.
+        ds2 = florida_thunderstorm(size=48, n_frames=3, seed=9)
+        key_a = result_key(ds.frames[:2], cfg, ds.pixel_km)
+        key_b = result_key(ds2.frames[:2], cfg, ds2.pixel_km)
+        assert key_a == key_b
+
+    def test_params_change_the_key(self):
+        ds = florida_thunderstorm(size=48, n_frames=2, seed=9)
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        base = result_key(ds.frames, cfg, ds.pixel_km)
+        assert base != result_key(ds.frames, cfg.replace(n_zs=3), ds.pixel_km)
+        assert base != result_key(ds.frames, cfg, 2.0)
+        assert base != result_key(ds.frames, cfg, ds.pixel_km, kind="sequence")
+
+    def test_pixels_change_the_key(self):
+        ds = florida_thunderstorm(size=48, n_frames=2, seed=9)
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        base = result_key(ds.frames, cfg, ds.pixel_km)
+        perturbed = Frame(
+            surface=ds.frames[0].surface + 1e-12,
+            time_seconds=ds.frames[0].time_seconds,
+        )
+        assert base != result_key([perturbed, ds.frames[1]], cfg, ds.pixel_km)
+
+    def test_timestamps_change_the_key(self):
+        """dt sets wind speeds, so it must be part of the address."""
+        ds = florida_thunderstorm(size=48, n_frames=2, seed=9)
+        cfg = ds.config.replace(n_zs=2, n_zt=3)
+        shifted = [
+            Frame(surface=f.surface, time_seconds=f.time_seconds * 2.0)
+            for f in ds.frames
+        ]
+        assert result_key(ds.frames, cfg, ds.pixel_km) != result_key(
+            shifted, cfg, ds.pixel_km
+        )
+
+
+class TestStoreAndLookup:
+    def test_round_trip_bit_identical(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        field = _field(1.0)
+        cache.put("k1", field)
+        loaded = cache.get("k1")
+        np.testing.assert_array_equal(loaded.u, field.u)
+        np.testing.assert_array_equal(loaded.v, field.v)
+        assert loaded.dt_seconds == field.dt_seconds
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get("nope") is None
+
+    def test_byte_budget_evicts_lru(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=1)
+        cache.put("old", _field(1.0))
+        size_one = cache.total_bytes()
+        assert size_one > 0  # one entry always stays resident
+        cache.put("new", _field(2.0))
+        assert cache.get("old") is None
+        assert cache.get("new") is not None
+        assert len(cache) == 1
+
+    def test_lru_recency_from_hits(self, tmp_path):
+        one = os.path.getsize(_save_probe(tmp_path))
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=int(one * 2.5))
+        cache.put("a", _field(1.0))
+        cache.put("b", _field(2.0))
+        assert cache.get("a") is not None  # refresh 'a'
+        cache.put("c", _field(3.0))  # evicts 'b', the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+
+    def test_index_survives_restart(self, tmp_path):
+        root = str(tmp_path / "c")
+        ResultCache(root).put("warm", _field(4.0))
+        reopened = ResultCache(root)
+        assert reopened.get("warm") is not None
+
+    def test_missing_artifact_degrades_to_miss(self, tmp_path):
+        root = str(tmp_path / "c")
+        cache = ResultCache(root)
+        path = cache.put("gone", _field(5.0))
+        os.unlink(path)
+        assert cache.get("gone") is None
+        assert len(cache) == 0
+
+    def test_bad_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path / "c"), max_bytes=0)
+
+
+def _save_probe(tmp_path) -> str:
+    probe = str(tmp_path / "probe.npz")
+    _field(1.0).save(probe)
+    return probe

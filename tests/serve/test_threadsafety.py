@@ -1,0 +1,146 @@
+"""Multi-thread hammer tests for the shared serving state.
+
+The serving layer shares one ``MetricsRegistry`` and one
+``FramePreparationCache`` across HTTP handler threads and workers;
+these tests drive both from many threads at once and assert nothing is
+lost, double-counted, or corrupted.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core.prep import FramePreparationCache, prepare_frame
+from repro.obs.metrics import MetricsRegistry
+from repro.params import SMALL_CONFIG
+
+N_THREADS = 8
+N_ROUNDS = 200
+
+
+def _hammer(worker, n_threads=N_THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any failure."""
+    errors = []
+
+    def run(index):
+        try:
+            worker(index)
+        except Exception as exc:  # noqa: BLE001 -- surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestMetricsRegistryUnderContention:
+    def test_counters_lose_nothing(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for _ in range(N_ROUNDS):
+                registry.inc("hammer.total")
+                registry.inc(f"hammer.thread.{index}")
+
+        _hammer(worker)
+        assert registry.counter("hammer.total") == N_THREADS * N_ROUNDS
+        for i in range(N_THREADS):
+            assert registry.counter(f"hammer.thread.{i}") == N_ROUNDS
+
+    def test_histograms_account_every_sample(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for round_no in range(N_ROUNDS):
+                registry.observe("hammer.latency", float(round_no))
+                registry.set_gauge("hammer.gauge", float(index))
+
+        _hammer(worker)
+        hist = registry.snapshot()["histograms"]["hammer.latency"]
+        assert hist["count"] == N_THREADS * N_ROUNDS
+        assert hist["sum"] == N_THREADS * sum(range(N_ROUNDS))
+        assert hist["min"] == 0.0
+        assert hist["max"] == float(N_ROUNDS - 1)
+
+    def test_snapshot_races_with_writers(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        snaps = []
+
+        def reader():
+            while not stop.is_set():
+                snaps.append(registry.snapshot())
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            _hammer(lambda i: [registry.inc("racy") for _ in range(N_ROUNDS)])
+        finally:
+            stop.set()
+            reader_thread.join()
+        assert registry.counter("racy") == N_THREADS * N_ROUNDS
+        # every intermediate snapshot saw a consistent, monotone count
+        values = [s["counters"].get("racy", 0.0) for s in snaps]
+        assert values == sorted(values)
+
+
+class TestFramePreparationCacheUnderContention:
+    def _frames(self, n=4, side=20, seed=7):
+        rng = np.random.default_rng(seed)
+        return [rng.normal(size=(side, side)) for _ in range(n)]
+
+    def test_concurrent_lookups_are_bit_identical(self):
+        config = SMALL_CONFIG
+        frames = self._frames()
+        cache = FramePreparationCache(max_frames=8)
+        results = [[None] * len(frames) for _ in range(N_THREADS)]
+
+        def worker(index):
+            for round_no in range(40):
+                for f, frame in enumerate(frames):
+                    results[index][f] = cache.get(frame, None, config)
+
+        _hammer(worker)
+        references = [prepare_frame(f, None, config) for f in frames]
+        for per_thread in results:
+            for prep, ref in zip(per_thread, references):
+                assert prep.fingerprint == ref.fingerprint
+                np.testing.assert_array_equal(prep.geometry.p, ref.geometry.p)
+
+    def test_stats_account_every_lookup(self):
+        config = SMALL_CONFIG
+        frames = self._frames()
+        cache = FramePreparationCache(max_frames=8)
+        rounds = 25
+
+        def worker(index):
+            for _ in range(rounds):
+                for frame in frames:
+                    cache.get(frame, None, config)
+
+        _hammer(worker)
+        assert cache.stats.lookups == N_THREADS * rounds * len(frames)
+        # Racing threads may duplicate a cold-key computation, but every
+        # distinct frame missing at least once is the floor.
+        assert cache.stats.misses >= len(frames)
+        assert cache.stats.hits == cache.stats.lookups - cache.stats.misses
+        assert len(cache) == len(frames)
+
+    def test_eviction_pressure_never_corrupts(self):
+        """A cache smaller than the working set, hammered from all sides."""
+        config = SMALL_CONFIG
+        frames = self._frames(n=6)
+        cache = FramePreparationCache(max_frames=2)
+
+        def worker(index):
+            for round_no in range(20):
+                frame = frames[(index + round_no) % len(frames)]
+                prep = cache.get(frame, None, config)
+                assert prep.shape == frame.shape
+
+        _hammer(worker)
+        assert len(cache) <= 2
+        assert cache.stats.evictions > 0

@@ -1,0 +1,116 @@
+"""Worker pool execution: compute, cache-serve, failure isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.sma import SMAnalyzer
+from repro.data.datasets import florida_thunderstorm
+from repro.serve import workers as workers_module
+from repro.serve.http import ServeApp
+from repro.serve.jobs import JobRequest
+
+
+@pytest.fixture
+def app(tmp_path):
+    application = ServeApp(str(tmp_path / "state"), workers=0)
+    yield application
+    application.queue.close()
+
+
+def _run_one(app, request, priority=0):
+    """Submit and execute one job synchronously (no worker threads)."""
+    job, _ = app.queue.submit(request, priority=priority)
+    claimed = app.queue.claim(timeout=0)
+    assert claimed.id == job.id
+    app.pool.execute(claimed)
+    return app.queue.get(job.id)
+
+
+class TestPairExecution:
+    def test_healthy_pair_completes_on_rung_zero(self, app):
+        job = _run_one(app, JobRequest(dataset="florida", size=48))
+        assert job.state == "done"
+        assert job.rung == 0
+        assert job.cache_hit is False
+        assert app.cache.contains(job.result_key)
+
+    def test_field_matches_track_dense_bit_identically(self, app):
+        request = JobRequest(dataset="florida", size=48, search=2, template=3)
+        job = _run_one(app, request)
+        served = app.cache.get(job.result_key, record=False)
+
+        ds = florida_thunderstorm(size=48, n_frames=2, seed=0)
+        config = ds.config.replace(n_zs=2, n_zt=3)
+        analyzer = SMAnalyzer(config, pixel_km=ds.pixel_km)
+        reference = analyzer.track_pair(ds.frames[0], ds.frames[1])
+        np.testing.assert_array_equal(served.u, reference.u)
+        np.testing.assert_array_equal(served.v, reference.v)
+        np.testing.assert_array_equal(served.error, reference.error)
+
+    def test_ledger_records_gaussian_eliminations(self, app):
+        assert app.ledger.gaussian_eliminations() == 0
+        _run_one(app, JobRequest(dataset="florida", size=48))
+        assert app.ledger.gaussian_eliminations() > 0
+
+
+class TestCacheHit:
+    def test_duplicate_serves_from_cache_without_recompute(self, app):
+        request = JobRequest(dataset="florida", size=48)
+        first = _run_one(app, request)
+        solves_after_first = app.ledger.gaussian_eliminations()
+
+        second = _run_one(app, request)
+        assert second.id != first.id
+        assert second.state == "done"
+        assert second.cache_hit is True
+        assert second.result_key == first.result_key
+        # No second GE solve: the ledger is the proof of no recomputation.
+        assert app.ledger.gaussian_eliminations() == solves_after_first
+
+    def test_different_params_do_not_share_results(self, app):
+        a = _run_one(app, JobRequest(dataset="florida", size=48, search=2))
+        b = _run_one(app, JobRequest(dataset="florida", size=48, search=3))
+        assert b.cache_hit is False
+        assert a.result_key != b.result_key
+
+
+class TestSequenceExecution:
+    def test_sequence_job_averages_all_pairs(self, app):
+        request = JobRequest(dataset="florida", size=48, frames=3, kind="sequence")
+        job = _run_one(app, request)
+        assert job.state == "done"
+        served = app.cache.get(job.result_key, record=False)
+        assert served.metadata["pairs"] == 2
+
+        ds = florida_thunderstorm(size=48, n_frames=3, seed=0)
+        config = ds.config.replace(n_zs=2, n_zt=3)
+        fields = SMAnalyzer(config, pixel_km=ds.pixel_km).track_sequence(ds.frames)
+        expected_u = (fields[0].u + fields[1].u) / 2
+        np.testing.assert_array_equal(served.u, expected_u)
+
+
+class TestFailureIsolation:
+    def test_poisoned_job_fails_but_pool_survives(self, app, monkeypatch):
+        """A job that blows up mid-execution is marked failed; the worker
+        thread moves on and completes the next job."""
+        real = workers_module._dataset_for
+        poisoned_ids = set()
+
+        def sometimes_poisoned(job):
+            if job.id in poisoned_ids:
+                raise RuntimeError("synthetic poison")
+            return real(job)
+
+        monkeypatch.setattr(workers_module, "_dataset_for", sometimes_poisoned)
+        app.pool.workers = 1
+        app.pool.start()
+        try:
+            bad, _ = app.queue.submit(JobRequest(dataset="florida", size=48, seed=1))
+            poisoned_ids.add(bad.id)
+            good, _ = app.queue.submit(JobRequest(dataset="florida", size=48, seed=2))
+            assert app.queue.wait_idle(timeout=60.0)
+        finally:
+            app.pool.stop()
+        assert app.queue.get(bad.id).state == "failed"
+        assert "synthetic poison" in app.queue.get(bad.id).error
+        assert app.queue.get(good.id).state == "done"

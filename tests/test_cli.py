@@ -92,9 +92,30 @@ class TestParser:
             main([])
 
     def test_version(self, capsys):
+        from repro import __version__
+
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for option in ("--port", "--workers", "--queue-depth", "--cache-bytes", "--state-dir"):
+            assert option in out
+        # the help text warns that serve mode refuses fault injection
+        assert "fault injection" in out
+
+    def test_serve_listed_in_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "serve" in capsys.readouterr().out
 
 
 class TestSubpixelFlag:
