@@ -11,13 +11,37 @@ outputs.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.data import florida_thunderstorm, hurricane_frederic
+from repro.ioutil import atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Curated, committed perf-trajectory record at the repo root.  The
+#: gitignored ``benchmarks/results/`` directory is scratch space; this
+#: file is the cross-PR record CI uploads as an artifact.
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sma_search.json"
+
+
+def update_bench_record(section: str, record: dict) -> None:
+    """Merge one benchmark's record into root ``BENCH_sma_search.json``.
+
+    Read-modify-write through :func:`repro.ioutil.atomic_write_text`, so
+    a crash mid-benchmark never leaves a truncated or half-merged file
+    and each benchmark only replaces its own section.
+    """
+    payload: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload[section] = record
+    atomic_write_text(str(BENCH_PATH), json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

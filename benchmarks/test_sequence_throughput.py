@@ -110,6 +110,9 @@ def test_sequence_throughput(results_dir):
     (results_dir / "sequence_throughput.json").write_text(
         json.dumps(record, indent=2) + "\n"
     )
+    from .conftest import update_bench_record
+
+    update_bench_record("sequence_throughput", record)
     print(f"\nsequence throughput: {speedup:.2f}x ({record['mode']})")
 
     if smoke:

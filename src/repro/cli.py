@@ -83,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     track.add_argument("--pair", type=int, default=0, help="frame pair index")
     track.add_argument("--search", type=int, default=3, help="z-search half-width")
     track.add_argument("--template", type=int, default=4, help="z-template half-width")
+    track.add_argument(
+        "--search-mode", choices=("exhaustive", "pruned", "pyramid"),
+        default="exhaustive",
+        help="hypothesis schedule: 'pruned' is bit-identical with fewer GE "
+        "solves; 'pyramid' is approximate coarse-to-fine (continuous model only)",
+    )
     track.add_argument("--out", type=str, default=None, help="save the field (.npz)")
     track.add_argument(
         "--subpixel", action="store_true",
@@ -113,6 +119,11 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0, help="dataset seed")
     stream.add_argument("--search", type=int, default=2, help="z-search half-width")
     stream.add_argument("--template", type=int, default=3, help="z-template half-width")
+    stream.add_argument(
+        "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
+        help="hypothesis schedule ('pruned' is bit-identical with fewer GE "
+        "solves; the approximate pyramid schedule is not streamable)",
+    )
     stream.add_argument(
         "--inject-faults", type=str, default=None, metavar="SPEC",
         help="comma-separated fault spec, e.g. "
@@ -183,6 +194,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="durable state: queue journal + result-cache artifacts "
         "(a restarted server resumes pending jobs from here)",
     )
+    serve.add_argument(
+        "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
+        help="default hypothesis schedule for jobs that do not name one "
+        "(result-cache keys include the mode)",
+    )
     _add_obs_arguments(serve)
 
     profile = sub.add_parser(
@@ -193,6 +209,11 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--search", type=int, default=2, help="z-search half-width")
     profile.add_argument("--template", type=int, default=3, help="z-template half-width")
+    profile.add_argument(
+        "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
+        help="hypothesis schedule (the profile's GE counts show the "
+        "pruned schedule's saving)",
+    )
     _add_obs_arguments(profile)
 
     return parser
@@ -311,7 +332,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
         n_frames = max(n_frames, args.workers + 1)
     dataset: Dataset = factory(size=args.size, n_frames=n_frames, seed=args.seed)
     config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
-    analyzer = SMAnalyzer(config, pixel_km=dataset.pixel_km)
+    analyzer = SMAnalyzer(config, pixel_km=dataset.pixel_km, search=args.search_mode)
     if args.workers is not None and args.workers > 1:
         # Sequence driver: all pairs sharded over the pool, bit-identical
         # to the direct call; report the requested pair.
@@ -331,7 +352,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
             intensity_before=before.intensity,
             intensity_after=after.intensity,
         )
-        refined = refine(prepared, track_dense(prepared))
+        refined = refine(prepared, track_dense(prepared, search=args.search_mode))
         field.u[...] = refined.u
         field.v[...] = refined.v
     u_true, v_true = dataset.truth_uv()
@@ -455,6 +476,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         hs_iterations=args.hs_iterations,
         pixel_km=dataset.pixel_km,
         workers=args.workers,
+        search=args.search_mode,
     )
     result = runner.run(dataset.frames, resume=args.resume, stop_after=args.stop_after)
 
@@ -520,6 +542,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_workers=args.pool_workers,
         queue_depth=args.queue_depth,
         cache_bytes=args.cache_bytes,
+        search_mode=args.search_mode,
     )
     app.start()
     server = make_server(app, host=args.host, port=args.port)
@@ -565,7 +588,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     TRACER.reset()
     METRICS.reset()
     enable_tracing(True)
-    driver = ParallelSMA(config, pixel_km=dataset.pixel_km)
+    driver = ParallelSMA(config, pixel_km=dataset.pixel_km, search=args.search_mode)
     result = driver.track_pair(dataset.frames[0], dataset.frames[1])
 
     events = TRACER.events()

@@ -134,12 +134,56 @@ def pointwise_fields(p, q, p_after, q_after, e, g) -> np.ndarray:
     w1 = 1.0 / (e * e)
     w2 = 1.0 / (g * g)
     out_shape = a1.shape[:-1]
+    # Hoist the weight products out of the 28-field loop.  Python's *
+    # is left-associative, so ``w1 * a1_i * a1_j == (w1 * a1_i) * a1_j``
+    # exactly: precomputing ``w1 * a1`` (and ``w1 * r1``) reuses the
+    # identical first product and keeps every output bit unchanged.
+    wa1 = w1[..., None] * a1
+    wa2 = w2[..., None] * a2
+    w1r1 = w1 * r1
+    w2r2 = w2 * r2
     fields = np.empty(out_shape + (N_FIELDS,), dtype=np.float64)
+    # Structural zeros: a1 columns 1 and 5 and a2 columns 2 and 4 are
+    # identically zero (residual_rows), and the weights are finite and
+    # strictly positive (E, G >= 1), so each vanished product is an
+    # exact IEEE zero.  Skipping those products leaves every template
+    # accumulation and solver input bit-for-bit unchanged (a +-0 term
+    # never moves a running sum); only the sign of a structurally-zero
+    # raw entry can differ, which no consumer observes.  Two reusable
+    # scratch buffers replace the three fresh temporaries per field.
+    a1_zero = (1, 5)
+    a2_zero = (2, 4)
+    buf_a = np.empty(out_shape, dtype=np.float64)
+    buf_b = np.empty(out_shape, dtype=np.float64)
     for idx, (i, j) in enumerate(TRIU_INDICES):
-        fields[..., idx] = w1 * a1[..., i] * a1[..., j] + w2 * a2[..., i] * a2[..., j]
+        keep1 = i not in a1_zero and j not in a1_zero
+        keep2 = i not in a2_zero and j not in a2_zero
+        if keep1 and keep2:
+            np.multiply(wa1[..., i], a1[..., j], out=buf_a)
+            np.multiply(wa2[..., i], a2[..., j], out=buf_b)
+            np.add(buf_a, buf_b, out=buf_a)
+            fields[..., idx] = buf_a
+        elif keep1:
+            np.multiply(wa1[..., i], a1[..., j], out=buf_a)
+            fields[..., idx] = buf_a
+        elif keep2:
+            np.multiply(wa2[..., i], a2[..., j], out=buf_a)
+            fields[..., idx] = buf_a
+        else:
+            fields[..., idx] = 0.0
     for k in range(N_PARAMS):
-        fields[..., N_TRIU + k] = w1 * r1 * a1[..., k] + w2 * r2 * a2[..., k]
-    fields[..., N_TRIU + N_PARAMS] = w1 * r1 * r1 + w2 * r2 * r2
+        if k not in a1_zero and k not in a2_zero:
+            np.multiply(w1r1, a1[..., k], out=buf_a)
+            np.multiply(w2r2, a2[..., k], out=buf_b)
+            np.add(buf_a, buf_b, out=buf_a)
+            fields[..., N_TRIU + k] = buf_a
+        elif k not in a1_zero:
+            np.multiply(w1r1, a1[..., k], out=buf_a)
+            fields[..., N_TRIU + k] = buf_a
+        else:
+            np.multiply(w2r2, a2[..., k], out=buf_a)
+            fields[..., N_TRIU + k] = buf_a
+    fields[..., N_TRIU + N_PARAMS] = w1r1 * r1 + w2r2 * r2
     return fields
 
 

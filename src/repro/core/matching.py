@@ -39,6 +39,33 @@ Both paths produce identical integer displacements and identical motion
 parameters (tested), and tie-breaks are deterministic: among equal
 error minima the smaller displacement wins (Chebyshev magnitude, then
 raster order).
+
+On top of the engines, ``search`` selects the *hypothesis schedule*:
+
+* ``search="exhaustive"`` (default) -- every pixel evaluates every
+  hypothesis, as above.
+* ``search="pruned"`` -- exact certificate-grid pruning, bit-identical
+  to exhaustive.  Because the template error of eq. (3) is a sum of
+  non-negative per-sample terms, the minimized error over any
+  *sub-window* of the template is a lower bound on the minimized error
+  over the full template (the bound survives the ridge term -- the
+  computed value is exactly ``min_theta E(theta) + ridge |theta|^2``,
+  which is monotone under adding non-negative sample terms -- and the
+  ``max(.., 0)`` clamp).  The engine solves these cheap certificate
+  systems on a sparse grid (one per ``stride x stride`` block of
+  pixels, window half-width ``n_zt - 1`` so every pixel's nearest
+  certificate window nests inside its own template) and skips the full
+  6x6 solve wherever the certificate bound already exceeds the pixel's
+  current best error by more than a small fp-safety slack.  Singular
+  certificate systems fall back to a bound of zero (never prune), so
+  soundness never depends on the rank of a certificate patch.
+* ``search="pyramid"`` -- opt-in coarse-to-fine guidance (continuous
+  model only): the raw surfaces are decimated through
+  :mod:`repro.stereo.pyramid`, tracked exhaustively at the coarse
+  level, and the upsampled coarse displacement restricts each pixel's
+  fine-level z-search to a ``(2*refine+1)^2`` window around its coarse
+  hypothesis.  Approximate by design; endpoint error vs. exhaustive is
+  bounded by tests on the synthetic vortex dataset.
 """
 
 from __future__ import annotations
@@ -78,6 +105,28 @@ from .surface import SurfaceGeometry
 #: sweep over main memory.
 DEFAULT_BATCH_BYTES = 2**20
 
+#: Hypothesis-schedule modes accepted by :func:`track_dense`.
+SEARCH_MODES = ("exhaustive", "pruned", "pyramid")
+
+#: Certificate-grid spacing of the pruned engine.  With certificate
+#: half-width ``m = n_zt - 1`` a stride of 3 keeps every pixel within
+#: Chebyshev distance ``n_zt - m = 1`` of a grid center, so the
+#: displaced certificate window still nests inside the pixel's own
+#: template and the bound stays exact.
+CERT_STRIDE = 3
+
+#: FP-safety slack for the prune test: a hypothesis is skipped only when
+#: its certificate bound exceeds the current best by more than
+#: ``rel * |c_cert| + abs``.  The sub-window solve and the full solve
+#: share no intermediate rounding, so the analytic bound must be given
+#: a few ulps of room before it may veto a solve that could win or tie.
+CERT_SLACK_REL = 3e-6
+CERT_SLACK_ABS = 1e-12
+
+#: Ledger phase name for GE charges of :func:`track_dense` (matches
+#: :data:`repro.parallel.parallel_sma.PHASE_MATCHING`).
+PHASE_MATCHING = "Hypothesis matching"
+
 
 @dataclass(frozen=True)
 class DenseMatchResult:
@@ -88,8 +137,13 @@ class DenseMatchResult:
     * ``error`` -- winning template error, shape (H, W),
     * ``valid`` -- interior mask (False in the border margin where
       windows would leave the image),
-    * ``hypotheses_evaluated`` -- the ``(2N_zs+1)^2`` count, for cost
-      accounting.
+    * ``hypotheses_evaluated`` -- hypotheses the schedule touched (the
+      full ``(2N_zs+1)^2`` count for exhaustive/pruned; the fine-level
+      offsets visited for pyramid),
+    * ``ge_solves`` -- 6x6 Gaussian eliminations actually performed
+      (certificate + survivor solves for the pruned schedule),
+    * ``hypotheses_pruned`` -- pixel-hypothesis pairs whose full solve
+      the pruned schedule skipped.
     """
 
     u: np.ndarray
@@ -98,6 +152,8 @@ class DenseMatchResult:
     error: np.ndarray
     valid: np.ndarray
     hypotheses_evaluated: int
+    ge_solves: int = 0
+    hypotheses_pruned: int = 0
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -138,13 +194,17 @@ class PreparedFrames:
 
     ``geo_before``/``geo_after`` come from the *surface* (z) images;
     ``volume`` is the semi-fluid score volume from the *intensity*
-    discriminants (None for the continuous model).
+    discriminants (None for the continuous model).  ``z_before``/
+    ``z_after`` keep the raw surfaces so the pyramid search can build
+    its coarse levels; they are None for hand-built instances.
     """
 
     geo_before: SurfaceGeometry
     geo_after: SurfaceGeometry
     volume: ScoreVolume | None
     config: NeighborhoodConfig
+    z_before: np.ndarray | None = None
+    z_after: np.ndarray | None = None
 
 
 def prepare_frames(
@@ -202,7 +262,12 @@ def prepare_frames(
                     prep_b.discriminant, prep_a.discriminant, config
                 )
     return PreparedFrames(
-        geo_before=prep_b.geometry, geo_after=prep_a.geometry, volume=volume, config=config
+        geo_before=prep_b.geometry,
+        geo_after=prep_a.geometry,
+        volume=volume,
+        config=config,
+        z_before=z_before,
+        z_after=z_after,
     )
 
 
@@ -218,6 +283,40 @@ def _shifted_geometry_stack(geo: SurfaceGeometry, volume: ScoreVolume) -> np.nda
         out[k, 0] = shift2d(geo.p, int(dy), int(dx))
         out[k, 1] = shift2d(geo.q, int(dy), int(dx))
     return out
+
+
+def _hypothesis_pointwise(
+    prepared: PreparedFrames,
+    hyp_dy: int,
+    hyp_dx: int,
+    shifted_after: np.ndarray | None = None,
+    deltas: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Per-sample (un-accumulated) normal-equation fields for one hypothesis.
+
+    The ``(H, W, 28)`` pointwise contributions of
+    :func:`repro.core.continuous.pointwise_fields`, with the semi-fluid
+    ``F_semi`` gather applied when active.  Both the template box sum
+    and the pruned engine's certificate sub-window sums accumulate
+    these same fields, which is what makes the certificate bound exact.
+    """
+    geo_b, geo_a = prepared.geo_before, prepared.geo_after
+    config = prepared.config
+    if prepared.volume is not None and config.n_ss > 0:
+        if deltas is None:
+            deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
+        delta_y, delta_x = deltas
+        if shifted_after is None:
+            shifted_after = _shifted_geometry_stack(geo_a, prepared.volume)
+        reach = prepared.volume.reach
+        side = prepared.volume.side
+        flat = (delta_y + reach) * side + (delta_x + reach)
+        p_a = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
+        q_a = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
+    else:
+        p_a = shift2d(geo_a.p, hyp_dy, hyp_dx)
+        q_a = shift2d(geo_a.q, hyp_dy, hyp_dx)
+    return pointwise_fields(geo_b.p, geo_b.q, p_a, q_a, geo_b.e, geo_b.g)
 
 
 def hypothesis_fields(
@@ -236,23 +335,8 @@ def hypothesis_fields(
     ``deltas`` may carry the precomputed per-pixel semi-fluid
     displacements ``(delta_y, delta_x)`` for this hypothesis.
     """
-    geo_b, geo_a = prepared.geo_before, prepared.geo_after
+    fields = _hypothesis_pointwise(prepared, hyp_dy, hyp_dx, shifted_after, deltas)
     config = prepared.config
-    if prepared.volume is not None and config.n_ss > 0:
-        if deltas is None:
-            deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
-        delta_y, delta_x = deltas
-        if shifted_after is None:
-            shifted_after = _shifted_geometry_stack(geo_a, prepared.volume)
-        reach = prepared.volume.reach
-        side = prepared.volume.side
-        flat = (delta_y + reach) * side + (delta_x + reach)
-        p_a = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
-        q_a = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
-    else:
-        p_a = shift2d(geo_a.p, hyp_dy, hyp_dx)
-        q_a = shift2d(geo_a.q, hyp_dy, hyp_dx)
-    fields = pointwise_fields(geo_b.p, geo_b.q, p_a, q_a, geo_b.e, geo_b.g)
     accumulated = np.empty_like(fields)
     for k in range(N_FIELDS):
         accumulated[..., k] = box_sum(fields[..., k], config.n_zt)
@@ -264,6 +348,10 @@ def track_dense(
     ridge: float = 1e-9,
     engine: str = "batched",
     batch_bytes: int = DEFAULT_BATCH_BYTES,
+    search: str = "exhaustive",
+    ledger=None,
+    pyramid_levels: int = 1,
+    pyramid_refine: int = 1,
 ) -> DenseMatchResult:
     """Estimate the dense motion field: all pixels, all hypotheses.
 
@@ -279,14 +367,36 @@ def track_dense(
     ``batch_bytes`` caps the live hypothesis-stack memory of the
     batched engine; the search window is chunked when it would exceed
     the cap, which changes speed, never results.
+
+    ``search`` selects the hypothesis schedule (module docstring):
+    ``"exhaustive"``, ``"pruned"`` (bit-identical, fewer GE solves) or
+    ``"pyramid"`` (approximate coarse-to-fine, continuous model only,
+    with ``pyramid_levels`` decimations and a ``pyramid_refine``
+    half-width fine window).  ``ledger`` optionally receives the GE
+    solves actually performed, charged under ``"Hypothesis matching"``
+    -- the observable proof of the pruned schedule's saving.
     """
-    if engine == "serial":
-        with TRACER.span("hypothesis_search", engine="serial"):
-            return _track_dense_serial(prepared, ridge)
-    if engine != "batched":
+    if search not in SEARCH_MODES:
+        raise ValueError(
+            f"unknown search mode {search!r} (choose from {', '.join(SEARCH_MODES)})"
+        )
+    if engine not in ("batched", "serial"):
         raise ValueError(f"unknown engine {engine!r} (choose 'batched' or 'serial')")
-    with TRACER.span("hypothesis_search", engine="batched"):
-        return _track_dense_batched(prepared, ridge, batch_bytes)
+    with TRACER.span("hypothesis_search", engine=engine, search=search):
+        if search == "pruned":
+            result = _track_dense_pruned(prepared, ridge)
+        elif search == "pyramid":
+            result = _track_dense_pyramid(
+                prepared, ridge, batch_bytes, pyramid_levels, pyramid_refine
+            )
+        elif engine == "serial":
+            result = _track_dense_serial(prepared, ridge)
+        else:
+            result = _track_dense_batched(prepared, ridge, batch_bytes)
+    if ledger is not None:
+        with ledger.phase(PHASE_MATCHING):
+            ledger.charge_gaussian_elimination(result.ge_solves, order=6)
+    return result
 
 
 def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchResult:
@@ -332,6 +442,7 @@ def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
         error=best_error,
         valid=valid_mask(shape, config),
         hypotheses_evaluated=len(order),
+        ge_solves=shape[0] * shape[1] * len(order),
     )
 
 
@@ -347,9 +458,15 @@ def _box_sum_stack(fields: np.ndarray, half_width: int) -> np.ndarray:
     if half_width == 0:
         return fields.astype(np.float64, copy=True)
     side = 2 * half_width + 1
-    return ndimage.uniform_filter(
-        fields.astype(np.float64), size=(1, side, side, 1), mode="constant", cval=0.0
+    # Filter a channels-first copy: scipy's 1-d kernel walks each image
+    # line with the identical running-sum arithmetic regardless of
+    # memory layout (same axis order: rows then columns), so the result
+    # is bit-for-bit the same while the inner loop becomes contiguous.
+    stacked = np.ascontiguousarray(np.moveaxis(fields.astype(np.float64), 3, 1))
+    summed = ndimage.uniform_filter(
+        stacked, size=(1, 1, side, side), mode="constant", cval=0.0
     ) * float(side * side)
+    return np.ascontiguousarray(np.moveaxis(summed, 1, 3))
 
 
 def _track_dense_batched(
@@ -434,6 +551,334 @@ def _track_dense_batched(
         error=best_error,
         valid=valid_mask(shape, config),
         hypotheses_evaluated=len(order),
+        ge_solves=shape[0] * shape[1] * len(order),
+    )
+
+
+class _CertificateGrid:
+    """Sub-template certificate geometry for the pruned schedule.
+
+    One certificate window of half-width ``m = n_zt - 1`` per
+    ``CERT_STRIDE x CERT_STRIDE`` block, with all windows fully inside
+    the image.  Every pixel maps to its nearest grid center (Chebyshev
+    distance <= ``n_zt - m``), so the certificate window is a subset of
+    that pixel's own template window and its minimized error is a
+    sound lower bound; pixels beyond the last grid row/column get a
+    bound of zero (never pruned).
+    """
+
+    def __init__(self, shape: tuple[int, int], n_zt: int, m: int) -> None:
+        h, w = shape
+        self.m = m
+        self.gy = np.arange(m, h - m, CERT_STRIDE)
+        self.gx = np.arange(m, w - m, CERT_STRIDE)
+        iy = np.clip(
+            np.round((np.arange(h) - m) / CERT_STRIDE).astype(np.intp),
+            0, self.gy.size - 1,
+        )
+        ix = np.clip(
+            np.round((np.arange(w) - m) / CERT_STRIDE).astype(np.intp),
+            0, self.gx.size - 1,
+        )
+        self.pixel_to_grid = np.ix_(iy, ix)
+        tol = n_zt - m
+        cy = m + CERT_STRIDE * iy
+        cx = m + CERT_STRIDE * ix
+        self.in_range = (
+            (np.abs(np.arange(h) - cy) <= tol)[:, None]
+            & (np.abs(np.arange(w) - cx) <= tol)[None, :]
+        )
+
+    @classmethod
+    def build(cls, shape: tuple[int, int], n_zt: int) -> "_CertificateGrid | None":
+        """A usable grid, or None when certificates cannot discriminate.
+
+        ``m = n_zt - 1`` needs at least two template rows to leave a
+        certificate window that overdetermines the six parameters; a
+        ``m < 2`` window (<= 18 residuals) prunes next to nothing, so
+        tiny templates simply fall back to the exhaustive engine.
+        """
+        m = n_zt - 1
+        if m < 2:
+            return None
+        grid = cls(shape, n_zt, m)
+        if grid.gy.size == 0 or grid.gx.size == 0:
+            return None
+        return grid
+
+    @property
+    def systems(self) -> int:
+        """Certificate solves per hypothesis (one per grid point)."""
+        return self.gy.size * self.gx.size
+
+    def _window_sums(self, arr: np.ndarray, axis: int, grid_size: int) -> np.ndarray:
+        """Sum ``arr`` over every certificate window along ``axis``.
+
+        Windows are ``2m + 1`` wide and start every ``CERT_STRIDE``
+        elements, so whole stride-width bins can be pre-summed once with
+        one contiguous reshape-sum; each window is then ``side // stride``
+        contiguous bin adds plus at most ``stride - 1`` strided adds for
+        the leftover columns, instead of ``side`` strided adds.  The
+        grouping changes the floating-point summation order, which only
+        perturbs the *bound* within the certificate slack -- the field
+        itself never flows through this path.
+        """
+        stride = CERT_STRIDE
+        side = 2 * self.m + 1
+        whole, rest = divmod(side, stride)
+        n_bins = grid_size - 1 + whole
+
+        index: list = [slice(None)] * arr.ndim
+        index[axis] = slice(0, stride * n_bins)
+        shape = list(arr.shape)
+        shape[axis : axis + 1] = [n_bins, stride]
+        bins = arr[tuple(index)].reshape(shape).sum(axis=axis + 1)
+
+        def bin_run(start: int) -> np.ndarray:
+            ix: list = [slice(None)] * bins.ndim
+            ix[axis] = slice(start, start + grid_size)
+            return bins[tuple(ix)]
+
+        out = bin_run(0).copy()
+        for j in range(1, whole):
+            out += bin_run(j)
+        for k in range(rest):
+            ix = [slice(None)] * arr.ndim
+            first = stride * whole + k
+            ix[axis] = slice(first, first + stride * (grid_size - 1) + 1, stride)
+            out += arr[tuple(ix)]
+        return out
+
+    def lower_bounds(self, pw: np.ndarray, ridge: float):
+        """Per-pixel error lower bound + fp slack for one hypothesis.
+
+        ``pw`` is the ``(H, W, 28)`` pointwise field of the hypothesis.
+        Returns ``(lb, slack)`` with shapes ``(H, W)``.
+        """
+        tmp = self._window_sums(pw, 1, self.gx.size)
+        acc = self._window_sums(tmp, 0, self.gy.size)
+        solution = solve_accumulated(acc, ridge=ridge)
+        # A singular certificate system reports E(0) = c, which is NOT a
+        # lower bound on the minimum; bound zero keeps the pixel honest.
+        lb_grid = np.where(solution.singular, 0.0, solution.error)
+        lb = np.where(self.in_range, lb_grid[self.pixel_to_grid], 0.0)
+        slack = (
+            CERT_SLACK_REL * np.abs(acc[..., N_FIELDS - 1][self.pixel_to_grid])
+            + CERT_SLACK_ABS
+        )
+        return lb, slack
+
+
+def _track_dense_pruned(prepared: PreparedFrames, ridge: float) -> DenseMatchResult:
+    """Certificate-grid pruning: bit-identical to exhaustive, fewer solves.
+
+    Soundness of the skip: a hypothesis is pruned for a pixel only when
+    ``lb - slack > best_error`` strictly, where ``lb`` underestimates
+    the hypothesis' true (ridge-regularized, clamped) template error.
+    A pruned hypothesis therefore could neither have won the strict
+    ``error < best`` update nor produced an exact tie, so the merged
+    ``u``, ``v``, ``params`` and ``error`` match the exhaustive
+    schedule byte for byte.  The first hypothesis never prunes
+    (``best = inf``), so every pixel always receives a finite best.
+    """
+    config = prepared.config
+    geo_b = prepared.geo_before
+    shape = geo_b.shape
+    semifluid = prepared.volume is not None and config.n_ss > 0
+    shifted_after = None
+    if semifluid:
+        shifted_after = _shifted_geometry_stack(prepared.geo_after, prepared.volume)
+
+    grid = _CertificateGrid.build(shape, config.n_zt)
+    if grid is None:
+        # Template too small for useful certificates: exhaustive IS the
+        # pruned result (the contract is bit-identity either way).
+        return _track_dense_batched(prepared, ridge, DEFAULT_BATCH_BYTES)
+
+    best_error = np.full(shape, np.inf)
+    best_u = np.zeros(shape, dtype=np.float64)
+    best_v = np.zeros(shape, dtype=np.float64)
+    best_params = np.zeros(shape + (6,), dtype=np.float64)
+    flat_error = best_error.ravel()
+    flat_u = best_u.ravel()
+    flat_v = best_v.ravel()
+    flat_params = best_params.reshape(-1, 6)
+
+    order = hypothesis_order(config.n_zs)
+    pixels = shape[0] * shape[1]
+    cert_solves = 0
+    survivor_solves = 0
+    pruned = 0
+    have_best = False
+    METRICS.inc("hypotheses.evaluated", len(order))
+
+    for hyp_dy, hyp_dx in order:
+        deltas = None
+        if semifluid:
+            deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
+        pw = _hypothesis_pointwise(prepared, hyp_dy, hyp_dx, shifted_after, deltas)
+        if have_best:
+            lb, slack = grid.lower_bounds(pw, ridge)
+            cert_solves += grid.systems
+            survivors = np.flatnonzero(~((lb - slack) > best_error).ravel())
+            pruned += pixels - survivors.size
+        else:
+            # Nothing can prune against best = inf, so the first
+            # hypothesis skips the certificate pass entirely.
+            survivors = np.arange(pixels)
+        if survivors.size == 0:
+            continue
+        # Full-image box sum on purpose: scipy's separable uniform
+        # filter is a running sum whose rounding depends on the distance
+        # from the array origin, so cropping to the survivor bounding
+        # box would change bits relative to the exhaustive engine.
+        accumulated = _box_sum_stack(pw[None], config.n_zt)[0]
+        solution = solve_accumulated(
+            accumulated.reshape(-1, N_FIELDS)[survivors], ridge=ridge
+        )
+        survivor_solves += survivors.size
+        have_best = True
+        better = solution.error < flat_error[survivors]
+        winners = survivors[better]
+        if winners.size:
+            flat_error[winners] = solution.error[better]
+            flat_params[winners] = solution.params[better]
+            if semifluid:
+                flat_u[winners] = deltas[1].ravel()[winners].astype(np.float64)
+                flat_v[winners] = deltas[0].ravel()[winners].astype(np.float64)
+            else:
+                flat_u[winners] = float(hyp_dx)
+                flat_v[winners] = float(hyp_dy)
+
+    METRICS.inc("search.hypotheses.pruned", pruned)
+    METRICS.inc("search.ge_solves.performed", cert_solves + survivor_solves)
+    METRICS.inc("search.ge_solves.saved", pixels * len(order) - survivor_solves)
+    METRICS.inc("search.certificate_solves", cert_solves)
+    return DenseMatchResult(
+        u=best_u,
+        v=best_v,
+        params=best_params,
+        error=best_error,
+        valid=valid_mask(shape, config),
+        hypotheses_evaluated=len(order),
+        ge_solves=cert_solves + survivor_solves,
+        hypotheses_pruned=pruned,
+    )
+
+
+def _track_dense_pyramid(
+    prepared: PreparedFrames,
+    ridge: float,
+    batch_bytes: int,
+    levels: int,
+    refine: int,
+) -> DenseMatchResult:
+    """Coarse-to-fine guided search (approximate, continuous model only)."""
+    from ..stereo.pyramid import downsample, upsample_flow
+
+    config = prepared.config
+    if prepared.volume is not None and config.n_ss > 0:
+        raise ValueError(
+            "search='pyramid' supports the continuous model only: the "
+            "semi-fluid score volume is resolution-specific and cannot "
+            "be decimated (use search='pruned' for an exact speedup)"
+        )
+    if prepared.z_before is None or prepared.z_after is None:
+        raise ValueError(
+            "search='pyramid' needs PreparedFrames built by prepare_frames "
+            "(the raw surfaces are required to build the coarse levels)"
+        )
+    if levels < 1:
+        raise ValueError("pyramid_levels must be >= 1")
+    if refine < 0:
+        raise ValueError("pyramid_refine must be >= 0")
+    shape = prepared.geo_before.shape
+
+    # Decimate while the coarse level can still track anything: each
+    # level halves the surfaces and (conservatively) the search radius.
+    z_b, z_a = prepared.z_before, prepared.z_after
+    coarse_zs = config.n_zs
+    used_levels = 0
+    for _ in range(levels):
+        if min(z_b.shape) < 4:
+            break
+        next_zs = max(1, -(-coarse_zs // 2))
+        next_b = downsample(z_b)
+        if min(next_b.shape) <= 2 * config.replace(n_zs=next_zs).margin() + 1:
+            break
+        z_b, z_a = next_b, downsample(z_a)
+        coarse_zs = next_zs
+        used_levels += 1
+    if used_levels == 0:
+        # Image too small for any coarse level: the guided search IS the
+        # exhaustive search.
+        return _track_dense_batched(prepared, ridge, batch_bytes)
+
+    coarse_config = config.replace(n_zs=coarse_zs)
+    with TRACER.span(
+        "pyramid_level",
+        level=used_levels,
+        height=z_b.shape[0],
+        width=z_b.shape[1],
+        n_zs=coarse_zs,
+    ):
+        coarse_prep = prepare_frames(z_b, z_a, coarse_config)
+        coarse = _track_dense_batched(coarse_prep, ridge, batch_bytes)
+    u_up, v_up = upsample_flow(coarse.u, coarse.v, shape)
+    center_x = np.clip(np.rint(u_up), -config.n_zs, config.n_zs).astype(np.int64)
+    center_y = np.clip(np.rint(v_up), -config.n_zs, config.n_zs).astype(np.int64)
+
+    best_error = np.full(shape, np.inf)
+    best_u = np.zeros(shape, dtype=np.float64)
+    best_v = np.zeros(shape, dtype=np.float64)
+    best_params = np.zeros(shape + (6,), dtype=np.float64)
+    flat_error = best_error.ravel()
+    flat_u = best_u.ravel()
+    flat_v = best_v.ravel()
+    flat_params = best_params.reshape(-1, 6)
+
+    offsets_visited = 0
+    fine_solves = 0
+    fine_span = TRACER.span(
+        "pyramid_level", level=0, height=shape[0], width=shape[1], refine=refine
+    )
+    fine_span.__enter__()
+    try:
+        for hyp_dy, hyp_dx in hypothesis_order(config.n_zs):
+            mask = (np.abs(hyp_dy - center_y) <= refine) & (
+                np.abs(hyp_dx - center_x) <= refine
+            )
+            if not mask.any():
+                continue
+            offsets_visited += 1
+            pw = _hypothesis_pointwise(prepared, hyp_dy, hyp_dx)
+            accumulated = _box_sum_stack(pw[None], config.n_zt)[0]
+            wanted = np.flatnonzero(mask.ravel())
+            solution = solve_accumulated(
+                accumulated.reshape(-1, N_FIELDS)[wanted], ridge=ridge
+            )
+            fine_solves += wanted.size
+            better = solution.error < flat_error[wanted]
+            winners = wanted[better]
+            if winners.size:
+                flat_error[winners] = solution.error[better]
+                flat_params[winners] = solution.params[better]
+                flat_u[winners] = float(hyp_dx)
+                flat_v[winners] = float(hyp_dy)
+    finally:
+        fine_span.__exit__(None, None, None)
+
+    METRICS.inc("pyramid.levels", used_levels)
+    METRICS.inc("pyramid.fine_offsets.visited", offsets_visited)
+    METRICS.inc("pyramid.fine_solves", fine_solves)
+    return DenseMatchResult(
+        u=best_u,
+        v=best_v,
+        params=best_params,
+        error=best_error,
+        valid=valid_mask(shape, config),
+        hypotheses_evaluated=offsets_visited,
+        ge_solves=coarse.ge_solves + fine_solves,
     )
 
 

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..params import NeighborhoodConfig
 from .field import MotionField
-from .matching import PreparedFrames, prepare_frames, track_dense, valid_mask
+from .matching import SEARCH_MODES, PreparedFrames, prepare_frames, track_dense, valid_mask
 from .prep import FramePreparationCache
 
 
@@ -101,6 +101,12 @@ class SMAnalyzer:
     ridge:
         Stabilizer for the 6x6 normal equations (0 for the strict
         formulation).
+    search:
+        Hypothesis schedule forwarded to
+        :func:`repro.core.matching.track_dense` -- ``"exhaustive"``
+        (default), ``"pruned"`` (bit-identical results, fewer GE
+        solves) or ``"pyramid"`` (approximate coarse-to-fine,
+        continuous model only).
     """
 
     def __init__(
@@ -108,12 +114,18 @@ class SMAnalyzer:
         config: NeighborhoodConfig,
         pixel_km: float = 1.0,
         ridge: float = 1e-9,
+        search: str = "exhaustive",
     ) -> None:
         if pixel_km <= 0:
             raise ValueError("pixel_km must be positive")
+        if search not in SEARCH_MODES:
+            raise ValueError(
+                f"unknown search mode {search!r} (choose from {', '.join(SEARCH_MODES)})"
+            )
         self.config = config
         self.pixel_km = pixel_km
         self.ridge = ridge
+        self.search = search
 
     # -- single pair ---------------------------------------------------------------
 
@@ -180,11 +192,12 @@ class SMAnalyzer:
                     stacklevel=2,
                 )
         prepared = self.prepare(before, after, cache=cache)
-        result = track_dense(prepared, ridge=self.ridge)
+        result = track_dense(prepared, ridge=self.ridge, search=self.search)
         metadata = {
             "model": "semi-fluid" if self.config.is_semifluid else "continuous",
             "config": self.config.name,
             "hypotheses": result.hypotheses_evaluated,
+            "search": self.search,
         }
         if substituted_dt is not None:
             metadata["dt_substituted"] = True

@@ -40,12 +40,20 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def _init_pair_worker(config, pixel_km: float, ridge: float, tracing: bool = False) -> None:
+def _init_pair_worker(
+    config,
+    pixel_km: float,
+    ridge: float,
+    tracing: bool = False,
+    search: str = "exhaustive",
+) -> None:
     from ..core.prep import FramePreparationCache
     from ..core.sma import SMAnalyzer
 
     worker_init(tracing)
-    _WORKER_STATE["analyzer"] = SMAnalyzer(config, pixel_km=pixel_km, ridge=ridge)
+    _WORKER_STATE["analyzer"] = SMAnalyzer(
+        config, pixel_km=pixel_km, ridge=ridge, search=search
+    )
     _WORKER_STATE["cache"] = FramePreparationCache(max_frames=4)
 
 
@@ -74,7 +82,13 @@ def track_pairs_in_pool(
     with ctx.Pool(
         processes=min(workers, len(tasks)),
         initializer=_init_pair_worker,
-        initargs=(analyzer.config, analyzer.pixel_km, analyzer.ridge, TRACER.enabled),
+        initargs=(
+            analyzer.config,
+            analyzer.pixel_km,
+            analyzer.ridge,
+            TRACER.enabled,
+            analyzer.search,
+        ),
     ) as pool:
         for index, field, payload in pool.imap_unordered(_track_pair_task, tasks):
             results[index] = field
@@ -82,12 +96,16 @@ def track_pairs_in_pool(
     return results
 
 
-def _init_ladder_worker(config, hs_iterations: int, tracing: bool = False) -> None:
+def _init_ladder_worker(
+    config, hs_iterations: int, tracing: bool = False, search: str = "exhaustive"
+) -> None:
     from ..core.prep import FramePreparationCache
     from ..reliability.degrade import DegradationLadder
 
     worker_init(tracing)
-    _WORKER_STATE["ladder"] = DegradationLadder(config, hs_iterations=hs_iterations)
+    _WORKER_STATE["ladder"] = DegradationLadder(
+        config, hs_iterations=hs_iterations, search=search
+    )
     _WORKER_STATE["prep_cache"] = FramePreparationCache(max_frames=4)
 
 
@@ -121,11 +139,13 @@ class LadderPool:
     the sequential path.
     """
 
-    def __init__(self, config, hs_iterations: int, workers: int) -> None:
+    def __init__(
+        self, config, hs_iterations: int, workers: int, search: str = "exhaustive"
+    ) -> None:
         self._pool = _pool_context().Pool(
             processes=workers,
             initializer=_init_ladder_worker,
-            initargs=(config, hs_iterations, TRACER.enabled),
+            initargs=(config, hs_iterations, TRACER.enabled, search),
         )
 
     def submit(self, task: tuple):

@@ -32,10 +32,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.continuous import solve_accumulated
+from ..core.continuous import N_FIELDS, solve_accumulated
 from ..core.field import MotionField
 from ..core.matching import (
     PreparedFrames,
+    _box_sum_stack,
+    _CertificateGrid,
+    _hypothesis_pointwise,
     _shifted_geometry_stack,
     hypothesis_fields,
     prepare_frames,
@@ -127,6 +130,12 @@ class ParallelSMA:
         Template-mapping segment size Z; ``None`` selects the largest
         feasible value (the unsegmented search when memory allows, as
         in the paper's Table 2 run).
+    search:
+        ``"exhaustive"`` (default) or ``"pruned"`` (certificate-bound
+        pruning; bit-identical field, fewer GE charges on the ledger).
+        ``"pyramid"`` is deliberately rejected here: the simulated
+        machine promises products identical to the sequential
+        reference, and the pyramid schedule is approximate.
     """
 
     def __init__(
@@ -137,13 +146,21 @@ class ParallelSMA:
         segment_rows: int | None = None,
         pixel_km: float = 1.0,
         ridge: float = 1e-9,
+        search: str = "exhaustive",
     ) -> None:
+        if search not in ("exhaustive", "pruned"):
+            raise ValueError(
+                f"ParallelSMA supports search='exhaustive' or 'pruned', got {search!r} "
+                "(the parallel run must stay bit-identical to the reference; "
+                "the approximate pyramid schedule is track_dense-only)"
+            )
         self.config = config
         self.machine = machine
         self.readout = readout if readout is not None else DEFAULT_READOUT
         self.segment_rows = segment_rows
         self.pixel_km = pixel_km
         self.ridge = ridge
+        self.search = search
 
     # -- internal helpers ------------------------------------------------------------
 
@@ -189,7 +206,12 @@ class ParallelSMA:
             comparisons = pixels * c.precompute_window**2 * c.semifluid_patch_terms
             ledger.charge_flops(comparisons * FLOPS_PER_COMPARISON)
 
-    def _charge_hypothesis(self, ledger: CostLedger, mapping: HierarchicalMapping) -> None:
+    def _charge_hypothesis(
+        self,
+        ledger: CostLedger,
+        mapping: HierarchicalMapping,
+        solves: int | None = None,
+    ) -> None:
         c = self.config
         pixels = mapping.height * mapping.width
         stats = self.readout.stats(mapping, c.n_zt)
@@ -198,7 +220,12 @@ class ParallelSMA:
             ledger.charge_xnet(stats.mesh_bytes, shifts=stats.mesh_shifts)
             ledger.charge_memory(stats.mem_bytes)
             ledger.charge_flops(pixels * c.template_pixels * FLOPS_PER_ERROR_TERM)
-            ledger.charge_gaussian_elimination(pixels, order=6)
+            # One solve per pixel on the exhaustive schedule; the pruned
+            # schedule passes the certificate + survivor count actually
+            # performed -- the ledger is how the saving is observed.
+            ledger.charge_gaussian_elimination(
+                pixels if solves is None else solves, order=6
+            )
 
     # -- the run ----------------------------------------------------------------------
 
@@ -299,23 +326,64 @@ class ParallelSMA:
             self._charge_semifluid(ledger, mapping)
             shifted_after = _shifted_geometry_stack(prepared.geo_after, prepared.volume)
 
-        # Phase 4: segmented hypothesis matching.
+        # Phase 4: segmented hypothesis matching.  The pruned schedule
+        # keeps its own running best (the elementwise minimum of every
+        # error surface handed to the segmented merge, i.e. exactly the
+        # evolution of the merge state): a hypothesis whose certificate
+        # bound provably exceeds it returns +inf for that pixel, which
+        # the strict-less/tie merge can never select -- so the produced
+        # field stays bit-identical while the ledger records only the
+        # certificate + survivor eliminations actually performed.
+        cert_grid = None
+        running_best = None
+        if self.search == "pruned":
+            cert_grid = _CertificateGrid.build(shape, self.config.n_zt)
+            running_best = np.full(shape, np.inf)
+
         def evaluate(dy: int, dx: int):
-            self._charge_hypothesis(ledger, mapping)
             deltas = None
             if prepared.volume is not None and self.config.n_ss > 0:
                 deltas = semifluid_displacements(
                     prepared.volume, dy, dx, self.config.n_ss
                 )
-            fields = hypothesis_fields(prepared, dy, dx, shifted_after, deltas)
-            solution = solve_accumulated(fields, ridge=self.ridge)
+            if cert_grid is not None:
+                pw = _hypothesis_pointwise(prepared, dy, dx, shifted_after, deltas)
+                if np.isfinite(running_best).any():
+                    lb, slack = cert_grid.lower_bounds(pw, self.ridge)
+                    cert_solves = cert_grid.systems
+                    survivors = np.flatnonzero(
+                        ~((lb - slack) > running_best).ravel()
+                    )
+                else:
+                    # nothing can prune against best = inf: skip the
+                    # certificate pass for the first hypothesis
+                    cert_solves = 0
+                    survivors = np.arange(shape[0] * shape[1])
+                error = np.full(shape, np.inf)
+                params = np.zeros(shape + (6,), dtype=np.float64)
+                if survivors.size:
+                    accumulated = _box_sum_stack(pw[None], self.config.n_zt)[0]
+                    solution = solve_accumulated(
+                        accumulated.reshape(-1, N_FIELDS)[survivors], ridge=self.ridge
+                    )
+                    error.ravel()[survivors] = solution.error
+                    params.reshape(-1, 6)[survivors] = solution.params
+                np.minimum(running_best, error, out=running_best)
+                self._charge_hypothesis(
+                    ledger, mapping, solves=cert_solves + int(survivors.size)
+                )
+            else:
+                self._charge_hypothesis(ledger, mapping)
+                fields = hypothesis_fields(prepared, dy, dx, shifted_after, deltas)
+                solution = solve_accumulated(fields, ridge=self.ridge)
+                error, params = solution.error, solution.params
             if deltas is not None:
                 u_field = deltas[1].astype(np.float64)
                 v_field = deltas[0].astype(np.float64)
             else:
                 u_field = np.full(shape, float(dx))
                 v_field = np.full(shape, float(dy))
-            return solution.error, solution.params, u_field, v_field
+            return error, params, u_field, v_field
 
         search = SegmentedSearch(
             self.config, evaluate, memory=memory, layers=mapping.layers
@@ -330,6 +398,7 @@ class ParallelSMA:
             "config": self.config.name,
             "machine": f"{machine.nyproc}x{machine.nxproc}",
             "segment_rows": segment_rows,
+            "search": self.search,
         }
         if substituted_dt is not None:
             metadata["dt_substituted"] = True

@@ -77,6 +77,9 @@ class DegradationLadder:
         Neighborhood configuration of the run.
     hs_iterations / hs_alpha / hs_tolerance:
         Horn-Schunck fallback parameters (rung 2).
+    search:
+        Hypothesis schedule for the SMA rungs: ``"exhaustive"`` or
+        ``"pruned"`` (bit-identical results, fewer GE charges).
     """
 
     def __init__(
@@ -85,11 +88,18 @@ class DegradationLadder:
         hs_iterations: int = 60,
         hs_alpha: float = 1.0,
         hs_tolerance: float = 1e-4,
+        search: str = "exhaustive",
     ) -> None:
+        if search not in ("exhaustive", "pruned"):
+            raise ValueError(
+                f"DegradationLadder supports search='exhaustive' or 'pruned', "
+                f"got {search!r} (streamed products must stay bit-identical)"
+            )
         self.config = config
         self.hs_iterations = hs_iterations
         self.hs_alpha = hs_alpha
         self.hs_tolerance = hs_tolerance
+        self.search = search
 
     # -- rungs ----------------------------------------------------------------------
 
@@ -106,7 +116,12 @@ class DegradationLadder:
         prep_cache=None,
         fit_images: int | None = None,
     ) -> RungResult:
-        driver = ParallelSMA(self.config, machine=machine, segment_rows=segment_rows)
+        driver = ParallelSMA(
+            self.config,
+            machine=machine,
+            segment_rows=segment_rows,
+            search=self.search,
+        )
         result = driver.track_pair(
             Frame(before, intensity=intensity_before),
             Frame(after, intensity=intensity_after),

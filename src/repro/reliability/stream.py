@@ -104,6 +104,7 @@ class StreamingRunner:
         hs_iterations: int = 60,
         pixel_km: float = 1.0,
         workers: int | None = None,
+        search: str = "exhaustive",
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
@@ -119,7 +120,10 @@ class StreamingRunner:
         self.checkpoint_path = checkpoint_path
         self.pixel_km = pixel_km
         self.workers = workers
-        self.ladder = DegradationLadder(config, hs_iterations=hs_iterations)
+        self.search = search
+        self.ladder = DegradationLadder(
+            config, hs_iterations=hs_iterations, search=search
+        )
 
     # -- helpers --------------------------------------------------------------------
 
@@ -127,7 +131,14 @@ class StreamingRunner:
         plan_digest = self.fault_plan.fingerprint() if self.fault_plan else "no-faults"
         c = self.config
         params = f"w{c.n_w}zs{c.n_zs}zt{c.n_zt}ss{c.n_ss}st{c.n_st}"
-        return f"{c.name}:{params}|{shape[0]}x{shape[1]}|{n_pairs}|{plan_digest}"
+        base = f"{c.name}:{params}|{shape[0]}x{shape[1]}|{n_pairs}|{plan_digest}"
+        # The default schedule keeps the historical fingerprint so
+        # pre-existing checkpoints still resume; pruned produces
+        # bit-identical fields, but a checkpoint's ledger/GE counts are
+        # schedule-dependent, so the modes must not share checkpoints.
+        if self.search != "exhaustive":
+            base += f"|search={self.search}"
+        return base
 
     def _checkpoint_file(self) -> str | None:
         if self.checkpoint_path is None:
@@ -341,7 +352,9 @@ class StreamingRunner:
 
         processed = 0
         n_procs = min(self.workers, max(1, n_pairs - state.pairs_done))
-        with LadderPool(self.config, self.ladder.hs_iterations, n_procs) as pool:
+        with LadderPool(
+            self.config, self.ladder.hs_iterations, n_procs, search=self.search
+        ) as pool:
             pair = state.pairs_done
             while pair < n_pairs:
                 remaining = n_pairs - pair

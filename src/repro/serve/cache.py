@@ -41,6 +41,7 @@ def result_key(
     config: NeighborhoodConfig,
     pixel_km: float,
     kind: str = "pair",
+    search: str = "exhaustive",
 ) -> str:
     """Content address of one product: frame fingerprints + SMA params.
 
@@ -48,13 +49,18 @@ def result_key(
     fit half-width ``n_w``; the remaining dimensions of the product --
     the search/template neighborhoods, the semi-fluid windows, the
     frame timestamps (they set dt, hence wind speeds), the ground
-    sample distance and the product kind -- are digested alongside.
+    sample distance, the product kind and the hypothesis schedule --
+    are digested alongside.  The schedule token is part of the key even
+    though ``"pruned"`` fields are bit-identical to ``"exhaustive"``:
+    the artifact's metadata records how it was produced, and keeping
+    the modes separate means a cached product never misreports its
+    provenance (the cost is one cold recomputation per mode).
     """
     h = hashlib.blake2b(digest_size=20)
     c = config
     h.update(
         f"kind={kind};cfg={c.name};zs={c.n_zs};zt={c.n_zt};"
-        f"ss={c.n_ss};st={c.n_st};pixel_km={pixel_km!r};".encode()
+        f"ss={c.n_ss};st={c.n_st};pixel_km={pixel_km!r};search={search};".encode()
     )
     for frame in frames:
         h.update(frame_fingerprint(frame.surface, frame.intensity, config).encode())

@@ -40,7 +40,13 @@ from ..maspar.machine import GODDARD_MP2
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import METRICS
 from .cache import ResultCache
-from .jobs import Job, JobRequest, JobValidationError, ServeLimits
+from .jobs import (
+    SERVABLE_SEARCH_MODES,
+    Job,
+    JobRequest,
+    JobValidationError,
+    ServeLimits,
+)
 from .queue import JobQueue, QueueFullError
 from .workers import WorkerPool
 
@@ -66,12 +72,19 @@ class ServeApp:
         cache_bytes: int = 256 * 1024 * 1024,
         limits: ServeLimits | None = None,
         hs_iterations: int = 60,
+        search_mode: str = "exhaustive",
     ) -> None:
+        if search_mode not in SERVABLE_SEARCH_MODES:
+            raise ValueError(
+                f"unknown search_mode {search_mode!r} "
+                f"(choose from {', '.join(SERVABLE_SEARCH_MODES)})"
+            )
         os.makedirs(state_dir, exist_ok=True)
         self.state_dir = state_dir
         self.limits = limits or ServeLimits()
         self.pool_workers = pool_workers
         self.hs_iterations = hs_iterations
+        self.search_mode = search_mode
         self.queue = JobQueue(
             max_depth=queue_depth,
             state_path=os.path.join(state_dir, "queue.json"),
@@ -142,6 +155,10 @@ class ServeApp:
         priority = payload.get("priority", 0) if isinstance(payload, dict) else 0
         if not isinstance(priority, int):
             raise JobValidationError("priority must be an integer")
+        # The server's configured schedule is a default, not an override:
+        # a payload naming its own search_mode wins (and is validated).
+        if isinstance(payload, dict) and "search_mode" not in payload:
+            payload = {**payload, "search_mode": self.search_mode}
         request = JobRequest.from_payload(payload, limits=self.limits)
         return self.queue.submit(request, priority=priority)
 

@@ -32,6 +32,10 @@ _FAULT_KEYS = frozenset({"inject_faults", "fault_seed", "faults", "fault_plan"})
 #: Job lifecycle states.
 JOB_STATES = ("pending", "running", "done", "failed")
 
+#: Hypothesis schedules a served job may request.  Pyramid is refused:
+#: served products promise bit-identity with the reference pipeline.
+SERVABLE_SEARCH_MODES = ("exhaustive", "pruned")
+
 
 class JobValidationError(ValueError):
     """A request the admission boundary refuses to queue."""
@@ -63,6 +67,7 @@ class JobRequest:
     search: int = 2
     template: int = 3
     kind: str = "pair"
+    search_mode: str = "exhaustive"
 
     def __post_init__(self) -> None:
         if self.dataset not in SERVABLE_DATASETS:
@@ -73,6 +78,12 @@ class JobRequest:
         if self.kind not in JOB_KINDS:
             raise JobValidationError(
                 f"unknown job kind {self.kind!r} (choose from {', '.join(JOB_KINDS)})"
+            )
+        if self.search_mode not in SERVABLE_SEARCH_MODES:
+            raise JobValidationError(
+                f"unknown search_mode {self.search_mode!r} "
+                f"(choose from {', '.join(SERVABLE_SEARCH_MODES)}; the approximate "
+                "pyramid schedule is not servable)"
             )
         for name in ("size", "frames", "seed", "pair", "search", "template"):
             if not isinstance(getattr(self, name), int):

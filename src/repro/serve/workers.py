@@ -138,7 +138,13 @@ class WorkerPool:
                 frames = dataset.frames[request.pair : request.pair + 2]
             else:
                 frames = list(dataset.frames)
-            key = result_key(frames, config, dataset.pixel_km, kind=request.kind)
+            key = result_key(
+                frames,
+                config,
+                dataset.pixel_km,
+                kind=request.kind,
+                search=request.search_mode,
+            )
 
             cached = self.app.cache.get(key)
             if cached is not None:
@@ -151,9 +157,13 @@ class WorkerPool:
                 return
 
             if request.kind == "pair":
-                field, rung = self._compute_pair(frames, config, dataset.pixel_km)
+                field, rung = self._compute_pair(
+                    frames, config, dataset.pixel_km, request.search_mode
+                )
             else:
-                field, rung = self._compute_sequence(frames, config, dataset.pixel_km)
+                field, rung = self._compute_sequence(
+                    frames, config, dataset.pixel_km, request.search_mode
+                )
             self.app.cache.put(key, field)
             self.app.publish_ledger_gauges()
             self.app.queue.complete(
@@ -163,7 +173,9 @@ class WorkerPool:
             METRICS.inc("serve.jobs.completed")
             log_event(_LOG, logging.INFO, "serve.computed", job=job.id, key=key)
 
-    def _compute_pair(self, frames, config, pixel_km) -> tuple[MotionField, int]:
+    def _compute_pair(
+        self, frames, config, pixel_km, search_mode: str = "exhaustive"
+    ) -> tuple[MotionField, int]:
         """One frame pair under the degradation ladder (bit-identical to
         ``track_dense`` on the healthy rung 0)."""
         before, after = frames
@@ -174,7 +186,9 @@ class WorkerPool:
         dt = after.time_seconds - before.time_seconds
         if dt <= 0:
             dt = 1.0
-        ladder = DegradationLadder(config, hs_iterations=self.app.hs_iterations)
+        ladder = DegradationLadder(
+            config, hs_iterations=self.app.hs_iterations, search=search_mode
+        )
         result, steps = ladder.track_pair(
             before.surface,
             after.surface,
@@ -200,13 +214,16 @@ class WorkerPool:
                 "model": "semi-fluid" if config.is_semifluid else "continuous",
                 "config": config.name,
                 "rung": result.rung,
+                "search": search_mode,
             },
         )
         return field, result.rung
 
-    def _compute_sequence(self, frames, config, pixel_km) -> tuple[MotionField, int]:
+    def _compute_sequence(
+        self, frames, config, pixel_km, search_mode: str = "exhaustive"
+    ) -> tuple[MotionField, int]:
         """Mean field over all pairs; fork-pool sharded when configured."""
-        analyzer = SMAnalyzer(config, pixel_km=pixel_km)
+        analyzer = SMAnalyzer(config, pixel_km=pixel_km, search=search_mode)
         fields = analyzer.track_sequence(frames, workers=self.app.pool_workers)
         shape = frames[0].shape
         n = len(fields)
@@ -232,6 +249,7 @@ class WorkerPool:
                 "model": "semi-fluid" if config.is_semifluid else "continuous",
                 "config": config.name,
                 "pairs": n,
+                "search": search_mode,
             },
         )
         return field, 0

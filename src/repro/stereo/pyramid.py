@@ -72,3 +72,35 @@ def upsample_disparity(disparity: np.ndarray, target_shape: tuple[int, int]) -> 
     coords = np.stack([np.clip(yy, 0, sh - 1), np.clip(xx, 0, sw - 1)])
     up = ndimage.map_coordinates(disparity, coords, order=1, mode="nearest")
     return up * scale_x  # disparity is horizontal: scale by the x ratio
+
+
+def upsample_flow(
+    u: np.ndarray, v: np.ndarray, target_shape: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upsample a coarse 2-D flow field to a finer level.
+
+    Like :func:`upsample_disparity` but for a full displacement field:
+    the horizontal component is scaled by the x resolution ratio and the
+    vertical component by the y ratio, so both remain expressed in
+    destination-level pixels.  Used by the pyramid-guided SMA search to
+    lift coarse hypothesis estimates to the next finer level.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if u.shape != v.shape:
+        raise ValueError(f"flow component shapes differ: {u.shape} vs {v.shape}")
+    th, tw = target_shape
+    sh, sw = u.shape
+    if th < sh or tw < sw:
+        raise ValueError("target shape must be at least the source shape")
+    scale_y = th / sh
+    scale_x = tw / sw
+    yy, xx = np.meshgrid(
+        np.arange(th, dtype=np.float64) / scale_y,
+        np.arange(tw, dtype=np.float64) / scale_x,
+        indexing="ij",
+    )
+    coords = np.stack([np.clip(yy, 0, sh - 1), np.clip(xx, 0, sw - 1)])
+    up_u = ndimage.map_coordinates(u, coords, order=1, mode="nearest")
+    up_v = ndimage.map_coordinates(v, coords, order=1, mode="nearest")
+    return up_u * scale_x, up_v * scale_y
