@@ -16,7 +16,7 @@ overhead comparable to the computation it is meant to avoid.
 
 The second test exercises the drain contract behind SIGTERM: a server
 draining mid-burst finishes **every accepted job** -- zero lost, zero
-failed -- before the process exits.
+dead-lettered -- before the process exits.
 
 Results land in ``benchmarks/results/serve_throughput.json``.
 """
@@ -95,7 +95,7 @@ def test_drain_loses_zero_accepted_jobs(tmp_path):
     assert drained is True
     counts = app.queue.counts()
     assert counts["pending"] == 0 and counts["running"] == 0
-    assert counts["failed"] == 0
+    assert counts["retrying"] == 0 and counts["dead"] == 0
     assert counts["done"] == len(ids)
     for job_id in ids:
         assert app.queue.get(job_id).state == "done"

@@ -14,8 +14,12 @@ paper's production pipeline exposed to forecasters:
 * ``repro stream``    -- fault-tolerant streaming of a whole frame
   sequence with optional fault injection and checkpoint/resume,
 * ``repro serve``     -- the production serving layer: durable job
-  queue, content-addressed result cache, and the HTTP wind-product API
-  (see ``docs/serving.md``),
+  queue with leases/retries/dead-letter, content-addressed result
+  cache, and the HTTP wind-product API (see ``docs/serving.md``);
+  ``--chaos`` arms seeded worker-fault injection for recovery testing,
+* ``repro serve-admin`` -- operator console for a serve deployment:
+  list dead-letter jobs and requeue them, over HTTP (``--url``) or
+  directly against an offline state directory (``--state-dir``),
 * ``repro profile``   -- trace one pair end to end and print the
   per-phase modeled (MasPar) vs measured (host) timing profile.
 
@@ -172,8 +176,8 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8641)
     serve.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="serving worker threads (fault injection is refused in "
-        "serve mode; use 'repro stream --inject-faults' instead)",
+        help="serving worker threads (request-level fault injection is "
+        "refused in serve mode; server-side chaos is the --chaos flag)",
     )
     serve.add_argument(
         "--pool-workers", type=int, default=None, metavar="N",
@@ -199,7 +203,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default hypothesis schedule for jobs that do not name one "
         "(result-cache keys include the mode)",
     )
+    serve.add_argument(
+        "--lease-seconds", type=float, default=15.0, metavar="S",
+        help="worker lease/heartbeat deadline; an expired lease requeues "
+        "the job (a hung or dead worker never strands work)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="execution attempts (first try included) before a job is "
+        "quarantined dead; inspect with 'repro serve-admin dead'",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="per-job wall-clock timeout; 0 disables",
+    )
+    serve.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="S",
+        help="base of the exponential retry backoff (doubles per retry)",
+    )
+    serve.add_argument(
+        "--chaos", type=str, default=None, nargs="?", const="default",
+        metavar="SPEC",
+        help="arm seeded worker chaos, e.g. 'crash=0.2,stall=0.1,"
+        "stall_seconds=1,flaky=0.3,flaky_attempts=2' (bare --chaos uses "
+        "a light default mix); chaos kills/stalls worker *attempts* "
+        "deterministically but never touches the computed product",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the --chaos schedule (same seed, same faults)",
+    )
     _add_obs_arguments(serve)
+
+    admin = sub.add_parser(
+        "serve-admin",
+        help="operator console: inspect and requeue dead-letter jobs",
+    )
+    admin.add_argument(
+        "action", choices=("dead", "requeue"),
+        help="'dead' lists the dead-letter queue; 'requeue JOB_ID' "
+        "revives one dead job with a fresh attempt budget",
+    )
+    admin.add_argument("job_id", nargs="?", default=None, help="job id for 'requeue'")
+    admin.add_argument(
+        "--url", type=str, default=None, metavar="URL",
+        help="base URL of a running server (e.g. http://127.0.0.1:8641)",
+    )
+    admin.add_argument(
+        "--state-dir", type=str, default=None, metavar="DIR",
+        help="operate directly on a *stopped* server's state directory "
+        "(mutually exclusive with --url)",
+    )
 
     profile = sub.add_parser(
         "profile", help="modeled vs measured per-phase profile of one pair"
@@ -536,6 +590,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServeApp, make_server
 
     _arm_observability(args)
+    chaos = None
+    if args.chaos is not None:
+        from .reliability.injection import ServeChaosPlan
+
+        chaos = ServeChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
     app = ServeApp(
         state_dir=args.state_dir,
         workers=args.workers,
@@ -543,12 +602,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         cache_bytes=args.cache_bytes,
         search_mode=args.search_mode,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        job_timeout_seconds=args.job_timeout if args.job_timeout > 0 else None,
+        retry_backoff_seconds=args.retry_backoff,
+        chaos=chaos,
     )
     app.start()
     server = make_server(app, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    chaos_note = ""
+    if chaos is not None and not chaos.is_empty:
+        chaos_note = f", CHAOS ARMED seed={chaos.seed}"
     print(f"repro serve listening on http://{host}:{port} "
-          f"(workers={args.workers}, queue depth={args.queue_depth})")
+          f"(workers={args.workers}, queue depth={args.queue_depth}{chaos_note})",
+          flush=True)
 
     def _drain_and_stop(signum, frame) -> None:
         # Runs off the main thread so serve_forever can wind down; drain
@@ -566,9 +634,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
     counts = app.queue.counts()
-    print(f"drained: {counts['done']} done, {counts['failed']} failed, "
-          f"{counts['pending']} pending")
+    print(f"drained: {counts['done']} done, {counts['dead']} dead, "
+          f"{counts['retrying']} retrying, {counts['pending']} pending")
     _write_obs_outputs(args)
+    return 0
+
+
+def _cmd_serve_admin(args: argparse.Namespace) -> int:
+    """Dead-letter console: list dead jobs / requeue one.
+
+    Two transports: ``--url`` talks to a live server over HTTP;
+    ``--state-dir`` opens a *stopped* server's journal directly (the
+    queue flushes the requeue back to disk before exiting).
+    """
+    if (args.url is None) == (args.state_dir is None):
+        print("error: pass exactly one of --url or --state-dir", file=sys.stderr)
+        return 2
+    if args.action == "requeue" and not args.job_id:
+        print("error: 'requeue' needs a job id", file=sys.stderr)
+        return 2
+
+    if args.url is not None:
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        try:
+            if args.action == "dead":
+                with urllib.request.urlopen(f"{base}/v1/jobs?state=dead") as response:
+                    body = _json.loads(response.read())
+            else:
+                request = urllib.request.Request(
+                    f"{base}/v1/jobs/{args.job_id}/requeue", method="POST", data=b""
+                )
+                with urllib.request.urlopen(request) as response:
+                    body = _json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            print(f"error: server said {exc.code}: {detail}", file=sys.stderr)
+            return 1
+        except urllib.error.URLError as exc:
+            print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+            return 1
+        if args.action == "requeue":
+            print(f"requeued {body['id']} (state={body['state']})")
+            return 0
+        jobs = body["jobs"]
+    else:
+        import os
+
+        from .serve import JobQueue
+
+        state_path = os.path.join(args.state_dir, "queue.json")
+        queue = JobQueue(max_depth=1_000_000, state_path=state_path)
+        if args.action == "requeue":
+            try:
+                job = queue.requeue(args.job_id)
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            queue.save()
+            print(f"requeued {job.id} (state={job.state})")
+            return 0
+        jobs = [job.to_dict() for job in queue.list_jobs(state="dead")]
+
+    if not jobs:
+        print("dead-letter queue is empty")
+        return 0
+    rows = [
+        (
+            job["id"],
+            str(job["attempts"]),
+            job["request"]["dataset"],
+            job["request"]["kind"],
+            (job.get("error") or "")[:60],
+        )
+        for job in jobs
+    ]
+    print(format_table(
+        rows,
+        headers=["job", "attempts", "dataset", "kind", "last error"],
+        title=f"dead-letter jobs ({len(jobs)})",
+    ))
     return 0
 
 
@@ -622,6 +770,7 @@ COMMANDS = {
     "datasets": _cmd_datasets,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "serve-admin": _cmd_serve_admin,
     "profile": _cmd_profile,
 }
 

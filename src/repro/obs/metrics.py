@@ -10,8 +10,14 @@ never per pixel) -- and are only materialized when someone asks for a
 
 Names are dotted strings (``prep_cache.hit``, ``batched_engine.chunks``);
 the stable set used by the pipeline is tabulated in
-``docs/observability.md``.  Histograms keep count/sum/min/max (enough
-for means and extremes without storing samples).
+``docs/observability.md``.  The serving layer's fault-tolerance
+machinery reports under ``serve.lease.*`` (granted / renewed / reaped /
+stale_completions), ``serve.retry.*`` (scheduled, backoff_seconds),
+``serve.dead.*`` (total, jobs, requeued), ``serve.journal.*`` (records,
+compactions, torn_discarded), ``serve.workers.restarted`` and
+``serve.chaos.*`` -- see ``docs/serving.md``.  Histograms keep
+count/sum/min/max (enough for means and extremes without storing
+samples).
 
 Fork-pool workers run with a freshly reset registry (see
 :func:`repro.obs.worker_init`), serialize their counts with

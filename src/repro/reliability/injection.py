@@ -1,4 +1,4 @@
-"""Fault-injecting wrapper around the MPDA model.
+"""Fault injection: the MPDA disk wrapper and serve-mode worker chaos.
 
 :class:`FaultyDiskArray` fronts a real
 :class:`~repro.maspar.disk.ParallelDiskArray` and consults a
@@ -16,17 +16,31 @@
 The remaining-failure budgets are the only mutable fault state; they
 can be snapshotted into a checkpoint and restored so a resumed run
 sees exactly the faults an uninterrupted run would have seen.
+
+:class:`ServeChaosPlan` is the serving-layer sibling: a seeded schedule
+of *worker* faults (thread crashes, stalls, transient compute faults)
+that ``repro serve --chaos`` wires into the
+:class:`~repro.serve.workers.WorkerPool`.  Chaos strikes **before** any
+frame is resolved or any arithmetic runs, so it can only change *when*
+a job's product is computed, never *what* is computed -- served fields
+stay bit-identical to ``track_dense``.  Every decision is a pure
+function of ``(seed, job sequence number, attempt)`` via the same
+:func:`~repro.reliability.faults.corruption_seed` derivation the
+streaming fault plans use, so a chaotic run's final job states are
+deterministic regardless of thread scheduling.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..data.datasets import frame_index
 from ..maspar.disk import DiskReadError, DiskWriteError, ParallelDiskArray
-from .faults import FaultPlan, corrupt_frame
+from .faults import FaultPlan, corrupt_frame, corruption_seed
 
 
 class FaultyDiskArray:
@@ -117,3 +131,155 @@ class FaultyDiskArray:
 
     def transfer_seconds(self, byte_count: int) -> float:
         return self.inner.transfer_seconds(byte_count)
+
+
+# -- serve-mode chaos ---------------------------------------------------------------
+
+
+class ChaosWorkerCrash(Exception):
+    """Injected worker-thread death.
+
+    The worker loop catches this *specifically* and lets the thread die
+    without completing or failing the job -- exactly what a segfaulting
+    worker would do.  Recovery must come from the outside: the lease
+    reaper requeues the job and the pool supervisor respawns the
+    thread.
+    """
+
+
+class ChaosTransientFault(RuntimeError):
+    """Injected transient compute fault (exercises the retry path)."""
+
+
+@dataclass(frozen=True)
+class ServeChaosPlan:
+    """Seeded schedule of worker faults for serve-mode chaos testing.
+
+    Each job's fate is decided once from ``(seed, job.seq)``: with
+    probability ``crash_rate`` the worker thread dies on the first
+    attempt, with ``stall_rate`` it stalls ``stall_seconds`` on the
+    first attempt (long stalls exercise lease expiry / wall-clock
+    timeout plus stale-completion suppression), with ``flaky_rate`` the
+    first ``flaky_attempts`` attempts raise a transient fault.  Later
+    attempts of crash/stall jobs run clean, so chaos demonstrates
+    *recovery*; set ``flaky_attempts >= max_attempts`` to manufacture
+    dead-letter jobs deterministically.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.5
+    flaky_rate: float = 0.0
+    flaky_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "stall_rate", "flaky_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.crash_rate + self.stall_rate + self.flaky_rate > 1.0:
+            raise ValueError("chaos rates must sum to <= 1")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
+        if self.flaky_attempts < 1:
+            raise ValueError("flaky_attempts must be >= 1")
+
+    @property
+    def is_empty(self) -> bool:
+        return self.crash_rate == self.stall_rate == self.flaky_rate == 0.0
+
+    def decide(self, seq: int) -> str | None:
+        """The fault (if any) scheduled for job sequence number ``seq``.
+
+        Pure function of ``(self.seed, seq)`` -- thread scheduling and
+        claim order cannot change a job's fate.
+        """
+        draw = float(np.random.default_rng(corruption_seed(self.seed, seq)).random())
+        if draw < self.crash_rate:
+            return "crash"
+        if draw < self.crash_rate + self.stall_rate:
+            return "stall"
+        if draw < self.crash_rate + self.stall_rate + self.flaky_rate:
+            return "flaky"
+        return None
+
+    def apply(self, seq: int, attempt: int) -> str | None:
+        """Inflict the scheduled fault for ``(seq, attempt)``, if any.
+
+        Raises :class:`ChaosWorkerCrash` / :class:`ChaosTransientFault`
+        or sleeps in place; returns the fault name it applied (None for
+        a clean attempt).  Must be called before any compute touches
+        the job so chaos can never alter the served product.
+        """
+        fault = self.decide(seq)
+        if fault == "crash" and attempt <= 1:
+            raise ChaosWorkerCrash(f"chaos: worker crash on job seq {seq} attempt {attempt}")
+        if fault == "stall" and attempt <= 1:
+            time.sleep(self.stall_seconds)
+            return "stall"
+        if fault == "flaky" and attempt <= self.flaky_attempts:
+            raise ChaosTransientFault(
+                f"chaos: transient compute fault on job seq {seq} attempt {attempt}"
+            )
+        return None
+
+    def expected_outcome(self, seq: int, max_attempts: int) -> tuple[str, int]:
+        """Predicted terminal ``(state, attempts)`` for a job.
+
+        The ground truth chaos tests assert against: crash/stall jobs
+        finish ``done``; flaky jobs finish ``done`` after
+        ``flaky_attempts + 1`` attempts unless the budget runs out
+        first, in which case they are ``dead`` at ``max_attempts``.
+        """
+        fault = self.decide(seq)
+        if fault == "flaky":
+            if self.flaky_attempts >= max_attempts:
+                return "dead", max_attempts
+            return "done", self.flaky_attempts + 1
+        if fault in ("crash", "stall"):
+            # Crash: attempt 1 reaped, attempt 2 clean.  Stall: attempt 1
+            # either finishes late (stale-dropped if reaped) or survives;
+            # at most one extra attempt either way.
+            return "done", 2 if fault == "crash" else 1
+        return "done", 1
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "ServeChaosPlan":
+        """Parse a CLI spec like ``crash=0.2,stall=0.1,flaky=0.3``.
+
+        Keys: ``crash``, ``stall``, ``flaky`` (rates), ``stall_seconds``,
+        ``flaky_attempts``.  An empty spec means the default light mix.
+        """
+        if not spec or spec == "default":
+            return cls(seed=seed, crash_rate=0.1, stall_rate=0.1, flaky_rate=0.2)
+        values: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad chaos spec fragment {part!r} (want key=value)")
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            aliases = {"crash": "crash_rate", "stall": "stall_rate", "flaky": "flaky_rate"}
+            key = aliases.get(key, key)
+            if key not in ("crash_rate", "stall_rate", "flaky_rate",
+                           "stall_seconds", "flaky_attempts"):
+                raise ValueError(f"unknown chaos spec key {key!r}")
+            values[key] = float(raw)
+        if "flaky_attempts" in values:
+            values["flaky_attempts"] = int(values["flaky_attempts"])  # type: ignore[assignment]
+        return cls(seed=seed, **values)
+
+    def describe(self) -> list[tuple[str, str]]:
+        """Human-readable (fault, rate) rows for startup logging."""
+        rows = []
+        if self.crash_rate:
+            rows.append(("worker-crash", f"{self.crash_rate:.0%} of jobs, attempt 1"))
+        if self.stall_rate:
+            rows.append(("worker-stall", f"{self.stall_rate:.0%} of jobs, {self.stall_seconds:g} s"))
+        if self.flaky_rate:
+            rows.append(
+                ("transient-fault", f"{self.flaky_rate:.0%} of jobs, first {self.flaky_attempts} attempt(s)")
+            )
+        return rows

@@ -6,6 +6,13 @@ bounds the attempts and models the backoff; the modeled seconds are
 charged to the :class:`~repro.maspar.cost.CostLedger` under the
 ``"Fault recovery"`` phase so recovery appears in the Table 2 / 4
 style timing rows next to the compute phases it delayed.
+
+The serving layer reuses the same policy for job-level retries: the
+:class:`~repro.serve.queue.JobQueue` schedules a failed or reaped job's
+next attempt ``backoff_for(attempt)`` seconds out (``jitter=0`` there,
+so chaos-test outcomes are deterministic) and charges the backoff to
+the serving ledger under the same phase.  One retry vocabulary, MPDA
+channel to HTTP job.
 """
 
 from __future__ import annotations

@@ -9,38 +9,53 @@ pipelines, operational cloud-motion forecasting):
 * :mod:`repro.serve.jobs`    -- the validated job request model and its
   canonical dedup fingerprint,
 * :mod:`repro.serve.queue`   -- a durable priority job queue with
-  request deduplication, bounded depth (explicit backpressure), and
-  atomic on-disk persistence so a restarted server resumes pending work,
+  request deduplication, bounded depth (explicit backpressure), lease
+  grants with heartbeat reaping, bounded retry with exponential backoff,
+  a dead-letter quarantine, and a checksummed write-ahead journal with
+  torn-write-tolerant replay so a killed-and-restarted server resumes
+  every accepted job,
 * :mod:`repro.serve.cache`   -- a content-addressed result cache keyed
   on frame fingerprints + SMA parameters (LRU under a byte budget,
   atomic ``.npz`` artifacts), so identical requests never recompute,
-* :mod:`repro.serve.workers` -- a worker pool executing jobs under the
-  PR-1 degradation ladder (a poisoned request degrades or fails alone;
-  the server survives) with the PR-2 preparation cache and fork-pool
-  pair sharding for sequence jobs,
+* :mod:`repro.serve.workers` -- a supervised worker pool executing jobs
+  under the PR-1 degradation ladder (a poisoned request degrades or
+  dead-letters alone; the server survives), renewing queue leases via a
+  supervisor thread that also respawns crashed workers, with the PR-2
+  preparation cache and fork-pool pair sharding for sequence jobs,
 * :mod:`repro.serve.http`    -- the HTTP API (``POST /v1/jobs``,
-  ``GET /v1/jobs/{id}``, ``GET /v1/products/{id}``, ``GET /healthz``,
-  ``GET /metrics``) wired to :mod:`repro.obs`, plus graceful drain.
+  ``GET /v1/jobs[?state=dead]``, ``POST /v1/jobs/{id}/requeue``,
+  ``GET /v1/products/{id}``, ``GET /healthz``, ``GET /metrics``) wired
+  to :mod:`repro.obs`, plus graceful drain.
 
-``repro serve`` is the CLI entry point; see ``docs/serving.md``.
+Serve-mode chaos (``repro serve --chaos``) arms a seeded
+:class:`~repro.reliability.injection.ServeChaosPlan` that crashes,
+stalls, and transiently fails workers deterministically -- the test
+harness for all of the above.  ``repro serve`` is the CLI entry point
+and ``repro serve-admin`` the dead-letter console; see
+``docs/serving.md``.
 """
 
 from __future__ import annotations
 
+from ..reliability.injection import ServeChaosPlan
 from .cache import ResultCache, result_key
 from .http import ServeApp, make_server
-from .jobs import Job, JobRequest, JobValidationError, ServeLimits
-from .queue import JobQueue, QueueFullError
+from .jobs import ACTIVE_STATES, JOB_STATES, Job, JobRequest, JobValidationError, ServeLimits
+from .queue import JobQueue, QueueFullError, QueueJournal
 from .workers import WorkerPool
 
 __all__ = [
+    "ACTIVE_STATES",
+    "JOB_STATES",
     "Job",
     "JobQueue",
     "JobRequest",
     "JobValidationError",
     "QueueFullError",
+    "QueueJournal",
     "ResultCache",
     "ServeApp",
+    "ServeChaosPlan",
     "ServeLimits",
     "WorkerPool",
     "make_server",

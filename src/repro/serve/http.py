@@ -4,11 +4,16 @@ Routes (all JSON unless noted):
 
 * ``POST /v1/jobs``            -- submit a job; 202 accepted (or the
   deduplicated existing job), 400 invalid request, 429 queue full
-  (with ``Retry-After``), 503 draining,
+  (with ``Retry-After`` derived from the measured drain rate), 503
+  draining,
 * ``GET /v1/jobs/{id}``        -- job status,
+* ``GET /v1/jobs?state=dead``  -- list jobs, optionally filtered by
+  lifecycle state (the dead-letter inspection surface),
+* ``POST /v1/jobs/{id}/requeue`` -- revive a dead-letter job with a
+  fresh attempt budget; 404 unknown, 409 not dead,
 * ``GET /v1/products/{id}``    -- the wind product (speed/direction
   statistics plus a Fig. 5-style barb summary); 202 while the job is
-  still in flight, 404 unknown, 410 failed,
+  still in flight, 404 unknown, 410 dead,
 * ``GET /v1/products/{id}/field`` -- the raw ``MotionField`` artifact
   as ``.npz`` bytes (what the field would be if computed locally --
   bit-identical to ``track_dense``),
@@ -20,7 +25,12 @@ Routes (all JSON unless noted):
 preparation cache and the serving :class:`~repro.maspar.cost.CostLedger`;
 :func:`make_server` binds it to a :class:`ThreadingHTTPServer`.
 Graceful drain: stop admitting, finish every accepted job, persist
-state, then shut the listener down -- SIGTERM loses nothing.
+state, then shut the listener down -- SIGTERM loses nothing.  Ungraceful
+death loses nothing either: the queue journals every accepted mutation,
+so a SIGKILLed server restarts with each job pending, retrying, done,
+or dead (see :mod:`repro.serve.queue`).  Retry backoffs and reaper
+delays are charged to the ledger under the shared ``Fault recovery``
+phase, so ``GET /metrics`` accounts recovery time next to compute.
 """
 
 from __future__ import annotations
@@ -39,6 +49,8 @@ from ..maspar.cost import CostLedger
 from ..maspar.machine import GODDARD_MP2
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import METRICS
+from ..reliability.injection import ServeChaosPlan
+from ..reliability.retry import PHASE_RECOVERY, RetryPolicy
 from .cache import ResultCache
 from .jobs import (
     SERVABLE_SEARCH_MODES,
@@ -73,6 +85,11 @@ class ServeApp:
         limits: ServeLimits | None = None,
         hs_iterations: int = 60,
         search_mode: str = "exhaustive",
+        lease_seconds: float = 15.0,
+        max_attempts: int = 3,
+        job_timeout_seconds: float | None = 300.0,
+        retry_backoff_seconds: float = 0.25,
+        chaos: ServeChaosPlan | None = None,
     ) -> None:
         if search_mode not in SERVABLE_SEARCH_MODES:
             raise ValueError(
@@ -85,19 +102,34 @@ class ServeApp:
         self.pool_workers = pool_workers
         self.hs_iterations = hs_iterations
         self.search_mode = search_mode
+        self.chaos = chaos if chaos is not None and not chaos.is_empty else None
+        self.ledger = CostLedger(GODDARD_MP2)
+        self._ledger_lock = threading.Lock()
         self.queue = JobQueue(
             max_depth=queue_depth,
             state_path=os.path.join(state_dir, "queue.json"),
+            lease_seconds=lease_seconds,
+            job_timeout_seconds=job_timeout_seconds,
+            retry_policy=RetryPolicy(
+                max_attempts=max_attempts,
+                backoff_seconds=retry_backoff_seconds,
+                backoff_factor=2.0,
+                jitter=0.0,
+            ),
+            on_recovery_seconds=self._charge_recovery,
         )
         self.cache = ResultCache(
             os.path.join(state_dir, "cache"), max_bytes=cache_bytes
         )
         self.prep_cache = FramePreparationCache(max_frames=16)
-        self.ledger = CostLedger(GODDARD_MP2)
-        self._ledger_lock = threading.Lock()
-        self.pool = WorkerPool(self, workers=workers)
+        self.pool = WorkerPool(self, workers=workers, chaos=self.chaos)
         self.draining = False
         self._started = False
+        if self.chaos is not None:
+            log_event(
+                _LOG, logging.WARNING, "serve.chaos_armed",
+                seed=self.chaos.seed, faults=self.chaos.describe(),
+            )
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -131,6 +163,14 @@ class ServeApp:
         """Fold one job's modeled costs into the serving-session ledger."""
         with self._ledger_lock:
             self.ledger.merge(ledger)
+
+    def _charge_recovery(self, seconds: float) -> None:
+        """Charge retry backoff / reaper delay to the ``Fault recovery``
+        phase (called by the queue with its own lock held -- must only
+        take the ledger lock)."""
+        with self._ledger_lock:
+            with self.ledger.phase(PHASE_RECOVERY):
+                self.ledger.charge_stall(seconds)
 
     def publish_ledger_gauges(self) -> None:
         with self._ledger_lock:
@@ -166,13 +206,42 @@ class ServeApp:
         job = self.queue.get(job_id)
         return None if job is None else job.to_dict()
 
+    def jobs_payload(self, state: str | None = None) -> tuple[int, dict]:
+        """(HTTP status, body) for the job listing route.
+
+        ``state`` filters on one lifecycle state; ``state=dead`` is the
+        dead-letter inspection surface.
+        """
+        try:
+            jobs = self.queue.list_jobs(state=state)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        return 200, {
+            "state": state,
+            "count": len(jobs),
+            "jobs": [job.to_dict() for job in jobs],
+        }
+
+    def requeue_payload(self, job_id: str) -> tuple[int, dict]:
+        """(HTTP status, body) for the dead-letter requeue route."""
+        try:
+            job = self.queue.requeue(job_id)
+        except KeyError:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        except ValueError as exc:
+            return 409, {"error": str(exc)}
+        return 200, job.to_dict()
+
     def product_payload(self, job_id: str) -> tuple[int, dict]:
         """(HTTP status, body) for the wind-product route."""
         job = self.queue.get(job_id)
         if job is None:
             return 404, {"error": f"unknown job {job_id!r}"}
-        if job.state == "failed":
-            return 410, {"error": f"job failed: {job.error}", "state": job.state}
+        if job.state == "dead":
+            return 410, {
+                "error": f"job dead after {job.attempts} attempt(s): {job.error}",
+                "state": job.state,
+            }
         if job.state != "done" or job.result_key is None:
             return 202, {"state": job.state, "id": job.id}
         field = self.cache.get(job.result_key, record=False)
@@ -197,10 +266,12 @@ class ServeApp:
         counts = self.queue.counts()
         return {
             "status": "draining" if self.draining else "ok",
-            "queue_depth": counts["pending"],
+            "queue_depth": counts["pending"] + counts["retrying"],
             "in_flight": counts["running"],
+            "jobs_retrying": counts["retrying"],
             "jobs_done": counts["done"],
-            "jobs_failed": counts["failed"],
+            "jobs_dead": counts["dead"],
+            "retry_after_seconds": self.queue.retry_after_hint(),
             "cache_entries": len(self.cache),
             "cache_bytes": self.cache.total_bytes(),
         }
@@ -217,6 +288,11 @@ class ServeApp:
             }
         payload = METRICS.snapshot()
         payload["ledger"] = ledger
+        payload["queue"] = {
+            "depth": self.queue.depth(),
+            "counts": self.queue.counts(),
+            "retry_after_seconds": self.queue.retry_after_hint(),
+        }
         return payload
 
 
@@ -307,7 +383,13 @@ class ServeHandler(BaseHTTPRequestHandler):
     # -- routes -----------------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
-        if self.path.rstrip("/") != "/v1/jobs":
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/v1/jobs/") and path.endswith("/requeue"):
+            job_id = path[len("/v1/jobs/") : -len("/requeue")]
+            status, body = self.app.requeue_payload(job_id)
+            self._send_json(status, body)
+            return
+        if path != "/v1/jobs":
             self._send_json(404, {"error": f"no such route {self.path!r}"})
             return
         try:
@@ -339,11 +421,18 @@ class ServeHandler(BaseHTTPRequestHandler):
         )
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, self.app.health_payload())
         elif path == "/metrics":
             self._send_json(200, self.app.metrics_payload())
+        elif path == "/v1/jobs":
+            params = dict(
+                part.split("=", 1) for part in query.split("&") if "=" in part
+            )
+            status, body = self.app.jobs_payload(state=params.get("state"))
+            self._send_json(status, body)
         elif path.startswith("/v1/jobs/"):
             payload = self.app.job_payload(path.rsplit("/", 1)[1])
             if payload is None:

@@ -8,10 +8,18 @@ validated at the admission boundary -- the serving threads must never
 see a payload that can take the process down -- and canonicalized into
 a deterministic **fingerprint** used for queue-level deduplication.
 
-Fault injection is an offline test harness (``repro stream
---inject-faults``), not a serving feature: a request carrying fault
+Fault injection is never a *request* feature: a payload carrying fault
 keys is refused outright with a 400-style error rather than silently
-ignored.
+ignored.  Serve-mode chaos exists, but only as explicit server-side
+configuration (``repro serve --chaos``), so a client can never ask a
+server to sabotage itself.
+
+Lifecycle: an accepted job is always in exactly one of ``pending``
+(queued), ``running`` (claimed under a live lease), ``retrying``
+(failed or reaped, waiting out its backoff), ``done``, or ``dead``
+(attempt budget exhausted -- quarantined in the dead-letter set until
+an operator requeues it).  ``failed`` appears only in legacy journals
+and restores as ``dead``.
 """
 
 from __future__ import annotations
@@ -29,8 +37,13 @@ JOB_KINDS = ("pair", "sequence")
 #: Request keys that belong to the offline fault-injection harness.
 _FAULT_KEYS = frozenset({"inject_faults", "fault_seed", "faults", "fault_plan"})
 
-#: Job lifecycle states.
-JOB_STATES = ("pending", "running", "done", "failed")
+#: Job lifecycle states.  ``retrying`` is a failed/reaped job waiting
+#: out its backoff; ``dead`` is the dead-letter quarantine (attempt
+#: budget exhausted).  Legacy ``failed`` journals restore as ``dead``.
+JOB_STATES = ("pending", "running", "retrying", "done", "dead")
+
+#: States that count as accepted-but-unfinished (the drain gate).
+ACTIVE_STATES = ("pending", "running", "retrying")
 
 #: Hypothesis schedules a served job may request.  Pyramid is refused:
 #: served products promise bit-identity with the reference pipeline.
@@ -119,7 +132,8 @@ class JobRequest:
         if bad_fault:
             raise JobValidationError(
                 f"fault injection is refused in serve mode (got {sorted(bad_fault)}); "
-                "use 'repro stream --inject-faults' for fault-tolerance testing"
+                "chaos is server-side configuration ('repro serve --chaos'), or use "
+                "'repro stream --inject-faults' for offline fault-tolerance testing"
             )
         allowed = set(cls.__dataclass_fields__)
         unknown = set(payload) - allowed
@@ -175,11 +189,21 @@ class Job:
     error: str | None = None
     queue_wait_seconds: float | None = None
     wall_seconds: float | None = None
+    #: Execution attempts so far (claims, including reaped/failed ones).
+    attempts: int = 0
+    #: Lease bookkeeping while ``running``: the claiming worker's name,
+    #: an opaque token stale completions must match, and the heartbeat
+    #: deadline the reaper enforces.
+    worker: str | None = None
+    lease_token: str | None = None
+    lease_deadline: float | None = None
+    #: Earliest wall-clock time a ``retrying`` job may be claimed again.
+    not_before: float | None = None
     metadata: dict = field(default_factory=dict)
 
     @property
     def done(self) -> bool:
-        return self.state in ("done", "failed")
+        return self.state in ("done", "dead")
 
     def to_dict(self) -> dict:
         """JSON-ready status payload (also the persistence record)."""
@@ -198,6 +222,11 @@ class Job:
             "error": self.error,
             "queue_wait_seconds": self.queue_wait_seconds,
             "wall_seconds": self.wall_seconds,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "lease_token": self.lease_token,
+            "lease_deadline": self.lease_deadline,
+            "not_before": self.not_before,
             "metadata": self.metadata,
         }
 
@@ -205,14 +234,24 @@ class Job:
     def from_dict(cls, payload: dict) -> "Job":
         """Inverse of :meth:`to_dict`.
 
-        A job persisted mid-run comes back ``pending``: the restarted
-        server re-executes it from scratch (the computation is a pure
-        function of the request, so the product is unaffected).
+        A job persisted mid-run comes back ``pending`` with its lease
+        revoked but its attempt count intact: the restarted server
+        re-executes it from scratch (the computation is a pure function
+        of the request, so the product is unaffected) and the crashed
+        attempt still counts against the retry budget, so a job that
+        crashes the server on every attempt ends up ``dead``, not in a
+        crash loop.  Legacy terminal ``failed`` restores as ``dead``.
         """
         state = payload["state"]
         started = payload.get("started_at")
+        worker = payload.get("worker")
+        lease_token = payload.get("lease_token")
+        lease_deadline = payload.get("lease_deadline")
         if state == "running":
             state, started = "pending", None
+            worker = lease_token = lease_deadline = None
+        elif state == "failed":
+            state = "dead"
         return cls(
             id=payload["id"],
             request=JobRequest(**payload["request"]),
@@ -228,5 +267,10 @@ class Job:
             error=payload.get("error"),
             queue_wait_seconds=payload.get("queue_wait_seconds"),
             wall_seconds=payload.get("wall_seconds"),
+            attempts=payload.get("attempts", 0),
+            worker=worker,
+            lease_token=lease_token,
+            lease_deadline=lease_deadline,
+            not_before=payload.get("not_before"),
             metadata=payload.get("metadata", {}),
         )

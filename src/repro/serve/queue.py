@@ -1,43 +1,79 @@
-"""Durable priority job queue with dedup and explicit backpressure.
+"""Durable priority job queue: leases, retry/backoff, dead-letter quarantine.
 
 The admission contract, in order of evaluation on submit:
 
 1. **Deduplication** -- a request whose fingerprint matches a job that
-   is still pending or running returns that job instead of queuing a
-   duplicate (the in-flight analogue of the result cache; completed
-   jobs do *not* dedupe, so a re-request flows through the
-   content-addressed result cache and is served without recomputation).
-2. **Backpressure** -- when ``max_depth`` jobs are already pending the
-   submit raises :class:`QueueFullError`; the HTTP layer turns that
-   into a 429 with a ``Retry-After`` hint.  The queue never grows
+   is still active (pending, running, or retrying) returns that job
+   instead of queuing a duplicate (the in-flight analogue of the result
+   cache; completed jobs do *not* dedupe, so a re-request flows through
+   the content-addressed result cache and is served without
+   recomputation).
+2. **Backpressure** -- when ``max_depth`` jobs are already queued
+   (pending + retrying) the submit raises :class:`QueueFullError`; the
+   HTTP layer turns that into a 429 with a ``Retry-After`` hint derived
+   from the queue's measured drain rate.  The queue never grows
    unboundedly and never silently drops an accepted job.
 
 Ordering is strict: higher ``priority`` first, FIFO (submission order)
-within a priority.  The schedule is a pure function of the submit
-history, which is what makes the persistence round-trip testable
-bit-for-bit.
+within a priority.  A ``retrying`` job re-enters the schedule at its
+original priority once its backoff expires.
 
-Durability: every accepting mutation is persisted through
-:func:`repro.ioutil.atomic_write_text` (same temp-then-rename dance as
-the PR-1 checkpoints), so a killed server restarts with every accepted
-job intact -- jobs that were mid-run come back ``pending`` and are
-simply re-executed.
+**Leases.** :meth:`JobQueue.claim` grants a lease: an opaque token plus
+a heartbeat deadline.  Workers renew the lease while they compute;
+:meth:`JobQueue.reap` requeues any running job whose lease expired
+(worker hung or died) or whose wall-clock ``job_timeout_seconds``
+passed.  Reaping revokes the token, so a zombie worker that eventually
+finishes cannot clobber the re-executed job -- its completion is
+dropped as stale.
+
+**Retry and dead-letter.** A failed or reaped job requeues as
+``retrying`` with exponential backoff (the shared
+:class:`~repro.reliability.retry.RetryPolicy`) until its attempt budget
+is exhausted, at which point it moves to the persistent ``dead`` state:
+inspectable via ``GET /v1/jobs?state=dead`` and revivable with
+``repro serve-admin requeue``.  A poison job quarantines alone; it
+never takes the pool down and never blocks other work.
+
+**Durability.** Accepting mutations append one checksummed JSONL record
+to a write-ahead journal (``<state_path>.wal``); a full snapshot
+(``state_path``) is written atomically on :meth:`save` and whenever the
+journal is compacted.  Replay is torn-write tolerant: a record half
+written when the process was SIGKILLed fails its checksum (or does not
+parse) and is discarded together with everything after it -- never
+fatal, never able to corrupt acknowledged jobs, because a job is only
+acknowledged to the client *after* its record is on disk.  A restarted
+server therefore resumes with every accepted job in exactly one of
+pending / retrying / done / dead -- jobs that were mid-run come back
+``pending`` with their lease revoked and the crashed attempt counted.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import json
+import logging
 import os
+import secrets
 import threading
 import time
+from collections import deque
 
 from ..ioutil import atomic_write_text
+from ..obs.log import get_logger, log_event
 from ..obs.metrics import METRICS
-from .jobs import Job, JobRequest
+from ..reliability.retry import RetryPolicy
+from .jobs import ACTIVE_STATES, JOB_STATES, Job, JobRequest
 
-#: On-disk schema version for the persisted queue state.
-STATE_VERSION = 1
+#: On-disk schema version for the persisted queue state.  Version 1
+#: (PR-4 full-state rewrites) is still restorable.
+STATE_VERSION = 2
+
+#: Bounds on the drain-rate-derived ``Retry-After`` hint.
+RETRY_AFTER_MIN = 0.1
+RETRY_AFTER_MAX = 60.0
+
+_LOG = get_logger("serve.queue")
 
 
 class QueueFullError(RuntimeError):
@@ -52,26 +88,131 @@ class QueueFullError(RuntimeError):
         self.retry_after_seconds = retry_after_seconds
 
 
-class JobQueue:
-    """Bounded, deduplicating, persistent priority queue of :class:`Job`.
+def _encode_record(record: dict) -> bytes:
+    """One self-checksummed JSONL journal line (newline terminated)."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = hashlib.blake2b(body.encode(), digest_size=8).hexdigest()
+    line = json.dumps({"crc": crc, "r": record}, sort_keys=True, separators=(",", ":"))
+    return line.encode() + b"\n"
 
-    Thread-safe: submits arrive from HTTP handler threads while worker
-    threads claim, so every mutation runs under one condition variable.
+
+def _decode_record(line: bytes) -> dict | None:
+    """Parse + verify one journal line; None for torn/corrupt data."""
+    try:
+        wrapper = json.loads(line.decode("utf-8"))
+        record = wrapper["r"]
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if hashlib.blake2b(body.encode(), digest_size=8).hexdigest() != wrapper["crc"]:
+            return None
+        if "rev" not in record or "job" not in record:
+            return None
+        return record
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        return None
+
+
+class QueueJournal:
+    """Append-only write-ahead log of job records.
+
+    Each append is a single buffered ``write`` of one complete line,
+    flushed before the caller acknowledges the mutation.  Replay stops
+    at the first record that fails to parse or checksum -- a torn tail
+    from a crash mid-write is discarded, not fatal.
     """
 
-    def __init__(self, max_depth: int = 64, state_path: str | None = None) -> None:
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+        self.records_since_compact = 0
+
+    def append(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "ab")  # noqa: SIM115 -- long-lived WAL
+        self._handle.write(_encode_record(record))
+        self._handle.flush()
+        self.records_since_compact += 1
+
+    def replay(self) -> tuple[list[dict], int]:
+        """(valid records in order, count of discarded torn/corrupt lines)."""
+        if not os.path.exists(self.path):
+            return [], 0
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        records: list[dict] = []
+        lines = [line for line in raw.split(b"\n") if line]
+        for position, line in enumerate(lines):
+            record = _decode_record(line)
+            if record is None:
+                # Everything after a torn record is unordered garbage.
+                return records, len(lines) - position
+            records.append(record)
+        return records, 0
+
+    def reset(self) -> None:
+        """Truncate after a compaction snapshot has superseded the log."""
+        if self._handle is not None:
+            self._handle.close()
+        self._handle = open(self.path, "wb")  # noqa: SIM115 -- long-lived WAL
+        self._handle.flush()
+        self.records_since_compact = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class JobQueue:
+    """Bounded, deduplicating, lease-granting, persistent priority queue.
+
+    Thread-safe: submits arrive from HTTP handler threads while worker
+    threads claim/renew and the reaper revokes, so every mutation runs
+    under one condition variable.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        state_path: str | None = None,
+        *,
+        lease_seconds: float = 15.0,
+        job_timeout_seconds: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        compact_every: int = 512,
+        on_recovery_seconds=None,
+    ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be > 0")
+        if job_timeout_seconds is not None and job_timeout_seconds <= 0:
+            raise ValueError("job_timeout_seconds must be > 0 when set")
         self.max_depth = max_depth
         self.state_path = state_path
+        self.lease_seconds = lease_seconds
+        self.job_timeout_seconds = job_timeout_seconds
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, backoff_seconds=0.25, backoff_factor=2.0, jitter=0.0
+        )
+        self.compact_every = max(1, compact_every)
+        #: Callback charged with modeled recovery seconds (backoffs) so
+        #: the serving ledger accounts reaper/retry delay like any other
+        #: stall; None outside a :class:`~repro.serve.http.ServeApp`.
+        self.on_recovery_seconds = on_recovery_seconds
         self._cond = threading.Condition()
         self._jobs: dict[str, Job] = {}
-        #: (-priority, seq, job_id) min-heap -> highest priority, FIFO within.
+        #: (-priority, seq, job_id) min-heap -> highest priority, FIFO
+        #: within; holds pending and retrying (possibly not yet due).
         self._heap: list[tuple[int, int, str]] = []
         self._active_by_fingerprint: dict[str, str] = {}
         self._seq = 0
+        self._rev = 0
         self._closed = False
-        if state_path and os.path.exists(state_path):
+        #: Wall-clock finish times of recent done/dead transitions --
+        #: the drain-rate sample behind the Retry-After hint.
+        self._finished_at: deque[float] = deque(maxlen=32)
+        self._journal = QueueJournal(state_path + ".wal") if state_path else None
+        if state_path:
             self._restore(state_path)
 
     # -- submission -------------------------------------------------------------------
@@ -80,7 +221,9 @@ class JobQueue:
         """Queue a request; returns ``(job, created)``.
 
         ``created`` is False when the request deduplicated onto an
-        existing pending/running job.
+        existing active (pending/running/retrying) job.  The job is
+        journaled before this method returns -- acknowledgement implies
+        durability.
         """
         fingerprint = request.fingerprint()
         with self._cond:
@@ -90,9 +233,9 @@ class JobQueue:
             if active_id is not None:
                 METRICS.inc("serve.queue.deduplicated")
                 return self._jobs[active_id], False
-            if self._pending_count() >= self.max_depth:
+            if self._depth_locked() >= self.max_depth:
                 METRICS.inc("serve.queue.rejected")
-                raise QueueFullError(self._pending_count())
+                raise QueueFullError(self._depth_locked(), self._retry_after_locked())
             self._seq += 1
             job = Job(
                 id=f"job-{self._seq:06d}",
@@ -106,60 +249,233 @@ class JobQueue:
             heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
             METRICS.inc("serve.queue.submitted")
             self._publish_gauges()
-            self._persist()
+            self._append(job)
             self._cond.notify()
             return job, True
 
     # -- worker side ------------------------------------------------------------------
 
-    def claim(self, timeout: float | None = None) -> Job | None:
-        """Pop the highest-priority pending job; block up to ``timeout``.
+    def claim(self, timeout: float | None = None, worker: str | None = None) -> Job | None:
+        """Pop the highest-priority due job under a fresh lease.
 
-        Returns None on timeout or when the queue has been closed.
+        Blocks up to ``timeout`` (forever when None) on the queue's
+        condition variable -- an idle claimer costs nothing until a
+        submit, retry expiry, or close wakes it.  Returns None on
+        timeout or when the queue has been closed.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                job = self._pop_pending()
+                job, next_due = self._pop_ready()
                 if job is not None:
+                    now = time.time()
                     job.state = "running"
-                    job.started_at = time.time()
-                    job.queue_wait_seconds = max(0.0, job.started_at - job.submitted_at)
-                    METRICS.observe("serve.queue.wait_seconds", job.queue_wait_seconds)
+                    job.attempts += 1
+                    job.started_at = now
+                    job.worker = worker
+                    job.lease_token = secrets.token_hex(8)
+                    job.lease_deadline = now + self.lease_seconds
+                    job.not_before = None
+                    if job.queue_wait_seconds is None:
+                        job.queue_wait_seconds = max(0.0, now - job.submitted_at)
+                        METRICS.observe(
+                            "serve.queue.wait_seconds", job.queue_wait_seconds
+                        )
+                    METRICS.inc("serve.lease.granted")
                     self._publish_gauges()
+                    self._append(job)
                     return job
                 if self._closed:
                     return None
-                if deadline is None:
-                    self._cond.wait()
-                else:
+                waits = []
+                if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return None
-                    self._cond.wait(remaining)
+                    waits.append(remaining)
+                if next_due is not None:
+                    waits.append(max(0.0, next_due - time.time()) + 1e-3)
+                self._cond.wait(min(waits) if waits else None)
 
-    def complete(self, job_id: str, **fields) -> Job:
-        """Mark a job done; ``fields`` update the result bookkeeping."""
-        return self._finish(job_id, "done", fields)
+    def renew(self, job_id: str, lease_token: str, extend: float | None = None) -> bool:
+        """Heartbeat: push the lease deadline out; False if the lease is
+        stale (job reaped, finished, or re-claimed elsewhere)."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "running" or job.lease_token != lease_token:
+                return False
+            job.lease_deadline = time.time() + (extend or self.lease_seconds)
+            METRICS.inc("serve.lease.renewed")
+            return True
 
-    def fail(self, job_id: str, error: str) -> Job:
-        """Mark a job failed with its error string (server survives)."""
-        return self._finish(job_id, "failed", {"error": error})
+    def complete(self, job_id: str, lease_token: str | None = None, **fields) -> Job | None:
+        """Mark a job done; ``fields`` update the result bookkeeping.
 
-    def _finish(self, job_id: str, state: str, fields: dict) -> Job:
+        With ``lease_token`` given, a stale token (the job was reaped
+        and possibly re-executed) drops the completion and returns None
+        -- the zombie worker's result must not clobber the live job.
+        """
         with self._cond:
             job = self._jobs[job_id]
-            job.state = state
-            job.finished_at = time.time()
-            if job.started_at is not None:
-                job.wall_seconds = max(0.0, job.finished_at - job.started_at)
-            for name, value in fields.items():
-                setattr(job, name, value)
-            self._active_by_fingerprint.pop(job.request.fingerprint(), None)
+            if lease_token is not None and (
+                job.state != "running" or job.lease_token != lease_token
+            ):
+                METRICS.inc("serve.lease.stale_completions")
+                log_event(
+                    _LOG, logging.WARNING, "serve.stale_completion",
+                    job=job_id, state=job.state,
+                )
+                return None
+            return self._finish_locked(job, "done", fields)
+
+    def fail(
+        self,
+        job_id: str,
+        error: str,
+        lease_token: str | None = None,
+        retryable: bool = True,
+    ) -> Job | None:
+        """Record a failed attempt: requeue with backoff, or dead-letter.
+
+        Retryable failures with budget left become ``retrying``; budget
+        exhaustion (or ``retryable=False``) quarantines the job as
+        ``dead``.  Stale lease tokens are dropped like in
+        :meth:`complete`.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if lease_token is not None and (
+                job.state != "running" or job.lease_token != lease_token
+            ):
+                METRICS.inc("serve.lease.stale_completions")
+                return None
+            return self._retry_or_dead_locked(job, error, retryable)
+
+    def reap(self, now: float | None = None) -> list[Job]:
+        """Requeue (or dead-letter) every running job whose lease
+        expired or whose wall-clock timeout passed; returns them.
+
+        This is what makes a hung or dead worker unable to strand a
+        job: the lease token is revoked, so even if the worker wakes up
+        later its completion is dropped as stale.
+        """
+        now = time.time() if now is None else now
+        reaped: list[Job] = []
+        with self._cond:
+            for job in list(self._jobs.values()):
+                if job.state != "running":
+                    continue
+                expired = job.lease_deadline is not None and job.lease_deadline < now
+                timed_out = (
+                    self.job_timeout_seconds is not None
+                    and job.started_at is not None
+                    and now - job.started_at > self.job_timeout_seconds
+                )
+                if not (expired or timed_out):
+                    continue
+                if timed_out and not expired:
+                    reason = (
+                        f"job exceeded wall-clock timeout "
+                        f"{self.job_timeout_seconds:g} s"
+                    )
+                    METRICS.inc("serve.lease.timed_out")
+                else:
+                    reason = "lease expired (worker hung or died)"
+                METRICS.inc("serve.lease.reaped")
+                log_event(
+                    _LOG, logging.WARNING, "serve.lease_reaped",
+                    job=job.id, worker=job.worker, attempts=job.attempts,
+                    reason=reason,
+                )
+                self._retry_or_dead_locked(job, reason, retryable=True)
+                reaped.append(job)
+        return reaped
+
+    def requeue(self, job_id: str) -> Job:
+        """Admin: revive a dead-letter job with a fresh attempt budget."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.state != "dead":
+                raise ValueError(
+                    f"job {job_id} is {job.state!r}; only dead jobs can be requeued"
+                )
+            fingerprint = job.request.fingerprint()
+            active = self._active_by_fingerprint.get(fingerprint)
+            if active is not None:
+                raise ValueError(
+                    f"an active job ({active}) already carries this request; "
+                    "wait for it instead of requeuing"
+                )
+            job.state = "pending"
+            job.attempts = 0
+            job.error = None
+            job.not_before = None
+            job.started_at = None
+            job.finished_at = None
+            job.queue_wait_seconds = None
+            self._active_by_fingerprint[fingerprint] = job.id
+            heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+            METRICS.inc("serve.dead.requeued")
+            log_event(_LOG, logging.INFO, "serve.dead_requeued", job=job.id)
             self._publish_gauges()
-            self._persist()
-            self._cond.notify_all()
+            self._append(job)
+            self._cond.notify()
             return job
+
+    # -- shared finish / retry internals (lock held) ----------------------------------
+
+    def _finish_locked(self, job: Job, state: str, fields: dict) -> Job:
+        job.state = state
+        job.finished_at = time.time()
+        if job.started_at is not None:
+            job.wall_seconds = max(0.0, job.finished_at - job.started_at)
+        for name, value in fields.items():
+            setattr(job, name, value)
+        job.worker = job.lease_token = job.lease_deadline = None
+        self._active_by_fingerprint.pop(job.request.fingerprint(), None)
+        self._finished_at.append(job.finished_at)
+        self._publish_gauges()
+        self._append(job)
+        self._cond.notify_all()
+        return job
+
+    def _retry_or_dead_locked(self, job: Job, error: str, retryable: bool) -> Job:
+        job.error = error
+        job.worker = job.lease_token = job.lease_deadline = None
+        if retryable and job.attempts < self.retry_policy.max_attempts:
+            backoff = self.retry_policy.backoff_for(job.attempts)
+            job.state = "retrying"
+            job.not_before = time.time() + backoff
+            job.started_at = None
+            heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+            METRICS.inc("serve.retry.scheduled")
+            METRICS.observe("serve.retry.backoff_seconds", backoff)
+            if self.on_recovery_seconds is not None:
+                self.on_recovery_seconds(backoff)
+            log_event(
+                _LOG, logging.INFO, "serve.retry_scheduled",
+                job=job.id, attempt=job.attempts, backoff=round(backoff, 4),
+                error=error,
+            )
+        else:
+            job.state = "dead"
+            job.not_before = None
+            job.finished_at = time.time()
+            self._active_by_fingerprint.pop(job.request.fingerprint(), None)
+            self._finished_at.append(job.finished_at)
+            METRICS.inc("serve.dead.total")
+            log_event(
+                _LOG, logging.ERROR, "serve.job_dead",
+                job=job.id, attempts=job.attempts, error=error,
+            )
+        self._publish_gauges()
+        self._append(job)
+        self._cond.notify_all()
+        return job
 
     # -- introspection ----------------------------------------------------------------
 
@@ -167,41 +483,71 @@ class JobQueue:
         with self._cond:
             return self._jobs.get(job_id)
 
-    def depth(self) -> int:
-        """Pending jobs (the backpressure quantity)."""
+    def list_jobs(self, state: str | None = None, limit: int = 500) -> list[Job]:
+        """Jobs (newest first), optionally filtered by lifecycle state."""
+        if state is not None and state not in JOB_STATES:
+            raise ValueError(
+                f"unknown job state {state!r} (choose from {', '.join(JOB_STATES)})"
+            )
         with self._cond:
-            return self._pending_count()
+            jobs = sorted(self._jobs.values(), key=lambda j: -j.seq)
+            if state is not None:
+                jobs = [j for j in jobs if j.state == state]
+            return jobs[:limit]
+
+    def depth(self) -> int:
+        """Queued jobs -- pending + retrying (the backpressure quantity)."""
+        with self._cond:
+            return self._depth_locked()
 
     def in_flight(self) -> int:
         with self._cond:
             return sum(1 for j in self._jobs.values() if j.state == "running")
 
     def outstanding(self) -> int:
-        """Accepted but not finished (pending + running) -- the drain gate."""
+        """Accepted but not finished (pending/running/retrying) -- the
+        drain gate."""
         with self._cond:
-            return sum(
-                1 for j in self._jobs.values() if j.state in ("pending", "running")
-            )
+            return sum(1 for j in self._jobs.values() if j.state in ACTIVE_STATES)
 
     def counts(self) -> dict[str, int]:
         with self._cond:
-            counts = dict.fromkeys(("pending", "running", "done", "failed"), 0)
+            counts = dict.fromkeys(JOB_STATES, 0)
             for job in self._jobs.values():
                 counts[job.state] += 1
             return counts
 
+    def retry_after_hint(self) -> float:
+        """Current backpressure hint (seconds), drain-rate derived."""
+        with self._cond:
+            return self._retry_after_locked()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
     def wait_idle(self, timeout: float | None = None) -> bool:
-        """Block until no job is pending or running; True on success."""
+        """Block until no job is pending, running, or retrying.
+
+        A ``retrying`` job still counts as accepted work -- drain waits
+        out its backoff and final attempt rather than abandoning it.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
-            while any(
-                j.state in ("pending", "running") for j in self._jobs.values()
-            ):
+            while any(j.state in ACTIVE_STATES for j in self._jobs.values()):
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return False
+                due = [
+                    j.not_before for j in self._jobs.values()
+                    if j.state == "retrying" and j.not_before is not None
+                ]
+                if due:
+                    until_due = max(0.0, min(due) - time.time()) + 1e-3
+                    remaining = until_due if remaining is None else min(remaining, until_due)
                 self._cond.wait(remaining)
             return True
 
@@ -227,54 +573,156 @@ class JobQueue:
         }
 
     def save(self, path: str | None = None) -> str:
-        """Persist atomically; returns the path written."""
+        """Persist a full snapshot atomically; returns the path written.
+
+        Writing to the configured ``state_path`` also truncates the
+        journal -- the snapshot supersedes it.
+        """
         target = path or self.state_path
         if target is None:
             raise ValueError("no state path configured")
-        atomic_write_text(target, json.dumps(self.to_state(), sort_keys=True))
+        with self._cond:
+            atomic_write_text(target, json.dumps(self._state_locked(), sort_keys=True))
+            if self._journal is not None and target == self.state_path:
+                self._journal.reset()
         return target
 
-    def _persist(self) -> None:
-        # Called with the lock held; atomic_write_text keeps the old
-        # state intact if the process dies mid-write.
-        if self.state_path is not None:
-            atomic_write_text(
-                self.state_path, json.dumps(self._state_locked(), sort_keys=True)
-            )
+    def _append(self, job: Job) -> None:
+        # Called with the lock held.  One flushed line per accepting
+        # mutation -- O(record) instead of PR-4's O(queue) full rewrite.
+        if self._journal is None:
+            return
+        self._rev += 1
+        self._journal.append({"rev": self._rev, "seq": self._seq, "job": job.to_dict()})
+        METRICS.inc("serve.journal.records")
+        if self._journal.records_since_compact >= self.compact_every:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        atomic_write_text(
+            self.state_path, json.dumps(self._state_locked(), sort_keys=True)
+        )
+        self._journal.reset()
+        METRICS.inc("serve.journal.compactions")
 
     def _restore(self, path: str) -> None:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-        if payload.get("version") != STATE_VERSION:
-            raise ValueError(
-                f"unsupported queue state version {payload.get('version')!r}"
+        """Rebuild state from snapshot + journal; tolerant of every
+        partial-crash artifact.
+
+        A missing-but-configured snapshot and an empty snapshot file are
+        the same situation -- a server that never persisted -- and both
+        start clean with a structured log line rather than diverging.
+        Torn or corrupt trailing journal records are discarded (with a
+        warning and a metric), never fatal.
+        """
+        snapshot_jobs: list[dict] = []
+        if not os.path.exists(path):
+            log_event(
+                _LOG, logging.INFO, "serve.queue.starting_clean",
+                path=path, reason="state file missing",
             )
-        self._seq = int(payload["seq"])
-        for record in payload["jobs"]:
+        else:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            if not text.strip():
+                log_event(
+                    _LOG, logging.INFO, "serve.queue.starting_clean",
+                    path=path, reason="state file empty",
+                )
+            else:
+                payload = json.loads(text)
+                if payload.get("version") not in (1, STATE_VERSION):
+                    raise ValueError(
+                        f"unsupported queue state version {payload.get('version')!r}"
+                    )
+                self._seq = int(payload["seq"])
+                snapshot_jobs = payload["jobs"]
+        for record in snapshot_jobs:
             job = Job.from_dict(record)
             self._jobs[job.id] = job
-            if job.state == "pending":
+
+        journal = QueueJournal(path + ".wal")
+        records, discarded = journal.replay()
+        journal.close()
+        for record in records:
+            self._seq = max(self._seq, int(record.get("seq", 0)))
+            self._rev = max(self._rev, int(record.get("rev", 0)))
+            job = Job.from_dict(record["job"])
+            self._jobs[job.id] = job  # last record wins
+        if discarded:
+            METRICS.inc("serve.journal.torn_discarded", float(discarded))
+            log_event(
+                _LOG, logging.WARNING, "serve.journal.torn_tail_discarded",
+                path=journal.path, discarded=discarded, replayed=len(records),
+            )
+
+        for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+            if job.state in ("pending", "retrying"):
                 heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+            if job.state in ACTIVE_STATES:
                 self._active_by_fingerprint[job.request.fingerprint()] = job.id
         METRICS.inc("serve.queue.restored_jobs", float(len(self._jobs)))
         self._publish_gauges()
+        if self._journal is not None and (self._jobs or records or discarded):
+            # Fold the replayed journal into a fresh snapshot so a crash
+            # loop cannot grow the WAL without bound.
+            self._compact_locked()
 
     # -- internals --------------------------------------------------------------------
 
-    def _pending_count(self) -> int:
-        return sum(1 for j in self._jobs.values() if j.state == "pending")
+    def _depth_locked(self) -> int:
+        return sum(
+            1 for j in self._jobs.values() if j.state in ("pending", "retrying")
+        )
 
-    def _pop_pending(self) -> Job | None:
+    def _retry_after_locked(self) -> float:
+        depth = self._depth_locked()
+        if len(self._finished_at) < 2:
+            return 1.0
+        span = self._finished_at[-1] - self._finished_at[0]
+        if span <= 0:
+            return RETRY_AFTER_MIN
+        seconds_per_finish = span / (len(self._finished_at) - 1)
+        # Time until a queue slot opens: one finish interval, scaled by
+        # how far past capacity the caller found us.
+        backlog = max(1, depth - self.max_depth + 1)
+        return min(max(seconds_per_finish * backlog, RETRY_AFTER_MIN), RETRY_AFTER_MAX)
+
+    def _pop_ready(self, now: float | None = None) -> tuple[Job | None, float | None]:
+        """(next claimable job, earliest future retry due time)."""
+        now = time.time() if now is None else now
+        deferred: list[tuple[int, int, str]] = []
+        job: Job | None = None
+        next_due: float | None = None
         while self._heap:
-            _, _, job_id = heapq.heappop(self._heap)
-            job = self._jobs.get(job_id)
-            if job is not None and job.state == "pending":
-                return job
-        return None
+            entry = heapq.heappop(self._heap)
+            candidate = self._jobs.get(entry[2])
+            if candidate is None or candidate.state not in ("pending", "retrying"):
+                continue  # stale heap entry from an earlier transition
+            if (
+                candidate.state == "retrying"
+                and candidate.not_before is not None
+                and candidate.not_before > now
+            ):
+                deferred.append(entry)
+                next_due = (
+                    candidate.not_before
+                    if next_due is None
+                    else min(next_due, candidate.not_before)
+                )
+                continue
+            job = candidate
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return job, next_due
 
     def _publish_gauges(self) -> None:
-        METRICS.set_gauge("serve.queue.depth", float(self._pending_count()))
-        METRICS.set_gauge(
-            "serve.jobs.in_flight",
-            float(sum(1 for j in self._jobs.values() if j.state == "running")),
-        )
+        counts = dict.fromkeys(JOB_STATES, 0)
+        for j in self._jobs.values():
+            counts[j.state] += 1
+        METRICS.set_gauge("serve.queue.depth", float(counts["pending"] + counts["retrying"]))
+        METRICS.set_gauge("serve.jobs.in_flight", float(counts["running"]))
+        METRICS.set_gauge("serve.jobs.retrying", float(counts["retrying"]))
+        METRICS.set_gauge("serve.dead.jobs", float(counts["dead"]))
+        METRICS.set_gauge("serve.queue.retry_after_seconds", self._retry_after_locked())

@@ -24,9 +24,19 @@ reimplementing it:
   whole serving session.  Cache hits merge nothing -- the absence of
   new GE solves is the observable proof that no recomputation happened.
 
-A job that raises anything else is marked ``failed`` with its error
-string; the worker logs it and moves on.  The server never dies on a
-poisoned request.
+**Failure handling.**  Workers hold a queue lease while they execute; a
+pool supervisor thread renews those leases every ``lease_seconds / 3``,
+runs the queue reaper, and respawns any worker thread that died.  A job
+that raises is handed back to the queue (``fail``), which retries it
+with backoff or quarantines it dead -- the server never dies on a
+poisoned request.  An injected :class:`ChaosWorkerCrash` is the one
+exception the loop does *not* absorb into the job: the thread dies with
+the job still leased, so recovery must flow through the reap -> requeue
+-> respawn machinery this pool exists to prove out.
+
+Workers block on the queue's condition variable (``claim`` with no
+timeout) rather than polling, so an idle pool costs nothing until a
+submit, retry expiry, or shutdown wakes it.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from ..obs.tracing import TRACER
 from ..parallel.memory_plan import max_feasible_segment_rows
 from ..parallel.parallel_sma import machine_for_image
 from ..reliability.degrade import DegradationLadder
+from ..reliability.injection import ChaosWorkerCrash, ServeChaosPlan
 from .cache import result_key
 from .jobs import Job
 
@@ -67,27 +78,56 @@ def _dataset_for(job: Job) -> Dataset:
 
 
 class WorkerPool:
-    """Thread pool that drains the job queue through the app's caches."""
+    """Supervised thread pool that drains the job queue.
 
-    def __init__(self, app, workers: int = 2, poll_seconds: float = 0.2) -> None:
+    ``poll_seconds`` survives as the pause-check interval only; idle
+    workers no longer poll -- they block in ``queue.claim``.
+    """
+
+    def __init__(
+        self,
+        app,
+        workers: int = 2,
+        poll_seconds: float = 0.2,
+        chaos: ServeChaosPlan | None = None,
+    ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.app = app
         self.workers = workers
         self.poll_seconds = poll_seconds
+        self.chaos = chaos if chaos is not None and not chaos.is_empty else None
         self._threads: list[threading.Thread] = []
+        self._supervisor: threading.Thread | None = None
         self._stop = threading.Event()
         self._paused = threading.Event()
+        #: thread name -> (job id, lease token); the supervisor renews
+        #: these leases.  An entry disappears when the attempt finishes
+        #: *or the thread dies* (``finally``), after which the lease
+        #: expires and the reaper requeues the job.
+        self._executing: dict[str, tuple[str, str]] = {}
+        self._exec_lock = threading.Lock()
+        #: Worker thread names asked to exit for a rolling restart.
+        self._rolling: set[str] = set()
 
     # -- lifecycle --------------------------------------------------------------------
 
     def start(self) -> None:
+        if self.workers <= 0:
+            return
         for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._loop, name=f"serve-worker-{index}", daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+            self._threads.append(self._spawn(index))
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn(self, slot: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._loop, name=f"serve-worker-{slot}", daemon=True
+        )
+        thread.start()
+        return thread
 
     def stop(self) -> None:
         self._stop.set()
@@ -95,6 +135,9 @@ class WorkerPool:
         for thread in self._threads:
             thread.join()
         self._threads.clear()
+        if self._supervisor is not None:
+            self._supervisor.join()
+            self._supervisor = None
 
     def pause(self) -> None:
         """Stop claiming new jobs (running jobs finish); for tests/drain."""
@@ -107,29 +150,97 @@ class WorkerPool:
     def paused(self) -> bool:
         return self._paused.is_set()
 
+    def restart_workers(self) -> int:
+        """Rolling restart: signal each worker to exit after its current
+        job; the supervisor respawns the slots.  Returns the count
+        signaled."""
+        count = len(self._threads)
+        with self._exec_lock:
+            for thread in self._threads:
+                self._rolling.add(thread.name)
+        return count
+
+    # -- the supervisor ---------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Renew leases, reap expired ones, respawn dead worker slots."""
+        interval = max(0.05, self.app.queue.lease_seconds / 3.0)
+        while not self._stop.wait(interval):
+            with self._exec_lock:
+                entries = list(self._executing.values())
+            for job_id, token in entries:
+                self.app.queue.renew(job_id, token)
+            self.app.queue.reap()
+            for slot, thread in enumerate(self._threads):
+                if self._stop.is_set():
+                    break
+                if not thread.is_alive():
+                    replacement = self._spawn(slot)
+                    self._threads[slot] = replacement
+                    METRICS.inc("serve.workers.restarted")
+                    log_event(
+                        _LOG, logging.WARNING, "serve.worker_restarted",
+                        slot=slot, died=thread.name, spawned=replacement.name,
+                    )
+
     # -- the worker loop --------------------------------------------------------------
 
     def _loop(self) -> None:
+        name = threading.current_thread().name
         while not self._stop.is_set():
             if self._paused.is_set():
                 self._stop.wait(self.poll_seconds)
                 continue
-            job = self.app.queue.claim(timeout=self.poll_seconds)
+            with self._exec_lock:
+                rolling = name in self._rolling
+                self._rolling.discard(name)
+            if rolling:  # rolling restart: exit; the supervisor respawns the slot
+                return
+            job = self.app.queue.claim(timeout=None, worker=name)
             if job is None:
+                if self._stop.is_set() or self.app.queue.closed:
+                    return
                 continue
+            token = job.lease_token
+            with self._exec_lock:
+                self._executing[name] = (job.id, token)
             try:
                 self.execute(job)
+            except ChaosWorkerCrash as crash:
+                # Simulated thread death: the job stays leased, the
+                # supervisor's reaper requeues it, the supervisor
+                # respawns this slot.  Do NOT fail the job here.
+                METRICS.inc("serve.chaos.worker_crashes")
+                log_event(
+                    _LOG, logging.ERROR, "serve.chaos_worker_crash",
+                    job=job.id, worker=name, error=str(crash),
+                )
+                return
             except Exception as exc:  # noqa: BLE001 -- the server must survive
-                self.app.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+                self.app.queue.fail(
+                    job.id, f"{type(exc).__name__}: {exc}", lease_token=token
+                )
                 METRICS.inc("serve.jobs.failed")
                 log_event(
                     _LOG, logging.ERROR, "serve.job_failed", job=job.id, error=str(exc)
                 )
+            finally:
+                with self._exec_lock:
+                    self._executing.pop(name, None)
 
     # -- job execution ----------------------------------------------------------------
 
     def execute(self, job: Job) -> None:
-        """Resolve one job: result cache first, compute on miss."""
+        """Resolve one job: result cache first, compute on miss.
+
+        Chaos (when armed) strikes first, before any frame resolves --
+        it can delay or kill an *attempt* but never touch the product.
+        """
+        token = job.lease_token
+        if self.chaos is not None:
+            applied = self.chaos.apply(job.seq, job.attempts)
+            if applied == "stall":
+                METRICS.inc("serve.chaos.stalls")
         with TRACER.span("serve.job", job=job.id, kind=job.request.kind):
             dataset = _dataset_for(job)
             request = job.request
@@ -148,12 +259,13 @@ class WorkerPool:
 
             cached = self.app.cache.get(key)
             if cached is not None:
-                self.app.queue.complete(
-                    job.id, cache_hit=True, result_key=key,
+                done = self.app.queue.complete(
+                    job.id, lease_token=token, cache_hit=True, result_key=key,
                     metadata={"model": cached.metadata.get("model")},
                 )
-                METRICS.inc("serve.jobs.completed")
-                log_event(_LOG, logging.INFO, "serve.cache_hit", job=job.id, key=key)
+                if done is not None:
+                    METRICS.inc("serve.jobs.completed")
+                    log_event(_LOG, logging.INFO, "serve.cache_hit", job=job.id, key=key)
                 return
 
             if request.kind == "pair":
@@ -166,12 +278,13 @@ class WorkerPool:
                 )
             self.app.cache.put(key, field)
             self.app.publish_ledger_gauges()
-            self.app.queue.complete(
-                job.id, cache_hit=False, result_key=key, rung=rung,
+            done = self.app.queue.complete(
+                job.id, lease_token=token, cache_hit=False, result_key=key, rung=rung,
                 metadata={"model": field.metadata.get("model")},
             )
-            METRICS.inc("serve.jobs.completed")
-            log_event(_LOG, logging.INFO, "serve.computed", job=job.id, key=key)
+            if done is not None:
+                METRICS.inc("serve.jobs.completed")
+                log_event(_LOG, logging.INFO, "serve.computed", job=job.id, key=key)
 
     def _compute_pair(
         self, frames, config, pixel_km, search_mode: str = "exhaustive"

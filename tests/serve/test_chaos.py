@@ -1,0 +1,367 @@
+"""Serve-mode chaos acceptance: crashes, stalls, SIGKILL, zero loss.
+
+The ISSUE-6 acceptance contract: with seeded worker-crash/stall
+injection, a SIGKILL-and-restart of the server process, and a rolling
+worker restart, every accepted job terminates as ``done`` or ``dead``
+(bounded attempts), zero jobs are lost or stranded in ``running``, and
+all served motion fields remain bit-identical to direct ``track_dense``
+output.
+
+:class:`ServeChaosPlan` decisions are pure functions of
+``(seed, job.seq)``, so each test first searches a small seed range for
+a schedule covering the fault mix it needs -- the assertions then check
+*exact per-job terminal states* against ``expected_outcome``, not just
+aggregate survival.
+"""
+
+import io
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.matching import prepare_frames, track_dense
+from repro.data.datasets import florida_thunderstorm
+from repro.obs.metrics import METRICS
+from repro.reliability.injection import (
+    ChaosTransientFault,
+    ChaosWorkerCrash,
+    ServeChaosPlan,
+)
+from repro.serve.http import ServeApp
+from repro.serve.jobs import JobRequest
+
+SIZE = 48
+DEADLINE = 120.0
+
+
+def _seed_covering(kinds, plan_factory, n_jobs, limit=500):
+    """Smallest seed whose schedule hits every fault kind in ``kinds``
+    among job sequence numbers ``1..n_jobs`` (None = a clean job)."""
+    for seed in range(limit):
+        plan = plan_factory(seed)
+        if kinds <= {plan.decide(seq) for seq in range(1, n_jobs + 1)}:
+            return plan
+    raise AssertionError(f"no seed < {limit} covers {kinds}")
+
+
+def _reference_field(seed):
+    ds = florida_thunderstorm(size=SIZE, n_frames=2, seed=seed)
+    config = ds.config.replace(n_zs=2, n_zt=3)
+    return track_dense(
+        prepare_frames(ds.frames[0].surface, ds.frames[1].surface, config)
+    )
+
+
+class TestPlanDeterminism:
+    def test_decisions_are_pure_functions_of_seed_and_seq(self):
+        a = ServeChaosPlan(seed=7, crash_rate=0.2, stall_rate=0.2, flaky_rate=0.2)
+        b = ServeChaosPlan(seed=7, crash_rate=0.2, stall_rate=0.2, flaky_rate=0.2)
+        assert [a.decide(s) for s in range(1, 65)] == [b.decide(s) for s in range(1, 65)]
+        other = ServeChaosPlan(seed=8, crash_rate=0.2, stall_rate=0.2, flaky_rate=0.2)
+        assert [a.decide(s) for s in range(1, 65)] != [other.decide(s) for s in range(1, 65)]
+
+    def test_rate_one_faults_every_job(self):
+        assert all(
+            ServeChaosPlan(seed=3, crash_rate=1.0).decide(s) == "crash"
+            for s in range(1, 20)
+        )
+        assert ServeChaosPlan(seed=3).is_empty
+
+    def test_apply_recovers_on_later_attempts(self):
+        """Crash/stall strike attempt 1 only; flaky strikes the first
+        ``flaky_attempts`` -- chaos demonstrates recovery, not doom."""
+        crash = ServeChaosPlan(seed=0, crash_rate=1.0)
+        with pytest.raises(ChaosWorkerCrash):
+            crash.apply(1, attempt=1)
+        assert crash.apply(1, attempt=2) is None
+
+        flaky = ServeChaosPlan(seed=0, flaky_rate=1.0, flaky_attempts=2)
+        for attempt in (1, 2):
+            with pytest.raises(ChaosTransientFault):
+                flaky.apply(1, attempt=attempt)
+        assert flaky.apply(1, attempt=3) is None
+
+        stall = ServeChaosPlan(seed=0, stall_rate=1.0, stall_seconds=0.0)
+        assert stall.apply(1, attempt=1) == "stall"
+        assert stall.apply(1, attempt=2) is None
+
+    def test_expected_outcome_matches_apply_semantics(self):
+        crash = ServeChaosPlan(seed=0, crash_rate=1.0)
+        assert crash.expected_outcome(1, max_attempts=3) == ("done", 2)
+        doomed = ServeChaosPlan(seed=0, flaky_rate=1.0, flaky_attempts=5)
+        assert doomed.expected_outcome(1, max_attempts=3) == ("dead", 3)
+        recovers = ServeChaosPlan(seed=0, flaky_rate=1.0, flaky_attempts=1)
+        assert recovers.expected_outcome(1, max_attempts=3) == ("done", 2)
+
+    def test_from_spec_parses_and_validates(self):
+        plan = ServeChaosPlan.from_spec(
+            "crash=0.2,stall=0.1,stall_seconds=1.5,flaky=0.3,flaky_attempts=2", seed=7
+        )
+        assert plan.seed == 7
+        assert plan.crash_rate == 0.2 and plan.stall_rate == 0.1
+        assert plan.stall_seconds == 1.5
+        assert plan.flaky_rate == 0.3 and plan.flaky_attempts == 2
+        assert not ServeChaosPlan.from_spec("default").is_empty
+        with pytest.raises(ValueError, match="unknown chaos spec key"):
+            ServeChaosPlan.from_spec("meteor=1.0")
+        with pytest.raises(ValueError, match="sum"):
+            ServeChaosPlan.from_spec("crash=0.9,flaky=0.9")
+        with pytest.raises(ValueError, match="crash_rate"):
+            ServeChaosPlan(crash_rate=1.5)
+
+
+class TestChaosRecoveryInProcess:
+    def test_every_job_terminates_per_schedule_with_reap_and_respawn(self, tmp_path):
+        """The heart of the acceptance test: a seeded crash/stall/flaky
+        mix, and every job's terminal (state, attempts) equals the
+        schedule's prediction -- recovery is deterministic even though
+        thread interleaving is not."""
+        n_jobs = 6
+        plan = _seed_covering(
+            {"crash", "flaky", None},
+            lambda s: ServeChaosPlan(
+                seed=s, crash_rate=0.3, stall_rate=0.2, flaky_rate=0.3,
+                stall_seconds=0.2, flaky_attempts=5,  # flaky -> always dead
+            ),
+            n_jobs,
+        )
+        reaped_before = METRICS.counter("serve.lease.reaped")
+        crashes_before = METRICS.counter("serve.chaos.worker_crashes")
+        restarted_before = METRICS.counter("serve.workers.restarted")
+        app = ServeApp(
+            str(tmp_path / "state"), workers=2, queue_depth=16,
+            lease_seconds=1.0, max_attempts=2, job_timeout_seconds=60.0,
+            retry_backoff_seconds=0.05, chaos=plan,
+        ).start()
+        try:
+            jobs = [
+                app.queue.submit(JobRequest(dataset="florida", size=SIZE, seed=s))[0]
+                for s in range(n_jobs)
+            ]
+            assert app.queue.wait_idle(timeout=DEADLINE)
+
+            max_attempts = app.queue.retry_policy.max_attempts
+            for job in jobs:
+                state = app.queue.get(job.id)
+                expected_state, expected_attempts = plan.expected_outcome(
+                    job.seq, max_attempts
+                )
+                assert state.state == expected_state, (job.seq, state.error)
+                if plan.decide(job.seq) == "stall":
+                    # A stalled attempt may or may not get reaped before
+                    # it finishes; attempts is a lower bound only.
+                    assert state.attempts >= expected_attempts
+                else:
+                    assert state.attempts == expected_attempts, (job.seq, state.error)
+                assert state.attempts <= max_attempts
+
+            counts = app.queue.counts()
+            assert counts["running"] == counts["pending"] == counts["retrying"] == 0
+
+            crashes = sum(1 for j in jobs if plan.decide(j.seq) == "crash")
+            assert crashes >= 1  # the seed search guarantees it
+            assert METRICS.counter("serve.chaos.worker_crashes") - crashes_before >= crashes
+            # Each crashed attempt died holding its lease; recovery went
+            # through the reaper...
+            assert METRICS.counter("serve.lease.reaped") - reaped_before >= crashes
+            # ...and the supervisor respawned the dead worker slots.
+            deadline = time.monotonic() + 10.0
+            while (
+                METRICS.counter("serve.workers.restarted") - restarted_before < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert METRICS.counter("serve.workers.restarted") - restarted_before >= 1
+
+            # Chaos never touches the product: the crash-recovered job's
+            # served field is bit-identical to direct track_dense.
+            crashed = next(j for j in jobs if plan.decide(j.seq) == "crash")
+            served = app.cache.get(app.queue.get(crashed.id).result_key, record=False)
+            reference = _reference_field(crashed.request.seed)
+            np.testing.assert_array_equal(served.u, reference.u)
+            np.testing.assert_array_equal(served.v, reference.v)
+            np.testing.assert_array_equal(served.error, reference.error)
+        finally:
+            app.drain(timeout=DEADLINE)
+
+    def test_stalled_job_times_out_and_reexecution_wins(self, tmp_path):
+        """A stall longer than the wall-clock timeout: the reaper takes
+        the job back mid-stall, a second attempt completes it, and the
+        zombie's late completion is dropped as stale."""
+        plan = ServeChaosPlan(seed=0, stall_rate=1.0, stall_seconds=4.0)
+        timed_out_before = METRICS.counter("serve.lease.timed_out")
+        stale_before = METRICS.counter("serve.lease.stale_completions")
+        app = ServeApp(
+            str(tmp_path / "state"), workers=2, queue_depth=4,
+            lease_seconds=0.5, max_attempts=3, job_timeout_seconds=2.0,
+            retry_backoff_seconds=0.05, chaos=plan,
+        ).start()
+        try:
+            job, _ = app.queue.submit(JobRequest(dataset="florida", size=SIZE))
+            assert app.queue.wait_idle(timeout=DEADLINE)
+            state = app.queue.get(job.id)
+            assert state.state == "done"
+            assert state.attempts == 2  # timed-out stall + clean re-execution
+            assert METRICS.counter("serve.lease.timed_out") - timed_out_before >= 1
+        finally:
+            # stop() joins the zombie thread, so its stale completion
+            # has landed (and been dropped) by the time drain returns.
+            app.drain(timeout=DEADLINE)
+        assert METRICS.counter("serve.lease.stale_completions") - stale_before >= 1
+        assert app.queue.get(job.id).state == "done"
+
+    def test_rolling_worker_restart_under_load_loses_nothing(self, tmp_path):
+        restarted_before = METRICS.counter("serve.workers.restarted")
+        app = ServeApp(
+            str(tmp_path / "state"), workers=2, queue_depth=32,
+            lease_seconds=1.0, retry_backoff_seconds=0.05,
+        ).start()
+        try:
+            jobs = [
+                app.queue.submit(JobRequest(dataset="florida", size=SIZE, seed=s))[0]
+                for s in range(4)
+            ]
+            assert app.pool.restart_workers() == 2
+            jobs += [
+                app.queue.submit(JobRequest(dataset="florida", size=SIZE, seed=s))[0]
+                for s in range(4, 6)
+            ]
+            assert app.queue.wait_idle(timeout=DEADLINE)
+            for job in jobs:
+                assert app.queue.get(job.id).state == "done"
+            assert app.queue.counts()["dead"] == 0
+            # Both slots were signalled; the supervisor respawns each.
+            deadline = time.monotonic() + 10.0
+            while (
+                METRICS.counter("serve.workers.restarted") - restarted_before < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert METRICS.counter("serve.workers.restarted") - restarted_before >= 2
+        finally:
+            app.drain(timeout=DEADLINE)
+
+
+class TestSigkillRestart:
+    """The full crash-tolerance story over real HTTP: SIGKILL the server
+    mid-flight, restart on the same state dir, and every accepted job
+    still terminates -- none lost, products still bit-identical."""
+
+    N_JOBS = 6
+    CHAOS_SPEC = "crash=0.25,flaky=0.25,flaky_attempts=1"
+
+    def _spawn_server(self, state_dir, chaos_seed):
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--state-dir", state_dir, "--workers", "2",
+                "--lease-seconds", "1", "--retry-backoff", "0.05",
+                "--chaos", self.CHAOS_SPEC, "--chaos-seed", str(chaos_seed),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        # The chaos-armed warning (and other startup logs) precede the
+        # listen banner on the merged stream; scan until it appears.
+        seen = []
+        for _ in range(50):
+            line = proc.stdout.readline()
+            seen.append(line)
+            match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+            if match:
+                return proc, f"http://{match.group(1)}:{match.group(2)}"
+            if not line:
+                break
+        raise AssertionError(f"no listen banner, got: {seen!r}")
+
+    def _get(self, base, path):
+        try:
+            with urllib.request.urlopen(base + path, timeout=30) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def _post(self, base, path, payload):
+        req = urllib.request.Request(
+            base + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_sigkilled_server_restarts_without_losing_a_job(self, tmp_path):
+        plan = _seed_covering(
+            {"crash", None},
+            lambda s: ServeChaosPlan(
+                seed=s, crash_rate=0.25, flaky_rate=0.25, flaky_attempts=1
+            ),
+            self.N_JOBS,
+        )
+        state_dir = str(tmp_path / "state")
+        proc, base = self._spawn_server(state_dir, plan.seed)
+        accepted = []
+        try:
+            for seed in range(self.N_JOBS):
+                status, body = self._post(
+                    base, "/v1/jobs", {"dataset": "florida", "size": SIZE, "seed": seed}
+                )
+                assert status == 202
+                accepted.append(body["id"])
+            time.sleep(0.5)  # let workers claim / crash / retry mid-flight
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            proc.stdout.close()
+
+        # Same state dir, same chaos schedule: the journal replay must
+        # resume every accepted job.
+        proc, base = self._spawn_server(state_dir, plan.seed)
+        try:
+            states = {}
+            deadline = time.monotonic() + DEADLINE
+            while time.monotonic() < deadline:
+                states = {}
+                for job_id in accepted:
+                    status, body = self._get(base, f"/v1/jobs/{job_id}")
+                    assert status != 404, f"accepted job {job_id} lost by the restart"
+                    states[job_id] = json.loads(body)
+                if all(j["state"] in ("done", "dead") for j in states.values()):
+                    break
+                time.sleep(0.2)
+            assert states and all(
+                j["state"] in ("done", "dead") for j in states.values()
+            ), {k: v["state"] for k, v in states.items()}
+            # flaky_attempts=1 < max attempts: even flaky jobs recover.
+            assert all(j["state"] == "done" for j in states.values())
+
+            # Served field from the crash-recovered, SIGKILL-survived run
+            # is still bit-identical to a local track_dense.
+            probe = accepted[0]
+            status, field_bytes = self._get(base, f"/v1/products/{probe}/field")
+            assert status == 200
+            reference = _reference_field(states[probe]["request"]["seed"])
+            with np.load(io.BytesIO(field_bytes)) as served:
+                np.testing.assert_array_equal(served["u"], reference.u)
+                np.testing.assert_array_equal(served["v"], reference.v)
+                np.testing.assert_array_equal(served["error"], reference.error)
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()

@@ -71,7 +71,7 @@ def _wait_done(base, job_id, deadline=DEADLINE):
     while time.monotonic() < end:
         _, _, body = _request(base, f"/v1/jobs/{job_id}")
         job = json.loads(body)
-        if job["state"] in ("done", "failed"):
+        if job["state"] in ("done", "dead"):
             return job
         time.sleep(0.05)
     raise AssertionError(f"job {job_id} never finished")
@@ -197,4 +197,65 @@ class TestHttpErrorPaths:
         assert status == 200
         health = json.loads(body)
         assert health["status"] == "ok"
-        assert set(health) >= {"queue_depth", "in_flight", "cache_entries"}
+        assert set(health) >= {
+            "queue_depth", "in_flight", "cache_entries",
+            "jobs_dead", "jobs_retrying", "retry_after_seconds",
+        }
+
+
+class TestDeadLetterRoutes:
+    def _make_dead(self, app):
+        """Manufacture one dead-letter job directly on the queue.
+
+        A non-retryable fail quarantines the job whether or not a
+        worker already claimed it -- any late worker completion is
+        dropped as stale (that suppression is part of what's under
+        test).
+        """
+        from repro.serve.jobs import JobRequest
+
+        job, _ = app.queue.submit(JobRequest(dataset="florida", size=SIZE, seed=99))
+        app.queue.fail(job.id, "manufactured poison", retryable=False)
+        assert app.queue.get(job.id).state == "dead"
+        return job
+
+    def test_dead_listing_and_requeue_round_trip(self, server):
+        app, base = server
+        job = self._make_dead(app)
+
+        status, _, body = _request(base, "/v1/jobs?state=dead")
+        assert status == 200
+        listing = json.loads(body)
+        assert listing["count"] == 1
+        assert listing["jobs"][0]["id"] == job.id
+        assert listing["jobs"][0]["error"] == "manufactured poison"
+
+        # The product route reports the quarantine, not a hang.
+        status, _, body = _request(base, f"/v1/products/{job.id}")
+        assert status == 410 and "dead" in json.loads(body)["error"]
+
+        # Requeue revives it with a fresh budget; the resumed worker
+        # (no poison this time) completes it for real.
+        status, _, body = _request(base, f"/v1/jobs/{job.id}/requeue", payload={})
+        assert status == 200
+        revived = json.loads(body)
+        assert revived["state"] == "pending" and revived["attempts"] == 0
+        finished = _wait_done(base, job.id)
+        assert finished["state"] == "done"
+
+        status, _, body = _request(base, "/v1/jobs?state=dead")
+        assert json.loads(body)["count"] == 0
+
+    def test_requeue_error_paths(self, server):
+        app, base = server
+        status, _, _ = _request(base, "/v1/jobs/job-999999/requeue", payload={})
+        assert status == 404
+        _, accepted = _submit(base, {"dataset": "florida", "size": SIZE})
+        done = _wait_done(base, accepted["id"])
+        status, _, body = _request(base, f"/v1/jobs/{done['id']}/requeue", payload={})
+        assert status == 409 and "only dead jobs" in json.loads(body)["error"]
+
+    def test_bad_state_filter_is_400(self, server):
+        _, base = server
+        status, _, body = _request(base, "/v1/jobs?state=zombie")
+        assert status == 400 and "unknown job state" in json.loads(body)["error"]

@@ -6,8 +6,6 @@ exactly the accepted work -- pending jobs, priorities and dedup keys
 survive the round trip bit for bit.
 """
 
-import json
-
 import pytest
 
 from repro.serve.jobs import JobRequest
@@ -83,44 +81,73 @@ class TestBackpressure:
         job, created = q.submit(_request(seed=2))
         assert created and job.state == "pending"
 
-    def test_failed_job_records_error(self):
+    def test_failed_job_retries_then_dead_letters(self):
+        """A failing job burns its bounded attempt budget through the
+        retry path, then quarantines dead with the last error."""
+        q = JobQueue(max_depth=2)
+        job, _ = q.submit(_request())
+        for attempt in range(1, q.retry_policy.max_attempts + 1):
+            claimed = q.claim(timeout=1.0)
+            assert claimed.id == job.id and claimed.attempts == attempt
+            q.fail(job.id, "poisoned request")
+        state = q.get(job.id)
+        assert state.state == "dead"
+        assert state.attempts == q.retry_policy.max_attempts
+        assert "poisoned" in state.error
+
+    def test_nonretryable_failure_goes_straight_to_dead(self):
         q = JobQueue(max_depth=2)
         job, _ = q.submit(_request())
         q.claim(timeout=0)
-        q.fail(job.id, "poisoned request")
-        assert q.get(job.id).state == "failed"
-        assert "poisoned" in q.get(job.id).error
+        q.fail(job.id, "validation bug", retryable=False)
+        assert q.get(job.id).state == "dead"
+        assert q.get(job.id).attempts == 1
+
+    def test_retry_backoff_gates_the_next_claim(self):
+        q = JobQueue(max_depth=2)
+        job, _ = q.submit(_request())
+        q.claim(timeout=0)
+        q.fail(job.id, "transient")
+        assert q.get(job.id).state == "retrying"
+        # Not due yet: an immediate claim must come back empty...
+        assert q.claim(timeout=0) is None
+        # ...but a blocking claim waits out the backoff on the condvar.
+        reclaimed = q.claim(timeout=5.0)
+        assert reclaimed is not None and reclaimed.id == job.id
+        assert reclaimed.attempts == 2
 
 
 class TestPersistence:
     def test_kill_restart_round_trip_bit_identical(self, tmp_path):
-        """Pending jobs, priorities and dedup keys survive bit for bit."""
+        """Pending jobs, priorities and dedup keys survive bit for bit.
+
+        No ``save()`` here -- the restart reads only what the write-ahead
+        journal captured at acceptance time, i.e. exactly what a
+        SIGKILLed server would have on disk.
+        """
         path = str(tmp_path / "queue.json")
         q = JobQueue(max_depth=8, state_path=path)
         q.submit(_request(seed=1), priority=3)
         q.submit(_request(seed=2), priority=0)
         running, _ = q.submit(_request(seed=3), priority=9)
         assert q.claim(timeout=0).id == running.id  # highest priority first
-        before = (tmp_path / "queue.json").read_bytes()
+        original_state = q.to_state()
 
-        restored = JobQueue(max_depth=8, state_path=str(tmp_path / "restored.json"))
-        restored._restore(path)
-        restored.save()
+        restored = JobQueue(max_depth=8, state_path=path)
         after_state = restored.to_state()
-        # The journal did not persist the claim (a crash mid-run must
-        # re-execute), so the restored state shows the same three
-        # accepted jobs, all pending, same priorities and fingerprints.
-        original_state = json.loads(before.decode())
         assert after_state["seq"] == original_state["seq"]
-        assert [j["id"] for j in after_state["jobs"]] == [
-            j["id"] for j in original_state["jobs"]
-        ]
-        assert [j["priority"] for j in after_state["jobs"]] == [
-            j["priority"] for j in original_state["jobs"]
-        ]
-        assert [j["request"] for j in after_state["jobs"]] == [
-            j["request"] for j in original_state["jobs"]
-        ]
+        for before_job, after_job in zip(
+            original_state["jobs"], after_state["jobs"]
+        ):
+            assert after_job["id"] == before_job["id"]
+            assert after_job["priority"] == before_job["priority"]
+            assert after_job["request"] == before_job["request"]
+        # The mid-run job restores pending, lease revoked, its crashed
+        # attempt still counted against the retry budget.
+        revived = restored.get(running.id)
+        assert revived.state == "pending"
+        assert revived.lease_token is None and revived.worker is None
+        assert revived.attempts == 1
 
     def test_restart_resumes_pending_in_priority_order(self, tmp_path):
         path = str(tmp_path / "queue.json")

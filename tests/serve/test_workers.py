@@ -90,9 +90,10 @@ class TestSequenceExecution:
 
 
 class TestFailureIsolation:
-    def test_poisoned_job_fails_but_pool_survives(self, app, monkeypatch):
-        """A job that blows up mid-execution is marked failed; the worker
-        thread moves on and completes the next job."""
+    def test_poisoned_job_dead_letters_but_pool_survives(self, app, monkeypatch):
+        """A job that blows up on every attempt burns its retry budget
+        and quarantines dead; the worker thread moves on and completes
+        the next job."""
         real = workers_module._dataset_for
         poisoned_ids = set()
 
@@ -111,6 +112,7 @@ class TestFailureIsolation:
             assert app.queue.wait_idle(timeout=60.0)
         finally:
             app.pool.stop()
-        assert app.queue.get(bad.id).state == "failed"
+        assert app.queue.get(bad.id).state == "dead"
+        assert app.queue.get(bad.id).attempts == app.queue.retry_policy.max_attempts
         assert "synthetic poison" in app.queue.get(bad.id).error
         assert app.queue.get(good.id).state == "done"

@@ -106,7 +106,11 @@ class TestServeCommand:
             main(["serve", "--help"])
         assert exc.value.code == 0
         out = capsys.readouterr().out
-        for option in ("--port", "--workers", "--queue-depth", "--cache-bytes", "--state-dir"):
+        for option in (
+            "--port", "--workers", "--queue-depth", "--cache-bytes", "--state-dir",
+            "--lease-seconds", "--max-attempts", "--job-timeout", "--retry-backoff",
+            "--chaos", "--chaos-seed",
+        ):
             assert option in out
         # the help text warns that serve mode refuses fault injection
         assert "fault injection" in out
@@ -116,6 +120,72 @@ class TestServeCommand:
             main(["--help"])
         assert exc.value.code == 0
         assert "serve" in capsys.readouterr().out
+
+
+class TestServeAdminCommand:
+    """Offline (--state-dir) transport of the dead-letter console."""
+
+    def _state_dir_with_dead_job(self, tmp_path):
+        import os
+
+        from repro.serve import JobQueue
+        from repro.serve.jobs import JobRequest
+
+        state_dir = str(tmp_path / "serve-state")
+        os.makedirs(state_dir)
+        queue = JobQueue(
+            max_depth=8, state_path=os.path.join(state_dir, "queue.json")
+        )
+        job, _ = queue.submit(JobRequest(dataset="florida", size=48))
+        queue.claim(timeout=0)
+        queue.fail(job.id, "poison pill", retryable=False)
+        queue.save()
+        queue.close()
+        return state_dir, job.id
+
+    def test_dead_listing(self, tmp_path, capsys):
+        state_dir, job_id = self._state_dir_with_dead_job(tmp_path)
+        assert main(["serve-admin", "dead", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "poison pill" in out
+
+    def test_requeue_round_trip(self, tmp_path, capsys):
+        from repro.serve import JobQueue
+
+        state_dir, job_id = self._state_dir_with_dead_job(tmp_path)
+        assert main(["serve-admin", "requeue", job_id, "--state-dir", state_dir]) == 0
+        assert f"requeued {job_id}" in capsys.readouterr().out
+        # The revival was flushed to disk: a fresh open sees it pending.
+        import os
+
+        reopened = JobQueue(
+            max_depth=8, state_path=os.path.join(state_dir, "queue.json")
+        )
+        assert reopened.get(job_id).state == "pending"
+        assert reopened.get(job_id).attempts == 0
+
+        assert main(["serve-admin", "dead", "--state-dir", state_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_requeue_unknown_job_fails_cleanly(self, tmp_path, capsys):
+        state_dir, _ = self._state_dir_with_dead_job(tmp_path)
+        rc = main(["serve-admin", "requeue", "job-999999", "--state-dir", state_dir])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_transport_is_exactly_one_of_url_or_state_dir(self, tmp_path, capsys):
+        assert main(["serve-admin", "dead"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        rc = main([
+            "serve-admin", "dead",
+            "--url", "http://localhost:1", "--state-dir", str(tmp_path),
+        ])
+        assert rc == 2
+
+    def test_requeue_needs_a_job_id(self, tmp_path, capsys):
+        state_dir, _ = self._state_dir_with_dead_job(tmp_path)
+        assert main(["serve-admin", "requeue", "--state-dir", state_dir]) == 2
+        assert "job id" in capsys.readouterr().err
 
 
 class TestSubpixelFlag:
