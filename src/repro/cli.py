@@ -93,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hypothesis schedule: 'pruned' is bit-identical with fewer GE "
         "solves; 'pyramid' is approximate coarse-to-fine (continuous model only)",
     )
+    track.add_argument(
+        "--backend", choices=("auto", "numpy", "native", "device"), default="auto",
+        help="kernel backend: 'auto' picks the native C kernel when available "
+        "(bit-identical to 'numpy'); 'native' requires it; 'device' runs "
+        "hypothesis chunks through the array-API path (torch/cupy when "
+        "importable, NumPy otherwise) -- tolerance-equivalent, not bitwise",
+    )
     track.add_argument("--out", type=str, default=None, help="save the field (.npz)")
     track.add_argument(
         "--subpixel", action="store_true",
@@ -127,6 +134,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
         help="hypothesis schedule ('pruned' is bit-identical with fewer GE "
         "solves; the approximate pyramid schedule is not streamable)",
+    )
+    stream.add_argument(
+        "--backend", choices=("auto", "numpy", "native"), default="auto",
+        help="kernel backend (bit-identical set only; the tolerance-"
+        "equivalent device backend is not streamable)",
     )
     stream.add_argument(
         "--inject-faults", type=str, default=None, metavar="SPEC",
@@ -204,6 +216,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "(result-cache keys include the mode)",
     )
     serve.add_argument(
+        "--backend", choices=("auto", "numpy", "native"), default="auto",
+        help="default kernel backend for jobs that do not name one "
+        "(result-cache keys include it; the device backend is not servable)",
+    )
+    serve.add_argument(
         "--lease-seconds", type=float, default=15.0, metavar="S",
         help="worker lease/heartbeat deadline; an expired lease requeues "
         "the job (a hung or dead worker never strands work)",
@@ -267,6 +284,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
         help="hypothesis schedule (the profile's GE counts show the "
         "pruned schedule's saving)",
+    )
+    profile.add_argument(
+        "--backend", choices=("auto", "numpy", "native"), default="auto",
+        help="kernel backend for the profiled run (bit-identical set only)",
     )
     _add_obs_arguments(profile)
 
@@ -386,7 +407,9 @@ def _cmd_track(args: argparse.Namespace) -> int:
         n_frames = max(n_frames, args.workers + 1)
     dataset: Dataset = factory(size=args.size, n_frames=n_frames, seed=args.seed)
     config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
-    analyzer = SMAnalyzer(config, pixel_km=dataset.pixel_km, search=args.search_mode)
+    analyzer = SMAnalyzer(
+        config, pixel_km=dataset.pixel_km, search=args.search_mode, backend=args.backend
+    )
     if args.workers is not None and args.workers > 1:
         # Sequence driver: all pairs sharded over the pool, bit-identical
         # to the direct call; report the requested pair.
@@ -406,7 +429,10 @@ def _cmd_track(args: argparse.Namespace) -> int:
             intensity_before=before.intensity,
             intensity_after=after.intensity,
         )
-        refined = refine(prepared, track_dense(prepared, search=args.search_mode))
+        refined = refine(
+            prepared,
+            track_dense(prepared, search=args.search_mode, backend=args.backend),
+        )
         field.u[...] = refined.u
         field.v[...] = refined.v
     u_true, v_true = dataset.truth_uv()
@@ -531,6 +557,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         pixel_km=dataset.pixel_km,
         workers=args.workers,
         search=args.search_mode,
+        backend=args.backend,
     )
     result = runner.run(dataset.frames, resume=args.resume, stop_after=args.stop_after)
 
@@ -602,6 +629,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         cache_bytes=args.cache_bytes,
         search_mode=args.search_mode,
+        backend=args.backend,
         lease_seconds=args.lease_seconds,
         max_attempts=args.max_attempts,
         job_timeout_seconds=args.job_timeout if args.job_timeout > 0 else None,
@@ -736,7 +764,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     TRACER.reset()
     METRICS.reset()
     enable_tracing(True)
-    driver = ParallelSMA(config, pixel_km=dataset.pixel_km, search=args.search_mode)
+    driver = ParallelSMA(
+        config, pixel_km=dataset.pixel_km, search=args.search_mode, backend=args.backend
+    )
     result = driver.track_pair(dataset.frames[0], dataset.frames[1])
 
     events = TRACER.events()

@@ -57,23 +57,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .linalg import gaussian_eliminate
-
-#: Parameter order used throughout: theta = (a_i, b_i, a_j, b_j, a_k, b_k).
-PARAM_NAMES: tuple[str, ...] = ("a_i", "b_i", "a_j", "b_j", "a_k", "b_k")
-
-N_PARAMS = 6
-
-#: Upper-triangle index pairs of the symmetric 6x6 normal matrix, in the
-#: packed order used by the dense field representation (21 entries).
-TRIU_INDICES: tuple[tuple[int, int], ...] = tuple(
-    (i, j) for i in range(N_PARAMS) for j in range(i, N_PARAMS)
+# The residual-row / packed-field arithmetic lives in the backend-neutral
+# kernels module; these re-exports keep the historical import surface.
+from ..kernels.reference import (  # noqa: F401  (re-exported API)
+    A1_ZERO_COLUMNS,
+    A2_ZERO_COLUMNS,
+    N_FIELDS,
+    N_PARAMS,
+    N_TRIU,
+    PARAM_NAMES,
+    TRIU_INDICES,
+    pointwise_fields,
+    residual_rows,
 )
-
-N_TRIU = len(TRIU_INDICES)  # 21
-
-#: Packed field layout: 21 H entries + 6 gradient entries + 1 constant.
-N_FIELDS = N_TRIU + N_PARAMS + 1  # 28
+from .linalg import gaussian_eliminate
 
 
 def predicted_normal(p, q, params):
@@ -88,103 +85,6 @@ def predicted_normal(p, q, params):
     n_j = -q - b_k + b_i * p - a_i * q
     n_k = 1.0 + a_i + b_j
     return np.stack(np.broadcast_arrays(n_i, n_j, n_k), axis=-1)
-
-
-def residual_rows(p, q, p_after, q_after):
-    """Design rows and constants of eps_1, eps_2 (unweighted).
-
-    Given before-motion gradients ``(p, q)`` and observed after-motion
-    gradients ``(p_after, q_after)`` -- any broadcastable shapes --
-    returns ``(a1, r1, a2, r2)`` where ``a1``/``a2`` have a trailing
-    axis of length 6 such that ``eps_m = a_m . theta + r_m``.
-    """
-    p, q, p_after, q_after = np.broadcast_arrays(
-        np.asarray(p, dtype=np.float64),
-        np.asarray(q, dtype=np.float64),
-        np.asarray(p_after, dtype=np.float64),
-        np.asarray(q_after, dtype=np.float64),
-    )
-    zero = np.zeros_like(p)
-    minus_one = -np.ones_like(p)
-    dp = p_after - p
-    dq = q_after - q
-    a1 = np.stack([p_after, zero, q, dp, minus_one, zero], axis=-1)
-    a2 = np.stack([dq, p, zero, q_after, zero, minus_one], axis=-1)
-    return a1, dp, a2, dq
-
-
-def pointwise_fields(p, q, p_after, q_after, e, g) -> np.ndarray:
-    """Per-sample normal-equation contributions, packed into 28 fields.
-
-    For each sample the weighted error contribution is
-    ``w1 (a1.theta + r1)^2 + w2 (a2.theta + r2)^2`` with quadratic
-    weights ``w1 = 1/E^2`` and ``w2 = 1/G^2`` (the residuals carry 1/E,
-    1/G).  Expanding gives a 6x6 matrix ``H`` (21 packed upper-triangle
-    entries), a gradient vector ``grad`` (6) and a constant ``c`` (1):
-
-        E(theta) = c + 2 theta . grad + theta^T H theta
-
-    Summing the packed fields over a template window and solving
-    ``H theta = -grad`` minimizes eq. (3) over that window.  Output
-    shape is ``broadcast_shape + (28,)``.
-    """
-    a1, r1, a2, r2 = residual_rows(p, q, p_after, q_after)
-    e = np.asarray(e, dtype=np.float64)
-    g = np.asarray(g, dtype=np.float64)
-    w1 = 1.0 / (e * e)
-    w2 = 1.0 / (g * g)
-    out_shape = a1.shape[:-1]
-    # Hoist the weight products out of the 28-field loop.  Python's *
-    # is left-associative, so ``w1 * a1_i * a1_j == (w1 * a1_i) * a1_j``
-    # exactly: precomputing ``w1 * a1`` (and ``w1 * r1``) reuses the
-    # identical first product and keeps every output bit unchanged.
-    wa1 = w1[..., None] * a1
-    wa2 = w2[..., None] * a2
-    w1r1 = w1 * r1
-    w2r2 = w2 * r2
-    fields = np.empty(out_shape + (N_FIELDS,), dtype=np.float64)
-    # Structural zeros: a1 columns 1 and 5 and a2 columns 2 and 4 are
-    # identically zero (residual_rows), and the weights are finite and
-    # strictly positive (E, G >= 1), so each vanished product is an
-    # exact IEEE zero.  Skipping those products leaves every template
-    # accumulation and solver input bit-for-bit unchanged (a +-0 term
-    # never moves a running sum); only the sign of a structurally-zero
-    # raw entry can differ, which no consumer observes.  Two reusable
-    # scratch buffers replace the three fresh temporaries per field.
-    a1_zero = (1, 5)
-    a2_zero = (2, 4)
-    buf_a = np.empty(out_shape, dtype=np.float64)
-    buf_b = np.empty(out_shape, dtype=np.float64)
-    for idx, (i, j) in enumerate(TRIU_INDICES):
-        keep1 = i not in a1_zero and j not in a1_zero
-        keep2 = i not in a2_zero and j not in a2_zero
-        if keep1 and keep2:
-            np.multiply(wa1[..., i], a1[..., j], out=buf_a)
-            np.multiply(wa2[..., i], a2[..., j], out=buf_b)
-            np.add(buf_a, buf_b, out=buf_a)
-            fields[..., idx] = buf_a
-        elif keep1:
-            np.multiply(wa1[..., i], a1[..., j], out=buf_a)
-            fields[..., idx] = buf_a
-        elif keep2:
-            np.multiply(wa2[..., i], a2[..., j], out=buf_a)
-            fields[..., idx] = buf_a
-        else:
-            fields[..., idx] = 0.0
-    for k in range(N_PARAMS):
-        if k not in a1_zero and k not in a2_zero:
-            np.multiply(w1r1, a1[..., k], out=buf_a)
-            np.multiply(w2r2, a2[..., k], out=buf_b)
-            np.add(buf_a, buf_b, out=buf_a)
-            fields[..., N_TRIU + k] = buf_a
-        elif k not in a1_zero:
-            np.multiply(w1r1, a1[..., k], out=buf_a)
-            fields[..., N_TRIU + k] = buf_a
-        else:
-            np.multiply(w2r2, a2[..., k], out=buf_a)
-            fields[..., N_TRIU + k] = buf_a
-    fields[..., N_TRIU + N_PARAMS] = w1r1 * r1 + w2r2 * r2
-    return fields
 
 
 def unpack_fields(fields: np.ndarray):
@@ -223,18 +123,21 @@ class MotionSolution:
     singular: np.ndarray
 
 
-def solve_accumulated(fields: np.ndarray, ridge: float = 1e-9) -> MotionSolution:
+def solve_accumulated(
+    fields: np.ndarray, ridge: float = 1e-9, prefer_native: bool = True
+) -> MotionSolution:
     """Minimize the accumulated template error (Step 2 of Section 2.2).
 
     ``fields`` are template-summed packed fields.  A tiny ridge term
     stabilizes near-degenerate patches without perturbing
     well-conditioned solutions; set ``ridge=0`` for the strict paper
-    formulation.
+    formulation.  ``prefer_native`` feeds the eliminate dispatch
+    (bit-identical either way; ``backend="numpy"`` pins it False).
     """
     h, grad, c = unpack_fields(fields)
     if ridge:
         h = h + ridge * np.eye(N_PARAMS)
-    theta, singular = gaussian_eliminate(h, -grad)
+    theta, singular = gaussian_eliminate(h, -grad, prefer_native=prefer_native)
     theta = np.where(singular[..., None], 0.0, theta)
     # E* = c + theta . grad at the optimum (and = c exactly when theta = 0).
     error = c + np.einsum("...k,...k->...", theta, grad)

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import numpy as np
 
-#: Pivot magnitudes below this are treated as singular.
-SINGULAR_TOLERANCE = 1e-12
+# The reference elimination arithmetic lives in the backend-neutral
+# kernels module; SINGULAR_TOLERANCE is re-exported for compatibility.
+from ..kernels.reference import SINGULAR_TOLERANCE  # noqa: F401
+from ..kernels.reference import eliminate as _reference_eliminate
 
 
 def gaussian_eliminate(
@@ -61,11 +63,10 @@ def gaussian_eliminate(
     how a per-PE elimination behaves on a SIMD array (the *schedule* is
     shared, the *data* is not).
     """
-    a = np.array(matrices, dtype=np.float64, copy=True)
-    b = np.array(rhs, dtype=np.float64, copy=True)
+    a = np.asarray(matrices, dtype=np.float64)
+    b = np.asarray(rhs, dtype=np.float64)
     if a.ndim < 2 or a.shape[-1] != a.shape[-2]:
         raise ValueError(f"matrices must be (..., n, n), got {a.shape}")
-    n = a.shape[-1]
     if b.shape != a.shape[:-1]:
         raise ValueError(f"rhs shape {b.shape} does not match matrices {a.shape}")
 
@@ -75,45 +76,7 @@ def gaussian_eliminate(
         if native_available():
             return native_gauss_eliminate(a, b)
 
-    batch_shape = a.shape[:-2]
-    a = a.reshape((-1, n, n))
-    b = b.reshape((-1, n))
-    m = a.shape[0]
-    singular = np.zeros(m, dtype=bool)
-    rows = np.arange(m)
-
-    # Forward elimination with per-system partial pivoting.
-    for k in range(n):
-        pivot_rel = np.argmax(np.abs(a[:, k:, k]), axis=1)
-        pivot = k + pivot_rel
-        swap = pivot != k
-        if swap.any():
-            idx = rows[swap]
-            a[idx, k, :], a[idx, pivot[swap], :] = (
-                a[idx, pivot[swap], :].copy(),
-                a[idx, k, :].copy(),
-            )
-            b[idx, k], b[idx, pivot[swap]] = b[idx, pivot[swap]].copy(), b[idx, k].copy()
-        pivots = a[:, k, k]
-        bad = np.abs(pivots) < SINGULAR_TOLERANCE
-        singular |= bad
-        safe = np.where(bad, 1.0, pivots)
-        if k + 1 < n:
-            factors = a[:, k + 1 :, k] / safe[:, None]
-            factors[bad] = 0.0
-            a[:, k + 1 :, :] -= factors[:, :, None] * a[:, k, None, :]
-            b[:, k + 1 :] -= factors * b[:, k, None]
-
-    # Back substitution.
-    x = np.zeros_like(b)
-    for k in range(n - 1, -1, -1):
-        acc = b[:, k] - np.einsum("ij,ij->i", a[:, k, k + 1 :], x[:, k + 1 :])
-        pivots = a[:, k, k]
-        safe = np.where(np.abs(pivots) < SINGULAR_TOLERANCE, 1.0, pivots)
-        x[:, k] = acc / safe
-    x[singular] = 0.0
-
-    return x.reshape(batch_shape + (n,)), singular.reshape(batch_shape)
+    return _reference_eliminate(a, b)
 
 
 def solve_normal_equations(

@@ -74,8 +74,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from scipy import ndimage
-
+from ..kernels import KERNEL_BACKENDS, ResolvedBackend, resolve_backend
+from ..kernels.reference import box_sum_stack as _kernel_box_sum_stack
+from ..kernels.reference import strided_window_sums
 from ..obs.metrics import METRICS
 from ..obs.tracing import TRACER
 from ..params import NeighborhoodConfig
@@ -352,6 +353,7 @@ def track_dense(
     ledger=None,
     pyramid_levels: int = 1,
     pyramid_refine: int = 1,
+    backend: str = "auto",
 ) -> DenseMatchResult:
     """Estimate the dense motion field: all pixels, all hypotheses.
 
@@ -375,6 +377,14 @@ def track_dense(
     half-width fine window).  ``ledger`` optionally receives the GE
     solves actually performed, charged under ``"Hypothesis matching"``
     -- the observable proof of the pruned schedule's saving.
+
+    ``backend`` selects the kernel execution path
+    (:data:`repro.kernels.KERNEL_BACKENDS`): ``"auto"`` (historical
+    native-when-available dispatch), ``"numpy"`` (pin the reference),
+    ``"native"`` (require the C kernel) -- all three bit-identical --
+    or the opt-in ``"device"`` array-API path, which evaluates whole
+    hypothesis chunks (including certificate grids) on device within
+    the documented tolerance of :mod:`repro.kernels.digest`.
     """
     if search not in SEARCH_MODES:
         raise ValueError(
@@ -382,24 +392,42 @@ def track_dense(
         )
     if engine not in ("batched", "serial"):
         raise ValueError(f"unknown engine {engine!r} (choose 'batched' or 'serial')")
-    with TRACER.span("hypothesis_search", engine=engine, search=search):
-        if search == "pruned":
-            result = _track_dense_pruned(prepared, ridge)
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r} "
+            f"(choose from {', '.join(KERNEL_BACKENDS)})"
+        )
+    if backend == "device" and search == "pyramid":
+        raise ValueError(
+            "backend='device' supports search='exhaustive' and 'pruned'; "
+            "stacking two approximate paths (device + pyramid) is not supported"
+        )
+    resolved = resolve_backend(backend)
+    with TRACER.span(
+        "hypothesis_search", engine=engine, search=search, backend=resolved.resolved
+    ):
+        if resolved.is_device:
+            result = _track_dense_device(prepared, ridge, batch_bytes, search, resolved)
+        elif search == "pruned":
+            result = _track_dense_pruned(prepared, ridge, resolved.prefer_native)
         elif search == "pyramid":
             result = _track_dense_pyramid(
-                prepared, ridge, batch_bytes, pyramid_levels, pyramid_refine
+                prepared, ridge, batch_bytes, pyramid_levels, pyramid_refine,
+                resolved.prefer_native,
             )
         elif engine == "serial":
-            result = _track_dense_serial(prepared, ridge)
+            result = _track_dense_serial(prepared, ridge, resolved.prefer_native)
         else:
-            result = _track_dense_batched(prepared, ridge, batch_bytes)
+            result = _track_dense_batched(prepared, ridge, batch_bytes, resolved.prefer_native)
     if ledger is not None:
         with ledger.phase(PHASE_MATCHING):
             ledger.charge_gaussian_elimination(result.ge_solves, order=6)
     return result
 
 
-def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchResult:
+def _track_dense_serial(
+    prepared: PreparedFrames, ridge: float, prefer_native: bool = True
+) -> DenseMatchResult:
     """One hypothesis at a time (the pre-batching reference loop)."""
     config = prepared.config
     shape = prepared.geo_before.shape
@@ -419,7 +447,7 @@ def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
         if semifluid:
             deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
         fields = hypothesis_fields(prepared, hyp_dy, hyp_dx, shifted_after, deltas)
-        solution = solve_accumulated(fields, ridge=ridge)
+        solution = solve_accumulated(fields, ridge=ridge, prefer_native=prefer_native)
         better = solution.error < best_error
         best_error = np.where(better, solution.error, best_error)
         if semifluid:
@@ -449,28 +477,17 @@ def _track_dense_serial(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
 def _box_sum_stack(fields: np.ndarray, half_width: int) -> np.ndarray:
     """Box sum over the image axes of a ``(n, H, W, 28)`` stack.
 
-    One separable uniform-filter sweep (a cumulative sliding sum per
-    axis in the scipy implementation) shared by every hypothesis and
-    every packed field -- arithmetic per (n, k) slice identical to
+    Delegates to the consolidated kernels-module implementation
+    (arithmetic per (n, k) slice identical to
     :func:`repro.core.semifluid.box_sum` on that slice, hence
-    bit-identical to the serial engine.
+    bit-identical to the serial engine).
     """
-    if half_width == 0:
-        return fields.astype(np.float64, copy=True)
-    side = 2 * half_width + 1
-    # Filter a channels-first copy: scipy's 1-d kernel walks each image
-    # line with the identical running-sum arithmetic regardless of
-    # memory layout (same axis order: rows then columns), so the result
-    # is bit-for-bit the same while the inner loop becomes contiguous.
-    stacked = np.ascontiguousarray(np.moveaxis(fields.astype(np.float64), 3, 1))
-    summed = ndimage.uniform_filter(
-        stacked, size=(1, 1, side, side), mode="constant", cval=0.0
-    ) * float(side * side)
-    return np.ascontiguousarray(np.moveaxis(summed, 1, 3))
+    return _kernel_box_sum_stack(fields, half_width)
 
 
 def _track_dense_batched(
-    prepared: PreparedFrames, ridge: float, batch_bytes: int
+    prepared: PreparedFrames, ridge: float, batch_bytes: int,
+    prefer_native: bool = True,
 ) -> DenseMatchResult:
     """All hypotheses stacked: one field build, one box-sum sweep, one
     batched Gaussian elimination per chunk of the search window."""
@@ -499,33 +516,17 @@ def _track_dense_batched(
         chunk_span = TRACER.span("hypothesis_chunk", start=start, size=n)
         chunk_span.__enter__()
         try:
-            p_a = np.empty((n,) + shape, dtype=np.float64)
-            q_a = np.empty((n,) + shape, dtype=np.float64)
-            delta_y = delta_x = None
-            if semifluid:
-                delta_y = np.empty((n,) + shape, dtype=np.int64)
-                delta_x = np.empty((n,) + shape, dtype=np.int64)
-                reach = prepared.volume.reach
-                side = prepared.volume.side
-                for k, (hyp_dy, hyp_dx) in enumerate(chunk):
-                    dy_k, dx_k = semifluid_displacements(
-                        prepared.volume, hyp_dy, hyp_dx, config.n_ss
-                    )
-                    delta_y[k], delta_x[k] = dy_k, dx_k
-                    flat = (dy_k + reach) * side + (dx_k + reach)
-                    p_a[k] = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
-                    q_a[k] = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
-            else:
-                for k, (hyp_dy, hyp_dx) in enumerate(chunk):
-                    p_a[k] = shift2d(geo_a.p, hyp_dy, hyp_dx)
-                    q_a[k] = shift2d(geo_a.q, hyp_dy, hyp_dx)
-
+            p_a, q_a, delta_y, delta_x = _chunk_after_gradients(
+                prepared, chunk, shifted_after
+            )
             fields = pointwise_fields(
                 geo_b.p[None], geo_b.q[None], p_a, q_a, geo_b.e[None], geo_b.g[None]
             )
             accumulated = _box_sum_stack(fields, config.n_zt)
             del fields
-            solution = solve_accumulated(accumulated, ridge=ridge)
+            solution = solve_accumulated(
+                accumulated, ridge=ridge, prefer_native=prefer_native
+            )
             del accumulated
 
             # Merge in hypothesis order with a strict-less update: identical
@@ -614,42 +615,14 @@ class _CertificateGrid:
     def _window_sums(self, arr: np.ndarray, axis: int, grid_size: int) -> np.ndarray:
         """Sum ``arr`` over every certificate window along ``axis``.
 
-        Windows are ``2m + 1`` wide and start every ``CERT_STRIDE``
-        elements, so whole stride-width bins can be pre-summed once with
-        one contiguous reshape-sum; each window is then ``side // stride``
-        contiguous bin adds plus at most ``stride - 1`` strided adds for
-        the leftover columns, instead of ``side`` strided adds.  The
-        grouping changes the floating-point summation order, which only
-        perturbs the *bound* within the certificate slack -- the field
-        itself never flows through this path.
+        Delegates to the consolidated kernels-module implementation; the
+        bin-grouped summation order only perturbs the *bound* within the
+        certificate slack -- the field itself never flows through this
+        path.
         """
-        stride = CERT_STRIDE
-        side = 2 * self.m + 1
-        whole, rest = divmod(side, stride)
-        n_bins = grid_size - 1 + whole
+        return strided_window_sums(arr, axis, grid_size, CERT_STRIDE, self.m)
 
-        index: list = [slice(None)] * arr.ndim
-        index[axis] = slice(0, stride * n_bins)
-        shape = list(arr.shape)
-        shape[axis : axis + 1] = [n_bins, stride]
-        bins = arr[tuple(index)].reshape(shape).sum(axis=axis + 1)
-
-        def bin_run(start: int) -> np.ndarray:
-            ix: list = [slice(None)] * bins.ndim
-            ix[axis] = slice(start, start + grid_size)
-            return bins[tuple(ix)]
-
-        out = bin_run(0).copy()
-        for j in range(1, whole):
-            out += bin_run(j)
-        for k in range(rest):
-            ix = [slice(None)] * arr.ndim
-            first = stride * whole + k
-            ix[axis] = slice(first, first + stride * (grid_size - 1) + 1, stride)
-            out += arr[tuple(ix)]
-        return out
-
-    def lower_bounds(self, pw: np.ndarray, ridge: float):
+    def lower_bounds(self, pw: np.ndarray, ridge: float, prefer_native: bool = True):
         """Per-pixel error lower bound + fp slack for one hypothesis.
 
         ``pw`` is the ``(H, W, 28)`` pointwise field of the hypothesis.
@@ -657,7 +630,7 @@ class _CertificateGrid:
         """
         tmp = self._window_sums(pw, 1, self.gx.size)
         acc = self._window_sums(tmp, 0, self.gy.size)
-        solution = solve_accumulated(acc, ridge=ridge)
+        solution = solve_accumulated(acc, ridge=ridge, prefer_native=prefer_native)
         # A singular certificate system reports E(0) = c, which is NOT a
         # lower bound on the minimum; bound zero keeps the pixel honest.
         lb_grid = np.where(solution.singular, 0.0, solution.error)
@@ -669,7 +642,9 @@ class _CertificateGrid:
         return lb, slack
 
 
-def _track_dense_pruned(prepared: PreparedFrames, ridge: float) -> DenseMatchResult:
+def _track_dense_pruned(
+    prepared: PreparedFrames, ridge: float, prefer_native: bool = True
+) -> DenseMatchResult:
     """Certificate-grid pruning: bit-identical to exhaustive, fewer solves.
 
     Soundness of the skip: a hypothesis is pruned for a pixel only when
@@ -693,7 +668,7 @@ def _track_dense_pruned(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
     if grid is None:
         # Template too small for useful certificates: exhaustive IS the
         # pruned result (the contract is bit-identity either way).
-        return _track_dense_batched(prepared, ridge, DEFAULT_BATCH_BYTES)
+        return _track_dense_batched(prepared, ridge, DEFAULT_BATCH_BYTES, prefer_native)
 
     best_error = np.full(shape, np.inf)
     best_u = np.zeros(shape, dtype=np.float64)
@@ -718,7 +693,7 @@ def _track_dense_pruned(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
             deltas = semifluid_displacements(prepared.volume, hyp_dy, hyp_dx, config.n_ss)
         pw = _hypothesis_pointwise(prepared, hyp_dy, hyp_dx, shifted_after, deltas)
         if have_best:
-            lb, slack = grid.lower_bounds(pw, ridge)
+            lb, slack = grid.lower_bounds(pw, ridge, prefer_native)
             cert_solves += grid.systems
             survivors = np.flatnonzero(~((lb - slack) > best_error).ravel())
             pruned += pixels - survivors.size
@@ -734,7 +709,8 @@ def _track_dense_pruned(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
         # box would change bits relative to the exhaustive engine.
         accumulated = _box_sum_stack(pw[None], config.n_zt)[0]
         solution = solve_accumulated(
-            accumulated.reshape(-1, N_FIELDS)[survivors], ridge=ridge
+            accumulated.reshape(-1, N_FIELDS)[survivors], ridge=ridge,
+            prefer_native=prefer_native,
         )
         survivor_solves += survivors.size
         have_best = True
@@ -766,12 +742,185 @@ def _track_dense_pruned(prepared: PreparedFrames, ridge: float) -> DenseMatchRes
     )
 
 
+def _chunk_after_gradients(
+    prepared: PreparedFrames,
+    chunk: list[tuple[int, int]],
+    shifted_after: np.ndarray | None,
+):
+    """Host-side gather of after-motion gradients for a hypothesis chunk.
+
+    Returns ``(p_a, q_a, delta_y, delta_x)`` with the gradient stacks of
+    shape ``(n, H, W)``; the deltas are the per-pixel semi-fluid
+    correspondences (None for the continuous model).  Shared by the
+    batched host engine and the device engine -- the semi-fluid argmin
+    gather stays on host either way, only the field chain moves.
+    """
+    config = prepared.config
+    shape = prepared.geo_before.shape
+    geo_a = prepared.geo_after
+    semifluid = prepared.volume is not None and config.n_ss > 0
+    n = len(chunk)
+    p_a = np.empty((n,) + shape, dtype=np.float64)
+    q_a = np.empty((n,) + shape, dtype=np.float64)
+    delta_y = delta_x = None
+    if semifluid:
+        delta_y = np.empty((n,) + shape, dtype=np.int64)
+        delta_x = np.empty((n,) + shape, dtype=np.int64)
+        reach = prepared.volume.reach
+        side = prepared.volume.side
+        for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+            dy_k, dx_k = semifluid_displacements(
+                prepared.volume, hyp_dy, hyp_dx, config.n_ss
+            )
+            delta_y[k], delta_x[k] = dy_k, dx_k
+            flat = (dy_k + reach) * side + (dx_k + reach)
+            p_a[k] = np.take_along_axis(shifted_after[:, 0], flat[None], axis=0)[0]
+            q_a[k] = np.take_along_axis(shifted_after[:, 1], flat[None], axis=0)[0]
+    else:
+        for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+            p_a[k] = shift2d(geo_a.p, hyp_dy, hyp_dx)
+            q_a[k] = shift2d(geo_a.q, hyp_dy, hyp_dx)
+    return p_a, q_a, delta_y, delta_x
+
+
+def _track_dense_device(
+    prepared: PreparedFrames,
+    ridge: float,
+    batch_bytes: int,
+    search: str,
+    resolved: ResolvedBackend,
+) -> DenseMatchResult:
+    """Whole hypothesis chunks on the array-API device backend.
+
+    The field build, template box sums, certificate-grid sums and the
+    batched 6x6 eliminate all execute on device
+    (:class:`repro.kernels.device.DeviceBackend`); the host keeps only
+    the semi-fluid gather, the hypothesis schedule and the strict-less
+    merge.  Approximate by contract: results match the host engines
+    within the documented tolerance of :mod:`repro.kernels.digest`, and
+    near-tie pixels may pick a different (equally minimal) hypothesis.
+    """
+    dev = resolved.device
+    config = prepared.config
+    geo_b = prepared.geo_before
+    shape = geo_b.shape
+    semifluid = prepared.volume is not None and config.n_ss > 0
+    shifted_after = None
+    if semifluid:
+        shifted_after = _shifted_geometry_stack(prepared.geo_after, prepared.volume)
+
+    best_error = np.full(shape, np.inf)
+    best_u = np.zeros(shape, dtype=np.float64)
+    best_v = np.zeros(shape, dtype=np.float64)
+    best_params = np.zeros(shape + (6,), dtype=np.float64)
+
+    order = hypothesis_order(config.n_zs)
+    pixels = shape[0] * shape[1]
+    METRICS.inc("hypotheses.evaluated", len(order))
+
+    grid = _CertificateGrid.build(shape, config.n_zt) if search == "pruned" else None
+    if grid is not None:
+        # Certificate-grid pruning with every sum and solve on device;
+        # only the per-pixel survivor bookkeeping stays on host.
+        flat_error = best_error.ravel()
+        flat_u = best_u.ravel()
+        flat_v = best_v.ravel()
+        flat_params = best_params.reshape(-1, 6)
+        cert_solves = 0
+        survivor_solves = 0
+        pruned = 0
+        have_best = False
+        for hyp_dy, hyp_dx in order:
+            chunk = [(hyp_dy, hyp_dx)]
+            p_a, q_a, delta_y, delta_x = _chunk_after_gradients(
+                prepared, chunk, shifted_after
+            )
+            pw = dev.stage_chunk(geo_b.p, geo_b.q, geo_b.e, geo_b.g, p_a, q_a)
+            if have_best:
+                lb_grid, c_grid = dev.certificate_bounds(
+                    pw, grid.m, grid.gy, grid.gx, ridge
+                )
+                cert_solves += grid.systems
+                lb = np.where(grid.in_range, lb_grid[grid.pixel_to_grid], 0.0)
+                slack = CERT_SLACK_REL * c_grid[grid.pixel_to_grid] + CERT_SLACK_ABS
+                survivors = np.flatnonzero(~((lb - slack) > best_error).ravel())
+                pruned += pixels - survivors.size
+            else:
+                survivors = np.arange(pixels)
+            if survivors.size == 0:
+                continue
+            error_s, params_s = dev.solve_template(
+                pw, config.n_zt, ridge, survivors=survivors
+            )
+            survivor_solves += survivors.size
+            have_best = True
+            better = error_s < flat_error[survivors]
+            winners = survivors[better]
+            if winners.size:
+                flat_error[winners] = error_s[better]
+                flat_params[winners] = params_s[better]
+                if semifluid:
+                    flat_u[winners] = delta_x[0].ravel()[winners].astype(np.float64)
+                    flat_v[winners] = delta_y[0].ravel()[winners].astype(np.float64)
+                else:
+                    flat_u[winners] = float(hyp_dx)
+                    flat_v[winners] = float(hyp_dy)
+        METRICS.inc("search.hypotheses.pruned", pruned)
+        METRICS.inc("search.ge_solves.performed", cert_solves + survivor_solves)
+        METRICS.inc("search.ge_solves.saved", pixels * len(order) - survivor_solves)
+        METRICS.inc("search.certificate_solves", cert_solves)
+        return DenseMatchResult(
+            u=best_u,
+            v=best_v,
+            params=best_params,
+            error=best_error,
+            valid=valid_mask(shape, config),
+            hypotheses_evaluated=len(order),
+            ge_solves=cert_solves + survivor_solves,
+            hypotheses_pruned=pruned,
+        )
+
+    # Exhaustive schedule (also pruned when the template is too small
+    # for certificates): chunked exactly like the host batched engine.
+    bytes_per_hypothesis = shape[0] * shape[1] * N_FIELDS * 8
+    chunk_size = max(1, int(batch_bytes) // max(bytes_per_hypothesis, 1))
+    for start in range(0, len(order), chunk_size):
+        chunk = order[start : start + chunk_size]
+        with TRACER.span("hypothesis_chunk", start=start, size=len(chunk)):
+            p_a, q_a, delta_y, delta_x = _chunk_after_gradients(
+                prepared, chunk, shifted_after
+            )
+            pw = dev.stage_chunk(geo_b.p, geo_b.q, geo_b.e, geo_b.g, p_a, q_a)
+            error, params = dev.solve_template(pw, config.n_zt, ridge)
+            for k, (hyp_dy, hyp_dx) in enumerate(chunk):
+                better = error[k] < best_error
+                best_error = np.where(better, error[k], best_error)
+                if semifluid:
+                    best_u = np.where(better, delta_x[k].astype(np.float64), best_u)
+                    best_v = np.where(better, delta_y[k].astype(np.float64), best_v)
+                else:
+                    best_u = np.where(better, float(hyp_dx), best_u)
+                    best_v = np.where(better, float(hyp_dy), best_v)
+                best_params = np.where(better[..., None], params[k], best_params)
+
+    return DenseMatchResult(
+        u=best_u,
+        v=best_v,
+        params=best_params,
+        error=best_error,
+        valid=valid_mask(shape, config),
+        hypotheses_evaluated=len(order),
+        ge_solves=pixels * len(order),
+    )
+
+
 def _track_dense_pyramid(
     prepared: PreparedFrames,
     ridge: float,
     batch_bytes: int,
     levels: int,
     refine: int,
+    prefer_native: bool = True,
 ) -> DenseMatchResult:
     """Coarse-to-fine guided search (approximate, continuous model only)."""
     from ..stereo.pyramid import downsample, upsample_flow
@@ -812,7 +961,7 @@ def _track_dense_pyramid(
     if used_levels == 0:
         # Image too small for any coarse level: the guided search IS the
         # exhaustive search.
-        return _track_dense_batched(prepared, ridge, batch_bytes)
+        return _track_dense_batched(prepared, ridge, batch_bytes, prefer_native)
 
     coarse_config = config.replace(n_zs=coarse_zs)
     with TRACER.span(
@@ -823,7 +972,7 @@ def _track_dense_pyramid(
         n_zs=coarse_zs,
     ):
         coarse_prep = prepare_frames(z_b, z_a, coarse_config)
-        coarse = _track_dense_batched(coarse_prep, ridge, batch_bytes)
+        coarse = _track_dense_batched(coarse_prep, ridge, batch_bytes, prefer_native)
     u_up, v_up = upsample_flow(coarse.u, coarse.v, shape)
     center_x = np.clip(np.rint(u_up), -config.n_zs, config.n_zs).astype(np.int64)
     center_y = np.clip(np.rint(v_up), -config.n_zs, config.n_zs).astype(np.int64)
@@ -855,7 +1004,8 @@ def _track_dense_pyramid(
             accumulated = _box_sum_stack(pw[None], config.n_zt)[0]
             wanted = np.flatnonzero(mask.ravel())
             solution = solve_accumulated(
-                accumulated.reshape(-1, N_FIELDS)[wanted], ridge=ridge
+                accumulated.reshape(-1, N_FIELDS)[wanted], ridge=ridge,
+                prefer_native=prefer_native,
             )
             fine_solves += wanted.size
             better = solution.error < flat_error[wanted]

@@ -40,8 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import ndimage
 
+from ..kernels.reference import box_sum as _kernel_box_sum
 from ..params import NeighborhoodConfig
 from .surface import fit_patches
 
@@ -62,14 +62,10 @@ def box_sum(field: np.ndarray, half_width: int) -> np.ndarray:
     """Sum of ``field`` over the ``(2N+1)^2`` window centered per pixel.
 
     Out-of-bounds contributions are zero (``mode='constant'``), which
-    only affects the masked border margin.
+    only affects the masked border margin.  Delegates to the single
+    consolidated implementation in :mod:`repro.kernels.reference`.
     """
-    if half_width == 0:
-        return field.astype(np.float64, copy=True)
-    side = 2 * half_width + 1
-    return ndimage.uniform_filter(
-        field.astype(np.float64), size=side, mode="constant", cval=0.0
-    ) * float(side * side)
+    return _kernel_box_sum(field, half_width)
 
 
 def discriminant_field(intensity: np.ndarray, n_w: int) -> np.ndarray:

@@ -34,6 +34,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..kernels import KERNEL_BACKENDS
 from ..params import NeighborhoodConfig
 from .field import MotionField
 from .matching import SEARCH_MODES, PreparedFrames, prepare_frames, track_dense, valid_mask
@@ -107,6 +108,13 @@ class SMAnalyzer:
         (default), ``"pruned"`` (bit-identical results, fewer GE
         solves) or ``"pyramid"`` (approximate coarse-to-fine,
         continuous model only).
+    backend:
+        Kernel backend forwarded to
+        :func:`repro.core.matching.track_dense` -- ``"auto"`` (default:
+        native C kernel when available, NumPy otherwise, bit-identical
+        either way), ``"numpy"`` (pin the reference path), ``"native"``
+        (require the C kernel) or ``"device"`` (opt-in array-API chunk
+        path, tolerance-equivalent rather than bit-identical).
     """
 
     def __init__(
@@ -115,6 +123,7 @@ class SMAnalyzer:
         pixel_km: float = 1.0,
         ridge: float = 1e-9,
         search: str = "exhaustive",
+        backend: str = "auto",
     ) -> None:
         if pixel_km <= 0:
             raise ValueError("pixel_km must be positive")
@@ -122,10 +131,15 @@ class SMAnalyzer:
             raise ValueError(
                 f"unknown search mode {search!r} (choose from {', '.join(SEARCH_MODES)})"
             )
+        if backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from {', '.join(KERNEL_BACKENDS)})"
+            )
         self.config = config
         self.pixel_km = pixel_km
         self.ridge = ridge
         self.search = search
+        self.backend = backend
 
     # -- single pair ---------------------------------------------------------------
 
@@ -192,12 +206,15 @@ class SMAnalyzer:
                     stacklevel=2,
                 )
         prepared = self.prepare(before, after, cache=cache)
-        result = track_dense(prepared, ridge=self.ridge, search=self.search)
+        result = track_dense(
+            prepared, ridge=self.ridge, search=self.search, backend=self.backend
+        )
         metadata = {
             "model": "semi-fluid" if self.config.is_semifluid else "continuous",
             "config": self.config.name,
             "hypotheses": result.hypotheses_evaluated,
             "search": self.search,
+            "backend": self.backend,
         }
         if substituted_dt is not None:
             metadata["dt_substituted"] = True

@@ -20,22 +20,11 @@ future work.  This module implements both:
 from __future__ import annotations
 
 import numpy as np
-from scipy import ndimage
 
 from ..core.continuous import N_FIELDS, pointwise_fields, solve_accumulated
 from ..core.matching import DenseMatchResult, PreparedFrames, hypothesis_order, valid_mask
 from ..core.semifluid import shift2d
-
-
-def box_sum_rect(field: np.ndarray, half_y: int, half_x: int) -> np.ndarray:
-    """Box sum over a rectangular ``(2half_y+1) x (2half_x+1)`` window."""
-    if half_y < 0 or half_x < 0:
-        raise ValueError("half-widths must be >= 0")
-    side_y, side_x = 2 * half_y + 1, 2 * half_x + 1
-    out = ndimage.uniform_filter(
-        np.asarray(field, dtype=np.float64), size=(side_y, side_x), mode="constant", cval=0.0
-    )
-    return out * float(side_y * side_x)
+from ..kernels.reference import box_sum_rect  # noqa: F401  (re-exported API)
 
 
 def _fields_for_hypothesis(prepared: PreparedFrames, hyp_dy: int, hyp_dx: int) -> np.ndarray:

@@ -1,0 +1,459 @@
+"""Opt-in array-API device backend for the hypothesis chain.
+
+The per-hypothesis ``pointwise_fields -> box-sum -> 6x6 eliminate``
+chain is pure elementwise + separable-filter + tiny-batched-solve work,
+exactly the shape GPU block matchers run device-side.  This module
+renders the whole chain -- including the pruned schedule's
+certificate-grid sums -- in portable array operations against whichever
+array library is importable:
+
+* ``torch`` (CUDA when available, else CPU tensors),
+* ``cupy`` (always GPU),
+* ``numpy`` as the universal fallback, so the code path is exercised
+  (and its tolerance measured) even on machines with no device library.
+
+``REPRO_DEVICE_LIB`` forces a specific library (``torch``/``cupy``/
+``numpy``) for tests and benchmarking.
+
+The backend is **approximate by contract**, like ``search="pyramid"``:
+box sums use cumulative-sum sliding windows and the elimination is a
+functional (gather-based) rewrite, so results match the NumPy reference
+only within the documented tolerance of :mod:`repro.kernels.digest`
+(:data:`~repro.kernels.digest.DEVICE_RTOL` /
+:data:`~repro.kernels.digest.DEVICE_ATOL`), never bit-for-bit.  That is
+why ``backend="device"`` is opt-in everywhere and refused by layers
+that promise bit-identical products (serve, streaming, the parallel
+ladder).
+
+Observability: every staged chunk increments ``kernel.device.chunks``
+and runs under ``device_h2d`` / ``device_compute`` / ``device_d2h``
+tracing spans, with transferred byte counts in the
+``kernel.device.h2d_bytes`` / ``kernel.device.d2h_bytes`` histograms.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+from ..obs.tracing import TRACER
+from .reference import N_FIELDS, N_PARAMS, N_TRIU, SINGULAR_TOLERANCE, TRIU_INDICES
+
+__all__ = [
+    "DeviceBackend",
+    "available_library",
+    "get_device_backend",
+    "reset_device_backend",
+]
+
+#: packed index of H entry (i, j): symmetric completion of TRIU_INDICES.
+_PACKED_INDEX: dict[tuple[int, int], int] = {}
+for _idx, (_i, _j) in enumerate(TRIU_INDICES):
+    _PACKED_INDEX[(_i, _j)] = _idx
+    _PACKED_INDEX[(_j, _i)] = _idx
+
+
+def available_library() -> str:
+    """Name of the array library the device backend will use.
+
+    Honors ``REPRO_DEVICE_LIB`` when set; otherwise prefers ``torch``,
+    then ``cupy``, then falls back to ``numpy``.
+    """
+    forced = os.environ.get("REPRO_DEVICE_LIB", "").strip().lower()
+    if forced:
+        if forced not in ("torch", "cupy", "numpy"):
+            raise ValueError(
+                f"REPRO_DEVICE_LIB={forced!r} is not one of torch, cupy, numpy"
+            )
+        return forced
+    for name in ("torch", "cupy"):
+        try:
+            __import__(name)
+            return name
+        except ImportError:
+            continue
+    return "numpy"
+
+
+class _ArrayOps:
+    """Minimal array-namespace adapter over numpy / torch / cupy.
+
+    Only the handful of operations the device chain needs, with the
+    numpy calling convention; basic slicing and arithmetic operators are
+    shared by all three libraries and used directly on the arrays.
+    """
+
+    def __init__(self, library: str) -> None:
+        self.library = library
+        if library == "torch":
+            import torch
+
+            self._torch = torch
+            self.device = "cuda" if torch.cuda.is_available() else "cpu"
+        elif library == "cupy":
+            import cupy
+
+            self._cupy = cupy
+            self.device = "cuda"
+        elif library == "numpy":
+            self.device = "cpu"
+        else:
+            raise ValueError(f"unknown device library {library!r}")
+
+    # -- transfers --------------------------------------------------------------
+
+    def asarray(self, arr: np.ndarray, dtype=np.float64):
+        if self.library == "torch":
+            t = self._torch
+            dt = t.float64 if dtype == np.float64 else t.int64
+            return t.as_tensor(np.ascontiguousarray(arr), dtype=dt, device=self.device)
+        if self.library == "cupy":
+            return self._cupy.asarray(arr, dtype=dtype)
+        return np.asarray(arr, dtype=dtype)
+
+    def to_numpy(self, arr) -> np.ndarray:
+        if self.library == "torch":
+            return arr.detach().cpu().numpy()
+        if self.library == "cupy":
+            return self._cupy.asnumpy(arr)
+        return np.asarray(arr)
+
+    # -- construction -----------------------------------------------------------
+
+    def zeros(self, shape, dtype=np.float64):
+        if self.library == "torch":
+            t = self._torch
+            dt = {np.float64: t.float64, np.int64: t.int64, bool: t.bool}[dtype]
+            return t.zeros(shape, dtype=dt, device=self.device)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.zeros(shape, dtype=dtype)
+
+    def arange(self, n: int):
+        if self.library == "torch":
+            return self._torch.arange(n, device=self.device)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.arange(n)
+
+    def eye(self, n: int):
+        if self.library == "torch":
+            return self._torch.eye(n, dtype=self._torch.float64, device=self.device)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.eye(n, dtype=np.float64)
+
+    # -- elementwise / reductions -----------------------------------------------
+
+    def where(self, cond, a, b):
+        if self.library == "torch":
+            return self._torch.where(cond, a, b)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.where(cond, a, b)
+
+    def abs(self, x):
+        return x.abs() if self.library == "torch" else abs(x)
+
+    def maximum(self, x, floor: float):
+        if self.library == "torch":
+            return self._torch.clamp(x, min=floor)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.maximum(x, floor)
+
+    def argmax(self, x, axis: int):
+        if self.library == "torch":
+            return self._torch.argmax(x, dim=axis)
+        return x.argmax(axis=axis)
+
+    def cumsum(self, x, axis: int):
+        if self.library == "torch":
+            return self._torch.cumsum(x, dim=axis)
+        return x.cumsum(axis=axis)
+
+    def stack(self, arrays, axis: int):
+        if self.library == "torch":
+            return self._torch.stack(arrays, dim=axis)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.stack(arrays, axis=axis)
+
+    def concat(self, arrays, axis: int):
+        if self.library == "torch":
+            return self._torch.cat(arrays, dim=axis)
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.concatenate(arrays, axis=axis)
+
+    def take_along_axis(self, x, idx, axis: int):
+        if self.library == "torch":
+            t = self._torch
+            shape = list(x.shape)
+            shape[axis] = idx.shape[axis]
+            return t.gather(x, axis, idx.broadcast_to(shape))
+        xp = self._cupy if self.library == "cupy" else np
+        return xp.take_along_axis(x, idx, axis=axis)
+
+    def nbytes(self, arr) -> int:
+        if self.library == "torch":
+            return arr.element_size() * arr.nelement()
+        return int(arr.nbytes)
+
+
+class DeviceBackend:
+    """Whole-hypothesis-chunk evaluation on an array-API device."""
+
+    def __init__(self, library: str | None = None) -> None:
+        self.ops = _ArrayOps(library or available_library())
+        self.library = self.ops.library
+        self.device = self.ops.device
+
+    # -- staging ----------------------------------------------------------------
+
+    def stage_chunk(self, p, q, e, g, p_after, q_after):
+        """Transfer one hypothesis chunk and build its pointwise fields.
+
+        ``p``/``q``/``e``/``g`` are the before-frame geometry ``(H, W)``;
+        ``p_after``/``q_after`` are the gathered after-motion gradients
+        ``(n, H, W)`` for the chunk's n hypotheses.  Returns the device
+        pointwise-field stack of shape ``(n, H, W, 28)``.
+        """
+        METRICS.inc("kernel.device.chunks")
+        with TRACER.span("device_h2d", library=self.library):
+            arrays = [self.ops.asarray(a) for a in (p, q, e, g, p_after, q_after)]
+            METRICS.observe(
+                "kernel.device.h2d_bytes", sum(self.ops.nbytes(a) for a in arrays)
+            )
+        p_d, q_d, e_d, g_d, pa_d, qa_d = arrays
+        with TRACER.span("device_compute", stage="pointwise"):
+            return self._pointwise_fields(
+                p_d[None], q_d[None], pa_d, qa_d, e_d[None], g_d[None]
+            )
+
+    def _pointwise_fields(self, p, q, p_after, q_after, e, g):
+        """Device rendering of :func:`repro.kernels.reference.pointwise_fields`.
+
+        Same packed layout and structural-zero skips; columns holding
+        constants (-1) or zeros are handled symbolically so no constant
+        planes are materialized.
+        """
+        dp = p_after - p
+        dq = q_after - q
+        w1 = 1.0 / (e * e)
+        w2 = 1.0 / (g * g)
+        # Column k of a1 / a2 as a device array, scalar, or None (zero).
+        cols1 = [p_after, None, q + 0.0 * p_after, dp, -1.0, None]
+        cols2 = [dq, p + 0.0 * p_after, None, q_after, None, -1.0]
+
+        def product(w, cols, i, j):
+            ci, cj = cols[i], cols[j]
+            if ci is None or cj is None:
+                return None
+            return w * ci * cj
+
+        zero = 0.0 * dp
+
+        def full_shape(t):
+            # Entries built only from constants and (1, H, W) weights
+            # (e.g. the (-1, -1) product) broadcast up before stacking.
+            return t if tuple(t.shape) == tuple(zero.shape) else t + zero
+
+        entries = []
+        for i, j in TRIU_INDICES:
+            t1 = product(w1, cols1, i, j)
+            t2 = product(w2, cols2, i, j)
+            if t1 is not None and t2 is not None:
+                entries.append(full_shape(t1 + t2))
+            elif t1 is not None:
+                entries.append(full_shape(t1))
+            elif t2 is not None:
+                entries.append(full_shape(t2))
+            else:
+                entries.append(zero)
+        w1r1 = w1 * dp
+        w2r2 = w2 * dq
+        for k in range(N_PARAMS):
+            t1 = None if cols1[k] is None else w1r1 * cols1[k]
+            t2 = None if cols2[k] is None else w2r2 * cols2[k]
+            if t1 is not None and t2 is not None:
+                entries.append(t1 + t2)
+            else:
+                entries.append(t1 if t1 is not None else t2)
+        entries.append(w1r1 * dp + w2r2 * dq)
+        return self.ops.stack(entries, axis=-1)
+
+    # -- box sums ---------------------------------------------------------------
+
+    def _sliding_sum(self, x, axis: int, half_width: int):
+        """Constant-padded sliding-window sum via cumulative sums."""
+        ops = self.ops
+        pad_shape = list(x.shape)
+        pad_shape[axis] = half_width
+        pad = ops.zeros(tuple(pad_shape))
+        padded = ops.concat([pad, x, pad], axis=axis)
+        c = ops.cumsum(padded, axis=axis)
+        one_shape = list(x.shape)
+        one_shape[axis] = 1
+        c = ops.concat([ops.zeros(tuple(one_shape)), c], axis=axis)
+        side = 2 * half_width + 1
+        n = x.shape[axis]
+        hi = [slice(None)] * x.ndim
+        hi[axis] = slice(side, side + n)
+        lo = [slice(None)] * x.ndim
+        lo[axis] = slice(0, n)
+        return c[tuple(hi)] - c[tuple(lo)]
+
+    def box_sum(self, fields, half_width: int):
+        """Box sum over the image axes of a device ``(n, H, W, 28)`` stack."""
+        if half_width == 0:
+            return fields
+        with TRACER.span("device_compute", stage="box_sum", half_width=half_width):
+            out = self._sliding_sum(fields, 1, half_width)
+            return self._sliding_sum(out, 2, half_width)
+
+    # -- batched solve ----------------------------------------------------------
+
+    def _eliminate(self, a, b):
+        """Functional batched partial-pivot GE (no in-place row swaps).
+
+        Same schedule as the reference, rendered with gathers so it runs
+        on libraries without numpy's fancy setitem.  ``a`` is (M, n, n),
+        ``b`` is (M, n).
+        """
+        ops = self.ops
+        m, n = a.shape[0], a.shape[-1]
+        singular = ops.zeros((m,), dtype=bool)
+        row_idx = ops.arange(n)
+        for k in range(n):
+            col = ops.abs(a[:, :, k])
+            col = ops.where(row_idx[None, :] >= k, col, -1.0)
+            pivot = ops.argmax(col, axis=1)
+            j = row_idx[None, :]
+            pv = pivot[:, None]
+            perm = ops.where(j == k, pv, ops.where(j == pv, k + 0 * pv, j))
+            a = ops.take_along_axis(a, perm[:, :, None], axis=1)
+            b = ops.take_along_axis(b, perm, axis=1)
+            pivots = a[:, k, k]
+            bad = ops.abs(pivots) < SINGULAR_TOLERANCE
+            singular = singular | bad
+            safe = ops.where(bad, 1.0 + 0.0 * pivots, pivots)
+            factors = a[:, :, k] / safe[:, None]
+            keep = (row_idx[None, :] > k) & ~bad[:, None]
+            factors = ops.where(keep, factors, 0.0 * factors)
+            a = a - factors[:, :, None] * a[:, k, :][:, None, :]
+            b = b - factors * b[:, k][:, None]
+        xs: list = [None] * n
+        for k in range(n - 1, -1, -1):
+            acc = b[:, k]
+            for j in range(k + 1, n):
+                acc = acc - a[:, k, j] * xs[j]
+            pivots = a[:, k, k]
+            safe = ops.where(
+                ops.abs(pivots) < SINGULAR_TOLERANCE, 1.0 + 0.0 * pivots, pivots
+            )
+            xs[k] = acc / safe
+        x = ops.stack(xs, axis=1)
+        x = ops.where(singular[:, None], 0.0 * x, x)
+        return x, singular
+
+    def solve_accumulated(self, acc_flat, ridge: float):
+        """Device rendering of :func:`repro.core.continuous.solve_accumulated`.
+
+        ``acc_flat`` is a device ``(M, 28)`` batch of template-summed
+        packed fields; returns device ``(params, error, singular)``.
+        """
+        ops = self.ops
+        h = ops.stack(
+            [
+                ops.stack(
+                    [acc_flat[:, _PACKED_INDEX[(i, j)]] for j in range(N_PARAMS)],
+                    axis=-1,
+                )
+                for i in range(N_PARAMS)
+            ],
+            axis=-2,
+        )
+        grad = acc_flat[:, N_TRIU : N_TRIU + N_PARAMS]
+        c = acc_flat[:, N_TRIU + N_PARAMS]
+        if ridge:
+            h = h + ridge * ops.eye(N_PARAMS)[None]
+        theta, singular = self._eliminate(h, -grad)
+        error = ops.maximum(c + (theta * grad).sum(axis=-1), 0.0)
+        return theta, error, singular
+
+    # -- chunk-level entry points -----------------------------------------------
+
+    def solve_template(self, pw, n_zt: int, ridge: float, survivors=None):
+        """Template box sum + batched solve for a staged chunk.
+
+        ``pw`` is the staged device ``(n, H, W, 28)`` pointwise stack.
+        With ``survivors=None`` solves every pixel and returns numpy
+        ``(error, params)`` of shapes ``(n, H, W)`` / ``(n, H, W, 6)``.
+        With ``survivors`` (flat pixel indices into H*W, one hypothesis
+        staged) solves only those systems and returns ``(error, params)``
+        of shapes ``(s,)`` / ``(s, 6)``.
+        """
+        ops = self.ops
+        acc = self.box_sum(pw, n_zt)
+        with TRACER.span("device_compute", stage="solve"):
+            n, h, w = acc.shape[0], acc.shape[1], acc.shape[2]
+            flat = acc.reshape(n * h * w, N_FIELDS)
+            if survivors is not None:
+                flat = flat[ops.asarray(np.asarray(survivors), dtype=np.int64)]
+            theta, error, _ = self.solve_accumulated(flat, ridge)
+        with TRACER.span("device_d2h"):
+            METRICS.observe(
+                "kernel.device.d2h_bytes",
+                self.ops.nbytes(error) + self.ops.nbytes(theta),
+            )
+            error_np = ops.to_numpy(error)
+            theta_np = ops.to_numpy(theta)
+        if survivors is not None:
+            return error_np, theta_np
+        return (
+            error_np.reshape(n, h, w),
+            theta_np.reshape(n, h, w, N_PARAMS),
+        )
+
+    def certificate_bounds(self, pw, m: int, gy: np.ndarray, gx: np.ndarray, ridge: float):
+        """Certificate-grid lower bounds for one staged hypothesis.
+
+        ``pw`` is the staged device ``(1, H, W, 28)`` stack; the
+        certificate window sum of half-width ``m`` centered at grid
+        point ``(gy[i], gx[j])`` is exactly the device box sum evaluated
+        there, so the grid systems are a gather of the box-summed stack.
+        Returns numpy ``(lb_grid, c_grid)`` of shape ``(len(gy),
+        len(gx))``: the minimized certificate errors (zero where the
+        certificate system was singular -- never prune) and the |c|
+        entries the caller turns into fp slack.
+        """
+        ops = self.ops
+        acc = self.box_sum(pw, m)
+        with TRACER.span("device_compute", stage="certificates"):
+            gy_d = ops.asarray(gy, dtype=np.int64)
+            gx_d = ops.asarray(gx, dtype=np.int64)
+            grid = acc[0][gy_d][:, gx_d]  # (len(gy), len(gx), 28)
+            flat = grid.reshape(len(gy) * len(gx), N_FIELDS)
+            theta, error, singular = self.solve_accumulated(flat, ridge)
+            lb = ops.where(singular, 0.0 * error, error)
+            c_abs = ops.abs(flat[:, N_FIELDS - 1])
+        with TRACER.span("device_d2h"):
+            METRICS.observe(
+                "kernel.device.d2h_bytes", self.ops.nbytes(lb) + self.ops.nbytes(c_abs)
+            )
+            lb_np = ops.to_numpy(lb).reshape(len(gy), len(gx))
+            c_np = ops.to_numpy(c_abs).reshape(len(gy), len(gx))
+        return lb_np, c_np
+
+
+_backend: DeviceBackend | None = None
+
+
+def get_device_backend() -> DeviceBackend:
+    """The process-wide device backend (created on first use)."""
+    global _backend
+    if _backend is None:
+        _backend = DeviceBackend()
+    return _backend
+
+
+def reset_device_backend() -> None:
+    """Drop the cached backend (tests flip ``REPRO_DEVICE_LIB``)."""
+    global _backend
+    _backend = None

@@ -24,10 +24,21 @@ Control knobs:
 
 * environment variable ``REPRO_NATIVE=0`` disables native kernels,
 * :func:`native_status` reports availability and the reason when
-  unavailable.
+  unavailable,
+* :func:`reset` forgets the memoized load outcome so the next call probes
+  again (tests and long-lived processes whose build environment changed).
 
 Build artifacts live in ``_build/`` next to this file (git-ignored), named
-by a digest of the source so stale binaries are never reused.
+by a digest of the source, the compiler identity (``CC``) and the compile
+flags so stale binaries are never reused -- a binary built by one compiler
+must not be served when ``CC`` or the flags change.
+
+Load outcomes are memoized per process, but *transient* failures (a full
+tmpdir, a compiler that was momentarily missing or interrupted) are retried
+on later probes up to :data:`_TRANSIENT_ATTEMPT_LIMIT` attempts.  Only
+*permanent* outcomes -- the env opt-out and a failed bit-identity
+self-check -- stick for the life of the process (a kernel that disagrees
+with the reference must never be re-trusted just because time passed).
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ __all__ = [
     "native_available",
     "native_gauss_eliminate",
     "native_status",
+    "reset",
 ]
 
 _LOG = get_logger("native")
@@ -63,14 +75,39 @@ _CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
 #: (None, reason) = unusable.
 _state: tuple[ctypes.CDLL | None, str | None] | None = None
 
+#: True when the memoized failure must never be retried within this process:
+#: the env opt-out, or a kernel that failed the bit-identity self-check.
+_state_permanent: bool = False
 
-def _source_digest() -> str:
-    return hashlib.blake2b(_SOURCE.read_bytes(), digest_size=10).hexdigest()
+#: Failed probe count for transient (environmental) failures.  Bounded so a
+#: hot loop calling native_available() does not re-run the compiler forever.
+_transient_attempts: int = 0
+_TRANSIENT_ATTEMPT_LIMIT = 3
+
+#: Failure classes that plausibly heal on their own: filesystem pressure,
+#: a missing/busy compiler, an interrupted or timed-out build.
+_TRANSIENT_EXCEPTIONS = (OSError, subprocess.SubprocessError)
+
+
+def _build_digest() -> str:
+    """Cache key covering everything that shapes the binary.
+
+    Source bytes alone are not enough: the same ``gauss.c`` compiled by a
+    different ``CC`` (or with different flags) is a different artifact, and
+    serving the old one would silently ignore the requested toolchain.
+    """
+    h = hashlib.blake2b(digest_size=10)
+    h.update(_SOURCE.read_bytes())
+    h.update(b"\x00")
+    h.update(os.environ.get("CC", "cc").encode())
+    h.update(b"\x00")
+    h.update("\x1f".join(_CFLAGS).encode())
+    return h.hexdigest()
 
 
 def _compile() -> Path:
     """Compile gauss.c into the build cache, atomically, and return the path."""
-    digest = _source_digest()
+    digest = _build_digest()
     target = _BUILD_DIR / f"gauss-{digest}.so"
     if target.exists():
         return target
@@ -147,11 +184,18 @@ def _call_kernel(
 
 
 def _load() -> tuple[ctypes.CDLL | None, str | None]:
-    global _state
+    global _state, _state_permanent, _transient_attempts
     if _state is not None:
-        return _state
+        retryable = (
+            _state[0] is None
+            and not _state_permanent
+            and _transient_attempts < _TRANSIENT_ATTEMPT_LIMIT
+        )
+        if not retryable:
+            return _state
     if os.environ.get("REPRO_NATIVE", "1") == "0":
         _state = (None, "disabled by REPRO_NATIVE=0")
+        _state_permanent = True
         METRICS.set_gauge("native.available", 0)
         log_event(_LOG, logging.INFO, "native.disabled", reason="REPRO_NATIVE=0")
         return _state
@@ -169,18 +213,54 @@ def _load() -> tuple[ctypes.CDLL | None, str | None]:
         ]
         with TRACER.span("native.self_check"):
             _self_check(lib)
-    except Exception as exc:  # any failure means "no native, NumPy fallback"
+    except _TRANSIENT_EXCEPTIONS as exc:
+        _transient_attempts += 1
+        reason = f"{type(exc).__name__}: {exc}"
+        if _transient_attempts >= _TRANSIENT_ATTEMPT_LIMIT:
+            reason += (
+                f" (giving up after {_TRANSIENT_ATTEMPT_LIMIT} attempts;"
+                " call repro.native.reset() to retry)"
+            )
+        _state = (None, reason)
+        _state_permanent = False
+        METRICS.set_gauge("native.available", 0)
+        METRICS.inc("native.load.transient_failure")
+        log_event(
+            _LOG, logging.WARNING, "native.unavailable",
+            reason=reason, transient=True, attempt=_transient_attempts,
+        )
+        return _state
+    except Exception as exc:  # wrong kernel / bad source: never re-trust
         _state = (None, f"{type(exc).__name__}: {exc}")
+        _state_permanent = True
         METRICS.set_gauge("native.available", 0)
         log_event(
             _LOG, logging.WARNING, "native.unavailable",
-            reason=f"{type(exc).__name__}: {exc}",
+            reason=f"{type(exc).__name__}: {exc}", transient=False,
         )
         return _state
     _state = (lib, None)
+    _state_permanent = False
+    _transient_attempts = 0
     METRICS.set_gauge("native.available", 1)
     log_event(_LOG, logging.INFO, "native.loaded", source=_SOURCE.name)
     return _state
+
+
+def reset() -> None:
+    """Forget the memoized load outcome; the next probe starts from scratch.
+
+    The loader memoizes one outcome per process.  Tests that flip
+    ``REPRO_NATIVE`` or ``CC``, and long-lived processes whose build
+    environment has been repaired (or that want to retry after the
+    transient-attempt budget is exhausted), call this to force a fresh
+    probe.  Safe to call at any time; already-dispatched solves are
+    unaffected.
+    """
+    global _state, _state_permanent, _transient_attempts
+    _state = None
+    _state_permanent = False
+    _transient_attempts = 0
 
 
 def native_available() -> bool:

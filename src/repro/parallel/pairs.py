@@ -46,13 +46,14 @@ def _init_pair_worker(
     ridge: float,
     tracing: bool = False,
     search: str = "exhaustive",
+    backend: str = "auto",
 ) -> None:
     from ..core.prep import FramePreparationCache
     from ..core.sma import SMAnalyzer
 
     worker_init(tracing)
     _WORKER_STATE["analyzer"] = SMAnalyzer(
-        config, pixel_km=pixel_km, ridge=ridge, search=search
+        config, pixel_km=pixel_km, ridge=ridge, search=search, backend=backend
     )
     _WORKER_STATE["cache"] = FramePreparationCache(max_frames=4)
 
@@ -88,6 +89,7 @@ def track_pairs_in_pool(
             analyzer.ridge,
             TRACER.enabled,
             analyzer.search,
+            analyzer.backend,
         ),
     ) as pool:
         for index, field, payload in pool.imap_unordered(_track_pair_task, tasks):
@@ -97,14 +99,18 @@ def track_pairs_in_pool(
 
 
 def _init_ladder_worker(
-    config, hs_iterations: int, tracing: bool = False, search: str = "exhaustive"
+    config,
+    hs_iterations: int,
+    tracing: bool = False,
+    search: str = "exhaustive",
+    backend: str = "auto",
 ) -> None:
     from ..core.prep import FramePreparationCache
     from ..reliability.degrade import DegradationLadder
 
     worker_init(tracing)
     _WORKER_STATE["ladder"] = DegradationLadder(
-        config, hs_iterations=hs_iterations, search=search
+        config, hs_iterations=hs_iterations, search=search, backend=backend
     )
     _WORKER_STATE["prep_cache"] = FramePreparationCache(max_frames=4)
 
@@ -140,12 +146,17 @@ class LadderPool:
     """
 
     def __init__(
-        self, config, hs_iterations: int, workers: int, search: str = "exhaustive"
+        self,
+        config,
+        hs_iterations: int,
+        workers: int,
+        search: str = "exhaustive",
+        backend: str = "auto",
     ) -> None:
         self._pool = _pool_context().Pool(
             processes=workers,
             initializer=_init_ladder_worker,
-            initargs=(config, hs_iterations, TRACER.enabled, search),
+            initargs=(config, hs_iterations, TRACER.enabled, search, backend),
         )
 
     def submit(self, task: tuple):

@@ -47,6 +47,7 @@ from ..core.matching import (
 from ..core.prep import FramePreparationCache
 from ..core.semifluid import semifluid_displacements
 from ..core.sma import Frame
+from ..kernels import BITWISE_BACKENDS, resolve_backend
 from ..maspar.cost import CostLedger
 from ..maspar.machine import MachineConfig, scaled_machine
 from ..maspar.mapping import HierarchicalMapping, mapping_for
@@ -136,6 +137,12 @@ class ParallelSMA:
         ``"pyramid"`` is deliberately rejected here: the simulated
         machine promises products identical to the sequential
         reference, and the pyramid schedule is approximate.
+    backend:
+        Kernel backend -- one of the *bit-identical* backends
+        (``"auto"``, ``"numpy"``, ``"native"``).  ``"device"`` is
+        rejected for the same reason as the pyramid schedule: the
+        simulated machine promises products identical to the
+        sequential reference.
     """
 
     def __init__(
@@ -147,12 +154,19 @@ class ParallelSMA:
         pixel_km: float = 1.0,
         ridge: float = 1e-9,
         search: str = "exhaustive",
+        backend: str = "auto",
     ) -> None:
         if search not in ("exhaustive", "pruned"):
             raise ValueError(
                 f"ParallelSMA supports search='exhaustive' or 'pruned', got {search!r} "
                 "(the parallel run must stay bit-identical to the reference; "
                 "the approximate pyramid schedule is track_dense-only)"
+            )
+        if backend not in BITWISE_BACKENDS:
+            raise ValueError(
+                f"ParallelSMA supports backend in {BITWISE_BACKENDS}, got {backend!r} "
+                "(the parallel run must stay bit-identical to the reference; "
+                "the tolerance-equivalent device backend is track_dense-only)"
             )
         self.config = config
         self.machine = machine
@@ -161,6 +175,7 @@ class ParallelSMA:
         self.pixel_km = pixel_km
         self.ridge = ridge
         self.search = search
+        self.backend = backend
 
     # -- internal helpers ------------------------------------------------------------
 
@@ -267,6 +282,7 @@ class ParallelSMA:
                 )
 
         shape = before.shape
+        resolved = resolve_backend(self.backend)
         machine = self._resolve_machine(shape)
         mapping = mapping_for(machine, *shape)
         ledger = CostLedger(machine)
@@ -349,7 +365,9 @@ class ParallelSMA:
             if cert_grid is not None:
                 pw = _hypothesis_pointwise(prepared, dy, dx, shifted_after, deltas)
                 if np.isfinite(running_best).any():
-                    lb, slack = cert_grid.lower_bounds(pw, self.ridge)
+                    lb, slack = cert_grid.lower_bounds(
+                        pw, self.ridge, prefer_native=resolved.prefer_native
+                    )
                     cert_solves = cert_grid.systems
                     survivors = np.flatnonzero(
                         ~((lb - slack) > running_best).ravel()
@@ -364,7 +382,9 @@ class ParallelSMA:
                 if survivors.size:
                     accumulated = _box_sum_stack(pw[None], self.config.n_zt)[0]
                     solution = solve_accumulated(
-                        accumulated.reshape(-1, N_FIELDS)[survivors], ridge=self.ridge
+                        accumulated.reshape(-1, N_FIELDS)[survivors],
+                        ridge=self.ridge,
+                        prefer_native=resolved.prefer_native,
                     )
                     error.ravel()[survivors] = solution.error
                     params.reshape(-1, 6)[survivors] = solution.params
@@ -375,7 +395,9 @@ class ParallelSMA:
             else:
                 self._charge_hypothesis(ledger, mapping)
                 fields = hypothesis_fields(prepared, dy, dx, shifted_after, deltas)
-                solution = solve_accumulated(fields, ridge=self.ridge)
+                solution = solve_accumulated(
+                    fields, ridge=self.ridge, prefer_native=resolved.prefer_native
+                )
                 error, params = solution.error, solution.params
             if deltas is not None:
                 u_field = deltas[1].astype(np.float64)
@@ -399,6 +421,7 @@ class ParallelSMA:
             "machine": f"{machine.nyproc}x{machine.nxproc}",
             "segment_rows": segment_rows,
             "search": self.search,
+            "backend": self.backend,
         }
         if substituted_dt is not None:
             metadata["dt_substituted"] = True

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.sma import Frame
+from ..kernels import BITWISE_BACKENDS
 from ..maspar.cost import CostLedger
 from ..maspar.machine import MachineConfig, scaled_machine
 from ..maspar.memory import PEMemoryError
@@ -80,6 +81,10 @@ class DegradationLadder:
     search:
         Hypothesis schedule for the SMA rungs: ``"exhaustive"`` or
         ``"pruned"`` (bit-identical results, fewer GE charges).
+    backend:
+        Kernel backend for the SMA rungs; restricted to the
+        bit-identical set (``"auto"``, ``"numpy"``, ``"native"``) for
+        the same reason as ``search``.
     """
 
     def __init__(
@@ -89,17 +94,24 @@ class DegradationLadder:
         hs_alpha: float = 1.0,
         hs_tolerance: float = 1e-4,
         search: str = "exhaustive",
+        backend: str = "auto",
     ) -> None:
         if search not in ("exhaustive", "pruned"):
             raise ValueError(
                 f"DegradationLadder supports search='exhaustive' or 'pruned', "
                 f"got {search!r} (streamed products must stay bit-identical)"
             )
+        if backend not in BITWISE_BACKENDS:
+            raise ValueError(
+                f"DegradationLadder supports backend in {BITWISE_BACKENDS}, "
+                f"got {backend!r} (streamed products must stay bit-identical)"
+            )
         self.config = config
         self.hs_iterations = hs_iterations
         self.hs_alpha = hs_alpha
         self.hs_tolerance = hs_tolerance
         self.search = search
+        self.backend = backend
 
     # -- rungs ----------------------------------------------------------------------
 
@@ -121,6 +133,7 @@ class DegradationLadder:
             machine=machine,
             segment_rows=segment_rows,
             search=self.search,
+            backend=self.backend,
         )
         result = driver.track_pair(
             Frame(before, intensity=intensity_before),

@@ -105,6 +105,7 @@ class StreamingRunner:
         pixel_km: float = 1.0,
         workers: int | None = None,
         search: str = "exhaustive",
+        backend: str = "auto",
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
@@ -121,8 +122,10 @@ class StreamingRunner:
         self.pixel_km = pixel_km
         self.workers = workers
         self.search = search
+        # DegradationLadder validates backend against the bit-identical set.
+        self.backend = backend
         self.ladder = DegradationLadder(
-            config, hs_iterations=hs_iterations, search=search
+            config, hs_iterations=hs_iterations, search=search, backend=backend
         )
 
     # -- helpers --------------------------------------------------------------------
@@ -138,6 +141,12 @@ class StreamingRunner:
         # schedule-dependent, so the modes must not share checkpoints.
         if self.search != "exhaustive":
             base += f"|search={self.search}"
+        # Same reasoning for the kernel backend: "auto", "numpy" and
+        # "native" all produce bit-identical products, but the default
+        # spelling keeps old checkpoints resumable; a non-default pin is
+        # recorded so differently-pinned runs never share a checkpoint.
+        if self.backend != "auto":
+            base += f"|backend={self.backend}"
         return base
 
     def _checkpoint_file(self) -> str | None:
@@ -353,7 +362,11 @@ class StreamingRunner:
         processed = 0
         n_procs = min(self.workers, max(1, n_pairs - state.pairs_done))
         with LadderPool(
-            self.config, self.ladder.hs_iterations, n_procs, search=self.search
+            self.config,
+            self.ladder.hs_iterations,
+            n_procs,
+            search=self.search,
+            backend=self.backend,
         ) as pool:
             pair = state.pairs_done
             while pair < n_pairs:

@@ -42,6 +42,7 @@ def result_key(
     pixel_km: float,
     kind: str = "pair",
     search: str = "exhaustive",
+    backend: str = "auto",
 ) -> str:
     """Content address of one product: frame fingerprints + SMA params.
 
@@ -49,18 +50,21 @@ def result_key(
     fit half-width ``n_w``; the remaining dimensions of the product --
     the search/template neighborhoods, the semi-fluid windows, the
     frame timestamps (they set dt, hence wind speeds), the ground
-    sample distance, the product kind and the hypothesis schedule --
-    are digested alongside.  The schedule token is part of the key even
-    though ``"pruned"`` fields are bit-identical to ``"exhaustive"``:
-    the artifact's metadata records how it was produced, and keeping
-    the modes separate means a cached product never misreports its
-    provenance (the cost is one cold recomputation per mode).
+    sample distance, the product kind, the hypothesis schedule and the
+    kernel backend -- are digested alongside.  The schedule and backend
+    tokens are part of the key even though ``"pruned"`` fields are
+    bit-identical to ``"exhaustive"`` (and every servable backend is
+    bit-identical to NumPy): the artifact's metadata records how it was
+    produced, and keeping the modes separate means a cached product
+    never misreports its provenance (the cost is one cold recomputation
+    per mode).
     """
     h = hashlib.blake2b(digest_size=20)
     c = config
     h.update(
         f"kind={kind};cfg={c.name};zs={c.n_zs};zt={c.n_zt};"
-        f"ss={c.n_ss};st={c.n_st};pixel_km={pixel_km!r};search={search};".encode()
+        f"ss={c.n_ss};st={c.n_st};pixel_km={pixel_km!r};search={search};"
+        f"backend={backend};".encode()
     )
     for frame in frames:
         h.update(frame_fingerprint(frame.surface, frame.intensity, config).encode())

@@ -53,6 +53,7 @@ from ..reliability.injection import ServeChaosPlan
 from ..reliability.retry import PHASE_RECOVERY, RetryPolicy
 from .cache import ResultCache
 from .jobs import (
+    SERVABLE_BACKENDS,
     SERVABLE_SEARCH_MODES,
     Job,
     JobRequest,
@@ -85,6 +86,7 @@ class ServeApp:
         limits: ServeLimits | None = None,
         hs_iterations: int = 60,
         search_mode: str = "exhaustive",
+        backend: str = "auto",
         lease_seconds: float = 15.0,
         max_attempts: int = 3,
         job_timeout_seconds: float | None = 300.0,
@@ -96,12 +98,19 @@ class ServeApp:
                 f"unknown search_mode {search_mode!r} "
                 f"(choose from {', '.join(SERVABLE_SEARCH_MODES)})"
             )
+        if backend not in SERVABLE_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(choose from {', '.join(SERVABLE_BACKENDS)}; served products "
+                "promise bit-identity, so the device backend is not servable)"
+            )
         os.makedirs(state_dir, exist_ok=True)
         self.state_dir = state_dir
         self.limits = limits or ServeLimits()
         self.pool_workers = pool_workers
         self.hs_iterations = hs_iterations
         self.search_mode = search_mode
+        self.backend = backend
         self.chaos = chaos if chaos is not None and not chaos.is_empty else None
         self.ledger = CostLedger(GODDARD_MP2)
         self._ledger_lock = threading.Lock()
@@ -195,10 +204,12 @@ class ServeApp:
         priority = payload.get("priority", 0) if isinstance(payload, dict) else 0
         if not isinstance(priority, int):
             raise JobValidationError("priority must be an integer")
-        # The server's configured schedule is a default, not an override:
-        # a payload naming its own search_mode wins (and is validated).
+        # The server's configured schedule/backend are defaults, not
+        # overrides: a payload naming its own wins (and is validated).
         if isinstance(payload, dict) and "search_mode" not in payload:
             payload = {**payload, "search_mode": self.search_mode}
+        if isinstance(payload, dict) and "backend" not in payload:
+            payload = {**payload, "backend": self.backend}
         request = JobRequest.from_payload(payload, limits=self.limits)
         return self.queue.submit(request, priority=priority)
 

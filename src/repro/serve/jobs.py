@@ -49,6 +49,11 @@ ACTIVE_STATES = ("pending", "running", "retrying")
 #: served products promise bit-identity with the reference pipeline.
 SERVABLE_SEARCH_MODES = ("exhaustive", "pruned")
 
+#: Kernel backends a served job may request.  These are exactly the
+#: bit-identical backends (:data:`repro.kernels.BITWISE_BACKENDS`);
+#: ``"device"`` is refused for the same reason pyramid is.
+SERVABLE_BACKENDS = ("auto", "numpy", "native")
+
 
 class JobValidationError(ValueError):
     """A request the admission boundary refuses to queue."""
@@ -81,6 +86,7 @@ class JobRequest:
     template: int = 3
     kind: str = "pair"
     search_mode: str = "exhaustive"
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.dataset not in SERVABLE_DATASETS:
@@ -97,6 +103,12 @@ class JobRequest:
                 f"unknown search_mode {self.search_mode!r} "
                 f"(choose from {', '.join(SERVABLE_SEARCH_MODES)}; the approximate "
                 "pyramid schedule is not servable)"
+            )
+        if self.backend not in SERVABLE_BACKENDS:
+            raise JobValidationError(
+                f"unknown backend {self.backend!r} "
+                f"(choose from {', '.join(SERVABLE_BACKENDS)}; the "
+                "tolerance-equivalent device backend is not servable)"
             )
         for name in ("size", "frames", "seed", "pair", "search", "template"):
             if not isinstance(getattr(self, name), int):

@@ -255,6 +255,7 @@ class WorkerPool:
                 dataset.pixel_km,
                 kind=request.kind,
                 search=request.search_mode,
+                backend=request.backend,
             )
 
             cached = self.app.cache.get(key)
@@ -270,11 +271,13 @@ class WorkerPool:
 
             if request.kind == "pair":
                 field, rung = self._compute_pair(
-                    frames, config, dataset.pixel_km, request.search_mode
+                    frames, config, dataset.pixel_km, request.search_mode,
+                    request.backend,
                 )
             else:
                 field, rung = self._compute_sequence(
-                    frames, config, dataset.pixel_km, request.search_mode
+                    frames, config, dataset.pixel_km, request.search_mode,
+                    request.backend,
                 )
             self.app.cache.put(key, field)
             self.app.publish_ledger_gauges()
@@ -287,7 +290,12 @@ class WorkerPool:
                 log_event(_LOG, logging.INFO, "serve.computed", job=job.id, key=key)
 
     def _compute_pair(
-        self, frames, config, pixel_km, search_mode: str = "exhaustive"
+        self,
+        frames,
+        config,
+        pixel_km,
+        search_mode: str = "exhaustive",
+        backend: str = "auto",
     ) -> tuple[MotionField, int]:
         """One frame pair under the degradation ladder (bit-identical to
         ``track_dense`` on the healthy rung 0)."""
@@ -300,7 +308,10 @@ class WorkerPool:
         if dt <= 0:
             dt = 1.0
         ladder = DegradationLadder(
-            config, hs_iterations=self.app.hs_iterations, search=search_mode
+            config,
+            hs_iterations=self.app.hs_iterations,
+            search=search_mode,
+            backend=backend,
         )
         result, steps = ladder.track_pair(
             before.surface,
@@ -328,15 +339,23 @@ class WorkerPool:
                 "config": config.name,
                 "rung": result.rung,
                 "search": search_mode,
+                "backend": backend,
             },
         )
         return field, result.rung
 
     def _compute_sequence(
-        self, frames, config, pixel_km, search_mode: str = "exhaustive"
+        self,
+        frames,
+        config,
+        pixel_km,
+        search_mode: str = "exhaustive",
+        backend: str = "auto",
     ) -> tuple[MotionField, int]:
         """Mean field over all pairs; fork-pool sharded when configured."""
-        analyzer = SMAnalyzer(config, pixel_km=pixel_km, search=search_mode)
+        analyzer = SMAnalyzer(
+            config, pixel_km=pixel_km, search=search_mode, backend=backend
+        )
         fields = analyzer.track_sequence(frames, workers=self.app.pool_workers)
         shape = frames[0].shape
         n = len(fields)
@@ -363,6 +382,7 @@ class WorkerPool:
                 "config": config.name,
                 "pairs": n,
                 "search": search_mode,
+                "backend": backend,
             },
         )
         return field, 0

@@ -81,6 +81,117 @@ class TestBitIdentity:
         assert via_dispatch[0].tobytes() == direct[0].tobytes()
 
 
+class TestBuildCacheKey:
+    """The build cache must key on compiler identity + flags, not just source."""
+
+    def test_cc_change_invalidates_build_cache(self, tmp_path, monkeypatch):
+        """Changing CC must rebuild, not silently reuse another compiler's .so."""
+        from repro import native
+
+        marker = tmp_path / "fake-cc-ran"
+        fake_cc = tmp_path / "fake-cc"
+        fake_cc.write_text(f'#!/bin/sh\ntouch "{marker}"\nexec cc "$@"\n')
+        fake_cc.chmod(0o755)
+
+        monkeypatch.delenv("CC", raising=False)
+        baseline = native._compile()
+        assert baseline.exists()
+
+        monkeypatch.setenv("CC", str(fake_cc))
+        rebuilt = native._compile()
+        assert rebuilt != baseline, (
+            "same cache entry served for a different compiler -- stale .so reuse"
+        )
+        assert marker.exists(), "the new CC was never invoked"
+
+        # Same compiler again: the cache must hit (no recompile).
+        marker.unlink()
+        assert native._compile() == rebuilt
+        assert not marker.exists()
+
+    def test_cflags_participate_in_cache_key(self, monkeypatch):
+        from repro import native
+
+        monkeypatch.delenv("CC", raising=False)
+        baseline = native._compile()
+        monkeypatch.setattr(native, "_CFLAGS", [*native._CFLAGS, "-DSOME_FLAG"])
+        assert native._compile() != baseline
+
+
+class TestLoadRetry:
+    """Transient build failures must not disable the kernel forever."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_loader_state(self):
+        from repro import native
+
+        native.reset()
+        yield
+        native.reset()
+
+    def test_transient_failure_is_retried(self, monkeypatch):
+        from repro import native
+
+        real_compile = native._compile
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("no space left on device")
+            return real_compile()
+
+        monkeypatch.setattr(native, "_compile", flaky)
+        assert not native.native_available()
+        assert "no space left" in native._state[1]
+        # The next probe retries instead of serving the memoized failure.
+        assert native.native_available()
+        assert calls["n"] == 2
+
+    def test_transient_retries_are_bounded(self, monkeypatch):
+        from repro import native
+
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(native, "_compile", always_fails)
+        for _ in range(10):
+            assert not native.native_available()
+        assert calls["n"] == native._TRANSIENT_ATTEMPT_LIMIT
+        assert "giving up" in native.native_status()
+
+    def test_self_check_failure_is_permanent(self, monkeypatch):
+        from repro import native
+
+        calls = {"n": 0}
+
+        def broken_check(lib):
+            calls["n"] += 1
+            raise AssertionError("kernel disagrees with reference")
+
+        monkeypatch.setattr(native, "_self_check", broken_check)
+        assert not native.native_available()
+        assert not native.native_available()
+        assert calls["n"] == 1, "a wrong kernel must not be re-probed"
+
+    def test_reset_clears_the_outcome(self, monkeypatch):
+        from repro import native
+
+        def always_fails():
+            raise AssertionError("pretend the self-check failed")
+
+        monkeypatch.setattr(native, "_compile", always_fails)
+        assert not native.native_available()
+        monkeypatch.undo()
+        # Permanent failure stays memoized until reset() is called.
+        assert not native.native_available()
+        native.reset()
+        assert native.native_available()
+
+
 def test_env_opt_out_falls_back_to_numpy():
     """REPRO_NATIVE=0 must disable the kernel without changing results."""
     code = (
