@@ -21,27 +21,31 @@ from repro.ioutil import atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-#: Curated, committed perf-trajectory record at the repo root.  The
-#: gitignored ``benchmarks/results/`` directory is scratch space; this
-#: file is the cross-PR record CI uploads as an artifact.
+#: Curated, committed perf-trajectory records at the repo root.  The
+#: gitignored ``benchmarks/results/`` directory is scratch space; these
+#: files are the cross-PR records CI uploads as artifacts.
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sma_search.json"
+BENCH_SERVE_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve_latency.json"
 
 
-def update_bench_record(section: str, record: dict) -> None:
-    """Merge one benchmark's record into root ``BENCH_sma_search.json``.
+def update_bench_record(section: str, record: dict, path: Path | None = None) -> None:
+    """Merge one benchmark's record into a root ``BENCH_*.json`` file.
 
+    ``path`` defaults to :data:`BENCH_PATH` (the search-throughput
+    trajectory); serving benchmarks pass :data:`BENCH_SERVE_PATH`.
     Read-modify-write through :func:`repro.ioutil.atomic_write_text`, so
     a crash mid-benchmark never leaves a truncated or half-merged file
     and each benchmark only replaces its own section.
     """
+    target = BENCH_PATH if path is None else path
     payload: dict = {}
-    if BENCH_PATH.exists():
+    if target.exists():
         try:
-            payload = json.loads(BENCH_PATH.read_text())
+            payload = json.loads(target.read_text())
         except (OSError, json.JSONDecodeError):
             payload = {}
     payload[section] = record
-    atomic_write_text(str(BENCH_PATH), json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(str(target), json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

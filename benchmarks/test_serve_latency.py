@@ -1,0 +1,110 @@
+"""Serving latency SLO benchmark: p95 cold vs warm, from the histogram.
+
+Where ``test_serve_throughput`` measures aggregate jobs/sec, this
+benchmark measures what the SLO machinery actually tracks: the
+**per-job submission->done latency distribution**, read back from the
+``serve.job.latency_seconds`` fixed-bucket histogram the queue feeds
+on every terminal transition -- so the benchmark validates the
+telemetry path and records the trajectory in one pass.
+
+Two phases over one job set:
+
+* **cold** -- every job computes (p95 dominated by the SMA solve),
+* **warm** -- identical resubmissions served from the result cache
+  (p95 must collapse: an index lookup plus an ``.npz`` read).
+
+Asserts warm p95 < cold p95, that the flight-recorder trace of a cold
+job decomposes its latency into segments summing to the wall clock
+(the tentpole's 5% acceptance bound), and that the histogram's
+quantile estimates bracket the exactly-measured per-job latencies.
+Results merge into root ``BENCH_serve_latency.json`` (the serving
+analogue of ``BENCH_sma_search.json``); set ``SEARCH_BENCH_SMOKE=1``
+for the CI-scale run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.obs.metrics import METRICS
+from repro.serve.http import ServeApp
+from repro.serve.jobs import JobRequest
+
+DRAIN_TIMEOUT = 300.0
+
+
+def _run_phase(app: ServeApp, size: int, n_jobs: int) -> list[float]:
+    """Submit the job set, wait for drain, return exact per-job latencies."""
+    ids = []
+    for seed in range(n_jobs):
+        job, _ = app.queue.submit(JobRequest(dataset="florida", size=size, seed=seed))
+        ids.append(job.id)
+    assert app.queue.wait_idle(timeout=DRAIN_TIMEOUT)
+    latencies = []
+    for job_id in ids:
+        job = app.queue.get(job_id)
+        assert job.state == "done"
+        latencies.append(job.finished_at - job.submitted_at)
+    return latencies
+
+
+def _exact_p95(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, int(0.95 * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+def test_serve_latency_p95(tmp_path, results_dir):
+    smoke = os.environ.get("SEARCH_BENCH_SMOKE", "") == "1"
+    size = 48 if smoke else 64
+    n_jobs = 6 if smoke else 10
+
+    METRICS.reset()
+    app = ServeApp(str(tmp_path / "state"), workers=2).start()
+    try:
+        cold = _run_phase(app, size, n_jobs)
+        hist_cold = dict(app.metrics_payload()["histograms"]["serve.job.latency_seconds"])
+        warm = _run_phase(app, size, n_jobs)
+        hist_warm = app.metrics_payload()["histograms"]["serve.job.latency_seconds"]
+
+        # The histogram saw every terminal job exactly once.
+        assert hist_warm["count"] == 2 * n_jobs
+
+        # Trace decomposition on a cold job: segments sum to the wall.
+        status, trace = app.trace_payload("job-000001")
+        assert status == 200
+        seg = trace["segments"]
+        recomposed = seg["queue_wait_seconds"] + seg["lease_held_seconds"]
+        assert abs(recomposed - seg["wall_seconds"]) <= 0.05 * seg["wall_seconds"] + 1e-6
+    finally:
+        app.drain(timeout=DRAIN_TIMEOUT)
+
+    cold_p95, warm_p95 = _exact_p95(cold), _exact_p95(warm)
+    # Bucketed estimate must bracket reality: the histogram p95 after
+    # the cold phase lies within the observed cold range.
+    assert hist_cold["min"] <= hist_cold["p95"] <= hist_cold["max"]
+
+    record = {
+        "mode": "smoke" if smoke else "full",
+        "dataset": "florida",
+        "size": size,
+        "jobs_per_phase": n_jobs,
+        "cold_p50_seconds": sorted(cold)[len(cold) // 2],
+        "cold_p95_seconds": cold_p95,
+        "warm_p50_seconds": sorted(warm)[len(warm) // 2],
+        "warm_p95_seconds": warm_p95,
+        "warm_over_cold_p95": warm_p95 / cold_p95,
+        "histogram_p95_estimate": hist_cold["p95"],
+        "unix_time": time.time(),
+    }
+    (results_dir / "serve_latency.json").write_text(json.dumps(record, indent=2) + "\n")
+    from .conftest import BENCH_SERVE_PATH, update_bench_record
+
+    update_bench_record("serve_latency", record, path=BENCH_SERVE_PATH)
+    print(
+        f"\nserve latency p95: cold {cold_p95 * 1e3:.1f} ms, "
+        f"warm {warm_p95 * 1e3:.1f} ms ({record['mode']})"
+    )
+    assert warm_p95 < cold_p95

@@ -250,16 +250,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0,
         help="seed for the --chaos schedule (same seed, same faults)",
     )
+    serve.add_argument(
+        "--slo", type=str, default=None, metavar="SPEC",
+        help="latency/error objectives, e.g. 'p95=2,errors=0.01,window=300' "
+        "(p95 target seconds, dead-letter budget fraction, rolling window "
+        "seconds); burn rates land on /metrics as serve.slo.* gauges and "
+        "/healthz reports the breach verdict (defaults apply without the flag)",
+    )
     _add_obs_arguments(serve)
 
     admin = sub.add_parser(
         "serve-admin",
-        help="operator console: inspect and requeue dead-letter jobs",
+        help="operator console: inspect and requeue dead-letter jobs, "
+        "read the flight recorder",
     )
     admin.add_argument(
-        "action", choices=("dead", "requeue"),
+        "action", choices=("dead", "requeue", "flightlog"),
         help="'dead' lists the dead-letter queue; 'requeue JOB_ID' "
-        "revives one dead job with a fresh attempt budget",
+        "revives one dead job with a fresh attempt budget; 'flightlog' "
+        "prints the crash-safe lifecycle journal (post-mortem: point "
+        "--state-dir at a dead server's directory)",
     )
     admin.add_argument("job_id", nargs="?", default=None, help="job id for 'requeue'")
     admin.add_argument(
@@ -270,6 +280,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--state-dir", type=str, default=None, metavar="DIR",
         help="operate directly on a *stopped* server's state directory "
         "(mutually exclusive with --url)",
+    )
+    admin.add_argument(
+        "--job", type=str, default=None, metavar="JOB_ID",
+        help="filter 'flightlog' to one job's lifecycle (required with "
+        "--url, where the trace route serves it)",
     )
 
     profile = sub.add_parser(
@@ -622,6 +637,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .reliability.injection import ServeChaosPlan
 
         chaos = ServeChaosPlan.from_spec(args.chaos, seed=args.chaos_seed)
+    slo = None
+    if args.slo is not None:
+        from .serve.slo import SLOConfig
+
+        slo = SLOConfig.from_spec(args.slo)
     app = ServeApp(
         state_dir=args.state_dir,
         workers=args.workers,
@@ -635,6 +655,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_timeout_seconds=args.job_timeout if args.job_timeout > 0 else None,
         retry_backoff_seconds=args.retry_backoff,
         chaos=chaos,
+        slo=slo,
     )
     app.start()
     server = make_server(app, host=args.host, port=args.port)
@@ -669,11 +690,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_admin(args: argparse.Namespace) -> int:
-    """Dead-letter console: list dead jobs / requeue one.
+    """Operator console: dead-letter list/requeue + flight recorder.
 
     Two transports: ``--url`` talks to a live server over HTTP;
     ``--state-dir`` opens a *stopped* server's journal directly (the
-    queue flushes the requeue back to disk before exiting).
+    queue flushes the requeue back to disk before exiting; the flight
+    recorder is read-only and torn-tail tolerant, so ``flightlog``
+    works against a SIGKILLed server's directory).
     """
     if (args.url is None) == (args.state_dir is None):
         print("error: pass exactly one of --url or --state-dir", file=sys.stderr)
@@ -681,6 +704,8 @@ def _cmd_serve_admin(args: argparse.Namespace) -> int:
     if args.action == "requeue" and not args.job_id:
         print("error: 'requeue' needs a job id", file=sys.stderr)
         return 2
+    if args.action == "flightlog":
+        return _serve_admin_flightlog(args)
 
     if args.url is not None:
         import json as _json
@@ -748,10 +773,89 @@ def _cmd_serve_admin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_admin_flightlog(args: argparse.Namespace) -> int:
+    """Print the flight recorder's lifecycle journal (the post-mortem
+    surface): every surviving event, or one job's trace with its
+    latency decomposition."""
+    job_filter = args.job or args.job_id
+    if args.url is not None:
+        if not job_filter:
+            print(
+                "error: 'flightlog --url' needs --job JOB_ID (the full journal "
+                "is only readable from the state directory)",
+                file=sys.stderr,
+            )
+            return 2
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        try:
+            with urllib.request.urlopen(f"{base}/v1/jobs/{job_filter}/trace") as response:
+                trace = _json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            print(f"error: server said {exc.code}: {detail}", file=sys.stderr)
+            return 1
+        except urllib.error.URLError as exc:
+            print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+            return 1
+        events = trace.get("events", [])
+        segments = trace.get("segments")
+    else:
+        import os
+
+        from .obs.events import FlightRecorder, job_trace
+
+        recorder = FlightRecorder(os.path.join(args.state_dir, "flight.jsonl"))
+        events = recorder.replay()
+        recorder.close()
+        segments = None
+        if job_filter:
+            events = [e for e in events if e.get("job") == job_filter]
+            segments = job_trace(events).get("segments")
+
+    if not events:
+        print("flight recorder is empty" + (f" for {job_filter}" if job_filter else ""))
+        return 0
+    rows = [
+        (
+            f"{event.get('ts', 0.0):.3f}",
+            event.get("job", ""),
+            event.get("event", ""),
+            str(event.get("attempt", "")),
+            event.get("worker") or "",
+            _json_compact(event.get("fields")),
+        )
+        for event in events
+    ]
+    title = "flight recorder" + (f": {job_filter}" if job_filter else "")
+    print(format_table(
+        rows,
+        headers=["ts", "job", "event", "attempt", "worker", "fields"],
+        title=f"{title} ({len(events)} events)",
+    ))
+    if segments:
+        seg_rows = [(name, f"{seconds:.4f}") for name, seconds in segments.items()]
+        print(format_table(seg_rows, headers=["segment", "seconds"], title="latency"))
+    return 0
+
+
+def _json_compact(fields: dict | None, limit: int = 60) -> str:
+    if not fields:
+        return ""
+    import json as _json
+
+    text = _json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .obs import (
         METRICS,
         TRACER,
+        counter_family_rows,
         enable_tracing,
         modeled_vs_measured_rows,
         span_summary_rows,
@@ -786,6 +890,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(format_table(
         span_rows, headers=["span", "count", "total s", "mean ms"], title="spans"
     ))
+    family_rows = [
+        (family, name, f"{value:g}")
+        for family, name, value in counter_family_rows(METRICS.snapshot())
+    ]
+    if family_rows:
+        print(format_table(
+            family_rows, headers=["family", "counter", "value"],
+            title="counters (search / kernel / serve)",
+        ))
     text = METRICS.render_text()
     if text:
         print(text)

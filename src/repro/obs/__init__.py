@@ -32,33 +32,51 @@ to open a trace in Perfetto.
 
 from __future__ import annotations
 
+from .events import LIFECYCLE_EVENTS, FlightRecorder, job_trace, trace_chrome_events
 from .export import (
     chrome_trace,
+    counter_family_rows,
     load_chrome_trace,
     modeled_vs_measured_rows,
     span_summary_rows,
     write_chrome_trace,
 )
-from .log import get_logger, log_event
+from .log import get_logger, log_context, log_event
 from .metrics import METRICS, MetricsRegistry
+from .prom import (
+    PROM_CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+    wants_exposition,
+)
 from .tracing import NOOP_SPAN, TRACER, Span, Tracer, enable_tracing, tracing_enabled
 
 __all__ = [
+    "LIFECYCLE_EVENTS",
     "METRICS",
     "MetricsRegistry",
+    "FlightRecorder",
     "NOOP_SPAN",
+    "PROM_CONTENT_TYPE",
     "Span",
     "TRACER",
     "Tracer",
     "absorb_payload",
     "chrome_trace",
+    "counter_family_rows",
     "enable_tracing",
     "get_logger",
+    "job_trace",
     "load_chrome_trace",
+    "log_context",
     "log_event",
     "modeled_vs_measured_rows",
+    "parse_exposition",
+    "render_exposition",
     "span_summary_rows",
+    "trace_chrome_events",
     "tracing_enabled",
+    "wants_exposition",
     "worker_init",
     "worker_payload",
     "write_chrome_trace",

@@ -153,3 +153,31 @@ def span_summary_rows(events: list[dict]) -> list[tuple[str, int, float, float]]
     ]
     rows.sort(key=lambda r: -r[2])
     return rows
+
+
+#: Dotted counter families ``repro profile`` tabulates by default: the
+#: hypothesis-search schedule counters, kernel backend dispatch counts,
+#: and the serving-fleet lifecycle counters.
+COUNTER_FAMILIES = ("search", "kernel", "serve")
+
+
+def counter_family_rows(
+    snapshot: dict, families: tuple[str, ...] = COUNTER_FAMILIES
+) -> list[tuple[str, str, float]]:
+    """``(family, counter name, value)`` rows for the profile report.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+    a counter belongs to the family named by its first dotted segment.
+    Rows group by family (in ``families`` order) and sort by name within
+    a family, so the rendering is deterministic.
+    """
+    by_family: dict[str, list[tuple[str, float]]] = {f: [] for f in families}
+    for name, value in snapshot.get("counters", {}).items():
+        family = name.split(".", 1)[0]
+        if family in by_family:
+            by_family[family].append((name, float(value)))
+    return [
+        (family, name, value)
+        for family in families
+        for name, value in sorted(by_family[family])
+    ]

@@ -9,6 +9,10 @@ logger hierarchy on top of :mod:`logging`:
 * :func:`log_event` emits *structured* records -- a stable event tag
   followed by ``key=value`` fields -- so log lines are greppable and
   machine-parseable without a JSON dependency,
+* :func:`log_context` binds thread-local fields (job and trace IDs in
+  the serving workers) that ride along on *every* ``log_event`` emitted
+  inside the ``with`` block, so library layers that know nothing about
+  serving still produce correlatable lines,
 * libraries embedding ``repro`` can attach their own handlers to the
   ``repro`` logger before first use; the lazy config then backs off.
 
@@ -20,11 +24,40 @@ outcomes -- goes through here.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
 import sys
+import threading
 
 _ROOT_NAME = "repro"
+
+#: Thread-local bound fields merged into every :func:`log_event`.
+_CONTEXT = threading.local()
+
+
+def bound_fields() -> dict:
+    """The fields currently bound on this thread (read-only copy)."""
+    return dict(getattr(_CONTEXT, "fields", ()) or {})
+
+
+@contextlib.contextmanager
+def log_context(**fields):
+    """Bind ``key=value`` fields to every log_event in this thread.
+
+    Nested contexts stack (inner bindings shadow outer ones for the
+    duration of the inner block); explicit ``log_event`` fields shadow
+    bound ones.  Bindings are thread-local, so concurrent serving
+    workers never see each other's job IDs.
+    """
+    previous = getattr(_CONTEXT, "fields", None)
+    merged = dict(previous or {})
+    merged.update(fields)
+    _CONTEXT.fields = merged
+    try:
+        yield
+    finally:
+        _CONTEXT.fields = previous
 
 
 def _configure_root() -> logging.Logger:
@@ -56,6 +89,13 @@ def format_fields(**fields) -> str:
 
 
 def log_event(logger: logging.Logger, level: int, event: str, **fields) -> None:
-    """Emit one structured record: ``<event> key=value key=value ...``."""
+    """Emit one structured record: ``<event> key=value key=value ...``.
+
+    Fields bound with :func:`log_context` (job/trace IDs in serving
+    workers) are merged in first, so explicit fields win on collision.
+    """
     if logger.isEnabledFor(level):
+        bound = getattr(_CONTEXT, "fields", None)
+        if bound:
+            fields = {**bound, **fields}
         logger.log(level, "%s %s", event, format_fields(**fields))

@@ -1,0 +1,199 @@
+"""Prometheus text exposition for the metrics registry.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` as the
+standard ``text/plain; version=0.0.4`` exposition format, so a stock
+Prometheus (or any OpenMetrics-era scraper) can pull ``GET /metrics``
+straight off a ``repro serve`` deployment -- no exporter sidecar, no
+new dependency.  The JSON payload stays the default response for the
+existing consumers; content negotiation picks this format when the
+scraper sends ``Accept: text/plain`` (see :mod:`repro.serve.http`).
+
+Mapping:
+
+* counters  -> ``# TYPE <name>_total counter`` single samples,
+* gauges    -> ``# TYPE <name> gauge`` single samples,
+* histograms -> the canonical triplet: cumulative ``<name>_bucket``
+  samples with ``le`` labels (``+Inf`` included), ``<name>_sum`` and
+  ``<name>_count``.
+
+Dotted repro names become legal Prometheus names by swapping every
+non-``[a-zA-Z0-9_:]`` character for ``_`` (``serve.queue.wait_seconds``
+-> ``serve_queue_wait_seconds``).  The module also carries a small
+pure-python :func:`parse_exposition` -- enough of a parser for tests
+and the CI smoke job to validate a scrape without installing a
+Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: The Content-Type a v0.0.4 exposition response must carry.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One exposition sample line: ``name{labels} value`` (labels optional).
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name for a dotted repro metric name."""
+    cleaned = _NAME_FIX.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_exposition(snapshot: dict) -> str:
+    """The v0.0.4 text exposition of one metrics snapshot.
+
+    Counters gain the conventional ``_total`` suffix; histogram bucket
+    counts are emitted cumulatively with an ``le`` label exactly as the
+    snapshot carries them.  Derived quantiles (``p50``/``p95``/``p99``)
+    are *not* exported -- Prometheus derives quantiles server-side from
+    the buckets -- but ``min``/``max`` ride along as gauges so scrape
+    dashboards keep the exact extremes.
+    """
+    lines: list[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        prom = sanitize_name(name) + "_total"
+        lines.append(f"# HELP {prom} repro counter {name}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_format_value(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = sanitize_name(name)
+        lines.append(f"# HELP {prom} repro gauge {name}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(value)}")
+
+    for name, h in snapshot.get("histograms", {}).items():
+        prom = sanitize_name(name)
+        lines.append(f"# HELP {prom} repro histogram {name}")
+        lines.append(f"# TYPE {prom} histogram")
+        buckets = h.get("buckets") or {"+Inf": h.get("count", 0.0)}
+
+        def _le_key(item: tuple[str, float]) -> float:
+            return math.inf if item[0] == "+Inf" else float(item[0])
+
+        for le, cum in sorted(buckets.items(), key=_le_key):
+            lines.append(f'{prom}_bucket{{le="{le}"}} {_format_value(cum)}')
+        lines.append(f"{prom}_sum {_format_value(h.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {_format_value(h.get('count', 0.0))}")
+        for extreme in ("min", "max"):
+            if extreme in h:
+                lines.append(
+                    f"{prom}_{extreme} {_format_value(h[extreme])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def wants_exposition(accept_header: str | None) -> bool:
+    """Content negotiation: does this ``Accept`` header ask for the
+    Prometheus text format rather than the legacy JSON payload?
+
+    A real Prometheus scraper sends ``text/plain;version=0.0.4`` (plus
+    OpenMetrics alternatives); browsers and the existing JSON consumers
+    send nothing relevant.  JSON stays the default on ambiguity --
+    ``*/*`` alone does not flip the format.
+    """
+    if not accept_header:
+        return False
+    accept = accept_header.lower()
+    return "text/plain" in accept or "openmetrics" in accept
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse v0.0.4 exposition text back into a snapshot-shaped dict.
+
+    Returns ``{"counters", "gauges", "histograms"}`` keyed by the
+    *Prometheus* (sanitized) names.  Validates as it goes -- unknown
+    sample names without a preceding ``# TYPE``, malformed lines,
+    non-cumulative buckets, or a ``_count`` that disagrees with the
+    ``+Inf`` bucket all raise ``ValueError`` -- which is exactly what
+    the CI scrape check needs.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                kind = parts[3].strip()
+                if kind not in ("counter", "gauge", "histogram"):
+                    raise ValueError(f"unknown metric type {kind!r}: {line!r}")
+                types[parts[2]] = kind
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        name = match.group("name")
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError as exc:
+            raise ValueError(f"bad sample value in {line!r}") from exc
+        labels = dict(_LABEL.findall(match.group("labels") or ""))
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_min", "_max"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        kind = types.get(base)
+        if kind is None:
+            raise ValueError(f"sample {name!r} has no preceding # TYPE line")
+        if kind == "counter":
+            # Undo the conventional _total suffix so round-trips key by
+            # the sanitized base name.
+            if base.endswith("_total"):
+                base = base[: -len("_total")]
+            counters[base] = value
+        elif kind == "gauge":
+            gauges[base] = value
+        else:
+            h = histograms.setdefault(base, {"buckets": {}})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(f"histogram bucket without le label: {line!r}")
+                h["buckets"][labels["le"]] = value
+            else:
+                h[name[len(base) + 1 :]] = value
+
+    for name, h in histograms.items():
+        buckets = h["buckets"]
+        if "+Inf" not in buckets:
+            raise ValueError(f"histogram {name!r} lacks the +Inf bucket")
+        ordered = sorted(
+            buckets.items(),
+            key=lambda kv: math.inf if kv[0] == "+Inf" else float(kv[0]),
+        )
+        cums = [v for _, v in ordered]
+        if any(b < a for a, b in zip(cums, cums[1:])):
+            raise ValueError(f"histogram {name!r} buckets are not cumulative")
+        if "count" in h and h["count"] != buckets["+Inf"]:
+            raise ValueError(
+                f"histogram {name!r}: _count {h['count']} != +Inf bucket "
+                f"{buckets['+Inf']}"
+            )
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -22,10 +22,15 @@ pipelines, operational cloud-motion forecasting):
   dead-letters alone; the server survives), renewing queue leases via a
   supervisor thread that also respawns crashed workers, with the PR-2
   preparation cache and fork-pool pair sharding for sequence jobs,
+* :mod:`repro.serve.slo`     -- latency/error-rate objectives with
+  rolling burn rates (``serve.slo.*`` gauges) and the ``/healthz``
+  breach verdict,
 * :mod:`repro.serve.http`    -- the HTTP API (``POST /v1/jobs``,
-  ``GET /v1/jobs[?state=dead]``, ``POST /v1/jobs/{id}/requeue``,
-  ``GET /v1/products/{id}``, ``GET /healthz``, ``GET /metrics``) wired
-  to :mod:`repro.obs`, plus graceful drain.
+  ``GET /v1/jobs[?state=dead]``, ``GET /v1/jobs/{id}/trace``,
+  ``POST /v1/jobs/{id}/requeue``, ``GET /v1/products/{id}``,
+  ``GET /healthz``, ``GET /metrics`` with Prometheus content
+  negotiation) wired to :mod:`repro.obs`, plus graceful drain and the
+  crash-safe flight recorder (:mod:`repro.obs.events`).
 
 Serve-mode chaos (``repro serve --chaos``) arms a seeded
 :class:`~repro.reliability.injection.ServeChaosPlan` that crashes,
@@ -42,6 +47,7 @@ from .cache import ResultCache, result_key
 from .http import ServeApp, make_server
 from .jobs import ACTIVE_STATES, JOB_STATES, Job, JobRequest, JobValidationError, ServeLimits
 from .queue import JobQueue, QueueFullError, QueueJournal
+from .slo import SLOConfig, SLOTracker
 from .workers import WorkerPool
 
 __all__ = [
@@ -54,6 +60,8 @@ __all__ = [
     "QueueFullError",
     "QueueJournal",
     "ResultCache",
+    "SLOConfig",
+    "SLOTracker",
     "ServeApp",
     "ServeChaosPlan",
     "ServeLimits",

@@ -17,9 +17,18 @@ Routes (all JSON unless noted):
 * ``GET /v1/products/{id}/field`` -- the raw ``MotionField`` artifact
   as ``.npz`` bytes (what the field would be if computed locally --
   bit-identical to ``track_dense``),
-* ``GET /healthz``             -- liveness + queue depth + drain state,
+* ``GET /v1/jobs/{id}/trace``  -- the job's lifecycle trace from the
+  flight recorder: raw events, per-attempt lease intervals, and the
+  queue-wait / lease-held / compute / cache-write latency
+  decomposition; ``?format=chrome`` returns a Chrome-trace JSON
+  document that opens directly in Perfetto,
+* ``GET /healthz``             -- liveness + queue depth + drain state
+  + the SLO burn rates and breach verdict,
 * ``GET /metrics``             -- the :mod:`repro.obs` metrics registry
   plus the server-wide cost ledger (modeled seconds, GE solve counts).
+  JSON by default; a scraper sending ``Accept: text/plain`` gets the
+  Prometheus ``text/plain; version=0.0.4`` exposition instead (see
+  :mod:`repro.obs.prom`).
 
 :class:`ServeApp` owns the queue, result cache, worker pool, shared
 preparation cache and the serving :class:`~repro.maspar.cost.CostLedger`;
@@ -47,11 +56,15 @@ from ..core.field import MotionField
 from ..core.prep import FramePreparationCache
 from ..maspar.cost import CostLedger
 from ..maspar.machine import GODDARD_MP2
+from ..obs.events import FlightRecorder, job_trace, trace_chrome_events
+from ..obs.export import chrome_trace
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import METRICS
+from ..obs.prom import PROM_CONTENT_TYPE, render_exposition, wants_exposition
 from ..reliability.injection import ServeChaosPlan
 from ..reliability.retry import PHASE_RECOVERY, RetryPolicy
 from .cache import ResultCache
+from .slo import SLOConfig, SLOTracker
 from .jobs import (
     SERVABLE_BACKENDS,
     SERVABLE_SEARCH_MODES,
@@ -92,6 +105,7 @@ class ServeApp:
         job_timeout_seconds: float | None = 300.0,
         retry_backoff_seconds: float = 0.25,
         chaos: ServeChaosPlan | None = None,
+        slo: SLOConfig | None = None,
     ) -> None:
         if search_mode not in SERVABLE_SEARCH_MODES:
             raise ValueError(
@@ -114,6 +128,11 @@ class ServeApp:
         self.chaos = chaos if chaos is not None and not chaos.is_empty else None
         self.ledger = CostLedger(GODDARD_MP2)
         self._ledger_lock = threading.Lock()
+        #: Crash-safe lifecycle journal; every queue/worker transition
+        #: lands here and powers ``GET /v1/jobs/{id}/trace``.
+        self.recorder = FlightRecorder(os.path.join(state_dir, "flight.jsonl"))
+        self.slo = slo or SLOConfig()
+        self.slo_tracker = SLOTracker(self.slo)
         self.queue = JobQueue(
             max_depth=queue_depth,
             state_path=os.path.join(state_dir, "queue.json"),
@@ -126,6 +145,8 @@ class ServeApp:
                 jitter=0.0,
             ),
             on_recovery_seconds=self._charge_recovery,
+            recorder=self.recorder,
+            on_terminal=self.slo_tracker.record_job,
         )
         self.cache = ResultCache(
             os.path.join(state_dir, "cache"), max_bytes=cache_bytes
@@ -160,6 +181,7 @@ class ServeApp:
         self.pool.stop()
         if self.queue.state_path:
             self.queue.save()
+        self.recorder.close()
         log_event(
             _LOG, logging.INFO, "serve.drained",
             drained=drained, counts=self.queue.counts(),
@@ -273,8 +295,28 @@ class ServeApp:
         with open(path, "rb") as handle:
             return 200, handle.read()
 
+    def trace_payload(self, job_id: str, fmt: str | None = None) -> tuple[int, dict]:
+        """(HTTP status, body) for the per-job lifecycle trace route.
+
+        ``fmt="chrome"`` wraps the trace in a Chrome-trace document
+        (``traceEvents``) that opens directly in Perfetto.
+        """
+        job = self.queue.get(job_id)
+        events = self.recorder.events(job_id)
+        if job is None and not events:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        trace = job_trace(events, job=job.to_dict() if job is not None else None)
+        if fmt == "chrome":
+            return 200, chrome_trace(trace_chrome_events(job_id, trace))
+        if fmt not in (None, "", "json"):
+            return 400, {"error": f"unknown trace format {fmt!r} (json or chrome)"}
+        body = {"id": job_id, "trace_id": job.trace_id if job is not None else None}
+        body.update(trace)
+        return 200, body
+
     def health_payload(self) -> dict:
         counts = self.queue.counts()
+        slo = self.slo_tracker.publish_gauges()
         return {
             "status": "draining" if self.draining else "ok",
             "queue_depth": counts["pending"] + counts["retrying"],
@@ -285,6 +327,7 @@ class ServeApp:
             "retry_after_seconds": self.queue.retry_after_hint(),
             "cache_entries": len(self.cache),
             "cache_bytes": self.cache.total_bytes(),
+            "slo": slo,
         }
 
     def metrics_payload(self) -> dict:
@@ -297,6 +340,7 @@ class ServeApp:
                     for name, secs, ge in self.ledger.breakdown(with_counts=True)
                 ],
             }
+        self.slo_tracker.publish_gauges()
         payload = METRICS.snapshot()
         payload["ledger"] = ledger
         payload["queue"] = {
@@ -305,6 +349,17 @@ class ServeApp:
             "retry_after_seconds": self.queue.retry_after_hint(),
         }
         return payload
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus text exposition of the current registry state.
+
+        The ledger gauges are refreshed first so modeled seconds and GE
+        counts scrape like everything else; the queue/SLO gauges update
+        inside :meth:`publish_gauges` paths already.
+        """
+        self.publish_ledger_gauges()
+        self.slo_tracker.publish_gauges()
+        return render_exposition(METRICS.snapshot())
 
 
 def _wind_product(job: Job, field: MotionField, barb_stride: int = 8) -> dict:
@@ -437,12 +492,28 @@ class ServeHandler(BaseHTTPRequestHandler):
         if path == "/healthz":
             self._send_json(200, self.app.health_payload())
         elif path == "/metrics":
-            self._send_json(200, self.app.metrics_payload())
+            # Content negotiation: a Prometheus scraper announces
+            # itself with Accept: text/plain (or openmetrics); every
+            # existing consumer keeps getting the JSON payload.
+            if wants_exposition(self.headers.get("Accept")):
+                self._send_bytes(
+                    self.app.metrics_exposition().encode("utf-8"),
+                    PROM_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(200, self.app.metrics_payload())
         elif path == "/v1/jobs":
             params = dict(
                 part.split("=", 1) for part in query.split("&") if "=" in part
             )
             status, body = self.app.jobs_payload(state=params.get("state"))
+            self._send_json(status, body)
+        elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            params = dict(
+                part.split("=", 1) for part in query.split("&") if "=" in part
+            )
+            job_id = path[len("/v1/jobs/") : -len("/trace")]
+            status, body = self.app.trace_payload(job_id, fmt=params.get("format"))
             self._send_json(status, body)
         elif path.startswith("/v1/jobs/"):
             payload = self.app.job_payload(path.rsplit("/", 1)[1])

@@ -192,6 +192,10 @@ class Job:
     priority: int = 0
     seq: int = 0
     state: str = "pending"
+    #: Opaque lifecycle-trace identifier assigned at submission; ties
+    #: flight-recorder events, structured logs, and ``GET
+    #: /v1/jobs/{id}/trace`` together across workers and restarts.
+    trace_id: str = ""
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
@@ -225,6 +229,7 @@ class Job:
             "priority": self.priority,
             "seq": self.seq,
             "state": self.state,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -270,6 +275,7 @@ class Job:
             priority=payload["priority"],
             seq=payload["seq"],
             state=state,
+            trace_id=payload.get("trace_id", ""),
             submitted_at=payload["submitted_at"],
             started_at=started,
             finished_at=payload.get("finished_at"),

@@ -180,6 +180,8 @@ class JobQueue:
         retry_policy: RetryPolicy | None = None,
         compact_every: int = 512,
         on_recovery_seconds=None,
+        recorder=None,
+        on_terminal=None,
     ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
@@ -199,6 +201,13 @@ class JobQueue:
         #: the serving ledger accounts reaper/retry delay like any other
         #: stall; None outside a :class:`~repro.serve.http.ServeApp`.
         self.on_recovery_seconds = on_recovery_seconds
+        #: Optional :class:`~repro.obs.events.FlightRecorder`: every
+        #: lifecycle transition lands in the crash-safe flight journal.
+        self.recorder = recorder
+        #: Callback invoked with each job reaching a terminal state
+        #: (done/dead) -- the SLO tracker's feed.  Called with the queue
+        #: lock held; must not call back into the queue.
+        self.on_terminal = on_terminal
         self._cond = threading.Condition()
         self._jobs: dict[str, Job] = {}
         #: (-priority, seq, job_id) min-heap -> highest priority, FIFO
@@ -243,6 +252,12 @@ class JobQueue:
                 priority=int(priority),
                 seq=self._seq,
                 submitted_at=time.time(),
+                # Deterministic function of the submit history so identical
+                # histories journal to identical bytes; unique within a
+                # state dir because seq never repeats.
+                trace_id=hashlib.blake2b(
+                    f"{self._seq}:{fingerprint}".encode(), digest_size=8
+                ).hexdigest(),
             )
             self._jobs[job.id] = job
             self._active_by_fingerprint[fingerprint] = job.id
@@ -250,6 +265,11 @@ class JobQueue:
             METRICS.inc("serve.queue.submitted")
             self._publish_gauges()
             self._append(job)
+            self._flight(
+                "submitted", job, ts=job.submitted_at,
+                priority=job.priority, kind=request.kind, dataset=request.dataset,
+                fingerprint=fingerprint,
+            )
             self._cond.notify()
             return job, True
 
@@ -284,6 +304,10 @@ class JobQueue:
                     METRICS.inc("serve.lease.granted")
                     self._publish_gauges()
                     self._append(job)
+                    self._flight(
+                        "claimed", job, ts=now,
+                        lease_deadline=job.lease_deadline,
+                    )
                     return job
                 if self._closed:
                     return None
@@ -306,6 +330,7 @@ class JobQueue:
                 return False
             job.lease_deadline = time.time() + (extend or self.lease_seconds)
             METRICS.inc("serve.lease.renewed")
+            self._flight("lease_renewed", job, lease_deadline=job.lease_deadline)
             return True
 
     def complete(self, job_id: str, lease_token: str | None = None, **fields) -> Job | None:
@@ -389,6 +414,7 @@ class JobQueue:
                     job=job.id, worker=job.worker, attempts=job.attempts,
                     reason=reason,
                 )
+                self._flight("reaped", job, ts=now, reason=reason)
                 self._retry_or_dead_locked(job, reason, retryable=True)
                 reaped.append(job)
         return reaped
@@ -423,6 +449,7 @@ class JobQueue:
             log_event(_LOG, logging.INFO, "serve.dead_requeued", job=job.id)
             self._publish_gauges()
             self._append(job)
+            self._flight("requeued", job)
             self._cond.notify()
             return job
 
@@ -435,11 +462,21 @@ class JobQueue:
             job.wall_seconds = max(0.0, job.finished_at - job.started_at)
         for name, value in fields.items():
             setattr(job, name, value)
+        worker = job.worker
         job.worker = job.lease_token = job.lease_deadline = None
         self._active_by_fingerprint.pop(job.request.fingerprint(), None)
         self._finished_at.append(job.finished_at)
+        latency = max(0.0, job.finished_at - job.submitted_at)
+        METRICS.observe("serve.job.latency_seconds", latency)
         self._publish_gauges()
         self._append(job)
+        self._flight(
+            "completed", job, ts=job.finished_at, worker=worker,
+            cache_hit=job.cache_hit, result_key=job.result_key,
+            latency_seconds=round(latency, 6),
+        )
+        if self.on_terminal is not None:
+            self.on_terminal(job)
         self._cond.notify_all()
         return job
 
@@ -461,6 +498,10 @@ class JobQueue:
                 job=job.id, attempt=job.attempts, backoff=round(backoff, 4),
                 error=error,
             )
+            self._flight(
+                "retry_scheduled", job,
+                backoff_seconds=round(backoff, 6), error=error,
+            )
         else:
             job.state = "dead"
             job.not_before = None
@@ -472,6 +513,9 @@ class JobQueue:
                 _LOG, logging.ERROR, "serve.job_dead",
                 job=job.id, attempts=job.attempts, error=error,
             )
+            self._flight("dead_lettered", job, ts=job.finished_at, error=error)
+            if self.on_terminal is not None:
+                self.on_terminal(job)
         self._publish_gauges()
         self._append(job)
         self._cond.notify_all()
@@ -597,6 +641,22 @@ class JobQueue:
         METRICS.inc("serve.journal.records")
         if self._journal.records_since_compact >= self.compact_every:
             self._compact_locked()
+
+    def _flight(self, event: str, job: Job, ts: float | None = None,
+                worker: str | None = None, **fields) -> None:
+        # Called with the lock held.  Best-effort lifecycle journaling:
+        # the flight recorder is observability, never correctness, so a
+        # disk hiccup here must not fail the queue mutation it rode on.
+        if self.recorder is None:
+            return
+        try:
+            self.recorder.record(
+                event, job.id, trace_id=job.trace_id,
+                attempt=job.attempts, worker=worker or job.worker,
+                ts=ts, **fields,
+            )
+        except OSError:
+            METRICS.inc("serve.flight.write_errors")
 
     def _compact_locked(self) -> None:
         atomic_write_text(

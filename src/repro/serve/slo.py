@@ -1,0 +1,186 @@
+"""Serving SLOs: latency and error-rate objectives with burn rates.
+
+The fleet promises two things a dashboard can hold it to: *most* jobs
+finish fast (a p95 latency objective) and *almost none* die (an error
+budget).  This module turns those promises into numbers the existing
+surfaces already export -- rolling burn rates as gauges on
+``GET /metrics`` and a breach verdict on ``GET /healthz`` -- using the
+standard SRE framing:
+
+* **latency burn** = (fraction of recent jobs slower than the target)
+  / (the latency budget, i.e. the 5% a p95 objective tolerates),
+* **error burn** = (fraction of recent jobs that dead-lettered)
+  / (the error-rate objective).
+
+A burn rate of 1.0 means the objective is being consumed exactly as
+fast as budgeted; above 1.0 the objective is **breached** over the
+rolling window.  The window is wall-clock bounded (default 5 minutes)
+so a bad spike ages out instead of poisoning the gauges forever.
+
+Objectives are server-side configuration: ``repro serve
+--slo p95=2,errors=0.01,window=300`` (the spec grammar mirrors
+``--chaos``).  The tracker feeds off the queue's terminal-state
+callback, which runs with the queue lock held -- so :meth:`record`
+must stay cheap and must never call back into the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs.metrics import METRICS
+
+#: The tail fraction a p95 objective budgets for slow jobs.
+LATENCY_BUDGET_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The objectives one serve deployment is held to."""
+
+    #: p95 latency target in seconds (submission -> terminal state).
+    p95_seconds: float = 2.0
+    #: Tolerated fraction of jobs that may dead-letter.
+    error_rate: float = 0.01
+    #: Rolling evaluation window, seconds.
+    window_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.p95_seconds <= 0:
+            raise ValueError("p95 latency target must be > 0 seconds")
+        if not 0 < self.error_rate < 1:
+            raise ValueError("error-rate objective must be in (0, 1)")
+        if self.window_seconds <= 0:
+            raise ValueError("SLO window must be > 0 seconds")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "SLOConfig":
+        """Parse a ``--slo`` spec: ``p95=SECONDS,errors=FRACTION,window=SECONDS``.
+
+        Every key is optional (defaults apply); unknown keys are
+        refused loudly, same contract as the chaos spec parser.
+        """
+        values: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad SLO spec component {part!r} (expected key=value)"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip().lower()
+            if key not in ("p95", "errors", "window"):
+                raise ValueError(
+                    f"unknown SLO spec key {key!r} (choose from p95, errors, window)"
+                )
+            try:
+                values[key] = float(raw)
+            except ValueError as exc:
+                raise ValueError(f"bad SLO spec value in {part!r}") from exc
+        return cls(
+            p95_seconds=values.get("p95", cls.p95_seconds),
+            error_rate=values.get("errors", cls.error_rate),
+            window_seconds=values.get("window", cls.window_seconds),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "p95_seconds": self.p95_seconds,
+            "error_rate": self.error_rate,
+            "window_seconds": self.window_seconds,
+        }
+
+
+class SLOTracker:
+    """Rolling window of terminal jobs -> burn rates and breach state.
+
+    Thread-safe and deliberately tiny: :meth:`record` is called from
+    the queue's terminal callback with the queue lock held, so it only
+    appends to a bounded deque under its own lock.  The expensive part
+    (pruning + percentile) happens on :meth:`status`, i.e. when a
+    scrape or health check asks.
+    """
+
+    def __init__(self, config: SLOConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        #: (finished_at, latency_seconds, ok) per terminal job.
+        self._window: deque[tuple[float, float, bool]] = deque(maxlen=4096)
+
+    def record(self, latency_seconds: float, ok: bool, ts: float | None = None) -> None:
+        """One terminal job: its submission->terminal latency and verdict."""
+        with self._lock:
+            self._window.append(
+                (time.time() if ts is None else ts, float(latency_seconds), bool(ok))
+            )
+
+    def record_job(self, job) -> None:
+        """Adapter for :attr:`JobQueue.on_terminal` (queue lock held)."""
+        finished = job.finished_at if job.finished_at is not None else time.time()
+        self.record(
+            max(0.0, finished - job.submitted_at),
+            ok=(job.state == "done"),
+            ts=finished,
+        )
+
+    def _samples(self, now: float) -> list[tuple[float, float, bool]]:
+        cutoff = now - self.config.window_seconds
+        with self._lock:
+            while self._window and self._window[0][0] < cutoff:
+                self._window.popleft()
+            return list(self._window)
+
+    def status(self, now: float | None = None) -> dict:
+        """The SLO section of ``/healthz``: burn rates + breach verdict.
+
+        With an empty window nothing has burned -- burn rates are 0.0
+        and the deployment is trivially within objectives.
+        """
+        now = time.time() if now is None else now
+        samples = self._samples(now)
+        total = len(samples)
+        slow = sum(1 for _, latency, _ in samples if latency > self.config.p95_seconds)
+        errors = sum(1 for _, _, ok in samples if not ok)
+        slow_fraction = slow / total if total else 0.0
+        error_fraction = errors / total if total else 0.0
+        latency_burn = slow_fraction / LATENCY_BUDGET_FRACTION
+        error_burn = error_fraction / self.config.error_rate
+        observed_p95 = None
+        if total:
+            latencies = sorted(latency for _, latency, _ in samples)
+            rank = min(total - 1, max(0, int(0.95 * total + 0.5) - 1))
+            observed_p95 = latencies[rank]
+        return {
+            "objectives": self.config.describe(),
+            "window_jobs": total,
+            "latency": {
+                "target_p95_seconds": self.config.p95_seconds,
+                "observed_p95_seconds": observed_p95,
+                "slow_fraction": slow_fraction,
+                "burn_rate": latency_burn,
+                "breached": latency_burn > 1.0,
+            },
+            "errors": {
+                "budget_fraction": self.config.error_rate,
+                "observed_fraction": error_fraction,
+                "burn_rate": error_burn,
+                "breached": error_burn > 1.0,
+            },
+            "breached": latency_burn > 1.0 or error_burn > 1.0,
+        }
+
+    def publish_gauges(self, now: float | None = None) -> dict:
+        """Refresh the ``serve.slo.*`` gauges; returns the status used."""
+        status = self.status(now)
+        METRICS.set_gauge(
+            "serve.slo.latency_burn_rate", status["latency"]["burn_rate"]
+        )
+        METRICS.set_gauge("serve.slo.error_burn_rate", status["errors"]["burn_rate"])
+        METRICS.set_gauge("serve.slo.window_jobs", float(status["window_jobs"]))
+        METRICS.set_gauge("serve.slo.breached", 1.0 if status["breached"] else 0.0)
+        return status

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 
 import numpy as np
 
@@ -50,7 +51,7 @@ from ..core.field import MotionField
 from ..core.matching import valid_mask
 from ..core.sma import SMAnalyzer
 from ..data.datasets import Dataset
-from ..obs.log import get_logger, log_event
+from ..obs.log import get_logger, log_context, log_event
 from ..obs.metrics import METRICS
 from ..obs.tracing import TRACER
 from ..parallel.memory_plan import max_feasible_segment_rows
@@ -205,7 +206,11 @@ class WorkerPool:
             with self._exec_lock:
                 self._executing[name] = (job.id, token)
             try:
-                self.execute(job)
+                # Every log line this attempt emits -- including from
+                # library layers that know nothing about serving --
+                # carries the job and trace identifiers.
+                with log_context(job=job.id, trace=job.trace_id):
+                    self.execute(job)
             except ChaosWorkerCrash as crash:
                 # Simulated thread death: the job stays leased, the
                 # supervisor's reaper requeues it, the supervisor
@@ -229,6 +234,19 @@ class WorkerPool:
                     self._executing.pop(name, None)
 
     # -- job execution ----------------------------------------------------------------
+
+    def _flight(self, event: str, job: Job, **fields) -> None:
+        """Worker-side lifecycle events into the app's flight recorder."""
+        recorder = getattr(self.app, "recorder", None)
+        if recorder is None:
+            return
+        try:
+            recorder.record(
+                event, job.id, trace_id=job.trace_id, attempt=job.attempts,
+                worker=threading.current_thread().name, **fields,
+            )
+        except OSError:
+            METRICS.inc("serve.flight.write_errors")
 
     def execute(self, job: Job) -> None:
         """Resolve one job: result cache first, compute on miss.
@@ -260,6 +278,7 @@ class WorkerPool:
 
             cached = self.app.cache.get(key)
             if cached is not None:
+                self._flight("cache_hit", job, key=key)
                 done = self.app.queue.complete(
                     job.id, lease_token=token, cache_hit=True, result_key=key,
                     metadata={"model": cached.metadata.get("model")},
@@ -269,6 +288,7 @@ class WorkerPool:
                     log_event(_LOG, logging.INFO, "serve.cache_hit", job=job.id, key=key)
                 return
 
+            compute_started = time.perf_counter()
             if request.kind == "pair":
                 field, rung = self._compute_pair(
                     frames, config, dataset.pixel_km, request.search_mode,
@@ -279,7 +299,16 @@ class WorkerPool:
                     frames, config, dataset.pixel_km, request.search_mode,
                     request.backend,
                 )
+            compute_seconds = time.perf_counter() - compute_started
+            METRICS.observe("serve.compute.seconds", compute_seconds)
+            self._flight("compute", job, seconds=round(compute_seconds, 6), rung=rung)
+            write_started = time.perf_counter()
             self.app.cache.put(key, field)
+            write_seconds = time.perf_counter() - write_started
+            METRICS.observe("serve.cache.write_seconds", write_seconds)
+            self._flight(
+                "cache_write", job, seconds=round(write_seconds, 6), key=key
+            )
             self.app.publish_ledger_gauges()
             done = self.app.queue.complete(
                 job.id, lease_token=token, cache_hit=False, result_key=key, rung=rung,

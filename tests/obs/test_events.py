@@ -1,0 +1,189 @@
+"""Flight recorder: crash-safe journaling, rotation, trace stitching."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.events import (
+    LIFECYCLE_EVENTS,
+    FlightRecorder,
+    job_trace,
+    trace_chrome_events,
+)
+from repro.obs.export import chrome_trace
+
+
+@pytest.fixture
+def flight_path(tmp_path):
+    return str(tmp_path / "flight.jsonl")
+
+
+class TestFlightRecorder:
+    def test_record_and_query_by_job(self, flight_path):
+        recorder = FlightRecorder(flight_path)
+        recorder.record("submitted", "job-1", trace_id="t1")
+        recorder.record("submitted", "job-2", trace_id="t2")
+        recorder.record("claimed", "job-1", attempt=1, worker="w0")
+        events = recorder.events("job-1")
+        assert [e["event"] for e in events] == ["submitted", "claimed"]
+        assert events[0]["trace"] == "t1"
+        assert events[1]["worker"] == "w0"
+        recorder.close()
+
+    def test_every_record_is_one_json_line_on_disk(self, flight_path):
+        recorder = FlightRecorder(flight_path)
+        for event in LIFECYCLE_EVENTS:
+            recorder.record(event, "job-1")
+        with open(flight_path, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        assert len(lines) == len(LIFECYCLE_EVENTS)
+        for line in lines:
+            json.loads(line)
+        recorder.close()
+
+    def test_restart_replays_surviving_events(self, flight_path):
+        recorder = FlightRecorder(flight_path)
+        recorder.record("submitted", "job-1", ts=1.0)
+        recorder.record("completed", "job-1", ts=2.0)
+        recorder.close()
+        reborn = FlightRecorder(flight_path)
+        assert [e["event"] for e in reborn.events("job-1")] == [
+            "submitted", "completed",
+        ]
+        reborn.close()
+
+    def test_torn_tail_is_dropped_not_fatal(self, flight_path):
+        recorder = FlightRecorder(flight_path)
+        recorder.record("submitted", "job-1")
+        recorder.close()
+        with open(flight_path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 3.0, "event": "cla')  # SIGKILL mid-write
+        reborn = FlightRecorder(flight_path)
+        assert [e["event"] for e in reborn.replay()] == ["submitted"]
+        reborn.close()
+
+    def test_rotation_bounds_the_ring(self, flight_path):
+        recorder = FlightRecorder(
+            flight_path, max_records_per_segment=4, keep_segments=2
+        )
+        for index in range(11):
+            recorder.record("submitted", f"job-{index}")
+        segments = [p for p in (flight_path, flight_path + ".1") if os.path.exists(p)]
+        assert len(segments) == 2
+        assert not os.path.exists(flight_path + ".2")
+        survived = recorder.replay()
+        # Bounded: at most two segments' worth; the oldest records gone.
+        assert 0 < len(survived) <= 8
+        assert survived[-1]["job"] == "job-10"
+        recorder.close()
+
+    def test_rotation_survives_restart(self, flight_path):
+        recorder = FlightRecorder(
+            flight_path, max_records_per_segment=2, keep_segments=3
+        )
+        for index in range(7):
+            recorder.record("submitted", f"job-{index}")
+        recorder.close()
+        reborn = FlightRecorder(
+            flight_path, max_records_per_segment=2, keep_segments=3
+        )
+        jobs = [e["job"] for e in reborn.events()]
+        assert jobs == [e["job"] for e in reborn.replay()]
+        assert jobs[-1] == "job-6"
+        reborn.close()
+
+    def test_bad_limits_refused(self, flight_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(flight_path, max_records_per_segment=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(flight_path, keep_segments=0)
+
+
+def _lifecycle(with_retry: bool = False) -> list:
+    """A synthetic single-job event stream with exact, known timings."""
+    events = [
+        {"ts": 10.0, "event": "submitted", "job": "j"},
+        {"ts": 12.0, "event": "claimed", "job": "j", "attempt": 1, "worker": "w0"},
+    ]
+    if with_retry:
+        events += [
+            {"ts": 14.0, "event": "reaped", "job": "j", "attempt": 1},
+            {"ts": 15.0, "event": "retry_scheduled", "job": "j", "attempt": 1},
+            {"ts": 17.0, "event": "claimed", "job": "j", "attempt": 2, "worker": "w1"},
+        ]
+    final_claim = 17.0 if with_retry else 12.0
+    events += [
+        {
+            "ts": final_claim + 2.5, "event": "compute", "job": "j",
+            "fields": {"seconds": 2.0},
+        },
+        {
+            "ts": final_claim + 2.9, "event": "cache_write", "job": "j",
+            "fields": {"seconds": 0.25},
+        },
+        {"ts": final_claim + 3.0, "event": "completed", "job": "j"},
+    ]
+    return events
+
+
+class TestJobTrace:
+    def test_segments_tile_the_wall_clock_exactly(self):
+        trace = job_trace(_lifecycle())
+        seg = trace["segments"]
+        assert seg["wall_seconds"] == pytest.approx(5.0)
+        assert seg["queue_wait_seconds"] + seg["lease_held_seconds"] == pytest.approx(
+            seg["wall_seconds"]
+        )
+        assert seg["compute_seconds"] == pytest.approx(2.0)
+        assert seg["cache_write_seconds"] == pytest.approx(0.25)
+        assert seg["overhead_seconds"] == pytest.approx(3.0 - 2.25)
+
+    def test_retry_gap_counts_as_queue_wait(self):
+        trace = job_trace(_lifecycle(with_retry=True))
+        seg = trace["segments"]
+        # submitted 10 -> completed 20: attempt 1 held 12..14, attempt 2
+        # held 17..20; waits are 10..12 and 14..17.
+        assert seg["wall_seconds"] == pytest.approx(10.0)
+        assert seg["lease_held_seconds"] == pytest.approx(2.0 + 3.0)
+        assert seg["queue_wait_seconds"] == pytest.approx(5.0)
+        assert len(trace["attempts"]) == 2
+        assert trace["attempts"][0]["outcome"] == "reaped"
+        assert trace["attempts"][1]["outcome"] == "completed"
+
+    def test_in_flight_job_has_no_segments(self):
+        events = _lifecycle()[:2]
+        trace = job_trace(events)
+        assert trace["segments"] is None
+        assert len(trace["attempts"]) == 1
+
+    def test_job_dict_backfills_missing_endpoints(self):
+        events = [e for e in _lifecycle() if e["event"] not in ("submitted",)]
+        trace = job_trace(events, job={"submitted_at": 10.0, "finished_at": 15.0})
+        assert trace["segments"]["wall_seconds"] == pytest.approx(5.0)
+
+    def test_dead_lettered_closes_the_trace(self):
+        events = _lifecycle()[:2] + [
+            {"ts": 13.0, "event": "dead_lettered", "job": "j", "attempt": 1},
+        ]
+        trace = job_trace(events)
+        assert trace["attempts"][0]["outcome"] == "dead_lettered"
+        assert trace["segments"]["wall_seconds"] == pytest.approx(3.0)
+
+
+class TestTraceChromeEvents:
+    def test_spans_feed_chrome_trace(self):
+        trace = job_trace(_lifecycle(with_retry=True))
+        spans = trace_chrome_events("j", trace)
+        document = chrome_trace(spans)
+        names = [e["name"] for e in document["traceEvents"] if e.get("ph") == "X"]
+        assert "job" in names
+        assert names.count("queue_wait") == 2
+        assert names.count("lease_held") == 2
+        assert "compute" in names and "cache_write" in names
+
+    def test_timestamps_relative_to_submission(self):
+        spans = trace_chrome_events("j", job_trace(_lifecycle()))
+        job_span = next(s for s in spans if s["name"] == "job")
+        assert job_span["ts_us"] == pytest.approx(0.0)
+        assert job_span["dur_us"] == pytest.approx(5.0 * 1e6)

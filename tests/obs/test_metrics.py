@@ -104,3 +104,148 @@ class TestMergeAndDrain:
         registry.merge_snapshot(worker.drain())
         registry.merge_snapshot(worker.drain())  # second drain is empty
         assert registry.counter("ev") == 5
+
+
+class TestBucketedHistograms:
+    def test_snapshot_carries_cumulative_buckets(self, registry):
+        for v in (0.004, 0.04, 0.4, 4.0):
+            registry.observe("h", v)
+        h = registry.snapshot()["histograms"]["h"]
+        values = list(h["buckets"].values())
+        assert values == sorted(values)
+        assert h["buckets"]["+Inf"] == 4
+        assert "p50" in h and "p95" in h and "p99" in h
+
+    def test_quantiles_clamped_to_observed_range(self, registry):
+        for _ in range(100):
+            registry.observe("h", 0.5)
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["min"] <= h["p50"] <= h["max"]
+        assert h["min"] <= h["p99"] <= h["max"]
+
+    def test_quantile_ordering(self, registry):
+        for i in range(1, 101):
+            registry.observe("h", i / 100.0)
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["p50"] <= h["p95"] <= h["p99"]
+        assert h["p95"] == pytest.approx(0.95, abs=0.3)
+
+    def test_set_buckets_overrides_bounds(self, registry):
+        registry.set_buckets("custom.*", (1.0, 2.0))
+        registry.observe("custom.h", 1.5)
+        h = registry.snapshot()["histograms"]["custom.h"]
+        assert set(h["buckets"]) == {"1", "2", "+Inf"}
+
+    def test_set_buckets_refuses_unsorted(self, registry):
+        with pytest.raises(ValueError):
+            registry.set_buckets("x", (2.0, 1.0))
+
+    def test_bytes_histograms_get_byte_buckets(self, registry):
+        registry.observe("cache.artifact_bytes", 5000.0)
+        h = registry.snapshot()["histograms"]["cache.artifact_bytes"]
+        assert "1024" in h["buckets"]
+
+    def test_zero_count_histogram_derived_stats_are_zero(self, registry):
+        registry.observe("h", 1.0)
+        registry.snapshot()  # derived keys must not poison later merges
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["mean"] == pytest.approx(1.0)
+
+
+class TestMergeSnapshotSatellites:
+    def test_merge_ignores_derived_keys(self, registry):
+        """mean/p50/p95/p99 are derived, never accumulated."""
+        other = MetricsRegistry()
+        other.observe("h", 2.0)
+        snap = other.snapshot()
+        assert "mean" in snap["histograms"]["h"]
+        registry.merge_snapshot(snap)
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == 1 and h["sum"] == pytest.approx(2.0)
+        assert h["mean"] == pytest.approx(2.0)
+
+    def test_merge_skips_zero_count_histograms(self, registry):
+        registry.observe("h", 1.0)
+        registry.merge_snapshot(
+            {"histograms": {"h": {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}}}
+        )
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == 1
+        assert h["min"] == pytest.approx(1.0)  # zero-count min must not clobber
+
+    def test_merge_bucketwise_when_bounds_match(self, registry):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.004, 0.4):
+            a.observe("h", v)
+        for v in (0.04, 4.0):
+            b.observe("h", v)
+        registry.merge_snapshot(a.snapshot())
+        registry.merge_snapshot(b.snapshot())
+        direct = MetricsRegistry()
+        for v in (0.004, 0.4, 0.04, 4.0):
+            direct.observe("h", v)
+        assert (
+            registry.snapshot()["histograms"]["h"]["buckets"]
+            == direct.snapshot()["histograms"]["h"]["buckets"]
+        )
+
+    def test_merge_mismatched_bounds_lands_in_inf(self, registry):
+        registry.observe("h", 0.01)
+        incoming = {
+            "histograms": {
+                "h": {
+                    "count": 3, "sum": 1.5, "min": 0.1, "max": 1.0,
+                    "buckets": {"0.5": 2, "+Inf": 3},
+                }
+            }
+        }
+        registry.merge_snapshot(incoming)
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == 4
+        assert h["buckets"]["+Inf"] == 4
+
+    def test_merge_legacy_bucketless_histogram(self, registry):
+        registry.merge_snapshot(
+            {"histograms": {"h": {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0}}}
+        )
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == 2 and h["buckets"]["+Inf"] == 2
+
+    def test_drain_merge_round_trip_preserves_buckets(self, registry):
+        worker = MetricsRegistry()
+        values = [0.002, 0.02, 0.2, 2.0, 20.0, 200.0]
+        for v in values:
+            worker.observe("h", v)
+        expected = worker.snapshot()["histograms"]["h"]["buckets"]
+        registry.merge_snapshot(worker.drain())
+        assert registry.snapshot()["histograms"]["h"]["buckets"] == expected
+        assert worker.snapshot().get("histograms", {}) in ({}, None) or (
+            "h" not in worker.snapshot().get("histograms", {})
+        )
+
+    def test_concurrent_merge_hammer_totals_exact(self, registry):
+        """N threads draining worker registries into one parent: every
+        counter increment and every observation counted exactly once."""
+        import threading
+
+        threads, per_thread, rounds = 8, 25, 4
+
+        def work() -> None:
+            for _ in range(rounds):
+                worker = MetricsRegistry()
+                for _ in range(per_thread):
+                    worker.inc("ev")
+                    worker.observe("h", 0.05)
+                registry.merge_snapshot(worker.drain())
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = threads * per_thread * rounds
+        assert registry.counter("ev") == total
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == total
+        assert h["sum"] == pytest.approx(total * 0.05)
+        assert h["buckets"]["+Inf"] == total

@@ -1,0 +1,151 @@
+"""Prometheus text exposition: rendering, negotiation, and the parser."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    PROM_CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+    sanitize_name,
+    wants_exposition,
+)
+
+
+def _registry_with_data() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("serve.queue.submitted", 3.0)
+    registry.set_gauge("serve.queue.depth", 2.0)
+    for value in (0.004, 0.04, 0.4, 4.0):
+        registry.observe("serve.job.latency_seconds", value)
+    return registry
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("serve.queue.wait_seconds") == "serve_queue_wait_seconds"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("9lives").startswith("_")
+
+    def test_legal_name_unchanged(self):
+        assert sanitize_name("already_legal:name") == "already_legal:name"
+
+
+class TestRenderExposition:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        text = render_exposition(_registry_with_data().snapshot())
+        assert "# TYPE serve_queue_submitted_total counter" in text
+        assert "serve_queue_submitted_total 3.0" in text
+
+    def test_gauge_sample(self):
+        text = render_exposition(_registry_with_data().snapshot())
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 2.0" in text
+
+    def test_histogram_triplet_with_inf_bucket(self):
+        text = render_exposition(_registry_with_data().snapshot())
+        assert "# TYPE serve_job_latency_seconds histogram" in text
+        assert 'serve_job_latency_seconds_bucket{le="+Inf"} 4.0' in text
+        assert "serve_job_latency_seconds_count 4.0" in text
+        assert "serve_job_latency_seconds_sum" in text
+
+    def test_buckets_are_cumulative_in_le_order(self):
+        text = render_exposition(_registry_with_data().snapshot())
+        values = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("serve_job_latency_seconds_bucket")
+        ]
+        assert values == sorted(values)
+        assert values[-1] == 4.0
+
+    def test_ends_with_newline(self):
+        assert render_exposition(_registry_with_data().snapshot()).endswith("\n")
+
+    def test_quantiles_not_exported(self):
+        text = render_exposition(_registry_with_data().snapshot())
+        assert "p95" not in text and "p50" not in text
+
+    def test_content_type_names_version(self):
+        assert "version=0.0.4" in PROM_CONTENT_TYPE
+
+
+class TestWantsExposition:
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "text/plain;version=0.0.4",
+            "application/openmetrics-text; version=1.0.0",
+            "text/plain, */*",
+            "TEXT/PLAIN",
+        ],
+    )
+    def test_scraper_headers_flip_to_text(self, header):
+        assert wants_exposition(header)
+
+    @pytest.mark.parametrize("header", [None, "", "application/json", "*/*"])
+    def test_json_consumers_stay_json(self, header):
+        assert not wants_exposition(header)
+
+
+class TestParseExposition:
+    def test_round_trip_counts(self):
+        snapshot = _registry_with_data().snapshot()
+        parsed = parse_exposition(render_exposition(snapshot))
+        assert parsed["counters"]["serve_queue_submitted"] == 3.0
+        assert parsed["gauges"]["serve_queue_depth"] == 2.0
+        hist = parsed["histograms"]["serve_job_latency_seconds"]
+        assert hist["count"] == 4.0
+        assert hist["buckets"]["+Inf"] == 4.0
+        assert math.isclose(hist["sum"], 0.004 + 0.04 + 0.4 + 4.0)
+
+    def test_round_trip_bucket_values_match_snapshot(self):
+        snapshot = _registry_with_data().snapshot()
+        parsed = parse_exposition(render_exposition(snapshot))
+        original = snapshot["histograms"]["serve.job.latency_seconds"]["buckets"]
+        assert parsed["histograms"]["serve_job_latency_seconds"]["buckets"] == {
+            le: float(v) for le, v in original.items()
+        }
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            parse_exposition("mystery_metric 1.0\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition("# TYPE x counter\nx_total one point zero\n")
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1.0\n'
+            "h_sum 0.5\nh_count 1.0\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5.0\n'
+            'h_bucket{le="+Inf"} 3.0\n'
+            "h_sum 0.5\nh_count 3.0\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_exposition(text)
+
+    def test_count_bucket_disagreement_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3.0\n'
+            "h_sum 0.5\nh_count 4.0\n"
+        )
+        with pytest.raises(ValueError, match="!="):
+            parse_exposition(text)
+
+    def test_empty_registry_renders_and_parses(self):
+        parsed = parse_exposition(render_exposition(MetricsRegistry().snapshot()))
+        assert parsed == {"counters": {}, "gauges": {}, "histograms": {}}

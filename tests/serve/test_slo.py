@@ -1,0 +1,130 @@
+"""SLO objectives: spec parsing, burn rates, breach reporting."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.serve.slo import LATENCY_BUDGET_FRACTION, SLOConfig, SLOTracker
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+class TestSLOConfig:
+    def test_defaults(self):
+        config = SLOConfig()
+        assert config.p95_seconds == 2.0
+        assert config.error_rate == 0.01
+        assert config.window_seconds == 300.0
+
+    def test_from_spec_full(self):
+        config = SLOConfig.from_spec("p95=0.5,errors=0.05,window=60")
+        assert config.p95_seconds == 0.5
+        assert config.error_rate == 0.05
+        assert config.window_seconds == 60.0
+
+    def test_from_spec_partial_keeps_defaults(self):
+        config = SLOConfig.from_spec("p95=10")
+        assert config.p95_seconds == 10.0
+        assert config.error_rate == 0.01
+
+    def test_from_spec_unknown_key_refused(self):
+        with pytest.raises(ValueError, match="unknown SLO spec key"):
+            SLOConfig.from_spec("p99=1")
+
+    def test_from_spec_bad_value_refused(self):
+        with pytest.raises(ValueError, match="bad SLO spec"):
+            SLOConfig.from_spec("p95=fast")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p95_seconds": 0.0},
+            {"error_rate": 0.0},
+            {"error_rate": 1.0},
+            {"window_seconds": -1.0},
+        ],
+    )
+    def test_invalid_objectives_refused(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestSLOTracker:
+    def test_empty_window_is_within_objectives(self):
+        status = SLOTracker(SLOConfig()).status()
+        assert status["window_jobs"] == 0
+        assert status["latency"]["burn_rate"] == 0.0
+        assert status["errors"]["burn_rate"] == 0.0
+        assert not status["breached"]
+
+    def test_latency_burn_rate_formula(self):
+        tracker = SLOTracker(SLOConfig(p95_seconds=1.0))
+        now = time.time()
+        for _ in range(9):
+            tracker.record(0.1, ok=True, ts=now)
+        tracker.record(5.0, ok=True, ts=now)  # 10% slow against a 5% budget
+        status = tracker.status(now)
+        assert status["latency"]["slow_fraction"] == pytest.approx(0.1)
+        assert status["latency"]["burn_rate"] == pytest.approx(
+            0.1 / LATENCY_BUDGET_FRACTION
+        )
+        assert status["latency"]["breached"]
+        assert status["breached"]
+
+    def test_error_burn_rate_and_breach(self):
+        tracker = SLOTracker(SLOConfig(error_rate=0.5))
+        now = time.time()
+        tracker.record(0.1, ok=True, ts=now)
+        tracker.record(0.1, ok=False, ts=now)
+        status = tracker.status(now)
+        assert status["errors"]["observed_fraction"] == pytest.approx(0.5)
+        assert status["errors"]["burn_rate"] == pytest.approx(1.0)
+        assert not status["errors"]["breached"]  # exactly at budget, not over
+
+    def test_observed_p95_reported(self):
+        tracker = SLOTracker(SLOConfig())
+        now = time.time()
+        for i in range(1, 101):
+            tracker.record(i / 100.0, ok=True, ts=now)
+        status = tracker.status(now)
+        assert status["latency"]["observed_p95_seconds"] == pytest.approx(
+            0.95, abs=0.02
+        )
+
+    def test_old_samples_age_out_of_the_window(self):
+        tracker = SLOTracker(SLOConfig(window_seconds=10.0))
+        now = time.time()
+        tracker.record(99.0, ok=False, ts=now - 60.0)  # ancient breach
+        tracker.record(0.1, ok=True, ts=now)
+        status = tracker.status(now)
+        assert status["window_jobs"] == 1
+        assert not status["breached"]
+
+    def test_publish_gauges(self):
+        tracker = SLOTracker(SLOConfig(p95_seconds=0.001))
+        now = time.time()
+        tracker.record(1.0, ok=True, ts=now)  # 100% slow -> burn 20x
+        tracker.publish_gauges(now)
+        gauges = METRICS.snapshot()["gauges"]
+        assert gauges["serve.slo.latency_burn_rate"] == pytest.approx(20.0)
+        assert gauges["serve.slo.breached"] == 1.0
+        assert gauges["serve.slo.window_jobs"] == 1.0
+
+    def test_record_job_adapter(self):
+        tracker = SLOTracker(SLOConfig())
+
+        class FakeJob:
+            submitted_at = 100.0
+            finished_at = 100.5
+            state = "dead"
+
+        tracker.record_job(FakeJob())
+        status = tracker.status(FakeJob.finished_at)
+        assert status["window_jobs"] == 1
+        assert status["errors"]["observed_fraction"] == 1.0
