@@ -26,6 +26,7 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 #: files are the cross-PR records CI uploads as artifacts.
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sma_search.json"
 BENCH_SERVE_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve_latency.json"
+BENCH_BUS_PATH = Path(__file__).resolve().parents[1] / "BENCH_bus.json"
 
 
 def update_bench_record(section: str, record: dict, path: Path | None = None) -> None:

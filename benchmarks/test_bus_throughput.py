@@ -1,0 +1,175 @@
+"""Pair-dispatch transport benchmark: pickle pipe vs shared-memory rings.
+
+Measures the *transport* cost of moving one pair's inputs to a worker
+and its dense :class:`~repro.core.field.MotionField` back -- the part
+of pooled tracking the bus replaces -- with the SMA solve excluded, so
+the number isolates what ``transport="shm"`` actually buys:
+
+* **pickle** -- the pipe payload round-trip: serialize both prepared
+  frames (surface + fitted geometry planes) worker-bound, deserialize,
+  then serialize the result field back and deserialize it, exactly the
+  bytes a non-fork pool pushes per pair.
+* **shm** -- the ring round-trip: zero-copy ``read_frame`` of both
+  published slots (the worker's view costs a header check, not a copy)
+  plus ``publish_field``/``read_field`` through the consumed-cursor
+  handshake.
+
+Both paths must reproduce the original planes bit for bit (asserted by
+SHA-256 digest), and at 128 px the ring path must clear the issue's
+floor of 1.5x pickle throughput.  Records merge into the root
+``BENCH_bus.json`` trajectory; ``SEARCH_BENCH_SMOKE=1`` shrinks the
+repetition count for CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+
+import numpy as np
+
+from repro.bus.ring import FrameRing, ResultRing
+from repro.core.field import MotionField
+from repro.core.prep import FramePreparationCache
+from repro.data import hurricane_luis
+from repro.parallel.pairs import _ring_name
+
+SIZES = (64, 128)
+SPEEDUP_FLOOR_128 = 1.5
+
+
+def _field_digest(field: MotionField) -> str:
+    h = hashlib.sha256()
+    for plane in (field.u, field.v, field.error, field.valid, field.params):
+        h.update(np.ascontiguousarray(plane).tobytes())
+    return h.hexdigest()
+
+
+def _frames_digest(frames) -> str:
+    h = hashlib.sha256()
+    for frame in frames:
+        h.update(np.ascontiguousarray(frame.surface).tobytes())
+    return h.hexdigest()
+
+
+def _make_field(rng, size: int) -> MotionField:
+    return MotionField(
+        u=rng.normal(size=(size, size)),
+        v=rng.normal(size=(size, size)),
+        valid=rng.random((size, size)) > 0.2,
+        error=rng.random((size, size)),
+        params=rng.normal(size=(size, size, 6)),
+        dt_seconds=90.0,
+        pixel_km=4.0,
+    )
+
+
+def _pickle_dispatch(frames, preps, fields, reps: int) -> tuple[float, str, str]:
+    """Round-trip ``reps`` pairs through pickle; returns (secs, digests)."""
+    n_pairs = len(frames) - 1
+    frame_digest = field_digest = ""
+    t0 = time.perf_counter()
+    for rep in range(reps):
+        m = rep % n_pairs
+        task = pickle.dumps(
+            (m, frames[m], frames[m + 1], preps[m], preps[m + 1]),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        _, before, after, _, _ = pickle.loads(task)
+        wire = pickle.dumps(fields[m], protocol=pickle.HIGHEST_PROTOCOL)
+        out = pickle.loads(wire)
+        if rep == 0:
+            frame_digest = _frames_digest([before, after])
+            field_digest = _field_digest(out)
+    return time.perf_counter() - t0, frame_digest, field_digest
+
+
+def _shm_dispatch(frames, preps, fields, reps: int) -> tuple[float, str, str]:
+    """Round-trip ``reps`` pairs through the rings; returns (secs, digests)."""
+    n_pairs = len(frames) - 1
+    size = frames[0].shape[0]
+    name = _ring_name("bench")
+    frame_ring = FrameRing.create_frames(
+        name, capacity=len(frames), height=size, width=size, prep=True
+    )
+    result_ring = ResultRing.create_results(
+        f"{name}-out", capacity=4, height=size, width=size, params=True
+    )
+    frame_digest = field_digest = ""
+    try:
+        for frame, prep in zip(frames, preps):
+            frame_ring.publish_frame(frame, preparation=prep)
+        t0 = time.perf_counter()
+        for rep in range(reps):
+            m = rep % n_pairs
+            before = frame_ring.read_frame(m, copy=False)
+            after = frame_ring.read_frame(m + 1, copy=False)
+            result_ring.publish_field(rep, fields[m])
+            _, out = result_ring.read_field(rep)
+            result_ring.mark_consumed(rep)
+            if rep == 0:
+                frame_digest = _frames_digest([before.frame, after.frame])
+                field_digest = _field_digest(out)
+        elapsed = time.perf_counter() - t0
+    finally:
+        frame_ring.unlink()
+        frame_ring.close()
+        result_ring.unlink()
+        result_ring.close()
+    return elapsed, frame_digest, field_digest
+
+
+def test_bus_dispatch_throughput(results_dir):
+    smoke = os.environ.get("SEARCH_BENCH_SMOKE", "") == "1"
+    reps = 24 if smoke else 96
+    rng = np.random.default_rng(42)
+
+    record: dict = {"mode": "smoke" if smoke else "full", "reps": reps}
+    speedups: dict[int, float] = {}
+    for size in SIZES:
+        ds = hurricane_luis(size=size, n_frames=4, seed=5)
+        cache = FramePreparationCache(max_frames=8)
+        preps = [
+            cache.get(f.surface, f.intensity, ds.config) for f in ds.frames
+        ]
+        fields = [_make_field(rng, size) for _ in range(len(ds.frames) - 1)]
+        want_frames = _frames_digest(ds.frames[:2])
+        want_field = _field_digest(fields[0])
+
+        p_secs, p_frame_dig, p_field_dig = _pickle_dispatch(
+            ds.frames, preps, fields, reps
+        )
+        s_secs, s_frame_dig, s_field_dig = _shm_dispatch(
+            ds.frames, preps, fields, reps
+        )
+
+        # Both transports must be lossless: the first pair's planes come
+        # back identical to the originals, bit for bit, on either path.
+        assert p_frame_dig == s_frame_dig == want_frames
+        assert p_field_dig == s_field_dig == want_field
+
+        pickle_rate = reps / p_secs
+        shm_rate = reps / s_secs
+        speedups[size] = shm_rate / pickle_rate
+        record[f"pickle_pairs_per_s_{size}px"] = pickle_rate
+        record[f"shm_pairs_per_s_{size}px"] = shm_rate
+        record[f"shm_over_pickle_{size}px"] = speedups[size]
+        print(
+            f"\nbus dispatch {size}px: pickle {pickle_rate:.0f} pairs/s, "
+            f"shm {shm_rate:.0f} pairs/s ({speedups[size]:.1f}x)"
+        )
+
+    record["unix_time"] = time.time()
+    (results_dir / "bus_throughput.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    from .conftest import BENCH_BUS_PATH, update_bench_record
+
+    update_bench_record("bus_dispatch", record, path=BENCH_BUS_PATH)
+    assert speedups[128] >= SPEEDUP_FLOOR_128, (
+        f"shm dispatch only {speedups[128]:.2f}x pickle at 128px "
+        f"(floor {SPEEDUP_FLOOR_128}x)"
+    )

@@ -1,0 +1,56 @@
+"""Zero-copy shared-memory frame/result bus (the live MPDA analogue).
+
+The paper's machine holds every frame once in parallel memory and lets
+all PEs read it in place; this package is that idea for the pool and
+serve layers: named shared-memory rings carrying prepared-frame stacks
+(:class:`FrameRing`) and dense motion fields (:class:`ResultRing`),
+with a lock-free seqlock header so readers attach zero-copy and detect
+torn or overwritten slots, plus the ``repro ingest`` daemon and the
+``ring://NAME`` consumer that turn the batch pipeline into a
+continuously ingesting service.  See ``docs/ingestion.md``.
+"""
+
+from .ingest import (
+    DirectorySource,
+    FrameSource,
+    IngestDaemon,
+    SocketSource,
+    SyntheticSource,
+    parse_source,
+    send_frames,
+)
+from .ring import (
+    BusFrame,
+    FrameRing,
+    ResultRing,
+    RingError,
+    RingNotFound,
+    ShmRing,
+    SlotMissed,
+    TornSlot,
+    gc_stale_segments,
+    list_segments,
+)
+from .source import RingFrameSource, parse_ring_url
+
+__all__ = [
+    "BusFrame",
+    "DirectorySource",
+    "FrameRing",
+    "FrameSource",
+    "IngestDaemon",
+    "ResultRing",
+    "RingError",
+    "RingFrameSource",
+    "RingNotFound",
+    "ShmRing",
+    "SlotMissed",
+    "SocketSource",
+    "SyntheticSource",
+    "TornSlot",
+    "gc_stale_segments",
+    "list_segments",
+    "parse_ring_url",
+    "parse_source",
+    "send_frames",
+]

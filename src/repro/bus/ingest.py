@@ -1,0 +1,397 @@
+"""The ``repro ingest`` daemon: feed a frame ring at a configurable cadence.
+
+The publisher side of the live workload.  A :class:`FrameSource`
+produces raw :class:`~repro.core.sma.Frame` objects -- from the
+synthetic GOES storm-vortex generators, by tailing a directory for
+``.npy``/``.npz`` drops, or by reading length-prefixed ``.npz`` messages
+off a TCP socket -- and :class:`IngestDaemon` prepares each frame once
+(surface fit + discriminant, memoized by content fingerprint) and
+publishes the prepared stack into a named :class:`FrameRing`.
+
+The daemon owns its ring: on a clean stop it marks the ring closed,
+lingers so attached consumers can drain, then unlinks the segment.  A
+SIGKILLed daemon leaves the segment for :func:`gc_stale_segments`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import time
+from dataclasses import dataclass, field
+from io import BytesIO
+
+import numpy as np
+
+from ..core.prep import FramePreparationCache
+from ..core.sma import Frame
+from ..obs.metrics import METRICS
+from ..params import LUIS_CONFIG, NeighborhoodConfig
+from .ring import FrameRing
+
+
+class FrameSource:
+    """Iterable of (index, Frame); concrete sources override ``frames``."""
+
+    #: Model configuration the frames should be prepared under (sources
+    #: that know their dataset override this).
+    config: NeighborhoodConfig = LUIS_CONFIG
+    pixel_km: float = 1.0
+    dt_seconds: float = 90.0
+
+    def frames(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - trivial
+        return type(self).__name__
+
+
+@dataclass
+class SyntheticSource(FrameSource):
+    """Frames from the synthetic storm/vortex dataset factories.
+
+    ``max_frames`` beyond the dataset length loops the sequence (the
+    flows are steady, so re-advecting from frame 0 keeps a plausible
+    endless stream for soak testing).
+    """
+
+    dataset: str = "luis"
+    size: int = 64
+    n_frames: int = 8
+    seed: int = 1995_09
+    max_frames: int | None = None
+    _frames: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        from ..data import florida_thunderstorm, hurricane_frederic, hurricane_luis
+
+        factories = {
+            "frederic": hurricane_frederic,
+            "florida": florida_thunderstorm,
+            "luis": hurricane_luis,
+        }
+        if self.dataset not in factories:
+            raise ValueError(
+                f"unknown synthetic dataset {self.dataset!r} "
+                f"(choose from {sorted(factories)})"
+            )
+        ds = factories[self.dataset](
+            size=self.size, n_frames=self.n_frames, seed=self.seed
+        )
+        self._frames = ds.frames
+        self.config = ds.config
+        self.pixel_km = ds.pixel_km
+        self.dt_seconds = ds.dt_seconds
+
+    def frames(self):
+        total = self.max_frames if self.max_frames is not None else len(self._frames)
+        for i in range(total):
+            base = self._frames[i % len(self._frames)]
+            yield i, Frame(
+                surface=base.surface,
+                intensity=base.intensity,
+                time_seconds=i * self.dt_seconds,
+            )
+
+    def describe(self) -> str:
+        return f"synthetic:{self.dataset}(size={self.size}, frames={self.n_frames})"
+
+
+@dataclass
+class DirectorySource(FrameSource):
+    """Tail a directory for ``.npy``/``.npz`` frame drops, in name order.
+
+    ``.npy`` files are bare surfaces; ``.npz`` archives may carry
+    ``surface`` (required), ``intensity`` and ``time_seconds``.  A file
+    named ``STOP`` ends the stream.  Files are only consumed once; the
+    source keeps polling for new names until stopped.
+    """
+
+    path: str = "."
+    poll_seconds: float = 0.2
+    idle_timeout: float = 60.0
+    config: NeighborhoodConfig = LUIS_CONFIG
+    pixel_km: float = 1.0
+    dt_seconds: float = 90.0
+
+    def frames(self):
+        seen: set[str] = set()
+        index = 0
+        last_new = time.monotonic()
+        while True:
+            listing = os.listdir(self.path)
+            names = sorted(
+                n
+                for n in listing
+                if n not in seen and n.endswith((".npy", ".npz"))
+            )
+            if not names:
+                if "STOP" in listing:
+                    return
+                if time.monotonic() - last_new > self.idle_timeout:
+                    return
+                time.sleep(self.poll_seconds)
+                continue
+            for name in names:
+                seen.add(name)
+                full = os.path.join(self.path, name)
+                frame = self._load(full, default_time=index * self.dt_seconds)
+                if frame is None:
+                    continue
+                yield index, frame
+                index += 1
+                last_new = time.monotonic()
+            # STOP ends the stream only after every drop already in the
+            # directory has been consumed (a late-starting consumer must
+            # not discard data that arrived before the sentinel).
+            if "STOP" in listing:
+                return
+
+    def _load(self, path: str, default_time: float) -> Frame | None:
+        try:
+            if path.endswith(".npy"):
+                return Frame(surface=np.load(path), time_seconds=default_time)
+            with np.load(path) as data:
+                return Frame(
+                    surface=data["surface"],
+                    intensity=data["intensity"] if "intensity" in data else None,
+                    time_seconds=(
+                        float(data["time_seconds"])
+                        if "time_seconds" in data
+                        else default_time
+                    ),
+                )
+        except (OSError, KeyError, ValueError):
+            # Partially written drop; the writer should stage-and-rename,
+            # but skipping beats crashing the daemon.
+            METRICS.inc("bus.ingest.bad_drops")
+            return None
+
+    def describe(self) -> str:
+        return f"dir:{self.path}"
+
+
+@dataclass
+class SocketSource(FrameSource):
+    """Read length-prefixed ``.npz`` frame messages off one TCP connection.
+
+    Wire format per frame: an 8-byte big-endian length, then that many
+    bytes of an ``.npz`` archive with the same keys
+    :class:`DirectorySource` accepts.  A zero length ends the stream.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    accept_timeout: float = 30.0
+    config: NeighborhoodConfig = LUIS_CONFIG
+    pixel_km: float = 1.0
+    dt_seconds: float = 90.0
+    _server: socket.socket | None = field(default=None, repr=False)
+
+    def bind(self) -> int:
+        """Bind and listen; returns the bound port (useful with port 0)."""
+        if self._server is None:
+            self._server = socket.create_server((self.host, self.port))
+            self.port = self._server.getsockname()[1]
+        return self.port
+
+    def frames(self):
+        self.bind()
+        assert self._server is not None
+        self._server.settimeout(self.accept_timeout)
+        conn, _ = self._server.accept()
+        index = 0
+        try:
+            with conn:
+                while True:
+                    header = self._read_exact(conn, 8)
+                    if header is None:
+                        return
+                    (length,) = struct.unpack(">Q", header)
+                    if length == 0:
+                        return
+                    body = self._read_exact(conn, length)
+                    if body is None:
+                        return
+                    with np.load(BytesIO(body)) as data:
+                        yield index, Frame(
+                            surface=data["surface"],
+                            intensity=(
+                                data["intensity"] if "intensity" in data else None
+                            ),
+                            time_seconds=(
+                                float(data["time_seconds"])
+                                if "time_seconds" in data
+                                else index * self.dt_seconds
+                            ),
+                        )
+                    index += 1
+        finally:
+            self._server.close()
+            self._server = None
+
+    @staticmethod
+    def _read_exact(conn: socket.socket, n: int) -> bytes | None:
+        chunks = []
+        while n > 0:
+            chunk = conn.recv(min(n, 1 << 20))
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def describe(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+
+def send_frames(host: str, port: int, frames) -> None:
+    """Client half of :class:`SocketSource`'s wire protocol (for tests)."""
+    with socket.create_connection((host, port)) as conn:
+        for frame in frames:
+            buf = BytesIO()
+            arrays = {"surface": frame.surface, "time_seconds": np.float64(frame.time_seconds)}
+            if frame.intensity is not None:
+                arrays["intensity"] = frame.intensity
+            np.savez(buf, **arrays)
+            payload = buf.getvalue()
+            conn.sendall(struct.pack(">Q", len(payload)) + payload)
+        conn.sendall(struct.pack(">Q", 0))
+
+
+def parse_source(spec: str, size: int = 64, n_frames: int = 8, seed: int | None = None,
+                 max_frames: int | None = None) -> FrameSource:
+    """Build a :class:`FrameSource` from a CLI source spec.
+
+    ``synthetic:NAME`` (frederic/florida/luis), ``dir:PATH`` (or a bare
+    path to an existing directory), ``tcp://HOST:PORT``.
+    """
+    if spec.startswith("synthetic:"):
+        name = spec.split(":", 1)[1]
+        kwargs: dict = {"dataset": name, "size": size, "n_frames": n_frames,
+                        "max_frames": max_frames}
+        if seed is not None:
+            kwargs["seed"] = seed
+        return SyntheticSource(**kwargs)
+    if spec.startswith("dir:"):
+        return DirectorySource(path=spec.split(":", 1)[1])
+    if spec.startswith("tcp://"):
+        hostport = spec[len("tcp://"):]
+        host, _, port = hostport.rpartition(":")
+        return SocketSource(host=host or "127.0.0.1", port=int(port))
+    if os.path.isdir(spec):
+        return DirectorySource(path=spec)
+    raise ValueError(
+        f"unrecognized source {spec!r} (use synthetic:NAME, dir:PATH or tcp://HOST:PORT)"
+    )
+
+
+class IngestDaemon:
+    """Prepare and publish a source's frames into an owned ring."""
+
+    def __init__(
+        self,
+        ring_name: str,
+        source: FrameSource,
+        capacity: int = 16,
+        cadence_seconds: float = 0.0,
+        linger_seconds: float = 0.0,
+        prep: bool = True,
+        shape: tuple[int, int] | None = None,
+        log=None,
+    ) -> None:
+        self.ring_name = ring_name
+        self.source = source
+        self.capacity = capacity
+        self.cadence_seconds = cadence_seconds
+        self.linger_seconds = linger_seconds
+        self.prep = prep
+        self.shape = shape
+        self._log = log or (lambda msg: None)
+        self._stop = False
+        self.published = 0
+        self.ring: FrameRing | None = None
+        self._cache = FramePreparationCache(max_frames=4)
+
+    def stop(self) -> None:
+        """Request a clean shutdown (signal-handler safe)."""
+        self._stop = True
+
+    def _ensure_ring(self, frame: Frame) -> FrameRing:
+        if self.ring is None:
+            h, w = self.shape if self.shape is not None else frame.shape
+            self.ring = FrameRing.create_frames(
+                self.ring_name,
+                capacity=self.capacity,
+                height=h,
+                width=w,
+                intensity=frame.intensity is not None,
+                prep=self.prep,
+            )
+            self._log(
+                f"ingest: ring {self.ring_name!r} created "
+                f"capacity={self.capacity} shape={h}x{w} "
+                f"prep={self.prep} bytes={self.ring.nbytes}"
+            )
+        return self.ring
+
+    def run(self) -> int:
+        """Publish until the source ends or :meth:`stop`; returns the count."""
+        self._log(f"ingest: source {self.source.describe()} -> ring://{self.ring_name}")
+        next_due = time.monotonic()
+        try:
+            for index, frame in self.source.frames():
+                if self._stop:
+                    break
+                ring = self._ensure_ring(frame)
+                preparation = None
+                if self.prep:
+                    # Same call prepare_frames() makes: intensity stays
+                    # None in monocular mode so the content fingerprint
+                    # (and thus worker cache hits) line up exactly.
+                    preparation = self._cache.get(
+                        frame.surface, frame.intensity, self.source.config
+                    )
+                if self.cadence_seconds > 0:
+                    now = time.monotonic()
+                    if now < next_due:
+                        time.sleep(next_due - now)
+                    next_due = max(next_due + self.cadence_seconds, time.monotonic())
+                seq = ring.publish_frame(
+                    frame, preparation=preparation, pixel_km=self.source.pixel_km
+                )
+                self.published += 1
+                METRICS.inc("bus.ingest.frames")
+                if self.published == 1 or self.published % 25 == 0:
+                    self._log(f"ingest: published seq={seq} (total {self.published})")
+        finally:
+            self._finish()
+        return self.published
+
+    def _finish(self) -> None:
+        if self.ring is None:
+            return
+        self.ring.mark_closed()
+        if self.linger_seconds > 0 and not self._stop:
+            deadline = time.monotonic() + self.linger_seconds
+            while time.monotonic() < deadline and not self._stop:
+                time.sleep(0.05)
+        self._log(
+            f"ingest: closing ring://{self.ring_name} after {self.published} frame(s)"
+        )
+        self.ring.unlink()
+        self.ring.close()
+        self.ring = None
+
+    def state(self) -> dict:
+        return {
+            "ring": self.ring_name,
+            "published": self.published,
+            "source": self.source.describe(),
+        }
+
+
+def state_json(daemon: IngestDaemon) -> str:
+    return json.dumps(daemon.state(), sort_keys=True)

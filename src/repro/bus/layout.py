@@ -1,0 +1,111 @@
+"""Shared-memory ring segment layout.
+
+One POSIX shared-memory segment per ring, named ``repro-bus-<name>``
+(visible as ``/dev/shm/repro-bus-<name>`` on Linux).  The segment is a
+fixed-size arena carved into five regions, all mapped as numpy views so
+both sides of the bus address the same bytes without copying:
+
+::
+
+    +-----------------------------+  offset 0
+    | header        int64[16]     |  magic, version, geometry, cursors
+    +-----------------------------+
+    | generation    int64[cap]    |  per-slot seqlock counters
+    | seq           int64[cap]    |  sequence number held by each slot
+    | consumed      int64[cap]    |  reader acknowledgements (backpressure)
+    +-----------------------------+
+    | meta          f64[cap, 8]   |  per-slot scalars (dt, pixel_km, ...)
+    | fingerprint   u8[cap, 48]   |  ascii content digest, zero padded
+    +-----------------------------+
+    | payload  f64[cap, C, H, W]  |  the frame / field planes themselves
+    +-----------------------------+
+
+The **seqlock protocol** lives in the ``generation`` array.  A writer
+claiming slot ``s`` increments ``generation[s]`` to an odd value, writes
+the payload, meta, fingerprint and ``seq[s]``, then increments
+``generation[s]`` again (even) and finally advances the header's
+``write_cursor``.  Readers never block: they sample ``generation[s]``
+before and after touching the slot and discard the read if the counter
+was odd (write in progress) or changed (slot overwritten underneath
+them).  A publisher killed mid-write leaves the counter odd forever,
+which every reader interprets as a permanently torn slot.
+
+Aligned 8-byte loads/stores are atomic on every platform CPython's
+``multiprocessing.shared_memory`` supports, which is all the protocol
+needs: torn detection is per-slot and monotonic, not a general fence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ``/dev/shm`` prefix every ring segment shares; the stale-segment GC
+#: scans for it.
+SEGMENT_PREFIX = "repro-bus-"
+
+#: "SMAB" -- semifluid-motion-analysis bus.
+MAGIC = 0x534D4142
+
+VERSION = 1
+
+#: int64 header words (16 gives room to grow without a version bump).
+HEADER_WORDS = 16
+
+# Header word indices.
+H_MAGIC = 0
+H_VERSION = 1
+H_CAPACITY = 2
+H_HEIGHT = 3
+H_WIDTH = 4
+H_CHANNELS = 5
+H_FLAGS = 6
+H_WRITE_CURSOR = 7
+H_OWNER_PID = 8
+H_CLOSED = 9
+
+# Ring-level flag bits (header word H_FLAGS).
+FLAG_INTENSITY = 1  #: payload includes an intensity plane per frame
+FLAG_PREP = 2  #: payload includes fitted-geometry/certificate planes
+FLAG_PARAMS = 4  #: payload includes per-pixel motion-parameter planes
+
+#: Per-slot scalar columns.  Frame rings use
+#: ``[time_seconds, pixel_km, has_intensity, has_discriminant]``;
+#: result rings use ``[dt_seconds, pixel_km, has_params, pair_index]``.
+META_COLS = 8
+
+#: Fingerprint field width: frame fingerprints are 40 hex chars
+#: (blake2b-20), field digests 32 (blake2b-16); both fit zero padded.
+FP_BYTES = 48
+
+_I8 = np.dtype(np.int64).itemsize
+_F8 = np.dtype(np.float64).itemsize
+
+
+def segment_size(capacity: int, height: int, width: int, channels: int) -> int:
+    """Total byte size of a ring segment with the given geometry."""
+    return (
+        HEADER_WORDS * _I8
+        + 3 * capacity * _I8  # generation, seq, consumed
+        + capacity * META_COLS * _F8
+        + capacity * FP_BYTES
+        + capacity * channels * height * width * _F8
+    )
+
+
+def region_offsets(capacity: int, height: int, width: int, channels: int) -> dict:
+    """Byte offset of each region, keyed by region name."""
+    offsets = {}
+    cursor = 0
+    for name, nbytes in (
+        ("header", HEADER_WORDS * _I8),
+        ("generation", capacity * _I8),
+        ("seq", capacity * _I8),
+        ("consumed", capacity * _I8),
+        ("meta", capacity * META_COLS * _F8),
+        ("fingerprint", capacity * FP_BYTES),
+        ("payload", capacity * channels * height * width * _F8),
+    ):
+        offsets[name] = cursor
+        cursor += nbytes
+    offsets["total"] = cursor
+    return offsets

@@ -1,0 +1,171 @@
+"""Ring-consumer frame source: the ``--source ring://NAME`` adapter.
+
+:class:`RingFrameSource` turns a live :class:`~repro.bus.ring.FrameRing`
+into the iterator shape the batch layers already consume: it attaches
+(with retry, so a consumer may start before the publisher), then yields
+:class:`~repro.bus.ring.BusFrame` objects in sequence order, skipping --
+and counting -- frames that were overwritten or torn before this
+consumer got to them.  Reads are copies: a streaming consumer holds each
+frame across at least two pairs, longer than any live-ring slot is
+guaranteed stable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs.metrics import METRICS
+from .ring import FrameRing, RingNotFound, SlotMissed, TornSlot
+
+
+def parse_ring_url(spec: str) -> str:
+    """``ring://NAME`` -> ``NAME`` (raises on anything else)."""
+    if not spec.startswith("ring://"):
+        raise ValueError(f"not a ring URL: {spec!r}")
+    name = spec[len("ring://"):].strip("/")
+    if not name:
+        raise ValueError("ring URL needs a name: ring://NAME")
+    return name
+
+
+class RingFrameSource:
+    """Iterate frames arriving on a named ring, in publish order.
+
+    Parameters
+    ----------
+    name:
+        Ring name (the ``NAME`` of ``ring://NAME``).
+    attach_timeout:
+        How long to wait for the publisher to create the ring.
+    idle_timeout:
+        Give up when no new frame lands for this long and the
+        publisher has not marked the ring closed.
+    from_seq:
+        First sequence number to yield; defaults to the oldest frame
+        still guaranteed resident at attach time.
+    stop_event:
+        Optional :class:`threading.Event`; setting it makes
+        :meth:`frames` return cleanly at the next poll (how a
+        background serve consumer gets interrupted while idle).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attach_timeout: float = 10.0,
+        idle_timeout: float = 30.0,
+        poll_seconds: float = 0.01,
+        from_seq: int | None = None,
+        stop_event=None,
+    ) -> None:
+        self.name = name
+        self.idle_timeout = idle_timeout
+        self.poll_seconds = poll_seconds
+        self._stop_event = stop_event
+        self.ring = FrameRing.attach(name, timeout=attach_timeout)
+        if from_seq is None:
+            # Start at the oldest slot still resident; if the publisher
+            # laps us before we get there, the SlotMissed handler in
+            # :meth:`frames` jumps forward and counts the gap.
+            from_seq = max(0, self.ring.write_cursor - self.ring.capacity)
+        self.next_seq = from_seq
+        self.missed = 0
+        self.torn = 0
+        self.yielded = 0
+        self._final_state: dict | None = None
+
+    def state(self) -> dict:
+        """Attach/progress snapshot for ``/healthz`` and startup logs.
+
+        Safe to call from another thread even while (or after) the
+        consumer closes the source: a read racing :meth:`close` falls
+        back to the last snapshot taken before detach.
+        """
+        final = self._final_state
+        if final is not None:
+            return dict(final)
+        try:
+            return {
+                "attached": True,
+                "ring": self.name,
+                "capacity": self.ring.capacity,
+                "write_cursor": self.ring.write_cursor,
+                "next_seq": self.next_seq,
+                "yielded": self.yielded,
+                "missed": self.missed,
+                "torn": self.torn,
+                "closed": self.ring.closed,
+            }
+        except (TypeError, AttributeError):
+            # The ring views were nulled by a racing close(); its final
+            # snapshot is (or is about to be) in place.
+            final = self._final_state
+            if final is not None:
+                return dict(final)
+            return {
+                "attached": False,
+                "ring": self.name,
+                "yielded": self.yielded,
+                "missed": self.missed,
+                "torn": self.torn,
+            }
+
+    def frames(self, max_frames: int | None = None):
+        """Yield :class:`~repro.bus.ring.BusFrame` until closed/idle/limit."""
+        produced = 0
+        last_progress = time.monotonic()
+        while max_frames is None or produced < max_frames:
+            if self._stop_event is not None and self._stop_event.is_set():
+                return
+            if self.ring.write_cursor <= self.next_seq:
+                if self.ring.closed:
+                    return
+                if time.monotonic() - last_progress > self.idle_timeout:
+                    raise TimeoutError(
+                        f"ring {self.name!r}: no frame for {self.idle_timeout}s"
+                    )
+                time.sleep(self.poll_seconds)
+                continue
+            try:
+                bus_frame = self.ring.read_frame(self.next_seq, copy=True)
+            except SlotMissed:
+                # Publisher lapped us; jump to the oldest resident slot.
+                oldest = max(0, self.ring.write_cursor - self.ring.capacity)
+                skipped = max(1, oldest - self.next_seq)
+                self.missed += skipped
+                METRICS.inc("bus.frames.missed", skipped)
+                self.next_seq += skipped
+                last_progress = time.monotonic()
+                continue
+            except TornSlot:
+                # Mid-write (or a crashed publisher's permanently odd
+                # generation): skip this slot, counting it.
+                self.torn += 1
+                self.next_seq += 1
+                last_progress = time.monotonic()
+                continue
+            self.next_seq += 1
+            self.yielded += 1
+            produced += 1
+            last_progress = time.monotonic()
+            METRICS.inc("bus.bytes_avoided", self.ring.slot_bytes)
+            yield bus_frame
+
+    def close(self) -> None:
+        if self._final_state is None:
+            try:
+                final = self.state()
+            except Exception:
+                final = {"attached": False, "ring": self.name}
+            final["attached"] = False
+            self._final_state = final
+        self.ring.close()
+
+    def __enter__(self) -> "RingFrameSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["RingFrameSource", "RingNotFound", "parse_ring_url"]

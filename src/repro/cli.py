@@ -12,7 +12,12 @@ paper's production pipeline exposed to forecasters:
 * ``repro datasets``  -- list the available paper-analogue datasets and
   their full-scale parameters,
 * ``repro stream``    -- fault-tolerant streaming of a whole frame
-  sequence with optional fault injection and checkpoint/resume,
+  sequence with optional fault injection and checkpoint/resume;
+  ``--source ring://NAME`` consumes live frames off a shared-memory
+  ring instead of a synthetic dataset (see ``docs/ingestion.md``),
+* ``repro ingest``    -- the live publisher: prepare frames (synthetic
+  generator, directory tail, or TCP socket) and publish them onto a
+  named shared-memory ring at a configurable cadence,
 * ``repro serve``     -- the production serving layer: durable job
   queue with leases/retries/dead-letter, content-addressed result
   cache, and the HTTP wind-product API (see ``docs/serving.md``);
@@ -171,6 +176,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard independent pairs over N processes (incompatible "
         "with --inject-faults; bit-identical to the sequential path)",
     )
+    stream.add_argument(
+        "--transport", choices=("pickle", "shm"), default="pickle",
+        help="how pooled workers receive frames: 'pickle' (default) or "
+        "'shm' (zero-copy shared-memory ring; bit-identical)",
+    )
+    stream.add_argument(
+        "--source", type=str, default=None, metavar="ring://NAME",
+        help="consume live frames from a shared-memory ring (published "
+        "by 'repro ingest') instead of generating the dataset locally; "
+        "the dataset argument still selects the model configuration",
+    )
     stream.add_argument("--out", type=str, default=None, help="save the mean field (.npz)")
     stream.add_argument(
         "--report", type=str, default=None, metavar="PATH",
@@ -178,6 +194,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "the cost-ledger breakdown) as JSON",
     )
     _add_obs_arguments(stream)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="publish prepared frames onto a named shared-memory ring "
+        "(the live publisher; consumers attach with --source ring://NAME)",
+    )
+    ingest.add_argument(
+        "--ring", type=str, required=True, metavar="NAME",
+        help="ring name (consumers attach as ring://NAME)",
+    )
+    ingest.add_argument(
+        "--source", type=str, default="synthetic:luis", metavar="SPEC",
+        help="frame source: synthetic:NAME (frederic/florida/luis), "
+        "dir:PATH (tail a directory for .npy/.npz drops; a file named "
+        "STOP ends the stream), or tcp://HOST:PORT (length-prefixed "
+        ".npz messages)",
+    )
+    ingest.add_argument("--size", type=int, default=64, help="synthetic image side")
+    ingest.add_argument(
+        "--frames", type=int, default=8, help="synthetic sequence length"
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=0,
+        help="synthetic dataset seed (matches the 'repro stream' default, "
+        "so a ring-fed stream reproduces the batch run bit-identically)",
+    )
+    ingest.add_argument(
+        "--max-frames", type=int, default=None, metavar="N",
+        help="publish at most N frames (synthetic sources loop their "
+        "sequence to reach N; default: one pass)",
+    )
+    ingest.add_argument(
+        "--capacity", type=int, default=16, metavar="SLOTS",
+        help="ring capacity in frame slots (old slots are overwritten; "
+        "lapped consumers skip forward, counting the gap)",
+    )
+    ingest.add_argument(
+        "--cadence", type=float, default=0.0, metavar="SECONDS",
+        help="minimum seconds between published frames (0 = as fast as "
+        "the source produces)",
+    )
+    ingest.add_argument(
+        "--linger", type=float, default=5.0, metavar="SECONDS",
+        help="after the source ends, keep the closed ring alive this "
+        "long so attached consumers can drain before unlink",
+    )
+    ingest.add_argument(
+        "--no-prep", action="store_true",
+        help="publish raw frames without the prepared surface-fit "
+        "stacks (consumers redo the preparation themselves)",
+    )
+    _add_obs_arguments(ingest)
 
     serve = sub.add_parser(
         "serve",
@@ -249,6 +317,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--chaos-seed", type=int, default=0,
         help="seed for the --chaos schedule (same seed, same faults)",
+    )
+    serve.add_argument(
+        "--transport", choices=("pickle", "shm"), default="pickle",
+        help="frame transport for pooled sequence jobs: 'pickle' "
+        "(default) or 'shm' (zero-copy shared-memory ring; "
+        "bit-identical, so result-cache keys are unaffected)",
+    )
+    serve.add_argument(
+        "--source", type=str, default=None, metavar="ring://NAME",
+        help="also consume live frames from a shared-memory ring; the "
+        "latest live field serves on GET /v1/live/latest and /healthz "
+        "reports the ring attach state",
     )
     serve.add_argument(
         "--slo", type=str, default=None, metavar="SPEC",
@@ -554,6 +634,40 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import signal
+
+    from .bus import IngestDaemon, parse_source
+
+    _arm_observability(args)
+    source = parse_source(
+        args.source,
+        size=args.size,
+        n_frames=args.frames,
+        seed=args.seed,
+        max_frames=args.max_frames,
+    )
+    daemon = IngestDaemon(
+        args.ring,
+        source,
+        capacity=args.capacity,
+        cadence_seconds=args.cadence,
+        linger_seconds=args.linger,
+        prep=not args.no_prep,
+        log=lambda msg: print(msg, flush=True),
+    )
+
+    def _request_stop(signum, frame) -> None:
+        daemon.stop()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    published = daemon.run()
+    print(f"ingest: done, {published} frame(s) published to ring://{args.ring}")
+    _write_obs_outputs(args)
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .reliability import StreamingRunner
 
@@ -563,6 +677,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     config = dataset.config.replace(n_zs=args.search, n_zt=args.template)
     plan = None
     if args.inject_faults:
+        if args.source is not None:
+            print("error: --inject-faults is incompatible with --source",
+                  file=sys.stderr)
+            return 2
         plan = _parse_fault_spec(args.inject_faults, args.fault_seed, args.frames)
     runner = StreamingRunner(
         config,
@@ -573,11 +691,33 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         workers=args.workers,
         search=args.search_mode,
         backend=args.backend,
+        transport=args.transport,
     )
-    result = runner.run(dataset.frames, resume=args.resume, stop_after=args.stop_after)
+    if args.source is not None:
+        from .bus import RingFrameSource, parse_ring_url
+
+        ring_name = parse_ring_url(args.source)
+        print(f"stream: transport={runner.transport}, source=ring://{ring_name}",
+              flush=True)
+        with RingFrameSource(ring_name) as ring_source:
+            result = runner.run_live(ring_source, max_pairs=args.stop_after)
+        source_row = (
+            "source",
+            f"ring://{ring_name} ({ring_source.yielded} frames, "
+            f"{ring_source.missed} missed)",
+        )
+    else:
+        print(f"stream: transport={runner.transport}, "
+              f"source=dataset:{args.dataset}", flush=True)
+        result = runner.run(
+            dataset.frames, resume=args.resume, stop_after=args.stop_after
+        )
+        source_row = (
+            "dataset", f"{dataset.name} ({args.size}x{args.size}, {args.frames} frames)"
+        )
 
     rows = [
-        ("dataset", f"{dataset.name} ({args.size}x{args.size}, {args.frames} frames)"),
+        source_row,
         ("status", "completed" if result.completed else
          f"stopped after {result.pairs_done}/{result.n_pairs} pairs"),
         ("resumed from checkpoint", "yes" if result.resumed else "no"),
@@ -656,6 +796,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry_backoff_seconds=args.retry_backoff,
         chaos=chaos,
         slo=slo,
+        transport=args.transport,
+        source=args.source,
     )
     app.start()
     server = make_server(app, host=args.host, port=args.port)
@@ -663,8 +805,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     chaos_note = ""
     if chaos is not None and not chaos.is_empty:
         chaos_note = f", CHAOS ARMED seed={chaos.seed}"
+    ring_note = f", live ring://{app.live.ring_name}" if app.live is not None else ""
     print(f"repro serve listening on http://{host}:{port} "
-          f"(workers={args.workers}, queue depth={args.queue_depth}{chaos_note})",
+          f"(workers={args.workers}, queue depth={args.queue_depth}, "
+          f"transport={app.transport}{ring_note}{chaos_note})",
           flush=True)
 
     def _drain_and_stop(signum, frame) -> None:
@@ -912,6 +1056,7 @@ COMMANDS = {
     "machine": _cmd_machine,
     "datasets": _cmd_datasets,
     "stream": _cmd_stream,
+    "ingest": _cmd_ingest,
     "serve": _cmd_serve,
     "serve-admin": _cmd_serve_admin,
     "profile": _cmd_profile,

@@ -194,6 +194,28 @@ class FramePreparationCache:
                 METRICS.inc("prep_cache.eviction")
         return entry
 
+    def seed(self, preparation: FramePreparation) -> None:
+        """Insert an externally computed preparation under its own fingerprint.
+
+        The shared-memory bus path: a pool worker that attaches to a
+        :class:`~repro.bus.ring.FrameRing` receives the publisher's
+        fitted planes along with the content fingerprint they were
+        computed under, and seeds them here so :meth:`get` hits without
+        refitting.  First insert wins, matching :meth:`get`'s race rule;
+        the cached value is bit-identical to what a local recompute
+        would produce because the preparation is a pure function of the
+        fingerprinted content.
+        """
+        with self._lock:
+            if preparation.fingerprint in self._entries:
+                self._entries.move_to_end(preparation.fingerprint)
+                return
+            self._entries[preparation.fingerprint] = preparation
+            while len(self._entries) > self.max_frames:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                METRICS.inc("prep_cache.eviction")
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

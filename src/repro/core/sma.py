@@ -237,6 +237,7 @@ class SMAnalyzer:
         frames: Sequence[Frame] | Iterable[np.ndarray],
         workers: int | None = None,
         reuse_preparations: bool = True,
+        transport: str = "pickle",
     ) -> list[MotionField]:
         """Motion fields for every consecutive pair of a sequence.
 
@@ -250,6 +251,9 @@ class SMAnalyzer:
         shards the independent pairs over a process pool (each worker
         holds its own preparation cache); outputs are returned in pair
         order and are bit-identical to the sequential run.
+        ``transport`` selects how pooled workers receive frames:
+        ``"pickle"`` (default) or ``"shm"`` (a zero-copy shared-memory
+        ring; see :mod:`repro.bus`) -- both bit-identical.
         """
         frame_list = [f if isinstance(f, Frame) else Frame(np.asarray(f)) for f in frames]
         if len(frame_list) < 2:
@@ -259,7 +263,7 @@ class SMAnalyzer:
         if workers is not None and workers > 1:
             from ..parallel.pairs import track_pairs_in_pool
 
-            return track_pairs_in_pool(self, frame_list, workers)
+            return track_pairs_in_pool(self, frame_list, workers, transport=transport)
         cache = FramePreparationCache(max_frames=4) if reuse_preparations else None
         return [
             self.track_pair(frame_list[m], frame_list[m + 1], cache=cache)

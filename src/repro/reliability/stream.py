@@ -106,7 +106,10 @@ class StreamingRunner:
         workers: int | None = None,
         search: str = "exhaustive",
         backend: str = "auto",
+        transport: str = "pickle",
     ) -> None:
+        from ..parallel.pairs import resolve_transport
+
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")
         if workers is not None and workers > 1 and fault_plan is not None:
@@ -124,6 +127,10 @@ class StreamingRunner:
         self.search = search
         # DegradationLadder validates backend against the bit-identical set.
         self.backend = backend
+        # Pool frame transport ("pickle" or "shm") -- results are
+        # bit-identical either way, so the checkpoint fingerprint does
+        # NOT record it: a run may resume under the other transport.
+        self.transport = resolve_transport(transport)
         self.ladder = DegradationLadder(
             config, hs_iterations=hs_iterations, search=search, backend=backend
         )
@@ -367,6 +374,7 @@ class StreamingRunner:
             n_procs,
             search=self.search,
             backend=self.backend,
+            transport=self.transport,
         ) as pool:
             pair = state.pairs_done
             while pair < n_pairs:
@@ -409,7 +417,7 @@ class StreamingRunner:
                             "frame pair unrecoverable after retries", "interpolated",
                         )
                     else:
-                        _, result, steps, wall, payload = handle.get()
+                        _, result, steps, wall, payload = pool.resolve(handle)
                         absorb_payload(payload)
                         for step in steps:
                             report.record_event(
@@ -588,4 +596,143 @@ class StreamingRunner:
             n_pairs=n_pairs,
             completed=state.pairs_done == n_pairs,
             resumed=resumed,
+        )
+
+    # -- live ingestion -------------------------------------------------------------
+
+    def run_live(self, source, max_pairs: int | None = None) -> StreamResult:
+        """Consume frames from a live ring as they arrive (``ring://NAME``).
+
+        ``source`` is a :class:`~repro.bus.source.RingFrameSource`.  The
+        per-pair computation is exactly :meth:`run`'s sequential path --
+        same ladder, same positional surface-fit charges, same absorb
+        order -- so on an identical frame sequence the per-pair fields
+        (and the mean field) are bit-identical to a batch run.  What
+        differs is the shell: frames stream from shared memory instead
+        of being staged to the disk array, there are no checkpoints
+        (the ring is the source of truth; a restarted consumer re-reads
+        what is still resident), and a frame the publisher overwrote or
+        tore before we read it is interpolated over like an
+        unrecoverable disk frame, with the gap confessed in the report.
+        """
+        if self.fault_plan is not None:
+            raise ValueError("fault injection applies to staged runs, not live rings")
+        if self.workers is not None and self.workers > 1:
+            raise ValueError(
+                "live consumption is sequential: pairs chain through "
+                "last-field state as frames arrive"
+            )
+
+        ledger = None
+        report = RunReport()
+        prep_cache = FramePreparationCache(max_frames=4)
+        state = None
+        machine = None
+        planned = None
+        shape = None
+        dts: list[float] = []
+        prev = None  # previous BusFrame
+        pair = 0
+
+        for bus_frame in source.frames():
+            frame = bus_frame.frame
+            if shape is None:
+                shape = frame.shape
+                machine = self.machine or machine_for_image(shape)
+                ledger = CostLedger(machine)
+                layers = machine.layers_for_image(*shape)
+                planned = max(
+                    1, max_feasible_segment_rows(self.config, layers, machine)
+                )
+                state = StreamState.fresh(
+                    self._fingerprint(shape, 0) + "|live", 0, shape
+                )
+            elif frame.shape != shape:
+                report.record_event(
+                    pair, "corrupt-frame",
+                    f"live frame shape {frame.shape} != {shape}", "skipped",
+                )
+                continue
+            if bus_frame.preparation is not None:
+                prep_cache.seed(bus_frame.preparation)
+            if prev is None:
+                prev = bus_frame
+                continue
+
+            gap = bus_frame.seq - prev.seq - 1
+            if gap > 0:
+                report.record_event(
+                    pair, "frames-missed",
+                    f"{gap} frame(s) overwritten or torn before read "
+                    f"(seq {prev.seq + 1}..{bus_frame.seq - 1})",
+                    "interpolated",
+                )
+                METRICS.inc("stream.live.gaps")
+            dt = frame.time_seconds - prev.frame.time_seconds
+            dts.append(dt if dt > 0 else 1.0)
+
+            t0 = time.perf_counter()
+            with TRACER.span("stream.pair", pair=pair, ledger=ledger):
+                result, steps = self.ladder.track_pair(
+                    prev.frame.surface,
+                    frame.surface,
+                    machine,
+                    planned,
+                    dt_seconds=dts[-1],
+                    intensity_before=prev.frame.intensity,
+                    intensity_after=frame.intensity,
+                    last_u=state.last_u if state.has_last else None,
+                    last_v=state.last_v if state.has_last else None,
+                    last_error=state.last_error if state.has_last else None,
+                    prep_cache=prep_cache,
+                    fit_images=self._fit_images_for_pair(
+                        pair, prev.frame.intensity
+                    ),
+                )
+            for step in steps:
+                report.record_event(
+                    pair, step.kind, step.detail, RUNG_NAMES[result.rung]
+                )
+            self._absorb(
+                pair, result, state, ledger, report,
+                wall_seconds=time.perf_counter() - t0,
+            )
+            METRICS.inc("stream.live.pairs")
+            pair += 1
+            prev = bus_frame
+            if max_pairs is not None and pair >= max_pairs:
+                break
+
+        if state is None:
+            raise RuntimeError(
+                f"ring {source.name!r} closed before yielding a single frame"
+            )
+        field = None
+        if state.pairs_done > 0:
+            n = state.pairs_done
+            field = MotionField(
+                u=state.sum_u / n,
+                v=state.sum_v / n,
+                valid=valid_mask(shape, self.config),
+                error=state.sum_error / n,
+                dt_seconds=float(np.mean(dts)),
+                pixel_km=self.pixel_km,
+                metadata={
+                    "model": "semi-fluid" if self.config.is_semifluid else "continuous",
+                    "config": self.config.name,
+                    "pairs": n,
+                    "degraded_pairs": len(report.degraded_pairs),
+                    "machine": f"{machine.nyproc}x{machine.nxproc}",
+                    "source": f"ring://{source.name}",
+                    "frames_missed": source.missed,
+                },
+            )
+        return StreamResult(
+            field=field,
+            report=report,
+            ledger=ledger,
+            pairs_done=state.pairs_done,
+            n_pairs=pair,
+            completed=True,
+            resumed=False,
         )

@@ -22,8 +22,13 @@ Routes (all JSON unless noted):
   queue-wait / lease-held / compute / cache-write latency
   decomposition; ``?format=chrome`` returns a Chrome-trace JSON
   document that opens directly in Perfetto,
+* ``GET /v1/live/latest``      -- the most recent live motion field when
+  serving from a shared-memory ring (``--source ring://NAME``); 202
+  before the first pair, 404 when not in live mode, 503 when the ring
+  attach failed,
 * ``GET /healthz``             -- liveness + queue depth + drain state
-  + the SLO burn rates and breach verdict,
+  + the SLO burn rates and breach verdict + the resolved frame
+  transport (and, in live mode, the ring attach/progress state),
 * ``GET /metrics``             -- the :mod:`repro.obs` metrics registry
   plus the server-wide cost ledger (modeled seconds, GE solve counts).
   JSON by default; a scraper sending ``Accept: text/plain`` gets the
@@ -106,6 +111,9 @@ class ServeApp:
         retry_backoff_seconds: float = 0.25,
         chaos: ServeChaosPlan | None = None,
         slo: SLOConfig | None = None,
+        transport: str = "pickle",
+        source: str | None = None,
+        live_config=None,
     ) -> None:
         if search_mode not in SERVABLE_SEARCH_MODES:
             raise ValueError(
@@ -118,10 +126,25 @@ class ServeApp:
                 f"(choose from {', '.join(SERVABLE_BACKENDS)}; served products "
                 "promise bit-identity, so the device backend is not servable)"
             )
+        from ..parallel.pairs import resolve_transport
+
         os.makedirs(state_dir, exist_ok=True)
         self.state_dir = state_dir
         self.limits = limits or ServeLimits()
         self.pool_workers = pool_workers
+        #: How pooled sequence jobs ship frames to workers: "pickle"
+        #: (default) or "shm" (the repro.bus zero-copy ring) -- both
+        #: bit-identical, so cache keys do not include it.
+        self.transport = resolve_transport(transport)
+        self.source = source
+        self.live: "LiveRingConsumer | None" = None
+        if source is not None:
+            from ..bus.source import parse_ring_url
+            from .live import LiveRingConsumer
+
+            self.live = LiveRingConsumer(
+                parse_ring_url(source), config=live_config
+            )
         self.hs_iterations = hs_iterations
         self.search_mode = search_mode
         self.backend = backend
@@ -166,7 +189,15 @@ class ServeApp:
     def start(self) -> "ServeApp":
         if not self._started:
             self.pool.start()
+            if self.live is not None:
+                self.live.start()
             self._started = True
+            log_event(
+                _LOG, logging.INFO, "serve.transport",
+                transport=self.transport,
+                pool_workers=self.pool_workers,
+                ring=self.live.ring_name if self.live is not None else None,
+            )
         return self
 
     def drain(self, timeout: float | None = None) -> bool:
@@ -177,6 +208,8 @@ class ServeApp:
         """
         self.draining = True
         METRICS.set_gauge("serve.draining", 1.0)
+        if self.live is not None:
+            self.live.stop()
         drained = self.queue.wait_idle(timeout=timeout)
         self.pool.stop()
         if self.queue.state_path:
@@ -314,11 +347,20 @@ class ServeApp:
         body.update(trace)
         return 200, body
 
+    def live_payload(self) -> tuple[int, dict]:
+        """(HTTP status, body) for ``GET /v1/live/latest``."""
+        if self.live is None:
+            return 404, {
+                "error": "not serving from a ring (start with --source ring://NAME)"
+            }
+        return self.live.latest_payload()
+
     def health_payload(self) -> dict:
         counts = self.queue.counts()
         slo = self.slo_tracker.publish_gauges()
-        return {
+        payload = {
             "status": "draining" if self.draining else "ok",
+            "transport": self.transport,
             "queue_depth": counts["pending"] + counts["retrying"],
             "in_flight": counts["running"],
             "jobs_retrying": counts["retrying"],
@@ -329,6 +371,9 @@ class ServeApp:
             "cache_bytes": self.cache.total_bytes(),
             "slo": slo,
         }
+        if self.live is not None:
+            payload["ring"] = self.live.state()
+        return payload
 
     def metrics_payload(self) -> dict:
         with self._ledger_lock:
@@ -491,6 +536,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         path = path.rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, self.app.health_payload())
+        elif path == "/v1/live/latest":
+            status, body = self.app.live_payload()
+            self._send_json(status, body)
         elif path == "/metrics":
             # Content negotiation: a Prometheus scraper announces
             # itself with Accept: text/plain (or openmetrics); every

@@ -1,0 +1,196 @@
+"""Live serving from a shared-memory frame ring.
+
+:class:`LiveRingConsumer` is the ``repro serve --source ring://NAME``
+half of the ingestion story: a background thread attaches the named
+:class:`~repro.bus.ring.FrameRing`, tracks each consecutive frame pair
+as it arrives (reusing the ring-shipped preparations, so the surface
+fits are never redone server-side), and keeps only the most recent
+:class:`~repro.core.field.MotionField` for ``GET /v1/live/latest``.
+
+The consumer is deliberately decoupled from the job queue: live fields
+are a rolling *now* product, not durable jobs, so they carry no lease,
+retry or dead-letter machinery.  Its attach/progress state surfaces on
+``/healthz`` under the ``ring`` key.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+
+from ..bus.ring import RingNotFound
+from ..bus.source import RingFrameSource
+from ..core.prep import FramePreparationCache
+from ..core.sma import SMAnalyzer
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import METRICS
+from ..params import LUIS_CONFIG, NeighborhoodConfig
+
+_LOG = get_logger("serve.live")
+
+
+class LiveRingConsumer:
+    """Track pairs off a live ring; expose the latest field and state.
+
+    Parameters
+    ----------
+    ring_name:
+        Name of the ring to attach (the ``NAME`` of ``ring://NAME``).
+    config:
+        Neighborhood configuration the publisher prepared frames under
+        (defaults to the Luis/monocular configuration the synthetic
+        ingest source uses).
+    attach_timeout:
+        How long the background thread waits for the publisher to
+        create the ring before recording an attach error.
+    idle_timeout:
+        Give up after this long without a new frame when the publisher
+        has not closed the ring.
+    """
+
+    def __init__(
+        self,
+        ring_name: str,
+        config: NeighborhoodConfig | None = None,
+        attach_timeout: float = 30.0,
+        idle_timeout: float = 60.0,
+    ) -> None:
+        self.ring_name = ring_name
+        self.config = config or LUIS_CONFIG
+        self.attach_timeout = attach_timeout
+        self.idle_timeout = idle_timeout
+        self.pairs = 0
+        self.finished = False
+        self._lock = threading.Lock()
+        self._latest: tuple[int, object] | None = None  # (pair index, MotionField)
+        self._latest_at: float | None = None
+        self._error: str | None = None
+        self._stop = threading.Event()
+        self._source: RingFrameSource | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "LiveRingConsumer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="serve-live-ring", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # -- the consumer loop ------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            source = RingFrameSource(
+                self.ring_name,
+                attach_timeout=self.attach_timeout,
+                idle_timeout=self.idle_timeout,
+                stop_event=self._stop,
+            )
+        except RingNotFound as exc:
+            with self._lock:
+                self._error = str(exc)
+            log_event(
+                _LOG, logging.WARNING, "serve.live.attach_failed",
+                ring=self.ring_name, error=str(exc),
+            )
+            return
+        self._source = source
+        log_event(
+            _LOG, logging.INFO, "serve.live.attached",
+            ring=self.ring_name, capacity=source.ring.capacity,
+        )
+        prep_cache = FramePreparationCache(max_frames=4)
+        analyzer: SMAnalyzer | None = None
+        prev = None
+        try:
+            for bus_frame in source.frames():
+                if self._stop.is_set():
+                    break
+                if bus_frame.preparation is not None:
+                    prep_cache.seed(bus_frame.preparation)
+                if analyzer is None:
+                    analyzer = SMAnalyzer(self.config, pixel_km=bus_frame.pixel_km)
+                if prev is not None:
+                    dt = bus_frame.frame.time_seconds - prev.frame.time_seconds
+                    field = analyzer.track_pair(
+                        prev.frame,
+                        bus_frame.frame,
+                        dt_seconds=dt if dt > 0 else 1.0,
+                        cache=prep_cache,
+                    )
+                    field.metadata["source"] = f"ring://{self.ring_name}"
+                    field.metadata["seq"] = int(bus_frame.seq)
+                    with self._lock:
+                        self.pairs += 1
+                        self._latest = (self.pairs - 1, field)
+                        self._latest_at = time.time()
+                    METRICS.inc("serve.live.pairs")
+                prev = bus_frame
+        except TimeoutError as exc:
+            with self._lock:
+                self._error = str(exc)
+            log_event(
+                _LOG, logging.WARNING, "serve.live.idle",
+                ring=self.ring_name, error=str(exc),
+            )
+        finally:
+            self.finished = True
+            source.close()
+            log_event(
+                _LOG, logging.INFO, "serve.live.stopped",
+                ring=self.ring_name, pairs=self.pairs,
+                missed=source.missed, torn=source.torn,
+            )
+
+    # -- HTTP-facing surfaces ---------------------------------------------------------
+
+    def state(self) -> dict:
+        """The ``ring`` block of ``/healthz``: attach + progress state."""
+        with self._lock:
+            state = {
+                "ring": self.ring_name,
+                "attached": self._source is not None,
+                "pairs": self.pairs,
+                "finished": self.finished,
+                "error": self._error,
+            }
+        if self._source is not None:
+            state.update(self._source.state())
+        return state
+
+    def latest_payload(self) -> tuple[int, dict]:
+        """(HTTP status, body) for ``GET /v1/live/latest``."""
+        with self._lock:
+            latest, latest_at, error = self._latest, self._latest_at, self._error
+        if latest is None:
+            if error is not None:
+                return 503, {"error": error, "ring": self.ring_name}
+            return 202, {"state": "waiting", "ring": self.ring_name}
+        index, field = latest
+        speed = field.wind_speed()[field.valid]
+        mean_u, mean_v = field.mean_displacement()
+        return 200, {
+            "ring": self.ring_name,
+            "pair": index,
+            "computed_at": latest_at,
+            "shape": list(field.shape),
+            "dt_seconds": field.dt_seconds,
+            "pixel_km": field.pixel_km,
+            "valid_pixels": int(field.valid.sum()),
+            "mean_displacement_px": [mean_u, mean_v],
+            "mean_speed_ms": float(speed.mean()) if speed.size else None,
+            "max_speed_ms": float(speed.max()) if speed.size else None,
+            "metadata": field.metadata,
+        }
+
+
+__all__ = ["LiveRingConsumer"]

@@ -385,7 +385,11 @@ class WorkerPool:
         analyzer = SMAnalyzer(
             config, pixel_km=pixel_km, search=search_mode, backend=backend
         )
-        fields = analyzer.track_sequence(frames, workers=self.app.pool_workers)
+        fields = analyzer.track_sequence(
+            frames,
+            workers=self.app.pool_workers,
+            transport=getattr(self.app, "transport", "pickle"),
+        )
         shape = frames[0].shape
         n = len(fields)
         sum_u = np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,39 @@
+"""Bus test fixtures: unique ring names and a leak guard.
+
+Every test gets a fresh ring name; the fixture sweeps the segment after
+the test so a failing assertion can never leak ``/dev/shm`` space into
+the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.bus.layout import SEGMENT_PREFIX
+
+
+@pytest.fixture()
+def ring_name():
+    name = f"test-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    yield name
+    # Leak guard: destroy the segment if the test left it behind.
+    try:
+        os.unlink(os.path.join("/dev/shm", SEGMENT_PREFIX + name))
+    except OSError:
+        pass
+
+
+@pytest.fixture()
+def tiny_frames():
+    """Four deterministic 24x24 monocular frames with increasing times."""
+    from repro.core.sma import Frame
+
+    rng = np.random.default_rng(7)
+    base = rng.normal(size=(4, 24, 24)).cumsum(axis=1).cumsum(axis=2)
+    return [
+        Frame(surface=base[i], time_seconds=90.0 * i) for i in range(4)
+    ]

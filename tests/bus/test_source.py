@@ -1,0 +1,133 @@
+"""RingFrameSource: the ``ring://NAME`` consumer adapter."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bus import FrameRing, RingFrameSource, parse_ring_url
+from repro.core.prep import prepare_frame
+from repro.params import SMALL_CONFIG
+
+
+def test_parse_ring_url():
+    assert parse_ring_url("ring://storm") == "storm"
+    assert parse_ring_url("ring://storm/") == "storm"
+    with pytest.raises(ValueError):
+        parse_ring_url("ring://")
+    with pytest.raises(ValueError):
+        parse_ring_url("http://storm")
+
+
+def _publish(ring, frames):
+    prep_by_id = {}
+    for frame in frames:
+        prep = prep_by_id.setdefault(
+            id(frame), prepare_frame(frame.surface, None, SMALL_CONFIG)
+        )
+        ring.publish_frame(frame, preparation=prep)
+
+
+def test_source_yields_in_sequence_order(ring_name, tiny_frames):
+    ring = FrameRing.create_frames(ring_name, capacity=8, height=24, width=24)
+    try:
+        _publish(ring, tiny_frames)
+        ring.mark_closed()
+        with RingFrameSource(ring_name, attach_timeout=5.0) as source:
+            frames = list(source.frames())
+            assert [f.seq for f in frames] == [0, 1, 2, 3]
+            assert source.missed == 0 and source.torn == 0
+            for got, sent in zip(frames, tiny_frames):
+                np.testing.assert_array_equal(got.frame.surface, sent.surface)
+    finally:
+        ring.unlink()
+        ring.close()
+
+
+def test_source_attaching_mid_rotation_starts_at_oldest_resident(
+    ring_name, tiny_frames
+):
+    ring = FrameRing.create_frames(ring_name, capacity=2, height=24, width=24)
+    try:
+        _publish(ring, tiny_frames)  # 4 frames through 2 slots: 0,1 are gone
+        ring.mark_closed()
+        with RingFrameSource(ring_name, attach_timeout=5.0) as source:
+            seqs = [f.seq for f in source.frames()]
+        assert seqs == [2, 3]
+    finally:
+        ring.unlink()
+        ring.close()
+
+
+def test_source_counts_missed_frames_when_lapped(ring_name, tiny_frames):
+    ring = FrameRing.create_frames(ring_name, capacity=2, height=24, width=24)
+    try:
+        _publish(ring, tiny_frames[:1])
+        source = RingFrameSource(ring_name, attach_timeout=5.0)
+        first = next(source.frames(max_frames=1))
+        assert first.seq == 0
+        _publish(ring, tiny_frames[1:])  # laps the reader past seq 1
+        ring.mark_closed()
+        rest = [f.seq for f in source.frames()]
+        assert rest == [2, 3]
+        assert source.missed == 1
+        source.close()
+        # state() stays serveable after close (the /healthz race).
+        assert source.state()["attached"] is False
+        assert source.state()["missed"] == 1
+    finally:
+        ring.unlink()
+        ring.close()
+
+
+def test_source_skips_torn_slot(ring_name, tiny_frames):
+    ring = FrameRing.create_frames(ring_name, capacity=8, height=24, width=24)
+    try:
+        _publish(ring, tiny_frames[:3])
+        ring._generation[1] += 1  # publisher died mid-write of seq 1
+        ring.mark_closed()
+        with RingFrameSource(ring_name, attach_timeout=5.0) as source:
+            seqs = [f.seq for f in source.frames()]
+        assert seqs == [0, 2]
+        assert source.torn == 1
+    finally:
+        ring.unlink()
+        ring.close()
+
+
+def test_source_stop_event_interrupts_idle_wait(ring_name, tiny_frames):
+    ring = FrameRing.create_frames(ring_name, capacity=4, height=24, width=24)
+    try:
+        stop = threading.Event()
+        source = RingFrameSource(
+            ring_name, attach_timeout=5.0, idle_timeout=60.0, stop_event=stop
+        )
+        out: list = []
+
+        def consume() -> None:
+            out.extend(source.frames())
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        stop.set()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert out == []
+        source.close()
+    finally:
+        ring.unlink()
+        ring.close()
+
+
+def test_source_idle_timeout_raises(ring_name):
+    ring = FrameRing.create_frames(ring_name, capacity=2, height=24, width=24)
+    try:
+        source = RingFrameSource(ring_name, attach_timeout=5.0, idle_timeout=0.1)
+        with pytest.raises(TimeoutError):
+            list(source.frames())
+        source.close()
+    finally:
+        ring.unlink()
+        ring.close()

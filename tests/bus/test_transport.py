@@ -1,0 +1,140 @@
+"""Transport bit-identity: shm rings reproduce the pickle pool exactly."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bus import IngestDaemon, RingFrameSource, SyntheticSource, list_segments
+from repro.core.prep import FramePreparationCache, prepare_frame
+from repro.core.sma import Frame, SMAnalyzer
+from repro.data import hurricane_luis
+from repro.parallel.pairs import resolve_transport
+from repro.params import SMALL_CONFIG
+from repro.reliability import StreamingRunner
+
+
+def _assert_fields_equal(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        for attr in ("u", "v", "error", "valid"):
+            np.testing.assert_array_equal(getattr(a, attr), getattr(b, attr))
+        if b.params is not None:
+            np.testing.assert_array_equal(a.params, b.params)
+        assert a.dt_seconds == b.dt_seconds
+        assert a.pixel_km == b.pixel_km
+        assert a.metadata == b.metadata
+
+
+def test_resolve_transport_validates():
+    assert resolve_transport("pickle") == "pickle"
+    assert resolve_transport("shm") == "shm"
+    with pytest.raises(ValueError):
+        resolve_transport("carrier-pigeon")
+
+
+@pytest.mark.parametrize("transport", ["pickle", "shm"])
+def test_pool_transport_matches_sequential(transport):
+    ds = hurricane_luis(size=40, n_frames=5, seed=3)
+    analyzer = SMAnalyzer(ds.config.replace(n_zs=2, n_zt=3), pixel_km=ds.pixel_km)
+    sequential = analyzer.track_sequence(ds.frames)
+    pooled = analyzer.track_sequence(ds.frames, workers=2, transport=transport)
+    _assert_fields_equal(pooled, sequential)
+    assert list_segments() == []  # batch rings are torn down with the pool
+
+
+def test_shm_transport_semifluid_stereo_matches_sequential():
+    rng = np.random.default_rng(11)
+    base = rng.normal(size=(3, 40, 40)).cumsum(axis=1).cumsum(axis=2)
+    intens = rng.normal(size=(3, 40, 40)).cumsum(axis=2)
+    frames = [
+        Frame(surface=base[i], intensity=intens[i], time_seconds=60.0 * i)
+        for i in range(3)
+    ]
+    analyzer = SMAnalyzer(SMALL_CONFIG)
+    sequential = analyzer.track_sequence(frames)
+    pooled = analyzer.track_sequence(frames, workers=2, transport="shm")
+    _assert_fields_equal(pooled, sequential)
+
+
+@pytest.mark.parametrize("transport", ["pickle", "shm"])
+def test_streaming_pool_transport_matches_sequential(transport, tmp_path):
+    ds = hurricane_luis(size=40, n_frames=5, seed=3)
+    config = ds.config.replace(n_zs=2, n_zt=3)
+    seq_runner = StreamingRunner(config, pixel_km=ds.pixel_km)
+    seq_result = seq_runner.run(ds.frames)
+    pool_runner = StreamingRunner(
+        config, pixel_km=ds.pixel_km, workers=2, transport=transport
+    )
+    pool_result = pool_runner.run(ds.frames)
+    for attr in ("u", "v", "error", "valid"):
+        np.testing.assert_array_equal(
+            getattr(pool_result.field, attr), getattr(seq_result.field, attr)
+        )
+    assert pool_result.field.dt_seconds == seq_result.field.dt_seconds
+    assert list_segments() == []
+
+
+def test_run_live_matches_batch_run(ring_name):
+    """The full live path: daemon -> ring -> run_live == batch run()."""
+    src = SyntheticSource(dataset="luis", size=40, n_frames=5, seed=3)
+    config = src.config.replace(n_zs=2, n_zt=3)
+    daemon = IngestDaemon(ring_name, src, capacity=16, linger_seconds=10.0)
+    thread = threading.Thread(target=daemon.run)
+    thread.start()
+    try:
+        runner = StreamingRunner(config, pixel_km=src.pixel_km)
+        with RingFrameSource(ring_name, attach_timeout=10.0) as source:
+            live = runner.run_live(source)
+        assert live.completed and live.pairs_done == 4
+        assert source.missed == 0
+    finally:
+        daemon.stop()
+        thread.join(timeout=30)
+
+    batch_frames = [frame for _, frame in SyntheticSource(
+        dataset="luis", size=40, n_frames=5, seed=3).frames()]
+    batch = StreamingRunner(config, pixel_km=src.pixel_km).run(batch_frames)
+    for attr in ("u", "v", "error", "valid"):
+        np.testing.assert_array_equal(
+            getattr(live.field, attr), getattr(batch.field, attr)
+        )
+    assert live.field.dt_seconds == batch.field.dt_seconds
+    assert live.field.metadata["source"] == f"ring://{ring_name}"
+    assert ring_name not in list_segments()
+
+
+def test_run_live_refuses_fault_injection_and_workers():
+    from repro.reliability import FaultPlan
+
+    with pytest.raises(ValueError, match="fault injection"):
+        StreamingRunner(
+            SMALL_CONFIG, fault_plan=FaultPlan(seed=0, pe_memory_faults=(0,))
+        ).run_live(None)
+    with pytest.raises(ValueError, match="sequential"):
+        StreamingRunner(SMALL_CONFIG, workers=4).run_live(None)
+
+
+def test_prep_cache_seed_hits_without_refit(tiny_frames):
+    frame = tiny_frames[0]
+    prep = prepare_frame(frame.surface, None, SMALL_CONFIG)
+    cache = FramePreparationCache(max_frames=4)
+    cache.seed(prep)
+    before = cache.stats.misses
+    out = cache.get(frame.surface, None, SMALL_CONFIG)
+    assert out is prep  # the seeded object itself -- zero refit work
+    assert cache.stats.misses == before
+    assert cache.stats.hits == 1
+
+
+def test_checkpoint_fingerprint_ignores_transport():
+    """A checkpoint written under one transport resumes under the other
+    (bit-identical results make the transport a non-identity detail)."""
+    ds = hurricane_luis(size=40, n_frames=4, seed=3)
+    config = ds.config.replace(n_zs=2, n_zt=3)
+    a = StreamingRunner(config, workers=2, transport="pickle")
+    b = StreamingRunner(config, workers=2, transport="shm")
+    shape = ds.frames[0].shape
+    assert a._fingerprint(shape, 3) == b._fingerprint(shape, 3)
