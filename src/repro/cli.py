@@ -20,11 +20,17 @@ paper's production pipeline exposed to forecasters:
   named shared-memory ring at a configurable cadence,
 * ``repro serve``     -- the production serving layer: durable job
   queue with leases/retries/dead-letter, content-addressed result
-  cache, and the HTTP wind-product API (see ``docs/serving.md``);
-  ``--chaos`` arms seeded worker-fault injection for recovery testing,
+  cache, and the HTTP wind-product API behind an asyncio frontend (see
+  ``docs/serving.md``); ``--chaos`` arms seeded worker-fault injection
+  for recovery testing and ``--nodes N`` spawns a multi-process fleet
+  over the shared state dir,
+* ``repro serve-worker`` -- one compute node of a serve fleet: claims
+  jobs from the shared state dir under per-node leases, no HTTP
+  listener; SIGTERM retires the node without losing fleet work,
 * ``repro serve-admin`` -- operator console for a serve deployment:
   list dead-letter jobs and requeue them, over HTTP (``--url``) or
-  directly against an offline state directory (``--state-dir``),
+  directly against an offline state directory (``--state-dir``);
+  ``flightlog`` merges every node's flight journal chronologically,
 * ``repro profile``   -- trace one pair end to end and print the
   per-phase modeled (MasPar) vs measured (host) timing profile.
 
@@ -250,80 +256,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="HTTP serving: durable job queue, content-addressed result "
-        "cache, wind-product API",
+        "cache, wind-product API; --nodes spawns a multi-process fleet",
     )
     serve.add_argument("--host", type=str, default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8641)
-    serve.add_argument(
-        "--workers", type=int, default=2, metavar="N",
-        help="serving worker threads (request-level fault injection is "
-        "refused in serve mode; server-side chaos is the --chaos flag)",
-    )
-    serve.add_argument(
-        "--pool-workers", type=int, default=None, metavar="N",
-        help="shard sequence jobs' pairs over N processes "
-        "(the PR-2 fork pool; bit-identical to sequential)",
-    )
-    serve.add_argument(
-        "--queue-depth", type=int, default=64, metavar="N",
-        help="max pending jobs before submissions get a 429 backpressure "
-        "response",
-    )
-    serve.add_argument(
-        "--cache-bytes", type=int, default=256 * 1024 * 1024, metavar="BYTES",
-        help="result-cache byte budget (LRU eviction beyond it)",
-    )
-    serve.add_argument(
-        "--state-dir", type=str, default=".repro-serve", metavar="DIR",
-        help="durable state: queue journal + result-cache artifacts "
-        "(a restarted server resumes pending jobs from here)",
-    )
-    serve.add_argument(
-        "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
-        help="default hypothesis schedule for jobs that do not name one "
-        "(result-cache keys include the mode)",
-    )
-    serve.add_argument(
-        "--backend", choices=("auto", "numpy", "native"), default="auto",
-        help="default kernel backend for jobs that do not name one "
-        "(result-cache keys include it; the device backend is not servable)",
-    )
-    serve.add_argument(
-        "--lease-seconds", type=float, default=15.0, metavar="S",
-        help="worker lease/heartbeat deadline; an expired lease requeues "
-        "the job (a hung or dead worker never strands work)",
-    )
-    serve.add_argument(
-        "--max-attempts", type=int, default=3, metavar="N",
-        help="execution attempts (first try included) before a job is "
-        "quarantined dead; inspect with 'repro serve-admin dead'",
-    )
-    serve.add_argument(
-        "--job-timeout", type=float, default=300.0, metavar="S",
-        help="per-job wall-clock timeout; 0 disables",
-    )
-    serve.add_argument(
-        "--retry-backoff", type=float, default=0.25, metavar="S",
-        help="base of the exponential retry backoff (doubles per retry)",
-    )
-    serve.add_argument(
-        "--chaos", type=str, default=None, nargs="?", const="default",
-        metavar="SPEC",
-        help="arm seeded worker chaos, e.g. 'crash=0.2,stall=0.1,"
-        "stall_seconds=1,flaky=0.3,flaky_attempts=2' (bare --chaos uses "
-        "a light default mix); chaos kills/stalls worker *attempts* "
-        "deterministically but never touches the computed product",
-    )
-    serve.add_argument(
-        "--chaos-seed", type=int, default=0,
-        help="seed for the --chaos schedule (same seed, same faults)",
-    )
-    serve.add_argument(
-        "--transport", choices=("pickle", "shm"), default="pickle",
-        help="frame transport for pooled sequence jobs: 'pickle' "
-        "(default) or 'shm' (zero-copy shared-memory ring; "
-        "bit-identical, so result-cache keys are unaffected)",
-    )
+    _add_serve_tuning_arguments(serve)
     serve.add_argument(
         "--source", type=str, default=None, metavar="ring://NAME",
         help="also consume live frames from a shared-memory ring; the "
@@ -331,13 +268,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "reports the ring attach state",
     )
     serve.add_argument(
-        "--slo", type=str, default=None, metavar="SPEC",
-        help="latency/error objectives, e.g. 'p95=2,errors=0.01,window=300' "
-        "(p95 target seconds, dead-letter budget fraction, rolling window "
-        "seconds); burn rates land on /metrics as serve.slo.* gauges and "
-        "/healthz reports the breach verdict (defaults apply without the flag)",
+        "--nodes", type=int, default=0, metavar="N",
+        help="spawn N 'repro serve-worker' node processes over the shared "
+        "state dir (fleet mode: shared job store, fleet-wide result "
+        "dedup, per-node flight journals); the frontend then defaults "
+        "to zero local workers",
+    )
+    serve.add_argument(
+        "--workers-per-node", type=int, default=2, metavar="N",
+        help="worker threads in each --nodes worker process",
+    )
+    serve.add_argument(
+        "--fleet", action="store_true",
+        help="fleet mode without spawning nodes: share the state dir "
+        "with externally launched 'repro serve-worker' processes",
+    )
+    serve.add_argument(
+        "--shed-watermark", type=float, default=None, metavar="F",
+        help="load-shed watermark as a fraction of --queue-depth: past "
+        "it, lowest-priority submissions are shed first (429 + "
+        "serve.shed.* counters); highest priorities are only ever "
+        "refused by the hard capacity limit",
     )
     _add_obs_arguments(serve)
+
+    serve_worker = sub.add_parser(
+        "serve-worker",
+        help="one worker node of a serve fleet: claims jobs from the "
+        "shared state dir (no HTTP listener); pair with 'repro serve "
+        "--fleet' or --nodes",
+    )
+    _add_serve_tuning_arguments(serve_worker)
+    _add_obs_arguments(serve_worker)
 
     admin = sub.add_parser(
         "serve-admin",
@@ -387,6 +349,97 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(profile)
 
     return parser
+
+
+def _add_serve_tuning_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``serve-worker`` -- queue semantics
+    must match on every node of a fleet, so both commands accept the
+    same tuning surface."""
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="serving worker threads (default 2; a 'serve --nodes' "
+        "frontend defaults to 0 and leaves compute to the worker "
+        "nodes; request-level fault injection is refused in serve "
+        "mode; server-side chaos is the --chaos flag)",
+    )
+    parser.add_argument(
+        "--pool-workers", type=int, default=None, metavar="N",
+        help="shard sequence jobs' pairs over N processes "
+        "(the PR-2 fork pool; bit-identical to sequential)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="max pending jobs before submissions get a 429 backpressure "
+        "response",
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024, metavar="BYTES",
+        help="result-cache byte budget (LRU eviction beyond it)",
+    )
+    parser.add_argument(
+        "--state-dir", type=str, default=".repro-serve", metavar="DIR",
+        help="durable state: queue journal + result-cache artifacts "
+        "(a restarted server resumes pending jobs from here; a fleet "
+        "shares one state dir across all its nodes)",
+    )
+    parser.add_argument(
+        "--node", type=str, default=None, metavar="ID",
+        help="fleet node identity (default: hostname-pid); stamps "
+        "leases, flight-recorder events, and serve.node.* gauges",
+    )
+    parser.add_argument(
+        "--search-mode", choices=("exhaustive", "pruned"), default="exhaustive",
+        help="default hypothesis schedule for jobs that do not name one "
+        "(result-cache keys include the mode)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "numpy", "native"), default="auto",
+        help="default kernel backend for jobs that do not name one "
+        "(result-cache keys include it; the device backend is not servable)",
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=15.0, metavar="S",
+        help="worker lease/heartbeat deadline; an expired lease requeues "
+        "the job (a hung or dead worker never strands work)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="execution attempts (first try included) before a job is "
+        "quarantined dead; inspect with 'repro serve-admin dead'",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="per-job wall-clock timeout; 0 disables",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="S",
+        help="base of the exponential retry backoff (doubles per retry)",
+    )
+    parser.add_argument(
+        "--chaos", type=str, default=None, nargs="?", const="default",
+        metavar="SPEC",
+        help="arm seeded worker chaos, e.g. 'crash=0.2,stall=0.1,"
+        "stall_seconds=1,flaky=0.3,flaky_attempts=2' (bare --chaos uses "
+        "a light default mix); chaos kills/stalls worker *attempts* "
+        "deterministically but never touches the computed product",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the --chaos schedule (same seed, same faults)",
+    )
+    parser.add_argument(
+        "--transport", choices=("pickle", "shm"), default="pickle",
+        help="frame transport for pooled sequence jobs: 'pickle' "
+        "(default) or 'shm' (zero-copy shared-memory ring; "
+        "bit-identical, so result-cache keys are unaffected)",
+    )
+    parser.add_argument(
+        "--slo", type=str, default=None, metavar="SPEC",
+        help="latency/error objectives, e.g. 'p95=2,errors=0.01,window=300' "
+        "(p95 target seconds, dead-letter budget fraction, rolling window "
+        "seconds); burn rates land on /metrics as serve.slo.* gauges and "
+        "/healthz reports the breach verdict (defaults apply without the flag)",
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -765,13 +818,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import signal
-    import threading
+def _serve_app_from_args(
+    args: argparse.Namespace,
+    workers: int,
+    fleet: bool = False,
+    node: str | None = None,
+    source: str | None = None,
+    shed_watermark: float | None = None,
+):
+    """Build the :class:`ServeApp` both ``serve`` and ``serve-worker``
+    share (fleet nodes must agree on queue semantics, so both commands
+    resolve the same flags through this one constructor)."""
+    from .serve import ServeApp
 
-    from .serve import ServeApp, make_server
-
-    _arm_observability(args)
     chaos = None
     if args.chaos is not None:
         from .reliability.injection import ServeChaosPlan
@@ -782,9 +841,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .serve.slo import SLOConfig
 
         slo = SLOConfig.from_spec(args.slo)
-    app = ServeApp(
+    return ServeApp(
         state_dir=args.state_dir,
-        workers=args.workers,
+        workers=workers,
         pool_workers=args.pool_workers,
         queue_depth=args.queue_depth,
         cache_bytes=args.cache_bytes,
@@ -797,24 +856,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chaos=chaos,
         slo=slo,
         transport=args.transport,
-        source=args.source,
+        source=source,
+        fleet=fleet,
+        node=node,
+        shed_watermark=shed_watermark,
     )
+
+
+def _spawn_worker_nodes(args: argparse.Namespace) -> list:
+    """Launch the ``--nodes`` worker processes over the shared state dir."""
+    import subprocess
+
+    forwarded = [
+        "--state-dir", args.state_dir,
+        "--workers", str(args.workers_per_node),
+        "--queue-depth", str(args.queue_depth),
+        "--cache-bytes", str(args.cache_bytes),
+        "--search-mode", args.search_mode,
+        "--backend", args.backend,
+        "--lease-seconds", str(args.lease_seconds),
+        "--max-attempts", str(args.max_attempts),
+        "--job-timeout", str(args.job_timeout),
+        "--retry-backoff", str(args.retry_backoff),
+        "--transport", args.transport,
+    ]
+    if args.pool_workers is not None:
+        forwarded += ["--pool-workers", str(args.pool_workers)]
+    if args.chaos is not None:
+        forwarded += ["--chaos", args.chaos, "--chaos-seed", str(args.chaos_seed)]
+    if args.slo is not None:
+        forwarded += ["--slo", args.slo]
+    children = []
+    for index in range(args.nodes):
+        node = f"{args.node or 'node'}-{index}"
+        children.append(
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve-worker", "--node", node]
+                + forwarded
+            )
+        )
+    return children
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve.frontend import make_async_server
+
+    _arm_observability(args)
+    fleet = args.fleet or args.nodes > 0
+    # A frontend that spawned worker nodes defaults to zero local
+    # workers -- compute lives on the nodes; otherwise the classic 2.
+    workers = args.workers if args.workers is not None else (0 if args.nodes else 2)
+    app = _serve_app_from_args(
+        args,
+        workers=workers,
+        fleet=fleet,
+        node=args.node if args.nodes == 0 else f"{args.node or 'node'}-frontend",
+        source=args.source,
+        shed_watermark=args.shed_watermark,
+    )
+    children = _spawn_worker_nodes(args) if args.nodes else []
     app.start()
-    server = make_server(app, host=args.host, port=args.port)
+    server = make_async_server(app, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     chaos_note = ""
-    if chaos is not None and not chaos.is_empty:
-        chaos_note = f", CHAOS ARMED seed={chaos.seed}"
+    if app.chaos is not None and not app.chaos.is_empty:
+        chaos_note = f", CHAOS ARMED seed={app.chaos.seed}"
     ring_note = f", live ring://{app.live.ring_name}" if app.live is not None else ""
+    fleet_note = f", fleet node {app.node} (+{len(children)} worker nodes)" if fleet else ""
     print(f"repro serve listening on http://{host}:{port} "
-          f"(workers={args.workers}, queue depth={args.queue_depth}, "
-          f"transport={app.transport}{ring_note}{chaos_note})",
+          f"(workers={workers}, queue depth={args.queue_depth}, "
+          f"transport={app.transport}{fleet_note}{ring_note}{chaos_note})",
           flush=True)
 
     def _drain_and_stop(signum, frame) -> None:
         # Runs off the main thread so serve_forever can wind down; drain
-        # finishes every accepted job before the listener closes.
+        # finishes every accepted job before the listener closes.  With
+        # spawned nodes: stop admitting, let the nodes drain the shared
+        # queue, retire them, then close the listener.
         def _worker() -> None:
+            if children:
+                app.draining = True
+                app.queue.wait_idle()
+                for child in children:
+                    child.send_signal(signal.SIGTERM)
+                for child in children:
+                    child.wait()
             app.drain()
             server.shutdown()
 
@@ -826,9 +955,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     finally:
         server.server_close()
+        for child in children:
+            if child.poll() is None:
+                child.terminate()
+                child.wait()
     counts = app.queue.counts()
     print(f"drained: {counts['done']} done, {counts['dead']} dead, "
           f"{counts['retrying']} retrying, {counts['pending']} pending")
+    _write_obs_outputs(args)
+    return 0
+
+
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    """One compute node of a serve fleet: claim, execute, heartbeat --
+    no HTTP listener.  SIGTERM retires the node gracefully: in-flight
+    jobs finish here, queued work stays in the shared store for the
+    surviving nodes, and anything stranded by a SIGKILL is reaped by a
+    survivor when its lease expires."""
+    import signal
+    import threading
+
+    _arm_observability(args)
+    workers = args.workers if args.workers is not None else 2
+    app = _serve_app_from_args(args, workers=workers, fleet=True, node=args.node)
+    app.start()
+    print(f"repro serve-worker node {app.node} joined the fleet at "
+          f"{args.state_dir} (workers={workers})", flush=True)
+
+    stop = threading.Event()
+
+    def _retire(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _retire)
+    signal.signal(signal.SIGINT, _retire)
+    while not stop.wait(0.2):
+        pass
+    app.stop_node()
+    counts = app.queue.counts()
+    print(f"node {app.node} left the fleet: {counts['done']} done, "
+          f"{counts['dead']} dead, {counts['pending']} pending, "
+          f"{counts['running']} running elsewhere")
     _write_obs_outputs(args)
     return 0
 
@@ -948,13 +1115,16 @@ def _serve_admin_flightlog(args: argparse.Namespace) -> int:
         events = trace.get("events", [])
         segments = trace.get("segments")
     else:
-        import os
+        from .obs.events import (
+            discover_flight_journals,
+            job_trace,
+            merge_flight_journals,
+        )
 
-        from .obs.events import FlightRecorder, job_trace
-
-        recorder = FlightRecorder(os.path.join(args.state_dir, "flight.jsonl"))
-        events = recorder.replay()
-        recorder.close()
+        # Merge every node's journal (plus rotated archives) into one
+        # chronology -- ties on ts break stably on (node, seq), so a
+        # fleet's interleaved story reads the same on every replay.
+        events = merge_flight_journals(discover_flight_journals(args.state_dir))
         segments = None
         if job_filter:
             events = [e for e in events if e.get("job") == job_filter]
@@ -966,6 +1136,7 @@ def _serve_admin_flightlog(args: argparse.Namespace) -> int:
     rows = [
         (
             f"{event.get('ts', 0.0):.3f}",
+            event.get("node") or "",
             event.get("job", ""),
             event.get("event", ""),
             str(event.get("attempt", "")),
@@ -977,7 +1148,7 @@ def _serve_admin_flightlog(args: argparse.Namespace) -> int:
     title = "flight recorder" + (f": {job_filter}" if job_filter else "")
     print(format_table(
         rows,
-        headers=["ts", "job", "event", "attempt", "worker", "fields"],
+        headers=["ts", "node", "job", "event", "attempt", "worker", "fields"],
         title=f"{title} ({len(events)} events)",
     ))
     if segments:
@@ -1058,6 +1229,7 @@ COMMANDS = {
     "stream": _cmd_stream,
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
+    "serve-worker": _cmd_serve_worker,
     "serve-admin": _cmd_serve_admin,
     "profile": _cmd_profile,
 }

@@ -70,6 +70,7 @@ class FlightRecorder:
         path: str,
         max_records_per_segment: int = 4096,
         keep_segments: int = 2,
+        node: str | None = None,
     ) -> None:
         if max_records_per_segment < 1:
             raise ValueError("max_records_per_segment must be >= 1")
@@ -78,9 +79,14 @@ class FlightRecorder:
         self.path = path
         self.max_records_per_segment = max_records_per_segment
         self.keep_segments = keep_segments
+        #: Fleet identity stamped on every record (with a per-recorder
+        #: monotonic ``seq``) so journals from many nodes merge into one
+        #: stable chronology -- ties on ``ts`` break on (node, seq).
+        self.node = node
         self._lock = threading.Lock()
         self._handle = None
         self._active_records = 0
+        self._seq = 0
         #: In-memory ring mirroring the on-disk segments, for cheap
         #: per-job queries without re-reading files on every request.
         self._ring: deque[dict] = deque(
@@ -91,6 +97,7 @@ class FlightRecorder:
             os.makedirs(directory, exist_ok=True)
         for event in self._replay_from_disk():
             self._ring.append(event)
+            self._seq = max(self._seq, int(event.get("seq", 0)))
         self._active_records = self._count_active_records()
 
     # -- writing ----------------------------------------------------------------------
@@ -120,8 +127,12 @@ class FlightRecorder:
             record["worker"] = worker
         if fields:
             record["fields"] = fields
-        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         with self._lock:
+            if self.node is not None:
+                self._seq += 1
+                record["node"] = self.node
+                record["seq"] = self._seq
+            line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
             if self._handle is None:
                 self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
             self._handle.write(line)
@@ -202,6 +213,74 @@ class FlightRecorder:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+
+
+def flight_journal_path(state_dir: str, node: str | None = None) -> str:
+    """The flight-journal path convention: ``flight.jsonl`` for a
+    single-process server, ``flight-<node>.jsonl`` per fleet node."""
+    name = "flight.jsonl" if node is None else f"flight-{node}.jsonl"
+    return os.path.join(state_dir, name)
+
+
+def discover_flight_journals(state_dir: str) -> list[str]:
+    """Every flight-journal segment in a state directory, sorted.
+
+    Covers the single-process ``flight.jsonl``, per-node
+    ``flight-<node>.jsonl`` journals, and their rotated ``.N``
+    archives -- everything :func:`merge_flight_journals` should see.
+    """
+    try:
+        names = sorted(os.listdir(state_dir))
+    except OSError:
+        return []
+    paths: list[str] = []
+    for name in names:
+        stem = name
+        while stem and stem.rpartition(".")[2].isdigit():
+            stem = stem.rpartition(".")[0]
+        if stem == "flight.jsonl" or (
+            stem.startswith("flight-") and stem.endswith(".jsonl")
+        ):
+            paths.append(os.path.join(state_dir, name))
+    return paths
+
+
+def merge_flight_journals(paths: list[str]) -> list[dict]:
+    """Chronologically interleave flight records from many journals.
+
+    The sort key is ``(ts, node, seq)`` -- wall-clock first, then a
+    stable tie-break on the writing node's identity and its per-node
+    monotonic sequence number, so records that share a timestamp (or
+    come from clocks with coarse resolution) merge deterministically.
+    Pre-fleet records without node/seq tags sort with ``node=""`` and
+    ``seq=0``.  Torn or unparsable lines are dropped, never fatal --
+    this is the post-mortem path and must work on journals from
+    SIGKILLed nodes.
+    """
+    records: list[dict] = []
+    for path in paths:
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            continue
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # torn tail from a crash mid-write
+            if isinstance(record, dict) and "event" in record and "job" in record:
+                records.append(record)
+    records.sort(
+        key=lambda r: (
+            float(r.get("ts", 0.0)),
+            str(r.get("node", "")),
+            int(r.get("seq", 0)),
+        )
+    )
+    return records
 
 
 def job_trace(events: list[dict], job: dict | None = None) -> dict:

@@ -30,7 +30,15 @@ pipelines, operational cloud-motion forecasting):
   ``POST /v1/jobs/{id}/requeue``, ``GET /v1/products/{id}``,
   ``GET /healthz``, ``GET /metrics`` with Prometheus content
   negotiation) wired to :mod:`repro.obs`, plus graceful drain and the
-  crash-safe flight recorder (:mod:`repro.obs.events`).
+  crash-safe flight recorder (:mod:`repro.obs.events`),
+* :mod:`repro.serve.store`   -- the fleet layer: a cross-process
+  :class:`SharedJobStore` (many ``repro serve-worker`` nodes over one
+  state directory, flock-serialized WAL replication, fleet-wide dedup
+  and lease reaping) and the :class:`NodeRegistry` heartbeat roster,
+* :mod:`repro.serve.frontend` -- the asyncio HTTP frontend: one event
+  loop multiplexing thousands of clients over the shared
+  :func:`~repro.serve.http.route` dispatcher, byte-identical responses
+  to the threaded server.
 
 Serve-mode chaos (``repro serve --chaos``) arms a seeded
 :class:`~repro.reliability.injection.ServeChaosPlan` that crashes,
@@ -44,19 +52,31 @@ from __future__ import annotations
 
 from ..reliability.injection import ServeChaosPlan
 from .cache import ResultCache, result_key
-from .http import ServeApp, make_server
+from .frontend import AsyncFrontend, make_async_server
+from .http import ServeApp, make_server, route
 from .jobs import ACTIVE_STATES, JOB_STATES, Job, JobRequest, JobValidationError, ServeLimits
-from .queue import JobQueue, QueueFullError, QueueJournal
+from .queue import (
+    JobQueue,
+    LoadShedError,
+    LoadShedPolicy,
+    QueueFullError,
+    QueueJournal,
+)
 from .slo import SLOConfig, SLOTracker
+from .store import NodeRegistry, SharedJobStore, default_node_id
 from .workers import WorkerPool
 
 __all__ = [
     "ACTIVE_STATES",
+    "AsyncFrontend",
     "JOB_STATES",
     "Job",
     "JobQueue",
     "JobRequest",
     "JobValidationError",
+    "LoadShedError",
+    "LoadShedPolicy",
+    "NodeRegistry",
     "QueueFullError",
     "QueueJournal",
     "ResultCache",
@@ -65,7 +85,11 @@ __all__ = [
     "ServeApp",
     "ServeChaosPlan",
     "ServeLimits",
+    "SharedJobStore",
     "WorkerPool",
+    "default_node_id",
+    "make_async_server",
     "make_server",
     "result_key",
+    "route",
 ]

@@ -14,6 +14,20 @@ Artifacts are ``MotionField`` ``.npz`` archives written through
 artifact), and the LRU index is itself persisted atomically so a
 restarted server keeps its warm cache.  Eviction is by byte budget:
 least-recently-used entries fall off until the artifact bytes fit.
+
+**Fleet sharing.**  A fleet of serve nodes points every node at the
+same cache root, and the *disk* -- not any node's in-memory index --
+is the source of truth.  Publication is single-writer-wins: artifacts
+land via ``os.replace`` of a unique temp file, so two nodes racing to
+publish the same key leave exactly one complete artifact (and since
+the product is a pure function of the key's content, the bytes are
+identical whichever writer wins -- the loser detects the race, counts
+``serve.cache.races``, and skips its redundant write).  A lookup that
+misses the local index but finds the artifact on disk **adopts** the
+other node's publication (``serve.cache.adopted``) and serves it as a
+hit: a product computed on any node is a cache hit on every node.
+Index files are per-node last-writer-wins and self-healing -- a lost
+index entry is re-adopted from disk on the next lookup.
 """
 
 from __future__ import annotations
@@ -98,10 +112,14 @@ class ResultCache:
         with self._lock:
             size = self._index.get(key)
             path = self._artifact_path(key)
+            if size is None and os.path.exists(path):
+                # Published by another fleet node: adopt its artifact.
+                size = self._adopt_locked(key, path)
             if size is None or not os.path.exists(path):
                 if size is not None:
                     # Artifact vanished underneath the index (operator
-                    # cleanup); drop the stale entry rather than 500.
+                    # cleanup or a peer's eviction); drop the stale
+                    # entry rather than 500.
                     del self._index[key]
                     self._persist_index()
                 if record:
@@ -114,9 +132,19 @@ class ResultCache:
         return MotionField.load(path)
 
     def put(self, key: str, field: MotionField) -> str:
-        """Store one product; evicts LRU entries over the byte budget."""
+        """Store one product; evicts LRU entries over the byte budget.
+
+        Single-writer-wins across the fleet: when the artifact already
+        exists on disk another node published this key first, and
+        (because the product is a pure function of the content address)
+        its bytes are the bytes we would write -- so the write is
+        skipped and the existing artifact adopted instead of replaced.
+        """
         path = self._artifact_path(key)
-        field.save(path)
+        if os.path.exists(path):
+            METRICS.inc("serve.cache.races")
+        else:
+            field.save(path)
         size = os.path.getsize(path)
         with self._lock:
             self._index[key] = size
@@ -131,8 +159,16 @@ class ResultCache:
         return path
 
     def contains(self, key: str) -> bool:
+        """Resident locally *or published by any fleet node* (disk is
+        the source of truth; an on-disk artifact is adopted)."""
         with self._lock:
-            return key in self._index
+            if key in self._index:
+                return True
+            path = self._artifact_path(key)
+            if os.path.exists(path):
+                self._adopt_locked(key, path)
+                return True
+            return False
 
     def __len__(self) -> int:
         with self._lock:
@@ -146,11 +182,15 @@ class ResultCache:
         return sum(self._index.values())
 
     def artifact_path(self, key: str) -> str | None:
-        """Path of a cached artifact, or None if not resident."""
+        """Path of a cached artifact, or None if not published anywhere
+        in the fleet (peer publications are adopted on sight)."""
         with self._lock:
+            path = self._artifact_path(key)
             if key not in self._index:
-                return None
-        return self._artifact_path(key)
+                if not os.path.exists(path):
+                    return None
+                self._adopt_locked(key, path)
+        return path
 
     # -- persistence ------------------------------------------------------------------
 
@@ -180,6 +220,18 @@ class ResultCache:
             if os.path.exists(self._artifact_path(key)):
                 self._index[key] = int(size)
         METRICS.set_gauge("serve.cache.entries", float(len(self._index)))
+
+    def _adopt_locked(self, key: str, path: str) -> int | None:
+        """Index an artifact another fleet node published (lock held)."""
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return None  # evicted between the exists check and here
+        self._index[key] = size
+        self._persist_index()
+        METRICS.inc("serve.cache.adopted")
+        METRICS.set_gauge("serve.cache.entries", float(len(self._index)))
+        return size
 
     def _remove_artifact(self, key: str) -> None:
         try:

@@ -61,7 +61,14 @@ from ..core.field import MotionField
 from ..core.prep import FramePreparationCache
 from ..maspar.cost import CostLedger
 from ..maspar.machine import GODDARD_MP2
-from ..obs.events import FlightRecorder, job_trace, trace_chrome_events
+from ..obs.events import (
+    FlightRecorder,
+    discover_flight_journals,
+    flight_journal_path,
+    job_trace,
+    merge_flight_journals,
+    trace_chrome_events,
+)
 from ..obs.export import chrome_trace
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import METRICS
@@ -78,7 +85,8 @@ from .jobs import (
     JobValidationError,
     ServeLimits,
 )
-from .queue import JobQueue, QueueFullError
+from .queue import JobQueue, LoadShedError, LoadShedPolicy, QueueFullError
+from .store import NodeRegistry, SharedJobStore, default_node_id
 from .workers import WorkerPool
 
 _LOG = get_logger("serve.http")
@@ -114,6 +122,9 @@ class ServeApp:
         transport: str = "pickle",
         source: str | None = None,
         live_config=None,
+        fleet: bool = False,
+        node: str | None = None,
+        shed_watermark: float | None = None,
     ) -> None:
         if search_mode not in SERVABLE_SEARCH_MODES:
             raise ValueError(
@@ -151,26 +162,56 @@ class ServeApp:
         self.chaos = chaos if chaos is not None and not chaos.is_empty else None
         self.ledger = CostLedger(GODDARD_MP2)
         self._ledger_lock = threading.Lock()
+        #: Fleet mode: this app is one node of many over a shared state
+        #: directory -- the queue becomes the cross-process
+        #: :class:`SharedJobStore`, the flight journal becomes per-node,
+        #: and a :class:`NodeRegistry` heartbeat announces membership.
+        self.fleet = bool(fleet)
+        self.node = node or (default_node_id() if fleet else None)
+        self.registry = NodeRegistry(state_dir) if fleet else None
+        #: Optional priority-aware load shedding above a depth watermark.
+        self.shed = (
+            LoadShedPolicy(shed_watermark) if shed_watermark is not None else None
+        )
         #: Crash-safe lifecycle journal; every queue/worker transition
-        #: lands here and powers ``GET /v1/jobs/{id}/trace``.
-        self.recorder = FlightRecorder(os.path.join(state_dir, "flight.jsonl"))
+        #: lands here and powers ``GET /v1/jobs/{id}/trace``.  One
+        #: journal per fleet node (``flight-<node>.jsonl``), merged by
+        #: ``repro serve-admin flightlog`` and the trace route.
+        self.recorder = FlightRecorder(
+            flight_journal_path(state_dir, self.node if fleet else None),
+            node=self.node if fleet else None,
+        )
         self.slo = slo or SLOConfig()
         self.slo_tracker = SLOTracker(self.slo)
-        self.queue = JobQueue(
-            max_depth=queue_depth,
-            state_path=os.path.join(state_dir, "queue.json"),
-            lease_seconds=lease_seconds,
-            job_timeout_seconds=job_timeout_seconds,
-            retry_policy=RetryPolicy(
-                max_attempts=max_attempts,
-                backoff_seconds=retry_backoff_seconds,
-                backoff_factor=2.0,
-                jitter=0.0,
-            ),
-            on_recovery_seconds=self._charge_recovery,
-            recorder=self.recorder,
-            on_terminal=self.slo_tracker.record_job,
+        retry_policy = RetryPolicy(
+            max_attempts=max_attempts,
+            backoff_seconds=retry_backoff_seconds,
+            backoff_factor=2.0,
+            jitter=0.0,
         )
+        if fleet:
+            self.queue = SharedJobStore(
+                state_dir,
+                node=self.node,
+                max_depth=queue_depth,
+                lease_seconds=lease_seconds,
+                job_timeout_seconds=job_timeout_seconds,
+                retry_policy=retry_policy,
+                on_recovery_seconds=self._charge_recovery,
+                recorder=self.recorder,
+                on_terminal=self.slo_tracker.record_job,
+            )
+        else:
+            self.queue = JobQueue(
+                max_depth=queue_depth,
+                state_path=os.path.join(state_dir, "queue.json"),
+                lease_seconds=lease_seconds,
+                job_timeout_seconds=job_timeout_seconds,
+                retry_policy=retry_policy,
+                on_recovery_seconds=self._charge_recovery,
+                recorder=self.recorder,
+                on_terminal=self.slo_tracker.record_job,
+            )
         self.cache = ResultCache(
             os.path.join(state_dir, "cache"), max_bytes=cache_bytes
         )
@@ -191,11 +232,13 @@ class ServeApp:
             self.pool.start()
             if self.live is not None:
                 self.live.start()
+            self.publish_node_heartbeat()
             self._started = True
             log_event(
                 _LOG, logging.INFO, "serve.transport",
                 transport=self.transport,
                 pool_workers=self.pool_workers,
+                node=self.node,
                 ring=self.live.ring_name if self.live is not None else None,
             )
         return self
@@ -214,12 +257,37 @@ class ServeApp:
         self.pool.stop()
         if self.queue.state_path:
             self.queue.save()
+        if self.registry is not None:
+            self.registry.remove(self.node)
         self.recorder.close()
         log_event(
             _LOG, logging.INFO, "serve.drained",
             drained=drained, counts=self.queue.counts(),
         )
         return drained
+
+    def stop_node(self) -> bool:
+        """Retire *this* node from a fleet without draining the fleet.
+
+        Workers finish their in-flight jobs and stop claiming (the
+        close is process-local); queued work stays in the shared store
+        for the surviving nodes.  Zero accepted jobs are lost: anything
+        this node had leased either completes here or -- if the process
+        dies mid-job -- is reaped by a survivor when the lease expires.
+        """
+        self.draining = True
+        METRICS.set_gauge("serve.draining", 1.0)
+        if self.live is not None:
+            self.live.stop()
+        self.pool.stop()
+        if self.registry is not None:
+            self.registry.remove(self.node)
+        self.recorder.close()
+        log_event(
+            _LOG, logging.INFO, "serve.node_stopped",
+            node=self.node, counts=self.queue.counts(),
+        )
+        return True
 
     # -- ledger -----------------------------------------------------------------------
 
@@ -246,6 +314,61 @@ class ServeApp:
                 "serve.ledger.modeled_seconds", self.ledger.total_seconds()
             )
 
+    # -- fleet ------------------------------------------------------------------------
+
+    def publish_node_heartbeat(self) -> None:
+        """Refresh this node's registry heartbeat (supervisor cadence)."""
+        if self.registry is None:
+            return
+        with self._ledger_lock:
+            ge_solves = self.ledger.gaussian_eliminations()
+        self.registry.heartbeat(
+            self.node,
+            workers=self.pool.workers,
+            in_flight=self.pool.active_jobs(),
+            ge_solves=ge_solves,
+            draining=self.draining,
+        )
+
+    def fleet_payload(self) -> dict | None:
+        """Fleet roster + per-node breakdown; publishes ``serve.node.*``
+        gauges as a side effect so scrapes see the same numbers.  None
+        outside fleet mode."""
+        if not self.fleet:
+            return None
+        running = self.queue.running_by_node()
+        roster = self.registry.nodes()
+        nodes: dict[str, dict] = {}
+        for node_id in sorted(set(roster) | set(running) | {self.node}):
+            beat = roster.get(node_id, {})
+            entry = {
+                "in_flight": running.get(node_id, 0),
+                "workers": beat.get("workers"),
+                "ge_solves": beat.get("ge_solves"),
+                "draining": bool(beat.get("draining", False)),
+                "heartbeat_age_seconds": (
+                    round(beat["age_seconds"], 3) if "age_seconds" in beat else None
+                ),
+            }
+            nodes[node_id] = entry
+            METRICS.set_gauge(
+                f"serve.node.{node_id}.in_flight", float(entry["in_flight"])
+            )
+            if entry["workers"] is not None:
+                METRICS.set_gauge(
+                    f"serve.node.{node_id}.workers", float(entry["workers"])
+                )
+            if entry["ge_solves"] is not None:
+                METRICS.set_gauge(
+                    f"serve.node.{node_id}.ge_solves", float(entry["ge_solves"])
+                )
+            if entry["heartbeat_age_seconds"] is not None:
+                METRICS.set_gauge(
+                    f"serve.node.{node_id}.heartbeat_age_seconds",
+                    entry["heartbeat_age_seconds"],
+                )
+        return {"node": self.node, "nodes": nodes}
+
     # -- request handling (transport-independent) -------------------------------------
 
     def submit_payload(self, payload: dict) -> tuple[Job, bool]:
@@ -266,6 +389,17 @@ class ServeApp:
         if isinstance(payload, dict) and "backend" not in payload:
             payload = {**payload, "backend": self.backend}
         request = JobRequest.from_payload(payload, limits=self.limits)
+        if self.shed is not None:
+            depth = self.queue.depth()
+            threshold = self.shed.threshold(
+                depth, self.queue.max_depth, self.queue.queued_priorities()
+            )
+            if threshold is not None and priority < threshold:
+                METRICS.inc("serve.shed.total")
+                METRICS.inc(f"serve.shed.priority.{priority}")
+                raise LoadShedError(
+                    depth, self.queue.retry_after_hint(), priority, threshold
+                )
         return self.queue.submit(request, priority=priority)
 
     def job_payload(self, job_id: str) -> dict | None:
@@ -335,7 +469,20 @@ class ServeApp:
         (``traceEvents``) that opens directly in Perfetto.
         """
         job = self.queue.get(job_id)
-        events = self.recorder.events(job_id)
+        if self.fleet:
+            # This node's in-memory ring only holds the events *it*
+            # recorded (a frontend typically has just ``submitted``);
+            # the full story is the merged on-disk journals of every
+            # node that touched the job.
+            events = [
+                e
+                for e in merge_flight_journals(
+                    discover_flight_journals(self.state_dir)
+                )
+                if e.get("job") == job_id
+            ]
+        else:
+            events = self.recorder.events(job_id)
         if job is None and not events:
             return 404, {"error": f"unknown job {job_id!r}"}
         trace = job_trace(events, job=job.to_dict() if job is not None else None)
@@ -371,6 +518,9 @@ class ServeApp:
             "cache_bytes": self.cache.total_bytes(),
             "slo": slo,
         }
+        if self.fleet:
+            payload["node"] = self.node
+            payload["fleet"] = self.fleet_payload()
         if self.live is not None:
             payload["ring"] = self.live.state()
         return payload
@@ -386,6 +536,7 @@ class ServeApp:
                 ],
             }
         self.slo_tracker.publish_gauges()
+        fleet = self.fleet_payload()
         payload = METRICS.snapshot()
         payload["ledger"] = ledger
         payload["queue"] = {
@@ -393,6 +544,8 @@ class ServeApp:
             "counts": self.queue.counts(),
             "retry_after_seconds": self.queue.retry_after_hint(),
         }
+        if fleet is not None:
+            payload["fleet"] = fleet
         return payload
 
     def metrics_exposition(self) -> str:
@@ -404,6 +557,7 @@ class ServeApp:
         """
         self.publish_ledger_gauges()
         self.slo_tracker.publish_gauges()
+        self.fleet_payload()  # refresh serve.node.* gauges before the scrape
         return render_exposition(METRICS.snapshot())
 
 
@@ -460,6 +614,108 @@ def _wind_product(job: Job, field: MotionField, barb_stride: int = 8) -> dict:
     }
 
 
+def route(
+    app: ServeApp,
+    method: str,
+    target: str,
+    body: bytes = b"",
+    accept: str | None = None,
+) -> tuple[int, bytes, str, dict]:
+    """Dispatch one request; ``(status, body, content type, headers)``.
+
+    Transport-independent routing shared by the thread-per-connection
+    :class:`ServeHandler` and the asyncio
+    :class:`~repro.serve.frontend.AsyncFrontend` -- both surfaces serve
+    byte-identical responses because both serve *this* function.
+    ``target`` is the raw request target (path + optional query);
+    ``accept`` drives the ``/metrics`` content negotiation.
+    """
+
+    def as_json(
+        status: int, payload: dict, headers: dict | None = None
+    ) -> tuple[int, bytes, str, dict]:
+        return status, json.dumps(payload).encode(), "application/json", headers or {}
+
+    path, _, query = target.partition("?")
+    path = path.rstrip("/") or "/"
+    params = dict(part.split("=", 1) for part in query.split("&") if "=" in part)
+
+    if method == "POST":
+        if path.startswith("/v1/jobs/") and path.endswith("/requeue"):
+            job_id = path[len("/v1/jobs/") : -len("/requeue")]
+            status, payload = app.requeue_payload(job_id)
+            return as_json(status, payload)
+        if path != "/v1/jobs":
+            return as_json(404, {"error": f"no such route {target!r}"})
+        try:
+            payload = json.loads(body or b"{}")
+        except (ValueError, UnicodeDecodeError):
+            return as_json(400, {"error": "request body must be valid JSON"})
+        try:
+            job, created = app.submit_payload(payload)
+        except JobValidationError as exc:
+            return as_json(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            refused = {
+                "error": str(exc),
+                "retry_after_seconds": exc.retry_after_seconds,
+            }
+            if isinstance(exc, LoadShedError):
+                refused["shed"] = True
+                refused["admission_threshold"] = exc.threshold
+            return as_json(
+                429, refused, headers={"Retry-After": f"{exc.retry_after_seconds:g}"}
+            )
+        except RuntimeError as exc:
+            return as_json(503, {"error": str(exc)})
+        return as_json(
+            202, {"id": job.id, "state": job.state, "deduplicated": not created}
+        )
+
+    if method != "GET":
+        return as_json(405, {"error": f"method {method} not allowed"})
+
+    if path == "/healthz":
+        return as_json(200, app.health_payload())
+    if path == "/v1/live/latest":
+        status, payload = app.live_payload()
+        return as_json(status, payload)
+    if path == "/metrics":
+        # Content negotiation: a Prometheus scraper announces itself
+        # with Accept: text/plain (or openmetrics); every existing
+        # consumer keeps getting the JSON payload.
+        if wants_exposition(accept):
+            return (
+                200,
+                app.metrics_exposition().encode("utf-8"),
+                PROM_CONTENT_TYPE,
+                {},
+            )
+        return as_json(200, app.metrics_payload())
+    if path == "/v1/jobs":
+        status, payload = app.jobs_payload(state=params.get("state"))
+        return as_json(status, payload)
+    if path.startswith("/v1/jobs/") and path.endswith("/trace"):
+        job_id = path[len("/v1/jobs/") : -len("/trace")]
+        status, payload = app.trace_payload(job_id, fmt=params.get("format"))
+        return as_json(status, payload)
+    if path.startswith("/v1/jobs/"):
+        payload = app.job_payload(path.rsplit("/", 1)[1])
+        if payload is None:
+            return as_json(404, {"error": "unknown job"})
+        return as_json(200, payload)
+    if path.startswith("/v1/products/") and path.endswith("/field"):
+        job_id = path[len("/v1/products/") : -len("/field")]
+        status, payload = app.field_bytes(job_id)
+        if status == 200:
+            return status, payload, "application/octet-stream", {}
+        return as_json(status, payload)
+    if path.startswith("/v1/products/"):
+        status, payload = app.product_payload(path.rsplit("/", 1)[1])
+        return as_json(status, payload)
+    return as_json(404, {"error": f"no such route {path!r}"})
+
+
 class ServeHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto a :class:`ServeApp` (set by subclassing)."""
 
@@ -474,113 +730,25 @@ class ServeHandler(BaseHTTPRequestHandler):
             client=self.client_address[0], line=format % args,
         )
 
-    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
-        body = json.dumps(payload).encode()
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length", "0") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        status, payload, content_type, headers = route(
+            self.app, method, self.path, body, accept=self.headers.get("Accept")
+        )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_bytes(self, payload: bytes, content_type: str) -> None:
-        self.send_response(200)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
-    # -- routes -----------------------------------------------------------------------
-
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path.startswith("/v1/jobs/") and path.endswith("/requeue"):
-            job_id = path[len("/v1/jobs/") : -len("/requeue")]
-            status, body = self.app.requeue_payload(job_id)
-            self._send_json(status, body)
-            return
-        if path != "/v1/jobs":
-            self._send_json(404, {"error": f"no such route {self.path!r}"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError):
-            self._send_json(400, {"error": "request body must be valid JSON"})
-            return
-        try:
-            job, created = self.app.submit_payload(payload)
-        except JobValidationError as exc:
-            self._send_json(400, {"error": str(exc)})
-            return
-        except QueueFullError as exc:
-            self._send_json(
-                429,
-                {
-                    "error": str(exc),
-                    "retry_after_seconds": exc.retry_after_seconds,
-                },
-                headers={"Retry-After": f"{exc.retry_after_seconds:g}"},
-            )
-            return
-        except RuntimeError as exc:
-            self._send_json(503, {"error": str(exc)})
-            return
-        self._send_json(
-            202, {"id": job.id, "state": job.state, "deduplicated": not created}
-        )
+        self._dispatch("POST")
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
-        path, _, query = self.path.partition("?")
-        path = path.rstrip("/") or "/"
-        if path == "/healthz":
-            self._send_json(200, self.app.health_payload())
-        elif path == "/v1/live/latest":
-            status, body = self.app.live_payload()
-            self._send_json(status, body)
-        elif path == "/metrics":
-            # Content negotiation: a Prometheus scraper announces
-            # itself with Accept: text/plain (or openmetrics); every
-            # existing consumer keeps getting the JSON payload.
-            if wants_exposition(self.headers.get("Accept")):
-                self._send_bytes(
-                    self.app.metrics_exposition().encode("utf-8"),
-                    PROM_CONTENT_TYPE,
-                )
-            else:
-                self._send_json(200, self.app.metrics_payload())
-        elif path == "/v1/jobs":
-            params = dict(
-                part.split("=", 1) for part in query.split("&") if "=" in part
-            )
-            status, body = self.app.jobs_payload(state=params.get("state"))
-            self._send_json(status, body)
-        elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
-            params = dict(
-                part.split("=", 1) for part in query.split("&") if "=" in part
-            )
-            job_id = path[len("/v1/jobs/") : -len("/trace")]
-            status, body = self.app.trace_payload(job_id, fmt=params.get("format"))
-            self._send_json(status, body)
-        elif path.startswith("/v1/jobs/"):
-            payload = self.app.job_payload(path.rsplit("/", 1)[1])
-            if payload is None:
-                self._send_json(404, {"error": "unknown job"})
-            else:
-                self._send_json(200, payload)
-        elif path.startswith("/v1/products/") and path.endswith("/field"):
-            job_id = path[len("/v1/products/") : -len("/field")]
-            status, body = self.app.field_bytes(job_id)
-            if status == 200:
-                self._send_bytes(body, "application/octet-stream")
-            else:
-                self._send_json(status, body)
-        elif path.startswith("/v1/products/"):
-            status, body = self.app.product_payload(path.rsplit("/", 1)[1])
-            self._send_json(status, body)
-        else:
-            self._send_json(404, {"error": f"no such route {path!r}"})
+        self._dispatch("GET")
 
 
 def make_server(

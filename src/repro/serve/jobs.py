@@ -248,23 +248,29 @@ class Job:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "Job":
+    def from_dict(cls, payload: dict, *, revoke_lease: bool = True) -> "Job":
         """Inverse of :meth:`to_dict`.
 
-        A job persisted mid-run comes back ``pending`` with its lease
+        With ``revoke_lease`` (the single-process restart default), a
+        job persisted mid-run comes back ``pending`` with its lease
         revoked but its attempt count intact: the restarted server
         re-executes it from scratch (the computation is a pure function
         of the request, so the product is unaffected) and the crashed
         attempt still counts against the retry budget, so a job that
         crashes the server on every attempt ends up ``dead``, not in a
         crash loop.  Legacy terminal ``failed`` restores as ``dead``.
+
+        The shared fleet store passes ``revoke_lease=False``: a job
+        running on *another* node must stay leased to that node when
+        this process (re)loads the shared state -- lease expiry, not
+        process restart, is the fleet-wide truth about worker death.
         """
         state = payload["state"]
         started = payload.get("started_at")
         worker = payload.get("worker")
         lease_token = payload.get("lease_token")
         lease_deadline = payload.get("lease_deadline")
-        if state == "running":
+        if state == "running" and revoke_lease:
             state, started = "pending", None
             worker = lease_token = lease_deadline = None
         elif state == "failed":

@@ -88,6 +88,63 @@ class QueueFullError(RuntimeError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class LoadShedError(QueueFullError):
+    """A submission shed by the priority policy (still a 429, but the
+    client learns which priority would currently be admitted)."""
+
+    def __init__(
+        self,
+        depth: int,
+        retry_after_seconds: float,
+        priority: int,
+        threshold: int,
+    ) -> None:
+        super().__init__(depth, retry_after_seconds)
+        self.priority = priority
+        self.threshold = threshold
+        self.args = (
+            f"load shed: priority {priority} below the current admission "
+            f"threshold {threshold} ({depth} jobs queued); retry after "
+            f"{retry_after_seconds:g} s or resubmit at a higher priority",
+        )
+
+
+class LoadShedPolicy:
+    """Priority-aware load shedding above a queue-depth watermark.
+
+    Below ``watermark * max_depth`` queued jobs everything is admitted
+    (the bounded queue's 429 still applies at capacity).  Past the
+    watermark the admission bar rises with fullness: the threshold
+    walks the sorted priorities of the jobs already queued, from the
+    lowest (just past the watermark) to the highest (at capacity), and
+    a submission with ``priority < threshold`` is shed.  Lowest-priority
+    traffic is therefore shed first, and the highest-priority traffic
+    is only ever refused by the hard capacity limit itself.
+    """
+
+    def __init__(self, watermark: float = 0.75) -> None:
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError("shed watermark must be in (0, 1]")
+        self.watermark = watermark
+
+    def threshold(
+        self, depth: int, max_depth: int, queued_priorities: list[int]
+    ) -> int | None:
+        """The minimum admissible priority, or None below the watermark."""
+        floor_depth = max(1, int(self.watermark * max_depth + 0.999999))
+        if depth < floor_depth or not queued_priorities:
+            return None
+        if max_depth <= floor_depth:
+            fullness = 1.0
+        else:
+            fullness = min(1.0, (depth - floor_depth) / (max_depth - floor_depth))
+        ranked = sorted(queued_priorities)
+        return ranked[min(len(ranked) - 1, int(fullness * (len(ranked) - 1) + 1e-9))]
+
+    def describe(self) -> dict:
+        return {"watermark": self.watermark}
+
+
 def _encode_record(record: dict) -> bytes:
     """One self-checksummed JSONL journal line (newline terminated)."""
     body = json.dumps(record, sort_keys=True, separators=(",", ":"))
@@ -125,12 +182,23 @@ class QueueJournal:
         self._handle = None
         self.records_since_compact = 0
 
-    def append(self, record: dict) -> None:
+    def append(self, record: dict) -> int:
+        """Append one record; returns the bytes written (for WAL cursors)."""
         if self._handle is None:
             self._handle = open(self.path, "ab")  # noqa: SIM115 -- long-lived WAL
-        self._handle.write(_encode_record(record))
+        data = _encode_record(record)
+        self._handle.write(data)
         self._handle.flush()
         self.records_since_compact += 1
+        return len(data)
+
+    def append_newline(self) -> int:
+        """Terminate a torn tail left by a crashed writer (fleet WALs)."""
+        if self._handle is None:
+            self._handle = open(self.path, "ab")  # noqa: SIM115 -- long-lived WAL
+        self._handle.write(b"\n")
+        self._handle.flush()
+        return 1
 
     def replay(self) -> tuple[list[dict], int]:
         """(valid records in order, count of discarded torn/corrupt lines)."""
@@ -286,28 +354,8 @@ class JobQueue:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                job, next_due = self._pop_ready()
+                job, next_due = self._try_claim_locked(worker)
                 if job is not None:
-                    now = time.time()
-                    job.state = "running"
-                    job.attempts += 1
-                    job.started_at = now
-                    job.worker = worker
-                    job.lease_token = secrets.token_hex(8)
-                    job.lease_deadline = now + self.lease_seconds
-                    job.not_before = None
-                    if job.queue_wait_seconds is None:
-                        job.queue_wait_seconds = max(0.0, now - job.submitted_at)
-                        METRICS.observe(
-                            "serve.queue.wait_seconds", job.queue_wait_seconds
-                        )
-                    METRICS.inc("serve.lease.granted")
-                    self._publish_gauges()
-                    self._append(job)
-                    self._flight(
-                        "claimed", job, ts=now,
-                        lease_deadline=job.lease_deadline,
-                    )
                     return job
                 if self._closed:
                     return None
@@ -320,6 +368,31 @@ class JobQueue:
                 if next_due is not None:
                     waits.append(max(0.0, next_due - time.time()) + 1e-3)
                 self._cond.wait(min(waits) if waits else None)
+
+    def _try_claim_locked(self, worker: str | None) -> tuple[Job | None, float | None]:
+        """One non-blocking claim attempt (lock held): pop the highest
+        priority due job and grant a lease on it.  Returns ``(job,
+        next_retry_due)`` -- the second element lets blocking callers
+        bound their wait on the earliest future retry."""
+        job, next_due = self._pop_ready()
+        if job is None:
+            return None, next_due
+        now = time.time()
+        job.state = "running"
+        job.attempts += 1
+        job.started_at = now
+        job.worker = worker
+        job.lease_token = secrets.token_hex(8)
+        job.lease_deadline = now + self.lease_seconds
+        job.not_before = None
+        if job.queue_wait_seconds is None:
+            job.queue_wait_seconds = max(0.0, now - job.submitted_at)
+            METRICS.observe("serve.queue.wait_seconds", job.queue_wait_seconds)
+        METRICS.inc("serve.lease.granted")
+        self._publish_gauges()
+        self._append(job)
+        self._flight("claimed", job, ts=now, lease_deadline=job.lease_deadline)
+        return job, None
 
     def renew(self, job_id: str, lease_token: str, extend: float | None = None) -> bool:
         """Heartbeat: push the lease deadline out; False if the lease is
@@ -561,6 +634,16 @@ class JobQueue:
                 counts[job.state] += 1
             return counts
 
+    def queued_priorities(self) -> list[int]:
+        """Sorted priorities of the queued (pending/retrying) jobs --
+        the load-shed policy's admission-threshold input."""
+        with self._cond:
+            return sorted(
+                j.priority
+                for j in self._jobs.values()
+                if j.state in ("pending", "retrying")
+            )
+
     def retry_after_hint(self) -> float:
         """Current backpressure hint (seconds), drain-rate derived."""
         with self._cond:
@@ -637,10 +720,22 @@ class JobQueue:
         if self._journal is None:
             return
         self._rev += 1
-        self._journal.append({"rev": self._rev, "seq": self._seq, "job": job.to_dict()})
+        record = {"rev": self._rev, "seq": self._seq, "job": job.to_dict()}
+        record.update(self._record_extra())
+        written = self._journal.append(record)
+        self._after_append(written)
         METRICS.inc("serve.journal.records")
         if self._journal.records_since_compact >= self.compact_every:
             self._compact_locked()
+
+    def _record_extra(self) -> dict:
+        """Extra journal-record fields; the shared fleet store stamps
+        the writing node's identity here."""
+        return {}
+
+    def _after_append(self, written_bytes: int) -> None:
+        """Hook after a journal append; the shared fleet store advances
+        its WAL read cursor past its own records here."""
 
     def _flight(self, event: str, job: Job, ts: float | None = None,
                 worker: str | None = None, **fields) -> None:

@@ -97,6 +97,11 @@ class WorkerPool:
         self.app = app
         self.workers = workers
         self.poll_seconds = poll_seconds
+        #: Fleet mode prefixes worker identities with the node id
+        #: (``<node>/serve-worker-N``) so leases, reaping, and flight
+        #: events attribute to the right node across the fleet.
+        node = getattr(app, "node", None)
+        self.worker_prefix = f"{node}/" if node else ""
         self.chaos = chaos if chaos is not None and not chaos.is_empty else None
         self._threads: list[threading.Thread] = []
         self._supervisor: threading.Thread | None = None
@@ -114,10 +119,12 @@ class WorkerPool:
     # -- lifecycle --------------------------------------------------------------------
 
     def start(self) -> None:
-        if self.workers <= 0:
-            return
         for index in range(self.workers):
             self._threads.append(self._spawn(index))
+        # The supervisor runs even with zero workers: a worker-less
+        # fleet frontend still renews nothing but must *reap* -- it may
+        # be the surviving node that requeues a dead node's leases --
+        # and still heartbeats its registry entry.
         self._supervisor = threading.Thread(
             target=self._supervise, name="serve-supervisor", daemon=True
         )
@@ -125,10 +132,17 @@ class WorkerPool:
 
     def _spawn(self, slot: int) -> threading.Thread:
         thread = threading.Thread(
-            target=self._loop, name=f"serve-worker-{slot}", daemon=True
+            target=self._loop,
+            name=f"{self.worker_prefix}serve-worker-{slot}",
+            daemon=True,
         )
         thread.start()
         return thread
+
+    def active_jobs(self) -> int:
+        """Jobs this pool is executing right now (heartbeat payload)."""
+        with self._exec_lock:
+            return len(self._executing)
 
     def stop(self) -> None:
         self._stop.set()
@@ -172,6 +186,9 @@ class WorkerPool:
             for job_id, token in entries:
                 self.app.queue.renew(job_id, token)
             self.app.queue.reap()
+            heartbeat = getattr(self.app, "publish_node_heartbeat", None)
+            if heartbeat is not None:
+                heartbeat()
             for slot, thread in enumerate(self._threads):
                 if self._stop.is_set():
                     break

@@ -90,17 +90,19 @@ def test_parse_source_specs(tmp_path):
 
 def test_daemon_publishes_prepared_frames(ring_name):
     src = SyntheticSource(dataset="luis", size=32, n_frames=4, seed=5)
-    daemon = IngestDaemon(ring_name, src, capacity=8, linger_seconds=0.0)
-    consumer_ready = threading.Event()
+    # The linger keeps the ring alive until the consumer drains (the
+    # consumer releases it via stop()); without it the daemon can
+    # publish-and-unlink before the consumer thread even attaches.
+    daemon = IngestDaemon(ring_name, src, capacity=8, linger_seconds=30.0)
     seen: list = []
 
     def consume() -> None:
         ring = FrameRing.attach(ring_name, timeout=10.0)
-        consumer_ready.set()
         for seq in range(4):
             ring.wait_for(seq, timeout=10.0)
             seen.append(ring.read_frame(seq))
         ring.close()
+        daemon.stop()  # drained: release the linger so run() unlinks
 
     thread = threading.Thread(target=consume)
     thread.start()
